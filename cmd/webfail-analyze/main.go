@@ -1,0 +1,183 @@
+// Command webfail-analyze inspects a failure dataset written by
+// `webfail -save`: per-category and per-stage failure counts, the most
+// failure-prone clients, servers, and client-server pairs, and a per-hour
+// failure histogram. It demonstrates working from stored records rather
+// than a live run (the paper published its measurement data the same
+// way).
+//
+// Usage:
+//
+//	webfail-analyze -in dataset.bin [-top N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"webfail/internal/httpsim"
+	"webfail/internal/measure"
+	"webfail/internal/workload"
+)
+
+func main() {
+	in := flag.String("in", "", "dataset path (required)")
+	top := flag.Int("top", 10, "rows in top-N listings")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "webfail-analyze: -in is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	ds, err := measure.LoadDataset(f)
+	if err != nil {
+		fatal(err)
+	}
+	topo := workload.NewScaledTopology(ds.Meta.Clients, ds.Meta.Websites)
+
+	fmt.Printf("dataset: seed=%d window=[%d,%d) %d clients x %d websites\n",
+		ds.Meta.Seed, ds.Meta.StartUnix, ds.Meta.EndUnix, ds.Meta.Clients, ds.Meta.Websites)
+	fmt.Printf("transactions=%d failures=%d (%.2f%%), %d records stored\n\n",
+		ds.Meta.Transactions, ds.Meta.Failures,
+		100*float64(ds.Meta.Failures)/float64(max64(ds.Meta.Transactions, 1)), len(ds.Records))
+
+	byStage := map[httpsim.Stage]int{}
+	byCat := map[workload.Category]int{}
+	byClient := map[int32]int{}
+	bySite := map[int32]int{}
+	byPair := map[[2]int32]int{}
+	byHour := map[int64]int{}
+	for i := range ds.Records {
+		r := &ds.Records[i]
+		if !r.Failed() {
+			continue
+		}
+		byStage[r.Stage]++
+		byCat[r.Category]++
+		byClient[r.ClientIdx]++
+		bySite[r.SiteIdx]++
+		byPair[[2]int32{r.ClientIdx, r.SiteIdx}]++
+		byHour[r.At.Hour()]++
+	}
+
+	fmt.Println("failures by stage:")
+	for _, st := range []httpsim.Stage{httpsim.StageDNS, httpsim.StageTCP, httpsim.StageHTTP} {
+		fmt.Printf("  %-8s %8d\n", st, byStage[st])
+	}
+	fmt.Println("failures by category:")
+	for _, c := range []workload.Category{workload.PL, workload.BB, workload.DU, workload.CN} {
+		fmt.Printf("  %-8v %8d\n", c, byCat[c])
+	}
+
+	fmt.Printf("\ntop %d failing clients:\n", *top)
+	for _, kv := range topN(byClient, *top) {
+		name := "?"
+		if int(kv.k) < len(topo.Clients) {
+			name = topo.Clients[kv.k].Name
+		}
+		fmt.Printf("  %-50s %8d\n", name, kv.v)
+	}
+	fmt.Printf("\ntop %d failing servers:\n", *top)
+	for _, kv := range topN(bySite, *top) {
+		name := "?"
+		if int(kv.k) < len(topo.Websites) {
+			name = topo.Websites[kv.k].Host
+		}
+		fmt.Printf("  %-50s %8d\n", name, kv.v)
+	}
+
+	fmt.Printf("\ntop %d failing pairs:\n", *top)
+	type pairN struct {
+		k [2]int32
+		v int
+	}
+	var pairs []pairN
+	for k, v := range byPair {
+		pairs = append(pairs, pairN{k, v})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].v != pairs[j].v {
+			return pairs[i].v > pairs[j].v
+		}
+		return pairs[i].k[0]*1000+pairs[i].k[1] < pairs[j].k[0]*1000+pairs[j].k[1]
+	})
+	for i, p := range pairs {
+		if i >= *top {
+			break
+		}
+		cn, sn := "?", "?"
+		if int(p.k[0]) < len(topo.Clients) {
+			cn = topo.Clients[p.k[0]].Name
+		}
+		if int(p.k[1]) < len(topo.Websites) {
+			sn = topo.Websites[p.k[1]].Host
+		}
+		fmt.Printf("  %-40s x %-24s %6d\n", cn, sn, p.v)
+	}
+
+	// Worst hours.
+	fmt.Printf("\nworst %d hours by failure count:\n", *top)
+	hourCounts := map[int64]int{}
+	for h, v := range byHour {
+		hourCounts[h] = v
+	}
+	type hourN struct {
+		h int64
+		v int
+	}
+	var hs []hourN
+	for h, v := range hourCounts {
+		hs = append(hs, hourN{h, v})
+	}
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].v != hs[j].v {
+			return hs[i].v > hs[j].v
+		}
+		return hs[i].h < hs[j].h
+	})
+	for i, h := range hs {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("  hour %4d: %6d failures\n", h.h, h.v)
+	}
+}
+
+type kv struct {
+	k int32
+	v int
+}
+
+func topN(m map[int32]int, n int) []kv {
+	out := make([]kv, 0, len(m))
+	for k, v := range m {
+		out = append(out, kv{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].v != out[j].v {
+			return out[i].v > out[j].v
+		}
+		return out[i].k < out[j].k
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "webfail-analyze:", err)
+	os.Exit(1)
+}

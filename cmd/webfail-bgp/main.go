@@ -1,0 +1,119 @@
+// Command webfail-bgp generates the Routeviews-style BGP update archive
+// implied by a fault scenario, optionally writes it as an MRT-like file,
+// and reports per-prefix instability: the hours matching each of the
+// paper's two severity definitions (Section 4.6) and the effect of the
+// collector-reset cleaning procedure (Section 3.6).
+//
+// Usage:
+//
+//	webfail-bgp [-hours N] [-seed N] [-mrt PATH] [-prefix P]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"sort"
+
+	"webfail/internal/bgpsim"
+	"webfail/internal/core"
+	"webfail/internal/faults"
+	"webfail/internal/simnet"
+	"webfail/internal/workload"
+)
+
+func main() {
+	hours := flag.Int64("hours", 744, "experiment hours")
+	seed := flag.Int64("seed", 2005, "scenario seed")
+	mrtPath := flag.String("mrt", "", "write MRT archive to this path")
+	prefix := flag.String("prefix", "", "report hourly detail for one prefix")
+	flag.Parse()
+
+	topo := workload.NewTopology()
+	end := simnet.FromHours(*hours)
+	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(*seed, 0, end))
+
+	prefixes := topo.AllPrefixes()
+	events := 0
+	for _, pfx := range prefixes {
+		for _, ep := range sc.Timeline.Episodes(faults.Entity("prefix:" + pfx.String())) {
+			if ep.Kind == faults.BGPInstability {
+				events++
+			}
+		}
+	}
+	// Reuse core's generator so numbers match the main harness exactly.
+	table, resets := core.GenerateBGP(topo, sc, *seed^0x6b67)
+
+	var updates int
+	var severe70, severeB []string
+	for _, pfx := range prefixes {
+		for _, h := range table.Hours(pfx) {
+			st := table.Get(pfx, h)
+			updates += st.Announcements + st.Withdrawals
+			if bgpsim.SevereInstability70(st) {
+				severe70 = append(severe70, fmt.Sprintf("%v @ hour %d (%d wdr, %d nbrs)", pfx, h, st.Withdrawals, st.CleanedWithdrawNeighbors()))
+			}
+			if bgpsim.SevereInstability50x75(st) {
+				severeB = append(severeB, fmt.Sprintf("%v @ hour %d (%d wdr, %d nbrs)", pfx, h, st.Withdrawals, st.CleanedWithdrawNeighbors()))
+			}
+		}
+	}
+	sort.Strings(severe70)
+	sort.Strings(severeB)
+
+	fmt.Printf("monitored prefixes: %d (paper: 137 prefixes for 203 addresses)\n", len(prefixes))
+	fmt.Printf("aggregated updates (post-clean): %d; events injected: %d\n", updates, events)
+	fmt.Printf("collector-reset hours cleaned: %d\n", len(resets))
+	fmt.Printf("severe instability (>=70 of 73 neighbors): %d prefix-hours (paper 111)\n", len(severe70))
+	for i, s := range severe70 {
+		if i >= 10 {
+			fmt.Printf("  ... and %d more\n", len(severe70)-10)
+			break
+		}
+		fmt.Println("  " + s)
+	}
+	fmt.Printf("severe instability (>=50 neighbors, >=75 withdrawals): %d prefix-hours (paper 32)\n", len(severeB))
+
+	if *prefix != "" {
+		pfx, err := netip.ParsePrefix(*prefix)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nhourly detail for %v:\n", pfx)
+		for _, h := range table.Hours(pfx) {
+			st := table.Get(pfx, h)
+			fmt.Printf("  hour %4d: ann=%3d (nbrs %2d)  wdr=%3d (nbrs %2d)\n",
+				h, st.Announcements, st.CleanedAnnounceNeighbors(), st.Withdrawals, st.CleanedWithdrawNeighbors())
+		}
+	}
+
+	if *mrtPath != "" {
+		// Regenerate the raw update stream for archival (the table
+		// holds only aggregates).
+		gen2 := bgpsim.NewGenerator(*seed^0x6b67, prefixes)
+		gen2.GenerateBaseline(0, end)
+		f, err := os.Create(*mrtPath)
+		if err != nil {
+			fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		if err := bgpsim.WriteMRT(w, gen2.Updates()); err != nil {
+			fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nMRT archive written to %s\n", *mrtPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "webfail-bgp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,122 @@
+// Command webfail runs the end-to-end web access failure study and
+// regenerates every table and figure of the paper.
+//
+// Usage:
+//
+//	webfail [flags]
+//
+//	-hours N     experiment length in hours (default 744, the paper's month)
+//	-seed N      scenario seed (default 2005)
+//	-runseed N   per-transaction sampling seed (default 1)
+//	-mode M      "fast" (default) or "packet" (small scales only)
+//	-clients N   limit the client roster (0 = all 134)
+//	-sites N     limit the website roster (0 = all 80)
+//	-only LIST   comma-separated selection, e.g. "table3,fig5,headlines"
+//	             (default: everything)
+//	-save PATH   write the failure dataset to PATH
+//
+// The output prints each reproduced artifact next to the paper's
+// published value.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"webfail/internal/core"
+	"webfail/internal/measure"
+	"webfail/internal/report"
+	"webfail/internal/simnet"
+	"webfail/internal/workload"
+)
+
+func main() {
+	var (
+		hours    = flag.Int64("hours", 744, "experiment length in hours")
+		seed     = flag.Int64("seed", 2005, "scenario seed")
+		runSeed  = flag.Int64("runseed", 1, "per-transaction sampling seed")
+		mode     = flag.String("mode", "fast", "fast or packet")
+		nClients = flag.Int("clients", 0, "limit client roster (0 = all)")
+		nSites   = flag.Int("sites", 0, "limit website roster (0 = all)")
+		only     = flag.String("only", "", "comma-separated artifacts (table1..table9, fig1..fig7, headlines)")
+		savePath = flag.String("save", "", "write failure dataset to this path")
+	)
+	flag.Parse()
+
+	sel := map[string]bool{}
+	for _, s := range strings.Split(*only, ",") {
+		if s = strings.TrimSpace(strings.ToLower(s)); s != "" {
+			sel[s] = true
+		}
+	}
+
+	topo := workload.NewScaledTopology(*nClients, *nSites)
+	end := simnet.FromHours(*hours)
+	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(*seed, 0, end))
+	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: *runSeed, Start: 0, End: end}
+
+	fmt.Printf("webfail: %s; %d clients x %d websites over %d hours (%s mode)\n",
+		topo, len(topo.Clients), len(topo.Websites), *hours, *mode)
+
+	a := core.NewAnalysis(topo, 0, end)
+	var ds *measure.Dataset
+	if *savePath != "" {
+		ds = &measure.Dataset{Meta: measure.DatasetMeta{
+			Seed: *seed, StartUnix: simnet.Time(0).Unix(), EndUnix: end.Unix(),
+			Clients: len(topo.Clients), Websites: len(topo.Websites),
+		}}
+	}
+	visit := func(r *measure.Record) {
+		a.Add(r)
+		if ds != nil {
+			ds.Meta.Transactions++
+			if r.Failed() {
+				ds.Meta.Failures++
+				ds.Records = append(ds.Records, *r)
+			}
+		}
+	}
+
+	started := time.Now()
+	var err error
+	switch *mode {
+	case "fast":
+		err = measure.Run(cfg, visit)
+	case "packet":
+		if workload.ExpectedTransactions(topo, 0, end) > 2_000_000 {
+			fatalf("packet mode at this scale would take very long; reduce -hours/-clients/-sites")
+		}
+		err = measure.RunPacket(cfg, visit)
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fatalf("run: %v", err)
+	}
+	fmt.Printf("run completed in %v: %s\n\n", time.Since(started).Round(time.Millisecond), a)
+
+	rep := &report.Reporter{W: os.Stdout, A: a, Topo: topo, Sc: sc, Seed: *seed}
+	rep.Run(sel)
+
+	if ds != nil {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fatalf("save: %v", err)
+		}
+		if err := ds.Save(f); err != nil {
+			fatalf("save: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("save: %v", err)
+		}
+		fmt.Printf("\ndataset written to %s (%d records)\n", *savePath, len(ds.Records))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "webfail: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package webfail is the root of a full reproduction of "A Study of
+// End-to-End Web Access Failures" (Padmanabhan, Ramabhadran, Agarwal,
+// Padhye — CoNEXT 2006).
+//
+// The repository implements the study's entire measurement system over a
+// deterministic simulated internet (see README.md for the architecture),
+// regenerates every table and figure of the paper's evaluation
+// (cmd/webfail; benchmark harness in bench_test.go), and records
+// paper-vs-measured results in EXPERIMENTS.md.
+//
+// This root package holds only the cross-package integration tests and
+// the per-artifact benchmark harness; the implementation lives under
+// internal/ and the entry points under cmd/ and examples/.
+package webfail

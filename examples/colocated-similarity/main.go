@@ -1,0 +1,55 @@
+// Co-located similarity study (Section 4.4.6 #2 / Tables 7-8 in
+// miniature): run the full fleet for a simulated week, identify
+// client-side failure episodes with the blame-attribution procedure, and
+// compare how much co-located client pairs share those episodes versus
+// randomly paired clients.
+//
+// Run with: go run ./examples/colocated-similarity
+package main
+
+import (
+	"fmt"
+
+	"webfail/internal/core"
+	"webfail/internal/measure"
+	"webfail/internal/simnet"
+	"webfail/internal/workload"
+)
+
+func main() {
+	topo := workload.NewTopology()
+	end := simnet.FromHours(168) // one week
+	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(2005, 0, end))
+	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
+
+	a := core.NewAnalysis(topo, 0, end)
+	if err := measure.Run(cfg, func(r *measure.Record) { a.Add(r) }); err != nil {
+		panic(err)
+	}
+
+	pairs := a.PermanentPairs(0.9)
+	at := a.Attribute(0.05, pairs)
+
+	sims := a.CoLocatedSimilarity(at)
+	rnd := a.RandomPairSimilarity(at, 17, len(sims))
+
+	co := core.Tabulate(sims)
+	rd := core.Tabulate(rnd)
+	fmt.Printf("similarity of client-side failure episodes over one week (%d pairs each)\n\n", co.Pairs)
+	fmt.Printf("%-22s %10s %8s\n", "band", "co-located", "random")
+	fmt.Printf("%-22s %10d %8d\n", "> 75%", co.Over75, rd.Over75)
+	fmt.Printf("%-22s %10d %8d\n", "50-75%", co.Band50to75, rd.Band50to75)
+	fmt.Printf("%-22s %10d %8d\n", "25-50%", co.Band25to50, rd.Band25to50)
+	fmt.Printf("%-22s %10d %8d\n", "< 25%, > 0", co.Under25, rd.Under25)
+	fmt.Printf("%-22s %10d %8d\n", "0", co.Zero, rd.Zero)
+
+	fmt.Println("\nmost active co-located pairs (Table 8 style):")
+	for i, p := range sims {
+		if i >= 6 {
+			break
+		}
+		fmt.Printf("  %-62s union=%3d similarity=%.1f%%\n", p.A+" / "+p.B, p.UnionSize, 100*p.Similarity)
+	}
+	fmt.Println("\npaper: over half of the co-located pairs shared >=25% of their")
+	fmt.Println("client-side episodes; only 1 of 35 random pairs exceeded 25%.")
+}

@@ -1,0 +1,3 @@
+module webfail
+
+go 1.22

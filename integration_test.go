@@ -1,0 +1,261 @@
+// Root integration tests: drive the full pipeline at reduced scale and
+// assert that the paper's qualitative findings — the claims EXPERIMENTS.md
+// checks at month scale — hold. These are the regression net for the
+// calibrated scenario: if a substrate or parameter change breaks a shape,
+// one of these fails.
+package webfail
+
+import (
+	"testing"
+
+	"webfail/internal/core"
+	"webfail/internal/measure"
+	"webfail/internal/simnet"
+	"webfail/internal/workload"
+)
+
+// buildRun executes a 72-hour full-roster fast-mode run once per test
+// binary (shared with the benchmarks' fixture machinery would couple
+// bench and test timing, so this one is separate and smaller).
+func buildRun(t *testing.T) (*workload.Topology, *workload.Scenario, *core.Analysis) {
+	t.Helper()
+	topo := workload.NewTopology()
+	end := simnet.FromHours(72)
+	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(fixtureSeed, 0, end))
+	a := core.NewAnalysis(topo, 0, end)
+	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
+	if err := measure.Run(cfg, func(r *measure.Record) { a.Add(r) }); err != nil {
+		t.Fatal(err)
+	}
+	return topo, sc, a
+}
+
+var runCache struct {
+	topo *workload.Topology
+	sc   *workload.Scenario
+	a    *core.Analysis
+}
+
+func getRun(t *testing.T) (*workload.Topology, *workload.Scenario, *core.Analysis) {
+	t.Helper()
+	if runCache.a == nil {
+		runCache.topo, runCache.sc, runCache.a = buildRun(t)
+	}
+	return runCache.topo, runCache.sc, runCache.a
+}
+
+func TestReproFailureRatesByCategory(t *testing.T) {
+	_, _, a := getRun(t)
+	rates := map[workload.Category]float64{}
+	for _, s := range a.Summary() {
+		rates[s.Category] = s.TxnFailRate()
+	}
+	// Paper ordering: PL clearly worst; commercial dialup best or near
+	// best; everything in the low-percent range.
+	if rates[workload.PL] <= rates[workload.DU] {
+		t.Errorf("PL (%.3f) should exceed DU (%.3f)", rates[workload.PL], rates[workload.DU])
+	}
+	if rates[workload.PL] <= rates[workload.CN] {
+		t.Errorf("PL (%.3f) should exceed CN (%.3f)", rates[workload.PL], rates[workload.CN])
+	}
+	for cat, r := range rates {
+		if r < 0.003 || r > 0.08 {
+			t.Errorf("%v failure rate %.4f outside the plausible band", cat, r)
+		}
+	}
+}
+
+func TestReproStageShares(t *testing.T) {
+	_, _, a := getRun(t)
+	for _, s := range a.Summary() {
+		if s.Category == workload.CN {
+			continue
+		}
+		// TCP failures dominate; DNS is the significant remainder;
+		// HTTP is marginal (<5% at this scale; paper <2%).
+		if s.TCPShare <= s.DNSShare && s.Category == workload.PL {
+			// Applies strictly only to PL which dominates; smaller
+			// categories can wobble.
+			t.Errorf("%v: TCP share %.2f should exceed DNS share %.2f", s.Category, s.TCPShare, s.DNSShare)
+		}
+		if s.HTTPShare > 0.06 {
+			t.Errorf("%v: HTTP share %.2f too large", s.Category, s.HTTPShare)
+		}
+	}
+}
+
+func TestReproLDNSTimeoutsDominateDNSFailures(t *testing.T) {
+	_, _, a := getRun(t)
+	for _, row := range a.DNSBreakdown() {
+		if row.Category != workload.PL {
+			continue // small-sample categories wobble at 72 h
+		}
+		if row.LDNSTimeout < 0.6 {
+			t.Errorf("PL LDNS-timeout share = %.2f, want the dominant cause (paper 83%%)", row.LDNSTimeout)
+		}
+	}
+}
+
+func TestReproNoConnectionDominatesTCPFailures(t *testing.T) {
+	_, _, a := getRun(t)
+	for _, row := range a.TCPBreakdown() {
+		if row.Category == workload.PL && row.NoConnection < 0.6 {
+			t.Errorf("PL no-connection share = %.2f, want dominant (paper 79%%)", row.NoConnection)
+		}
+	}
+}
+
+func TestReproServerSideDominatesAttribution(t *testing.T) {
+	_, _, a := getRun(t)
+	pairs := a.PermanentPairs(0.9)
+	at := a.Attribute(0.05, pairs)
+	srv, cli := at.Share(core.BlameServer), at.Share(core.BlameClient)
+	other := at.Share(core.BlameOther)
+	if srv <= cli {
+		t.Errorf("server-side (%.2f) should dominate client-side (%.2f) — the paper's core finding", srv, cli)
+	}
+	if other < 0.1 {
+		t.Errorf("other share %.2f implausibly small (paper 37.7%%)", other)
+	}
+	if srv < 0.3 || srv > 0.75 {
+		t.Errorf("server-side share %.2f outside plausible band (paper 48%%)", srv)
+	}
+}
+
+func TestReproPermanentPairsDetected(t *testing.T) {
+	topo, sc, a := getRun(t)
+	pairs := a.PermanentPairs(0.9)
+	tp, fn, fp := a.DetectedPermanentBlocks(pairs, sc, topo)
+	if tp < 36 {
+		t.Errorf("true positives = %d of 38 injected blocks", tp)
+	}
+	if fn > 2 {
+		t.Errorf("undetected injected blocks = %d", fn)
+	}
+	if fp > 2 {
+		t.Errorf("spurious permanent pairs = %d", fp)
+	}
+}
+
+func TestReproGroundTruthValidation(t *testing.T) {
+	_, sc, a := getRun(t)
+	pairs := a.PermanentPairs(0.9)
+	at := a.Attribute(0.05, pairs)
+	rep := a.ValidateAttribution(at, sc)
+	if rep.Total == 0 {
+		t.Fatal("no classified failures to validate")
+	}
+	// The methodology should be mostly right where it commits: when it
+	// says server-side, an injected server-side fault should usually be
+	// active.
+	if rep.ServerPrecision < 0.7 {
+		t.Errorf("server-side precision = %.2f, methodology unsound", rep.ServerPrecision)
+	}
+	if rep.ServerRecall < 0.5 {
+		t.Errorf("server-side recall = %.2f", rep.ServerRecall)
+	}
+	t.Logf("ground truth: server P=%.2f R=%.2f, client P=%.2f R=%.2f over %d failures",
+		rep.ServerPrecision, rep.ServerRecall, rep.ClientPrecision, rep.ClientRecall, rep.Total)
+}
+
+func TestReproReplicaCensus(t *testing.T) {
+	_, _, a := getRun(t)
+	census := a.ReplicaCensusDefault()
+	if census.Zero != 6 || census.One != 42 || census.Multi != 32 {
+		t.Errorf("census = %d/%d/%d, want 6/42/32", census.Zero, census.One, census.Multi)
+	}
+}
+
+func TestReproKneeNearPaperThreshold(t *testing.T) {
+	_, _, a := getRun(t)
+	knee, err := a.Knee()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knee < 0.01 || knee > 0.15 {
+		t.Errorf("knee = %.3f, want in the few-percent range the paper reads off Figure 4", knee)
+	}
+}
+
+func TestReproBGPSevereInstabilityCorrelates(t *testing.T) {
+	topo, sc, a := getRun(t)
+	table, _ := core.GenerateBGP(topo, sc, fixtureSeed^0x6b67)
+	corr := a.CorrelateBGP(table)
+	if len(corr.Severe70) == 0 {
+		t.Skip("no severe instability in this 72-hour window")
+	}
+	// Rarity: well under 1% of prefix-hours.
+	frac := float64(len(corr.Severe70)) / float64(corr.TotalPrefixHours)
+	if frac > 0.01 {
+		t.Errorf("severe instability fraction %.4f too common (paper <0.08%%)", frac)
+	}
+	if got := core.FractionAbove(corr.Severe70, 0.05); got < 0.6 {
+		t.Errorf("only %.2f of severe hours exceed 5%% failures (paper >80%%)", got)
+	}
+}
+
+func TestReproProxyResidualGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a multi-week window for residual samples")
+	}
+	// iitb's chronic server-side episodes exclude ~95% of hours from the
+	// residual computation, so this signature needs a longer window than
+	// the shared 72-hour run.
+	topo := workload.NewTopology()
+	end := simnet.FromHours(400)
+	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(fixtureSeed, 0, end))
+	a := core.NewAnalysis(topo, 0, end)
+	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
+	if err := measure.Run(cfg, func(r *measure.Record) { a.Add(r) }); err != nil {
+		t.Fatal(err)
+	}
+	pairs := a.PermanentPairs(0.9)
+	at := a.Attribute(0.05, pairs)
+	rows := a.ProxyResidual(at, []string{"www.iitb.ac.in"})
+	if len(rows) != 1 {
+		t.Fatal("iitb row missing")
+	}
+	row := rows[0]
+	var proxiedSum float64
+	var proxiedN int
+	for name, v := range row.PerClient {
+		node := topo.ClientByName(name)
+		if node == nil || !node.Proxied {
+			continue
+		}
+		proxiedSum += v
+		proxiedN++
+	}
+	if proxiedN == 0 {
+		t.Fatal("no proxied clients in row")
+	}
+	proxiedMean := proxiedSum / float64(proxiedN)
+	if proxiedMean <= row.NonCN {
+		t.Errorf("proxied mean residual %.4f should exceed non-CN %.4f (Table 9 signature)", proxiedMean, row.NonCN)
+	}
+}
+
+func TestReproDeterministicAcrossRuns(t *testing.T) {
+	// Two fresh runs over the same seeds agree exactly.
+	run := func() (int64, int64) {
+		topo := workload.NewTopology()
+		end := simnet.FromHours(6)
+		sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(77, 0, end))
+		cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 3, Start: 0, End: end}
+		var txns, fails int64
+		if err := measure.Run(cfg, func(r *measure.Record) {
+			txns++
+			if r.Failed() {
+				fails++
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return txns, fails
+	}
+	t1, f1 := run()
+	t2, f2 := run()
+	if t1 != t2 || f1 != f2 {
+		t.Errorf("runs differ: (%d,%d) vs (%d,%d)", t1, f1, t2, f2)
+	}
+}

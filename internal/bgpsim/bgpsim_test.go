@@ -1,0 +1,351 @@
+package bgpsim
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"webfail/internal/simnet"
+)
+
+var (
+	pfxA = netip.MustParsePrefix("10.1.0.0/24")
+	pfxB = netip.MustParsePrefix("10.2.0.0/24")
+	pfxC = netip.MustParsePrefix("192.0.2.0/24")
+)
+
+func allPrefixes() []netip.Prefix { return []netip.Prefix{pfxA, pfxB, pfxC} }
+
+func TestCollectorOf(t *testing.T) {
+	seen := map[string]int{}
+	for p := 0; p < NumSessions; p++ {
+		seen[CollectorOf(uint8(p))]++
+	}
+	if len(seen) != NumCollectors {
+		t.Errorf("collectors used = %d", len(seen))
+	}
+	total := 0
+	for _, n := range seen {
+		total += n
+	}
+	if total != NumSessions {
+		t.Errorf("total = %d", total)
+	}
+}
+
+func TestBaselineIsQuiet(t *testing.T) {
+	g := NewGenerator(1, allPrefixes())
+	g.GenerateBaseline(0, simnet.FromHours(744))
+	table := Aggregate(g.Updates())
+	// Baseline churn must never look like severe instability.
+	for _, pfx := range allPrefixes() {
+		for _, h := range table.Hours(pfx) {
+			st := table.Get(pfx, h)
+			if SevereInstability70(st) || SevereInstability50x75(st) {
+				t.Fatalf("baseline flagged unstable at hour %d: %+v", h, st)
+			}
+		}
+	}
+	// But there should be some churn over a month.
+	if len(table.Hours(pfxA)) == 0 {
+		t.Error("no baseline churn at all")
+	}
+}
+
+func TestInstabilityGlobal(t *testing.T) {
+	g := NewGenerator(2, allPrefixes())
+	start := simnet.FromHours(10)
+	g.InjectInstability(InstabilityEvent{
+		Prefix:             pfxA,
+		Start:              start,
+		Duration:           20 * time.Minute,
+		NeighborFraction:   1.0,
+		ExplorationUpdates: 2,
+	})
+	table := Aggregate(g.Updates())
+	st := table.Get(pfxA, 10)
+	if st.WithdrawNeighbors() < 70 {
+		t.Fatalf("withdraw neighbors = %d, want >= 70", st.WithdrawNeighbors())
+	}
+	if !SevereInstability70(st) {
+		t.Error("global event not flagged by >=70 definition")
+	}
+	if st.Withdrawals < NumSessions {
+		t.Errorf("withdrawals = %d", st.Withdrawals)
+	}
+	// Other prefixes untouched.
+	if other := table.Get(pfxB, 10); other.Withdrawals != 0 {
+		t.Errorf("pfxB polluted: %+v", other)
+	}
+}
+
+func TestInstabilityTwoNeighbors(t *testing.T) {
+	// The Figure 7 scenario: only 2 neighbors withdraw.
+	g := NewGenerator(3, allPrefixes())
+	g.InjectInstability(InstabilityEvent{
+		Prefix:             pfxB,
+		Start:              simnet.FromHours(5),
+		Duration:           30 * time.Minute,
+		NeighborFraction:   2.0 / NumSessions,
+		ExplorationUpdates: 1,
+	})
+	table := Aggregate(g.Updates())
+	st := table.Get(pfxB, 5)
+	if st.WithdrawNeighbors() != 2 {
+		t.Fatalf("withdraw neighbors = %d, want 2", st.WithdrawNeighbors())
+	}
+	if SevereInstability70(st) || SevereInstability50x75(st) {
+		t.Error("2-neighbor event must not be flagged severe")
+	}
+}
+
+func TestInstabilityReconvergence(t *testing.T) {
+	g := NewGenerator(4, allPrefixes())
+	start := simnet.FromHours(10)
+	g.InjectInstability(InstabilityEvent{
+		Prefix:             pfxA,
+		Start:              start,
+		Duration:           90 * time.Minute, // spans into hour 11
+		NeighborFraction:   1.0,
+		ExplorationUpdates: 0,
+	})
+	table := Aggregate(g.Updates())
+	// Re-announcements land in hour 11 (start + 90min + jitter).
+	st11 := table.Get(pfxA, 11)
+	if st11.Announcements < NumSessions/2 {
+		t.Errorf("re-announcements in hour 11 = %d", st11.Announcements)
+	}
+}
+
+func TestCollectorResetAndCleaning(t *testing.T) {
+	g := NewGenerator(5, allPrefixes())
+	g.GenerateBaseline(0, simnet.FromHours(24))
+	g.InjectCollectorReset(simnet.FromHours(7), 0)
+	table := Aggregate(g.Updates())
+
+	// Before cleaning: every prefix announced in hour 7.
+	announcedPrefixes := 0
+	for _, pfx := range allPrefixes() {
+		if table.Get(pfx, 7).Announcements > 0 {
+			announcedPrefixes++
+		}
+	}
+	if announcedPrefixes != len(allPrefixes()) {
+		t.Fatalf("reset should touch all prefixes, got %d", announcedPrefixes)
+	}
+
+	resets := Clean(table, CleanConfig{ResetFraction: 0.5, TotalPrefixes: len(allPrefixes())})
+	if !resets[7] {
+		t.Fatalf("hour 7 not flagged as reset: %v", resets)
+	}
+	// After cleaning, the announcement counts in hour 7 are heavily
+	// reduced (the average is subtracted).
+	for _, pfx := range allPrefixes() {
+		st := table.Get(pfx, 7)
+		if st.Announcements > 3 {
+			t.Errorf("prefix %v hour 7 announcements after clean = %d", pfx, st.Announcements)
+		}
+	}
+}
+
+func TestCleaningPreservesRealInstability(t *testing.T) {
+	// A genuine global withdrawal event in a non-reset hour must
+	// survive cleaning of a different hour.
+	g := NewGenerator(6, allPrefixes())
+	g.InjectCollectorReset(simnet.FromHours(3), 1)
+	g.InjectInstability(InstabilityEvent{
+		Prefix: pfxC, Start: simnet.FromHours(9), Duration: 10 * time.Minute,
+		NeighborFraction: 1.0, ExplorationUpdates: 1,
+	})
+	table := Aggregate(g.Updates())
+	Clean(table, CleanConfig{ResetFraction: 0.5, TotalPrefixes: len(allPrefixes())})
+	st := table.Get(pfxC, 9)
+	if !SevereInstability70(st) {
+		t.Errorf("real event lost after cleaning: %+v", st)
+	}
+}
+
+func TestCleanNoResets(t *testing.T) {
+	// At the paper's table scale the half-the-table threshold is never
+	// hit by baseline churn. (With just a handful of prefixes the
+	// fraction rule would trip by chance, which is exactly why the
+	// paper anchors it to the full routing table size.)
+	prefixes := make([]netip.Prefix, 0, 50)
+	for i := 0; i < 50; i++ {
+		prefixes = append(prefixes, netip.PrefixFrom(netip.AddrFrom4([4]byte{10, 9, byte(i), 0}), 24))
+	}
+	g := NewGenerator(7, prefixes)
+	g.GenerateBaseline(0, simnet.FromHours(24))
+	table := Aggregate(g.Updates())
+	resets := Clean(table, CleanConfig{ResetFraction: 0.5, TotalPrefixes: len(prefixes)})
+	if len(resets) != 0 {
+		t.Errorf("baseline flagged resets: %v", resets)
+	}
+	if Clean(table, CleanConfig{}) != nil {
+		t.Error("zero config should be a no-op")
+	}
+}
+
+func TestSevere50x75NeedsBoth(t *testing.T) {
+	var st HourStats
+	// 50 neighbors but few messages.
+	for p := uint8(0); p < 50; p++ {
+		st.wdrNeighbors.add(p)
+	}
+	st.Withdrawals = 50
+	if SevereInstability50x75(st) {
+		t.Error("50 withdrawals should not qualify (needs 75)")
+	}
+	st.Withdrawals = 80
+	if !SevereInstability50x75(st) {
+		t.Error("50 neighbors & 80 msgs should qualify")
+	}
+	var st2 HourStats
+	for p := uint8(0); p < 40; p++ {
+		st2.wdrNeighbors.add(p)
+	}
+	st2.Withdrawals = 200
+	if SevereInstability50x75(st2) {
+		t.Error("40 neighbors should not qualify")
+	}
+}
+
+func TestNeighborSet(t *testing.T) {
+	var s neighborSet
+	if s.count() != 0 {
+		t.Error("empty set nonzero")
+	}
+	s.add(0)
+	s.add(63)
+	s.add(64)
+	s.add(72)
+	s.add(72) // duplicate
+	if s.count() != 4 {
+		t.Errorf("count = %d, want 4", s.count())
+	}
+}
+
+func TestUpdatesSorted(t *testing.T) {
+	g := NewGenerator(8, allPrefixes())
+	g.InjectInstability(InstabilityEvent{Prefix: pfxA, Start: simnet.FromHours(5), Duration: time.Hour, NeighborFraction: 0.5, ExplorationUpdates: 1})
+	g.GenerateBaseline(0, simnet.FromHours(10))
+	ups := g.Updates()
+	for i := 1; i < len(ups); i++ {
+		if ups[i].At < ups[i-1].At {
+			t.Fatal("updates not sorted")
+		}
+	}
+}
+
+func TestMRTRoundTrip(t *testing.T) {
+	g := NewGenerator(9, allPrefixes())
+	g.GenerateBaseline(0, simnet.FromHours(48))
+	g.InjectInstability(InstabilityEvent{Prefix: pfxA, Start: simnet.FromHours(20), Duration: time.Hour, NeighborFraction: 1, ExplorationUpdates: 2})
+	ups := g.Updates()
+
+	var buf bytes.Buffer
+	if err := WriteMRT(&buf, ups); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMRT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ups) {
+		t.Fatalf("round trip count = %d, want %d", len(got), len(ups))
+	}
+	for i := range got {
+		if got[i].Peer != ups[i].Peer || got[i].Prefix != ups[i].Prefix || got[i].Kind != ups[i].Kind {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], ups[i])
+		}
+		// Time preserved at second granularity.
+		if got[i].At.Unix() != ups[i].At.Unix() {
+			t.Fatalf("record %d time mismatch", i)
+		}
+	}
+	// Aggregation over the decoded stream matches the original at hour
+	// granularity.
+	t1 := Aggregate(ups)
+	t2 := Aggregate(got)
+	st1, st2 := t1.Get(pfxA, 20), t2.Get(pfxA, 20)
+	if st1.Withdrawals != st2.Withdrawals || st1.WithdrawNeighbors() != st2.WithdrawNeighbors() {
+		t.Errorf("aggregates differ: %+v vs %+v", st1, st2)
+	}
+}
+
+func TestMRTRejectsGarbage(t *testing.T) {
+	if _, err := ReadMRT(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("short stream accepted")
+	}
+	// Corrupt a valid stream's body fields.
+	var buf bytes.Buffer
+	_ = WriteMRT(&buf, []Update{{At: 0, Peer: 1, Prefix: pfxA, Kind: Announce}})
+	b := buf.Bytes()
+	b[14] = 99 // invalid kind
+	if _, err := ReadMRT(bytes.NewReader(b)); err == nil {
+		t.Error("invalid kind accepted")
+	}
+}
+
+func TestMRTSkipsUnknownRecords(t *testing.T) {
+	var buf bytes.Buffer
+	// Unknown type record followed by a valid one.
+	hdr := make([]byte, 12)
+	hdr[5] = 99 // type 99<<8? type = bytes 4..6; set type=0x6300
+	buf.Write(hdr)
+	_ = WriteMRT(&buf, []Update{{At: 0, Peer: 3, Prefix: pfxB, Kind: Withdraw}})
+	got, err := ReadMRT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Peer != 3 {
+		t.Errorf("got = %+v", got)
+	}
+}
+
+func TestMRTRoundTripProperty(t *testing.T) {
+	f := func(peerRaw uint8, kindBit bool, hour uint16) bool {
+		kind := Announce
+		if kindBit {
+			kind = Withdraw
+		}
+		u := Update{
+			At:     simnet.FromHours(int64(hour)),
+			Peer:   peerRaw % NumSessions,
+			Prefix: pfxC,
+			Kind:   kind,
+		}
+		var buf bytes.Buffer
+		if err := WriteMRT(&buf, []Update{u}); err != nil {
+			return false
+		}
+		got, err := ReadMRT(&buf)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		return got[0].Peer == u.Peer && got[0].Kind == u.Kind && got[0].At == u.At
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	gen := func() []Update {
+		g := NewGenerator(42, allPrefixes())
+		g.GenerateBaseline(0, simnet.FromHours(100))
+		g.InjectInstability(InstabilityEvent{Prefix: pfxA, Start: simnet.FromHours(50), Duration: time.Hour, NeighborFraction: 0.9, ExplorationUpdates: 3})
+		return g.Updates()
+	}
+	a, b := gen(), gen()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("update %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package core implements the paper's primary contribution: the
+// client-based characterization and cross-correlation analysis of
+// end-to-end web access failures (Sections 2 and 4) —
+//
+//   - transaction failure classification and per-category breakdowns
+//     (Table 3, Table 4, Figures 1–3);
+//   - 1-hour failure episodes, the failure-rate CDFs and their knee
+//     (Figure 4), and the blame-attribution procedure classifying failures
+//     as server-side / client-side / both / other (Table 5);
+//   - permanent client-server pair detection and exclusion (Section
+//     4.4.2);
+//   - server-side episode statistics, coalescing, and spread (Table 6);
+//   - co-located client similarity (Tables 7–8);
+//   - replica-level total/partial failure classification (Section 4.5);
+//   - BGP instability correlation (Section 4.6, Figures 5–7);
+//   - shared proxy-related failure isolation (Section 4.7, Table 9).
+//
+// The Analysis accumulator consumes measure.Records in one streaming
+// pass; every analysis is a pure function over the accumulated state.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"webfail/internal/httpsim"
+	"webfail/internal/measure"
+	"webfail/internal/simnet"
+	"webfail/internal/workload"
+)
+
+// entityHour accumulates one client's or server's traffic within one
+// 1-hour episode (Section 4.4.3 fixes the episode duration at one hour).
+type entityHour struct {
+	Txns      int32
+	FailTxns  int32
+	Conns     int32
+	FailConns int32
+	// Streak tracking: longest run of consecutive failed transactions
+	// within the hour (Figure 5's third graph).
+	streakCur int16
+	StreakMax int16
+}
+
+// FailureRec is the compact retained form of a failed transaction, the
+// input to the attribution pass.
+type FailureRec struct {
+	Client  int32
+	Site    int32
+	Hour    int32 // hour index relative to the analysis window
+	Stage   httpsim.Stage
+	DNS     measure.DNSOutcome
+	Kind    httpsim.ConnFailKind
+	Replica netip.Addr
+	Conns   int16
+}
+
+// Analysis accumulates a run's records.
+type Analysis struct {
+	Topo *workload.Topology
+
+	// Window. "Hours" counts episode bins; bins are 1 hour by default
+	// (Section 4.4.3) but NewAnalysisBinned supports the paper's
+	// episode-duration trade-off discussion (10-minute bins catch
+	// short outages but starve on samples; 1-day bins bury them).
+	StartHour int64
+	Hours     int
+	binNS     int64
+
+	nClients, nSites int
+
+	// Dense per-entity-per-hour grids.
+	clientHours []entityHour // [client*Hours + h]
+	serverHours []entityHour // [site*Hours + h]
+
+	// Replica grid: replicas indexed densely.
+	replicaIdx   map[netip.Addr]int
+	replicaAddrs []netip.Addr
+	replicaSite  []int32      // replica -> site index
+	replicaHours []entityHour // [replica*Hours + h]
+	replicaConns []int64      // total connections per replica (for the 10% rule)
+	siteConns    []int64      // total connections per site
+
+	// Month-long per-pair counts (permanent pair detection).
+	pairTxns  []int32 // [client*nSites + site]
+	pairFails []int32
+
+	// Category totals (Table 3).
+	catTxns, catFails   map[workload.Category]int64
+	catConns, catFailCo map[workload.Category]int64
+
+	// Failure-stage counts per category (Figure 1).
+	stageCounts map[workload.Category]map[httpsim.Stage]int64
+
+	// DNS failure sub-classes per category (Table 4) and per website
+	// (Figure 2).
+	dnsClassByCat  map[workload.Category]map[measure.DNSOutcome]int64
+	dnsClassBySite []map[measure.DNSOutcome]int64
+
+	// TCP failure kinds per category (Figure 3).
+	tcpKindByCat map[workload.Category]map[httpsim.ConnFailKind]int64
+
+	// Retained failures for attribution.
+	Failures []FailureRec
+
+	// Per-client loss accounting (Section 4.1.3).
+	clientPkts, clientRetrans []int64
+
+	// Grand totals.
+	TotalTxns, TotalFails int64
+}
+
+// NewAnalysis creates an accumulator for records in [start, end) with the
+// paper's 1-hour episode bins.
+func NewAnalysis(topo *workload.Topology, start, end simnet.Time) *Analysis {
+	return NewAnalysisBinned(topo, start, end, time.Hour)
+}
+
+// NewAnalysisBinned creates an accumulator with a custom episode bin
+// duration — the ablation knob for the Section 4.4.3 trade-off. The BGP
+// correlation requires 1-hour bins (Routeviews aggregation is hourly).
+func NewAnalysisBinned(topo *workload.Topology, start, end simnet.Time, bin time.Duration) *Analysis {
+	if bin <= 0 {
+		bin = time.Hour
+	}
+	binNS := int64(bin)
+	hours := int((int64(end) - int64(start) + binNS - 1) / binNS)
+	if hours <= 0 {
+		hours = 1
+	}
+	a := &Analysis{
+		Topo:          topo,
+		StartHour:     int64(start) / binNS,
+		Hours:         hours,
+		binNS:         binNS,
+		nClients:      len(topo.Clients),
+		nSites:        len(topo.Websites),
+		replicaIdx:    make(map[netip.Addr]int),
+		catTxns:       make(map[workload.Category]int64),
+		catFails:      make(map[workload.Category]int64),
+		catConns:      make(map[workload.Category]int64),
+		catFailCo:     make(map[workload.Category]int64),
+		stageCounts:   make(map[workload.Category]map[httpsim.Stage]int64),
+		dnsClassByCat: make(map[workload.Category]map[measure.DNSOutcome]int64),
+		tcpKindByCat:  make(map[workload.Category]map[httpsim.ConnFailKind]int64),
+	}
+	a.clientHours = make([]entityHour, a.nClients*hours)
+	a.serverHours = make([]entityHour, a.nSites*hours)
+	a.pairTxns = make([]int32, a.nClients*a.nSites)
+	a.pairFails = make([]int32, a.nClients*a.nSites)
+	a.dnsClassBySite = make([]map[measure.DNSOutcome]int64, a.nSites)
+	a.clientPkts = make([]int64, a.nClients)
+	a.clientRetrans = make([]int64, a.nClients)
+	a.siteConns = make([]int64, a.nSites)
+	for j := range topo.Websites {
+		for _, ra := range topo.Websites[j].ReplicaAddrs {
+			a.replicaIdx[ra] = len(a.replicaAddrs)
+			a.replicaAddrs = append(a.replicaAddrs, ra)
+			a.replicaSite = append(a.replicaSite, int32(j))
+		}
+	}
+	a.replicaHours = make([]entityHour, len(a.replicaAddrs)*hours)
+	a.replicaConns = make([]int64, len(a.replicaAddrs))
+	return a
+}
+
+// hourIndex maps a record time to the window-relative bin, clamped.
+func (a *Analysis) hourIndex(at simnet.Time) int {
+	h := int(int64(at)/a.binNS - a.StartHour)
+	if h < 0 {
+		h = 0
+	}
+	if h >= a.Hours {
+		h = a.Hours - 1
+	}
+	return h
+}
+
+// Add consumes one record. Records must arrive in per-client time order
+// (both measure modes guarantee per-client ordering) for streak tracking.
+func (a *Analysis) Add(r *measure.Record) {
+	h := a.hourIndex(r.At)
+	ci, si := int(r.ClientIdx), int(r.SiteIdx)
+	failed := r.Failed()
+
+	a.TotalTxns++
+	a.catTxns[r.Category]++
+	conns := int64(r.Conns)
+	failConns := int64(r.FailedConns())
+	a.catConns[r.Category] += conns
+	a.catFailCo[r.Category] += failConns
+
+	ch := &a.clientHours[ci*a.Hours+h]
+	sh := &a.serverHours[si*a.Hours+h]
+	for _, eh := range [2]*entityHour{ch, sh} {
+		eh.Txns++
+		eh.Conns += int32(conns)
+		eh.FailConns += int32(failConns)
+		if failed {
+			eh.FailTxns++
+		}
+	}
+	// Streaks are a per-client notion (consecutive accesses by the
+	// client failing, Figure 5).
+	if failed {
+		ch.streakCur++
+		if ch.streakCur > ch.StreakMax {
+			ch.StreakMax = ch.streakCur
+		}
+	} else {
+		ch.streakCur = 0
+	}
+
+	a.pairTxns[ci*a.nSites+si]++
+	a.siteConns[si] += conns
+	if ri, ok := a.replicaIdx[r.ReplicaIP]; ok {
+		rh := &a.replicaHours[ri*a.Hours+h]
+		rh.Txns++
+		rh.Conns += int32(conns)
+		rh.FailConns += int32(failConns)
+		if failed {
+			rh.FailTxns++
+		}
+		a.replicaConns[ri] += conns
+	}
+
+	a.clientPkts[ci] += int64(r.DataPkts)
+	a.clientRetrans[ci] += int64(r.Retransmits)
+
+	if !failed {
+		return
+	}
+	a.TotalFails++
+	a.catFails[r.Category]++
+	a.pairFails[ci*a.nSites+si]++
+
+	sc := a.stageCounts[r.Category]
+	if sc == nil {
+		sc = make(map[httpsim.Stage]int64)
+		a.stageCounts[r.Category] = sc
+	}
+	sc[r.Stage]++
+
+	switch r.Stage {
+	case httpsim.StageDNS:
+		dc := a.dnsClassByCat[r.Category]
+		if dc == nil {
+			dc = make(map[measure.DNSOutcome]int64)
+			a.dnsClassByCat[r.Category] = dc
+		}
+		dc[r.DNS]++
+		ds := a.dnsClassBySite[si]
+		if ds == nil {
+			ds = make(map[measure.DNSOutcome]int64)
+			a.dnsClassBySite[si] = ds
+		}
+		ds[r.DNS]++
+	case httpsim.StageTCP:
+		tk := a.tcpKindByCat[r.Category]
+		if tk == nil {
+			tk = make(map[httpsim.ConnFailKind]int64)
+			a.tcpKindByCat[r.Category] = tk
+		}
+		tk[r.FailKind]++
+	}
+
+	a.Failures = append(a.Failures, FailureRec{
+		Client:  r.ClientIdx,
+		Site:    r.SiteIdx,
+		Hour:    int32(h),
+		Stage:   r.Stage,
+		DNS:     r.DNS,
+		Kind:    r.FailKind,
+		Replica: r.ReplicaIP,
+		Conns:   r.Conns,
+	})
+}
+
+// ClientHour returns the accumulated cell.
+func (a *Analysis) ClientHour(client, hour int) entityHour {
+	return a.clientHours[client*a.Hours+hour]
+}
+
+// ServerHour returns the accumulated cell.
+func (a *Analysis) ServerHour(site, hour int) entityHour {
+	return a.serverHours[site*a.Hours+hour]
+}
+
+// PairStats returns the month-long totals for a client-server pair.
+func (a *Analysis) PairStats(client, site int) (txns, fails int32) {
+	return a.pairTxns[client*a.nSites+site], a.pairFails[client*a.nSites+site]
+}
+
+// String summarizes the accumulated run.
+func (a *Analysis) String() string {
+	return fmt.Sprintf("analysis: %d txns, %d failures (%.2f%%) over %d hours",
+		a.TotalTxns, a.TotalFails, 100*float64(a.TotalFails)/float64(maxI64(a.TotalTxns, 1)), a.Hours)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

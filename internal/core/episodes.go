@@ -1,0 +1,451 @@
+package core
+
+import (
+	"sort"
+
+	"webfail/internal/httpsim"
+	"webfail/internal/stats"
+)
+
+// MinEpisodeSamples is the minimum transactions an entity needs in an
+// hour for its failure rate there to be meaningful. The paper sized its
+// access rate to guarantee "a few hundred accesses per client and per
+// server in each episode"; dialup virtual clients see far fewer, so a
+// floor keeps tiny-sample rates from dominating.
+const MinEpisodeSamples = 8
+
+// EpisodeRateCDFs returns the distribution of per-entity per-hour failure
+// rates, separately for clients and servers — Figure 4, whose knee picks
+// the threshold f.
+func (a *Analysis) EpisodeRateCDFs() (clients, servers *stats.CDF) {
+	var cs, ss []float64
+	for c := 0; c < a.nClients; c++ {
+		for h := 0; h < a.Hours; h++ {
+			cell := a.clientHours[c*a.Hours+h]
+			if cell.Txns >= MinEpisodeSamples {
+				cs = append(cs, float64(cell.FailTxns)/float64(cell.Txns))
+			}
+		}
+	}
+	for s := 0; s < a.nSites; s++ {
+		for h := 0; h < a.Hours; h++ {
+			cell := a.serverHours[s*a.Hours+h]
+			if cell.Txns >= MinEpisodeSamples {
+				ss = append(ss, float64(cell.FailTxns)/float64(cell.Txns))
+			}
+		}
+	}
+	return stats.NewCDF(cs), stats.NewCDF(ss)
+}
+
+// Knee locates the knee of both Figure 4 CDFs and returns the suggested
+// episode threshold f (the larger of the two knees, so both entity kinds
+// are in their abnormal range beyond it).
+func (a *Analysis) Knee() (f float64, err error) {
+	cCDF, sCDF := a.EpisodeRateCDFs()
+	ck, err := kneeOf(cCDF)
+	if err != nil {
+		return 0, err
+	}
+	sk, err := kneeOf(sCDF)
+	if err != nil {
+		return 0, err
+	}
+	if sk > ck {
+		return sk, nil
+	}
+	return ck, nil
+}
+
+func kneeOf(c *stats.CDF) (float64, error) {
+	xs, _ := c.Points(c.Len())
+	return stats.Knee(xs)
+}
+
+// PermanentPair is a client-server pair with near-permanent failure
+// (Section 4.4.2: failure rate over 90% through the month).
+type PermanentPair struct {
+	Client, Site int
+	Txns, Fails  int32
+	Rate         float64
+}
+
+// PermanentPairs detects pairs whose month-long transaction failure rate
+// exceeds threshold (the paper uses 0.9) with a minimum sample size.
+func (a *Analysis) PermanentPairs(threshold float64) []PermanentPair {
+	var out []PermanentPair
+	for c := 0; c < a.nClients; c++ {
+		for s := 0; s < a.nSites; s++ {
+			txns := a.pairTxns[c*a.nSites+s]
+			fails := a.pairFails[c*a.nSites+s]
+			if txns < 20 {
+				continue
+			}
+			rate := float64(fails) / float64(txns)
+			if rate > threshold {
+				out = append(out, PermanentPair{Client: c, Site: s, Txns: txns, Fails: fails, Rate: rate})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rate > out[j].Rate })
+	return out
+}
+
+// PermanentPairShare reports the fraction of all failed *connections* and
+// failed transactions carried by the given pairs (the paper: 50.7% of
+// connection failures but only 13% of transaction failures).
+func (a *Analysis) PermanentPairShare(pairs []PermanentPair) (connShare, txnShare float64) {
+	excl := make(map[[2]int32]bool, len(pairs))
+	for _, p := range pairs {
+		excl[[2]int32{int32(p.Client), int32(p.Site)}] = true
+	}
+	var exclConns, totalConns, exclTxns int64
+	for _, f := range a.Failures {
+		fc := int64(f.Conns)
+		if f.Stage != httpsim.StageTCP {
+			fc = 0 // only TCP failures have failed connections here
+		}
+		totalConns += fc
+		if excl[[2]int32{f.Client, f.Site}] {
+			exclConns += fc
+			exclTxns++
+		}
+	}
+	if totalConns > 0 {
+		connShare = float64(exclConns) / float64(totalConns)
+	}
+	if a.TotalFails > 0 {
+		txnShare = float64(exclTxns) / float64(a.TotalFails)
+	}
+	return connShare, txnShare
+}
+
+// Blame is the attribution category of Table 5.
+type Blame uint8
+
+// Blame categories (Section 4.4.4).
+const (
+	BlameOther Blame = iota
+	BlameServer
+	BlameClient
+	BlameBoth
+)
+
+func (b Blame) String() string {
+	switch b {
+	case BlameServer:
+		return "server-side"
+	case BlameClient:
+		return "client-side"
+	case BlameBoth:
+		return "both"
+	default:
+		return "other"
+	}
+}
+
+// Attribution is the result of the blame-attribution pass.
+type Attribution struct {
+	F float64
+	// Counts per blame category, over TCP connection failures (the
+	// paper's Section 4.4 applies the procedure to TCP failures, with
+	// permanent pairs excluded).
+	Counts map[Blame]int64
+	Total  int64
+
+	// Per-failure blame, aligned with the subset of a.Failures that
+	// was classified (TCP failures outside excluded pairs). Used by
+	// the spread and proxy analyses.
+	Tags []TaggedFailure
+
+	// Episode grids for reuse: clientEpisodes[c] and
+	// serverEpisodes[s] hold the hour indices flagged abnormal.
+	ClientEpisodeHours []map[int64]bool
+	ServerEpisodeHours []map[int64]bool
+}
+
+// TaggedFailure pairs a failure with its attribution.
+type TaggedFailure struct {
+	FailureRec
+	Blame Blame
+}
+
+// Share returns a blame category's fraction of classified failures.
+func (at *Attribution) Share(b Blame) float64 {
+	if at.Total == 0 {
+		return 0
+	}
+	return float64(at.Counts[b]) / float64(at.Total)
+}
+
+// Attribute runs the blame-attribution procedure of Section 4.4.1/4.4.4
+// at threshold f: a failed access is ascribed to the server when the
+// server's aggregate failure rate in that hour is abnormally high (>= f),
+// to the client when the client's is, to both when both are, and to
+// "other" when neither. Pairs in exclude (the permanent pairs of
+// Section 4.4.2) are left out entirely.
+func (a *Analysis) Attribute(f float64, exclude []PermanentPair) *Attribution {
+	excl := make(map[[2]int32]bool, len(exclude))
+	for _, p := range exclude {
+		excl[[2]int32{int32(p.Client), int32(p.Site)}] = true
+	}
+
+	at := &Attribution{
+		F:                  f,
+		Counts:             make(map[Blame]int64),
+		ClientEpisodeHours: make([]map[int64]bool, a.nClients),
+		ServerEpisodeHours: make([]map[int64]bool, a.nSites),
+	}
+
+	// Identify failure episodes per entity-hour. Excluded pairs'
+	// traffic is removed from the rates so a permanently-blocked pair
+	// does not manufacture fake episodes for its endpoints.
+	exclCell := a.excludedCells(excl)
+	clientFlag := make([]bool, a.nClients*a.Hours)
+	serverFlag := make([]bool, a.nSites*a.Hours)
+	for c := 0; c < a.nClients; c++ {
+		for h := 0; h < a.Hours; h++ {
+			cell := a.clientHours[c*a.Hours+h]
+			adj := exclCell.client[c*a.Hours+h]
+			txns := cell.Txns - adj.Txns
+			fails := cell.FailTxns - adj.FailTxns
+			if txns >= MinEpisodeSamples && float64(fails)/float64(txns) >= f {
+				clientFlag[c*a.Hours+h] = true
+				if at.ClientEpisodeHours[c] == nil {
+					at.ClientEpisodeHours[c] = make(map[int64]bool)
+				}
+				at.ClientEpisodeHours[c][int64(h)] = true
+			}
+		}
+	}
+	for s := 0; s < a.nSites; s++ {
+		for h := 0; h < a.Hours; h++ {
+			cell := a.serverHours[s*a.Hours+h]
+			adj := exclCell.server[s*a.Hours+h]
+			txns := cell.Txns - adj.Txns
+			fails := cell.FailTxns - adj.FailTxns
+			if txns >= MinEpisodeSamples && float64(fails)/float64(txns) >= f {
+				serverFlag[s*a.Hours+h] = true
+				if at.ServerEpisodeHours[s] == nil {
+					at.ServerEpisodeHours[s] = make(map[int64]bool)
+				}
+				at.ServerEpisodeHours[s][int64(h)] = true
+			}
+		}
+	}
+
+	// Classify each TCP connection failure.
+	for _, fr := range a.Failures {
+		if fr.Stage != httpsim.StageTCP {
+			continue
+		}
+		if excl[[2]int32{fr.Client, fr.Site}] {
+			continue
+		}
+		cFlag := clientFlag[int(fr.Client)*a.Hours+int(fr.Hour)]
+		sFlag := serverFlag[int(fr.Site)*a.Hours+int(fr.Hour)]
+		var b Blame
+		switch {
+		case cFlag && sFlag:
+			b = BlameBoth
+		case sFlag:
+			b = BlameServer
+		case cFlag:
+			b = BlameClient
+		default:
+			b = BlameOther
+		}
+		at.Counts[b]++
+		at.Total++
+		at.Tags = append(at.Tags, TaggedFailure{FailureRec: fr, Blame: b})
+	}
+	return at
+}
+
+// excludedCells accumulates the per-entity-hour traffic belonging to
+// excluded pairs, for subtraction. The failure list holds only failures;
+// totals come from pair counts spread across hours — we approximate by
+// removing the pair's failures (which is what distorts rates) and the
+// same number of transactions.
+type exclGrid struct {
+	client []entityHour
+	server []entityHour
+}
+
+func (a *Analysis) excludedCells(excl map[[2]int32]bool) exclGrid {
+	g := exclGrid{
+		client: make([]entityHour, a.nClients*a.Hours),
+		server: make([]entityHour, a.nSites*a.Hours),
+	}
+	if len(excl) == 0 {
+		return g
+	}
+	for _, fr := range a.Failures {
+		if !excl[[2]int32{fr.Client, fr.Site}] {
+			continue
+		}
+		ch := &g.client[int(fr.Client)*a.Hours+int(fr.Hour)]
+		sh := &g.server[int(fr.Site)*a.Hours+int(fr.Hour)]
+		ch.Txns++
+		ch.FailTxns++
+		sh.Txns++
+		sh.FailTxns++
+	}
+	return g
+}
+
+// ServerEpisodeStat is one row of Table 6.
+type ServerEpisodeStat struct {
+	Site string
+	// EpisodeHours is the number of 1-hour server-side failure
+	// episodes.
+	EpisodeHours int
+	// Coalesced is the count after merging consecutive hours
+	// (Section 4.4.5).
+	Coalesced int
+	// LongestRun is the longest consecutive episode stretch in hours
+	// (sina: 448 h in the paper).
+	LongestRun int
+	// Spread is the fraction of all clients needed to account for the
+	// failures ascribed to this server's episodes (Section 4.4.6 #1).
+	Spread float64
+}
+
+// ServerEpisodeStats produces Table 6 from an attribution, sorted by
+// episode count descending.
+func (a *Analysis) ServerEpisodeStats(at *Attribution) []ServerEpisodeStat {
+	// Clients affected by failures ascribed to each server.
+	affected := make([]map[int32]bool, a.nSites)
+	for _, tf := range at.Tags {
+		if tf.Blame != BlameServer && tf.Blame != BlameBoth {
+			continue
+		}
+		if affected[tf.Site] == nil {
+			affected[tf.Site] = make(map[int32]bool)
+		}
+		affected[tf.Site][tf.Client] = true
+	}
+
+	var out []ServerEpisodeStat
+	for s := 0; s < a.nSites; s++ {
+		hours := at.ServerEpisodeHours[s]
+		if len(hours) == 0 {
+			continue
+		}
+		sorted := make([]int, 0, len(hours))
+		for h := range hours {
+			sorted = append(sorted, int(h))
+		}
+		sort.Ints(sorted)
+		coalesced, longest := coalesceRuns(sorted)
+		st := ServerEpisodeStat{
+			Site:         a.Topo.Websites[s].Host,
+			EpisodeHours: len(sorted),
+			Coalesced:    coalesced,
+			LongestRun:   longest,
+		}
+		if aff := affected[s]; len(aff) > 0 {
+			st.Spread = float64(len(aff)) / float64(a.nClients)
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].EpisodeHours != out[j].EpisodeHours {
+			return out[i].EpisodeHours > out[j].EpisodeHours
+		}
+		return out[i].Site < out[j].Site
+	})
+	return out
+}
+
+// coalesceRuns merges consecutive hour indices, returning the run count
+// and the longest run length.
+func coalesceRuns(sorted []int) (runs, longest int) {
+	if len(sorted) == 0 {
+		return 0, 0
+	}
+	runs = 1
+	cur := 1
+	longest = 1
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1]+1 {
+			cur++
+		} else {
+			runs++
+			cur = 1
+		}
+		if cur > longest {
+			longest = cur
+		}
+	}
+	return runs, longest
+}
+
+// ServersWithEpisodes counts websites with at least one / more than one
+// server-side failure episode (the paper: 56 of 80 with >= 1, 39 with
+// multiple).
+func (a *Analysis) ServersWithEpisodes(at *Attribution) (atLeastOne, multiple int) {
+	for s := 0; s < a.nSites; s++ {
+		n := len(at.ServerEpisodeHours[s])
+		if n >= 1 {
+			atLeastOne++
+		}
+		if n > 1 {
+			multiple++
+		}
+	}
+	return atLeastOne, multiple
+}
+
+// PairSpecificResult summarizes client-server-specific failure episodes
+// (Section 2.2, category 3): (client, server, hour) cells with an
+// abnormally high failure rate while NEITHER endpoint is having a failure
+// episode — e.g. a broken path segment unique to the pair. Table 5 folds
+// these into "other"; this analysis pulls them back out.
+type PairSpecificResult struct {
+	// Episodes is the number of distinct (client, server, hour) cells
+	// flagged.
+	Episodes int
+	// Failures is the number of classified failures inside those cells.
+	Failures int64
+	// ShareOfOther is Failures over all "other"-blamed failures.
+	ShareOfOther float64
+}
+
+// ClientServerSpecific detects pair-specific episodes among an
+// attribution's "other" failures. Per-pair-hour access totals are not
+// retained (134x80x744 cells); the expected per-hour accesses of a pair
+// equal the client's round rate (each round visits every site once), so
+// the rate test uses that expectation.
+func (a *Analysis) ClientServerSpecific(at *Attribution) PairSpecificResult {
+	type cell struct {
+		c, s int32
+		h    int32
+	}
+	counts := make(map[cell]int64)
+	var otherTotal int64
+	for _, tf := range at.Tags {
+		if tf.Blame != BlameOther {
+			continue
+		}
+		otherTotal++
+		counts[cell{tf.Client, tf.Site, tf.Hour}]++
+	}
+	var res PairSpecificResult
+	for k, n := range counts {
+		expected := a.Topo.Clients[k.c].RoundsPerHour * float64(a.binNS) / float64(3600_000_000_000)
+		if expected <= 0 {
+			continue
+		}
+		// Abnormal for the pair: at least 2 failures and a rate at or
+		// above the attribution threshold.
+		if n >= 2 && float64(n)/expected >= at.F {
+			res.Episodes++
+			res.Failures += n
+		}
+	}
+	if otherTotal > 0 {
+		res.ShareOfOther = float64(res.Failures) / float64(otherTotal)
+	}
+	return res
+}

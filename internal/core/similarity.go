@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"webfail/internal/stats"
+	"webfail/internal/workload"
+)
+
+// PairSimilarity is one pair's similarity measure (Section 4.4.6 #2): the
+// ratio of shared client-side failure episodes to the union of both
+// clients' episodes.
+type PairSimilarity struct {
+	A, B       string
+	UnionSize  int
+	Similarity float64
+}
+
+// SimilarityTable is the Table 7 histogram: pair counts per similarity
+// band for co-located and random pairings.
+type SimilarityTable struct {
+	Pairs int
+	// Band counts: >75%, 50–75%, 25–50%, (0,25%), exactly 0.
+	Over75, Band50to75, Band25to50, Under25, Zero int
+}
+
+func bandCount(t *SimilarityTable, sim float64) {
+	switch {
+	case sim > 0.75:
+		t.Over75++
+	case sim >= 0.50:
+		t.Band50to75++
+	case sim >= 0.25:
+		t.Band25to50++
+	case sim > 0:
+		t.Under25++
+	default:
+		t.Zero++
+	}
+}
+
+// CoLocatedSimilarity computes per-pair similarity of client-side failure
+// episodes for the topology's co-located pairs (Table 8's detail rows)
+// using an attribution's episode sets.
+func (a *Analysis) CoLocatedSimilarity(at *Attribution) []PairSimilarity {
+	nameIdx := make(map[string]int, a.nClients)
+	for i := range a.Topo.Clients {
+		nameIdx[a.Topo.Clients[i].Name] = i
+	}
+	pairs := a.Topo.CoLocatedPairs()
+	out := make([]PairSimilarity, 0, len(pairs))
+	for _, p := range pairs {
+		ia, ok1 := nameIdx[p[0]]
+		ib, ok2 := nameIdx[p[1]]
+		if !ok1 || !ok2 {
+			continue
+		}
+		ea, eb := at.ClientEpisodeHours[ia], at.ClientEpisodeHours[ib]
+		union := len(ea) + len(eb)
+		inter := 0
+		for h := range ea {
+			if eb[h] {
+				inter++
+				union--
+			}
+		}
+		ps := PairSimilarity{A: p[0], B: p[1], UnionSize: union}
+		ps.Similarity = stats.Jaccard(ea, eb)
+		out = append(out, ps)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UnionSize > out[j].UnionSize })
+	return out
+}
+
+// RandomPairSimilarity computes the control: the same measure over
+// randomly paired clients (same count as the co-located set, CN excluded
+// to match), seeded for reproducibility.
+func (a *Analysis) RandomPairSimilarity(at *Attribution, seed int64, n int) []PairSimilarity {
+	rng := rand.New(rand.NewSource(seed))
+	var eligible []int
+	for i := range a.Topo.Clients {
+		if a.Topo.Clients[i].Category != workload.CN {
+			eligible = append(eligible, i)
+		}
+	}
+	out := make([]PairSimilarity, 0, n)
+	for len(out) < n && len(eligible) >= 2 {
+		i := eligible[rng.Intn(len(eligible))]
+		j := eligible[rng.Intn(len(eligible))]
+		if i == j || a.Topo.Clients[i].Site == a.Topo.Clients[j].Site {
+			continue
+		}
+		ea, eb := at.ClientEpisodeHours[i], at.ClientEpisodeHours[j]
+		out = append(out, PairSimilarity{
+			A: a.Topo.Clients[i].Name, B: a.Topo.Clients[j].Name,
+			UnionSize:  unionSize(ea, eb),
+			Similarity: stats.Jaccard(ea, eb),
+		})
+	}
+	return out
+}
+
+func unionSize(a, b map[int64]bool) int {
+	n := len(a)
+	for h := range b {
+		if !a[h] {
+			n++
+		}
+	}
+	return n
+}
+
+// Tabulate reduces pair similarities to the Table 7 histogram.
+func Tabulate(pairs []PairSimilarity) SimilarityTable {
+	t := SimilarityTable{Pairs: len(pairs)}
+	for _, p := range pairs {
+		bandCount(&t, p.Similarity)
+	}
+	return t
+}

@@ -1,0 +1,264 @@
+package dnssim
+
+import (
+	"net/netip"
+	"time"
+
+	"webfail/internal/dnswire"
+	"webfail/internal/simnet"
+)
+
+// Timing defaults for the recursive resolver. Per-upstream-query timeout is
+// short and retried across the candidate name servers; the overall
+// recursion budget is generous, so when authoritative servers are
+// unreachable the *client* gives up before the LDNS does — producing the
+// paper's "non-LDNS timeout" signature (responsive LDNS, lookup times out).
+const (
+	defaultUpstreamTimeout = 2 * time.Second
+	defaultRecursionBudget = 30 * time.Second
+	maxReferrals           = 16
+	maxCNAMEChain          = 8
+)
+
+// ProbeName is the root-server name used to test LDNS responsiveness
+// without triggering recursion.
+const ProbeName = "a.root-servers.net"
+
+// cacheEntry is a cached positive answer.
+type cacheEntry struct {
+	addrs   []netip.Addr
+	expires simnet.Time
+}
+
+// LDNS is a caching recursive resolver bound to port 53 of its host.
+// Its availability is controlled by Status; when down, it drops queries
+// (the client observes an "LDNS timeout", the dominant DNS failure class
+// in the paper at 74–83%).
+type LDNS struct {
+	Host   *simnet.Host
+	Status StatusFunc
+
+	// RootHints are the root server addresses recursion starts from.
+	RootHints []netip.Addr
+
+	// UpstreamTimeout and RecursionBudget override the defaults when
+	// non-zero.
+	UpstreamTimeout time.Duration
+	RecursionBudget time.Duration
+
+	exch  *exchanger
+	cache map[string]cacheEntry
+
+	// Stats observable by tests and the harness.
+	Hits, Misses, Recursions uint64
+}
+
+// NewLDNS binds a recursive resolver to the host.
+func NewLDNS(host *simnet.Host, rootHints []netip.Addr) *LDNS {
+	l := &LDNS{
+		Host:      host,
+		RootHints: rootHints,
+		exch:      newExchanger(host),
+		cache:     make(map[string]cacheEntry),
+	}
+	if err := host.Bind(simnet.UDP, Port, l.handle); err != nil {
+		panic("dnssim: ldns bind: " + err.Error())
+	}
+	return l
+}
+
+// FlushCache drops all cached entries, as the measurement procedure does
+// before every download (Section 3.4 step 1).
+func (l *LDNS) FlushCache() { clear(l.cache) }
+
+func (l *LDNS) status() Status {
+	if l.Status == nil {
+		return StatusUp
+	}
+	return l.Status(l.Host.Now())
+}
+
+func (l *LDNS) upstreamTimeout() time.Duration {
+	if l.UpstreamTimeout > 0 {
+		return l.UpstreamTimeout
+	}
+	return defaultUpstreamTimeout
+}
+
+func (l *LDNS) recursionBudget() time.Duration {
+	if l.RecursionBudget > 0 {
+		return l.RecursionBudget
+	}
+	return defaultRecursionBudget
+}
+
+// handle serves a client query.
+func (l *LDNS) handle(pkt *simnet.Packet) {
+	q, srcPort, ok := decodeQuery(pkt)
+	if !ok {
+		return
+	}
+	if l.status() == StatusDown {
+		return // unreachable LDNS: client times out
+	}
+	name := q.Questions[0].Name
+	src := pkt.Src
+
+	if name == ProbeName {
+		// Responsiveness probe: answered from the root hints without
+		// recursion, mirroring the root-server A-record availability
+		// check of Pang et al. (reference [22] in the paper).
+		resp := dnswire.NewResponse(q, dnswire.RCodeNoError, false)
+		for _, a := range l.RootHints {
+			resp.Answers = append(resp.Answers, dnswire.RR{Name: name, Type: dnswire.TypeA, TTL: 3600, A: a})
+		}
+		replyUDP(l.Host, src, srcPort, resp)
+		return
+	}
+
+	if e, ok := l.cache[name]; ok && e.expires > l.Host.Now() {
+		l.Hits++
+		resp := dnswire.NewResponse(q, dnswire.RCodeNoError, false)
+		for _, a := range e.addrs {
+			resp.Answers = append(resp.Answers, dnswire.RR{Name: name, Type: dnswire.TypeA, TTL: 30, A: a})
+		}
+		replyUDP(l.Host, src, srcPort, resp)
+		return
+	}
+	l.Misses++
+	l.Recursions++
+
+	deadline := l.Host.Now().Add(l.recursionBudget())
+	l.recurseWithRetry(name, deadline, func(addrs []netip.Addr, rcode dnswire.RCode, ok bool) {
+		if l.status() == StatusDown {
+			return
+		}
+		if !ok {
+			// Recursion exhausted its budget; answer SERVFAIL so a
+			// *patient* client eventually sees an error. In
+			// practice the stub's shorter timeout fires first,
+			// which is what makes an unreachable authoritative
+			// server look like a "non-LDNS timeout" at the client.
+			replyUDP(l.Host, src, srcPort, dnswire.NewResponse(q, dnswire.RCodeServFail, false))
+			return
+		}
+		if rcode != dnswire.RCodeNoError {
+			replyUDP(l.Host, src, srcPort, dnswire.NewResponse(q, rcode, false))
+			return
+		}
+		l.cache[name] = cacheEntry{addrs: addrs, expires: l.Host.Now().Add(60 * time.Second)}
+		resp := dnswire.NewResponse(q, dnswire.RCodeNoError, false)
+		for _, a := range addrs {
+			resp.Answers = append(resp.Answers, dnswire.RR{Name: name, Type: dnswire.TypeA, TTL: 30, A: a})
+		}
+		replyUDP(l.Host, src, srcPort, resp)
+	})
+}
+
+// recurseWithRetry drives full recursion attempts until one terminates
+// definitively (answer or error rcode) or the budget deadline passes. A
+// real resolver similarly re-walks the hierarchy while its client is still
+// waiting rather than failing on the first unresponsive server set.
+func (l *LDNS) recurseWithRetry(name string, deadline simnet.Time, done func([]netip.Addr, dnswire.RCode, bool)) {
+	l.recurse(name, name, l.RootHints, 0, 0, deadline, func(addrs []netip.Addr, rcode dnswire.RCode, ok bool) {
+		if ok {
+			done(addrs, rcode, true)
+			return
+		}
+		const retryPause = time.Second
+		if l.Host.Now().Add(retryPause) >= deadline {
+			done(nil, 0, false)
+			return
+		}
+		l.Host.Network().Sched.After(retryPause, func() {
+			l.recurseWithRetry(name, deadline, done)
+		})
+	})
+}
+
+// recurse iteratively resolves name starting from the servers list,
+// following referrals and CNAMEs. done is called exactly once with either
+// (addrs, NOERROR, true), (nil, errorRCode, true), or (nil, 0, false) when
+// the budget or referral depth is exhausted.
+func (l *LDNS) recurse(origName, name string, servers []netip.Addr, depth, cnames int, deadline simnet.Time, done func([]netip.Addr, dnswire.RCode, bool)) {
+	if depth > maxReferrals || cnames > maxCNAMEChain || len(servers) == 0 {
+		done(nil, 0, false)
+		return
+	}
+	l.tryServers(name, servers, 0, deadline, func(resp *dnswire.Message) {
+		if resp == nil {
+			done(nil, 0, false)
+			return
+		}
+		if resp.Header.RCode != dnswire.RCodeNoError {
+			done(nil, resp.Header.RCode, true)
+			return
+		}
+		var addrs []netip.Addr
+		var cname string
+		for _, rr := range resp.Answers {
+			switch rr.Type {
+			case dnswire.TypeA:
+				addrs = append(addrs, rr.A)
+			case dnswire.TypeCNAME:
+				cname = rr.Target
+			}
+		}
+		if len(addrs) > 0 {
+			done(addrs, dnswire.RCodeNoError, true)
+			return
+		}
+		if cname != "" {
+			// Restart resolution for the CNAME target from the
+			// roots.
+			l.recurse(origName, cname, l.RootHints, depth+1, cnames+1, deadline, done)
+			return
+		}
+		// Referral: gather glue addresses.
+		var next []netip.Addr
+		glue := make(map[string]netip.Addr)
+		for _, rr := range resp.Additional {
+			if rr.Type == dnswire.TypeA {
+				glue[rr.Name] = rr.A
+			}
+		}
+		for _, rr := range resp.Authority {
+			if rr.Type == dnswire.TypeNS {
+				if a, ok := glue[rr.Target]; ok {
+					next = append(next, a)
+				}
+			}
+		}
+		if len(next) == 0 {
+			// Lame referral (no usable glue): treat as failure.
+			done(nil, 0, false)
+			return
+		}
+		l.recurse(origName, name, next, depth+1, cnames, deadline, done)
+	})
+}
+
+// tryServers queries servers[i:] in order until one responds or all time
+// out or the deadline passes.
+func (l *LDNS) tryServers(name string, servers []netip.Addr, i int, deadline simnet.Time, done func(*dnswire.Message)) {
+	if i >= len(servers) || l.Host.Now() >= deadline {
+		done(nil)
+		return
+	}
+	timeout := l.upstreamTimeout()
+	if remaining := deadline.Sub(l.Host.Now()); remaining < timeout {
+		timeout = remaining
+	}
+	if timeout <= 0 {
+		done(nil)
+		return
+	}
+	q := dnswire.NewQuery(0, name, dnswire.TypeA, false)
+	l.exch.query(servers[i], q, timeout, func(resp *dnswire.Message) {
+		if resp != nil {
+			done(resp)
+			return
+		}
+		l.tryServers(name, servers, i+1, deadline, done)
+	})
+}

@@ -1,0 +1,309 @@
+package dnssim
+
+import (
+	"net/netip"
+	"time"
+
+	"webfail/internal/dnswire"
+	"webfail/internal/simnet"
+)
+
+// ResultKind classifies the outcome of a stub lookup.
+type ResultKind uint8
+
+// Stub lookup outcomes.
+const (
+	// ResultOK means addresses were returned.
+	ResultOK ResultKind = iota
+	// ResultTimeout means no response arrived within the retry schedule.
+	ResultTimeout
+	// ResultError means the resolver returned a non-zero RCODE
+	// (SERVFAIL, NXDOMAIN, ...).
+	ResultError
+)
+
+func (k ResultKind) String() string {
+	switch k {
+	case ResultOK:
+		return "ok"
+	case ResultTimeout:
+		return "timeout"
+	case ResultError:
+		return "error"
+	default:
+		return "unknown"
+	}
+}
+
+// Result is the outcome of a stub lookup.
+type Result struct {
+	Kind  ResultKind
+	Addrs []netip.Addr
+	RCode dnswire.RCode
+	// RTT is the elapsed simulated time of the whole lookup, including
+	// retries — the paper's "DNS lookup time".
+	RTT time.Duration
+}
+
+// DefaultRetrySchedule mirrors a typical 2005-era stub resolver
+// (res_send with three tries): per-attempt timeouts summing to ~11 s.
+var DefaultRetrySchedule = []time.Duration{3 * time.Second, 3 * time.Second, 5 * time.Second}
+
+// StubResolver is the client-side resolver talking to one LDNS.
+type StubResolver struct {
+	Host *simnet.Host
+	LDNS netip.Addr
+	// RetrySchedule lists per-attempt timeouts; nil means
+	// DefaultRetrySchedule.
+	RetrySchedule []time.Duration
+
+	exch *exchanger
+}
+
+// NewStubResolver creates a stub resolver on host pointing at the LDNS.
+func NewStubResolver(host *simnet.Host, ldns netip.Addr) *StubResolver {
+	return &StubResolver{Host: host, LDNS: ldns, exch: newExchanger(host)}
+}
+
+func (s *StubResolver) schedule() []time.Duration {
+	if len(s.RetrySchedule) > 0 {
+		return s.RetrySchedule
+	}
+	return DefaultRetrySchedule
+}
+
+// LookupA resolves name via the LDNS, retrying per the schedule, and calls
+// done exactly once.
+func (s *StubResolver) LookupA(name string, done func(Result)) {
+	start := s.Host.Now()
+	s.attempt(name, 0, start, done)
+}
+
+func (s *StubResolver) attempt(name string, try int, start simnet.Time, done func(Result)) {
+	sched := s.schedule()
+	if try >= len(sched) {
+		done(Result{Kind: ResultTimeout, RTT: s.Host.Now().Sub(start)})
+		return
+	}
+	q := dnswire.NewQuery(0, name, dnswire.TypeA, true)
+	s.exch.query(s.LDNS, q, sched[try], func(resp *dnswire.Message) {
+		if resp == nil {
+			s.attempt(name, try+1, start, done)
+			return
+		}
+		rtt := s.Host.Now().Sub(start)
+		if resp.Header.RCode != dnswire.RCodeNoError {
+			done(Result{Kind: ResultError, RCode: resp.Header.RCode, RTT: rtt})
+			return
+		}
+		var addrs []netip.Addr
+		for _, rr := range resp.Answers {
+			if rr.Type == dnswire.TypeA {
+				addrs = append(addrs, rr.A)
+			}
+		}
+		if len(addrs) == 0 {
+			// NOERROR with no A records: treat as an error
+			// response, as wget would.
+			done(Result{Kind: ResultError, RCode: dnswire.RCodeServFail, RTT: rtt})
+			return
+		}
+		done(Result{Kind: ResultOK, Addrs: addrs, RTT: rtt})
+	})
+}
+
+// FailureClass is the paper's DNS failure sub-classification (Section 2.1,
+// category 1).
+type FailureClass uint8
+
+// DNS failure sub-classes.
+const (
+	// ClassSuccess: the lookup succeeded.
+	ClassSuccess FailureClass = iota
+	// ClassLDNSTimeout: the LDNS itself is unreachable (down, or
+	// client-side connectivity loss).
+	ClassLDNSTimeout
+	// ClassNonLDNSTimeout: the LDNS responds, but the lookup times out
+	// because an authoritative server elsewhere is unreachable.
+	ClassNonLDNSTimeout
+	// ClassErrorResponse: a definitive error (NXDOMAIN, SERVFAIL) was
+	// returned.
+	ClassErrorResponse
+)
+
+func (c FailureClass) String() string {
+	switch c {
+	case ClassSuccess:
+		return "success"
+	case ClassLDNSTimeout:
+		return "ldns-timeout"
+	case ClassNonLDNSTimeout:
+		return "non-ldns-timeout"
+	case ClassErrorResponse:
+		return "error-response"
+	default:
+		return "unknown"
+	}
+}
+
+// DigStep records one hop of an iterative trace.
+type DigStep struct {
+	Server    netip.Addr
+	Responded bool
+	RCode     dnswire.RCode
+	Referral  bool
+	Answered  bool
+}
+
+// DigReport is the outcome of an iterative (dig +trace style) resolution,
+// used to sub-classify DNS failures the way the paper's post-processing
+// does (Section 3.4 step 3, Section 4.2).
+type DigReport struct {
+	Name string
+	// LDNSResponsive reports whether the LDNS answered a direct probe.
+	LDNSResponsive bool
+	Steps          []DigStep
+	Addrs          []netip.Addr
+	// Completed is true when the trace reached a terminal answer or
+	// error rather than timing out mid-hierarchy.
+	Completed bool
+	RCode     dnswire.RCode
+}
+
+// Classify reduces the report to the paper's failure classes. An
+// unresponsive LDNS dominates: even when the iterative walk from the roots
+// succeeds, the client's own lookups were broken by the LDNS being
+// unreachable, which is precisely the paper's "LDNS timeout" class.
+func (r *DigReport) Classify() FailureClass {
+	if !r.LDNSResponsive {
+		return ClassLDNSTimeout
+	}
+	if r.Completed && r.RCode != dnswire.RCodeNoError {
+		return ClassErrorResponse
+	}
+	if r.Completed && len(r.Addrs) > 0 {
+		return ClassSuccess
+	}
+	return ClassNonLDNSTimeout
+}
+
+// Dig performs iterative resolution for diagnosis: first a direct LDNS
+// probe, then a walk down from the root servers.
+type Dig struct {
+	Host      *simnet.Host
+	LDNS      netip.Addr
+	RootHints []netip.Addr
+	// Timeout is the per-query timeout (default 3 s).
+	Timeout time.Duration
+
+	exch *exchanger
+}
+
+// NewDig creates an iterative tracer.
+func NewDig(host *simnet.Host, ldns netip.Addr, rootHints []netip.Addr) *Dig {
+	return &Dig{Host: host, LDNS: ldns, RootHints: rootHints, exch: newExchanger(host)}
+}
+
+func (d *Dig) timeout() time.Duration {
+	if d.Timeout > 0 {
+		return d.Timeout
+	}
+	return 3 * time.Second
+}
+
+// Trace resolves name iteratively and calls done exactly once with the
+// report.
+func (d *Dig) Trace(name string, done func(*DigReport)) {
+	name = dnswire.Canonical(name)
+	rep := &DigReport{Name: name}
+	// Step 1: probe the LDNS with a root-server A query it can answer
+	// from hints without recursing. Any response proves responsiveness;
+	// this avoids conflating a slow recursion for the (possibly broken)
+	// target name with LDNS unreachability.
+	q := dnswire.NewQuery(0, ProbeName, dnswire.TypeA, true)
+	d.exch.query(d.LDNS, q, d.timeout(), func(resp *dnswire.Message) {
+		rep.LDNSResponsive = resp != nil
+		// Step 2: walk the hierarchy from the roots.
+		d.walk(rep, name, d.RootHints, 0, 0, func() { done(rep) })
+	})
+}
+
+// walk queries the given servers for name, following referrals and CNAMEs.
+func (d *Dig) walk(rep *DigReport, name string, servers []netip.Addr, depth, cnames int, done func()) {
+	if depth > maxReferrals || cnames > maxCNAMEChain || len(servers) == 0 {
+		done()
+		return
+	}
+	d.trySrv(rep, name, servers, 0, func(resp *dnswire.Message) {
+		if resp == nil {
+			done()
+			return
+		}
+		if resp.Header.RCode != dnswire.RCodeNoError {
+			rep.Completed = true
+			rep.RCode = resp.Header.RCode
+			done()
+			return
+		}
+		var cname string
+		for _, rr := range resp.Answers {
+			switch rr.Type {
+			case dnswire.TypeA:
+				rep.Addrs = append(rep.Addrs, rr.A)
+			case dnswire.TypeCNAME:
+				cname = rr.Target
+			}
+		}
+		if len(rep.Addrs) > 0 {
+			rep.Completed = true
+			done()
+			return
+		}
+		if cname != "" {
+			d.walk(rep, cname, d.RootHints, depth+1, cnames+1, done)
+			return
+		}
+		glue := make(map[string]netip.Addr)
+		for _, rr := range resp.Additional {
+			if rr.Type == dnswire.TypeA {
+				glue[rr.Name] = rr.A
+			}
+		}
+		var next []netip.Addr
+		for _, rr := range resp.Authority {
+			if rr.Type == dnswire.TypeNS {
+				if a, ok := glue[rr.Target]; ok {
+					next = append(next, a)
+				}
+			}
+		}
+		if len(next) == 0 {
+			done()
+			return
+		}
+		d.walk(rep, name, next, depth+1, cnames, done)
+	})
+}
+
+func (d *Dig) trySrv(rep *DigReport, name string, servers []netip.Addr, i int, done func(*dnswire.Message)) {
+	if i >= len(servers) {
+		done(nil)
+		return
+	}
+	q := dnswire.NewQuery(0, name, dnswire.TypeA, false)
+	srv := servers[i]
+	d.exch.query(srv, q, d.timeout(), func(resp *dnswire.Message) {
+		step := DigStep{Server: srv, Responded: resp != nil}
+		if resp != nil {
+			step.RCode = resp.Header.RCode
+			step.Referral = len(resp.Authority) > 0 && len(resp.Answers) == 0
+			step.Answered = len(resp.Answers) > 0
+		}
+		rep.Steps = append(rep.Steps, step)
+		if resp != nil {
+			done(resp)
+			return
+		}
+		d.trySrv(rep, name, servers, i+1, done)
+	})
+}

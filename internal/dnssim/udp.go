@@ -1,0 +1,132 @@
+// Package dnssim implements the simulated DNS system: authoritative
+// servers arranged in a root → TLD → zone hierarchy, a caching recursive
+// local DNS server (LDNS), a client stub resolver, and a dig-style
+// iterative tracer — all exchanging real RFC 1035 messages over simulated
+// UDP.
+//
+// The failure behaviours of each component are driven by externally
+// supplied status functions, so the fault-injection layer can make an LDNS
+// unreachable (producing the paper's dominant "LDNS timeout" class), an
+// authoritative server unreachable ("non-LDNS timeout"), or misconfigured
+// (SERVFAIL/NXDOMAIN "error response"), and the measurement harness
+// observes exactly what a January-2005 wget + dig would have observed.
+package dnssim
+
+import (
+	"net/netip"
+	"time"
+
+	"webfail/internal/dnswire"
+	"webfail/internal/netwire"
+	"webfail/internal/simnet"
+)
+
+// Port is the DNS server port.
+const Port = 53
+
+// exchanger issues DNS queries over simulated UDP and matches responses to
+// outstanding queries by (port, message ID), with per-query timeouts. One
+// exchanger serves a whole host (LDNS or client); it owns the host's
+// ephemeral UDP port space.
+type exchanger struct {
+	host   *simnet.Host
+	nextID uint16
+}
+
+func newExchanger(host *simnet.Host) *exchanger {
+	return &exchanger{host: host}
+}
+
+// query sends msg to server and calls done exactly once: with the decoded
+// response, or with nil after the timeout. The ephemeral port is released
+// either way. Malformed or mismatched responses are ignored (they cannot
+// complete the query), exactly as a real resolver ignores spoofed noise.
+func (e *exchanger) query(server netip.Addr, q *dnswire.Message, timeout time.Duration, done func(*dnswire.Message)) {
+	e.nextID++
+	q.Header.ID = e.nextID
+	payload, err := dnswire.Encode(q)
+	if err != nil {
+		// Queries are built by this package; an encode failure is a
+		// bug, not a network condition.
+		panic("dnssim: bad query: " + err.Error())
+	}
+
+	port := e.host.EphemeralPort(simnet.UDP)
+	finished := false
+	var timer *simnet.Timer
+
+	finish := func(m *dnswire.Message) {
+		if finished {
+			return
+		}
+		finished = true
+		timer.Stop()
+		e.host.Unbind(simnet.UDP, port)
+		done(m)
+	}
+
+	wantID := q.Header.ID
+	if err := e.host.Bind(simnet.UDP, port, func(pkt *simnet.Packet) {
+		_, transport, err := netwire.DecodeIPv4(pkt.Bytes)
+		if err != nil {
+			return
+		}
+		_, body, err := netwire.DecodeUDP(transport, pkt.Src, pkt.Dst)
+		if err != nil {
+			return
+		}
+		m, err := dnswire.Decode(body)
+		if err != nil || !m.Header.Response || m.Header.ID != wantID {
+			return
+		}
+		if pkt.Src != server {
+			return
+		}
+		finish(m)
+	}); err != nil {
+		panic("dnssim: ephemeral bind: " + err.Error())
+	}
+
+	timer = e.host.Network().Sched.AfterTimer(timeout, func() { finish(nil) })
+	sendUDP(e.host, port, server, Port, payload)
+}
+
+// sendUDP wraps a DNS payload in UDP and IPv4 and transmits it.
+func sendUDP(host *simnet.Host, srcPort uint16, dst netip.Addr, dstPort uint16, payload []byte) {
+	dgram, err := netwire.EncodeUDP(nil, &netwire.UDPHeader{SrcPort: srcPort, DstPort: dstPort}, host.Addr, dst, payload)
+	if err != nil {
+		panic("dnssim: udp encode: " + err.Error())
+	}
+	b, err := netwire.EncodeIPv4(nil, &netwire.IPv4{Protocol: uint8(simnet.UDP), Src: host.Addr, Dst: dst}, dgram)
+	if err != nil {
+		panic("dnssim: ip encode: " + err.Error())
+	}
+	host.Send(&simnet.Packet{Src: host.Addr, Dst: dst, Proto: simnet.UDP, Bytes: b})
+}
+
+// replyUDP sends a DNS response back to the source of a received packet.
+func replyUDP(host *simnet.Host, to netip.Addr, toPort uint16, m *dnswire.Message) {
+	payload, err := dnswire.Encode(m)
+	if err != nil {
+		panic("dnssim: response encode: " + err.Error())
+	}
+	sendUDP(host, Port, to, toPort, payload)
+}
+
+// decodeQuery extracts a DNS query and the client's source port from a
+// received packet, returning ok=false for anything malformed.
+func decodeQuery(pkt *simnet.Packet) (q *dnswire.Message, srcPort uint16, ok bool) {
+	_, transport, err := netwire.DecodeIPv4(pkt.Bytes)
+	if err != nil {
+		return nil, 0, false
+	}
+	uh, body, err := netwire.DecodeUDP(transport, pkt.Src, pkt.Dst)
+	if err != nil {
+		return nil, 0, false
+	}
+	m, err := dnswire.Decode(body)
+	if err != nil || m.Header.Response || len(m.Questions) == 0 {
+		return nil, 0, false
+	}
+	return m, uh.SrcPort, true
+}

@@ -1,0 +1,260 @@
+package dnssim
+
+import (
+	"net/netip"
+	"sort"
+	"strings"
+	"time"
+
+	"webfail/internal/dnswire"
+	"webfail/internal/simnet"
+)
+
+// Status models the health of a DNS server at an instant.
+type Status uint8
+
+// Server health states that the fault layer can impose.
+const (
+	// StatusUp answers normally.
+	StatusUp Status = iota
+	// StatusDown drops every query — the server or its connectivity is
+	// gone. Clients observe a timeout.
+	StatusDown
+	// StatusServFail answers every query with SERVFAIL — the "buggy or
+	// incorrectly configured authoritative server" of Section 4.2.
+	StatusServFail
+	// StatusNXDomain answers every query with NXDOMAIN even for names it
+	// should resolve — the misconfiguration observed for
+	// www.brazzil.com and www.espn.com in the paper.
+	StatusNXDomain
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusUp:
+		return "up"
+	case StatusDown:
+		return "down"
+	case StatusServFail:
+		return "servfail"
+	case StatusNXDomain:
+		return "nxdomain"
+	default:
+		return "unknown"
+	}
+}
+
+// StatusFunc resolves a server's health at a simulated instant. A nil
+// StatusFunc means always up.
+type StatusFunc func(now simnet.Time) Status
+
+// Delegation names the authoritative servers for a child zone, with glue.
+type Delegation struct {
+	NSNames []string
+	Glue    map[string]netip.Addr
+}
+
+// Zone is one cut of the namespace served authoritatively, with optional
+// delegations to children.
+type Zone struct {
+	// Apex is the zone origin, canonical form; "" is the root zone.
+	Apex string
+	// RRs maps owner names to their records (A and CNAME).
+	RRs map[string][]dnswire.RR
+	// Children maps child zone apexes to their delegations.
+	Children map[string]Delegation
+}
+
+// NewZone creates an empty zone at apex.
+func NewZone(apex string) *Zone {
+	return &Zone{
+		Apex:     dnswire.Canonical(apex),
+		RRs:      make(map[string][]dnswire.RR),
+		Children: make(map[string]Delegation),
+	}
+}
+
+// AddA records an address for name.
+func (z *Zone) AddA(name string, addr netip.Addr, ttl uint32) {
+	name = dnswire.Canonical(name)
+	z.RRs[name] = append(z.RRs[name], dnswire.RR{Name: name, Type: dnswire.TypeA, TTL: ttl, A: addr})
+}
+
+// AddCNAME records an alias.
+func (z *Zone) AddCNAME(name, target string, ttl uint32) {
+	name = dnswire.Canonical(name)
+	z.RRs[name] = append(z.RRs[name], dnswire.RR{Name: name, Type: dnswire.TypeCNAME, TTL: ttl, Target: dnswire.Canonical(target)})
+}
+
+// Delegate records that child (a zone apex under this zone) is served by
+// the named servers at the given addresses.
+func (z *Zone) Delegate(child string, ns map[string]netip.Addr) {
+	child = dnswire.Canonical(child)
+	d := Delegation{Glue: make(map[string]netip.Addr, len(ns))}
+	for name, addr := range ns {
+		d.NSNames = append(d.NSNames, dnswire.Canonical(name))
+		d.Glue[dnswire.Canonical(name)] = addr
+	}
+	sort.Strings(d.NSNames)
+	z.Children[child] = d
+}
+
+// inZone reports whether name is at or below the zone apex.
+func (z *Zone) inZone(name string) bool {
+	if z.Apex == "" {
+		return true
+	}
+	return name == z.Apex || strings.HasSuffix(name, "."+z.Apex)
+}
+
+// matchDelegation returns the closest enclosing delegation for name.
+func (z *Zone) matchDelegation(name string) (string, Delegation, bool) {
+	// Walk suffixes from most to least specific so the deepest
+	// delegation wins.
+	for cand := name; cand != ""; {
+		if d, ok := z.Children[cand]; ok && cand != z.Apex {
+			return cand, d, true
+		}
+		_, rest, found := strings.Cut(cand, ".")
+		if !found {
+			break
+		}
+		cand = rest
+	}
+	return "", Delegation{}, false
+}
+
+// AuthServer is an authoritative DNS server attached to a simnet host. It
+// may serve several zones (as real TLD operators do).
+type AuthServer struct {
+	Host   *simnet.Host
+	Status StatusFunc
+
+	zones []*Zone
+	// ProcessingDelay models server think time before a response.
+	ProcessingDelay time.Duration
+
+	// rot drives round-robin rotation of multi-A answers, the standard
+	// BIND behaviour that spreads load across replicas (and the reason
+	// every replica accounts for a fair share of connections in the
+	// Section 4.5 census).
+	rot uint32
+}
+
+// NewAuthServer binds an authoritative server to the host's port 53.
+func NewAuthServer(host *simnet.Host, zones ...*Zone) *AuthServer {
+	s := &AuthServer{Host: host, zones: zones, ProcessingDelay: 500 * time.Microsecond}
+	if err := host.Bind(simnet.UDP, Port, s.handle); err != nil {
+		panic("dnssim: auth server bind: " + err.Error())
+	}
+	return s
+}
+
+// AddZone attaches another zone to this server.
+func (s *AuthServer) AddZone(z *Zone) { s.zones = append(s.zones, z) }
+
+func (s *AuthServer) status() Status {
+	if s.Status == nil {
+		return StatusUp
+	}
+	return s.Status(s.Host.Now())
+}
+
+func (s *AuthServer) handle(pkt *simnet.Packet) {
+	q, srcPort, ok := decodeQuery(pkt)
+	if !ok {
+		return
+	}
+	switch s.status() {
+	case StatusDown:
+		return // silence: client times out
+	case StatusServFail:
+		replyUDP(s.Host, pkt.Src, srcPort, dnswire.NewResponse(q, dnswire.RCodeServFail, false))
+		return
+	case StatusNXDomain:
+		replyUDP(s.Host, pkt.Src, srcPort, dnswire.NewResponse(q, dnswire.RCodeNXDomain, true))
+		return
+	}
+	resp := s.answer(q)
+	src, port := pkt.Src, srcPort
+	s.Host.Network().Sched.After(s.ProcessingDelay, func() {
+		if s.status() == StatusDown {
+			return
+		}
+		replyUDP(s.Host, src, port, resp)
+	})
+}
+
+// answer produces the authoritative response for a well-formed query.
+func (s *AuthServer) answer(q *dnswire.Message) *dnswire.Message {
+	question := q.Questions[0]
+	name := question.Name
+
+	// Pick the most specific zone this server serves for the name.
+	var zone *Zone
+	for _, z := range s.zones {
+		if !z.inZone(name) {
+			continue
+		}
+		if zone == nil || len(z.Apex) > len(zone.Apex) {
+			zone = z
+		}
+	}
+	if zone == nil {
+		return dnswire.NewResponse(q, dnswire.RCodeRefused, false)
+	}
+
+	resp := dnswire.NewResponse(q, dnswire.RCodeNoError, true)
+
+	// Follow CNAME chains inside the zone, collecting answers.
+	seen := 0
+	for {
+		rrs, ok := zone.RRs[name]
+		if ok {
+			var cname string
+			var answers []dnswire.RR
+			for _, rr := range rrs {
+				if rr.Type == dnswire.TypeCNAME {
+					cname = rr.Target
+					resp.Answers = append(resp.Answers, rr)
+				} else if rr.Type == question.Type {
+					answers = append(answers, rr)
+				}
+			}
+			if n := len(answers); n > 1 {
+				s.rot++
+				off := int(s.rot) % n
+				answers = append(answers[off:len(answers):len(answers)], answers[:off]...)
+			}
+			resp.Answers = append(resp.Answers, answers...)
+			if cname != "" && seen < 8 {
+				seen++
+				name = cname
+				if !zone.inZone(name) {
+					// Target outside the zone: the resolver
+					// restarts resolution there.
+					return resp
+				}
+				continue
+			}
+			return resp
+		}
+		// No records: referral or NXDOMAIN.
+		if child, d, ok := zone.matchDelegation(name); ok {
+			resp.Header.Authoritative = false
+			for _, nsName := range d.NSNames {
+				resp.Authority = append(resp.Authority, dnswire.RR{
+					Name: child, Type: dnswire.TypeNS, TTL: 86400, Target: nsName,
+				})
+				if glue, ok := d.Glue[nsName]; ok {
+					resp.Additional = append(resp.Additional, dnswire.RR{
+						Name: nsName, Type: dnswire.TypeA, TTL: 86400, A: glue,
+					})
+				}
+			}
+			return resp
+		}
+		resp.Header.RCode = dnswire.RCodeNXDomain
+		return resp
+	}
+}

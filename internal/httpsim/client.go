@@ -1,0 +1,384 @@
+package httpsim
+
+import (
+	"net/netip"
+	"time"
+
+	"webfail/internal/dnssim"
+	"webfail/internal/simnet"
+	"webfail/internal/tcpsim"
+)
+
+// Stage identifies where a transaction failed, mirroring the paper's
+// top-level failure taxonomy (Section 2.1).
+type Stage uint8
+
+// Failure stages.
+const (
+	// StageNone: the transaction succeeded.
+	StageNone Stage = iota
+	// StageDNS: name resolution failed.
+	StageDNS
+	// StageTCP: the TCP transfer failed.
+	StageTCP
+	// StageHTTP: the server returned an HTTP error.
+	StageHTTP
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageNone:
+		return "success"
+	case StageDNS:
+		return "dns"
+	case StageTCP:
+		return "tcp"
+	case StageHTTP:
+		return "http"
+	default:
+		return "unknown"
+	}
+}
+
+// ConnFailKind sub-classifies TCP failures (Section 2.1, category 2).
+type ConnFailKind uint8
+
+// TCP connection failure kinds.
+const (
+	// ConnOK: the connection carried a complete response.
+	ConnOK ConnFailKind = iota
+	// NoConnection: the SYN handshake failed.
+	NoConnection
+	// NoResponse: connected and sent the request, received nothing.
+	NoResponse
+	// PartialResponse: received part of the response, then the
+	// connection died or idled out.
+	PartialResponse
+)
+
+func (k ConnFailKind) String() string {
+	switch k {
+	case ConnOK:
+		return "ok"
+	case NoConnection:
+		return "no-connection"
+	case NoResponse:
+		return "no-response"
+	case PartialResponse:
+		return "partial-response"
+	default:
+		return "unknown"
+	}
+}
+
+// ConnAttempt records one TCP connection attempt.
+type ConnAttempt struct {
+	Addr netip.Addr
+	Kind ConnFailKind
+}
+
+// FetchResult is the complete outcome of one wget invocation (one
+// transaction in the paper's vocabulary).
+type FetchResult struct {
+	URL string
+	OK  bool
+	// Stage is where the transaction failed (StageNone on success).
+	Stage Stage
+	// DNS holds the final DNS outcome (zero value when proxied: the
+	// proxy does the resolution, masking it from the client —
+	// Section 3.4).
+	DNS dnssim.Result
+	// DNSAttempted is false for proxied fetches.
+	DNSAttempted bool
+	// UsedBackupDNS reports that the primary resolver timed out and the
+	// CoDNS-style backup answered instead.
+	UsedBackupDNS bool
+	// Attempts lists every TCP connection attempt across retries,
+	// failovers, and redirects. Table 3 counts connections from here.
+	Attempts []ConnAttempt
+	// FailKind is the TCP failure kind of the decisive (last) attempt.
+	FailKind ConnFailKind
+	// StatusCode is the final HTTP status (0 if none received).
+	StatusCode int
+	// Bytes counts response body bytes received (possibly partial).
+	Bytes int
+	// Redirects counts redirections followed.
+	Redirects int
+	// Elapsed is the total simulated wall time of the transaction.
+	Elapsed time.Duration
+	// ReplicaIP is the last server address contacted directly (the
+	// proxy address for proxied fetches).
+	ReplicaIP netip.Addr
+}
+
+// Client is the wget-like downloader.
+type Client struct {
+	Stack    *tcpsim.Stack
+	Resolver *dnssim.StubResolver
+	// BackupResolver, when set, is consulted after the primary
+	// resolver times out — a CoDNS-style cooperative lookup (Park et
+	// al., OSDI 2004; the paper's Section 5 argues LDNS reliability is
+	// the single biggest lever on end-to-end failure rates, and this
+	// is the standard remedy). Only timeouts fail over; definitive
+	// errors (NXDOMAIN/SERVFAIL) do not, since a second resolver would
+	// return the same answer.
+	BackupResolver *dnssim.StubResolver
+	// Proxy, when valid, routes all requests through a forward proxy.
+	Proxy netip.AddrPort
+	// IdleTimeout aborts a download whose connection makes no progress
+	// for this long (paper: 60 s). Zero means the default.
+	IdleTimeout time.Duration
+	// MaxRedirects bounds redirect chains (default 5).
+	MaxRedirects int
+	// Tries is the number of full TCP attempts per URL before giving up
+	// (wget-style retry; default 2).
+	Tries int
+	// NoCache sets Cache-Control: no-cache on requests, as the
+	// corporate-network clients did (Section 3.4).
+	NoCache bool
+}
+
+// NewClient builds a direct (non-proxied) client.
+func NewClient(stack *tcpsim.Stack, resolver *dnssim.StubResolver) *Client {
+	return &Client{Stack: stack, Resolver: resolver}
+}
+
+func (c *Client) idleTimeout() time.Duration {
+	if c.IdleTimeout > 0 {
+		return c.IdleTimeout
+	}
+	return 60 * time.Second
+}
+
+func (c *Client) maxRedirects() int {
+	if c.MaxRedirects > 0 {
+		return c.MaxRedirects
+	}
+	return 5
+}
+
+func (c *Client) tries() int {
+	if c.Tries > 0 {
+		return c.Tries
+	}
+	return 2
+}
+
+func (c *Client) now() simnet.Time { return c.Stack.Host().Now() }
+
+// Fetch downloads url and calls done exactly once with the result.
+func (c *Client) Fetch(url string, done func(*FetchResult)) {
+	res := &FetchResult{URL: url}
+	start := c.now()
+	finish := func() {
+		res.Elapsed = c.now().Sub(start)
+		done(res)
+	}
+	c.fetchURL(res, url, 0, finish)
+}
+
+// fetchURL handles one (possibly redirected) URL.
+func (c *Client) fetchURL(res *FetchResult, url string, redirects int, finish func()) {
+	host, path, err := SplitURL(url)
+	if err != nil {
+		res.Stage = StageHTTP
+		finish()
+		return
+	}
+	if c.Proxy.IsValid() {
+		// Proxied: the proxy resolves the name; request uses
+		// absolute-form.
+		req := &Request{Method: "GET", Target: "http://" + host + path, Host: host, NoCache: c.NoCache}
+		c.tryAddrs(res, req, []netip.Addr{c.Proxy.Addr()}, c.Proxy.Port(), 0, 1, redirects, finish)
+		return
+	}
+	c.Resolver.LookupA(host, func(r dnssim.Result) {
+		res.DNS = r
+		res.DNSAttempted = true
+		if r.Kind == dnssim.ResultTimeout && c.BackupResolver != nil {
+			c.BackupResolver.LookupA(host, func(br dnssim.Result) {
+				res.DNS = br
+				res.UsedBackupDNS = true
+				c.afterDNS(res, host, path, redirects, finish)
+			})
+			return
+		}
+		c.afterDNS(res, host, path, redirects, finish)
+	})
+}
+
+// afterDNS continues a direct fetch once resolution (primary or backup)
+// has concluded.
+func (c *Client) afterDNS(res *FetchResult, host, path string, redirects int, finish func()) {
+	if res.DNS.Kind != dnssim.ResultOK {
+		res.Stage = StageDNS
+		finish()
+		return
+	}
+	req := &Request{Method: "GET", Target: path, Host: host, NoCache: c.NoCache}
+	c.tryAddrs(res, req, res.DNS.Addrs, HTTPPort, 0, 1, redirects, finish)
+}
+
+// tryAddrs attempts the request against addrs[i:], failing over on
+// connection errors; when the list is exhausted it starts another try
+// until the budget is spent.
+func (c *Client) tryAddrs(res *FetchResult, req *Request, addrs []netip.Addr, port uint16, i, try, redirects int, finish func()) {
+	if i >= len(addrs) {
+		if try < c.tries() {
+			c.tryAddrs(res, req, addrs, port, 0, try+1, redirects, finish)
+			return
+		}
+		res.Stage = StageTCP
+		if res.FailKind == ConnOK {
+			res.FailKind = NoConnection
+		}
+		finish()
+		return
+	}
+	addr := addrs[i]
+	res.ReplicaIP = addr
+	c.request(req, netip.AddrPortFrom(addr, port), func(out *requestOutcome) {
+		res.Attempts = append(res.Attempts, ConnAttempt{Addr: addr, Kind: out.kind})
+		res.Bytes += out.bodyBytes
+		switch {
+		case out.kind == ConnOK:
+			c.handleResponse(res, req, out.resp, redirects, finish)
+		default:
+			res.FailKind = out.kind
+			c.tryAddrs(res, req, addrs, port, i+1, try, redirects, finish)
+		}
+	})
+}
+
+// handleResponse interprets a complete HTTP response.
+func (c *Client) handleResponse(res *FetchResult, req *Request, resp *Response, redirects int, finish func()) {
+	res.StatusCode = resp.StatusCode
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		res.OK = true
+		res.Stage = StageNone
+		res.FailKind = ConnOK
+		finish()
+	case (resp.StatusCode == 301 || resp.StatusCode == 302) && resp.Location != "":
+		if redirects+1 > c.maxRedirects() {
+			res.Stage = StageHTTP
+			finish()
+			return
+		}
+		res.Redirects = redirects + 1
+		c.fetchURL(res, resp.Location, redirects+1, finish)
+	default:
+		res.Stage = StageHTTP
+		finish()
+	}
+}
+
+// requestOutcome is the result of a single connection-level attempt.
+type requestOutcome struct {
+	kind      ConnFailKind
+	resp      *Response
+	bodyBytes int
+}
+
+// request performs one TCP connection + GET against a specific address.
+func (c *Client) request(req *Request, to netip.AddrPort, done func(*requestOutcome)) {
+	parser := &ResponseParser{}
+	out := &requestOutcome{}
+	finished := false
+	var idleTimer *simnet.Timer
+	var lastProgress simnet.Time
+	var conn *tcpsim.Conn
+
+	finish := func() {
+		if finished {
+			return
+		}
+		finished = true
+		if idleTimer != nil {
+			idleTimer.Stop()
+		}
+		out.bodyBytes = parser.Partial()
+		if out.kind == ConnOK && out.resp != nil {
+			out.bodyBytes = len(out.resp.Body)
+		}
+		done(out)
+	}
+
+	fail := func(kind ConnFailKind) {
+		out.kind = kind
+		finish()
+	}
+
+	sched := c.Stack.Host().Network().Sched
+	var armIdle func(d time.Duration)
+	armIdle = func(d time.Duration) {
+		idleTimer = sched.AfterTimer(d, func() {
+			if finished {
+				return
+			}
+			idle := c.now().Sub(lastProgress)
+			if idle >= c.idleTimeout() {
+				// wget gives up: terminate the connection.
+				conn.Abort()
+				if parser.Partial() > 0 || parser.HeadDone() {
+					fail(PartialResponse)
+				} else {
+					fail(NoResponse)
+				}
+				return
+			}
+			armIdle(c.idleTimeout() - idle)
+		})
+	}
+
+	lastProgress = c.now()
+	conn = c.Stack.Dial(to, tcpsim.Callbacks{
+		OnConnect: func() {
+			lastProgress = c.now()
+			conn.Send(EncodeRequest(req))
+		},
+		OnData: func(data []byte) {
+			if finished {
+				return
+			}
+			lastProgress = c.now()
+			full, err := parser.Feed(data)
+			if err != nil {
+				conn.Abort()
+				fail(PartialResponse)
+				return
+			}
+			if full {
+				out.kind = ConnOK
+				out.resp = parser.Response()
+				conn.Close()
+				finish()
+			}
+		},
+		OnClose: func(err error) {
+			if finished {
+				return
+			}
+			switch err {
+			case tcpsim.ErrConnTimeout, tcpsim.ErrConnRefused:
+				fail(NoConnection)
+			case nil:
+				// Clean close before the full body: the server
+				// closed early.
+				if parser.Partial() > 0 || parser.HeadDone() {
+					fail(PartialResponse)
+				} else {
+					fail(NoResponse)
+				}
+			default:
+				// Reset mid-stream.
+				if parser.Partial() > 0 || parser.HeadDone() {
+					fail(PartialResponse)
+				} else {
+					fail(NoResponse)
+				}
+			}
+		},
+	})
+	armIdle(c.idleTimeout())
+}

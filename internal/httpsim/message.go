@@ -1,0 +1,256 @@
+// Package httpsim implements the HTTP/1.1 layer of the simulated web
+// measurement stack: a minimal but real message format, origin servers
+// with injectable application-level failure modes, a wget-like client
+// (redirect following, retry, per-address failover, 60-second idle abort —
+// Section 3.1 of the paper), and an ISA-style forward proxy that resolves
+// names itself and does not fail over across server addresses
+// (Section 4.7).
+package httpsim
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Errors surfaced by message parsing.
+var (
+	ErrMalformedRequest  = errors.New("httpsim: malformed request")
+	ErrMalformedResponse = errors.New("httpsim: malformed response")
+)
+
+// Request is a parsed HTTP request.
+type Request struct {
+	Method string
+	// Target is the request target: origin-form ("/index.html") for
+	// direct requests, absolute-form ("http://host/path") for proxied
+	// requests.
+	Target  string
+	Host    string
+	NoCache bool
+}
+
+// EncodeRequest renders the request on the wire.
+func EncodeRequest(r *Request) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", r.Method, r.Target)
+	fmt.Fprintf(&b, "Host: %s\r\n", r.Host)
+	b.WriteString("User-Agent: simwget/1.9\r\n")
+	if r.NoCache {
+		b.WriteString("Cache-Control: no-cache\r\n")
+		b.WriteString("Pragma: no-cache\r\n")
+	}
+	b.WriteString("Connection: close\r\n\r\n")
+	return []byte(b.String())
+}
+
+// ParseRequest parses a complete request head (through the blank line).
+func ParseRequest(head string) (*Request, error) {
+	lines := strings.Split(head, "\r\n")
+	if len(lines) == 0 {
+		return nil, ErrMalformedRequest
+	}
+	parts := strings.Split(lines[0], " ")
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/1.") {
+		return nil, fmt.Errorf("%w: %q", ErrMalformedRequest, lines[0])
+	}
+	if parts[0] == "" || parts[1] == "" {
+		return nil, fmt.Errorf("%w: empty method or target", ErrMalformedRequest)
+	}
+	r := &Request{Method: parts[0], Target: parts[1]}
+	for _, ln := range lines[1:] {
+		name, val, found := strings.Cut(ln, ":")
+		if !found {
+			continue
+		}
+		val = strings.TrimSpace(val)
+		switch strings.ToLower(name) {
+		case "host":
+			r.Host = strings.ToLower(val)
+		case "cache-control", "pragma":
+			if strings.Contains(strings.ToLower(val), "no-cache") {
+				r.NoCache = true
+			}
+		}
+	}
+	if r.Host == "" && !strings.HasPrefix(r.Target, "http://") {
+		return nil, fmt.Errorf("%w: missing Host", ErrMalformedRequest)
+	}
+	return r, nil
+}
+
+// Response is an HTTP response head plus body.
+type Response struct {
+	StatusCode    int
+	Location      string // for redirects
+	ContentLength int
+	Body          []byte
+}
+
+// StatusText returns the reason phrase for the small set of codes the
+// simulator uses.
+func StatusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 301:
+		return "Moved Permanently"
+	case 302:
+		return "Found"
+	case 304:
+		return "Not Modified"
+	case 400:
+		return "Bad Request"
+	case 403:
+		return "Forbidden"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	case 502:
+		return "Bad Gateway"
+	case 503:
+		return "Service Unavailable"
+	case 504:
+		return "Gateway Timeout"
+	default:
+		return "Unknown"
+	}
+}
+
+// EncodeResponseHead renders the response head; the body follows
+// separately so servers can stall mid-body.
+func EncodeResponseHead(r *Response) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", r.StatusCode, StatusText(r.StatusCode))
+	fmt.Fprintf(&b, "Server: simhttpd/0.9\r\n")
+	if r.Location != "" {
+		fmt.Fprintf(&b, "Location: %s\r\n", r.Location)
+	}
+	fmt.Fprintf(&b, "Content-Length: %d\r\n", r.ContentLength)
+	b.WriteString("Connection: close\r\n\r\n")
+	return []byte(b.String())
+}
+
+// ResponseParser incrementally consumes response bytes as TCP delivers
+// them, tolerating arbitrary segmentation.
+type ResponseParser struct {
+	buf        []byte
+	headDone   bool
+	resp       Response
+	bodyWanted int
+	// HeaderBytes counts bytes consumed by the head, for byte
+	// accounting.
+	HeaderBytes int
+}
+
+// Feed appends newly received bytes. It returns done=true once the full
+// message (head + Content-Length body) has been received, or an error for
+// a malformed head.
+func (p *ResponseParser) Feed(data []byte) (done bool, err error) {
+	p.buf = append(p.buf, data...)
+	if !p.headDone {
+		idx := strings.Index(string(p.buf), "\r\n\r\n")
+		if idx < 0 {
+			if len(p.buf) > 64*1024 {
+				return false, fmt.Errorf("%w: head too large", ErrMalformedResponse)
+			}
+			return false, nil
+		}
+		head := string(p.buf[:idx])
+		if err := p.parseHead(head); err != nil {
+			return false, err
+		}
+		p.HeaderBytes = idx + 4
+		p.buf = p.buf[idx+4:]
+		p.headDone = true
+	}
+	if len(p.buf) >= p.bodyWanted {
+		p.resp.Body = p.buf[:p.bodyWanted]
+		return true, nil
+	}
+	return false, nil
+}
+
+// Partial reports how many body bytes have arrived so far; valid before
+// completion.
+func (p *ResponseParser) Partial() int {
+	if !p.headDone {
+		return 0
+	}
+	return len(p.buf)
+}
+
+// HeadDone reports whether the full head has been parsed. The paper's "no
+// response" vs "partial response" split hinges on whether any response
+// bytes arrived; we expose head state for finer diagnostics.
+func (p *ResponseParser) HeadDone() bool { return p.headDone }
+
+// Response returns the parsed response; valid once Feed reported done.
+func (p *ResponseParser) Response() *Response { return &p.resp }
+
+func (p *ResponseParser) parseHead(head string) error {
+	lines := strings.Split(head, "\r\n")
+	if len(lines) == 0 {
+		return ErrMalformedResponse
+	}
+	var version string
+	var code int
+	if _, err := fmt.Sscanf(lines[0], "%s %d", &version, &code); err != nil || !strings.HasPrefix(version, "HTTP/1.") {
+		return fmt.Errorf("%w: status line %q", ErrMalformedResponse, lines[0])
+	}
+	p.resp.StatusCode = code
+	for _, ln := range lines[1:] {
+		name, val, found := strings.Cut(ln, ":")
+		if !found {
+			continue
+		}
+		val = strings.TrimSpace(val)
+		switch strings.ToLower(name) {
+		case "content-length":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return fmt.Errorf("%w: content-length %q", ErrMalformedResponse, val)
+			}
+			p.resp.ContentLength = n
+			p.bodyWanted = n
+		case "location":
+			p.resp.Location = val
+		}
+	}
+	return nil
+}
+
+// RequestParser incrementally consumes request bytes on the server side.
+type RequestParser struct {
+	buf []byte
+}
+
+// Feed appends bytes; when the head is complete it returns the parsed
+// request (requests in this study have no bodies).
+func (p *RequestParser) Feed(data []byte) (*Request, error) {
+	p.buf = append(p.buf, data...)
+	idx := strings.Index(string(p.buf), "\r\n\r\n")
+	if idx < 0 {
+		if len(p.buf) > 64*1024 {
+			return nil, fmt.Errorf("%w: head too large", ErrMalformedRequest)
+		}
+		return nil, nil
+	}
+	return ParseRequest(string(p.buf[:idx]))
+}
+
+// SplitURL splits "http://host/path" into host and path ("/" default).
+// A bare "host/path" (no scheme) is accepted, matching wget.
+func SplitURL(u string) (host, path string, err error) {
+	s := strings.TrimPrefix(u, "http://")
+	if s == "" || strings.HasPrefix(s, "/") {
+		return "", "", fmt.Errorf("httpsim: bad url %q", u)
+	}
+	host, path, found := strings.Cut(s, "/")
+	if !found || path == "" {
+		return strings.ToLower(host), "/", nil
+	}
+	return strings.ToLower(host), "/" + path, nil
+}

@@ -1,0 +1,178 @@
+package httpsim
+
+import (
+	"net/netip"
+	"time"
+
+	"webfail/internal/dnssim"
+	"webfail/internal/simnet"
+	"webfail/internal/tcpsim"
+)
+
+// ProxyPort is the forward-proxy port.
+const ProxyPort = 8080
+
+// Proxy is an ISA-style forward web proxy (Section 4.7): it resolves
+// origin names itself (with a cache the client cannot flush), connects to
+// the FIRST resolved address only — no failover across a multi-A-record
+// site, the behaviour the paper identifies as the root cause of the
+// elevated www.iitb.ac.in failure rate for proxied clients — and relays
+// the response stream.
+type Proxy struct {
+	Stack    *tcpsim.Stack
+	Resolver *dnssim.StubResolver
+
+	// DNSCacheTTL controls the proxy-side name cache (default 10 min).
+	DNSCacheTTL time.Duration
+
+	// Failover, when true, lets the proxy try subsequent addresses like
+	// wget does. The paper's proxies do not; this switch exists for the
+	// ablation bench.
+	Failover bool
+
+	dnsCache map[string]proxyCacheEntry
+
+	// Relayed counts successfully relayed responses.
+	Relayed uint64
+	// Errors counts gateway errors returned to clients.
+	Errors uint64
+}
+
+type proxyCacheEntry struct {
+	addrs   []netip.Addr
+	expires simnet.Time
+}
+
+// NewProxy attaches a proxy to the stack's ProxyPort.
+func NewProxy(stack *tcpsim.Stack, resolver *dnssim.StubResolver) *Proxy {
+	p := &Proxy{
+		Stack:    stack,
+		Resolver: resolver,
+		dnsCache: make(map[string]proxyCacheEntry),
+	}
+	err := stack.Listen(ProxyPort, &tcpsim.Listener{Accept: p.accept})
+	if err != nil {
+		panic("httpsim: proxy listen: " + err.Error())
+	}
+	return p
+}
+
+func (p *Proxy) cacheTTL() time.Duration {
+	if p.DNSCacheTTL > 0 {
+		return p.DNSCacheTTL
+	}
+	return 10 * time.Minute
+}
+
+func (p *Proxy) now() simnet.Time { return p.Stack.Host().Now() }
+
+func (p *Proxy) accept(client *tcpsim.Conn) {
+	parser := &RequestParser{}
+	handled := false
+	client.SetCallbacks(tcpsim.Callbacks{
+		OnData: func(data []byte) {
+			if handled {
+				return
+			}
+			req, err := parser.Feed(data)
+			if err != nil {
+				handled = true
+				p.gatewayError(client, 400)
+				return
+			}
+			if req == nil {
+				return
+			}
+			handled = true
+			p.handle(client, req)
+		},
+		OnClose: func(error) {},
+	})
+}
+
+// handle resolves and relays one proxied request.
+func (p *Proxy) handle(client *tcpsim.Conn, req *Request) {
+	host, path, err := SplitURL(req.Target)
+	if err != nil {
+		p.gatewayError(client, 400)
+		return
+	}
+	p.resolve(host, func(addrs []netip.Addr) {
+		if len(addrs) == 0 {
+			p.gatewayError(client, 502)
+			return
+		}
+		if !p.Failover {
+			addrs = addrs[:1]
+		}
+		origin := &Request{Method: "GET", Target: path, Host: host, NoCache: req.NoCache}
+		p.connectOrigin(client, origin, addrs, 0)
+	})
+}
+
+// resolve returns cached addresses or performs a lookup. The client has no
+// way to flush this cache, so proxy-side DNS failures (and successes) are
+// masked from the client for the TTL.
+func (p *Proxy) resolve(host string, done func([]netip.Addr)) {
+	if e, ok := p.dnsCache[host]; ok && e.expires > p.now() {
+		done(e.addrs)
+		return
+	}
+	p.Resolver.LookupA(host, func(r dnssim.Result) {
+		if r.Kind != dnssim.ResultOK {
+			done(nil)
+			return
+		}
+		p.dnsCache[host] = proxyCacheEntry{addrs: r.Addrs, expires: p.now().Add(p.cacheTTL())}
+		done(r.Addrs)
+	})
+}
+
+// connectOrigin dials addrs[i] and relays the exchange. Failover to i+1
+// happens only when p.Failover is set.
+func (p *Proxy) connectOrigin(client *tcpsim.Conn, origin *Request, addrs []netip.Addr, i int) {
+	if i >= len(addrs) {
+		p.gatewayError(client, 504)
+		return
+	}
+	started := false
+	var oconn *tcpsim.Conn
+	oconn = p.Stack.Dial(netip.AddrPortFrom(addrs[i], HTTPPort), tcpsim.Callbacks{
+		OnConnect: func() {
+			started = true
+			oconn.Send(EncodeRequest(origin))
+		},
+		OnData: func(data []byte) {
+			// Relay verbatim; the proxy does not reinterpret the
+			// stream (no caching in the no-cache study setup).
+			client.Send(data)
+		},
+		OnClose: func(err error) {
+			switch {
+			case err == nil:
+				client.Close()
+				p.Relayed++
+			case !started:
+				// Connect-level failure.
+				if p.Failover && i+1 < len(addrs) {
+					p.connectOrigin(client, origin, addrs, i+1)
+					return
+				}
+				p.gatewayError(client, 504)
+			default:
+				// Mid-stream failure: propagate the abort so the
+				// client sees a partial response, as a real relay
+				// would.
+				client.Abort()
+			}
+		},
+	})
+}
+
+func (p *Proxy) gatewayError(client *tcpsim.Conn, code int) {
+	p.Errors++
+	body := []byte(StatusText(code) + "\n")
+	client.Send(EncodeResponseHead(&Response{StatusCode: code, ContentLength: len(body)}))
+	client.Send(body)
+	client.Close()
+}

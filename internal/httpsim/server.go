@@ -1,0 +1,235 @@
+package httpsim
+
+import (
+	"fmt"
+
+	"webfail/internal/simnet"
+	"webfail/internal/tcpsim"
+)
+
+// HTTPPort is the web server port.
+const HTTPPort = 80
+
+// AppMode is the application-level health of a web server, orthogonal to
+// the TCP-level host status. Together they produce the paper's TCP failure
+// sub-classes: host down → "no connection"; AppHung → "no response";
+// AppStall / abort → "partial response"; AppError → HTTP failure.
+type AppMode uint8
+
+// Application modes.
+const (
+	// AppOK serves requests normally.
+	AppOK AppMode = iota
+	// AppHung accepts connections and reads requests but never
+	// responds — an overloaded or wedged server application.
+	AppHung
+	// AppStall sends the head and roughly half the body, then stops
+	// forever; the client's idle timer eventually fires.
+	AppStall
+	// AppAbort sends the head and part of the body, then resets the
+	// connection.
+	AppAbort
+	// AppError answers every request with ErrorCode (default 503).
+	AppError
+)
+
+func (m AppMode) String() string {
+	switch m {
+	case AppOK:
+		return "ok"
+	case AppHung:
+		return "hung"
+	case AppStall:
+		return "stall"
+	case AppAbort:
+		return "abort"
+	case AppError:
+		return "error"
+	default:
+		return "unknown"
+	}
+}
+
+// AppStatus couples a mode with an optional status code for AppError.
+type AppStatus struct {
+	Mode AppMode
+	Code int
+}
+
+// AppStatusFunc resolves a server's application health at an instant; nil
+// means always AppOK.
+type AppStatusFunc func(now simnet.Time) AppStatus
+
+// Page is one servable object.
+type Page struct {
+	Path string
+	Size int
+	// RedirectTo, when set, makes the page answer 302 with this URL.
+	RedirectTo string
+}
+
+// Server is a simulated origin web server.
+type Server struct {
+	Stack *tcpsim.Stack
+	// Hosts lists the virtual hosts this server answers for; an empty
+	// list accepts any Host header.
+	Hosts []string
+	// Pages maps path -> page; "/" should exist for the index.
+	Pages map[string]Page
+	// Status drives application-level fault injection.
+	Status AppStatusFunc
+
+	// Served counts completed responses.
+	Served uint64
+}
+
+// NewServer attaches an HTTP server to the TCP stack on port 80.
+func NewServer(stack *tcpsim.Stack) *Server {
+	s := &Server{Stack: stack, Pages: map[string]Page{"/": {Path: "/", Size: 10240}}}
+	err := stack.Listen(HTTPPort, &tcpsim.Listener{
+		Accept: s.accept,
+	})
+	if err != nil {
+		panic("httpsim: server listen: " + err.Error())
+	}
+	return s
+}
+
+// AddPage registers a page.
+func (s *Server) AddPage(p Page) { s.Pages[p.Path] = p }
+
+func (s *Server) appStatus() AppStatus {
+	if s.Status == nil {
+		return AppStatus{Mode: AppOK}
+	}
+	return s.Status(s.Stack.Host().Now())
+}
+
+// accept wires the request parser onto a fresh connection.
+func (s *Server) accept(c *tcpsim.Conn) {
+	parser := &RequestParser{}
+	handled := false
+	c.SetCallbacks(tcpsim.Callbacks{
+		OnData: func(data []byte) {
+			if handled {
+				return
+			}
+			req, err := parser.Feed(data)
+			if err != nil {
+				handled = true
+				s.respondError(c, 400)
+				return
+			}
+			if req == nil {
+				return
+			}
+			handled = true
+			s.serve(c, req)
+		},
+		OnClose: func(error) {},
+	})
+}
+
+// serve produces the response according to the current application mode.
+func (s *Server) serve(c *tcpsim.Conn, req *Request) {
+	st := s.appStatus()
+	switch st.Mode {
+	case AppHung:
+		return // read the request, never answer
+	case AppError:
+		code := st.Code
+		if code == 0 {
+			code = 503
+		}
+		s.respondError(c, code)
+		return
+	}
+
+	if !s.hostMatches(req.Host) {
+		s.respondError(c, 404)
+		return
+	}
+	path := req.Target
+	if i := indexByte(path, '?'); i >= 0 {
+		path = path[:i]
+	}
+	page, ok := s.Pages[path]
+	if !ok {
+		s.respondError(c, 404)
+		return
+	}
+	if page.RedirectTo != "" {
+		resp := &Response{StatusCode: 302, Location: page.RedirectTo}
+		body := []byte(fmt.Sprintf("<a href=%q>moved</a>\n", page.RedirectTo))
+		resp.ContentLength = len(body)
+		c.Send(EncodeResponseHead(resp))
+		c.Send(body)
+		c.Close()
+		s.Served++
+		return
+	}
+
+	body := makeBody(page.Size)
+	head := EncodeResponseHead(&Response{StatusCode: 200, ContentLength: len(body)})
+	switch st.Mode {
+	case AppStall:
+		c.Send(head)
+		c.Send(body[:len(body)/2])
+		// Never send the rest, never close: the client idles out.
+		return
+	case AppAbort:
+		c.Send(head)
+		c.Send(body[:len(body)/2])
+		c.Abort()
+		return
+	default:
+		c.Send(head)
+		c.Send(body)
+		c.Close()
+		s.Served++
+	}
+}
+
+func (s *Server) respondError(c *tcpsim.Conn, code int) {
+	body := []byte(fmt.Sprintf("<html>%d %s</html>\n", code, StatusText(code)))
+	resp := &Response{StatusCode: code, ContentLength: len(body)}
+	c.Send(EncodeResponseHead(resp))
+	c.Send(body)
+	c.Close()
+	s.Served++
+}
+
+func (s *Server) hostMatches(host string) bool {
+	if len(s.Hosts) == 0 {
+		return true
+	}
+	for _, h := range s.Hosts {
+		if h == host {
+			return true
+		}
+	}
+	return false
+}
+
+// makeBody produces a deterministic page body of the given size.
+func makeBody(size int) []byte {
+	const chunk = "<!-- simulated index page content 0123456789 -->\n"
+	b := make([]byte, 0, size)
+	for len(b) < size {
+		n := size - len(b)
+		if n > len(chunk) {
+			n = len(chunk)
+		}
+		b = append(b, chunk[:n]...)
+	}
+	return b
+}
+
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}

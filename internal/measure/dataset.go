@@ -1,0 +1,75 @@
+package measure
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Dataset is a stored collection of performance records, the on-disk
+// artifact of a run (the paper published its measurement data similarly).
+// Records are stored verbatim; gob+gzip keeps month-scale failure subsets
+// compact.
+type Dataset struct {
+	// Meta describes the run.
+	Meta DatasetMeta
+	// Records holds the stored records (typically the failure subset
+	// plus a sample of successes; storing all ~20M records of a full
+	// run is possible but large).
+	Records []Record
+}
+
+// DatasetMeta identifies a run.
+type DatasetMeta struct {
+	Seed         int64
+	StartUnix    int64
+	EndUnix      int64
+	Clients      int
+	Websites     int
+	Transactions int64 // total transactions performed (not all stored)
+	Failures     int64
+}
+
+const datasetMagic = "WEBFAILDS1\n"
+
+// Save writes the dataset.
+func (d *Dataset) Save(w io.Writer) error {
+	if _, err := io.WriteString(w, datasetMagic); err != nil {
+		return err
+	}
+	zw := gzip.NewWriter(w)
+	enc := gob.NewEncoder(zw)
+	if err := enc.Encode(d.Meta); err != nil {
+		return fmt.Errorf("measure: encode meta: %w", err)
+	}
+	if err := enc.Encode(d.Records); err != nil {
+		return fmt.Errorf("measure: encode records: %w", err)
+	}
+	return zw.Close()
+}
+
+// LoadDataset reads a dataset written by Save.
+func LoadDataset(r io.Reader) (*Dataset, error) {
+	magic := make([]byte, len(datasetMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("measure: read magic: %w", err)
+	}
+	if string(magic) != datasetMagic {
+		return nil, fmt.Errorf("measure: not a webfail dataset")
+	}
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("measure: gzip: %w", err)
+	}
+	defer zr.Close()
+	dec := gob.NewDecoder(zr)
+	d := &Dataset{}
+	if err := dec.Decode(&d.Meta); err != nil {
+		return nil, fmt.Errorf("measure: decode meta: %w", err)
+	}
+	if err := dec.Decode(&d.Records); err != nil {
+		return nil, fmt.Errorf("measure: decode records: %w", err)
+	}
+	return d, nil
+}

@@ -1,0 +1,530 @@
+package measure
+
+import (
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"webfail/internal/faults"
+	"webfail/internal/httpsim"
+	"webfail/internal/simnet"
+	"webfail/internal/workload"
+)
+
+// Run executes the experiment in fast mode, calling visit once per
+// performed transaction (transactions scheduled while the client machine
+// is off are skipped entirely, as an off machine makes no accesses —
+// Section 4.4.4). Records are delivered in per-client time order; visit
+// must not retain the pointer.
+func Run(cfg Config, visit func(*Record)) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	ev := newEvaluator(cfg)
+	workload.ForEachTransaction(cfg.Topo, cfg.Seed, cfg.Start, cfg.End, func(tx *workload.Transaction) {
+		var rec Record
+		if ev.evaluate(tx, &rec) {
+			visit(&rec)
+		}
+	})
+	return nil
+}
+
+// evaluator holds the per-run state of fast-mode evaluation.
+type evaluator struct {
+	cfg  Config
+	topo *workload.Topology
+	tl   *faults.Timeline
+	// One RNG per client so roster scaling does not perturb other
+	// clients' draws.
+	rngs []*rand.Rand
+
+	clientEnt []faults.Entity
+	siteEnt   []faults.Entity
+	wwwEnt    []faults.Entity
+	pairEnt   map[[2]int32]faults.Entity
+	prefixEnt map[netip.Prefix]faults.Entity
+	repEnt    map[netip.Addr]faults.Entity
+
+	// quality is the per-client site-flakiness multiplier; it scales
+	// background loss and transient failures so flaky sites show both
+	// (the weak loss/failure correlation of Section 4.1.3).
+	quality []float64
+}
+
+func newEvaluator(cfg Config) *evaluator {
+	topo := cfg.Topo
+	ev := &evaluator{
+		cfg:       cfg,
+		topo:      topo,
+		tl:        cfg.Scenario.Timeline,
+		rngs:      make([]*rand.Rand, len(topo.Clients)),
+		clientEnt: make([]faults.Entity, len(topo.Clients)),
+		siteEnt:   make([]faults.Entity, len(topo.Clients)),
+		wwwEnt:    make([]faults.Entity, len(topo.Websites)),
+		pairEnt:   make(map[[2]int32]faults.Entity),
+		prefixEnt: make(map[netip.Prefix]faults.Entity),
+		repEnt:    make(map[netip.Addr]faults.Entity),
+	}
+	ev.quality = make([]float64, len(topo.Clients))
+	for i := range topo.Clients {
+		ev.rngs[i] = rand.New(rand.NewSource(cfg.Seed ^ 0x5b5e1ca7 ^ int64(i)*0x100000001b3))
+		ev.clientEnt[i] = faults.Entity("client:" + topo.Clients[i].Name)
+		ev.siteEnt[i] = faults.Entity("site:" + topo.Clients[i].Site)
+		ev.prefixEnt[topo.Clients[i].Prefix] = faults.Entity("prefix:" + topo.Clients[i].Prefix.String())
+		q := 1.0
+		if f, ok := cfg.Scenario.SiteQuality[topo.Clients[i].Site]; ok {
+			q = f
+		}
+		ev.quality[i] = q
+	}
+	for j := range topo.Websites {
+		w := &topo.Websites[j]
+		ev.wwwEnt[j] = faults.Entity("www:" + w.Host)
+		for _, p := range w.Prefixes {
+			ev.prefixEnt[p] = faults.Entity("prefix:" + p.String())
+		}
+		for _, ra := range w.ReplicaAddrs {
+			ev.repEnt[ra] = faults.Entity("replica:" + ra.String())
+		}
+	}
+	for _, pair := range cfg.Scenario.PermanentPairs {
+		site, host := pair[0], pair[1]
+		wn := topo.Website(host)
+		if wn == nil {
+			continue
+		}
+		var wIdx int32 = -1
+		for j := range topo.Websites {
+			if topo.Websites[j].Host == host {
+				wIdx = int32(j)
+			}
+		}
+		for i := range topo.Clients {
+			if topo.Clients[i].Site == site {
+				ev.pairEnt[[2]int32{int32(i), wIdx}] = faults.PairEntity(site, host)
+			}
+		}
+	}
+	return ev
+}
+
+// hit draws whether an active episode's severity fires.
+func hit(rng *rand.Rand, ep faults.Episode, ok bool) bool {
+	if !ok {
+		return false
+	}
+	if ep.Severity >= 1 {
+		return true
+	}
+	return rng.Float64() < ep.Severity
+}
+
+// pathImpact maps a BGP instability episode to the probability that a
+// packet exchange through the affected prefix fails. Near-global
+// withdrawals leave almost no working path; the special high-impact mode
+// reproduces the Figure 7 case (2 withdrawing neighbors carrying most
+// paths, observed 56% failure); small local events barely matter.
+func pathImpact(ep faults.Episode) float64 {
+	if ep.Mode == workload.BGPHighImpact {
+		return 0.56
+	}
+	if ep.Severity >= 0.9 {
+		return 0.88
+	}
+	return ep.Severity * 0.5
+}
+
+// evaluate runs one transaction, filling rec. It reports false when the
+// client machine is off (no access performed).
+func (ev *evaluator) evaluate(tx *workload.Transaction, rec *Record) bool {
+	ci, si := tx.ClientIdx, tx.SiteIdx
+	c := &ev.topo.Clients[ci]
+	w := &ev.topo.Websites[si]
+	rng := ev.rngs[ci]
+	tl := ev.tl
+	at := tx.At
+
+	if _, off := tl.Active(ev.clientEnt[ci], faults.ClientMachineOff, at); off {
+		return false
+	}
+
+	*rec = Record{
+		ClientIdx: int32(ci),
+		SiteIdx:   int32(si),
+		At:        at,
+		Category:  c.Category,
+		Proxied:   c.Proxied,
+	}
+
+	// --- Client-side connectivity state (used by both DNS and TCP). ---
+	siteConn, siteConnOK := tl.Active(ev.siteEnt[ci], faults.ClientConnectivity, at)
+	cliConn, cliConnOK := tl.Active(ev.clientEnt[ci], faults.ClientConnectivity, at)
+	connectivityDown := hit(rng, siteConn, siteConnOK) || hit(rng, cliConn, cliConnOK)
+
+	// --- DNS phase (direct clients only; the proxy resolves for CN). ---
+	if !c.Proxied {
+		rec.DNS, rec.DNSTime = ev.resolveDNS(rng, ci, si, at, connectivityDown)
+		if rec.DNS != DNSOK {
+			rec.Stage = httpsim.StageDNS
+			rec.Elapsed = rec.DNSTime
+			return true
+		}
+	} else {
+		rec.DNS = DNSMasked
+		// The proxy's own resolution can fail (rarely; its cache
+		// masks most DNS trouble). Surfaced as a gateway error.
+		if ev.proxyDNSFails(rng, si, at) {
+			rec.Stage = httpsim.StageHTTP
+			rec.StatusCode = 502
+			rec.Conns = 1 // the client did connect to the proxy
+			rec.ReplicaIP = c.Proxy
+			rec.Elapsed = ev.sampleRTT(rng, c, w) + 11*time.Second
+			return true
+		}
+	}
+
+	// --- Replica selection. ---
+	addrs := ev.replicaAddrs(rng, w)
+
+	// --- TCP/HTTP phase. ---
+	ev.download(rng, rec, c, w, addrs, at, connectivityDown)
+	return true
+}
+
+// resolveDNS evaluates the DNS phase for a direct client.
+func (ev *evaluator) resolveDNS(rng *rand.Rand, ci, si int, at simnet.Time, connectivityDown bool) (DNSOutcome, time.Duration) {
+	tl := ev.tl
+	p := &ev.cfg.Scenario.Params
+
+	// Client-side connectivity loss: the LDNS is unreachable, so the
+	// failure surfaces as an LDNS timeout (the paper's dominant class —
+	// this is the mechanism behind Section 4.4.4's observation that
+	// client problems preclude TCP attempts).
+	if connectivityDown {
+		return DNSLDNSTimeout, stubTimeoutTotal
+	}
+	// LDNS server trouble (site-scoped: co-located clients share it).
+	if ep, ok := tl.Active(ev.siteEnt[ci], faults.LDNSOutage, at); hit(rng, ep, ok) {
+		return DNSLDNSTimeout, stubTimeoutTotal
+	}
+	// Authoritative DNS misconfiguration: definitive error response.
+	if ep, ok := tl.Active(ev.wwwEnt[si], faults.AuthDNSMisconfig, at); hit(rng, ep, ok) {
+		return DNSErrorResponse, ev.sampleDNSTime(rng) + 50*time.Millisecond
+	}
+	// Authoritative DNS unreachable: the LDNS keeps retrying past the
+	// stub's patience — a non-LDNS timeout.
+	if ep, ok := tl.Active(ev.wwwEnt[si], faults.AuthDNSOutage, at); hit(rng, ep, ok) {
+		return DNSNonLDNSTimeout, stubTimeoutTotal
+	}
+	// Transient lookup failures, split toward the LDNS class as in
+	// Table 4's residuals.
+	if rng.Float64() < p.TransientDNSFail {
+		if rng.Float64() < 0.55 {
+			return DNSLDNSTimeout, stubTimeoutTotal
+		}
+		return DNSNonLDNSTimeout, stubTimeoutTotal
+	}
+	return DNSOK, ev.sampleDNSTime(rng)
+}
+
+// stubTimeoutTotal is the stub resolver's full retry schedule (3+3+5 s),
+// the elapsed time of a timed-out lookup.
+const stubTimeoutTotal = 11 * time.Second
+
+// proxyDNSFails models the (cache-shielded) proxy-side resolution.
+func (ev *evaluator) proxyDNSFails(rng *rand.Rand, si int, at simnet.Time) bool {
+	tl := ev.tl
+	// Only a hard authoritative outage that outlives the proxy cache
+	// TTL is visible; model as a strongly discounted probability.
+	if ep, ok := tl.Active(ev.wwwEnt[si], faults.AuthDNSOutage, at); ok {
+		return rng.Float64() < ep.Severity*0.15
+	}
+	if ep, ok := tl.Active(ev.wwwEnt[si], faults.AuthDNSMisconfig, at); ok {
+		return rng.Float64() < ep.Severity*0.15
+	}
+	return false
+}
+
+// replicaAddrs resolves the address list a client's wget would try, in
+// order. Authoritative servers rotate multi-A answers round-robin (the
+// standard BIND behaviour), so the starting replica varies per lookup and
+// every replica carries a fair connection share — the premise of the
+// Section 4.5 replica census. CDN sites return one rotating pool address.
+func (ev *evaluator) replicaAddrs(rng *rand.Rand, w *workload.WebsiteNode) []netip.Addr {
+	if len(w.ReplicaAddrs) == 0 {
+		return []netip.Addr{ev.topo.CDNPool[rng.Intn(len(ev.topo.CDNPool))]}
+	}
+	n := len(w.ReplicaAddrs)
+	if n == 1 {
+		return w.ReplicaAddrs
+	}
+	off := rng.Intn(n)
+	out := make([]netip.Addr, 0, n)
+	out = append(out, w.ReplicaAddrs[off:]...)
+	out = append(out, w.ReplicaAddrs[:off]...)
+	return out
+}
+
+// download evaluates the TCP/HTTP phase, mirroring httpsim.Client's
+// semantics: try each address in order, then retry the whole list (wget
+// tries=2); the proxy tries only the first address and never fails over.
+//
+// Fault states are drawn ONCE per transaction, not per attempt: fault
+// episodes persist far longer than the seconds a transaction's retries
+// span, so a flaky component that fails the first attempt fails the
+// retries too. (Per-attempt independence would make multi-replica sites
+// artificially immune to fractional-severity faults.)
+func (ev *evaluator) download(rng *rand.Rand, rec *Record, c *workload.ClientNode, w *workload.WebsiteNode, addrs []netip.Addr, at simnet.Time, connectivityDown bool) {
+	tl := ev.tl
+	p := &ev.cfg.Scenario.Params
+	const tries = 2
+	si := rec.SiteIdx
+	rtt := ev.sampleRTT(rng, c, w)
+	const synFailTime = 21 * time.Second
+
+	if c.Proxied {
+		addrs = addrs[:1]
+	}
+
+	// --- Per-transaction fault state. ---
+	var (
+		blocked      bool
+		blockMode    uint8
+		wwwDown      bool
+		overload     bool
+		overloadMode uint8
+		pathDown     = connectivityDown
+		replicaDown  map[netip.Addr]bool
+	)
+
+	if pairEnt, hasPair := ev.pairEnt[[2]int32{rec.ClientIdx, si}]; hasPair {
+		if ep, ok := tl.Active(pairEnt, faults.PermanentBlock, at); hit(rng, ep, ok) {
+			blocked = true
+			blockMode = ep.Mode
+		}
+	}
+	// BGP instability / path outages on either end's prefix.
+	prefixes := []netip.Prefix{c.Prefix}
+	for _, addr := range addrs {
+		if pfx := prefixOf(w, addr); pfx.IsValid() {
+			prefixes = append(prefixes, pfx)
+		}
+	}
+	for _, pfx := range prefixes {
+		ent, ok := ev.prefixEnt[pfx]
+		if !ok {
+			continue
+		}
+		if ep, active := tl.Active(ent, faults.BGPInstability, at); active && rng.Float64() < pathImpact(ep) {
+			pathDown = true
+		}
+		if ep, active := tl.Active(ent, faults.PathOutage, at); hit(rng, ep, active) {
+			pathDown = true
+		}
+	}
+	if ep, ok := tl.Active(ev.wwwEnt[si], faults.ServerOutage, at); hit(rng, ep, ok) {
+		wwwDown = true
+	}
+	for _, addr := range addrs {
+		if ent, ok := ev.repEnt[addr]; ok {
+			if ep, active := tl.Active(ent, faults.ServerOutage, at); hit(rng, ep, active) {
+				if replicaDown == nil {
+					replicaDown = make(map[netip.Addr]bool, len(addrs))
+				}
+				replicaDown[addr] = true
+			}
+		}
+	}
+	if ep, ok := tl.Active(ev.wwwEnt[si], faults.ServerOverload, at); hit(rng, ep, ok) {
+		overload = true
+		overloadMode = ep.Mode
+	}
+	// Transient connection-level failure: a short glitch that a
+	// 20-second retry sequence does not outlive. Flakier client sites
+	// see proportionally more of them. Most are failed handshakes, but
+	// a share shows up after the handshake (lost response, broken
+	// transfer) matching Figure 3's no-response/partial tail.
+	transientConn := false
+	transientKind := httpsim.NoConnection
+	q := ev.quality[rec.ClientIdx]
+	if q > 3 {
+		q = 3
+	}
+	if rng.Float64() < p.TransientConnFail*(0.6+q*0.4) {
+		transientConn = true
+		transientKind = transientKindFor(rng, c.Category)
+	}
+
+	var elapsed time.Duration
+	for try := 0; try < tries; try++ {
+		for _, addr := range addrs {
+			rec.Conns++
+			rec.ReplicaIP = addr
+
+			switch {
+			case blocked && blockMode == workload.BlockPartial:
+				rec.Bytes += int32(rng.Intn(4096))
+				rec.DataPkts += int16(2 + rng.Intn(4))
+				rec.Retransmits += int16(1 + rng.Intn(8))
+				rec.FailKind = httpsim.PartialResponse
+				elapsed += 60 * time.Second
+				continue
+			case blocked, pathDown, wwwDown, replicaDown[addr]:
+				rec.FailKind = httpsim.NoConnection
+				elapsed += synFailTime
+				continue
+			case transientConn && transientKind == httpsim.NoConnection:
+				rec.FailKind = httpsim.NoConnection
+				elapsed += synFailTime
+				continue
+			case transientConn:
+				rec.FailKind = transientKind
+				if transientKind == httpsim.PartialResponse {
+					rec.Bytes += int32(w.IndexSize / 3)
+					rec.DataPkts += int16(w.IndexSize / 3 / 1460)
+					rec.Retransmits += int16(1 + rng.Intn(4))
+				}
+				elapsed += 60 * time.Second
+				continue
+			}
+
+			// Connected. Server application health.
+			if overload {
+				switch overloadMode {
+				case workload.OverloadStall, workload.OverloadAbort:
+					rec.Bytes += int32(w.IndexSize / 2)
+					rec.DataPkts += int16(w.IndexSize / 2 / 1460)
+					rec.Retransmits += int16(rng.Intn(3))
+					rec.FailKind = httpsim.PartialResponse
+					if overloadMode == workload.OverloadAbort {
+						elapsed += 2*rtt + 500*time.Millisecond
+					} else {
+						elapsed += 60 * time.Second
+					}
+				default: // OverloadHung
+					rec.FailKind = httpsim.NoResponse
+					elapsed += 60 * time.Second
+				}
+				continue
+			}
+
+			// Successful transfer: account packets and sampled
+			// baseline loss.
+			pkts := w.IndexSize/1460 + 2
+			rec.DataPkts += int16(pkts)
+			lossQ := ev.quality[rec.ClientIdx]
+			if lossQ > 2.5 {
+				lossQ = 2.5
+			}
+			loss := (0.004 + rng.Float64()*0.012) * (0.75 + 0.25*lossQ)
+			for i := 0; i < pkts; i++ {
+				if rng.Float64() < loss {
+					rec.Retransmits++
+				}
+			}
+			elapsed += 2*rtt + time.Duration(float64(rtt)*float64(pkts)/8) +
+				time.Duration(rng.Int63n(int64(200*time.Millisecond)))
+			ev.httpPhase(rng, rec, w, at)
+			rec.Elapsed = elapsed
+			return
+		}
+	}
+	rec.Stage = httpsim.StageTCP
+	if rec.FailKind == httpsim.ConnOK {
+		rec.FailKind = httpsim.NoConnection
+	}
+	rec.Elapsed = elapsed
+}
+
+// httpPhase decides the HTTP outcome of a completed transfer.
+func (ev *evaluator) httpPhase(rng *rand.Rand, rec *Record, w *workload.WebsiteNode, at simnet.Time) {
+	p := &ev.cfg.Scenario.Params
+	if ep, ok := ev.tl.Active(ev.wwwEnt[rec.SiteIdx], faults.ServerHTTPError, at); hit(rng, ep, ok) {
+		rec.Stage = httpsim.StageHTTP
+		rec.StatusCode = 503
+		return
+	}
+	if rng.Float64() < p.TransientHTTPErr {
+		rec.Stage = httpsim.StageHTTP
+		rec.StatusCode = 404
+		return
+	}
+	rec.Stage = httpsim.StageNone
+	rec.StatusCode = 200
+	rec.Bytes += int32(w.IndexSize)
+	rec.FailKind = httpsim.ConnOK
+}
+
+// transientKindFor draws the failure kind of a transient connection
+// failure. The mix is category-specific, reproducing Figure 3: SYN losses
+// dominate on academic paths (PL 79% no-connection), while consumer
+// broadband shows proportionally more response-phase failures (BB 41%
+// no-connection) — last-mile asymmetries bite after the handshake.
+func transientKindFor(rng *rand.Rand, cat workload.Category) httpsim.ConnFailKind {
+	var noConn, noResp float64
+	switch cat {
+	case workload.BB:
+		noConn, noResp = 0.18, 0.45
+	case workload.DU:
+		noConn, noResp = 0.46, 0.32
+	default: // PL, CN
+		noConn, noResp = 0.60, 0.24
+	}
+	switch v := rng.Float64(); {
+	case v < noConn:
+		return httpsim.NoConnection
+	case v < noConn+noResp:
+		return httpsim.NoResponse
+	default:
+		return httpsim.PartialResponse
+	}
+}
+
+// prefixOf locates the website prefix containing addr (CDN addresses have
+// no monitored prefix and return the zero prefix).
+func prefixOf(w *workload.WebsiteNode, addr netip.Addr) netip.Prefix {
+	for _, p := range w.Prefixes {
+		if p.Contains(addr) {
+			return p
+		}
+	}
+	return netip.Prefix{}
+}
+
+// sampleDNSTime draws a successful lookup latency: tens of milliseconds,
+// heavy-tailed.
+func (ev *evaluator) sampleDNSTime(rng *rand.Rand) time.Duration {
+	base := 15 + rng.ExpFloat64()*60
+	if base > 2000 {
+		base = 2000
+	}
+	return time.Duration(base * float64(time.Millisecond))
+}
+
+// sampleRTT draws the client↔server round-trip time from the region pair.
+func (ev *evaluator) sampleRTT(rng *rand.Rand, c *workload.ClientNode, w *workload.WebsiteNode) time.Duration {
+	base := regionRTT(c.Region, w.Region)
+	jitter := time.Duration(rng.Int63n(int64(base/4) + 1))
+	extra := time.Duration(0)
+	if c.Category == workload.DU {
+		extra = 120 * time.Millisecond // modem latency
+	}
+	return base + jitter + extra
+}
+
+// regionRTT is the baseline RTT between coarse regions.
+func regionRTT(a, b string) time.Duration {
+	if a == b {
+		return 25 * time.Millisecond
+	}
+	intl := func(r string) bool { return r == "europe" || r == "asia" }
+	switch {
+	case intl(a) && intl(b):
+		return 250 * time.Millisecond
+	case intl(a) || intl(b):
+		return 150 * time.Millisecond
+	default:
+		return 70 * time.Millisecond // cross-US
+	}
+}

@@ -1,0 +1,478 @@
+package measure
+
+import (
+	"math/rand"
+	"net/netip"
+	"strings"
+	"time"
+
+	"webfail/internal/dnssim"
+	"webfail/internal/faults"
+	"webfail/internal/httpsim"
+	"webfail/internal/simnet"
+	"webfail/internal/tcpsim"
+	"webfail/internal/trace"
+	"webfail/internal/workload"
+)
+
+// RunPacket executes the experiment in packet mode: a full simulated
+// internet (DNS hierarchy, TCP stacks, HTTP servers, proxies) is built
+// from the topology, fault episodes drive component statuses and path
+// conditions, and every transaction performs the real Section 3.4
+// procedure — flush the LDNS cache, wget the URL, run an iterative dig on
+// DNS failure. Intended for validation at reduced scale; fast mode covers
+// the month-scale run.
+func RunPacket(cfg Config, visit func(*Record)) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	w := buildWorld(cfg)
+	// Schedule every transaction as a simulation event.
+	workload.ForEachTransaction(cfg.Topo, cfg.Seed, cfg.Start, cfg.End, func(tx *workload.Transaction) {
+		cp := *tx
+		w.net.Sched.At(cp.At, func() { w.runTransaction(&cp, visit) })
+	})
+	w.net.Sched.Run()
+	return nil
+}
+
+// world is the constructed packet-mode internet.
+type world struct {
+	cfg  Config
+	topo *workload.Topology
+	tl   *faults.Timeline
+	net  *simnet.Network
+	rng  *rand.Rand
+
+	clients []*clientHost
+	ldns    map[string]*dnssim.LDNS // by site
+	servers []*httpsim.Server
+
+	// addr classification for the path function.
+	addrSite map[netip.Addr]string // client-side addrs -> client site
+	addrWWW  map[netip.Addr]string // server-side addrs -> website host
+	prefixOf map[netip.Addr]netip.Prefix
+	// dnsAddr marks DNS infrastructure (LDNS, authoritative, root/TLD):
+	// prefix-scoped data-path faults (BGPInstability, PathOutage on a
+	// prefix entity) exempt DNS traffic, mirroring the fast-mode
+	// semantics that routing events hit the data path while resolution
+	// uses distinct infrastructure (Section 4.1.3).
+	dnsAddr map[netip.Addr]bool
+}
+
+type clientHost struct {
+	node   *workload.ClientNode
+	host   *simnet.Host
+	stack  *tcpsim.Stack
+	client *httpsim.Client
+	dig    *dnssim.Dig
+}
+
+// probStatus converts an episode-driven probability into a status draw.
+func probHit(rng *rand.Rand, ep faults.Episode, ok bool) bool { return hit(rng, ep, ok) }
+
+func buildWorld(cfg Config) *world {
+	topo := cfg.Topo
+	w := &world{
+		cfg:      cfg,
+		topo:     topo,
+		tl:       cfg.Scenario.Timeline,
+		net:      simnet.NewNetwork(cfg.Seed ^ 0x7a65b1),
+		rng:      rand.New(rand.NewSource(cfg.Seed ^ 0x11ddcc)),
+		ldns:     make(map[string]*dnssim.LDNS),
+		addrSite: make(map[netip.Addr]string),
+		addrWWW:  make(map[netip.Addr]string),
+		prefixOf: make(map[netip.Addr]netip.Prefix),
+		dnsAddr:  make(map[netip.Addr]bool),
+	}
+	w.dnsAddr[topo.RootDNS] = true
+	w.dnsAddr[topo.TLDDNS] = true
+
+	// --- DNS hierarchy: root + one TLD server per TLD + per-site auth.
+	rootHost := w.net.AddHost("root-dns", topo.RootDNS)
+	rootZone := dnssim.NewZone("")
+	tldHost := w.net.AddHost("tld-dns", topo.TLDDNS)
+	tldServer := dnssim.NewAuthServer(tldHost)
+	tldZones := map[string]*dnssim.Zone{}
+	for i := range topo.Websites {
+		site := &topo.Websites[i]
+		tld := site.Host[strings.LastIndexByte(site.Host, '.')+1:]
+		if _, ok := tldZones[tld]; !ok {
+			z := dnssim.NewZone(tld)
+			tldZones[tld] = z
+			tldServer.AddZone(z)
+			rootZone.Delegate(tld, map[string]netip.Addr{"ns." + tld: topo.TLDDNS})
+		}
+		tldZones[tld].Delegate(site.Host, map[string]netip.Addr{"ns." + site.Host: site.AuthDNS})
+	}
+	dnssim.NewAuthServer(rootHost, rootZone)
+
+	// --- Websites: auth DNS + replica servers (or the CDN pool).
+	cdnNeeded := false
+	for i := range topo.Websites {
+		site := &topo.Websites[i]
+		w.dnsAddr[site.AuthDNS] = true
+		authHost := w.net.AddHost("dns."+site.Host, site.AuthDNS)
+		zone := dnssim.NewZone(site.Host)
+		if len(site.ReplicaAddrs) == 0 {
+			cdnNeeded = true
+			for _, a := range topo.CDNPool {
+				zone.AddA(site.Host, a, 20)
+			}
+		}
+		for _, a := range site.ReplicaAddrs {
+			zone.AddA(site.Host, a, 60)
+		}
+		auth := dnssim.NewAuthServer(authHost, zone)
+		auth.Status = w.authStatus(site)
+
+		for k, a := range site.ReplicaAddrs {
+			host := w.net.AddHost(site.Host+"-r"+itoa(k), a)
+			stack := tcpsim.NewStack(host)
+			stack.Status = w.serverStatus(site, a)
+			srv := httpsim.NewServer(stack)
+			srv.Hosts = []string{site.Host}
+			srv.Pages["/"] = httpsim.Page{Path: "/", Size: site.IndexSize}
+			srv.Status = w.appStatus(site)
+			w.servers = append(w.servers, srv)
+			w.addrWWW[a] = site.Host
+			for _, p := range site.Prefixes {
+				if p.Contains(a) {
+					w.prefixOf[a] = p
+				}
+			}
+		}
+		w.addrWWW[site.AuthDNS] = site.Host
+		if len(site.Prefixes) > 0 {
+			w.prefixOf[site.AuthDNS] = site.Prefixes[0]
+		}
+	}
+	if cdnNeeded {
+		for k, a := range topo.CDNPool {
+			host := w.net.AddHost("cdn-"+itoa(k), a)
+			stack := tcpsim.NewStack(host)
+			srv := httpsim.NewServer(stack)
+			srv.Pages["/"] = httpsim.Page{Path: "/", Size: 10240}
+			w.servers = append(w.servers, srv)
+		}
+	}
+
+	// --- Client sites: LDNS (one per site), proxies, clients.
+	proxies := map[string]netip.AddrPort{}
+	for i := range topo.Clients {
+		node := &topo.Clients[i]
+		if _, ok := w.ldns[node.Site]; !ok {
+			ldnsHost := w.net.AddHost("ldns."+node.Site, node.LDNS)
+			l := dnssim.NewLDNS(ldnsHost, []netip.Addr{topo.RootDNS})
+			l.Status = w.ldnsStatus(node.Site)
+			w.ldns[node.Site] = l
+			w.addrSite[node.LDNS] = node.Site
+			w.dnsAddr[node.LDNS] = true
+		}
+		if node.Proxied {
+			if _, ok := proxies[node.Site]; !ok {
+				prxHost := w.net.AddHost("proxy."+node.Site, node.Proxy)
+				prxStack := tcpsim.NewStack(prxHost)
+				resolver := dnssim.NewStubResolver(prxHost, node.LDNS)
+				httpsim.NewProxy(prxStack, resolver)
+				proxies[node.Site] = netip.AddrPortFrom(node.Proxy, httpsim.ProxyPort)
+				w.addrSite[node.Proxy] = node.Site
+				w.prefixOf[node.Proxy] = node.Prefix
+			}
+		}
+
+		host := w.net.AddHost(node.Name, node.Addr)
+		stack := tcpsim.NewStack(host)
+		resolver := dnssim.NewStubResolver(host, node.LDNS)
+		cli := httpsim.NewClient(stack, resolver)
+		if node.Proxied {
+			cli.Proxy = proxies[node.Site]
+			cli.NoCache = true
+		}
+		w.clients = append(w.clients, &clientHost{
+			node:   node,
+			host:   host,
+			stack:  stack,
+			client: cli,
+			dig:    dnssim.NewDig(host, node.LDNS, []netip.Addr{topo.RootDNS}),
+		})
+		w.addrSite[node.Addr] = node.Site
+		w.prefixOf[node.Addr] = node.Prefix
+	}
+
+	w.net.SetPathFunc(w.pathState)
+	return w
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// Status functions: episode severity becomes a per-call failure draw, so
+// fractional-severity episodes behave like flaky components.
+
+func (w *world) authStatus(site *workload.WebsiteNode) dnssim.StatusFunc {
+	ent := faults.Entity("www:" + site.Host)
+	return func(now simnet.Time) dnssim.Status {
+		if ep, ok := w.tl.Active(ent, faults.AuthDNSMisconfig, now); probHit(w.rng, ep, ok) {
+			if ep.Mode == workload.MisconfigNXDomain {
+				return dnssim.StatusNXDomain
+			}
+			return dnssim.StatusServFail
+		}
+		if ep, ok := w.tl.Active(ent, faults.AuthDNSOutage, now); probHit(w.rng, ep, ok) {
+			return dnssim.StatusDown
+		}
+		return dnssim.StatusUp
+	}
+}
+
+func (w *world) ldnsStatus(siteName string) dnssim.StatusFunc {
+	ent := faults.Entity("site:" + siteName)
+	return func(now simnet.Time) dnssim.Status {
+		if ep, ok := w.tl.Active(ent, faults.LDNSOutage, now); probHit(w.rng, ep, ok) {
+			return dnssim.StatusDown
+		}
+		return dnssim.StatusUp
+	}
+}
+
+func (w *world) serverStatus(site *workload.WebsiteNode, addr netip.Addr) tcpsim.StatusFunc {
+	wwwEnt := faults.Entity("www:" + site.Host)
+	repEnt := faults.Entity("replica:" + addr.String())
+	return func(now simnet.Time) tcpsim.HostStatus {
+		if ep, ok := w.tl.Active(wwwEnt, faults.ServerOutage, now); probHit(w.rng, ep, ok) {
+			return tcpsim.HostDown
+		}
+		if ep, ok := w.tl.Active(repEnt, faults.ServerOutage, now); probHit(w.rng, ep, ok) {
+			return tcpsim.HostDown
+		}
+		return tcpsim.HostUp
+	}
+}
+
+func (w *world) appStatus(site *workload.WebsiteNode) httpsim.AppStatusFunc {
+	ent := faults.Entity("www:" + site.Host)
+	return func(now simnet.Time) httpsim.AppStatus {
+		if ep, ok := w.tl.Active(ent, faults.ServerOverload, now); probHit(w.rng, ep, ok) {
+			switch ep.Mode {
+			case workload.OverloadStall:
+				return httpsim.AppStatus{Mode: httpsim.AppStall}
+			case workload.OverloadAbort:
+				return httpsim.AppStatus{Mode: httpsim.AppAbort}
+			default:
+				return httpsim.AppStatus{Mode: httpsim.AppHung}
+			}
+		}
+		if ep, ok := w.tl.Active(ent, faults.ServerHTTPError, now); probHit(w.rng, ep, ok) {
+			return httpsim.AppStatus{Mode: httpsim.AppError, Code: 503}
+		}
+		return httpsim.AppStatus{Mode: httpsim.AppOK}
+	}
+}
+
+// pathState resolves path conditions from the fault timeline: client-site
+// connectivity episodes cut the site off, BGP instability degrades a
+// prefix, and permanent pair blocks filter a (client site, website) pair.
+func (w *world) pathState(src, dst netip.Addr, now simnet.Time) simnet.PathState {
+	st := simnet.PathState{Latency: w.latency(src, dst), Loss: 0.002}
+
+	apply := func(p float64) {
+		if p >= 1 {
+			st.Down = true
+		} else if p > st.Loss {
+			st.Loss = p
+		}
+	}
+
+	for _, a := range [2]netip.Addr{src, dst} {
+		if site, ok := w.addrSite[a]; ok {
+			// Intra-site traffic (client to its own LDNS/proxy)
+			// is not affected by *WAN* connectivity faults unless
+			// the fault is the site's own last mile — the paper's
+			// LDNS timeouts come precisely from the client-LDNS
+			// path, so the site fault applies to everything.
+			ent := faults.Entity("site:" + site)
+			if ep, ok := w.tl.Active(ent, faults.ClientConnectivity, now); ok {
+				apply(ep.Severity)
+			}
+			if ep, ok := w.tl.Active(ent, faults.PathOutage, now); ok {
+				apply(ep.Severity)
+			}
+		}
+		// Prefix-scoped data-path faults: exempt DNS traffic (both
+		// modes treat routing events as data-path phenomena).
+		if w.dnsAddr[src] || w.dnsAddr[dst] {
+			continue
+		}
+		if pfx, ok := w.prefixOf[a]; ok {
+			ent := faults.Entity("prefix:" + pfx.String())
+			if ep, ok := w.tl.Active(ent, faults.BGPInstability, now); ok {
+				apply(pathImpact(ep))
+			}
+			if ep, ok := w.tl.Active(ent, faults.PathOutage, now); ok {
+				apply(ep.Severity)
+			}
+		}
+	}
+
+	// Permanent pair blocks, in either direction.
+	checkPair := func(clientAddr, serverAddr netip.Addr) {
+		site, ok1 := w.addrSite[clientAddr]
+		www, ok2 := w.addrWWW[serverAddr]
+		if !ok1 || !ok2 {
+			return
+		}
+		ent := faults.PairEntity(site, www)
+		if ep, ok := w.tl.Active(ent, faults.PermanentBlock, now); ok {
+			if ep.Mode == workload.BlockPartial {
+				// The mp3.com checksum case: the handshake
+				// works but the transfer dies — heavy loss.
+				apply(0.75)
+			} else {
+				apply(ep.Severity)
+			}
+		}
+	}
+	checkPair(src, dst)
+	checkPair(dst, src)
+	return st
+}
+
+// latency is the one-way propagation delay. Packet mode uses a uniform
+// 20 ms (a mid-continental path); failure behaviour, not absolute
+// performance, is what this mode validates.
+func (w *world) latency(netip.Addr, netip.Addr) time.Duration {
+	return 20 * time.Millisecond
+}
+
+// runTransaction performs one download following the Section 3.4 steps.
+func (w *world) runTransaction(tx *workload.Transaction, visit func(*Record)) {
+	ch := w.clients[tx.ClientIdx]
+	node := ch.node
+	site := &w.topo.Websites[tx.SiteIdx]
+
+	// Machine off: no access at all.
+	if _, off := w.tl.Active(faults.Entity("client:"+node.Name), faults.ClientMachineOff, tx.At); off {
+		return
+	}
+
+	// Step 1: flush the local DNS cache.
+	if l, ok := w.ldns[node.Site]; ok && !node.Proxied {
+		l.FlushCache()
+	}
+
+	rec := &Record{
+		ClientIdx: int32(tx.ClientIdx),
+		SiteIdx:   int32(tx.SiteIdx),
+		At:        tx.At,
+		Category:  node.Category,
+		Proxied:   node.Proxied,
+	}
+
+	// Step 2: wget.
+	ch.client.Fetch("http://"+site.Host+"/", func(res *httpsim.FetchResult) {
+		rec.Stage = res.Stage
+		rec.FailKind = res.FailKind
+		rec.Conns = int16(len(res.Attempts))
+		rec.StatusCode = int16(res.StatusCode)
+		rec.Bytes = int32(res.Bytes)
+		rec.Redirects = int8(res.Redirects)
+		rec.ReplicaIP = res.ReplicaIP
+		rec.Elapsed = res.Elapsed
+		rec.DNSTime = res.DNS.RTT
+
+		switch {
+		case node.Proxied:
+			rec.DNS = DNSMasked
+			visit(rec)
+		case res.Stage == httpsim.StageDNS:
+			// Step 3: iterative dig to sub-classify the DNS
+			// failure, exactly as the paper's post-processing
+			// does.
+			ch.dig.Trace(site.Host, func(rep *dnssim.DigReport) {
+				switch rep.Classify() {
+				case dnssim.ClassLDNSTimeout:
+					rec.DNS = DNSLDNSTimeout
+				case dnssim.ClassErrorResponse:
+					rec.DNS = DNSErrorResponse
+				case dnssim.ClassNonLDNSTimeout:
+					rec.DNS = DNSNonLDNSTimeout
+				default:
+					// dig succeeded where wget failed —
+					// transient; attribute by wget's
+					// observation.
+					if res.DNS.Kind == dnssim.ResultError {
+						rec.DNS = DNSErrorResponse
+					} else {
+						rec.DNS = DNSLDNSTimeout
+					}
+				}
+				visit(rec)
+			})
+		default:
+			rec.DNS = DNSOK
+			visit(rec)
+		}
+	})
+}
+
+// CaptureResult hands back one monitored client's full packet trace
+// analysis after a packet-mode run.
+type CaptureResult struct {
+	Client string
+	Flows  map[trace.Flow]*trace.FlowStats
+	// Packets is the raw capture size.
+	Packets int
+}
+
+// RunPacketWithCapture is RunPacket plus tcpdump-style captures on the
+// named clients (Section 3.4 step 4). After the run, each monitored
+// client's capture is post-processed into per-flow TCP statistics
+// (Section 3.5) and delivered through onCapture — letting callers check
+// that the trace-derived failure classification agrees with what the
+// client itself observed, exactly the redundancy the paper's methodology
+// builds in.
+func RunPacketWithCapture(cfg Config, clients []string, visit func(*Record), onCapture func(CaptureResult)) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	w := buildWorld(cfg)
+
+	caps := make(map[string]*trace.Capture)
+	for _, name := range clients {
+		for _, ch := range w.clients {
+			if ch.node.Name == name {
+				c := &trace.Capture{}
+				c.Attach(ch.host)
+				caps[name] = c
+			}
+		}
+	}
+
+	workload.ForEachTransaction(cfg.Topo, cfg.Seed, cfg.Start, cfg.End, func(tx *workload.Transaction) {
+		cp := *tx
+		w.net.Sched.At(cp.At, func() { w.runTransaction(&cp, visit) })
+	})
+	w.net.Sched.Run()
+
+	for name, c := range caps {
+		pkts := c.Packets()
+		onCapture(CaptureResult{
+			Client:  name,
+			Flows:   trace.AnalyzeTCP(pkts),
+			Packets: len(pkts),
+		})
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package measure
+
+import (
+	"testing"
+	"time"
+
+	"webfail/internal/faults"
+	"webfail/internal/httpsim"
+	"webfail/internal/simnet"
+	"webfail/internal/workload"
+)
+
+func TestPacketModeQuietAllSucceeds(t *testing.T) {
+	cfg := quietConfig(t, 2, 3, 1)
+	total, failed := 0, 0
+	err := RunPacket(cfg, func(r *Record) {
+		total++
+		if r.Failed() {
+			failed++
+			t.Logf("failure: %+v", r)
+		}
+		if r.DNS != DNSOK {
+			t.Errorf("DNS outcome = %v", r.DNS)
+		}
+		if r.Bytes == 0 {
+			t.Errorf("zero bytes on success")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("no transactions")
+	}
+	if failed != 0 {
+		t.Fatalf("failures in quiet packet run: %d of %d", failed, total)
+	}
+}
+
+// packetScenario builds a quiet scenario plus one hand-placed episode.
+func packetScenario(t *testing.T, nClients, nSites int, hours int64, eps ...faults.Episode) Config {
+	t.Helper()
+	cfg := quietConfig(t, nClients, nSites, hours)
+	tl := faults.NewTimeline()
+	for _, ep := range eps {
+		tl.Add(ep)
+	}
+	tl.Freeze()
+	cfg.Scenario.Timeline = tl
+	return cfg
+}
+
+func TestPacketModeLDNSOutage(t *testing.T) {
+	topo := workload.NewScaledTopology(1, 2)
+	// LDNS of client 0's site down in hour 1.
+	cfg := packetScenario(t, 1, 2, 2, faults.Episode{
+		Entity: faults.Entity("site:" + topo.Clients[0].Site),
+		Kind:   faults.LDNSOutage,
+		Start:  simnet.FromHours(1), Duration: time.Hour, Severity: 1,
+	})
+	var h0ok, h1total, h1ldns int
+	err := RunPacket(cfg, func(r *Record) {
+		switch r.At.Hour() {
+		case 0:
+			if !r.Failed() {
+				h0ok++
+			}
+		case 1:
+			h1total++
+			if r.Stage == httpsim.StageDNS && r.DNS == DNSLDNSTimeout {
+				h1ldns++
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0ok == 0 {
+		t.Error("no successes before the episode")
+	}
+	if h1total == 0 || h1ldns != h1total {
+		t.Errorf("hour 1: %d/%d classified ldns-timeout", h1ldns, h1total)
+	}
+}
+
+func TestPacketModeAuthDNSOutageIsNonLDNS(t *testing.T) {
+	cfg := quietConfig(t, 1, 2, 1)
+	tl := faults.NewTimeline()
+	tl.Add(faults.Episode{
+		Entity: faults.Entity("www:" + cfg.Topo.Websites[0].Host),
+		Kind:   faults.AuthDNSOutage,
+		Start:  0, Duration: time.Hour, Severity: 1,
+	})
+	tl.Freeze()
+	cfg.Scenario.Timeline = tl
+	var site0, nonldns int
+	err := RunPacket(cfg, func(r *Record) {
+		if r.SiteIdx == 0 {
+			site0++
+			if r.DNS == DNSNonLDNSTimeout {
+				nonldns++
+			}
+		} else if r.Failed() {
+			t.Errorf("unrelated site failed: %+v", r)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if site0 == 0 || nonldns != site0 {
+		t.Errorf("non-ldns-timeout = %d of %d", nonldns, site0)
+	}
+}
+
+func TestPacketModeServerOutageIsNoConnection(t *testing.T) {
+	cfg := quietConfig(t, 1, 2, 1)
+	tl := faults.NewTimeline()
+	tl.Add(faults.Episode{
+		Entity: faults.Entity("www:" + cfg.Topo.Websites[1].Host),
+		Kind:   faults.ServerOutage,
+		Start:  0, Duration: time.Hour, Severity: 1,
+	})
+	tl.Freeze()
+	cfg.Scenario.Timeline = tl
+	var site1, noconn int
+	err := RunPacket(cfg, func(r *Record) {
+		if r.SiteIdx == 1 {
+			site1++
+			if r.Stage == httpsim.StageTCP && r.FailKind == httpsim.NoConnection {
+				noconn++
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if site1 == 0 || noconn != site1 {
+		t.Errorf("no-connection = %d of %d", noconn, site1)
+	}
+}
+
+func TestPacketModeOverloadHungIsNoResponse(t *testing.T) {
+	cfg := quietConfig(t, 1, 1, 1)
+	tl := faults.NewTimeline()
+	tl.Add(faults.Episode{
+		Entity: faults.Entity("www:" + cfg.Topo.Websites[0].Host),
+		Kind:   faults.ServerOverload,
+		Mode:   workload.OverloadHung,
+		Start:  0, Duration: time.Hour, Severity: 1,
+	})
+	tl.Freeze()
+	cfg.Scenario.Timeline = tl
+	var total, noresp int
+	err := RunPacket(cfg, func(r *Record) {
+		total++
+		if r.Stage == httpsim.StageTCP && r.FailKind == httpsim.NoResponse {
+			noresp++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 || noresp != total {
+		t.Errorf("no-response = %d of %d", noresp, total)
+	}
+}
+
+func TestPacketModeStallIsPartialResponse(t *testing.T) {
+	cfg := quietConfig(t, 1, 1, 1)
+	tl := faults.NewTimeline()
+	tl.Add(faults.Episode{
+		Entity: faults.Entity("www:" + cfg.Topo.Websites[0].Host),
+		Kind:   faults.ServerOverload,
+		Mode:   workload.OverloadStall,
+		Start:  0, Duration: time.Hour, Severity: 1,
+	})
+	tl.Freeze()
+	cfg.Scenario.Timeline = tl
+	var total, partial int
+	err := RunPacket(cfg, func(r *Record) {
+		total++
+		if r.Stage == httpsim.StageTCP && r.FailKind == httpsim.PartialResponse {
+			partial++
+			if r.Bytes == 0 {
+				t.Error("partial response with zero bytes")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 || partial != total {
+		t.Errorf("partial = %d of %d", partial, total)
+	}
+}
+
+// TestModesAgree drives both modes over the same deterministic fault
+// schedule and checks that they classify the same hours the same way —
+// the equivalence claim DESIGN.md makes for the fast-mode substitution.
+func TestModesAgree(t *testing.T) {
+	build := func() Config {
+		cfg := quietConfig(t, 2, 3, 3)
+		tl := faults.NewTimeline()
+		// Hour 0: clean. Hour 1: site 0's server down. Hour 2: LDNS out.
+		tl.Add(faults.Episode{
+			Entity: faults.Entity("www:" + cfg.Topo.Websites[0].Host),
+			Kind:   faults.ServerOutage,
+			Start:  simnet.FromHours(1), Duration: time.Hour, Severity: 1,
+		})
+		tl.Add(faults.Episode{
+			Entity: faults.Entity("site:" + cfg.Topo.Clients[0].Site),
+			Kind:   faults.LDNSOutage,
+			Start:  simnet.FromHours(2), Duration: time.Hour, Severity: 1,
+		})
+		tl.Freeze()
+		cfg.Scenario.Timeline = tl
+		return cfg
+	}
+
+	type key struct {
+		client, site int32
+		hour         int64
+		stage        httpsim.Stage
+		dns          DNSOutcome
+		kind         httpsim.ConnFailKind
+	}
+	classify := func(run func(Config, func(*Record)) error) map[key]int {
+		out := map[key]int{}
+		cfg := build()
+		if err := run(cfg, func(r *Record) {
+			out[key{r.ClientIdx, r.SiteIdx, r.At.Hour(), r.Stage, r.DNS, r.FailKind}]++
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	fast := classify(Run)
+	packet := classify(RunPacket)
+	if len(fast) == 0 || len(packet) == 0 {
+		t.Fatal("empty classifications")
+	}
+	// Same classification keys must appear in both (counts may differ
+	// slightly if schedules interact with episode edges, but for
+	// full-hour severity-1 episodes they are identical).
+	for k, n := range fast {
+		if packet[k] != n {
+			t.Errorf("key %+v: fast=%d packet=%d", k, n, packet[k])
+		}
+	}
+	for k, n := range packet {
+		if fast[k] != n {
+			t.Errorf("key %+v missing from fast (packet=%d)", k, n)
+		}
+	}
+}

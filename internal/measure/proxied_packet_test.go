@@ -1,0 +1,129 @@
+package measure
+
+import (
+	"testing"
+	"time"
+
+	"webfail/internal/faults"
+	"webfail/internal/httpsim"
+)
+
+// TestPacketModeProxiedClients runs packet mode over the full roster (so
+// the CN clients and their ISA-style proxies are built) against two
+// websites for one quiet hour: proxied records must be DNS-masked and
+// succeed through the relay.
+func TestPacketModeProxiedClients(t *testing.T) {
+	cfg := quietConfig(t, 0, 2, 1)
+	var proxied, proxiedOK int
+	err := RunPacket(cfg, func(r *Record) {
+		if !r.Proxied {
+			if r.Failed() {
+				t.Errorf("direct failure in quiet world: %+v", r)
+			}
+			return
+		}
+		proxied++
+		if r.DNS != DNSMasked {
+			t.Errorf("proxied record with DNS=%v", r.DNS)
+		}
+		if !r.Failed() {
+			proxiedOK++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proxied == 0 {
+		t.Fatal("no proxied transactions")
+	}
+	if proxiedOK != proxied {
+		t.Errorf("proxied success = %d of %d", proxiedOK, proxied)
+	}
+}
+
+// TestPacketModeProxyNoFailover reproduces the Section 4.7 mechanism in
+// the full harness: one replica of a 2-replica site down for the whole
+// hour. Direct clients fail over (no failures); proxied clients lose
+// whichever lookups pinned them to the dead replica.
+func TestPacketModeProxyNoFailover(t *testing.T) {
+	cfg := quietConfig(t, 0, 1, 1) // site 0: www.berkeley.edu, 2 replicas
+	topo := cfg.Topo
+	site := &topo.Websites[0]
+	if len(site.ReplicaAddrs) < 2 {
+		t.Skip("first site is not multi-replica")
+	}
+	tl := faults.NewTimeline()
+	tl.Add(faults.Episode{
+		Entity: faults.Entity("replica:" + site.ReplicaAddrs[0].String()),
+		Kind:   faults.ServerOutage,
+		Start:  0, Duration: time.Hour, Severity: 1,
+	})
+	tl.Freeze()
+	cfg.Scenario.Timeline = tl
+
+	var directFail, proxiedFail, proxiedTotal int
+	err := RunPacket(cfg, func(r *Record) {
+		if r.Proxied {
+			proxiedTotal++
+			if r.Failed() {
+				proxiedFail++
+				if r.Stage != httpsim.StageHTTP || r.StatusCode != 504 {
+					t.Errorf("proxied failure shape: stage=%v code=%d", r.Stage, r.StatusCode)
+				}
+			}
+			return
+		}
+		if r.Failed() {
+			directFail++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if directFail != 0 {
+		t.Errorf("direct clients failed %d times despite a live replica", directFail)
+	}
+	if proxiedFail == 0 {
+		t.Errorf("no proxied failures (%d proxied total); no-failover signature missing", proxiedTotal)
+	}
+}
+
+// TestPacketModeBGPEventHitsDataPathOnly: a client-prefix BGP event kills
+// TCP but leaves DNS working (the mode-shared semantics).
+func TestPacketModeBGPEventHitsDataPathOnly(t *testing.T) {
+	cfg := quietConfig(t, 1, 2, 1)
+	topo := cfg.Topo
+	tl := faults.NewTimeline()
+	tl.Add(faults.Episode{
+		Entity: faults.Entity("prefix:" + topo.Clients[0].Prefix.String()),
+		Kind:   faults.BGPInstability,
+		Start:  0, Duration: time.Hour, Severity: 1,
+	})
+	tl.Freeze()
+	cfg.Scenario.Timeline = tl
+
+	var total, tcpFail, dnsFail int
+	err := RunPacket(cfg, func(r *Record) {
+		total++
+		switch r.Stage {
+		case httpsim.StageTCP:
+			tcpFail++
+		case httpsim.StageDNS:
+			dnsFail++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("no transactions")
+	}
+	if dnsFail != 0 {
+		t.Errorf("DNS failures = %d; BGP events must hit the data path only", dnsFail)
+	}
+	// pathImpact for a global event is 0.88 per packet exchange, so most
+	// but not necessarily all transactions fail.
+	if tcpFail < total/2 {
+		t.Errorf("TCP failures = %d of %d, want the majority", tcpFail, total)
+	}
+}

@@ -1,0 +1,282 @@
+// Package netwire implements binary encoding and decoding of the simplified
+// IPv4, TCP, and UDP headers that simulated packets carry on the wire.
+//
+// The layouts are the real RFC 791/793/768 layouts (fixed 20-byte IPv4
+// header without options, 20-byte TCP header without options, 8-byte UDP
+// header) so that captured traces are honest byte strings and the trace
+// package can implement a gopacket-style layered decoder over them. Header
+// checksums are computed and verified with the standard Internet one's
+// complement sum.
+package netwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Header sizes in bytes.
+const (
+	IPv4HeaderLen = 20
+	TCPHeaderLen  = 20
+	UDPHeaderLen  = 8
+)
+
+// Errors returned by decoders.
+var (
+	ErrTruncated   = errors.New("netwire: truncated packet")
+	ErrBadVersion  = errors.New("netwire: not an IPv4 packet")
+	ErrBadChecksum = errors.New("netwire: bad checksum")
+	ErrBadIHL      = errors.New("netwire: bad IPv4 header length")
+)
+
+// TCP flag bits, in their RFC 793 positions.
+const (
+	FlagFIN uint8 = 1 << 0
+	FlagSYN uint8 = 1 << 1
+	FlagRST uint8 = 1 << 2
+	FlagPSH uint8 = 1 << 3
+	FlagACK uint8 = 1 << 4
+)
+
+// FlagString renders TCP flags in tcpdump style, e.g. "SA" for SYN|ACK.
+func FlagString(flags uint8) string {
+	names := []struct {
+		bit uint8
+		ch  byte
+	}{
+		{FlagSYN, 'S'}, {FlagFIN, 'F'}, {FlagRST, 'R'}, {FlagPSH, 'P'}, {FlagACK, 'A'},
+	}
+	out := make([]byte, 0, 5)
+	for _, n := range names {
+		if flags&n.bit != 0 {
+			out = append(out, n.ch)
+		}
+	}
+	if len(out) == 0 {
+		return "."
+	}
+	return string(out)
+}
+
+// IPv4 is a decoded IPv4 header (no options).
+type IPv4 struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Src, Dst netip.Addr
+}
+
+// TCPHeader is a decoded TCP header (no options).
+type TCPHeader struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+}
+
+// UDPHeader is a decoded UDP header.
+type UDPHeader struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+}
+
+// checksum computes the Internet checksum (RFC 1071) over b.
+func checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// EncodeIPv4 appends a 20-byte IPv4 header followed by payload to dst and
+// returns the extended slice. TotalLen is computed; the header checksum is
+// filled in.
+func EncodeIPv4(dst []byte, h *IPv4, payload []byte) ([]byte, error) {
+	if !h.Src.Is4() || !h.Dst.Is4() {
+		return dst, fmt.Errorf("%w: src=%v dst=%v", ErrBadVersion, h.Src, h.Dst)
+	}
+	total := IPv4HeaderLen + len(payload)
+	if total > 0xffff {
+		return dst, fmt.Errorf("netwire: packet too large (%d bytes)", total)
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, IPv4HeaderLen)...)
+	b := dst[off:]
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:], uint16(total))
+	binary.BigEndian.PutUint16(b[4:], h.ID)
+	// no fragmentation: flags/fragment offset zero
+	ttl := h.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	b[8] = ttl
+	b[9] = h.Protocol
+	src4 := h.Src.As4()
+	dst4 := h.Dst.As4()
+	copy(b[12:16], src4[:])
+	copy(b[16:20], dst4[:])
+	binary.BigEndian.PutUint16(b[10:], checksum(b[:IPv4HeaderLen]))
+	return append(dst, payload...), nil
+}
+
+// DecodeIPv4 parses the IPv4 header at the front of b, verifying version,
+// header length, and checksum. It returns the header and the payload bytes
+// (sliced, not copied).
+func DecodeIPv4(b []byte) (*IPv4, []byte, error) {
+	if len(b) < IPv4HeaderLen {
+		return nil, nil, ErrTruncated
+	}
+	if b[0]>>4 != 4 {
+		return nil, nil, ErrBadVersion
+	}
+	if b[0]&0x0f != 5 {
+		return nil, nil, ErrBadIHL
+	}
+	if checksum(b[:IPv4HeaderLen]) != 0 {
+		return nil, nil, fmt.Errorf("%w (IPv4 header)", ErrBadChecksum)
+	}
+	total := int(binary.BigEndian.Uint16(b[2:]))
+	if total < IPv4HeaderLen || total > len(b) {
+		return nil, nil, ErrTruncated
+	}
+	h := &IPv4{
+		TOS:      b[1],
+		TotalLen: uint16(total),
+		ID:       binary.BigEndian.Uint16(b[4:]),
+		TTL:      b[8],
+		Protocol: b[9],
+		Src:      netip.AddrFrom4([4]byte(b[12:16])),
+		Dst:      netip.AddrFrom4([4]byte(b[16:20])),
+	}
+	return h, b[IPv4HeaderLen:total], nil
+}
+
+// EncodeTCP appends a 20-byte TCP header followed by payload to dst. The
+// checksum covers the pseudo-header, TCP header, and payload as in RFC 793.
+func EncodeTCP(dst []byte, h *TCPHeader, src, dstAddr netip.Addr, payload []byte) ([]byte, error) {
+	if !src.Is4() || !dstAddr.Is4() {
+		return dst, ErrBadVersion
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, TCPHeaderLen)...)
+	b := dst[off:]
+	binary.BigEndian.PutUint16(b[0:], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], h.DstPort)
+	binary.BigEndian.PutUint32(b[4:], h.Seq)
+	binary.BigEndian.PutUint32(b[8:], h.Ack)
+	b[12] = 5 << 4 // data offset: 5 words
+	b[13] = h.Flags
+	binary.BigEndian.PutUint16(b[14:], h.Window)
+	dst = append(dst, payload...)
+	seg := dst[off:]
+	binary.BigEndian.PutUint16(seg[16:], pseudoChecksum(src, dstAddr, uint8(6), seg))
+	return dst, nil
+}
+
+// DecodeTCP parses a TCP header from the transport payload of an IPv4
+// packet, verifying the checksum against the pseudo-header. Returns the
+// header and the TCP payload (sliced).
+func DecodeTCP(b []byte, src, dst netip.Addr) (*TCPHeader, []byte, error) {
+	if len(b) < TCPHeaderLen {
+		return nil, nil, ErrTruncated
+	}
+	dataOff := int(b[12]>>4) * 4
+	if dataOff < TCPHeaderLen || dataOff > len(b) {
+		return nil, nil, ErrTruncated
+	}
+	if pseudoChecksum(src, dst, 6, b) != 0 {
+		return nil, nil, fmt.Errorf("%w (TCP segment)", ErrBadChecksum)
+	}
+	h := &TCPHeader{
+		SrcPort: binary.BigEndian.Uint16(b[0:]),
+		DstPort: binary.BigEndian.Uint16(b[2:]),
+		Seq:     binary.BigEndian.Uint32(b[4:]),
+		Ack:     binary.BigEndian.Uint32(b[8:]),
+		Flags:   b[13],
+		Window:  binary.BigEndian.Uint16(b[14:]),
+	}
+	return h, b[dataOff:], nil
+}
+
+// EncodeUDP appends an 8-byte UDP header followed by payload to dst.
+func EncodeUDP(dst []byte, h *UDPHeader, src, dstAddr netip.Addr, payload []byte) ([]byte, error) {
+	if !src.Is4() || !dstAddr.Is4() {
+		return dst, ErrBadVersion
+	}
+	length := UDPHeaderLen + len(payload)
+	if length > 0xffff {
+		return dst, fmt.Errorf("netwire: UDP datagram too large (%d bytes)", length)
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, UDPHeaderLen)...)
+	b := dst[off:]
+	binary.BigEndian.PutUint16(b[0:], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], h.DstPort)
+	binary.BigEndian.PutUint16(b[4:], uint16(length))
+	dst = append(dst, payload...)
+	dgram := dst[off:]
+	binary.BigEndian.PutUint16(dgram[6:], pseudoChecksum(src, dstAddr, 17, dgram))
+	return dst, nil
+}
+
+// DecodeUDP parses a UDP header from the transport payload of an IPv4
+// packet, verifying checksum and length.
+func DecodeUDP(b []byte, src, dst netip.Addr) (*UDPHeader, []byte, error) {
+	if len(b) < UDPHeaderLen {
+		return nil, nil, ErrTruncated
+	}
+	length := int(binary.BigEndian.Uint16(b[4:]))
+	if length < UDPHeaderLen || length > len(b) {
+		return nil, nil, ErrTruncated
+	}
+	if pseudoChecksum(src, dst, 17, b[:length]) != 0 {
+		return nil, nil, fmt.Errorf("%w (UDP datagram)", ErrBadChecksum)
+	}
+	h := &UDPHeader{
+		SrcPort: binary.BigEndian.Uint16(b[0:]),
+		DstPort: binary.BigEndian.Uint16(b[2:]),
+		Length:  uint16(length),
+	}
+	return h, b[UDPHeaderLen:length], nil
+}
+
+// pseudoChecksum computes the transport checksum over the IPv4
+// pseudo-header plus the segment bytes. When the segment's checksum field
+// is already populated, the result is 0 for a valid segment.
+func pseudoChecksum(src, dst netip.Addr, proto uint8, seg []byte) uint16 {
+	var pseudo [12]byte
+	s4, d4 := src.As4(), dst.As4()
+	copy(pseudo[0:4], s4[:])
+	copy(pseudo[4:8], d4[:])
+	pseudo[9] = proto
+	binary.BigEndian.PutUint16(pseudo[10:], uint16(len(seg)))
+
+	var sum uint32
+	add := func(b []byte) {
+		for i := 0; i+1 < len(b); i += 2 {
+			sum += uint32(b[i])<<8 | uint32(b[i+1])
+		}
+		if len(b)%2 == 1 {
+			sum += uint32(b[len(b)-1]) << 8
+		}
+	}
+	add(pseudo[:])
+	add(seg)
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,255 @@
+package netwire
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	addrA = netip.AddrFrom4([4]byte{10, 0, 0, 1})
+	addrB = netip.AddrFrom4([4]byte{192, 168, 1, 2})
+)
+
+func TestIPv4RoundTrip(t *testing.T) {
+	payload := []byte("hello, internet")
+	h := &IPv4{TOS: 0x10, ID: 4242, TTL: 60, Protocol: 6, Src: addrA, Dst: addrB}
+	pkt, err := EncodeIPv4(nil, h, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkt) != IPv4HeaderLen+len(payload) {
+		t.Fatalf("encoded length = %d", len(pkt))
+	}
+	got, body, err := DecodeIPv4(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != addrA || got.Dst != addrB || got.Protocol != 6 || got.ID != 4242 || got.TTL != 60 {
+		t.Errorf("decoded header = %+v", got)
+	}
+	if !bytes.Equal(body, payload) {
+		t.Errorf("payload mismatch: %q", body)
+	}
+}
+
+func TestIPv4DefaultTTL(t *testing.T) {
+	pkt, err := EncodeIPv4(nil, &IPv4{Protocol: 17, Src: addrA, Dst: addrB}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := DecodeIPv4(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TTL != 64 {
+		t.Errorf("default TTL = %d, want 64", h.TTL)
+	}
+}
+
+func TestIPv4Corruption(t *testing.T) {
+	pkt, err := EncodeIPv4(nil, &IPv4{Protocol: 6, Src: addrA, Dst: addrB}, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < IPv4HeaderLen; i++ {
+		bad := append([]byte(nil), pkt...)
+		bad[i] ^= 0xff
+		if _, _, err := DecodeIPv4(bad); err == nil {
+			// Flipping TOS byte alone still fails checksum; every
+			// single-byte corruption in the header must be caught.
+			t.Errorf("corruption at byte %d not detected", i)
+		}
+	}
+}
+
+func TestIPv4Truncated(t *testing.T) {
+	pkt, _ := EncodeIPv4(nil, &IPv4{Protocol: 6, Src: addrA, Dst: addrB}, []byte("abcdef"))
+	if _, _, err := DecodeIPv4(pkt[:10]); err == nil {
+		t.Error("short header accepted")
+	}
+	if _, _, err := DecodeIPv4(pkt[:22]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestIPv4RejectsNonIPv4(t *testing.T) {
+	v6 := netip.MustParseAddr("2001:db8::1")
+	if _, err := EncodeIPv4(nil, &IPv4{Src: v6, Dst: addrB}, nil); err == nil {
+		t.Error("encoding with IPv6 source accepted")
+	}
+	bad := make([]byte, IPv4HeaderLen)
+	bad[0] = 0x65 // version 6
+	if _, _, err := DecodeIPv4(bad); err == nil {
+		t.Error("version 6 accepted")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	payload := []byte("GET / HTTP/1.1\r\n\r\n")
+	h := &TCPHeader{SrcPort: 49152, DstPort: 80, Seq: 1000, Ack: 2000, Flags: FlagPSH | FlagACK, Window: 65535}
+	seg, err := EncodeTCP(nil, h, addrA, addrB, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, body, err := DecodeTCP(seg, addrA, addrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *h {
+		t.Errorf("decoded = %+v, want %+v", got, h)
+	}
+	if !bytes.Equal(body, payload) {
+		t.Errorf("payload mismatch")
+	}
+}
+
+func TestTCPChecksumBindsAddresses(t *testing.T) {
+	seg, err := EncodeTCP(nil, &TCPHeader{SrcPort: 1, DstPort: 2, Flags: FlagSYN}, addrA, addrB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decoding against the wrong pseudo-header addresses must fail: this
+	// is what catches misrouted segments in the simulator. (Note that
+	// merely *swapping* src and dst preserves the checksum — the one's
+	// complement sum is commutative — exactly as with real TCP.)
+	other := netip.AddrFrom4([4]byte{172, 16, 0, 9})
+	if _, _, err := DecodeTCP(seg, addrA, other); err == nil {
+		t.Error("segment accepted with wrong destination address")
+	}
+}
+
+func TestTCPCorruption(t *testing.T) {
+	seg, _ := EncodeTCP(nil, &TCPHeader{SrcPort: 5, DstPort: 6, Seq: 9}, addrA, addrB, []byte("data"))
+	for i := range seg {
+		bad := append([]byte(nil), seg...)
+		bad[i] ^= 0x01
+		if _, _, err := DecodeTCP(bad, addrA, addrB); err == nil {
+			t.Errorf("corruption at byte %d not detected", i)
+		}
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xab}, 100)
+	h := &UDPHeader{SrcPort: 53000, DstPort: 53}
+	dgram, err := EncodeUDP(nil, h, addrA, addrB, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, body, err := DecodeUDP(dgram, addrA, addrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != 53000 || got.DstPort != 53 || int(got.Length) != UDPHeaderLen+len(payload) {
+		t.Errorf("decoded = %+v", got)
+	}
+	if !bytes.Equal(body, payload) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestUDPTruncated(t *testing.T) {
+	dgram, _ := EncodeUDP(nil, &UDPHeader{SrcPort: 1, DstPort: 2}, addrA, addrB, []byte("hello"))
+	if _, _, err := DecodeUDP(dgram[:4], addrA, addrB); err == nil {
+		t.Error("short UDP header accepted")
+	}
+	if _, _, err := DecodeUDP(dgram[:len(dgram)-1], addrA, addrB); err == nil {
+		t.Error("truncated UDP payload accepted")
+	}
+}
+
+func TestFullStackEncode(t *testing.T) {
+	// TCP inside IPv4, then decode both layers.
+	tcpSeg, err := EncodeTCP(nil, &TCPHeader{SrcPort: 40000, DstPort: 80, Seq: 7, Flags: FlagSYN, Window: 8192}, addrA, addrB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := EncodeIPv4(nil, &IPv4{Protocol: 6, Src: addrA, Dst: addrB}, tcpSeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iph, transport, err := DecodeIPv4(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcph, _, err := DecodeTCP(transport, iph.Src, iph.Dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tcph.Flags != FlagSYN || tcph.DstPort != 80 {
+		t.Errorf("decoded TCP = %+v", tcph)
+	}
+}
+
+func TestFlagString(t *testing.T) {
+	cases := []struct {
+		flags uint8
+		want  string
+	}{
+		{FlagSYN, "S"},
+		{FlagSYN | FlagACK, "SA"},
+		{FlagRST, "R"},
+		{FlagFIN | FlagACK, "FA"},
+		{FlagPSH | FlagACK, "PA"},
+		{0, "."},
+	}
+	for _, tc := range cases {
+		if got := FlagString(tc.flags); got != tc.want {
+			t.Errorf("FlagString(%#x) = %q, want %q", tc.flags, got, tc.want)
+		}
+	}
+}
+
+func TestTCPRoundTripProperty(t *testing.T) {
+	f := func(srcPort, dstPort uint16, seq, ack uint32, flags uint8, window uint16, payload []byte) bool {
+		h := &TCPHeader{SrcPort: srcPort, DstPort: dstPort, Seq: seq, Ack: ack, Flags: flags & 0x1f, Window: window}
+		seg, err := EncodeTCP(nil, h, addrA, addrB, payload)
+		if err != nil {
+			return false
+		}
+		got, body, err := DecodeTCP(seg, addrA, addrB)
+		if err != nil {
+			return false
+		}
+		return *got == *h && bytes.Equal(body, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUDPRoundTripProperty(t *testing.T) {
+	f := func(srcPort, dstPort uint16, payload []byte) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		dgram, err := EncodeUDP(nil, &UDPHeader{SrcPort: srcPort, DstPort: dstPort}, addrA, addrB, payload)
+		if err != nil {
+			return false
+		}
+		got, body, err := DecodeUDP(dgram, addrA, addrB)
+		if err != nil {
+			return false
+		}
+		return got.SrcPort == srcPort && got.DstPort == dstPort && bytes.Equal(body, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeAppendsToDst(t *testing.T) {
+	prefix := []byte{1, 2, 3}
+	out, err := EncodeIPv4(prefix, &IPv4{Protocol: 17, Src: addrA, Dst: addrB}, []byte("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[:3], prefix) {
+		t.Error("prefix clobbered")
+	}
+	if _, _, err := DecodeIPv4(out[3:]); err != nil {
+		t.Errorf("appended encoding not decodable: %v", err)
+	}
+}

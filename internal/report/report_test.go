@@ -1,0 +1,115 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"webfail/internal/core"
+	"webfail/internal/measure"
+	"webfail/internal/simnet"
+	"webfail/internal/workload"
+)
+
+// fixture runs a short full-roster experiment once for all report tests.
+var fixture struct {
+	rep *Reporter
+	buf *strings.Builder
+}
+
+func getReporter(t *testing.T) (*Reporter, *strings.Builder) {
+	t.Helper()
+	if fixture.rep == nil {
+		topo := workload.NewTopology()
+		end := simnet.FromHours(24)
+		sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(2005, 0, end))
+		a := core.NewAnalysis(topo, 0, end)
+		cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
+		if err := measure.Run(cfg, func(r *measure.Record) { a.Add(r) }); err != nil {
+			t.Fatal(err)
+		}
+		fixture.buf = &strings.Builder{}
+		fixture.rep = &Reporter{W: fixture.buf, A: a, Topo: topo, Sc: sc, Seed: 2005}
+	}
+	fixture.buf.Reset()
+	return fixture.rep, fixture.buf
+}
+
+func TestRunEverything(t *testing.T) {
+	rep, buf := getReporter(t)
+	rep.Run(nil)
+	out := buf.String()
+	for _, want := range []string{
+		"Table 1: clients",
+		"Table 2: websites",
+		"Table 3: transactions",
+		"Figure 1",
+		"Table 4: breakdown of DNS failures",
+		"Figure 2",
+		"Figure 3",
+		"Figure 4",
+		"Table 5: blame classification",
+		"Table 6: most failure-prone servers",
+		"Table 7: co-located vs random",
+		"Table 8: example co-located pairs",
+		"replicated websites",
+		"Figure 5",
+		"Figure 6",
+		"Figure 7",
+		"Table 9: proxy-related residual failures",
+		"Headline numbers",
+		"server-side", // Table 5 columns
+		"sina.com.cn", // Table 6 rows
+		"www.iitb.ac.in",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("full report missing %q", want)
+		}
+	}
+}
+
+func TestRunSelection(t *testing.T) {
+	rep, buf := getReporter(t)
+	rep.Run(map[string]bool{"table3": true})
+	out := buf.String()
+	if !strings.Contains(out, "Table 3") {
+		t.Error("selected artifact missing")
+	}
+	for _, absent := range []string{"Table 5", "Figure 6", "Table 9"} {
+		if strings.Contains(out, absent) {
+			t.Errorf("unselected artifact %q rendered", absent)
+		}
+	}
+}
+
+func TestRunFigureSelection(t *testing.T) {
+	rep, buf := getReporter(t)
+	rep.Run(map[string]bool{"fig6": true})
+	out := buf.String()
+	if !strings.Contains(out, "BGP instability vs TCP failures") {
+		t.Error("fig6 missing")
+	}
+	if strings.Contains(out, "howard.edu analog") {
+		t.Error("fig5 rendered without selection")
+	}
+}
+
+func TestKnownArtifacts(t *testing.T) {
+	ks := KnownArtifacts()
+	if len(ks) != 18 {
+		t.Errorf("artifacts = %d, want 18", len(ks))
+	}
+	// The returned slice is a copy.
+	ks[0] = "mutated"
+	if KnownArtifacts()[0] == "mutated" {
+		t.Error("KnownArtifacts aliases internal state")
+	}
+}
+
+func TestCNRowMaskedInTable3(t *testing.T) {
+	rep, buf := getReporter(t)
+	rep.Run(map[string]bool{"table3": true})
+	out := buf.String()
+	if !strings.Contains(out, "N/A") {
+		t.Error("CN connection columns should print N/A")
+	}
+}

@@ -1,0 +1,273 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+)
+
+// Proto identifies the transport protocol of a simulated packet.
+type Proto uint8
+
+// Transport protocols carried by the simulator, using the IANA numbers so
+// that captured packets decode with standard tooling conventions.
+const (
+	TCP  Proto = 6
+	UDP  Proto = 17
+	ICMP Proto = 1
+)
+
+func (p Proto) String() string {
+	switch p {
+	case TCP:
+		return "TCP"
+	case UDP:
+		return "UDP"
+	case ICMP:
+		return "ICMP"
+	default:
+		return fmt.Sprintf("Proto(%d)", uint8(p))
+	}
+}
+
+// Packet is a simulated IP datagram. Bytes holds the full on-the-wire
+// encoding starting at the IPv4 header; Src/Dst/Proto duplicate header
+// fields for routing without re-parsing. The trace package decodes Bytes.
+type Packet struct {
+	Src, Dst netip.Addr
+	Proto    Proto
+	Bytes    []byte
+}
+
+// PathState describes the condition of the network path between two hosts
+// at a given instant. Fault injectors return Down or elevated Loss to model
+// outages; the default path is clean.
+type PathState struct {
+	Latency time.Duration // one-way propagation + queueing delay
+	Loss    float64       // independent drop probability per packet, 0..1
+	Down    bool          // hard outage: every packet dropped
+}
+
+// PathFunc resolves the path condition for a (src, dst) pair at time now.
+// Implementations must be deterministic in their inputs; randomness belongs
+// to the Network's seeded RNG, which applies Loss.
+type PathFunc func(src, dst netip.Addr, now Time) PathState
+
+// Handler consumes a packet delivered to a bound (proto, port).
+type Handler func(pkt *Packet)
+
+// CaptureFunc observes packets at a host, tcpdump-style. dir is "in" or
+// "out"; the callee must not retain pkt.Bytes past the call unless it
+// copies.
+type CaptureFunc func(now Time, dir Direction, pkt *Packet)
+
+// Direction tags captured packets.
+type Direction uint8
+
+// Packet capture directions.
+const (
+	In Direction = iota
+	Out
+)
+
+func (d Direction) String() string {
+	if d == In {
+		return "in"
+	}
+	return "out"
+}
+
+// DefaultPath is used when no PathFunc is installed: 40 ms one-way latency,
+// lossless. 40 ms approximates a transcontinental US path, the common case
+// for the paper's mostly-US client and server sets.
+var DefaultPath = PathState{Latency: 40 * time.Millisecond}
+
+// Network ties the scheduler, hosts, and path model together.
+type Network struct {
+	Sched *Scheduler
+	rng   *rand.Rand
+	path  PathFunc
+	hosts map[netip.Addr]*Host
+
+	// Delivered and Dropped count packets for observability and tests.
+	Delivered, Dropped uint64
+}
+
+// NewNetwork creates an empty network with the given deterministic seed.
+func NewNetwork(seed int64) *Network {
+	return &Network{
+		Sched: &Scheduler{},
+		rng:   rand.New(rand.NewSource(seed)),
+		hosts: make(map[netip.Addr]*Host),
+	}
+}
+
+// SetPathFunc installs the path condition model. A nil PathFunc restores
+// DefaultPath behaviour.
+func (n *Network) SetPathFunc(f PathFunc) { n.path = f }
+
+// Host returns the host bound to addr, or nil.
+func (n *Network) Host(addr netip.Addr) *Host { return n.hosts[addr] }
+
+// AddHost registers a new host at addr. It panics when the address is
+// already taken or invalid, since topologies are static configuration.
+func (n *Network) AddHost(name string, addr netip.Addr) *Host {
+	if !addr.IsValid() {
+		panic("simnet: invalid host address")
+	}
+	if _, dup := n.hosts[addr]; dup {
+		panic(fmt.Sprintf("simnet: duplicate host address %v", addr))
+	}
+	h := &Host{
+		Name:     name,
+		Addr:     addr,
+		net:      n,
+		handlers: make(map[bindKey]Handler),
+	}
+	n.hosts[addr] = h
+	return h
+}
+
+// pathState resolves path conditions, falling back to DefaultPath.
+func (n *Network) pathState(src, dst netip.Addr) PathState {
+	if n.path == nil {
+		return DefaultPath
+	}
+	return n.path(src, dst, n.Sched.Now())
+}
+
+// send injects a packet from a host into the network. Delivery (or drop) is
+// decided immediately; delivery is scheduled after the path latency.
+func (n *Network) send(from *Host, pkt *Packet) {
+	ps := n.pathState(pkt.Src, pkt.Dst)
+	if ps.Down || (ps.Loss > 0 && n.rng.Float64() < ps.Loss) {
+		n.Dropped++
+		return
+	}
+	lat := ps.Latency
+	if lat <= 0 {
+		lat = time.Microsecond
+	}
+	n.Sched.After(lat, func() {
+		dst := n.hosts[pkt.Dst]
+		if dst == nil {
+			n.Dropped++
+			return
+		}
+		n.Delivered++
+		dst.deliver(pkt)
+	})
+}
+
+// bindKey identifies a transport endpoint on a host.
+type bindKey struct {
+	proto Proto
+	port  uint16
+}
+
+// Host is a simulated end system with transport bindings and optional
+// packet capture.
+type Host struct {
+	Name string
+	Addr netip.Addr
+
+	net      *Network
+	handlers map[bindKey]Handler
+	capture  CaptureFunc
+	nextPort uint16
+}
+
+// Network returns the network this host is attached to.
+func (h *Host) Network() *Network { return h.net }
+
+// Now returns the current simulated time, for convenience in protocol code.
+func (h *Host) Now() Time { return h.net.Sched.Now() }
+
+// Bind registers a handler for (proto, port). Binding an occupied port
+// returns an error; protocol stacks own their port spaces.
+func (h *Host) Bind(proto Proto, port uint16, fn Handler) error {
+	k := bindKey{proto, port}
+	if _, dup := h.handlers[k]; dup {
+		return fmt.Errorf("simnet: %s port %d already bound on %s", proto, port, h.Name)
+	}
+	h.handlers[k] = fn
+	return nil
+}
+
+// Unbind releases a (proto, port) binding. Unbinding a free port is a no-op.
+func (h *Host) Unbind(proto Proto, port uint16) {
+	delete(h.handlers, bindKey{proto, port})
+}
+
+// EphemeralPort allocates a fresh high port for client connections. The
+// allocator wraps within 49152..65535 (the IANA dynamic range); collisions
+// with live bindings are skipped.
+func (h *Host) EphemeralPort(proto Proto) uint16 {
+	const lo, hi = 49152, 65535
+	if h.nextPort < lo {
+		h.nextPort = lo
+	}
+	for i := 0; i < hi-lo+1; i++ {
+		p := h.nextPort
+		h.nextPort++
+		if h.nextPort > hi || h.nextPort == 0 {
+			h.nextPort = lo
+		}
+		if _, used := h.handlers[bindKey{proto, p}]; !used {
+			return p
+		}
+	}
+	panic("simnet: ephemeral port space exhausted")
+}
+
+// SetCapture installs a tcpdump-style packet tap on this host. Pass nil to
+// remove. Both inbound and outbound packets are observed.
+func (h *Host) SetCapture(fn CaptureFunc) { h.capture = fn }
+
+// Send transmits a packet whose source must be this host.
+func (h *Host) Send(pkt *Packet) {
+	if pkt.Src != h.Addr {
+		panic(fmt.Sprintf("simnet: host %s sending with source %v", h.Name, pkt.Src))
+	}
+	if h.capture != nil {
+		h.capture(h.Now(), Out, pkt)
+	}
+	h.net.send(h, pkt)
+}
+
+// deliver dispatches an arrived packet to the bound handler. Packets to
+// unbound TCP ports are silently dropped here; connection-refused behaviour
+// (RST) is implemented by the TCP layer's listener dispatch so that hosts
+// without a TCP stack stay silent, like a firewalled host.
+func (h *Host) deliver(pkt *Packet) {
+	if h.capture != nil {
+		h.capture(h.Now(), In, pkt)
+	}
+	port, ok := destPort(pkt)
+	if !ok {
+		return
+	}
+	if fn := h.handlers[bindKey{pkt.Proto, port}]; fn != nil {
+		fn(pkt)
+		return
+	}
+	// Wildcard handler on port 0 receives all traffic for the protocol
+	// that no specific binding claimed (used by the TCP demultiplexer).
+	if fn := h.handlers[bindKey{pkt.Proto, 0}]; fn != nil {
+		fn(pkt)
+	}
+}
+
+// destPort extracts the destination port from the encoded packet bytes.
+// The layout mirrors real IPv4: the transport header follows the 20-byte
+// IP header and both TCP and UDP place the destination port at offset 2.
+func destPort(pkt *Packet) (uint16, bool) {
+	const ipHeaderLen = 20
+	b := pkt.Bytes
+	if len(b) < ipHeaderLen+4 {
+		return 0, false
+	}
+	t := b[ipHeaderLen:]
+	return uint16(t[2])<<8 | uint16(t[3]), true
+}

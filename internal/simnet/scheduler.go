@@ -1,0 +1,126 @@
+// Package simnet implements the discrete-event simulated internet that the
+// packet-mode measurement harness runs over: a deterministic event
+// scheduler, hosts addressable by IPv4 address, and a path model with
+// per-pair latency and loss that fault injectors can manipulate over time.
+//
+// The simulator is single-goroutine and deterministic: given the same seed
+// and the same sequence of scheduled events, every run produces identical
+// packet timings. That determinism is what makes the month-scale experiment
+// reproducible and the protocol tests exact.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// event is a scheduled callback. seq breaks ties so that events scheduled
+// earlier at the same instant run first (stable FIFO ordering).
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Scheduler is a deterministic discrete-event scheduler.
+// The zero value is ready to use at Time 0.
+type Scheduler struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// At schedules fn to run at the given absolute simulated time. Scheduling in
+// the past panics: it would silently reorder causality.
+func (s *Scheduler) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("simnet: scheduling at %v before now %v", t, s.now))
+	}
+	s.seq++
+	s.events.pushEvent(event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d runs fn at the current
+// instant (after already-queued events at this instant).
+func (s *Scheduler) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now.Add(d), fn)
+}
+
+// Timer is a cancellable scheduled callback.
+type Timer struct {
+	stopped bool
+}
+
+// Stop cancels the timer. It is safe to call multiple times. Stop reports
+// whether the call prevented the callback from running.
+func (t *Timer) Stop() bool {
+	was := t.stopped
+	t.stopped = true
+	return !was
+}
+
+// AfterTimer schedules fn like After but returns a Timer that can cancel it.
+func (s *Scheduler) AfterTimer(d time.Duration, fn func()) *Timer {
+	t := &Timer{}
+	s.After(d, func() {
+		if !t.stopped {
+			t.stopped = true
+			fn()
+		}
+	})
+	return t
+}
+
+// Step runs the next pending event and reports whether one existed.
+func (s *Scheduler) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := s.events.popEvent()
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with at <= deadline, then advances the clock to
+// the deadline. Events scheduled after the deadline remain queued.
+func (s *Scheduler) RunUntil(deadline Time) {
+	for len(s.events) > 0 && s.events.peek().at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Pending reports the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.events) }

@@ -1,0 +1,35 @@
+package simnet
+
+import "time"
+
+// Time is an instant in simulated time, measured in nanoseconds since the
+// experiment epoch. The epoch is Jan 1 2005 00:00:00 UTC, matching the start
+// of the paper's month-long measurement (Section 3.1), so that the Unix
+// timestamps printed in the BGP time-series figures land in the same
+// 1104537600–1107216000 range as the paper's Figures 5 and 7.
+type Time int64
+
+// Epoch is the Unix time (seconds) of simulated Time 0.
+const Epoch int64 = 1104537600 // 2005-01-01T00:00:00Z
+
+// Add returns t shifted by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Unix returns the simulated Unix timestamp in seconds.
+func (t Time) Unix() int64 { return Epoch + int64(t)/int64(time.Second) }
+
+// Hour returns the 1-hour episode index containing t. Episodes are the
+// fundamental unit of the paper's correlation analysis (Section 4.4.3).
+func (t Time) Hour() int64 { return int64(t) / int64(time.Hour) }
+
+// FromUnix converts a Unix timestamp in seconds to simulated Time.
+func FromUnix(sec int64) Time { return Time((sec - Epoch) * int64(time.Second)) }
+
+// FromHours returns the Time at the given whole-hour offset from the epoch.
+func FromHours(h int64) Time { return Time(h * int64(time.Hour)) }
+
+// String formats the time as an offset from the epoch.
+func (t Time) String() string { return time.Duration(t).String() }

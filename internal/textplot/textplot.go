@@ -1,0 +1,212 @@
+// Package textplot renders the study's figures as ASCII charts for
+// terminal output: CDF line plots (Figures 4 and 6), stacked horizontal
+// bars (Figures 1 and 3), cumulative-share curves (Figure 2), and
+// multi-panel time series (Figures 5 and 7).
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a plot.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// CDFPlot renders one or more CDF curves on a fixed character grid.
+// X values are clamped to [xmin, xmax]; Y is assumed in [0, 1].
+func CDFPlot(title, xlabel string, width, height int, xmin, xmax float64, series ...Series) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'*', '+', 'o', 'x', '#'}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			x := clamp(s.X[i], xmin, xmax)
+			y := clamp(s.Y[i], 0, 1)
+			col := int((x - xmin) / (xmax - xmin + 1e-12) * float64(width-1))
+			row := height - 1 - int(y*float64(height-1))
+			grid[row][col] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, row := range grid {
+		frac := 1 - float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%5.2f |%s|\n", frac, string(row))
+	}
+	fmt.Fprintf(&b, "      %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(&b, "      %-*s%*s\n", width/2+1, fmt.Sprintf("%.3g", xmin), width/2+1, fmt.Sprintf("%.3g", xmax))
+	fmt.Fprintf(&b, "      %s\n", center(xlabel, width))
+	for si, s := range series {
+		fmt.Fprintf(&b, "      %c = %s\n", marks[si%len(marks)], s.Name)
+	}
+	return b.String()
+}
+
+// StackedBar is one bar composed of named fractional segments.
+type StackedBar struct {
+	Label    string
+	Segments []Segment
+	// Note is appended after the bar (e.g. the category's overall
+	// rate, underlined in the paper's Figure 1).
+	Note string
+}
+
+// Segment is one portion of a stacked bar.
+type Segment struct {
+	Name  string
+	Value float64 // fraction in [0,1]
+	Rune  byte
+}
+
+// StackedBars renders horizontal stacked bars (Figures 1 and 3).
+func StackedBars(title string, width int, bars []StackedBar) string {
+	if width < 20 {
+		width = 20
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxLabel := 0
+	for _, bar := range bars {
+		if len(bar.Label) > maxLabel {
+			maxLabel = len(bar.Label)
+		}
+	}
+	for _, bar := range bars {
+		fmt.Fprintf(&b, "%-*s |", maxLabel, bar.Label)
+		used := 0
+		for _, seg := range bar.Segments {
+			n := int(math.Round(seg.Value * float64(width)))
+			if used+n > width {
+				n = width - used
+			}
+			b.Write(bytesRepeat(seg.Rune, n))
+			used += n
+		}
+		b.WriteString(strings.Repeat(" ", width-used))
+		fmt.Fprintf(&b, "| %s\n", bar.Note)
+	}
+	// Legend.
+	if len(bars) > 0 {
+		fmt.Fprintf(&b, "%-*s  ", maxLabel, "")
+		for _, seg := range bars[0].Segments {
+			fmt.Fprintf(&b, "%c=%s  ", seg.Rune, seg.Name)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TimePanel is one panel of a multi-panel time series (Figures 5 and 7).
+type TimePanel struct {
+	Label string
+	Y     []float64
+}
+
+// TimeSeries renders aligned sparkline panels over a shared x axis.
+// xs holds the x value (e.g. Unix time) of each sample.
+func TimeSeries(title string, width int, xs []float64, panels []TimePanel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(xs) == 0 {
+		return b.String()
+	}
+	n := len(xs)
+	bucket := func(i int) int { return i * width / n }
+	levels := []byte(" .:-=+*#%@")
+	for _, p := range panels {
+		// Max per bucket.
+		agg := make([]float64, width)
+		for i, y := range p.Y {
+			if i >= n {
+				break
+			}
+			bk := bucket(i)
+			if bk >= width {
+				bk = width - 1
+			}
+			if y > agg[bk] {
+				agg[bk] = y
+			}
+		}
+		ymax := 0.0
+		for _, v := range agg {
+			if v > ymax {
+				ymax = v
+			}
+		}
+		row := make([]byte, width)
+		for i, v := range agg {
+			if ymax == 0 {
+				row[i] = ' '
+				continue
+			}
+			lvl := int(v / ymax * float64(len(levels)-1))
+			row[i] = levels[lvl]
+		}
+		fmt.Fprintf(&b, "%-22s |%s| max=%.4g\n", p.Label, string(row), ymax)
+	}
+	fmt.Fprintf(&b, "%-22s  %-*.0f%*.0f\n", "unix time", width/2, xs[0], width/2, xs[n-1])
+	return b.String()
+}
+
+// CumulativeCurve renders a rank-vs-cumulative-share curve (Figure 2).
+func CumulativeCurve(title string, width, height int, curves map[string][]float64) string {
+	var series []Series
+	for name, ys := range curves {
+		xs := make([]float64, len(ys))
+		for i := range ys {
+			if len(ys) > 1 {
+				xs[i] = float64(i) / float64(len(ys)-1)
+			}
+		}
+		series = append(series, Series{Name: name, X: xs, Y: ys})
+	}
+	// Sort series by name for deterministic output.
+	for i := 0; i < len(series); i++ {
+		for j := i + 1; j < len(series); j++ {
+			if series[j].Name < series[i].Name {
+				series[i], series[j] = series[j], series[i]
+			}
+		}
+	}
+	return CDFPlot(title, "domain rank (normalized)", width, height, 0, 1, series...)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func center(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	pad := (width - len(s)) / 2
+	return strings.Repeat(" ", pad) + s
+}
+
+func bytesRepeat(c byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}

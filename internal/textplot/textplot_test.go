@@ -1,0 +1,127 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCDFPlot(t *testing.T) {
+	s := Series{Name: "clients", X: []float64{0, 0.05, 0.1, 0.5, 1}, Y: []float64{0.1, 0.5, 0.9, 0.95, 1}}
+	out := CDFPlot("Figure 4", "failure rate", 40, 10, 0, 1, s)
+	if !strings.Contains(out, "Figure 4") || !strings.Contains(out, "clients") {
+		t.Errorf("missing title/legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no data points plotted")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Errorf("too few lines: %d", len(lines))
+	}
+}
+
+func TestCDFPlotClampsAndMinimums(t *testing.T) {
+	s := Series{Name: "x", X: []float64{-5, 99}, Y: []float64{-1, 2}}
+	out := CDFPlot("t", "x", 5, 2, 0, 1, s) // forces min sizes
+	if out == "" {
+		t.Fatal("empty output")
+	}
+}
+
+func TestStackedBars(t *testing.T) {
+	bars := []StackedBar{
+		{Label: "PL", Note: "2.98%", Segments: []Segment{
+			{Name: "DNS", Value: 0.40, Rune: 'D'},
+			{Name: "TCP", Value: 0.59, Rune: 'T'},
+			{Name: "HTTP", Value: 0.01, Rune: 'H'},
+		}},
+		{Label: "BB", Note: "2.01%", Segments: []Segment{
+			{Name: "DNS", Value: 0.32, Rune: 'D'},
+			{Name: "TCP", Value: 0.66, Rune: 'T'},
+			{Name: "HTTP", Value: 0.02, Rune: 'H'},
+		}},
+	}
+	out := StackedBars("Figure 1", 50, bars)
+	if !strings.Contains(out, "PL") || !strings.Contains(out, "D=DNS") {
+		t.Errorf("bad output:\n%s", out)
+	}
+	// Bar width respected: each bar line has the | ... | structure.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "PL") {
+			inner := line[strings.Index(line, "|")+1 : strings.LastIndex(line, "|")]
+			if len(inner) != 50 {
+				t.Errorf("bar width = %d, want 50", len(inner))
+			}
+		}
+	}
+}
+
+func TestStackedBarsOverflowClamped(t *testing.T) {
+	bars := []StackedBar{{Label: "x", Segments: []Segment{
+		{Name: "a", Value: 0.7, Rune: 'a'},
+		{Name: "b", Value: 0.7, Rune: 'b'}, // sums over 1.0
+	}}}
+	out := StackedBars("t", 30, bars)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "x") {
+			inner := line[strings.Index(line, "|")+1 : strings.LastIndex(line, "|")]
+			if len(inner) != 30 {
+				t.Errorf("overflowed bar: %q", inner)
+			}
+		}
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	xs := make([]float64, 100)
+	attempts := make([]float64, 100)
+	fails := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(1105000000 + i*3600)
+		attempts[i] = 800
+		if i == 50 {
+			fails[i] = 400
+		}
+	}
+	out := TimeSeries("Figure 5", 60, xs, []TimePanel{
+		{Label: "TCP attempts", Y: attempts},
+		{Label: "TCP failures", Y: fails},
+	})
+	if !strings.Contains(out, "TCP attempts") || !strings.Contains(out, "max=800") {
+		t.Errorf("bad output:\n%s", out)
+	}
+	if !strings.Contains(out, "max=400") {
+		t.Errorf("failure panel missing max:\n%s", out)
+	}
+	// The failure spike appears mid-panel.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "TCP failures") {
+			inner := line[strings.Index(line, "|")+1 : strings.LastIndex(line, "|")]
+			mid := inner[len(inner)/2-3 : len(inner)/2+3]
+			if !strings.ContainsAny(mid, "@%#*+=") {
+				t.Errorf("spike not visible mid-panel: %q", inner)
+			}
+		}
+	}
+}
+
+func TestTimeSeriesEmpty(t *testing.T) {
+	out := TimeSeries("t", 40, nil, nil)
+	if !strings.Contains(out, "t") {
+		t.Error("empty series should still emit title")
+	}
+}
+
+func TestCumulativeCurve(t *testing.T) {
+	out := CumulativeCurve("Figure 2", 40, 8, map[string][]float64{
+		"all":  {0.2, 0.4, 0.6, 0.8, 1.0},
+		"errs": {0.6, 0.9, 0.95, 0.99, 1.0},
+	})
+	if !strings.Contains(out, "all") || !strings.Contains(out, "errs") {
+		t.Errorf("missing series:\n%s", out)
+	}
+	// Deterministic legend order (sorted).
+	if strings.Index(out, "all") > strings.Index(out, "errs") {
+		t.Error("series not sorted")
+	}
+}

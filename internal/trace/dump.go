@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"webfail/internal/netwire"
+)
+
+// FormatPacket renders one decoded packet as a tcpdump-style line:
+//
+//	1.234s  out 10.0.0.10.49152 > 172.16.0.80.80: TCP [S] seq 1000 len 0
+//	2.345s  in  10.0.0.53.53 > 10.0.0.10.49153: UDP len 65
+//
+// Undecodable packets render their error.
+func FormatPacket(p *Packet) string {
+	if err := p.ErrorLayer(); err != nil && p.IPv4() == nil {
+		return fmt.Sprintf("%v %-3v [undecodable: %v]", p.Time, p.Dir, err)
+	}
+	ip := p.IPv4()
+	switch {
+	case p.TCP() != nil:
+		tcp := p.TCP()
+		return fmt.Sprintf("%v %-3v %v.%d > %v.%d: TCP [%s] seq %d ack %d len %d",
+			p.Time, p.Dir, ip.Src, tcp.SrcPort, ip.Dst, tcp.DstPort,
+			netwire.FlagString(tcp.Flags), tcp.Seq, tcp.Ack, len(p.Payload()))
+	case p.UDP() != nil:
+		udp := p.UDP()
+		return fmt.Sprintf("%v %-3v %v.%d > %v.%d: UDP len %d",
+			p.Time, p.Dir, ip.Src, udp.SrcPort, ip.Dst, udp.DstPort, len(p.Payload()))
+	default:
+		return fmt.Sprintf("%v %-3v %v > %v: proto %d len %d",
+			p.Time, p.Dir, ip.Src, ip.Dst, ip.Protocol, len(p.Payload()))
+	}
+}
+
+// Dump writes every packet of a capture in FormatPacket form, one per
+// line — the human-readable view of the study's per-transaction traces.
+func Dump(w io.Writer, packets []*Packet) error {
+	for _, p := range packets {
+		if _, err := fmt.Fprintln(w, FormatPacket(p)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,411 @@
+package trace
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"webfail/internal/netwire"
+	"webfail/internal/simnet"
+)
+
+var (
+	tA = netip.MustParseAddr("10.1.0.1")
+	tB = netip.MustParseAddr("10.1.0.2")
+)
+
+func tcpPacket(t *testing.T, src, dst netip.Addr, h *netwire.TCPHeader, payload []byte) []byte {
+	t.Helper()
+	seg, err := netwire.EncodeTCP(nil, h, src, dst, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := netwire.EncodeIPv4(nil, &netwire.IPv4{Protocol: 6, Src: src, Dst: dst}, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func udpPacket(t *testing.T, src, dst netip.Addr, h *netwire.UDPHeader, payload []byte) []byte {
+	t.Helper()
+	dgram, err := netwire.EncodeUDP(nil, h, src, dst, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := netwire.EncodeIPv4(nil, &netwire.IPv4{Protocol: 17, Src: src, Dst: dst}, dgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewPacketTCP(t *testing.T) {
+	data := tcpPacket(t, tA, tB, &netwire.TCPHeader{SrcPort: 40000, DstPort: 80, Seq: 1, Flags: netwire.FlagPSH | netwire.FlagACK}, []byte("GET /"))
+	p := NewPacket(0, simnet.Out, data)
+	if p.ErrorLayer() != nil {
+		t.Fatal(p.ErrorLayer())
+	}
+	if p.IPv4() == nil || p.TCP() == nil || p.UDP() != nil {
+		t.Fatal("layer accessors wrong")
+	}
+	if string(p.Payload()) != "GET /" {
+		t.Errorf("payload = %q", p.Payload())
+	}
+	if len(p.Layers()) != 3 {
+		t.Errorf("layers = %d", len(p.Layers()))
+	}
+	f, ok := p.TransportFlow()
+	if !ok || f.Src != (Endpoint{tA, 40000}) || f.Dst != (Endpoint{tB, 80}) {
+		t.Errorf("flow = %v", f)
+	}
+	if f.Reverse().Src.Port != 80 {
+		t.Error("reverse wrong")
+	}
+}
+
+func TestNewPacketUDP(t *testing.T) {
+	data := udpPacket(t, tA, tB, &netwire.UDPHeader{SrcPort: 5353, DstPort: 53}, []byte("q"))
+	p := NewPacket(0, simnet.In, data)
+	if p.UDP() == nil || p.TCP() != nil {
+		t.Fatal("layer accessors wrong")
+	}
+	f, ok := p.TransportFlow()
+	if !ok || f.Dst.Port != 53 {
+		t.Errorf("flow = %v", f)
+	}
+}
+
+func TestNewPacketGarbage(t *testing.T) {
+	p := NewPacket(0, simnet.In, []byte{1, 2, 3})
+	if p.ErrorLayer() == nil {
+		t.Error("garbage decoded without error")
+	}
+	if p.IPv4() != nil {
+		t.Error("layer present despite error")
+	}
+	if _, ok := p.TransportFlow(); ok {
+		t.Error("flow from garbage")
+	}
+}
+
+func TestNewPacketBadTransport(t *testing.T) {
+	// Valid IPv4, corrupt TCP: outer layer kept, error exposed.
+	data := tcpPacket(t, tA, tB, &netwire.TCPHeader{SrcPort: 1, DstPort: 2, Flags: netwire.FlagSYN}, nil)
+	data[len(data)-1] ^= 0xff
+	// Fix the IPv4 checksum scope: corruption is in the TCP part only,
+	// so IPv4 still decodes.
+	p := NewPacket(0, simnet.In, data)
+	if p.IPv4() == nil {
+		t.Fatal("IPv4 layer should survive")
+	}
+	if p.ErrorLayer() == nil {
+		t.Error("TCP corruption not reported")
+	}
+}
+
+func TestDecodingParserMatchesNewPacket(t *testing.T) {
+	var d DecodingParser
+	var kinds []LayerType
+	data := tcpPacket(t, tA, tB, &netwire.TCPHeader{SrcPort: 9, DstPort: 80, Seq: 77, Flags: netwire.FlagACK}, []byte("xyz"))
+	kinds, err := d.Decode(data, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != 3 || kinds[0] != LayerTypeIPv4 || kinds[1] != LayerTypeTCP || kinds[2] != LayerTypePayload {
+		t.Errorf("kinds = %v", kinds)
+	}
+	if d.TCP.Seq != 77 || string(d.Payload) != "xyz" {
+		t.Errorf("decoded = %+v payload=%q", d.TCP, d.Payload)
+	}
+	// Reuse without reallocation.
+	data2 := udpPacket(t, tB, tA, &netwire.UDPHeader{SrcPort: 53, DstPort: 5353}, nil)
+	kinds, err = d.Decode(data2, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != 2 || kinds[1] != LayerTypeUDP {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+// synthConn builds a synthetic packet sequence for a connection scenario.
+type synthConn struct {
+	t       *testing.T
+	packets []*Packet
+	cliSeq  uint32
+	srvSeq  uint32
+	at      simnet.Time
+}
+
+func newSynth(t *testing.T) *synthConn { return &synthConn{t: t, cliSeq: 1000, srvSeq: 5000} }
+
+func (s *synthConn) add(src, dst netip.Addr, h *netwire.TCPHeader, payload []byte) {
+	s.at += simnet.Time(1e6)
+	s.packets = append(s.packets, NewPacket(s.at, simnet.Out, tcpPacket(s.t, src, dst, h, payload)))
+}
+
+func (s *synthConn) handshake() {
+	s.add(tA, tB, &netwire.TCPHeader{SrcPort: 40000, DstPort: 80, Seq: s.cliSeq, Flags: netwire.FlagSYN}, nil)
+	s.add(tB, tA, &netwire.TCPHeader{SrcPort: 80, DstPort: 40000, Seq: s.srvSeq, Ack: s.cliSeq + 1, Flags: netwire.FlagSYN | netwire.FlagACK}, nil)
+	s.cliSeq++
+	s.srvSeq++
+	s.add(tA, tB, &netwire.TCPHeader{SrcPort: 40000, DstPort: 80, Seq: s.cliSeq, Ack: s.srvSeq, Flags: netwire.FlagACK}, nil)
+}
+
+func (s *synthConn) request() {
+	req := []byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+	s.add(tA, tB, &netwire.TCPHeader{SrcPort: 40000, DstPort: 80, Seq: s.cliSeq, Ack: s.srvSeq, Flags: netwire.FlagPSH | netwire.FlagACK}, req)
+	s.cliSeq += uint32(len(req))
+}
+
+func (s *synthConn) response(n int, fin bool) {
+	body := bytes.Repeat([]byte("r"), n)
+	s.add(tB, tA, &netwire.TCPHeader{SrcPort: 80, DstPort: 40000, Seq: s.srvSeq, Ack: s.cliSeq, Flags: netwire.FlagPSH | netwire.FlagACK}, body)
+	s.srvSeq += uint32(n)
+	if fin {
+		s.add(tB, tA, &netwire.TCPHeader{SrcPort: 80, DstPort: 40000, Seq: s.srvSeq, Ack: s.cliSeq, Flags: netwire.FlagFIN | netwire.FlagACK}, nil)
+	}
+}
+
+func analyzeOne(t *testing.T, packets []*Packet) *FlowStats {
+	t.Helper()
+	flows := AnalyzeTCP(packets)
+	if len(flows) != 1 {
+		t.Fatalf("flows = %d, want 1", len(flows))
+	}
+	for _, s := range flows {
+		return s
+	}
+	return nil
+}
+
+func TestClassifyComplete(t *testing.T) {
+	s := newSynth(t)
+	s.handshake()
+	s.request()
+	s.response(500, true)
+	fs := analyzeOne(t, s.packets)
+	if got := fs.Classify(); got != ConnComplete {
+		t.Errorf("class = %v", got)
+	}
+	if fs.ServerPayloadBytes != 500 || fs.ClientPayloadBytes == 0 {
+		t.Errorf("bytes = %d/%d", fs.ClientPayloadBytes, fs.ServerPayloadBytes)
+	}
+}
+
+func TestClassifyNoConnection(t *testing.T) {
+	s := newSynth(t)
+	// Three unanswered SYNs (retransmissions).
+	for i := 0; i < 3; i++ {
+		s.add(tA, tB, &netwire.TCPHeader{SrcPort: 40000, DstPort: 80, Seq: s.cliSeq, Flags: netwire.FlagSYN}, nil)
+	}
+	fs := analyzeOne(t, s.packets)
+	if got := fs.Classify(); got != ConnNoConnection {
+		t.Errorf("class = %v", got)
+	}
+	if fs.SYNs != 3 {
+		t.Errorf("SYNs = %d", fs.SYNs)
+	}
+	if fs.ClientRetransmits != 2 {
+		t.Errorf("retransmitted SYNs = %d, want 2", fs.ClientRetransmits)
+	}
+}
+
+func TestClassifyRefusedIsNoConnection(t *testing.T) {
+	s := newSynth(t)
+	s.add(tA, tB, &netwire.TCPHeader{SrcPort: 40000, DstPort: 80, Seq: s.cliSeq, Flags: netwire.FlagSYN}, nil)
+	s.add(tB, tA, &netwire.TCPHeader{SrcPort: 80, DstPort: 40000, Seq: 0, Ack: s.cliSeq + 1, Flags: netwire.FlagRST | netwire.FlagACK}, nil)
+	fs := analyzeOne(t, s.packets)
+	if got := fs.Classify(); got != ConnNoConnection {
+		t.Errorf("class = %v", got)
+	}
+	if !fs.RSTToSYN {
+		t.Error("RSTToSYN not detected")
+	}
+}
+
+func TestClassifyNoResponse(t *testing.T) {
+	s := newSynth(t)
+	s.handshake()
+	s.request()
+	fs := analyzeOne(t, s.packets)
+	if got := fs.Classify(); got != ConnNoResponse {
+		t.Errorf("class = %v", got)
+	}
+}
+
+func TestClassifyPartialResponseRST(t *testing.T) {
+	s := newSynth(t)
+	s.handshake()
+	s.request()
+	s.response(300, false)
+	s.add(tB, tA, &netwire.TCPHeader{SrcPort: 80, DstPort: 40000, Seq: s.srvSeq, Ack: s.cliSeq, Flags: netwire.FlagRST | netwire.FlagACK}, nil)
+	fs := analyzeOne(t, s.packets)
+	if got := fs.Classify(); got != ConnPartialResponse {
+		t.Errorf("class = %v", got)
+	}
+}
+
+func TestClassifyPartialResponseSilence(t *testing.T) {
+	s := newSynth(t)
+	s.handshake()
+	s.request()
+	s.response(300, false) // data but no FIN, then nothing
+	fs := analyzeOne(t, s.packets)
+	if got := fs.Classify(); got != ConnPartialResponse {
+		t.Errorf("class = %v", got)
+	}
+}
+
+func TestRetransmissionInference(t *testing.T) {
+	s := newSynth(t)
+	s.handshake()
+	s.request()
+	// Server sends the same data segment twice (one retransmission).
+	body := bytes.Repeat([]byte("d"), 100)
+	for i := 0; i < 2; i++ {
+		s.add(tB, tA, &netwire.TCPHeader{SrcPort: 80, DstPort: 40000, Seq: s.srvSeq, Ack: s.cliSeq, Flags: netwire.FlagACK | netwire.FlagPSH}, body)
+	}
+	fs := analyzeOne(t, s.packets)
+	if fs.ServerRetransmits != 1 {
+		t.Errorf("server retransmits = %d, want 1", fs.ServerRetransmits)
+	}
+	if fs.ServerPayloadBytes != 100 {
+		t.Errorf("payload counted twice: %d", fs.ServerPayloadBytes)
+	}
+	if fs.LossRate() <= 0 {
+		t.Error("loss rate should be positive")
+	}
+}
+
+func TestAnalyzeMultipleFlows(t *testing.T) {
+	s := newSynth(t)
+	s.handshake()
+	s.request()
+	s.response(10, true)
+	// Second connection from a different port.
+	s.add(tA, tB, &netwire.TCPHeader{SrcPort: 40001, DstPort: 80, Seq: 9000, Flags: netwire.FlagSYN}, nil)
+	flows := AnalyzeTCP(s.packets)
+	if len(flows) != 2 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	sum := Summarize(flows)
+	if sum.Total != 2 || sum.ByClass[ConnComplete] != 1 || sum.ByClass[ConnNoConnection] != 1 {
+		t.Errorf("summary = %+v", sum)
+	}
+	sorted := SortedFlows(flows)
+	if len(sorted) != 2 || sorted[0].Flow.String() > sorted[1].Flow.String() {
+		t.Error("SortedFlows not sorted")
+	}
+}
+
+func TestCaptureAttachAndRing(t *testing.T) {
+	n := simnet.NewNetwork(1)
+	a := n.AddHost("a", tA)
+	b := n.AddHost("b", tB)
+	_ = b.Bind(simnet.UDP, 53, func(*simnet.Packet) {})
+	cap := &Capture{MaxPackets: 5}
+	cap.Attach(a)
+	for i := 0; i < 8; i++ {
+		data := udpPacket(t, tA, tB, &netwire.UDPHeader{SrcPort: 5353, DstPort: 53}, []byte{byte(i)})
+		a.Send(&simnet.Packet{Src: tA, Dst: tB, Proto: simnet.UDP, Bytes: data})
+	}
+	n.Sched.Run()
+	if cap.Len() != 5 {
+		t.Errorf("len = %d, want 5 (ring)", cap.Len())
+	}
+	if cap.Dropped != 3 {
+		t.Errorf("dropped = %d, want 3", cap.Dropped)
+	}
+	pkts := cap.Packets()
+	if pkts[0].Payload()[0] != 3 {
+		t.Errorf("oldest retained = %d, want 3", pkts[0].Payload()[0])
+	}
+	cap.Reset()
+	if cap.Len() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestCaptureFileRoundTrip(t *testing.T) {
+	cap := &Capture{}
+	cap.records = []rawRecord{
+		{at: 123, dir: simnet.Out, data: tcpPacket(t, tA, tB, &netwire.TCPHeader{SrcPort: 1, DstPort: 2, Flags: netwire.FlagSYN}, nil)},
+		{at: 456, dir: simnet.In, data: udpPacket(t, tB, tA, &netwire.UDPHeader{SrcPort: 53, DstPort: 99}, []byte("resp"))},
+	}
+	var buf bytes.Buffer
+	if _, err := cap.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("len = %d", got.Len())
+	}
+	pkts := got.Packets()
+	if pkts[0].Time != 123 || pkts[0].Dir != simnet.Out || pkts[0].TCP() == nil {
+		t.Errorf("pkt0 = %+v", pkts[0])
+	}
+	if pkts[1].Time != 456 || string(pkts[1].Payload()) != "resp" {
+		t.Errorf("pkt1 wrong")
+	}
+}
+
+func TestReadCaptureRejectsGarbage(t *testing.T) {
+	if _, err := ReadCapture(bytes.NewReader([]byte("NOTACAPFILE!!"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadCapture(bytes.NewReader(nil)); err == nil {
+		t.Error("empty accepted")
+	}
+	// Truncated record.
+	cap := &Capture{}
+	cap.records = []rawRecord{{at: 1, dir: simnet.Out, data: make([]byte, 40)}}
+	var buf bytes.Buffer
+	_, _ = cap.WriteTo(&buf)
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadCapture(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated accepted")
+	}
+}
+
+func TestLayerTypeStrings(t *testing.T) {
+	if LayerTypeIPv4.String() != "IPv4" || LayerTypeTCP.String() != "TCP" || LayerTypeUDP.String() != "UDP" {
+		t.Error("layer type strings")
+	}
+	if ConnNoConnection.String() != "no-connection" || ConnComplete.String() != "complete" {
+		t.Error("class strings")
+	}
+}
+
+func TestFormatPacketAndDump(t *testing.T) {
+	tcpData := tcpPacket(t, tA, tB, &netwire.TCPHeader{SrcPort: 49152, DstPort: 80, Seq: 1000, Flags: netwire.FlagSYN}, nil)
+	udpData := udpPacket(t, tB, tA, &netwire.UDPHeader{SrcPort: 53, DstPort: 9000}, []byte("answer"))
+	pkts := []*Packet{
+		NewPacket(simnet.Time(1e9), simnet.Out, tcpData),
+		NewPacket(simnet.Time(2e9), simnet.In, udpData),
+		NewPacket(simnet.Time(3e9), simnet.In, []byte{1, 2}),
+	}
+	var buf bytes.Buffer
+	if err := Dump(&buf, pkts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"TCP [S] seq 1000",
+		"10.1.0.1.49152 > 10.1.0.2.80",
+		"UDP len 6",
+		"undecodable",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Errorf("lines = %d, want 3", lines)
+	}
+}

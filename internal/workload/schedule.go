@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"webfail/internal/simnet"
+)
+
+// Transaction is one scheduled wget invocation: client c downloads the
+// index page of website s at time At (Section 3.4's procedure runs per
+// transaction: flush DNS cache, wget, iterative dig, capture).
+type Transaction struct {
+	ClientIdx int
+	SiteIdx   int
+	At        simnet.Time
+}
+
+// ForEachTransaction streams the experiment's transactions in
+// deterministic order: per client, rounds laid out at the client's
+// RoundsPerHour cadence over [start, end); within each round the 80 URLs
+// are visited in a fresh random order (Section 3.1: "We randomize the
+// sequence of accesses to avoid systematic bias"), evenly spaced through
+// the round except for dialup clients, which download all URLs "at a
+// stretch" after dialing in (Section 3.4).
+//
+// The visit callback must not retain the Transaction pointer.
+func ForEachTransaction(topo *Topology, seed int64, start, end simnet.Time, visit func(*Transaction)) {
+	nSites := len(topo.Websites)
+	if nSites == 0 {
+		return
+	}
+	order := make([]int, nSites)
+	var txn Transaction
+	for ci := range topo.Clients {
+		c := &topo.Clients[ci]
+		// Per-client RNG stream so that scaling the roster does not
+		// reshuffle other clients' schedules.
+		rng := rand.New(rand.NewSource(seed ^ int64(ci)*0x5851F42D4C957F2D))
+		if c.RoundsPerHour <= 0 {
+			continue
+		}
+		interval := time.Duration(float64(time.Hour) / c.RoundsPerHour)
+		// Spacing between URL fetches within a round.
+		spacing := time.Duration(float64(interval) * 0.9 / float64(nSites))
+		if c.Category == DU {
+			// Dialup: the PoP is dialed, then all URLs download
+			// back-to-back.
+			spacing = 3 * time.Second
+		}
+		for roundStart := start; roundStart < end; roundStart = roundStart.Add(interval) {
+			jitter := time.Duration(rng.Int63n(int64(2 * time.Minute)))
+			at := roundStart.Add(jitter)
+			for i := range order {
+				order[i] = i
+			}
+			rng.Shuffle(nSites, func(i, j int) { order[i], order[j] = order[j], order[i] })
+			for _, si := range order {
+				if at >= end {
+					break
+				}
+				txn = Transaction{ClientIdx: ci, SiteIdx: si, At: at}
+				visit(&txn)
+				at = at.Add(spacing)
+			}
+		}
+	}
+}
+
+// ExpectedTransactions estimates the schedule size (before machine-off
+// exclusions), for sizing and progress reporting.
+func ExpectedTransactions(topo *Topology, start, end simnet.Time) int {
+	hours := end.Sub(start).Hours()
+	total := 0.0
+	for i := range topo.Clients {
+		total += topo.Clients[i].RoundsPerHour * hours * float64(len(topo.Websites))
+	}
+	return int(total)
+}

@@ -1,0 +1,385 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"webfail/internal/faults"
+	"webfail/internal/simnet"
+)
+
+func TestClientRoster(t *testing.T) {
+	cs := Clients()
+	if len(cs) != 134 {
+		t.Fatalf("clients = %d, want 134", len(cs))
+	}
+	byCat := map[Category]int{}
+	sites := map[string]bool{}
+	plSiteSet := map[string]bool{}
+	names := map[string]bool{}
+	for _, c := range cs {
+		byCat[c.Category]++
+		sites[c.Site] = true
+		if c.Category == PL {
+			plSiteSet[c.Site] = true
+		}
+		if names[c.Name] {
+			t.Errorf("duplicate client name %q", c.Name)
+		}
+		names[c.Name] = true
+	}
+	if byCat[PL] != 95 || byCat[DU] != 26 || byCat[CN] != 6 || byCat[BB] != 7 {
+		t.Errorf("category counts = %v", byCat)
+	}
+	if len(plSiteSet) != 64 {
+		t.Errorf("PL sites = %d, want 64", len(plSiteSet))
+	}
+}
+
+func TestWebsiteRoster(t *testing.T) {
+	ws := Websites()
+	if len(ws) != 80 {
+		t.Fatalf("websites = %d, want 80", len(ws))
+	}
+	byGroup := map[SiteGroup]int{}
+	replicaCensus := map[string]int{} // "0", "1", "multi"
+	hosts := map[string]bool{}
+	for _, w := range ws {
+		byGroup[w.Group]++
+		switch {
+		case w.Replicas == 0:
+			replicaCensus["0"]++
+		case w.Replicas == 1:
+			replicaCensus["1"]++
+		default:
+			replicaCensus["multi"]++
+		}
+		if hosts[w.Host] {
+			t.Errorf("duplicate host %q", w.Host)
+		}
+		hosts[w.Host] = true
+	}
+	wantGroups := map[SiteGroup]int{
+		USEdu: 8, USPopular: 22, USMisc: 15, IntlEdu: 10, IntlPopular: 15, IntlMisc: 10,
+	}
+	for g, n := range wantGroups {
+		if byGroup[g] != n {
+			t.Errorf("group %s = %d, want %d", g, byGroup[g], n)
+		}
+	}
+	// Section 4.5 census: 6 CDN (zero replicas), 42 single, 32 multi.
+	if replicaCensus["0"] != 6 || replicaCensus["1"] != 42 || replicaCensus["multi"] != 32 {
+		t.Errorf("replica census = %v, want 6/42/32", replicaCensus)
+	}
+	// The named sites from the analyses must exist.
+	for _, h := range []string{"www.sina.com.cn", "www.iitb.ac.in", "www.sohu.com",
+		"www.brazzil.com", "www.espn.go.com", "www.royal.gov.uk", "www.mp3.com",
+		"www.msn.com.tw", "www.craigslist.org"} {
+		if !hosts[h] {
+			t.Errorf("missing host %q", h)
+		}
+	}
+}
+
+func TestTopologyAddressing(t *testing.T) {
+	topo := NewTopology()
+	seen := map[string]bool{}
+	for i := range topo.Clients {
+		c := &topo.Clients[i]
+		for _, a := range []string{c.Addr.String(), c.LDNS.String()} {
+			if a == "invalid IP" {
+				t.Fatalf("client %s bad addr", c.Name)
+			}
+		}
+		if seen[c.Addr.String()] {
+			t.Errorf("duplicate client addr %v", c.Addr)
+		}
+		seen[c.Addr.String()] = true
+		if !c.Prefix.Contains(c.Addr) || !c.Prefix.Contains(c.LDNS) {
+			t.Errorf("client %s addr outside prefix", c.Name)
+		}
+		if c.Proxied && !c.Proxy.IsValid() {
+			t.Errorf("proxied client %s without proxy addr", c.Name)
+		}
+		if !c.Proxied && c.Proxy.IsValid() {
+			t.Errorf("unproxied client %s with proxy addr", c.Name)
+		}
+	}
+	for i := range topo.Websites {
+		w := &topo.Websites[i]
+		if len(w.ReplicaAddrs) != w.Replicas {
+			t.Errorf("%s replicas = %d, want %d", w.Host, len(w.ReplicaAddrs), w.Replicas)
+		}
+		for _, ra := range w.ReplicaAddrs {
+			if seen[ra.String()] {
+				t.Errorf("duplicate replica addr %v (%s)", ra, w.Host)
+			}
+			seen[ra.String()] = true
+			inPrefix := false
+			for _, p := range w.Prefixes {
+				if p.Contains(ra) {
+					inPrefix = true
+				}
+			}
+			if !inPrefix {
+				t.Errorf("%s replica %v outside prefixes", w.Host, ra)
+			}
+		}
+	}
+	// Co-located clients share prefixes.
+	a := topo.ClientByName("planetlab1.kaist.ac.kr")
+	b := topo.ClientByName("planetlab2.kaist.ac.kr")
+	if a == nil || b == nil || a.Prefix != b.Prefix {
+		t.Error("co-located clients should share a prefix")
+	}
+	if topo.Website("www.mit.edu") == nil {
+		t.Error("Website lookup failed")
+	}
+	if topo.Website("nonexistent") != nil || topo.ClientByName("nope") != nil {
+		t.Error("lookups for unknown names should be nil")
+	}
+}
+
+func TestCoLocatedPairs(t *testing.T) {
+	topo := NewTopology()
+	pairs := topo.CoLocatedPairs()
+	// Section 4.4.6: 35 pairs (33 PL + 2 BB); CN clients excluded.
+	if len(pairs) != 35 {
+		t.Fatalf("co-located pairs = %d, want 35", len(pairs))
+	}
+	for _, p := range pairs {
+		a, b := topo.ClientByName(p[0]), topo.ClientByName(p[1])
+		if a.Site != b.Site {
+			t.Errorf("pair %v not co-located", p)
+		}
+		if a.Category == CN {
+			t.Errorf("CN client in pair %v", p)
+		}
+	}
+}
+
+func TestScaledTopology(t *testing.T) {
+	topo := NewScaledTopology(10, 5)
+	if len(topo.Clients) != 10 || len(topo.Websites) != 5 {
+		t.Fatalf("scaled = %d/%d", len(topo.Clients), len(topo.Websites))
+	}
+	full := NewScaledTopology(0, 0)
+	if len(full.Clients) != 134 || len(full.Websites) != 80 {
+		t.Fatalf("unscaled = %d/%d", len(full.Clients), len(full.Websites))
+	}
+}
+
+func TestAllPrefixesUnique(t *testing.T) {
+	topo := NewTopology()
+	pfxs := topo.AllPrefixes()
+	seen := map[string]bool{}
+	for _, p := range pfxs {
+		if seen[p.String()] {
+			t.Errorf("duplicate prefix %v", p)
+		}
+		seen[p.String()] = true
+	}
+	// At least one prefix per client site (64+26ish+4+4) plus one per
+	// website.
+	if len(pfxs) < 150 {
+		t.Errorf("prefixes = %d, seems too few", len(pfxs))
+	}
+}
+
+func TestScheduleDeterminismAndShape(t *testing.T) {
+	topo := NewScaledTopology(4, 10)
+	end := simnet.FromHours(2)
+	collect := func() []Transaction {
+		var out []Transaction
+		ForEachTransaction(topo, 42, 0, end, func(tx *Transaction) { out = append(out, *tx) })
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("txn %d differs", i)
+		}
+	}
+	// Every transaction in window; per-client times nondecreasing.
+	lastAt := map[int]simnet.Time{}
+	perClientSite := map[[2]int]int{}
+	for _, tx := range a {
+		if tx.At < 0 || tx.At >= end {
+			t.Fatalf("txn outside window: %v", tx.At)
+		}
+		if tx.At < lastAt[tx.ClientIdx] {
+			t.Fatalf("client %d schedule not monotonic", tx.ClientIdx)
+		}
+		lastAt[tx.ClientIdx] = tx.At
+		perClientSite[[2]int{tx.ClientIdx, tx.SiteIdx}]++
+	}
+	// ~4 rounds/hour x 2h = 8 visits per site per client (PL).
+	for key, n := range perClientSite {
+		c := topo.Clients[key[0]]
+		if c.Category == PL && (n < 6 || n > 10) {
+			t.Errorf("client %d site %d visits = %d, want ~8", key[0], key[1], n)
+		}
+	}
+}
+
+func TestScheduleRandomizesOrder(t *testing.T) {
+	topo := NewScaledTopology(1, 20)
+	// Each round visits all 20 sites exactly once, so rounds are
+	// consecutive 20-transaction windows.
+	var seq []int
+	ForEachTransaction(topo, 7, 0, simnet.FromHours(1), func(tx *Transaction) {
+		seq = append(seq, tx.SiteIdx)
+	})
+	if len(seq) < 40 || len(seq)%20 != 0 {
+		t.Fatalf("transactions = %d, want multiple of 20 >= 40", len(seq))
+	}
+	var rounds [][]int
+	for i := 0; i+20 <= len(seq); i += 20 {
+		round := seq[i : i+20]
+		distinct := map[int]bool{}
+		for _, s := range round {
+			distinct[s] = true
+		}
+		if len(distinct) != 20 {
+			t.Fatalf("round starting at %d does not visit each site once", i)
+		}
+		rounds = append(rounds, round)
+	}
+	same := true
+	for i := range rounds[0] {
+		if i < len(rounds[1]) && rounds[0][i] != rounds[1][i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("consecutive rounds have identical order; shuffle broken")
+	}
+}
+
+func TestExpectedTransactions(t *testing.T) {
+	topo := NewScaledTopology(2, 10) // two PL clients, 4 rounds/hour
+	got := ExpectedTransactions(topo, 0, simnet.FromHours(10))
+	want := 2 * 4 * 10 * 10
+	if got != want {
+		t.Errorf("expected = %d, want %d", got, want)
+	}
+}
+
+func TestScenarioBuild(t *testing.T) {
+	topo := NewTopology()
+	p := DefaultScenarioParams(1, 0, simnet.FromHours(744))
+	sc := BuildScenario(topo, p)
+	if sc.Timeline.Len() == 0 {
+		t.Fatal("empty timeline")
+	}
+	// The 38 permanent client-server pairs of Section 4.4.2.
+	pairs := sc.PermanentClientPairs(topo)
+	if len(pairs) != 38 {
+		t.Fatalf("permanent client pairs = %d, want 38", len(pairs))
+	}
+	counts := map[string]int{}
+	for _, p := range pairs {
+		counts[p[1]]++
+	}
+	if counts["www.msn.com.tw"] != 10 || counts["www.sina.com.cn"] != 9 || counts["www.sohu.com"] != 8 {
+		t.Errorf("per-site pair counts = %v", counts)
+	}
+	// Figure events are placed.
+	howard := topo.ClientByName("planetlab1.howard.edu")
+	if howard == nil {
+		t.Fatal("howard client missing")
+	}
+	eps := sc.Timeline.Episodes(faults.Entity("prefix:" + howard.Prefix.String()))
+	foundFig5 := false
+	for _, ep := range eps {
+		if ep.Kind == faults.BGPInstability && ep.Start == simnet.FromUnix(1105632000) {
+			foundFig5 = true
+		}
+	}
+	if !foundFig5 {
+		t.Error("Figure 5 BGP event not placed")
+	}
+	// Special-server chronic faults exist.
+	if len(sc.Timeline.Episodes("www:www.sina.com.cn")) == 0 {
+		t.Error("sina chronic episodes missing")
+	}
+	if len(sc.Timeline.Episodes("site:pittsburgh.intel-research.net")) == 0 {
+		t.Error("intel chronic flakiness missing")
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	topo := NewTopology()
+	build := func() int {
+		sc := BuildScenario(topo, DefaultScenarioParams(9, 0, simnet.FromHours(200)))
+		return sc.Timeline.Len()
+	}
+	if build() != build() {
+		t.Error("scenario not deterministic")
+	}
+}
+
+func TestScenarioChronicCoverage(t *testing.T) {
+	topo := NewTopology()
+	sc := BuildScenario(topo, DefaultScenarioParams(3, 0, simnet.FromHours(744)))
+	// sina.com.cn should be under a chronic episode ~97% of the month.
+	ent := faults.Entity("www:www.sina.com.cn")
+	covered := 0
+	for h := int64(0); h < 744; h++ {
+		at := simnet.FromHours(h).Add(30 * time.Minute)
+		for _, ep := range sc.Timeline.ActiveAny(ent, at) {
+			if ep.Kind == faults.ServerOutage {
+				covered++
+				break
+			}
+		}
+	}
+	if covered < 650 {
+		t.Errorf("sina chronic coverage = %d/744 hours, want > 650", covered)
+	}
+}
+
+func TestDialupScheduleBursts(t *testing.T) {
+	// DU virtual clients download all URLs "at a stretch" (3 s spacing)
+	// once per 4-hour round; PL clients pace evenly through the round.
+	topo := NewTopology()
+	var duIdx, plIdx int = -1, -1
+	for i := range topo.Clients {
+		if topo.Clients[i].Category == DU && duIdx < 0 {
+			duIdx = i
+		}
+		if topo.Clients[i].Category == PL && plIdx < 0 {
+			plIdx = i
+		}
+	}
+	var duTimes, plTimes []simnet.Time
+	ForEachTransaction(topo, 3, 0, simnet.FromHours(8), func(tx *Transaction) {
+		switch tx.ClientIdx {
+		case duIdx:
+			duTimes = append(duTimes, tx.At)
+		case plIdx:
+			plTimes = append(plTimes, tx.At)
+		}
+	})
+	if len(duTimes) < 80 || len(plTimes) < 80 {
+		t.Fatalf("du=%d pl=%d transactions", len(duTimes), len(plTimes))
+	}
+	// DU: consecutive gaps within a round are exactly 3 s.
+	gap := duTimes[1].Sub(duTimes[0])
+	if gap != 3*time.Second {
+		t.Errorf("DU spacing = %v, want 3s", gap)
+	}
+	// PL: spacing spreads the round (~900s/80 ≈ 10s).
+	plGap := plTimes[1].Sub(plTimes[0])
+	if plGap < 8*time.Second || plGap > 13*time.Second {
+		t.Errorf("PL spacing = %v, want ~10s", plGap)
+	}
+	// DU round cadence: first txn of consecutive rounds ~4 h apart.
+	roundGap := duTimes[80].Sub(duTimes[0])
+	if roundGap < 3*time.Hour+30*time.Minute || roundGap > 4*time.Hour+30*time.Minute {
+		t.Errorf("DU round gap = %v, want ~4h", roundGap)
+	}
+}
