@@ -86,6 +86,68 @@ func BenchmarkRunFastMode(b *testing.B) {
 	}
 }
 
+// BenchmarkRunFastModeParallel measures sharded fast-mode throughput over
+// the same 4-hour full-roster slice as BenchmarkRunFastMode, with
+// GOMAXPROCS workers. The per-shard counters are cache-line padded so the
+// bench measures evaluation, not false sharing.
+func BenchmarkRunFastModeParallel(b *testing.B) {
+	topo := workload.NewTopology()
+	end := simnet.FromHours(4)
+	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(fixtureSeed, 0, end))
+	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
+	shards := measure.EffectiveShards(len(topo.Clients), 0)
+	type paddedCount struct {
+		n int64
+		_ [56]byte
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counts := make([]paddedCount, shards)
+		if err := measure.RunParallel(cfg, shards, func(s int, _ *measure.Record) {
+			counts[s].n++
+		}); err != nil {
+			b.Fatal(err)
+		}
+		var n int64
+		for s := range counts {
+			n += counts[s].n
+		}
+		b.ReportMetric(float64(n), "txns/op")
+	}
+}
+
+// BenchmarkAnalysisMerge measures the deterministic shard-merge step in
+// isolation: GOMAXPROCS shard accumulators from a 24-hour full-roster run
+// are folded into a fresh accumulator each iteration.
+func BenchmarkAnalysisMerge(b *testing.B) {
+	topo := workload.NewTopology()
+	end := simnet.FromHours(24)
+	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(fixtureSeed, 0, end))
+	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
+	shards := measure.EffectiveShards(len(topo.Clients), 0)
+	accs := make([]*core.Analysis, shards)
+	for i := range accs {
+		accs[i] = core.NewAnalysis(topo, 0, end)
+	}
+	if err := measure.RunParallel(cfg, shards, func(s int, r *measure.Record) {
+		accs[s].Add(r)
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		merged := core.NewAnalysis(topo, 0, end)
+		for _, acc := range accs {
+			if err := merged.Merge(acc); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if merged.TotalTxns == 0 {
+			b.Fatal("empty merge")
+		}
+	}
+}
+
 // BenchmarkRunPacketMode measures full protocol-simulation throughput at a
 // reduced scale (6 clients x 6 sites x 2 h).
 func BenchmarkRunPacketMode(b *testing.B) {

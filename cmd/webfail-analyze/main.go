@@ -7,23 +7,32 @@
 //
 // Usage:
 //
-//	webfail-analyze -in dataset.bin [-top N]
+//	webfail-analyze -in dataset.bin [-top N] [-parallel N]
+//
+// The ingest into the core analysis accumulator is sharded across
+// -parallel workers (client-range shards merged deterministically; the
+// output is identical for any shard count).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
 
+	"webfail/internal/core"
 	"webfail/internal/httpsim"
 	"webfail/internal/measure"
+	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
 
 func main() {
 	in := flag.String("in", "", "dataset path (required)")
 	top := flag.Int("top", 10, "rows in top-N listings")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "ingest worker shards (1 = serial)")
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "webfail-analyze: -in is required")
@@ -45,6 +54,19 @@ func main() {
 	fmt.Printf("transactions=%d failures=%d (%.2f%%), %d records stored\n\n",
 		ds.Meta.Transactions, ds.Meta.Failures,
 		100*float64(ds.Meta.Failures)/float64(max64(ds.Meta.Transactions, 1)), len(ds.Records))
+
+	a := ingestParallel(ds, topo, *parallel)
+	fmt.Printf("stored-record accumulator (%d ingest shards): %s\n",
+		measure.EffectiveShards(len(topo.Clients), *parallel), a)
+	fmt.Println("failure-stage shares over stored records:")
+	for _, row := range a.Summary() {
+		if row.FailTxns == 0 {
+			continue
+		}
+		fmt.Printf("  %-8v fails=%8d DNS=%5.1f%% TCP=%5.1f%% HTTP=%5.1f%%\n",
+			row.Category, row.FailTxns, 100*row.DNSShare, 100*row.TCPShare, 100*row.HTTPShare)
+	}
+	fmt.Println()
 
 	byStage := map[httpsim.Stage]int{}
 	byCat := map[workload.Category]int{}
@@ -146,6 +168,40 @@ func main() {
 		}
 		fmt.Printf("  hour %4d: %6d failures\n", h.h, h.v)
 	}
+}
+
+// ingestParallel feeds the stored records into per-shard core.Analysis
+// accumulators (contiguous client ranges; stored order is per-client
+// time-ordered) and merges them in shard order, so the result is identical
+// to a serial ingest for any shard count.
+func ingestParallel(ds *measure.Dataset, topo *workload.Topology, parallel int) *core.Analysis {
+	start := simnet.FromUnix(ds.Meta.StartUnix)
+	end := simnet.FromUnix(ds.Meta.EndUnix)
+	shards := measure.EffectiveShards(len(topo.Clients), parallel)
+	accs := make([]*core.Analysis, shards)
+	var wg sync.WaitGroup
+	for s := range accs {
+		accs[s] = core.NewAnalysis(topo, start, end)
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			lo, hi := measure.ShardRange(len(topo.Clients), shards, s)
+			for i := range ds.Records {
+				r := &ds.Records[i]
+				if ci := int(r.ClientIdx); ci >= lo && ci < hi {
+					accs[s].Add(r)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	a := core.NewAnalysis(topo, start, end)
+	for _, acc := range accs {
+		if err := a.Merge(acc); err != nil {
+			fatal(err)
+		}
+	}
+	return a
 }
 
 type kv struct {

@@ -9,6 +9,8 @@
 //	-seed N      scenario seed (default 2005)
 //	-runseed N   per-transaction sampling seed (default 1)
 //	-mode M      "fast" (default) or "packet" (small scales only)
+//	-parallel N  fast-mode worker shards (default GOMAXPROCS; 1 = serial;
+//	             output is identical for any value)
 //	-clients N   limit the client roster (0 = all 134)
 //	-sites N     limit the website roster (0 = all 80)
 //	-only LIST   comma-separated selection, e.g. "table3,fig5,headlines"
@@ -23,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -39,6 +42,7 @@ func main() {
 		seed     = flag.Int64("seed", 2005, "scenario seed")
 		runSeed  = flag.Int64("runseed", 1, "per-transaction sampling seed")
 		mode     = flag.String("mode", "fast", "fast or packet")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "fast-mode worker shards (1 = serial)")
 		nClients = flag.Int("clients", 0, "limit client roster (0 = all)")
 		nSites   = flag.Int("sites", 0, "limit website roster (0 = all)")
 		only     = flag.String("only", "", "comma-separated artifacts (table1..table9, fig1..fig7, headlines)")
@@ -58,8 +62,12 @@ func main() {
 	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(*seed, 0, end))
 	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: *runSeed, Start: 0, End: end}
 
-	fmt.Printf("webfail: %s; %d clients x %d websites over %d hours (%s mode)\n",
-		topo, len(topo.Clients), len(topo.Websites), *hours, *mode)
+	shards := 1
+	if *mode == "fast" {
+		shards = measure.EffectiveShards(len(topo.Clients), *parallel)
+	}
+	fmt.Printf("webfail: %s; %d clients x %d websites over %d hours (%s mode, %d shards)\n",
+		topo, len(topo.Clients), len(topo.Websites), *hours, *mode, shards)
 
 	a := core.NewAnalysis(topo, 0, end)
 	var ds *measure.Dataset
@@ -84,9 +92,13 @@ func main() {
 	var err error
 	switch *mode {
 	case "fast":
-		err = measure.Run(cfg, visit)
+		if shards > 1 {
+			err = runFastSharded(cfg, shards, topo, a, ds)
+		} else {
+			err = measure.Run(cfg, visit)
+		}
 	case "packet":
-		if workload.ExpectedTransactions(topo, 0, end) > 2_000_000 {
+		if workload.ExpectedTransactions(topo, *runSeed, 0, end) > 2_000_000 {
 			fatalf("packet mode at this scale would take very long; reduce -hours/-clients/-sites")
 		}
 		err = measure.RunPacket(cfg, visit)
@@ -114,6 +126,50 @@ func main() {
 		}
 		fmt.Printf("\ndataset written to %s (%d records)\n", *savePath, len(ds.Records))
 	}
+}
+
+// runFastSharded runs fast mode across shards workers, each feeding a
+// private accumulator (and dataset buffer), then merges in shard order —
+// shards are contiguous client ranges and the serial record stream is
+// client-major, so the merged analysis and saved dataset are identical to
+// a serial run's.
+func runFastSharded(cfg measure.Config, shards int, topo *workload.Topology, a *core.Analysis, ds *measure.Dataset) error {
+	accs := make([]*core.Analysis, shards)
+	for i := range accs {
+		accs[i] = core.NewAnalysis(topo, cfg.Start, cfg.End)
+	}
+	type shardDS struct {
+		txns, fails int64
+		recs        []measure.Record
+	}
+	var sds []shardDS
+	if ds != nil {
+		sds = make([]shardDS, shards)
+	}
+	err := measure.RunParallel(cfg, shards, func(s int, r *measure.Record) {
+		accs[s].Add(r)
+		if sds != nil {
+			sds[s].txns++
+			if r.Failed() {
+				sds[s].fails++
+				sds[s].recs = append(sds[s].recs, *r)
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for s := 0; s < shards; s++ {
+		if err := a.Merge(accs[s]); err != nil {
+			return err
+		}
+		if sds != nil {
+			ds.Meta.Transactions += sds[s].txns
+			ds.Meta.Failures += sds[s].fails
+			ds.Records = append(ds.Records, sds[s].recs...)
+		}
+	}
+	return nil
 }
 
 func fatalf(format string, args ...any) {

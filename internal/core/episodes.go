@@ -87,7 +87,17 @@ func (a *Analysis) PermanentPairs(threshold float64) []PermanentPair {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Rate > out[j].Rate })
+	// Rate ties are common (many pairs fail 100% of the time), so break
+	// them on the pair indexes to keep the output deterministic.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rate != out[j].Rate {
+			return out[i].Rate > out[j].Rate
+		}
+		if out[i].Client != out[j].Client {
+			return out[i].Client < out[j].Client
+		}
+		return out[i].Site < out[j].Site
+	})
 	return out
 }
 

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"webfail/internal/httpsim"
+	"webfail/internal/measure"
+	"webfail/internal/simnet"
+	"webfail/internal/workload"
+)
+
+// mergeRecord builds a record for the merge tests.
+func mergeRecord(client, site int32, at simnet.Time, stage httpsim.Stage, cat workload.Category) *measure.Record {
+	r := &measure.Record{
+		ClientIdx: client,
+		SiteIdx:   site,
+		At:        at,
+		Category:  cat,
+		Stage:     stage,
+		Conns:     2,
+		DataPkts:  5,
+	}
+	switch stage {
+	case httpsim.StageDNS:
+		r.DNS = measure.DNSLDNSTimeout
+		r.Conns = 0
+	case httpsim.StageTCP:
+		r.FailKind = httpsim.NoConnection
+	case httpsim.StageHTTP:
+		r.StatusCode = 503
+	default:
+		r.StatusCode = 200
+		r.Retransmits = 1
+	}
+	return r
+}
+
+// TestMergeMatchesSequential feeds a hand-built record stream into one
+// accumulator serially and into two client-disjoint accumulators that are
+// merged, and requires identical state.
+func TestMergeMatchesSequential(t *testing.T) {
+	topo := workload.NewScaledTopology(4, 3)
+	end := simnet.FromHours(3)
+
+	recs := []*measure.Record{
+		mergeRecord(0, 0, simnet.FromHours(0), httpsim.StageNone, workload.PL),
+		mergeRecord(0, 1, simnet.FromHours(0)+1000, httpsim.StageTCP, workload.PL),
+		mergeRecord(0, 1, simnet.FromHours(1), httpsim.StageTCP, workload.PL),
+		mergeRecord(0, 2, simnet.FromHours(1)+1000, httpsim.StageDNS, workload.PL),
+		mergeRecord(1, 0, simnet.FromHours(0), httpsim.StageHTTP, workload.PL),
+		mergeRecord(1, 2, simnet.FromHours(2), httpsim.StageNone, workload.PL),
+		mergeRecord(2, 0, simnet.FromHours(0), httpsim.StageTCP, workload.BB),
+		mergeRecord(2, 1, simnet.FromHours(2), httpsim.StageNone, workload.BB),
+		mergeRecord(3, 2, simnet.FromHours(1), httpsim.StageDNS, workload.DU),
+		mergeRecord(3, 2, simnet.FromHours(2), httpsim.StageTCP, workload.DU),
+	}
+
+	serial := NewAnalysis(topo, 0, end)
+	for _, r := range recs {
+		serial.Add(r)
+	}
+
+	// Shard by client: [0, 2) and [2, 4). Records are client-major, so
+	// feeding the shards in client order and merging in shard order must
+	// reproduce the serial failure list too.
+	left := NewAnalysis(topo, 0, end)
+	right := NewAnalysis(topo, 0, end)
+	for _, r := range recs {
+		if r.ClientIdx < 2 {
+			left.Add(r)
+		} else {
+			right.Add(r)
+		}
+	}
+	merged := NewAnalysis(topo, 0, end)
+	if err := merged.Merge(left); err != nil {
+		t.Fatalf("Merge(left): %v", err)
+	}
+	if err := merged.Merge(right); err != nil {
+		t.Fatalf("Merge(right): %v", err)
+	}
+
+	if !reflect.DeepEqual(serial, merged) {
+		t.Errorf("merged analysis differs from serial:\n got %s\nwant %s", merged, serial)
+	}
+	if !reflect.DeepEqual(serial.Failures, merged.Failures) {
+		t.Errorf("failure lists differ:\n got %+v\nwant %+v", merged.Failures, serial.Failures)
+	}
+	if got, want := merged.Summary(), serial.Summary(); !reflect.DeepEqual(got, want) {
+		t.Errorf("summaries differ:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestMergeStreaks checks that per-client failure streaks survive a merge
+// of disjoint client sets (the case RunParallel produces).
+func TestMergeStreaks(t *testing.T) {
+	topo := workload.NewScaledTopology(2, 2)
+	end := simnet.FromHours(1)
+
+	acc := NewAnalysis(topo, 0, end)
+	other := NewAnalysis(topo, 0, end)
+	// Client 1 fails three in a row within the hour, then succeeds.
+	for i := 0; i < 3; i++ {
+		other.Add(mergeRecord(1, 0, simnet.Time(i*1000), httpsim.StageTCP, workload.PL))
+	}
+	other.Add(mergeRecord(1, 1, simnet.Time(5000), httpsim.StageNone, workload.PL))
+	if err := acc.Merge(other); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if got := acc.ClientHour(1, 0).StreakMax; got != 3 {
+		t.Errorf("merged StreakMax = %d, want 3", got)
+	}
+	if got := acc.ClientHour(0, 0).StreakMax; got != 0 {
+		t.Errorf("untouched client StreakMax = %d, want 0", got)
+	}
+}
+
+func TestMergeReplicaGrid(t *testing.T) {
+	topo := workload.NewScaledTopology(2, 4)
+	end := simnet.FromHours(2)
+	var replica netip.Addr
+	var site int32 = -1
+	for j := range topo.Websites {
+		if len(topo.Websites[j].ReplicaAddrs) > 0 {
+			replica = topo.Websites[j].ReplicaAddrs[0]
+			site = int32(j)
+			break
+		}
+	}
+	if site < 0 {
+		t.Skip("no replica-addressed website in scaled topology")
+	}
+
+	a := NewAnalysis(topo, 0, end)
+	b := NewAnalysis(topo, 0, end)
+	r := mergeRecord(0, site, simnet.FromHours(1), httpsim.StageNone, workload.PL)
+	r.ReplicaIP = replica
+	a.Add(r)
+	r2 := mergeRecord(1, site, simnet.FromHours(1), httpsim.StageTCP, workload.PL)
+	r2.ReplicaIP = replica
+	b.Add(r2)
+
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	census := a.ReplicaCensusAt(0.01)
+	if len(census.Qualifying[int(site)]) == 0 {
+		t.Errorf("replica %v lost in merge: qualifying = %v", replica, census.Qualifying[int(site)])
+	}
+}
+
+// TestMergeRejectsMismatch verifies the compatibility guard.
+func TestMergeRejectsMismatch(t *testing.T) {
+	topo := workload.NewScaledTopology(3, 3)
+	end := simnet.FromHours(2)
+	base := NewAnalysis(topo, 0, end)
+
+	otherRoster := NewAnalysis(workload.NewScaledTopology(4, 3), 0, end)
+	if err := base.Merge(otherRoster); err == nil {
+		t.Error("merge of mismatched rosters succeeded, want error")
+	}
+	otherWindow := NewAnalysis(topo, 0, simnet.FromHours(5))
+	if err := base.Merge(otherWindow); err == nil {
+		t.Error("merge of mismatched windows succeeded, want error")
+	}
+	otherBin := NewAnalysisBinned(topo, 0, end, 30*time.Minute)
+	if err := base.Merge(otherBin); err == nil {
+		t.Error("merge of mismatched bins succeeded, want error")
+	}
+	if err := base.Merge(nil); err != nil {
+		t.Errorf("merge of nil errored: %v", err)
+	}
+	// A valid merge must still work after the rejected attempts left
+	// base untouched.
+	fresh := NewAnalysis(topo, 0, end)
+	fresh.Add(mergeRecord(0, 0, 0, httpsim.StageTCP, workload.PL))
+	if err := base.Merge(fresh); err != nil {
+		t.Fatalf("valid merge failed: %v", err)
+	}
+	if base.TotalTxns != 1 || base.TotalFails != 1 {
+		t.Errorf("totals after merge = %d/%d, want 1/1", base.TotalTxns, base.TotalFails)
+	}
+}

@@ -69,7 +69,17 @@ func (a *Analysis) CoLocatedSimilarity(at *Attribution) []PairSimilarity {
 		ps.Similarity = stats.Jaccard(ea, eb)
 		out = append(out, ps)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].UnionSize > out[j].UnionSize })
+	// UnionSize ties happen (small episode sets); break them on the pair
+	// names so the table order is deterministic.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].UnionSize != out[j].UnionSize {
+			return out[i].UnionSize > out[j].UnionSize
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
 	return out
 }
 

@@ -153,10 +153,13 @@ func (t *Timeline) Add(ep Episode) {
 	}
 }
 
-// Freeze sorts the timeline for querying.
+// Freeze sorts the timeline for querying. The sort is stable so episodes
+// sharing a Start keep their (deterministic) insertion order; an unstable
+// sort would make scan's visit order — and thus any severity ties resolved
+// by it — vary run to run.
 func (t *Timeline) Freeze() {
 	for _, eps := range t.byEntity {
-		sort.Slice(eps, func(i, j int) bool { return eps[i].Start < eps[j].Start })
+		sort.SliceStable(eps, func(i, j int) bool { return eps[i].Start < eps[j].Start })
 	}
 	t.frozen = true
 }

@@ -90,19 +90,13 @@ func newEvaluator(cfg Config) *evaluator {
 	}
 	for _, pair := range cfg.Scenario.PermanentPairs {
 		site, host := pair[0], pair[1]
-		wn := topo.Website(host)
-		if wn == nil {
+		wIdx := topo.WebsiteIndex(host)
+		if wIdx < 0 {
 			continue
-		}
-		var wIdx int32 = -1
-		for j := range topo.Websites {
-			if topo.Websites[j].Host == host {
-				wIdx = int32(j)
-			}
 		}
 		for i := range topo.Clients {
 			if topo.Clients[i].Site == site {
-				ev.pairEnt[[2]int32{int32(i), wIdx}] = faults.PairEntity(site, host)
+				ev.pairEnt[[2]int32{int32(i), int32(wIdx)}] = faults.PairEntity(site, host)
 			}
 		}
 	}

@@ -1,0 +1,133 @@
+// Serial/parallel equivalence: the headline guarantee of the sharded
+// runner is that RunParallel's merged output is byte-identical to Run's,
+// for any shard count. This file is an external test package so it can
+// close the loop through core.Analysis.Merge without an import cycle.
+package measure_test
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"webfail/internal/core"
+	"webfail/internal/measure"
+	"webfail/internal/simnet"
+	"webfail/internal/workload"
+)
+
+// buildParallelConfig returns a small but fault-rich experiment: enough
+// clients for interesting shard partitions, a long enough window for
+// permanent pairs and episodes to appear.
+func buildParallelConfig(t testing.TB) (measure.Config, *workload.Topology, simnet.Time) {
+	t.Helper()
+	topo := workload.NewScaledTopology(13, 12)
+	end := simnet.FromHours(12)
+	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(2005, 0, end))
+	return measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}, topo, end
+}
+
+// runSharded executes RunParallel with the given shard count, feeding one
+// private accumulator per shard and merging in shard order.
+func runSharded(t testing.TB, cfg measure.Config, topo *workload.Topology, end simnet.Time, shards int) *core.Analysis {
+	t.Helper()
+	eff := measure.EffectiveShards(len(topo.Clients), shards)
+	accs := make([]*core.Analysis, eff)
+	for i := range accs {
+		accs[i] = core.NewAnalysis(topo, 0, end)
+	}
+	if err := measure.RunParallel(cfg, shards, func(s int, r *measure.Record) {
+		accs[s].Add(r)
+	}); err != nil {
+		t.Fatalf("RunParallel(%d): %v", shards, err)
+	}
+	merged := core.NewAnalysis(topo, 0, end)
+	for _, acc := range accs {
+		if err := merged.Merge(acc); err != nil {
+			t.Fatalf("Merge: %v", err)
+		}
+	}
+	return merged
+}
+
+func TestSerialParallelEquivalence(t *testing.T) {
+	cfg, topo, end := buildParallelConfig(t)
+
+	serial := core.NewAnalysis(topo, 0, end)
+	if err := measure.Run(cfg, func(r *measure.Record) { serial.Add(r) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if serial.TotalTxns == 0 || serial.TotalFails == 0 {
+		t.Fatalf("degenerate fixture: %s", serial)
+	}
+	serialPairs := serial.PermanentPairs(0.9)
+	serialAt := serial.Attribute(0.05, serialPairs)
+
+	for _, shards := range []int{1, 3, runtime.GOMAXPROCS(0)} {
+		par := runSharded(t, cfg, topo, end, shards)
+
+		// The whole accumulator must match, not just derived views —
+		// grids, maps, and the failure list in serial order.
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("shards=%d: merged analysis differs from serial (%s vs %s)", shards, serial, par)
+		}
+
+		// Table 3: per-category summary rows.
+		if got, want := par.Summary(), serial.Summary(); !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d: Table 3 differs:\n got %+v\nwant %+v", shards, got, want)
+		}
+
+		// Table 5: permanent pairs and the blame attribution built on
+		// them.
+		pairs := par.PermanentPairs(0.9)
+		if !reflect.DeepEqual(pairs, serialPairs) {
+			t.Errorf("shards=%d: permanent pairs differ:\n got %+v\nwant %+v", shards, pairs, serialPairs)
+		}
+		at := par.Attribute(0.05, pairs)
+		if !reflect.DeepEqual(at, serialAt) {
+			t.Errorf("shards=%d: Table 5 attribution differs: got %+v want %+v", shards, at.Counts, serialAt.Counts)
+		}
+	}
+}
+
+// TestRunParallelShardClamp checks the shard-count edge cases: more shards
+// than clients, zero (= GOMAXPROCS), and negative.
+func TestRunParallelShardClamp(t *testing.T) {
+	cfg, topo, end := buildParallelConfig(t)
+	serial := core.NewAnalysis(topo, 0, end)
+	if err := measure.Run(cfg, func(r *measure.Record) { serial.Add(r) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, shards := range []int{len(topo.Clients), len(topo.Clients) + 7, 0, -1} {
+		par := runSharded(t, cfg, topo, end, shards)
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("shards=%d: merged analysis differs from serial", shards)
+		}
+	}
+}
+
+func TestEffectiveShards(t *testing.T) {
+	cases := []struct {
+		nClients, shards, want int
+	}{
+		{10, 4, 4},
+		{10, 100, 10},
+		{10, 1, 1},
+		{0, 4, 1},
+	}
+	for _, c := range cases {
+		if got := measure.EffectiveShards(c.nClients, c.shards); got != c.want {
+			t.Errorf("EffectiveShards(%d, %d) = %d, want %d", c.nClients, c.shards, got, c.want)
+		}
+	}
+	if got := measure.EffectiveShards(10, 0); got < 1 || got > 10 {
+		t.Errorf("EffectiveShards(10, 0) = %d, want in [1, 10]", got)
+	}
+	lo, hi := measure.ShardRange(10, 3, 0)
+	if lo != 0 || hi != 3 {
+		t.Errorf("ShardRange(10, 3, 0) = [%d, %d), want [0, 3)", lo, hi)
+	}
+	lo, hi = measure.ShardRange(10, 3, 2)
+	if lo != 6 || hi != 10 {
+		t.Errorf("ShardRange(10, 3, 2) = [%d, %d), want [6, 10)", lo, hi)
+	}
+}

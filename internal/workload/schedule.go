@@ -26,13 +26,28 @@ type Transaction struct {
 //
 // The visit callback must not retain the Transaction pointer.
 func ForEachTransaction(topo *Topology, seed int64, start, end simnet.Time, visit func(*Transaction)) {
+	ForEachTransactionRange(topo, seed, start, end, 0, len(topo.Clients), visit)
+}
+
+// ForEachTransactionRange streams the transactions of clients with index in
+// [clientLo, clientHi), in the same per-client order as ForEachTransaction.
+// Because every client owns an independent RNG stream, the concatenation of
+// disjoint ranges in index order is byte-identical to a full iteration —
+// the property the sharded parallel runner (measure.RunParallel) relies on.
+func ForEachTransactionRange(topo *Topology, seed int64, start, end simnet.Time, clientLo, clientHi int, visit func(*Transaction)) {
 	nSites := len(topo.Websites)
 	if nSites == 0 {
 		return
 	}
+	if clientLo < 0 {
+		clientLo = 0
+	}
+	if clientHi > len(topo.Clients) {
+		clientHi = len(topo.Clients)
+	}
 	order := make([]int, nSites)
 	var txn Transaction
-	for ci := range topo.Clients {
+	for ci := clientLo; ci < clientHi; ci++ {
 		c := &topo.Clients[ci]
 		// Per-client RNG stream so that scaling the roster does not
 		// reshuffle other clients' schedules.
@@ -67,13 +82,12 @@ func ForEachTransaction(topo *Topology, seed int64, start, end simnet.Time, visi
 	}
 }
 
-// ExpectedTransactions estimates the schedule size (before machine-off
-// exclusions), for sizing and progress reporting.
-func ExpectedTransactions(topo *Topology, start, end simnet.Time) int {
-	hours := end.Sub(start).Hours()
-	total := 0.0
-	for i := range topo.Clients {
-		total += topo.Clients[i].RoundsPerHour * hours * float64(len(topo.Websites))
-	}
-	return int(total)
+// ExpectedTransactions returns the exact schedule size (before machine-off
+// exclusions), for sizing and progress reporting. It replays the schedule
+// with the same seed so the final round's `at >= end` truncation is counted
+// exactly as ForEachTransaction emits it.
+func ExpectedTransactions(topo *Topology, seed int64, start, end simnet.Time) int {
+	n := 0
+	ForEachTransaction(topo, seed, start, end, func(*Transaction) { n++ })
+	return n
 }

@@ -160,6 +160,14 @@ func (t *Topology) Website(host string) *WebsiteNode {
 	return nil
 }
 
+// WebsiteIndex returns the index of a host name, or -1 when absent.
+func (t *Topology) WebsiteIndex(host string) int {
+	if i, ok := t.siteIndex[host]; ok {
+		return i
+	}
+	return -1
+}
+
 // ClientByName returns the node for a client name, or nil.
 func (t *Topology) ClientByName(name string) *ClientNode {
 	if i, ok := t.clientIndex[name]; ok {
@@ -195,16 +203,23 @@ func (t *Topology) AllPrefixes() []netip.Prefix {
 // roster. CN clients are excluded as in the paper (their proxies confound
 // client-side attribution).
 func (t *Topology) CoLocatedPairs() [][2]string {
+	// Sites are visited in roster order (not map order) so the pair list
+	// is deterministic run to run.
 	bySite := make(map[string][]string)
+	var siteOrder []string
 	for i := range t.Clients {
 		c := &t.Clients[i]
 		if c.Category == CN {
 			continue
 		}
+		if _, ok := bySite[c.Site]; !ok {
+			siteOrder = append(siteOrder, c.Site)
+		}
 		bySite[c.Site] = append(bySite[c.Site], c.Name)
 	}
 	var out [][2]string
-	for _, names := range bySite {
+	for _, site := range siteOrder {
+		names := bySite[site]
 		for i := 0; i < len(names); i++ {
 			for j := i + 1; j < len(names); j++ {
 				out = append(out, [2]string{names[i], names[j]})

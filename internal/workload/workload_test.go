@@ -261,10 +261,47 @@ func TestScheduleRandomizesOrder(t *testing.T) {
 
 func TestExpectedTransactions(t *testing.T) {
 	topo := NewScaledTopology(2, 10) // two PL clients, 4 rounds/hour
-	got := ExpectedTransactions(topo, 0, simnet.FromHours(10))
-	want := 2 * 4 * 10 * 10
-	if got != want {
-		t.Errorf("expected = %d, want %d", got, want)
+	const seed = 11
+	got := ExpectedTransactions(topo, seed, 0, simnet.FromHours(10))
+	// The estimate must match what ForEachTransaction actually emits,
+	// including the `at >= end` truncation of each client's final round.
+	emitted := 0
+	ForEachTransaction(topo, seed, 0, simnet.FromHours(10), func(*Transaction) { emitted++ })
+	if got != emitted {
+		t.Errorf("expected = %d, emitted = %d; estimate inconsistent with schedule", got, emitted)
+	}
+	// The untruncated upper bound is rounds x sites; jitter pushes the
+	// last round past end, so the exact count is at most that and within
+	// one round of it.
+	upper := 2 * 4 * 10 * 10
+	if got > upper || got < upper-2*10 {
+		t.Errorf("expected = %d, want within one round below %d", got, upper)
+	}
+}
+
+func TestForEachTransactionRange(t *testing.T) {
+	topo := NewScaledTopology(7, 10)
+	end := simnet.FromHours(3)
+	const seed = 5
+	var serial []Transaction
+	ForEachTransaction(topo, seed, 0, end, func(tx *Transaction) { serial = append(serial, *tx) })
+	for _, shards := range []int{1, 2, 3, 7} {
+		var sharded []Transaction
+		n := len(topo.Clients)
+		for s := 0; s < shards; s++ {
+			lo, hi := s*n/shards, (s+1)*n/shards
+			ForEachTransactionRange(topo, seed, 0, end, lo, hi, func(tx *Transaction) {
+				sharded = append(sharded, *tx)
+			})
+		}
+		if len(sharded) != len(serial) {
+			t.Fatalf("shards=%d: %d transactions, want %d", shards, len(sharded), len(serial))
+		}
+		for i := range serial {
+			if sharded[i] != serial[i] {
+				t.Fatalf("shards=%d: transaction %d = %+v, want %+v", shards, i, sharded[i], serial[i])
+			}
+		}
 	}
 }
 

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Tier-1 verify: build, vet, full test suite, then the serial/parallel
+# equivalence tests under the race detector (scoped to the two packages
+# exercising the sharded runner and the merge, to keep CI time bounded).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race -run 'TestSerialParallelEquivalence|TestRunParallelShardClamp|TestMerge' \
+    ./internal/measure ./internal/core
