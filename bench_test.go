@@ -12,6 +12,7 @@
 package webfail
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
@@ -21,6 +22,7 @@ import (
 
 	"webfail/internal/bgpsim"
 	"webfail/internal/core"
+	"webfail/internal/dataset"
 	"webfail/internal/measure"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
@@ -534,6 +536,116 @@ func BenchmarkAblationPermanentExclusion(b *testing.B) {
 			b.ReportMetric(float64(at.Total), "classified-failures")
 			b.ReportMetric(100*at.Share(core.BlameServer), "server-side-%")
 		})
+	}
+}
+
+// --- Dataset layer ---
+
+// datasetFixture builds the record stream and meta for the dataset
+// benchmarks once: the failure subset of a 24-hour full-roster run
+// (what `webfail -save` stores).
+var datasetFixtureOnce struct {
+	sync.Once
+	topo *workload.Topology
+	end  simnet.Time
+	meta measure.DatasetMeta
+	recs []measure.Record
+}
+
+func getDatasetFixture(b *testing.B) ([]measure.Record, measure.DatasetMeta, *workload.Topology, simnet.Time) {
+	b.Helper()
+	f := &datasetFixtureOnce
+	f.Do(func() {
+		f.topo = workload.NewTopology()
+		f.end = simnet.FromHours(24)
+		sc := workload.BuildScenario(f.topo, workload.DefaultScenarioParams(fixtureSeed, 0, f.end))
+		cfg := measure.Config{Topo: f.topo, Scenario: sc, Seed: 1, Start: 0, End: f.end}
+		f.meta = measure.DatasetMeta{
+			Seed: fixtureSeed, StartUnix: simnet.Time(0).Unix(), EndUnix: f.end.Unix(),
+			Clients: len(f.topo.Clients), Websites: len(f.topo.Websites),
+		}
+		if err := measure.Run(cfg, func(r *measure.Record) {
+			f.meta.Transactions++
+			if r.Failed() {
+				f.meta.Failures++
+				f.recs = append(f.recs, *r)
+			}
+		}); err != nil {
+			panic(err)
+		}
+	})
+	return f.recs, f.meta, f.topo, f.end
+}
+
+// BenchmarkDatasetSave streams the fixture's failure records through a
+// v2 writer sink. The sink holds at most one chunk (DefaultChunkRecords
+// records) at a time — peak memory is bounded by chunk size, not the
+// stored record count, which is the property that lets `webfail -save`
+// stream month-scale datasets.
+func BenchmarkDatasetSave(b *testing.B) {
+	recs, meta, _, _ := getDatasetFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out discardCounter
+		w, err := dataset.NewWriter(&out, meta, dataset.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink := w.NewSink()
+		for j := range recs {
+			if err := sink.Append(&recs[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := sink.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(out))
+		b.ReportMetric(float64(len(recs)), "records/op")
+	}
+}
+
+// BenchmarkDatasetLoadParallel measures the sharded ingest path end to
+// end: open a v2 dataset and ConsumeParallel it across GOMAXPROCS
+// client-range shards (each worker reads only its overlapping chunks).
+func BenchmarkDatasetLoadParallel(b *testing.B) {
+	recs, meta, topo, end := getDatasetFixture(b)
+	var buf bytes.Buffer
+	w, err := dataset.NewWriter(&buf, meta, dataset.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := w.NewSink()
+	for j := range recs {
+		if err := sink.Append(&recs[j]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, err := dataset.Open(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := core.ConsumeParallel(topo, 0, end, src, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.TotalTxns != int64(len(recs)) {
+			b.Fatalf("ingested %d records, want %d", a.TotalTxns, len(recs))
+		}
 	}
 }
 

@@ -10,8 +10,11 @@
 //	webfail-analyze -in dataset.bin [-top N] [-parallel N]
 //
 // The ingest into the core analysis accumulator is sharded across
-// -parallel workers (client-range shards merged deterministically; the
-// output is identical for any shard count).
+// -parallel workers: each worker opens only the dataset chunks
+// overlapping its client range (v2 datasets index chunks by client
+// range; v1 datasets are range-partitioned in memory), and the shard
+// accumulators merge deterministically — the output is identical for
+// any shard count.
 package main
 
 import (
@@ -20,11 +23,12 @@ import (
 	"os"
 	"runtime"
 	"sort"
-	"sync"
 
 	"webfail/internal/core"
+	"webfail/internal/dataset"
 	"webfail/internal/httpsim"
 	"webfail/internal/measure"
+	"webfail/internal/report"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
@@ -43,21 +47,30 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	ds, err := measure.LoadDataset(f)
+	st, err := f.Stat()
 	if err != nil {
 		fatal(err)
 	}
-	topo := workload.NewScaledTopology(ds.Meta.Clients, ds.Meta.Websites)
+	src, err := dataset.Open(f, st.Size())
+	if err != nil {
+		fatal(err)
+	}
+	meta := src.Meta()
+	topo := workload.NewScaledTopology(meta.Clients, meta.Websites)
 
-	fmt.Printf("dataset: seed=%d window=[%d,%d) %d clients x %d websites\n",
-		ds.Meta.Seed, ds.Meta.StartUnix, ds.Meta.EndUnix, ds.Meta.Clients, ds.Meta.Websites)
-	fmt.Printf("transactions=%d failures=%d (%.2f%%), %d records stored\n\n",
-		ds.Meta.Transactions, ds.Meta.Failures,
-		100*float64(ds.Meta.Failures)/float64(max64(ds.Meta.Transactions, 1)), len(ds.Records))
+	report.DatasetInfo(os.Stdout, meta, src.Stored())
 
-	a := ingestParallel(ds, topo, *parallel)
-	fmt.Printf("stored-record accumulator (%d ingest shards): %s\n",
-		measure.EffectiveShards(len(topo.Clients), *parallel), a)
+	start := simnet.FromUnix(meta.StartUnix)
+	end := simnet.FromUnix(meta.EndUnix)
+	a, err := core.ConsumeParallel(topo, start, end, src, *parallel)
+	if err != nil {
+		fatal(err)
+	}
+	// The shard count is the one -parallel-dependent value; it goes to
+	// stderr so stdout is byte-identical for any ingest width.
+	fmt.Fprintf(os.Stderr, "webfail-analyze: %d ingest shards\n",
+		measure.EffectiveShards(len(topo.Clients), *parallel))
+	fmt.Printf("stored-record accumulator: %s\n", a)
 	fmt.Println("failure-stage shares over stored records:")
 	for _, row := range a.Summary() {
 		if row.FailTxns == 0 {
@@ -74,10 +87,9 @@ func main() {
 	bySite := map[int32]int{}
 	byPair := map[[2]int32]int{}
 	byHour := map[int64]int{}
-	for i := range ds.Records {
-		r := &ds.Records[i]
+	err = dataset.AllRecords(src, func(r *measure.Record) error {
 		if !r.Failed() {
-			continue
+			return nil
 		}
 		byStage[r.Stage]++
 		byCat[r.Category]++
@@ -85,6 +97,10 @@ func main() {
 		bySite[r.SiteIdx]++
 		byPair[[2]int32{r.ClientIdx, r.SiteIdx}]++
 		byHour[r.At.Hour()]++
+		return nil
+	})
+	if err != nil {
+		fatal(err)
 	}
 
 	fmt.Println("failures by stage:")
@@ -126,7 +142,10 @@ func main() {
 		if pairs[i].v != pairs[j].v {
 			return pairs[i].v > pairs[j].v
 		}
-		return pairs[i].k[0]*1000+pairs[i].k[1] < pairs[j].k[0]*1000+pairs[j].k[1]
+		if pairs[i].k[0] != pairs[j].k[0] {
+			return pairs[i].k[0] < pairs[j].k[0]
+		}
+		return pairs[i].k[1] < pairs[j].k[1]
 	})
 	for i, p := range pairs {
 		if i >= *top {
@@ -144,16 +163,12 @@ func main() {
 
 	// Worst hours.
 	fmt.Printf("\nworst %d hours by failure count:\n", *top)
-	hourCounts := map[int64]int{}
-	for h, v := range byHour {
-		hourCounts[h] = v
-	}
 	type hourN struct {
 		h int64
 		v int
 	}
 	var hs []hourN
-	for h, v := range hourCounts {
+	for h, v := range byHour {
 		hs = append(hs, hourN{h, v})
 	}
 	sort.Slice(hs, func(i, j int) bool {
@@ -168,40 +183,6 @@ func main() {
 		}
 		fmt.Printf("  hour %4d: %6d failures\n", h.h, h.v)
 	}
-}
-
-// ingestParallel feeds the stored records into per-shard core.Analysis
-// accumulators (contiguous client ranges; stored order is per-client
-// time-ordered) and merges them in shard order, so the result is identical
-// to a serial ingest for any shard count.
-func ingestParallel(ds *measure.Dataset, topo *workload.Topology, parallel int) *core.Analysis {
-	start := simnet.FromUnix(ds.Meta.StartUnix)
-	end := simnet.FromUnix(ds.Meta.EndUnix)
-	shards := measure.EffectiveShards(len(topo.Clients), parallel)
-	accs := make([]*core.Analysis, shards)
-	var wg sync.WaitGroup
-	for s := range accs {
-		accs[s] = core.NewAnalysis(topo, start, end)
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			lo, hi := measure.ShardRange(len(topo.Clients), shards, s)
-			for i := range ds.Records {
-				r := &ds.Records[i]
-				if ci := int(r.ClientIdx); ci >= lo && ci < hi {
-					accs[s].Add(r)
-				}
-			}
-		}(s)
-	}
-	wg.Wait()
-	a := core.NewAnalysis(topo, start, end)
-	for _, acc := range accs {
-		if err := a.Merge(acc); err != nil {
-			fatal(err)
-		}
-	}
-	return a
 }
 
 type kv struct {
@@ -224,13 +205,6 @@ func topN(m map[int32]int, n int) []kv {
 		out = out[:n]
 	}
 	return out
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func fatal(err error) {

@@ -15,7 +15,7 @@
 //	-sites N     limit the website roster (0 = all 80)
 //	-only LIST   comma-separated selection, e.g. "table3,fig5,headlines"
 //	             (default: everything)
-//	-save PATH   write the failure dataset to PATH
+//	-save PATH   stream the failure dataset to PATH (v2 chunked format)
 //
 // The output prints each reproduced artifact next to the paper's
 // published value.
@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"webfail/internal/core"
+	"webfail/internal/dataset"
 	"webfail/internal/measure"
 	"webfail/internal/report"
 	"webfail/internal/simnet"
@@ -70,21 +71,37 @@ func main() {
 		topo, len(topo.Clients), len(topo.Websites), *hours, *mode, shards)
 
 	a := core.NewAnalysis(topo, 0, end)
-	var ds *measure.Dataset
+
+	// The dataset streams to disk during the run: shard workers feed
+	// per-shard sinks that flush independently compressed chunks, so
+	// peak memory is bounded by chunk size x shards rather than the
+	// stored record count.
+	var (
+		dw       *dataset.Writer
+		saveFile *os.File
+	)
 	if *savePath != "" {
-		ds = &measure.Dataset{Meta: measure.DatasetMeta{
+		var err error
+		saveFile, err = os.Create(*savePath)
+		if err != nil {
+			fatalf("save: %v", err)
+		}
+		dw, err = dataset.NewWriter(saveFile, measure.DatasetMeta{
 			Seed: *seed, StartUnix: simnet.Time(0).Unix(), EndUnix: end.Unix(),
 			Clients: len(topo.Clients), Websites: len(topo.Websites),
-		}}
+		}, dataset.Options{})
+		if err != nil {
+			fatalf("save: %v", err)
+		}
+	}
+	var sink *dataset.Sink // serial modes write one stream
+	if dw != nil && !(*mode == "fast" && shards > 1) {
+		sink = dw.NewSink()
 	}
 	visit := func(r *measure.Record) {
 		a.Add(r)
-		if ds != nil {
-			ds.Meta.Transactions++
-			if r.Failed() {
-				ds.Meta.Failures++
-				ds.Records = append(ds.Records, *r)
-			}
+		if sink != nil {
+			sink.Observe(r)
 		}
 	}
 
@@ -93,7 +110,7 @@ func main() {
 	switch *mode {
 	case "fast":
 		if shards > 1 {
-			err = runFastSharded(cfg, shards, topo, a, ds)
+			err = runFastSharded(cfg, shards, topo, a, dw)
 		} else {
 			err = measure.Run(cfg, visit)
 		}
@@ -108,52 +125,49 @@ func main() {
 	if err != nil {
 		fatalf("run: %v", err)
 	}
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			fatalf("save: %v", err)
+		}
+	}
 	fmt.Printf("run completed in %v: %s\n\n", time.Since(started).Round(time.Millisecond), a)
 
 	rep := &report.Reporter{W: os.Stdout, A: a, Topo: topo, Sc: sc, Seed: *seed}
 	rep.Run(sel)
 
-	if ds != nil {
-		f, err := os.Create(*savePath)
-		if err != nil {
+	if dw != nil {
+		if err := dw.Close(); err != nil {
 			fatalf("save: %v", err)
 		}
-		if err := ds.Save(f); err != nil {
+		if err := saveFile.Close(); err != nil {
 			fatalf("save: %v", err)
 		}
-		if err := f.Close(); err != nil {
-			fatalf("save: %v", err)
-		}
-		fmt.Printf("\ndataset written to %s (%d records)\n", *savePath, len(ds.Records))
+		fmt.Printf("\ndataset written to %s (%d records in %d chunks)\n", *savePath, dw.Stored(), dw.Chunks())
 	}
 }
 
 // runFastSharded runs fast mode across shards workers, each feeding a
-// private accumulator (and dataset buffer), then merges in shard order —
-// shards are contiguous client ranges and the serial record stream is
-// client-major, so the merged analysis and saved dataset are identical to
-// a serial run's.
-func runFastSharded(cfg measure.Config, shards int, topo *workload.Topology, a *core.Analysis, ds *measure.Dataset) error {
+// private accumulator (and, when saving, a private dataset sink), then
+// merges in shard order — shards are contiguous client ranges and the
+// serial record stream is client-major, so the merged analysis and the
+// saved dataset's canonical record order are identical to a serial
+// run's.
+func runFastSharded(cfg measure.Config, shards int, topo *workload.Topology, a *core.Analysis, dw *dataset.Writer) error {
 	accs := make([]*core.Analysis, shards)
 	for i := range accs {
 		accs[i] = core.NewAnalysis(topo, cfg.Start, cfg.End)
 	}
-	type shardDS struct {
-		txns, fails int64
-		recs        []measure.Record
-	}
-	var sds []shardDS
-	if ds != nil {
-		sds = make([]shardDS, shards)
+	var sinks []*dataset.Sink
+	if dw != nil {
+		sinks = make([]*dataset.Sink, shards)
+		for i := range sinks {
+			sinks[i] = dw.NewSink()
+		}
 	}
 	err := measure.RunParallel(cfg, shards, func(s int, r *measure.Record) {
 		accs[s].Add(r)
-		if sds != nil {
-			sds[s].txns++
-			if r.Failed() {
-				sds[s].fails++
-				sds[s].recs = append(sds[s].recs, *r)
-			}
+		if sinks != nil {
+			sinks[s].Observe(r)
 		}
 	})
 	if err != nil {
@@ -163,10 +177,10 @@ func runFastSharded(cfg measure.Config, shards int, topo *workload.Topology, a *
 		if err := a.Merge(accs[s]); err != nil {
 			return err
 		}
-		if sds != nil {
-			ds.Meta.Transactions += sds[s].txns
-			ds.Meta.Failures += sds[s].fails
-			ds.Records = append(ds.Records, sds[s].recs...)
+		if sinks != nil {
+			if err := sinks[s].Close(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

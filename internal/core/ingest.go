@@ -1,0 +1,59 @@
+package core
+
+import (
+	"sync"
+
+	"webfail/internal/dataset"
+	"webfail/internal/measure"
+	"webfail/internal/simnet"
+	"webfail/internal/workload"
+)
+
+// Consume streams every stored record of src into the accumulator in
+// canonical (client-major, per-client time-ordered) order — the
+// stored-data counterpart of feeding Add from a live measure.Run.
+func (a *Analysis) Consume(src dataset.RecordSource) error {
+	return dataset.AllRecords(src, func(r *measure.Record) error {
+		a.Add(r)
+		return nil
+	})
+}
+
+// ConsumeParallel ingests src across shards workers, one contiguous
+// client range per worker (the same partition measure.RunParallel
+// uses), each reading only the chunks overlapping its range into a
+// private accumulator; the shards merge in shard order, so the result
+// is identical to a serial Consume for any shard count. shards <= 0
+// selects GOMAXPROCS.
+func ConsumeParallel(topo *workload.Topology, start, end simnet.Time, src dataset.RecordSource, shards int) (*Analysis, error) {
+	n := len(topo.Clients)
+	shards = measure.EffectiveShards(n, shards)
+	accs := make([]*Analysis, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		accs[s] = NewAnalysis(topo, start, end)
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			lo, hi := measure.ShardRange(n, shards, s)
+			errs[s] = src.Records(lo, hi, func(r *measure.Record) error {
+				accs[s].Add(r)
+				return nil
+			})
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := NewAnalysis(topo, start, end)
+	for _, acc := range accs {
+		if err := merged.Merge(acc); err != nil {
+			return nil, err
+		}
+	}
+	return merged, nil
+}

@@ -1,0 +1,99 @@
+// Package dataset is the stored-data layer: the v2 on-disk format for
+// performance-record datasets (magic "WEBFAILDS2") and the streaming
+// RecordSink/RecordSource abstraction the rest of the system programs
+// against.
+//
+// The v1 format (internal/measure's gob+gzip blob, magic "WEBFAILDS1")
+// had to be fully decoded into one []Record before any analysis could
+// start, so `webfail-analyze` paid the whole dataset in memory and could
+// not shard its ingest without rescanning every record per shard. The v2
+// format is chunked:
+//
+//	magic "WEBFAILDS2\n"
+//	chunk 0 … chunk n-1     each an independently gzip-compressed gob
+//	                        []measure.Record, at most ChunkRecords long
+//	index                   gob(index{Meta, Chunks}) — per chunk: offset,
+//	                        length, record count, client range [Lo, Hi],
+//	                        stream id and per-stream sequence number
+//	footer                  index offset (8B BE) | index length (8B BE) |
+//	                        "WFDS2IDX"
+//
+// Because every chunk carries its client range in the index, a reader
+// can open only the chunks overlapping a client range — the exact
+// partition measure.ShardRange hands to parallel ingest workers — and
+// writers (one Sink per RunParallel shard) can append chunks to the same
+// file concurrently: chunk order in the file does not matter, the index
+// is sorted into canonical client-major order at Close.
+//
+// Compatibility policy: v1 datasets remain loadable forever through
+// Open, routed into the same RecordSource interface (see legacy.go);
+// new datasets are always written as v2.
+package dataset
+
+import (
+	"webfail/internal/measure"
+)
+
+// Magic strings of the two dataset generations. Both are 11 bytes, so
+// Open can sniff either with one read.
+const (
+	magicV1 = "WEBFAILDS1\n"
+	magicV2 = "WEBFAILDS2\n"
+
+	// footerMagic ends every v2 file; Open locates the index from it.
+	footerMagic = "WFDS2IDX"
+	// footerLen is offset (8) + length (8) + footerMagic (8).
+	footerLen = 24
+)
+
+// DefaultChunkRecords is the chunk capacity used when Options leaves
+// ChunkRecords unset: large enough that gzip amortizes well (~100 bytes
+// of gob per record), small enough that a reader's working set stays in
+// the low megabytes.
+const DefaultChunkRecords = 8192
+
+// RecordSink receives performance records one at a time, the streaming
+// replacement for appending to a []measure.Record. Implementations may
+// buffer; the record is copied before Append returns, so callers may
+// reuse the pointed-to Record (measure.RunParallel's visit contract).
+type RecordSink interface {
+	Append(r *measure.Record) error
+}
+
+// RecordSource streams the stored records of a dataset. Implementations
+// are safe for concurrent Records calls, so parallel ingest workers can
+// each read their own client range.
+type RecordSource interface {
+	// Meta returns the run description stored with the dataset.
+	Meta() measure.DatasetMeta
+	// Stored returns the number of stored records.
+	Stored() int64
+	// Records calls visit for every stored record whose ClientIdx lies
+	// in [lo, hi), in canonical order: client-major, per-client
+	// time-ordered — the order a serial run emits. A non-nil error from
+	// visit aborts the scan and is returned.
+	Records(lo, hi int, visit func(r *measure.Record) error) error
+}
+
+// AllRecords streams every stored record of src in canonical order.
+func AllRecords(src RecordSource, visit func(r *measure.Record) error) error {
+	return src.Records(0, int(^uint32(0)>>1), visit)
+}
+
+// chunkInfo is one index entry: where a chunk lives in the file and
+// which records it holds.
+type chunkInfo struct {
+	Offset int64 // byte offset of the gzip stream
+	Length int64 // compressed length in bytes
+	Count  int32 // records in the chunk
+	Lo, Hi int32 // min/max ClientIdx in the chunk (inclusive)
+	Stream int32 // writing sink's stream id
+	Seq    int32 // per-stream chunk ordinal
+}
+
+// index is the trailing v2 index, gob-encoded between the last chunk
+// and the footer.
+type index struct {
+	Meta   measure.DatasetMeta
+	Chunks []chunkInfo
+}

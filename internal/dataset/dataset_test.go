@@ -1,0 +1,379 @@
+package dataset_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"webfail/internal/dataset"
+	"webfail/internal/httpsim"
+	"webfail/internal/measure"
+	"webfail/internal/simnet"
+	"webfail/internal/workload"
+)
+
+// -update regenerates testdata/v1small.bin (the checked-in v1
+// compatibility fixture) from the deterministic generator below.
+var update = flag.Bool("update", false, "rewrite the v1 compatibility fixture")
+
+// randRecords builds n records over the given client count with every
+// field exercised, in canonical order (client-major, stable within a
+// client). The generator is deterministic for a given seed: the v1
+// fixture and the property tests both build on it.
+func randRecords(seed int64, n, clients int) []measure.Record {
+	rng := rand.New(rand.NewSource(seed))
+	cats := []workload.Category{workload.PL, workload.BB, workload.DU, workload.CN}
+	stages := []httpsim.Stage{httpsim.StageNone, httpsim.StageDNS, httpsim.StageTCP, httpsim.StageHTTP}
+	recs := make([]measure.Record, n)
+	for i := range recs {
+		r := &recs[i]
+		r.ClientIdx = int32(rng.Intn(clients))
+		r.SiteIdx = int32(rng.Intn(40))
+		r.At = simnet.Time(rng.Int63n(int64(1000 * time.Hour)))
+		r.Category = cats[rng.Intn(len(cats))]
+		r.Proxied = rng.Intn(4) == 0
+		r.DNS = measure.DNSOutcome(rng.Intn(5))
+		r.DNSTime = time.Duration(rng.Int63n(int64(5 * time.Second)))
+		r.Stage = stages[rng.Intn(len(stages))]
+		r.FailKind = httpsim.ConnFailKind(rng.Intn(4))
+		r.Conns = int16(rng.Intn(6))
+		r.StatusCode = int16(200 + rng.Intn(300))
+		r.Bytes = rng.Int31n(1 << 20)
+		r.Redirects = int8(rng.Intn(3))
+		if rng.Intn(2) == 0 {
+			r.ReplicaIP = netip.AddrFrom4([4]byte{byte(rng.Intn(224)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(1 + rng.Intn(250))})
+		}
+		r.Elapsed = time.Duration(rng.Int63n(int64(time.Minute)))
+		r.DataPkts = int16(rng.Intn(200))
+		r.Retransmits = int16(rng.Intn(20))
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].ClientIdx < recs[j].ClientIdx })
+	return recs
+}
+
+func collect(t *testing.T, src dataset.RecordSource, lo, hi int) []measure.Record {
+	t.Helper()
+	var got []measure.Record
+	if err := src.Records(lo, hi, func(r *measure.Record) error {
+		got = append(got, *r)
+		return nil
+	}); err != nil {
+		t.Fatalf("Records(%d, %d): %v", lo, hi, err)
+	}
+	return got
+}
+
+func sameRecords(t *testing.T, got, want []measure.Record, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d records, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: record %d differs:\n got %+v\nwant %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestDatasetV2RoundTrip is the save→load property: for random record
+// sets and a sweep of chunk sizes (forcing 1..n chunks, partial last
+// chunks, and the empty dataset), the reader reproduces the written
+// records exactly, in canonical order, with the meta intact.
+func TestDatasetV2RoundTrip(t *testing.T) {
+	meta := measure.DatasetMeta{Seed: 7, StartUnix: 100, EndUnix: 200, Clients: 16, Websites: 40, Transactions: 5000, Failures: 321}
+	for _, n := range []int{0, 1, 5, 257, 1000} {
+		for _, chunk := range []int{1, 3, 7, 64, 0} {
+			label := fmt.Sprintf("n=%d chunk=%d", n, chunk)
+			recs := randRecords(int64(n)*31+int64(chunk), n, 16)
+			var buf bytes.Buffer
+			w, err := dataset.NewWriter(&buf, meta, dataset.Options{ChunkRecords: chunk})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink := w.NewSink()
+			for i := range recs {
+				if err := sink.Append(&recs[i]); err != nil {
+					t.Fatalf("%s: Append: %v", label, err)
+				}
+			}
+			if err := sink.Close(); err != nil {
+				t.Fatalf("%s: sink close: %v", label, err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatalf("%s: writer close: %v", label, err)
+			}
+			src, err := dataset.Open(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+			if err != nil {
+				t.Fatalf("%s: Open: %v", label, err)
+			}
+			if src.Meta() != meta {
+				t.Fatalf("%s: meta = %+v, want %+v", label, src.Meta(), meta)
+			}
+			if src.Stored() != int64(n) {
+				t.Fatalf("%s: stored = %d, want %d", label, src.Stored(), n)
+			}
+			sameRecords(t, collect(t, src, 0, 1<<30), recs, label)
+
+			// Range reads return exactly the clients in range.
+			for _, rg := range [][2]int{{0, 4}, {4, 11}, {11, 16}, {3, 3}, {30, 40}} {
+				var want []measure.Record
+				for _, r := range recs {
+					if int(r.ClientIdx) >= rg[0] && int(r.ClientIdx) < rg[1] {
+						want = append(want, r)
+					}
+				}
+				sameRecords(t, collect(t, src, rg[0], rg[1]), want, fmt.Sprintf("%s range %v", label, rg))
+			}
+		}
+	}
+}
+
+// TestDatasetV2ParallelStreams writes through concurrent per-shard
+// sinks — the RunParallel topology — and checks the stored canonical
+// order equals the serial (single-stream) order, and that concurrent
+// range reads see consistent data.
+func TestDatasetV2ParallelStreams(t *testing.T) {
+	const clients = 20
+	recs := randRecords(99, 700, clients)
+	meta := measure.DatasetMeta{Seed: 1, Clients: clients, Websites: 40}
+
+	write := func(streams int, chunk int) []byte {
+		var buf bytes.Buffer
+		w, err := dataset.NewWriter(&buf, meta, dataset.Options{ChunkRecords: chunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sinks := make([]*dataset.Sink, streams)
+		for i := range sinks {
+			sinks[i] = w.NewSink()
+		}
+		var wg sync.WaitGroup
+		for s := 0; s < streams; s++ {
+			lo, hi := measure.ShardRange(clients, streams, s)
+			wg.Add(1)
+			go func(s, lo, hi int) {
+				defer wg.Done()
+				for i := range recs {
+					if ci := int(recs[i].ClientIdx); ci >= lo && ci < hi {
+						if err := sinks[s].Append(&recs[i]); err != nil {
+							t.Errorf("stream %d: %v", s, err)
+							return
+						}
+					}
+				}
+			}(s, lo, hi)
+		}
+		wg.Wait()
+		for _, s := range sinks {
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	for _, streams := range []int{1, 3, 7} {
+		data := write(streams, 16)
+		src, err := dataset.Open(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			t.Fatalf("streams=%d: Open: %v", streams, err)
+		}
+		sameRecords(t, collect(t, src, 0, clients), recs, fmt.Sprintf("streams=%d", streams))
+
+		// Concurrent shard reads (the ConsumeParallel access pattern).
+		var wg sync.WaitGroup
+		parts := make([][]measure.Record, 4)
+		for s := 0; s < 4; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				lo, hi := measure.ShardRange(clients, 4, s)
+				src.Records(lo, hi, func(r *measure.Record) error {
+					parts[s] = append(parts[s], *r)
+					return nil
+				})
+			}(s)
+		}
+		wg.Wait()
+		var joined []measure.Record
+		for _, p := range parts {
+			joined = append(joined, p...)
+		}
+		sameRecords(t, joined, recs, fmt.Sprintf("streams=%d concurrent shards", streams))
+	}
+}
+
+// TestDatasetV2Corruption exercises the failure paths: truncation at
+// every layer, a corrupt index, a corrupt chunk, and non-dataset input.
+// Every case must error cleanly, never panic.
+func TestDatasetV2Corruption(t *testing.T) {
+	recs := randRecords(5, 300, 8)
+	var buf bytes.Buffer
+	w, err := dataset.NewWriter(&buf, measure.DatasetMeta{Clients: 8, Websites: 40}, dataset.Options{ChunkRecords: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := w.NewSink()
+	for i := range recs {
+		sink.Append(&recs[i])
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	open := func(b []byte) (dataset.RecordSource, error) {
+		return dataset.Open(bytes.NewReader(b), int64(len(b)))
+	}
+
+	// Truncations: mid-magic, mid-chunk (footer gone), mid-footer.
+	for _, size := range []int{0, 5, 11, 40, len(data) / 2, len(data) - 1} {
+		if size >= len(data) {
+			continue
+		}
+		if _, err := open(data[:size]); err == nil {
+			t.Errorf("truncated to %d bytes: accepted", size)
+		}
+	}
+
+	// Non-dataset input.
+	if _, err := open([]byte("definitely not a dataset, but long enough to sniff")); err == nil {
+		t.Error("garbage accepted")
+	}
+
+	// Corrupt footer magic.
+	bad := bytes.Clone(data)
+	bad[len(bad)-1] ^= 0xff
+	if _, err := open(bad); err == nil {
+		t.Error("corrupt footer magic accepted")
+	}
+
+	// Corrupt index offset pointing past the file.
+	bad = bytes.Clone(data)
+	for i := len(bad) - 24; i < len(bad)-16; i++ {
+		bad[i] = 0xff
+	}
+	if _, err := open(bad); err == nil {
+		t.Error("corrupt index offset accepted")
+	}
+
+	// Corrupt index body: zero the gob stream's leading length byte.
+	idxOff := int64(binary.BigEndian.Uint64(data[len(data)-24 : len(data)-16]))
+	bad = bytes.Clone(data)
+	bad[idxOff] = 0x00
+	if _, err := open(bad); err == nil {
+		t.Error("corrupt index body accepted")
+	}
+
+	// Corrupt chunk body: Open succeeds (index intact), Records must
+	// error when it reaches the damaged chunk.
+	bad = bytes.Clone(data)
+	for i := 15; i < 25; i++ {
+		bad[i] ^= 0xff
+	}
+	src, err := open(bad)
+	if err != nil {
+		t.Fatalf("corrupt chunk: Open should defer the error to Records, got %v", err)
+	}
+	if err := dataset.AllRecords(src, func(*measure.Record) error { return nil }); err == nil {
+		t.Error("corrupt chunk body read without error")
+	}
+
+	// Truncated v1 blob.
+	v1 := v1FixtureBytes(t)
+	if _, err := open(v1[:len(v1)/2]); err == nil {
+		t.Error("truncated v1 dataset accepted")
+	}
+
+	// Visit error aborts and propagates.
+	src, err = open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErr := fmt.Errorf("stop")
+	if err := dataset.AllRecords(src, func(*measure.Record) error { return wantErr }); err != wantErr {
+		t.Errorf("visit error = %v, want %v", err, wantErr)
+	}
+}
+
+// v1 fixture: a deterministic record set saved in the legacy format.
+const (
+	v1FixturePath    = "testdata/v1small.bin"
+	v1FixtureSeed    = 42
+	v1FixtureRecords = 200
+	v1FixtureClients = 10
+)
+
+func v1FixtureMeta() measure.DatasetMeta {
+	return measure.DatasetMeta{
+		Seed: v1FixtureSeed, StartUnix: 1104555600, EndUnix: 1104555600 + 3600*1000,
+		Clients: v1FixtureClients, Websites: 40, Transactions: 12345, Failures: v1FixtureRecords,
+	}
+}
+
+func v1FixtureBytes(t *testing.T) []byte {
+	t.Helper()
+	ds := &measure.Dataset{Meta: v1FixtureMeta(), Records: randRecords(v1FixtureSeed, v1FixtureRecords, v1FixtureClients)}
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDatasetV1Compat proves backward compatibility against a
+// checked-in fixture: a v1 file written before the v2 format existed
+// must keep loading through dataset.Open, expose the same meta and
+// records, and serve the ranged reads the sharded ingest relies on
+// (the client-major layout is located by binary search, not a scan).
+func TestDatasetV1Compat(t *testing.T) {
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(v1FixturePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(v1FixturePath, v1FixtureBytes(t), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", v1FixturePath)
+	}
+	data, err := os.ReadFile(v1FixturePath)
+	if err != nil {
+		t.Fatalf("missing fixture (run with -update to regenerate): %v", err)
+	}
+	src, err := dataset.Open(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatalf("Open v1: %v", err)
+	}
+	if got, want := src.Meta(), v1FixtureMeta(); got != want {
+		t.Errorf("meta = %+v, want %+v", got, want)
+	}
+	want := randRecords(v1FixtureSeed, v1FixtureRecords, v1FixtureClients)
+	if src.Stored() != int64(len(want)) {
+		t.Errorf("stored = %d, want %d", src.Stored(), len(want))
+	}
+	sameRecords(t, collect(t, src, 0, 1<<30), want, "v1 full scan")
+	for _, rg := range [][2]int{{0, 3}, {3, 7}, {7, 10}, {5, 5}} {
+		var sub []measure.Record
+		for _, r := range want {
+			if int(r.ClientIdx) >= rg[0] && int(r.ClientIdx) < rg[1] {
+				sub = append(sub, r)
+			}
+		}
+		sameRecords(t, collect(t, src, rg[0], rg[1]), sub, fmt.Sprintf("v1 range %v", rg))
+	}
+}

@@ -1,0 +1,68 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"webfail/internal/measure"
+)
+
+// legacySource adapts a fully-decoded v1 dataset to RecordSource. The
+// v1 blob offers no random access, so the whole record slice lives in
+// memory — the cost the v2 format removes — but range reads are still
+// cheap: v1 files written by webfail are client-major, so the slice is
+// sorted by ClientIdx and each Records call binary-searches its range
+// instead of scanning every record per shard.
+type legacySource struct {
+	ds     *measure.Dataset
+	sorted bool
+}
+
+func openLegacy(r io.ReaderAt, size int64) (*legacySource, error) {
+	ds, err := measure.LoadDataset(io.NewSectionReader(r, 0, size))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: v1: %w", err)
+	}
+	l := &legacySource{ds: ds, sorted: true}
+	for i := 1; i < len(ds.Records); i++ {
+		if ds.Records[i].ClientIdx < ds.Records[i-1].ClientIdx {
+			l.sorted = false
+			break
+		}
+	}
+	return l, nil
+}
+
+// Meta returns the stored run description.
+func (l *legacySource) Meta() measure.DatasetMeta { return l.ds.Meta }
+
+// Stored returns the stored record count.
+func (l *legacySource) Stored() int64 { return int64(len(l.ds.Records)) }
+
+// Records streams the stored records with ClientIdx in [lo, hi). On the
+// (standard) client-major v1 layout the range is located by binary
+// search, so a sharded ingest touches each record exactly once overall;
+// an unsorted (hand-built) v1 file falls back to a filtering scan.
+func (l *legacySource) Records(lo, hi int, visit func(r *measure.Record) error) error {
+	recs := l.ds.Records
+	if l.sorted {
+		i := sort.Search(len(recs), func(i int) bool { return int(recs[i].ClientIdx) >= lo })
+		j := sort.Search(len(recs), func(i int) bool { return int(recs[i].ClientIdx) >= hi })
+		recs = recs[i:j]
+		for i := range recs {
+			if err := visit(&recs[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := range recs {
+		if ci := int(recs[i].ClientIdx); ci >= lo && ci < hi {
+			if err := visit(&recs[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package dataset
+
+import (
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"webfail/internal/measure"
+)
+
+// Open sniffs the dataset generation at r and returns a RecordSource
+// over it: a chunk-ranged streaming reader for v2 files, an in-memory
+// legacy adapter for v1 files. size is the total file size (e.g. from
+// os.File.Stat).
+func Open(r io.ReaderAt, size int64) (RecordSource, error) {
+	magic := make([]byte, len(magicV2))
+	if size < int64(len(magic)) {
+		return nil, fmt.Errorf("dataset: truncated file (%d bytes)", size)
+	}
+	if _, err := r.ReadAt(magic, 0); err != nil {
+		return nil, fmt.Errorf("dataset: read magic: %w", err)
+	}
+	switch string(magic) {
+	case magicV2:
+		return openV2(r, size)
+	case magicV1:
+		return openLegacy(r, size)
+	default:
+		return nil, fmt.Errorf("dataset: not a webfail dataset")
+	}
+}
+
+// reader is the v2 RecordSource: it holds only the index and decodes
+// one chunk at a time, so memory stays bounded by the chunk size. All
+// methods are safe for concurrent use — each Records call owns its own
+// section readers and decoders.
+type reader struct {
+	r      io.ReaderAt
+	meta   measure.DatasetMeta
+	chunks []chunkInfo
+	stored int64
+}
+
+func openV2(r io.ReaderAt, size int64) (*reader, error) {
+	if size < int64(len(magicV2))+footerLen {
+		return nil, fmt.Errorf("dataset: truncated v2 file (%d bytes)", size)
+	}
+	footer := make([]byte, footerLen)
+	if _, err := r.ReadAt(footer, size-footerLen); err != nil {
+		return nil, fmt.Errorf("dataset: read footer: %w", err)
+	}
+	if string(footer[16:]) != footerMagic {
+		return nil, fmt.Errorf("dataset: bad v2 footer (truncated or corrupt file)")
+	}
+	idxOff := int64(binary.BigEndian.Uint64(footer[0:8]))
+	idxLen := int64(binary.BigEndian.Uint64(footer[8:16]))
+	if idxOff < int64(len(magicV2)) || idxLen < 0 || idxOff+idxLen != size-footerLen {
+		return nil, fmt.Errorf("dataset: corrupt v2 index location (offset=%d length=%d size=%d)", idxOff, idxLen, size)
+	}
+	var idx index
+	if err := gob.NewDecoder(io.NewSectionReader(r, idxOff, idxLen)).Decode(&idx); err != nil {
+		return nil, fmt.Errorf("dataset: decode index: %w", err)
+	}
+	d := &reader{r: r, meta: idx.Meta, chunks: idx.Chunks}
+	for _, c := range d.chunks {
+		if c.Offset < int64(len(magicV2)) || c.Length <= 0 || c.Offset+c.Length > idxOff || c.Count < 0 {
+			return nil, fmt.Errorf("dataset: corrupt chunk entry (offset=%d length=%d count=%d)", c.Offset, c.Length, c.Count)
+		}
+		d.stored += int64(c.Count)
+	}
+	// The writer stores the index in canonical order already; sort
+	// defensively so Records' ordering contract never depends on the
+	// producer.
+	sort.Slice(d.chunks, func(i, j int) bool {
+		a, b := &d.chunks[i], &d.chunks[j]
+		if a.Lo != b.Lo {
+			return a.Lo < b.Lo
+		}
+		if a.Stream != b.Stream {
+			return a.Stream < b.Stream
+		}
+		return a.Seq < b.Seq
+	})
+	return d, nil
+}
+
+// Meta returns the stored run description.
+func (d *reader) Meta() measure.DatasetMeta { return d.meta }
+
+// Stored returns the total stored record count (from the index; no
+// chunk is decoded).
+func (d *reader) Stored() int64 { return d.stored }
+
+// Records streams the records of every chunk overlapping [lo, hi) in
+// canonical order, filtering records to the range. Chunks outside the
+// range are never read from the file — a parallel ingest over client
+// shards does proportional, not total, I/O per worker.
+func (d *reader) Records(lo, hi int, visit func(r *measure.Record) error) error {
+	for _, c := range d.chunks {
+		if int(c.Hi) < lo || int(c.Lo) >= hi {
+			continue
+		}
+		recs, err := d.readChunk(c)
+		if err != nil {
+			return err
+		}
+		for i := range recs {
+			if ci := int(recs[i].ClientIdx); ci >= lo && ci < hi {
+				if err := visit(&recs[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// readChunk decodes one chunk.
+func (d *reader) readChunk(c chunkInfo) ([]measure.Record, error) {
+	zr, err := gzip.NewReader(io.NewSectionReader(d.r, c.Offset, c.Length))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: chunk at %d: gzip: %w", c.Offset, err)
+	}
+	defer zr.Close()
+	var recs []measure.Record
+	if err := gob.NewDecoder(zr).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("dataset: chunk at %d: decode: %w", c.Offset, err)
+	}
+	if len(recs) != int(c.Count) {
+		return nil, fmt.Errorf("dataset: chunk at %d: %d records, index says %d", c.Offset, len(recs), c.Count)
+	}
+	return recs, nil
+}

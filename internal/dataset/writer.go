@@ -1,0 +1,252 @@
+package dataset
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"webfail/internal/measure"
+)
+
+// Options configure a Writer.
+type Options struct {
+	// ChunkRecords caps the records buffered per chunk; a Sink flushes
+	// a chunk once it is full, which bounds both writer memory and the
+	// reader's per-chunk working set. <= 0 selects DefaultChunkRecords.
+	ChunkRecords int
+}
+
+// Writer writes a v2 dataset to an io.Writer. Chunks are produced by
+// Sinks (one per writing stream — e.g. one per measure.RunParallel
+// shard) and appended to the underlying writer under a mutex, so sinks
+// may flush concurrently; the index written at Close is sorted into
+// canonical client-major order regardless of the interleaving.
+//
+// Usage: NewWriter, NewSink per stream, feed records, Close every sink,
+// then Close the writer (which writes the index and footer).
+type Writer struct {
+	mu       sync.Mutex
+	w        io.Writer
+	off      int64
+	meta     measure.DatasetMeta
+	chunks   []chunkInfo
+	nstreams int32
+	chunkCap int
+	stored   int64
+	err      error
+	closed   bool
+}
+
+// NewWriter starts a v2 dataset on w with the given run description.
+// meta's Transactions and Failures fields may be zero: each Sink that
+// counted traffic via Observe folds its counts in when closed.
+func NewWriter(w io.Writer, meta measure.DatasetMeta, opts Options) (*Writer, error) {
+	chunkCap := opts.ChunkRecords
+	if chunkCap <= 0 {
+		chunkCap = DefaultChunkRecords
+	}
+	n, err := io.WriteString(w, magicV2)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: write magic: %w", err)
+	}
+	return &Writer{w: w, off: int64(n), meta: meta, chunkCap: chunkCap}, nil
+}
+
+// NewSink returns a sink for one writing stream. Streams must cover
+// disjoint client sets (as measure.RunParallel shards do) for the
+// stored canonical order to be well defined; a single stream may carry
+// any client-major record sequence.
+func (w *Writer) NewSink() *Sink {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := &Sink{w: w, stream: w.nstreams}
+	w.nstreams++
+	return s
+}
+
+// Stored returns the number of records flushed into chunks so far.
+func (w *Writer) Stored() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stored
+}
+
+// Chunks returns the number of chunks written so far.
+func (w *Writer) Chunks() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.chunks)
+}
+
+// appendChunk writes one compressed chunk and records its index entry.
+func (w *Writer) appendChunk(data []byte, info chunkInfo) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		w.err = fmt.Errorf("dataset: chunk appended after writer close")
+		return w.err
+	}
+	if _, err := w.w.Write(data); err != nil {
+		w.err = fmt.Errorf("dataset: write chunk: %w", err)
+		return w.err
+	}
+	info.Offset = w.off
+	info.Length = int64(len(data))
+	w.off += int64(len(data))
+	w.chunks = append(w.chunks, info)
+	w.stored += int64(info.Count)
+	return nil
+}
+
+// Close writes the index and footer. Every Sink must have been closed
+// first. Close reports any error a concurrent sink flush hit earlier,
+// so a caller that checks only Close still sees write failures.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return w.err
+	}
+	w.closed = true
+	if w.err != nil {
+		return w.err
+	}
+	// Canonical order: client-major. Streams own disjoint client
+	// ranges, so Lo never ties across streams; within a stream, Seq is
+	// the write order.
+	sort.Slice(w.chunks, func(i, j int) bool {
+		a, b := &w.chunks[i], &w.chunks[j]
+		if a.Lo != b.Lo {
+			return a.Lo < b.Lo
+		}
+		if a.Stream != b.Stream {
+			return a.Stream < b.Stream
+		}
+		return a.Seq < b.Seq
+	})
+	var ibuf bytes.Buffer
+	if err := gob.NewEncoder(&ibuf).Encode(index{Meta: w.meta, Chunks: w.chunks}); err != nil {
+		w.err = fmt.Errorf("dataset: encode index: %w", err)
+		return w.err
+	}
+	footer := make([]byte, footerLen)
+	binary.BigEndian.PutUint64(footer[0:8], uint64(w.off))
+	binary.BigEndian.PutUint64(footer[8:16], uint64(ibuf.Len()))
+	copy(footer[16:], footerMagic)
+	if _, err := w.w.Write(ibuf.Bytes()); err != nil {
+		w.err = fmt.Errorf("dataset: write index: %w", err)
+		return w.err
+	}
+	if _, err := w.w.Write(footer); err != nil {
+		w.err = fmt.Errorf("dataset: write footer: %w", err)
+		return w.err
+	}
+	return nil
+}
+
+// Sink is one writing stream of a Writer: it buffers up to the writer's
+// chunk capacity of records and flushes each full chunk as one
+// independently compressed unit. A Sink is not safe for concurrent use;
+// use one Sink per goroutine (the Writer serializes the flushes).
+//
+// Sink implements RecordSink and is designed as the visit target of
+// measure.RunParallel: shard s feeds sinks[s], so each worker writes
+// its own chunks and peak memory stays bounded by chunk size × shards
+// instead of the whole record set.
+type Sink struct {
+	w           *Writer
+	stream      int32
+	seq         int32
+	buf         []measure.Record
+	txns, fails int64
+	err         error
+	closed      bool
+}
+
+// Append stores one record (copied immediately).
+func (s *Sink) Append(r *measure.Record) error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		s.err = fmt.Errorf("dataset: append to closed sink")
+		return s.err
+	}
+	if s.buf == nil {
+		s.buf = make([]measure.Record, 0, s.w.chunkCap)
+	}
+	s.buf = append(s.buf, *r)
+	if len(s.buf) >= s.w.chunkCap {
+		return s.flush()
+	}
+	return nil
+}
+
+// Observe applies the standard storage policy for a live run: every
+// record counts toward the dataset's Transactions/Failures meta, and
+// failed records are stored. The counts fold into the writer's meta
+// when the sink is closed.
+func (s *Sink) Observe(r *measure.Record) error {
+	s.txns++
+	if r.Failed() {
+		s.fails++
+		return s.Append(r)
+	}
+	return s.err
+}
+
+// flush compresses and appends the buffered chunk.
+func (s *Sink) flush() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	lo, hi := s.buf[0].ClientIdx, s.buf[0].ClientIdx
+	for i := range s.buf {
+		if c := s.buf[i].ClientIdx; c < lo {
+			lo = c
+		} else if c > hi {
+			hi = c
+		}
+	}
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	if err := gob.NewEncoder(zw).Encode(s.buf); err != nil {
+		s.err = fmt.Errorf("dataset: encode chunk: %w", err)
+		return s.err
+	}
+	if err := zw.Close(); err != nil {
+		s.err = fmt.Errorf("dataset: compress chunk: %w", err)
+		return s.err
+	}
+	info := chunkInfo{Count: int32(len(s.buf)), Lo: lo, Hi: hi, Stream: s.stream, Seq: s.seq}
+	s.seq++
+	s.buf = s.buf[:0]
+	if err := s.w.appendChunk(zbuf.Bytes(), info); err != nil {
+		s.err = err
+		return err
+	}
+	return nil
+}
+
+// Close flushes the partial last chunk and folds the sink's Observe
+// counts into the writer's meta.
+func (s *Sink) Close() error {
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	err := s.flush()
+	s.w.mu.Lock()
+	s.w.meta.Transactions += s.txns
+	s.w.meta.Failures += s.fails
+	s.w.mu.Unlock()
+	return err
+}

@@ -7,10 +7,12 @@ import (
 	"io"
 )
 
-// Dataset is a stored collection of performance records, the on-disk
-// artifact of a run (the paper published its measurement data similarly).
-// Records are stored verbatim; gob+gzip keeps month-scale failure subsets
-// compact.
+// Dataset is the legacy v1 stored collection of performance records
+// (magic "WEBFAILDS1"): one monolithic gob+gzip blob that must be fully
+// decoded before any record is available. New datasets are written in
+// the chunked v2 format by internal/dataset, which also loads v1 files
+// through the same RecordSource interface; this codec remains so old
+// archives stay readable (and writable, for compatibility fixtures).
 type Dataset struct {
 	// Meta describes the run.
 	Meta DatasetMeta

@@ -1,0 +1,19 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"webfail/internal/measure"
+)
+
+// DatasetInfo prints the standard header for a stored dataset — the run
+// description and storage counts — shared by the CLIs so a dataset
+// identifies itself the same way everywhere.
+func DatasetInfo(w io.Writer, meta measure.DatasetMeta, stored int64) {
+	fmt.Fprintf(w, "dataset: seed=%d window=[%d,%d) %d clients x %d websites\n",
+		meta.Seed, meta.StartUnix, meta.EndUnix, meta.Clients, meta.Websites)
+	fmt.Fprintf(w, "transactions=%d failures=%d (%.2f%%), %d records stored\n\n",
+		meta.Transactions, meta.Failures,
+		100*float64(meta.Failures)/float64(max(meta.Transactions, 1)), stored)
+}

@@ -1,13 +1,17 @@
 #!/bin/sh
-# Tier-1 verify: build, vet, full test suite, then the serial/parallel
-# equivalence tests under the race detector (scoped to the two packages
-# exercising the sharded runner and the merge, to keep CI time bounded).
+# Tier-1 verify: formatting, build, vet, full test suite, then the
+# serial/parallel equivalence tests under the race detector (scoped to
+# the packages exercising the sharded runner, the merge, and the
+# sharded dataset ingest, to keep CI time bounded), and the dataset
+# backward-compatibility gate against the checked-in v1 fixture.
 set -eux
 
 cd "$(dirname "$0")/.."
 
+test -z "$(gofmt -l .)"
 go build ./...
 go vet ./...
 go test ./...
-go test -race -run 'TestSerialParallelEquivalence|TestRunParallelShardClamp|TestMerge' \
-    ./internal/measure ./internal/core
+go test -race -run 'TestSerialParallelEquivalence|TestRunParallelShardClamp|TestMerge|TestShardedSaveEquivalence|TestDatasetV2ParallelStreams' \
+    ./internal/measure ./internal/core ./internal/dataset
+go test -run 'TestDatasetV1Compat' ./internal/dataset
