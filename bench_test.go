@@ -24,6 +24,7 @@ import (
 	"webfail/internal/core"
 	"webfail/internal/dataset"
 	"webfail/internal/measure"
+	"webfail/internal/report"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
@@ -144,7 +145,7 @@ func BenchmarkAnalysisMerge(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		if merged.TotalTxns == 0 {
+		if merged.TotalTxns() == 0 {
 			b.Fatal("empty merge")
 		}
 	}
@@ -643,9 +644,51 @@ func BenchmarkDatasetLoadParallel(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if a.TotalTxns != int64(len(recs)) {
-			b.Fatalf("ingested %d records, want %d", a.TotalTxns, len(recs))
+		if a.TotalTxns() != int64(len(recs)) {
+			b.Fatalf("ingested %d records, want %d", a.TotalTxns(), len(recs))
 		}
+	}
+}
+
+// BenchmarkAnalyzeSelective measures the ingest cost of the analyzer
+// pass architecture: the same record stream is fed through an
+// accumulator built with every pass ("all") and through accumulators
+// built with only the passes single artifacts resolve to. The spread
+// between "all" and the narrow selections is the work -artifacts
+// avoids constructing and updating.
+func BenchmarkAnalyzeSelective(b *testing.B) {
+	recs, _, topo, end := getDatasetFixture(b)
+	cases := []struct {
+		name      string
+		artifacts map[string]bool
+	}{
+		{"all", nil}, // empty selection = every artifact = every pass
+		{"table1", map[string]bool{"table1": true}},
+		{"table3", map[string]bool{"table3": true}},
+		{"fig4", map[string]bool{"fig4": true}},
+		{"fig5", map[string]bool{"fig5": true}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			passes, err := report.PassesFor(tc.artifacts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a := core.NewAnalysisSelected(topo, 0, end, passes...)
+				for j := range recs {
+					a.Add(&recs[j])
+				}
+				if a.TotalTxns() != int64(len(recs)) {
+					b.Fatalf("ingested %d records, want %d", a.TotalTxns(), len(recs))
+				}
+			}
+			b.ReportMetric(float64(len(passes)), "passes")
+			b.ReportMetric(float64(len(recs)), "records/op")
+		})
 	}
 }
 
@@ -731,7 +774,7 @@ func BenchmarkAblationLDNSReliability(b *testing.B) {
 				if err := measure.Run(cfg, func(r *measure.Record) { a.Add(r) }); err != nil {
 					b.Fatal(err)
 				}
-				rate := float64(a.TotalFails) / float64(a.TotalTxns)
+				rate := float64(a.TotalFails()) / float64(a.TotalTxns())
 				b.ReportMetric(100*rate, "overall-fail-%")
 			}
 		})

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	webfail-analyze -in dataset.bin [-top N] [-parallel N]
+//	webfail-analyze -in dataset.bin [-top N] [-parallel N] [-artifacts LIST]
 //
 // The ingest into the core analysis accumulator is sharded across
 // -parallel workers: each worker opens only the dataset chunks
@@ -15,14 +15,22 @@
 // range; v1 datasets are range-partitioned in memory), and the shard
 // accumulators merge deterministically — the output is identical for
 // any shard count.
+//
+// The default summary needs only the totals and traffic analyzer
+// passes, so only those accumulate during ingest. -artifacts selects
+// paper artifacts (table1..table9, fig1..fig7, replicas, headlines, or
+// "all") to render from the stored records; the selection propagates
+// down to ingest, so unselected analyzer passes are never constructed.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 
 	"webfail/internal/core"
 	"webfail/internal/dataset"
@@ -34,52 +42,78 @@ import (
 )
 
 func main() {
-	in := flag.String("in", "", "dataset path (required)")
-	top := flag.Int("top", 10, "rows in top-N listings")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "ingest worker shards (1 = serial)")
-	flag.Parse()
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "webfail-analyze: -in is required")
-		os.Exit(2)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "webfail-analyze:", err)
+		}
+		os.Exit(1)
 	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("webfail-analyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "dataset path (required)")
+	top := fs.Int("top", 10, "rows in top-N listings")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "ingest worker shards (1 = serial)")
+	artifacts := fs.String("artifacts", "", `comma-separated report artifacts to render ("all" = everything)`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	sel := parseArtifacts(*artifacts)
 	f, err := os.Open(*in)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	st, err := f.Stat()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	src, err := dataset.Open(f, st.Size())
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	meta := src.Meta()
 	topo := workload.NewScaledTopology(meta.Clients, meta.Websites)
 
-	report.DatasetInfo(os.Stdout, meta, src.Stored())
+	report.DatasetInfo(stdout, meta, src.Stored())
+
+	// The default summary reads only grand totals and the per-category
+	// traffic breakdown; a report selection widens the pass set to
+	// whatever its artifacts require.
+	passes := []core.PassName{core.PassTotals, core.PassTraffic}
+	if *artifacts != "" {
+		need, err := report.PassesFor(sel)
+		if err != nil {
+			return err
+		}
+		passes = append(passes, need...)
+	}
 
 	start := simnet.FromUnix(meta.StartUnix)
 	end := simnet.FromUnix(meta.EndUnix)
-	a, err := core.ConsumeParallel(topo, start, end, src, *parallel)
+	a, err := core.ConsumeParallel(topo, start, end, src, *parallel, passes...)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	// The shard count is the one -parallel-dependent value; it goes to
 	// stderr so stdout is byte-identical for any ingest width.
-	fmt.Fprintf(os.Stderr, "webfail-analyze: %d ingest shards\n",
+	fmt.Fprintf(stderr, "webfail-analyze: %d ingest shards\n",
 		measure.EffectiveShards(len(topo.Clients), *parallel))
-	fmt.Printf("stored-record accumulator: %s\n", a)
-	fmt.Println("failure-stage shares over stored records:")
+	fmt.Fprintf(stdout, "stored-record accumulator: %s\n", a)
+	fmt.Fprintln(stdout, "failure-stage shares over stored records:")
 	for _, row := range a.Summary() {
 		if row.FailTxns == 0 {
 			continue
 		}
-		fmt.Printf("  %-8v fails=%8d DNS=%5.1f%% TCP=%5.1f%% HTTP=%5.1f%%\n",
+		fmt.Fprintf(stdout, "  %-8v fails=%8d DNS=%5.1f%% TCP=%5.1f%% HTTP=%5.1f%%\n",
 			row.Category, row.FailTxns, 100*row.DNSShare, 100*row.TCPShare, 100*row.HTTPShare)
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 
 	byStage := map[httpsim.Stage]int{}
 	byCat := map[workload.Category]int{}
@@ -100,36 +134,36 @@ func main() {
 		return nil
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	fmt.Println("failures by stage:")
+	fmt.Fprintln(stdout, "failures by stage:")
 	for _, st := range []httpsim.Stage{httpsim.StageDNS, httpsim.StageTCP, httpsim.StageHTTP} {
-		fmt.Printf("  %-8s %8d\n", st, byStage[st])
+		fmt.Fprintf(stdout, "  %-8s %8d\n", st, byStage[st])
 	}
-	fmt.Println("failures by category:")
+	fmt.Fprintln(stdout, "failures by category:")
 	for _, c := range []workload.Category{workload.PL, workload.BB, workload.DU, workload.CN} {
-		fmt.Printf("  %-8v %8d\n", c, byCat[c])
+		fmt.Fprintf(stdout, "  %-8v %8d\n", c, byCat[c])
 	}
 
-	fmt.Printf("\ntop %d failing clients:\n", *top)
+	fmt.Fprintf(stdout, "\ntop %d failing clients:\n", *top)
 	for _, kv := range topN(byClient, *top) {
 		name := "?"
 		if int(kv.k) < len(topo.Clients) {
 			name = topo.Clients[kv.k].Name
 		}
-		fmt.Printf("  %-50s %8d\n", name, kv.v)
+		fmt.Fprintf(stdout, "  %-50s %8d\n", name, kv.v)
 	}
-	fmt.Printf("\ntop %d failing servers:\n", *top)
+	fmt.Fprintf(stdout, "\ntop %d failing servers:\n", *top)
 	for _, kv := range topN(bySite, *top) {
 		name := "?"
 		if int(kv.k) < len(topo.Websites) {
 			name = topo.Websites[kv.k].Host
 		}
-		fmt.Printf("  %-50s %8d\n", name, kv.v)
+		fmt.Fprintf(stdout, "  %-50s %8d\n", name, kv.v)
 	}
 
-	fmt.Printf("\ntop %d failing pairs:\n", *top)
+	fmt.Fprintf(stdout, "\ntop %d failing pairs:\n", *top)
 	type pairN struct {
 		k [2]int32
 		v int
@@ -158,11 +192,11 @@ func main() {
 		if int(p.k[1]) < len(topo.Websites) {
 			sn = topo.Websites[p.k[1]].Host
 		}
-		fmt.Printf("  %-40s x %-24s %6d\n", cn, sn, p.v)
+		fmt.Fprintf(stdout, "  %-40s x %-24s %6d\n", cn, sn, p.v)
 	}
 
 	// Worst hours.
-	fmt.Printf("\nworst %d hours by failure count:\n", *top)
+	fmt.Fprintf(stdout, "\nworst %d hours by failure count:\n", *top)
 	type hourN struct {
 		h int64
 		v int
@@ -181,8 +215,35 @@ func main() {
 		if i >= *top {
 			break
 		}
-		fmt.Printf("  hour %4d: %6d failures\n", h.h, h.v)
+		fmt.Fprintf(stdout, "  hour %4d: %6d failures\n", h.h, h.v)
 	}
+
+	if *artifacts != "" {
+		// Render the selected paper artifacts from the stored records.
+		// The scenario (fault ground truth, co-located pairs, BGP
+		// inputs) is rebuilt deterministically from the dataset's
+		// scenario seed.
+		sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(meta.Seed, start, end))
+		fmt.Fprintln(stdout)
+		rep := &report.Reporter{W: stdout, A: a, Topo: topo, Sc: sc, Seed: meta.Seed}
+		rep.Run(sel)
+	}
+	return nil
+}
+
+// parseArtifacts splits an -artifacts list into a report selection.
+// "all" maps to the empty selection, which report.Run and
+// report.PassesFor treat as "everything".
+func parseArtifacts(list string) map[string]bool {
+	sel := map[string]bool{}
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(strings.ToLower(s))
+		if s == "" || s == "all" {
+			continue
+		}
+		sel[s] = true
+	}
+	return sel
 }
 
 type kv struct {
@@ -205,9 +266,4 @@ func topN(m map[int32]int, n int) []kv {
 		out = out[:n]
 	}
 	return out
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "webfail-analyze:", err)
-	os.Exit(1)
 }

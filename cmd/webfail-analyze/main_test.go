@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"webfail/internal/dataset"
+	"webfail/internal/measure"
+	"webfail/internal/simnet"
+	"webfail/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureDataset deterministically regenerates the small dataset the
+// golden tests analyze: 12 clients x 8 websites over 24 hours with
+// fixed scenario and run seeds, streamed through the same sink path
+// `webfail -save` uses. The workload and measurement layers are fully
+// deterministic, so the bytes under analysis are identical on every
+// run and the golden files can be checked in without the dataset.
+func fixtureDataset(t *testing.T) string {
+	t.Helper()
+	topo := workload.NewScaledTopology(12, 8)
+	end := simnet.FromHours(24)
+	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(2005, 0, end))
+	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
+
+	path := filepath.Join(t.TempDir(), "fixture.ds2")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw, err := dataset.NewWriter(f, measure.DatasetMeta{
+		Seed: 2005, StartUnix: simnet.Time(0).Unix(), EndUnix: end.Unix(),
+		Clients: len(topo.Clients), Websites: len(topo.Websites),
+	}, dataset.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := dw.NewSink()
+	var sinkErr error
+	if err := measure.Run(cfg, func(r *measure.Record) {
+		if err := sink.Observe(r); err != nil && sinkErr == nil {
+			sinkErr = err
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sinkErr != nil {
+		t.Fatal(sinkErr)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("stdout differs from %s (%d vs %d bytes); regenerate with -update if the change is intended",
+			path, len(got), len(want))
+		gotLines := bytes.Split(got, []byte("\n"))
+		wantLines := bytes.Split(want, []byte("\n"))
+		for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+			if !bytes.Equal(gotLines[i], wantLines[i]) {
+				t.Errorf("first diff at line %d:\n got: %q\nwant: %q", i+1, gotLines[i], wantLines[i])
+				break
+			}
+		}
+	}
+}
+
+// TestGoldenStdout locks the full default stdout of webfail-analyze for
+// the fixture dataset. Any -parallel value must produce byte-identical
+// stdout (the shard count goes to stderr), so the same golden file is
+// asserted at several ingest widths.
+func TestGoldenStdout(t *testing.T) {
+	path := fixtureDataset(t)
+	for _, par := range []int{1, 2, 4} {
+		var out, errOut bytes.Buffer
+		args := []string{"-in", path, "-top", "5", "-parallel", strconv.Itoa(par)}
+		if err := run(args, &out, &errOut); err != nil {
+			t.Fatalf("run(-parallel %d): %v\nstderr: %s", par, err, errOut.String())
+		}
+		if par == 1 {
+			checkGolden(t, "golden_stdout.txt", out.Bytes())
+			continue
+		}
+		want, err := os.ReadFile(filepath.Join("testdata", "golden_stdout.txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), want) {
+			t.Errorf("-parallel %d stdout differs from golden", par)
+		}
+	}
+}
+
+// TestGoldenArtifacts locks the stdout of a full-report run
+// (-artifacts all), which exercises every analyzer pass and every
+// report artifact over the stored records.
+func TestGoldenArtifacts(t *testing.T) {
+	path := fixtureDataset(t)
+	var out, errOut bytes.Buffer
+	args := []string{"-in", path, "-top", "3", "-parallel", "2", "-artifacts", "all"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errOut.String())
+	}
+	checkGolden(t, "golden_artifacts.txt", out.Bytes())
+}

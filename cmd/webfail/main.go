@@ -13,8 +13,8 @@
 //	             output is identical for any value)
 //	-clients N   limit the client roster (0 = all 134)
 //	-sites N     limit the website roster (0 = all 80)
-//	-only LIST   comma-separated selection, e.g. "table3,fig5,headlines"
-//	             (default: everything)
+//	-artifacts LIST  comma-separated selection, e.g. "table3,fig5,headlines"
+//	             (default: everything); -only is an alias
 //	-save PATH   stream the failure dataset to PATH (v2 chunked format)
 //
 // The output prints each reproduced artifact next to the paper's
@@ -39,23 +39,31 @@ import (
 
 func main() {
 	var (
-		hours    = flag.Int64("hours", 744, "experiment length in hours")
-		seed     = flag.Int64("seed", 2005, "scenario seed")
-		runSeed  = flag.Int64("runseed", 1, "per-transaction sampling seed")
-		mode     = flag.String("mode", "fast", "fast or packet")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "fast-mode worker shards (1 = serial)")
-		nClients = flag.Int("clients", 0, "limit client roster (0 = all)")
-		nSites   = flag.Int("sites", 0, "limit website roster (0 = all)")
-		only     = flag.String("only", "", "comma-separated artifacts (table1..table9, fig1..fig7, headlines)")
-		savePath = flag.String("save", "", "write failure dataset to this path")
+		hours     = flag.Int64("hours", 744, "experiment length in hours")
+		seed      = flag.Int64("seed", 2005, "scenario seed")
+		runSeed   = flag.Int64("runseed", 1, "per-transaction sampling seed")
+		mode      = flag.String("mode", "fast", "fast or packet")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "fast-mode worker shards (1 = serial)")
+		nClients  = flag.Int("clients", 0, "limit client roster (0 = all)")
+		nSites    = flag.Int("sites", 0, "limit website roster (0 = all)")
+		artifacts = flag.String("artifacts", "", "comma-separated artifacts (table1..table9, fig1..fig7, replicas, headlines)")
+		only      = flag.String("only", "", "alias for -artifacts")
+		savePath  = flag.String("save", "", "write failure dataset to this path")
 	)
 	flag.Parse()
 
 	sel := map[string]bool{}
-	for _, s := range strings.Split(*only, ",") {
-		if s = strings.TrimSpace(strings.ToLower(s)); s != "" {
+	for _, s := range strings.Split(*artifacts+","+*only, ",") {
+		if s = strings.TrimSpace(strings.ToLower(s)); s != "" && s != "all" {
 			sel[s] = true
 		}
+	}
+	// Resolve the selection to the analyzer passes its artifacts need
+	// (empty selection = everything); only those accumulate during the
+	// run, whether serial or sharded.
+	passes, err := report.PassesFor(sel)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	topo := workload.NewScaledTopology(*nClients, *nSites)
@@ -70,7 +78,7 @@ func main() {
 	fmt.Printf("webfail: %s; %d clients x %d websites over %d hours (%s mode, %d shards)\n",
 		topo, len(topo.Clients), len(topo.Websites), *hours, *mode, shards)
 
-	a := core.NewAnalysis(topo, 0, end)
+	a := core.NewAnalysisSelected(topo, 0, end, passes...)
 
 	// The dataset streams to disk during the run: shard workers feed
 	// per-shard sinks that flush independently compressed chunks, so
@@ -106,11 +114,10 @@ func main() {
 	}
 
 	started := time.Now()
-	var err error
 	switch *mode {
 	case "fast":
 		if shards > 1 {
-			err = runFastSharded(cfg, shards, topo, a, dw)
+			err = runFastSharded(cfg, shards, topo, a, dw, passes)
 		} else {
 			err = measure.Run(cfg, visit)
 		}
@@ -152,10 +159,10 @@ func main() {
 // serial record stream is client-major, so the merged analysis and the
 // saved dataset's canonical record order are identical to a serial
 // run's.
-func runFastSharded(cfg measure.Config, shards int, topo *workload.Topology, a *core.Analysis, dw *dataset.Writer) error {
+func runFastSharded(cfg measure.Config, shards int, topo *workload.Topology, a *core.Analysis, dw *dataset.Writer, passes []core.PassName) error {
 	accs := make([]*core.Analysis, shards)
 	for i := range accs {
-		accs[i] = core.NewAnalysis(topo, cfg.Start, cfg.End)
+		accs[i] = core.NewAnalysisSelected(topo, cfg.Start, cfg.End, passes...)
 	}
 	var sinks []*dataset.Sink
 	if dw != nil {

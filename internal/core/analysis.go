@@ -17,6 +17,10 @@
 //
 // The Analysis accumulator consumes measure.Records in one streaming
 // pass; every analysis is a pure function over the accumulated state.
+// The state itself is decomposed into independent analyzer passes (see
+// Pass and the Pass* names): callers that need only some artifacts
+// select only the passes those artifacts require, and unselected passes
+// are never constructed.
 package core
 
 import (
@@ -30,8 +34,11 @@ import (
 	"webfail/internal/workload"
 )
 
-// entityHour accumulates one client's or server's traffic within one
-// 1-hour episode (Section 4.4.3 fixes the episode duration at one hour).
+// entityHour is the composite view of one client's or server's traffic
+// within one 1-hour episode (Section 4.4.3 fixes the episode duration
+// at one hour), assembled from the grids and conns passes by the
+// ClientHour/ServerHour accessors. Fields belonging to an unselected
+// pass read as zero.
 type entityHour struct {
 	Txns      int32
 	FailTxns  int32
@@ -56,7 +63,10 @@ type FailureRec struct {
 	Conns   int16
 }
 
-// Analysis accumulates a run's records.
+// Analysis accumulates a run's records across a selected set of
+// analyzer passes. The zero selection is every pass; each analysis
+// method is a pure function over the pass state it requires and panics
+// if that pass was not selected.
 type Analysis struct {
 	Topo *workload.Topology
 
@@ -70,57 +80,42 @@ type Analysis struct {
 
 	nClients, nSites int
 
-	// Dense per-entity-per-hour grids.
-	clientHours []entityHour // [client*Hours + h]
-	serverHours []entityHour // [site*Hours + h]
-
-	// Replica grid: replicas indexed densely.
-	replicaIdx   map[netip.Addr]int
-	replicaAddrs []netip.Addr
-	replicaSite  []int32      // replica -> site index
-	replicaHours []entityHour // [replica*Hours + h]
-	replicaConns []int64      // total connections per replica (for the 10% rule)
-	siteConns    []int64      // total connections per site
-
-	// Month-long per-pair counts (permanent pair detection).
-	pairTxns  []int32 // [client*nSites + site]
-	pairFails []int32
-
-	// Category totals (Table 3).
-	catTxns, catFails   map[workload.Category]int64
-	catConns, catFailCo map[workload.Category]int64
-
-	// Failure-stage counts per category (Figure 1).
-	stageCounts map[workload.Category]map[httpsim.Stage]int64
-
-	// DNS failure sub-classes per category (Table 4) and per website
-	// (Figure 2).
-	dnsClassByCat  map[workload.Category]map[measure.DNSOutcome]int64
-	dnsClassBySite []map[measure.DNSOutcome]int64
-
-	// TCP failure kinds per category (Figure 3).
-	tcpKindByCat map[workload.Category]map[httpsim.ConnFailKind]int64
-
-	// Retained failures for attribution.
-	Failures []FailureRec
-
-	// Per-client loss accounting (Section 4.1.3).
-	clientPkts, clientRetrans []int64
-
-	// Grand totals.
-	TotalTxns, TotalFails int64
+	// Active passes in canonical order, plus typed handles: the typed
+	// fields are nil for unselected passes, and the ingest hot path
+	// dispatches through them directly rather than via the interface.
+	active   []Pass
+	totals   *totalsPass
+	traffic  *trafficPass
+	grids    *gridsPass
+	fails    *failuresPass
+	pairs    *pairsPass
+	replicas *replicasPass
+	conns    *connsPass
 }
 
 // NewAnalysis creates an accumulator for records in [start, end) with the
-// paper's 1-hour episode bins.
+// paper's 1-hour episode bins and every analyzer pass selected.
 func NewAnalysis(topo *workload.Topology, start, end simnet.Time) *Analysis {
 	return NewAnalysisBinned(topo, start, end, time.Hour)
+}
+
+// NewAnalysisSelected creates an accumulator with 1-hour bins and only
+// the given analyzer passes (none = all; totals is always included).
+func NewAnalysisSelected(topo *workload.Topology, start, end simnet.Time, passes ...PassName) *Analysis {
+	return NewAnalysisBinnedSelected(topo, start, end, time.Hour, passes...)
 }
 
 // NewAnalysisBinned creates an accumulator with a custom episode bin
 // duration — the ablation knob for the Section 4.4.3 trade-off. The BGP
 // correlation requires 1-hour bins (Routeviews aggregation is hourly).
 func NewAnalysisBinned(topo *workload.Topology, start, end simnet.Time, bin time.Duration) *Analysis {
+	return NewAnalysisBinnedSelected(topo, start, end, bin)
+}
+
+// NewAnalysisBinnedSelected creates an accumulator with a custom bin
+// duration and only the given analyzer passes (none = all; totals is
+// always included).
+func NewAnalysisBinnedSelected(topo *workload.Topology, start, end simnet.Time, bin time.Duration, passes ...PassName) *Analysis {
 	if bin <= 0 {
 		bin = time.Hour
 	}
@@ -130,39 +125,50 @@ func NewAnalysisBinned(topo *workload.Topology, start, end simnet.Time, bin time
 		hours = 1
 	}
 	a := &Analysis{
-		Topo:          topo,
-		StartHour:     int64(start) / binNS,
-		Hours:         hours,
-		binNS:         binNS,
-		nClients:      len(topo.Clients),
-		nSites:        len(topo.Websites),
-		replicaIdx:    make(map[netip.Addr]int),
-		catTxns:       make(map[workload.Category]int64),
-		catFails:      make(map[workload.Category]int64),
-		catConns:      make(map[workload.Category]int64),
-		catFailCo:     make(map[workload.Category]int64),
-		stageCounts:   make(map[workload.Category]map[httpsim.Stage]int64),
-		dnsClassByCat: make(map[workload.Category]map[measure.DNSOutcome]int64),
-		tcpKindByCat:  make(map[workload.Category]map[httpsim.ConnFailKind]int64),
+		Topo:      topo,
+		StartHour: int64(start) / binNS,
+		Hours:     hours,
+		binNS:     binNS,
+		nClients:  len(topo.Clients),
+		nSites:    len(topo.Websites),
 	}
-	a.clientHours = make([]entityHour, a.nClients*hours)
-	a.serverHours = make([]entityHour, a.nSites*hours)
-	a.pairTxns = make([]int32, a.nClients*a.nSites)
-	a.pairFails = make([]int32, a.nClients*a.nSites)
-	a.dnsClassBySite = make([]map[measure.DNSOutcome]int64, a.nSites)
-	a.clientPkts = make([]int64, a.nClients)
-	a.clientRetrans = make([]int64, a.nClients)
-	a.siteConns = make([]int64, a.nSites)
-	for j := range topo.Websites {
-		for _, ra := range topo.Websites[j].ReplicaAddrs {
-			a.replicaIdx[ra] = len(a.replicaAddrs)
-			a.replicaAddrs = append(a.replicaAddrs, ra)
-			a.replicaSite = append(a.replicaSite, int32(j))
+	for _, name := range normalizePasses(passes) {
+		var p Pass
+		switch name {
+		case PassTotals:
+			a.totals = newTotalsPass()
+			p = a.totals
+		case PassTraffic:
+			a.traffic = newTrafficPass(a.nClients, a.nSites)
+			p = a.traffic
+		case PassGrids:
+			a.grids = newGridsPass(a.nClients, a.nSites, hours)
+			p = a.grids
+		case PassFailures:
+			a.fails = newFailuresPass()
+			p = a.fails
+		case PassPairs:
+			a.pairs = newPairsPass(a.nClients, a.nSites)
+			p = a.pairs
+		case PassReplicas:
+			a.replicas = newReplicasPass(topo, hours)
+			p = a.replicas
+		case PassConns:
+			a.conns = newConnsPass(a.nClients, a.nSites, hours)
+			p = a.conns
 		}
+		a.active = append(a.active, p)
 	}
-	a.replicaHours = make([]entityHour, len(a.replicaAddrs)*hours)
-	a.replicaConns = make([]int64, len(a.replicaAddrs))
 	return a
+}
+
+// Passes returns the selected pass names in canonical order.
+func (a *Analysis) Passes() []PassName {
+	out := make([]PassName, len(a.active))
+	for i, p := range a.active {
+		out[i] = p.Name()
+	}
+	return out
 }
 
 // hourIndex maps a record time to the window-relative bin, clamped.
@@ -177,130 +183,130 @@ func (a *Analysis) hourIndex(at simnet.Time) int {
 	return h
 }
 
-// Add consumes one record. Records must arrive in per-client time order
-// (both measure modes guarantee per-client ordering) for streak tracking.
+// Add consumes one record into every selected pass. Records must arrive
+// in per-client time order (both measure modes guarantee per-client
+// ordering) for streak tracking.
 func (a *Analysis) Add(r *measure.Record) {
 	h := a.hourIndex(r.At)
-	ci, si := int(r.ClientIdx), int(r.SiteIdx)
-	failed := r.Failed()
-
-	a.TotalTxns++
-	a.catTxns[r.Category]++
-	conns := int64(r.Conns)
-	failConns := int64(r.FailedConns())
-	a.catConns[r.Category] += conns
-	a.catFailCo[r.Category] += failConns
-
-	ch := &a.clientHours[ci*a.Hours+h]
-	sh := &a.serverHours[si*a.Hours+h]
-	for _, eh := range [2]*entityHour{ch, sh} {
-		eh.Txns++
-		eh.Conns += int32(conns)
-		eh.FailConns += int32(failConns)
-		if failed {
-			eh.FailTxns++
-		}
+	// Direct typed dispatch: this is the ingest hot path, and the
+	// passes are independent, so order does not matter.
+	if a.totals != nil {
+		a.totals.consume(r)
 	}
-	// Streaks are a per-client notion (consecutive accesses by the
-	// client failing, Figure 5).
-	if failed {
-		ch.streakCur++
-		if ch.streakCur > ch.StreakMax {
-			ch.StreakMax = ch.streakCur
-		}
-	} else {
-		ch.streakCur = 0
+	if a.traffic != nil {
+		a.traffic.consume(r)
 	}
-
-	a.pairTxns[ci*a.nSites+si]++
-	a.siteConns[si] += conns
-	if ri, ok := a.replicaIdx[r.ReplicaIP]; ok {
-		rh := &a.replicaHours[ri*a.Hours+h]
-		rh.Txns++
-		rh.Conns += int32(conns)
-		rh.FailConns += int32(failConns)
-		if failed {
-			rh.FailTxns++
-		}
-		a.replicaConns[ri] += conns
+	if a.grids != nil {
+		a.grids.consume(r, h)
 	}
-
-	a.clientPkts[ci] += int64(r.DataPkts)
-	a.clientRetrans[ci] += int64(r.Retransmits)
-
-	if !failed {
-		return
+	if a.conns != nil {
+		a.conns.consume(r, h)
 	}
-	a.TotalFails++
-	a.catFails[r.Category]++
-	a.pairFails[ci*a.nSites+si]++
-
-	sc := a.stageCounts[r.Category]
-	if sc == nil {
-		sc = make(map[httpsim.Stage]int64)
-		a.stageCounts[r.Category] = sc
+	if a.pairs != nil {
+		a.pairs.consume(r)
 	}
-	sc[r.Stage]++
-
-	switch r.Stage {
-	case httpsim.StageDNS:
-		dc := a.dnsClassByCat[r.Category]
-		if dc == nil {
-			dc = make(map[measure.DNSOutcome]int64)
-			a.dnsClassByCat[r.Category] = dc
-		}
-		dc[r.DNS]++
-		ds := a.dnsClassBySite[si]
-		if ds == nil {
-			ds = make(map[measure.DNSOutcome]int64)
-			a.dnsClassBySite[si] = ds
-		}
-		ds[r.DNS]++
-	case httpsim.StageTCP:
-		tk := a.tcpKindByCat[r.Category]
-		if tk == nil {
-			tk = make(map[httpsim.ConnFailKind]int64)
-			a.tcpKindByCat[r.Category] = tk
-		}
-		tk[r.FailKind]++
+	if a.replicas != nil {
+		a.replicas.consume(r, h)
 	}
-
-	a.Failures = append(a.Failures, FailureRec{
-		Client:  r.ClientIdx,
-		Site:    r.SiteIdx,
-		Hour:    int32(h),
-		Stage:   r.Stage,
-		DNS:     r.DNS,
-		Kind:    r.FailKind,
-		Replica: r.ReplicaIP,
-		Conns:   r.Conns,
-	})
+	if a.fails != nil {
+		a.fails.consume(r, h)
+	}
 }
 
-// ClientHour returns the accumulated cell.
+func (a *Analysis) missingPass(name PassName) *Analysis {
+	panic(fmt.Sprintf("core: analysis requires pass %q which was not selected", name))
+}
+
+func (a *Analysis) mustTraffic() *trafficPass {
+	if a.traffic == nil {
+		a.missingPass(PassTraffic)
+	}
+	return a.traffic
+}
+
+func (a *Analysis) mustGrids() *gridsPass {
+	if a.grids == nil {
+		a.missingPass(PassGrids)
+	}
+	return a.grids
+}
+
+func (a *Analysis) mustFailures() *failuresPass {
+	if a.fails == nil {
+		a.missingPass(PassFailures)
+	}
+	return a.fails
+}
+
+func (a *Analysis) mustPairs() *pairsPass {
+	if a.pairs == nil {
+		a.missingPass(PassPairs)
+	}
+	return a.pairs
+}
+
+func (a *Analysis) mustReplicas() *replicasPass {
+	if a.replicas == nil {
+		a.missingPass(PassReplicas)
+	}
+	return a.replicas
+}
+
+func (a *Analysis) mustConns() *connsPass {
+	if a.conns == nil {
+		a.missingPass(PassConns)
+	}
+	return a.conns
+}
+
+// TotalTxns returns the grand transaction count.
+func (a *Analysis) TotalTxns() int64 { return a.totals.txns }
+
+// TotalFails returns the grand failure count.
+func (a *Analysis) TotalFails() int64 { return a.totals.fails }
+
+// Failures returns the retained failure records in canonical
+// (client-major, per-client time-ordered) order.
+func (a *Analysis) Failures() []FailureRec { return a.mustFailures().recs }
+
+// ClientHour returns the accumulated cell, assembled from the grids and
+// conns passes (unselected passes contribute zeros).
 func (a *Analysis) ClientHour(client, hour int) entityHour {
-	return a.clientHours[client*a.Hours+hour]
+	var eh entityHour
+	if a.grids != nil {
+		c := a.grids.client[client*a.Hours+hour]
+		eh.Txns, eh.FailTxns = c.Txns, c.FailTxns
+	}
+	if a.conns != nil {
+		c := a.conns.client[client*a.Hours+hour]
+		eh.Conns, eh.FailConns = c.Conns, c.FailConns
+		eh.streakCur, eh.StreakMax = c.streakCur, c.StreakMax
+	}
+	return eh
 }
 
-// ServerHour returns the accumulated cell.
+// ServerHour returns the accumulated cell, assembled like ClientHour.
 func (a *Analysis) ServerHour(site, hour int) entityHour {
-	return a.serverHours[site*a.Hours+hour]
+	var eh entityHour
+	if a.grids != nil {
+		c := a.grids.server[site*a.Hours+hour]
+		eh.Txns, eh.FailTxns = c.Txns, c.FailTxns
+	}
+	if a.conns != nil {
+		c := a.conns.server[site*a.Hours+hour]
+		eh.Conns, eh.FailConns = c.Conns, c.FailConns
+	}
+	return eh
 }
 
 // PairStats returns the month-long totals for a client-server pair.
 func (a *Analysis) PairStats(client, site int) (txns, fails int32) {
-	return a.pairTxns[client*a.nSites+site], a.pairFails[client*a.nSites+site]
+	p := a.mustPairs()
+	return p.txns[client*a.nSites+site], p.fails[client*a.nSites+site]
 }
 
 // String summarizes the accumulated run.
 func (a *Analysis) String() string {
 	return fmt.Sprintf("analysis: %d txns, %d failures (%.2f%%) over %d hours",
-		a.TotalTxns, a.TotalFails, 100*float64(a.TotalFails)/float64(maxI64(a.TotalTxns, 1)), a.Hours)
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
+		a.totals.txns, a.totals.fails, 100*float64(a.totals.fails)/float64(max(a.totals.txns, 1)), a.Hours)
 }

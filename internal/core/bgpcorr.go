@@ -99,14 +99,15 @@ func (a *Analysis) prefixEntities() prefixEntities {
 // prefixHourFailRate aggregates the TCP connection failure rate of the
 // prefix's entities in the given window-relative hour.
 func (a *Analysis) prefixHourFailRate(pe prefixEntities, pfx netip.Prefix, h int) (rate float64, attempts int) {
+	cp := a.mustConns()
 	var conns, fails int64
 	for _, c := range pe.clients[pfx] {
-		cell := a.clientHours[c*a.Hours+h]
+		cell := cp.client[c*a.Hours+h]
 		conns += int64(cell.Conns)
 		fails += int64(cell.FailConns)
 	}
 	for _, s := range pe.sites[pfx] {
-		cell := a.serverHours[s*a.Hours+h]
+		cell := cp.server[s*a.Hours+h]
 		conns += int64(cell.Conns)
 		fails += int64(cell.FailConns)
 	}
@@ -219,9 +220,10 @@ func (a *Analysis) ClientTimeline(clientName string, table bgpsim.PrefixHourTabl
 			ci = i
 		}
 	}
+	cp := a.mustConns()
 	out := make([]TimelinePoint, 0, a.Hours)
 	for h := 0; h < a.Hours; h++ {
-		cell := a.clientHours[ci*a.Hours+h]
+		cell := cp.client[ci*a.Hours+h]
 		abs := a.StartHour + int64(h)
 		st := table.Get(node.Prefix, abs)
 		out = append(out, TimelinePoint{

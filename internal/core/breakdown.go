@@ -36,20 +36,21 @@ func (c *CategorySummary) ConnFailRate() float64 {
 // Summary produces Table 3 / Figure 1, ordered PL, BB, DU, CN as in the
 // paper's Table 3.
 func (a *Analysis) Summary() []CategorySummary {
+	t := a.mustTraffic()
 	order := []workload.Category{workload.PL, workload.BB, workload.DU, workload.CN}
 	out := make([]CategorySummary, 0, len(order))
 	for _, cat := range order {
 		s := CategorySummary{
 			Category: cat,
-			Txns:     a.catTxns[cat],
-			FailTxns: a.catFails[cat],
+			Txns:     t.catTxns[cat],
+			FailTxns: t.catFails[cat],
 		}
 		if cat != workload.CN {
-			s.Conns = a.catConns[cat]
-			s.FailConns = a.catFailCo[cat]
+			s.Conns = t.catConns[cat]
+			s.FailConns = t.catFailCo[cat]
 		}
-		if f := a.catFails[cat]; f > 0 {
-			sc := a.stageCounts[cat]
+		if f := t.catFails[cat]; f > 0 {
+			sc := t.stageCounts[cat]
 			s.DNSShare = float64(sc[httpsim.StageDNS]) / float64(f)
 			s.TCPShare = float64(sc[httpsim.StageTCP]) / float64(f)
 			s.HTTPShare = float64(sc[httpsim.StageHTTP]) / float64(f)
@@ -63,11 +64,12 @@ func (a *Analysis) Summary() []CategorySummary {
 // transaction failure rate across clients and across servers (1.47% and
 // 1.63% in the paper).
 func (a *Analysis) MedianFailureRates() (client, server float64) {
+	g := a.mustGrids()
 	cRates := make([]float64, 0, a.nClients)
 	for c := 0; c < a.nClients; c++ {
 		var txns, fails int64
 		for h := 0; h < a.Hours; h++ {
-			cell := a.clientHours[c*a.Hours+h]
+			cell := g.client[c*a.Hours+h]
 			txns += int64(cell.Txns)
 			fails += int64(cell.FailTxns)
 		}
@@ -79,7 +81,7 @@ func (a *Analysis) MedianFailureRates() (client, server float64) {
 	for s := 0; s < a.nSites; s++ {
 		var txns, fails int64
 		for h := 0; h < a.Hours; h++ {
-			cell := a.serverHours[s*a.Hours+h]
+			cell := g.server[s*a.Hours+h]
 			txns += int64(cell.Txns)
 			fails += int64(cell.FailTxns)
 		}
@@ -93,11 +95,12 @@ func (a *Analysis) MedianFailureRates() (client, server float64) {
 // ClientFailureRateQuantile returns the q-quantile of per-client failure
 // rates (the paper quotes the 95th percentile at 10%).
 func (a *Analysis) ClientFailureRateQuantile(q float64) float64 {
+	g := a.mustGrids()
 	rates := make([]float64, 0, a.nClients)
 	for c := 0; c < a.nClients; c++ {
 		var txns, fails int64
 		for h := 0; h < a.Hours; h++ {
-			cell := a.clientHours[c*a.Hours+h]
+			cell := g.client[c*a.Hours+h]
 			txns += int64(cell.Txns)
 			fails += int64(cell.FailTxns)
 		}
@@ -120,10 +123,11 @@ type DNSBreakdownRow struct {
 // DNSBreakdown produces Table 4 for the direct-access categories (CN is
 // excluded: the proxy masks DNS).
 func (a *Analysis) DNSBreakdown() []DNSBreakdownRow {
+	t := a.mustTraffic()
 	order := []workload.Category{workload.PL, workload.BB, workload.DU}
 	out := make([]DNSBreakdownRow, 0, len(order))
 	for _, cat := range order {
-		dc := a.dnsClassByCat[cat]
+		dc := t.dnsClassByCat[cat]
 		total := dc[measure.DNSLDNSTimeout] + dc[measure.DNSNonLDNSTimeout] + dc[measure.DNSErrorResponse]
 		row := DNSBreakdownRow{Category: cat, FailureCount: total}
 		if total > 0 {
@@ -150,9 +154,10 @@ type DomainContribution struct {
 // client-side causes (LDNS timeouts); a skewed one indicates specific
 // broken domains (errors).
 func (a *Analysis) DNSDomainSkew(class measure.DNSOutcome, all bool) []DomainContribution {
+	t := a.mustTraffic()
 	out := make([]DomainContribution, 0, a.nSites)
 	for si := 0; si < a.nSites; si++ {
-		ds := a.dnsClassBySite[si]
+		ds := t.dnsClassBySite[si]
 		if ds == nil {
 			continue
 		}
@@ -206,10 +211,11 @@ type TCPBreakdownRow struct {
 // TCPBreakdown produces Figure 3 (CN excluded: the proxy masks wide-area
 // TCP behaviour).
 func (a *Analysis) TCPBreakdown() []TCPBreakdownRow {
+	t := a.mustTraffic()
 	order := []workload.Category{workload.PL, workload.BB, workload.DU}
 	out := make([]TCPBreakdownRow, 0, len(order))
 	for _, cat := range order {
-		tk := a.tcpKindByCat[cat]
+		tk := t.tcpKindByCat[cat]
 		total := tk[httpsim.NoConnection] + tk[httpsim.NoResponse] + tk[httpsim.PartialResponse]
 		row := TCPBreakdownRow{Category: cat, FailureCount: total}
 		if total > 0 {
@@ -227,21 +233,23 @@ func (a *Analysis) TCPBreakdown() []TCPBreakdownRow {
 // transaction failure rate — the paper reports a weak 0.19
 // (Section 4.1.3).
 func (a *Analysis) LossCorrelation() (float64, error) {
+	t := a.mustTraffic()
+	g := a.mustGrids()
 	var loss, fail []float64
 	for c := 0; c < a.nClients; c++ {
-		if a.clientPkts[c] == 0 {
+		if t.clientPkts[c] == 0 {
 			continue
 		}
 		var txns, fails int64
 		for h := 0; h < a.Hours; h++ {
-			cell := a.clientHours[c*a.Hours+h]
+			cell := g.client[c*a.Hours+h]
 			txns += int64(cell.Txns)
 			fails += int64(cell.FailTxns)
 		}
 		if txns == 0 {
 			continue
 		}
-		loss = append(loss, float64(a.clientRetrans[c])/float64(a.clientPkts[c]))
+		loss = append(loss, float64(t.clientRetrans[c])/float64(t.clientPkts[c]))
 		fail = append(fail, float64(fails)/float64(txns))
 	}
 	return stats.Pearson(loss, fail)

@@ -64,8 +64,8 @@ func TestSummaryCounts(t *testing.T) {
 	a.Add(failDNS(rec(0, 2, 0, 40), measure.DNSLDNSTimeout))
 	a.Add(failHTTP(rec(0, 3, 0, 50), 503))
 
-	if a.TotalTxns != 13 || a.TotalFails != 3 {
-		t.Fatalf("totals = %d/%d", a.TotalTxns, a.TotalFails)
+	if a.TotalTxns() != 13 || a.TotalFails() != 3 {
+		t.Fatalf("totals = %d/%d", a.TotalTxns(), a.TotalFails())
 	}
 	sum := a.Summary()
 	var pl *CategorySummary
@@ -564,7 +564,7 @@ func TestRecordIgnoredReplica(t *testing.T) {
 	r := rec(0, 0, 0, 0)
 	r.ReplicaIP = netip.MustParseAddr("198.18.0.2")
 	a.Add(r)
-	if a.TotalTxns != 1 {
+	if a.TotalTxns() != 1 {
 		t.Error("record not counted")
 	}
 }

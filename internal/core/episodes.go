@@ -18,10 +18,11 @@ const MinEpisodeSamples = 8
 // rates, separately for clients and servers — Figure 4, whose knee picks
 // the threshold f.
 func (a *Analysis) EpisodeRateCDFs() (clients, servers *stats.CDF) {
+	g := a.mustGrids()
 	var cs, ss []float64
 	for c := 0; c < a.nClients; c++ {
 		for h := 0; h < a.Hours; h++ {
-			cell := a.clientHours[c*a.Hours+h]
+			cell := g.client[c*a.Hours+h]
 			if cell.Txns >= MinEpisodeSamples {
 				cs = append(cs, float64(cell.FailTxns)/float64(cell.Txns))
 			}
@@ -29,7 +30,7 @@ func (a *Analysis) EpisodeRateCDFs() (clients, servers *stats.CDF) {
 	}
 	for s := 0; s < a.nSites; s++ {
 		for h := 0; h < a.Hours; h++ {
-			cell := a.serverHours[s*a.Hours+h]
+			cell := g.server[s*a.Hours+h]
 			if cell.Txns >= MinEpisodeSamples {
 				ss = append(ss, float64(cell.FailTxns)/float64(cell.Txns))
 			}
@@ -73,11 +74,12 @@ type PermanentPair struct {
 // PermanentPairs detects pairs whose month-long transaction failure rate
 // exceeds threshold (the paper uses 0.9) with a minimum sample size.
 func (a *Analysis) PermanentPairs(threshold float64) []PermanentPair {
+	pp := a.mustPairs()
 	var out []PermanentPair
 	for c := 0; c < a.nClients; c++ {
 		for s := 0; s < a.nSites; s++ {
-			txns := a.pairTxns[c*a.nSites+s]
-			fails := a.pairFails[c*a.nSites+s]
+			txns := pp.txns[c*a.nSites+s]
+			fails := pp.fails[c*a.nSites+s]
 			if txns < 20 {
 				continue
 			}
@@ -110,7 +112,7 @@ func (a *Analysis) PermanentPairShare(pairs []PermanentPair) (connShare, txnShar
 		excl[[2]int32{int32(p.Client), int32(p.Site)}] = true
 	}
 	var exclConns, totalConns, exclTxns int64
-	for _, f := range a.Failures {
+	for _, f := range a.Failures() {
 		fc := int64(f.Conns)
 		if f.Stage != httpsim.StageTCP {
 			fc = 0 // only TCP failures have failed connections here
@@ -124,8 +126,8 @@ func (a *Analysis) PermanentPairShare(pairs []PermanentPair) (connShare, txnShar
 	if totalConns > 0 {
 		connShare = float64(exclConns) / float64(totalConns)
 	}
-	if a.TotalFails > 0 {
-		txnShare = float64(exclTxns) / float64(a.TotalFails)
+	if fails := a.TotalFails(); fails > 0 {
+		txnShare = float64(exclTxns) / float64(fails)
 	}
 	return connShare, txnShare
 }
@@ -210,12 +212,13 @@ func (a *Analysis) Attribute(f float64, exclude []PermanentPair) *Attribution {
 	// Identify failure episodes per entity-hour. Excluded pairs'
 	// traffic is removed from the rates so a permanently-blocked pair
 	// does not manufacture fake episodes for its endpoints.
+	g := a.mustGrids()
 	exclCell := a.excludedCells(excl)
 	clientFlag := make([]bool, a.nClients*a.Hours)
 	serverFlag := make([]bool, a.nSites*a.Hours)
 	for c := 0; c < a.nClients; c++ {
 		for h := 0; h < a.Hours; h++ {
-			cell := a.clientHours[c*a.Hours+h]
+			cell := g.client[c*a.Hours+h]
 			adj := exclCell.client[c*a.Hours+h]
 			txns := cell.Txns - adj.Txns
 			fails := cell.FailTxns - adj.FailTxns
@@ -230,7 +233,7 @@ func (a *Analysis) Attribute(f float64, exclude []PermanentPair) *Attribution {
 	}
 	for s := 0; s < a.nSites; s++ {
 		for h := 0; h < a.Hours; h++ {
-			cell := a.serverHours[s*a.Hours+h]
+			cell := g.server[s*a.Hours+h]
 			adj := exclCell.server[s*a.Hours+h]
 			txns := cell.Txns - adj.Txns
 			fails := cell.FailTxns - adj.FailTxns
@@ -245,7 +248,7 @@ func (a *Analysis) Attribute(f float64, exclude []PermanentPair) *Attribution {
 	}
 
 	// Classify each TCP connection failure.
-	for _, fr := range a.Failures {
+	for _, fr := range a.Failures() {
 		if fr.Stage != httpsim.StageTCP {
 			continue
 		}
@@ -278,19 +281,19 @@ func (a *Analysis) Attribute(f float64, exclude []PermanentPair) *Attribution {
 // removing the pair's failures (which is what distorts rates) and the
 // same number of transactions.
 type exclGrid struct {
-	client []entityHour
-	server []entityHour
+	client []gridCell
+	server []gridCell
 }
 
 func (a *Analysis) excludedCells(excl map[[2]int32]bool) exclGrid {
 	g := exclGrid{
-		client: make([]entityHour, a.nClients*a.Hours),
-		server: make([]entityHour, a.nSites*a.Hours),
+		client: make([]gridCell, a.nClients*a.Hours),
+		server: make([]gridCell, a.nSites*a.Hours),
 	}
 	if len(excl) == 0 {
 		return g
 	}
-	for _, fr := range a.Failures {
+	for _, fr := range a.Failures() {
 		if !excl[[2]int32{fr.Client, fr.Site}] {
 			continue
 		}

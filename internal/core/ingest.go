@@ -24,15 +24,17 @@ func (a *Analysis) Consume(src dataset.RecordSource) error {
 // uses), each reading only the chunks overlapping its range into a
 // private accumulator; the shards merge in shard order, so the result
 // is identical to a serial Consume for any shard count. shards <= 0
-// selects GOMAXPROCS.
-func ConsumeParallel(topo *workload.Topology, start, end simnet.Time, src dataset.RecordSource, shards int) (*Analysis, error) {
+// selects GOMAXPROCS. passes selects the analyzer passes every shard
+// accumulator is built with (none = all): unselected passes are never
+// constructed, in any shard or in the merged result.
+func ConsumeParallel(topo *workload.Topology, start, end simnet.Time, src dataset.RecordSource, shards int, passes ...PassName) (*Analysis, error) {
 	n := len(topo.Clients)
 	shards = measure.EffectiveShards(n, shards)
 	accs := make([]*Analysis, shards)
 	errs := make([]error, shards)
 	var wg sync.WaitGroup
 	for s := 0; s < shards; s++ {
-		accs[s] = NewAnalysis(topo, start, end)
+		accs[s] = NewAnalysisSelected(topo, start, end, passes...)
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
@@ -49,7 +51,7 @@ func ConsumeParallel(topo *workload.Topology, start, end simnet.Time, src datase
 			return nil, err
 		}
 	}
-	merged := NewAnalysis(topo, start, end)
+	merged := NewAnalysisSelected(topo, start, end, passes...)
 	for _, acc := range accs {
 		if err := merged.Merge(acc); err != nil {
 			return nil, err

@@ -2,16 +2,13 @@ package core
 
 import (
 	"fmt"
-
-	"webfail/internal/httpsim"
-	"webfail/internal/measure"
-	"webfail/internal/workload"
+	"slices"
 )
 
 // Merge folds other's accumulated state into a. Both accumulators must
 // have been built over the same topology and window (same client/site
-// rosters, bin duration, and hour count); Merge errors otherwise and
-// leaves a unchanged.
+// rosters, bin duration, and hour count) and with the same analyzer
+// pass set; Merge errors otherwise and leaves a unchanged.
 //
 // Every counter merges by addition, which is order-independent, so any
 // merge order yields the same dense grids, pair counts, and category
@@ -36,104 +33,21 @@ func (a *Analysis) Merge(other *Analysis) error {
 	case a.Hours != other.Hours || a.binNS != other.binNS || a.StartHour != other.StartHour:
 		return fmt.Errorf("core: merge of mismatched windows (%d bins of %dns from %d vs %d bins of %dns from %d)",
 			a.Hours, a.binNS, a.StartHour, other.Hours, other.binNS, other.StartHour)
-	case len(a.replicaAddrs) != len(other.replicaAddrs):
+	case !slices.Equal(a.Passes(), other.Passes()):
+		return fmt.Errorf("core: merge of mismatched pass sets (%v vs %v)",
+			a.Passes(), other.Passes())
+	case a.replicas != nil && len(a.replicas.replicaAddrs) != len(other.replicas.replicaAddrs):
+		// Checked up front (not just in replicasPass.Merge) so a failed
+		// merge leaves a unchanged.
 		return fmt.Errorf("core: merge of mismatched replica indexes (%d vs %d)",
-			len(a.replicaAddrs), len(other.replicaAddrs))
+			len(a.replicas.replicaAddrs), len(other.replicas.replicaAddrs))
 	}
-
-	mergeCells(a.clientHours, other.clientHours)
-	mergeCells(a.serverHours, other.serverHours)
-	mergeCells(a.replicaHours, other.replicaHours)
-	for i, v := range other.replicaConns {
-		a.replicaConns[i] += v
-	}
-	for i, v := range other.siteConns {
-		a.siteConns[i] += v
-	}
-	for i, v := range other.pairTxns {
-		a.pairTxns[i] += v
-	}
-	for i, v := range other.pairFails {
-		a.pairFails[i] += v
-	}
-	for i, v := range other.clientPkts {
-		a.clientPkts[i] += v
-	}
-	for i, v := range other.clientRetrans {
-		a.clientRetrans[i] += v
-	}
-
-	mergeCatCounts(a.catTxns, other.catTxns)
-	mergeCatCounts(a.catFails, other.catFails)
-	mergeCatCounts(a.catConns, other.catConns)
-	mergeCatCounts(a.catFailCo, other.catFailCo)
-	for cat, src := range other.stageCounts {
-		dst := a.stageCounts[cat]
-		if dst == nil {
-			dst = make(map[httpsim.Stage]int64, len(src))
-			a.stageCounts[cat] = dst
-		}
-		for k, v := range src {
-			dst[k] += v
+	// Pass sets are equal and in canonical order, so the active slices
+	// pair up index-wise.
+	for i, p := range a.active {
+		if err := p.Merge(other.active[i]); err != nil {
+			return err
 		}
 	}
-	for cat, src := range other.dnsClassByCat {
-		dst := a.dnsClassByCat[cat]
-		if dst == nil {
-			dst = make(map[measure.DNSOutcome]int64, len(src))
-			a.dnsClassByCat[cat] = dst
-		}
-		for k, v := range src {
-			dst[k] += v
-		}
-	}
-	for cat, src := range other.tcpKindByCat {
-		dst := a.tcpKindByCat[cat]
-		if dst == nil {
-			dst = make(map[httpsim.ConnFailKind]int64, len(src))
-			a.tcpKindByCat[cat] = dst
-		}
-		for k, v := range src {
-			dst[k] += v
-		}
-	}
-	for si, src := range other.dnsClassBySite {
-		if src == nil {
-			continue
-		}
-		dst := a.dnsClassBySite[si]
-		if dst == nil {
-			dst = make(map[measure.DNSOutcome]int64, len(src))
-			a.dnsClassBySite[si] = dst
-		}
-		for k, v := range src {
-			dst[k] += v
-		}
-	}
-
-	a.Failures = append(a.Failures, other.Failures...)
-	a.TotalTxns += other.TotalTxns
-	a.TotalFails += other.TotalFails
 	return nil
-}
-
-func mergeCells(dst, src []entityHour) {
-	for i := range src {
-		d := &dst[i]
-		s := &src[i]
-		d.Txns += s.Txns
-		d.FailTxns += s.FailTxns
-		d.Conns += s.Conns
-		d.FailConns += s.FailConns
-		d.streakCur += s.streakCur
-		if s.StreakMax > d.StreakMax {
-			d.StreakMax = s.StreakMax
-		}
-	}
-}
-
-func mergeCatCounts(dst, src map[workload.Category]int64) {
-	for k, v := range src {
-		dst[k] += v
-	}
 }

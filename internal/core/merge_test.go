@@ -3,6 +3,8 @@ package core
 import (
 	"net/netip"
 	"reflect"
+	"slices"
+	"strings"
 	"testing"
 	"time"
 
@@ -86,8 +88,8 @@ func TestMergeMatchesSequential(t *testing.T) {
 	if !reflect.DeepEqual(serial, merged) {
 		t.Errorf("merged analysis differs from serial:\n got %s\nwant %s", merged, serial)
 	}
-	if !reflect.DeepEqual(serial.Failures, merged.Failures) {
-		t.Errorf("failure lists differ:\n got %+v\nwant %+v", merged.Failures, serial.Failures)
+	if !reflect.DeepEqual(serial.Failures(), merged.Failures()) {
+		t.Errorf("failure lists differ:\n got %+v\nwant %+v", merged.Failures(), serial.Failures())
 	}
 	if got, want := merged.Summary(), serial.Summary(); !reflect.DeepEqual(got, want) {
 		t.Errorf("summaries differ:\n got %+v\nwant %+v", got, want)
@@ -180,7 +182,78 @@ func TestMergeRejectsMismatch(t *testing.T) {
 	if err := base.Merge(fresh); err != nil {
 		t.Fatalf("valid merge failed: %v", err)
 	}
-	if base.TotalTxns != 1 || base.TotalFails != 1 {
-		t.Errorf("totals after merge = %d/%d, want 1/1", base.TotalTxns, base.TotalFails)
+	if base.TotalTxns() != 1 || base.TotalFails() != 1 {
+		t.Errorf("totals after merge = %d/%d, want 1/1", base.TotalTxns(), base.TotalFails())
 	}
+}
+
+func TestMergeRejectsPassSetMismatch(t *testing.T) {
+	topo := workload.NewScaledTopology(3, 3)
+	end := simnet.FromHours(2)
+	base := NewAnalysisSelected(topo, 0, end, PassTotals, PassTraffic)
+
+	other := NewAnalysisSelected(topo, 0, end, PassTotals, PassGrids)
+	err := base.Merge(other)
+	if err == nil {
+		t.Fatal("merge of mismatched pass sets succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), "pass sets") {
+		t.Errorf("error %q does not mention pass sets", err)
+	}
+	// base is untouched and still merges with a matching pass set.
+	fresh := NewAnalysisSelected(topo, 0, end, PassTotals, PassTraffic)
+	fresh.Add(mergeRecord(0, 0, 0, httpsim.StageTCP, workload.PL))
+	if err := base.Merge(fresh); err != nil {
+		t.Fatalf("valid merge failed: %v", err)
+	}
+	if base.TotalTxns() != 1 {
+		t.Errorf("TotalTxns = %d, want 1", base.TotalTxns())
+	}
+}
+
+// TestSelectedPassSet checks construction-time selection: only the
+// requested passes (plus the always-on totals) are materialized, and
+// touching an unselected family panics rather than returning zeros.
+func TestSelectedPassSet(t *testing.T) {
+	topo := workload.NewScaledTopology(3, 3)
+	end := simnet.FromHours(2)
+
+	a := NewAnalysisSelected(topo, 0, end, PassGrids)
+	want := []PassName{PassTotals, PassGrids}
+	if !slices.Equal(a.Passes(), want) {
+		t.Errorf("Passes() = %v, want %v", a.Passes(), want)
+	}
+	a.Add(mergeRecord(0, 0, 0, httpsim.StageTCP, workload.PL))
+	if a.TotalTxns() != 1 || a.TotalFails() != 1 {
+		t.Errorf("totals = %d/%d, want 1/1", a.TotalTxns(), a.TotalFails())
+	}
+	if got := a.ClientHour(0, 0).Txns; got != 1 {
+		t.Errorf("grid txns = %d, want 1", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("Summary() on an accumulator without the traffic pass should panic")
+		}
+	}()
+	a.Summary()
+}
+
+// TestSelectedPassSetDefaults checks the empty selection still means
+// "everything", so existing NewAnalysis callers see no behaviour change.
+func TestSelectedPassSetDefaults(t *testing.T) {
+	topo := workload.NewScaledTopology(3, 3)
+	a := NewAnalysis(topo, 0, simnet.FromHours(2))
+	if !slices.Equal(a.Passes(), AllPasses()) {
+		t.Errorf("Passes() = %v, want all %v", a.Passes(), AllPasses())
+	}
+}
+
+func TestUnknownPassPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown pass name should panic")
+		}
+	}()
+	NewAnalysisSelected(workload.NewScaledTopology(3, 3), 0, simnet.FromHours(2), PassName("bogus"))
 }

@@ -1,0 +1,82 @@
+package core
+
+import "webfail/internal/measure"
+
+// connCell is one entity's connection traffic within one episode bin.
+type connCell struct {
+	Conns     int32
+	FailConns int32
+	// Streak tracking: longest run of consecutive failed transactions
+	// within the bin (Figure 5's third graph). Client cells only.
+	streakCur int16
+	StreakMax int16
+}
+
+// connsPass accumulates the per-entity-hour connection grids — attempt
+// and failure counts plus per-client failure streaks — that the BGP
+// correlation and client timelines read (Section 4.6, Figures 5–7).
+type connsPass struct {
+	hours  int
+	client []connCell // [client*hours + h]
+	server []connCell // [site*hours + h]
+}
+
+func newConnsPass(nClients, nSites, hours int) *connsPass {
+	return &connsPass{
+		hours:  hours,
+		client: make([]connCell, nClients*hours),
+		server: make([]connCell, nSites*hours),
+	}
+}
+
+func (p *connsPass) Name() PassName      { return PassConns }
+func (p *connsPass) Artifacts() []string { return append([]string(nil), passArtifacts[PassConns]...) }
+
+func (p *connsPass) Consume(r *measure.Record, hour int) { p.consume(r, hour) }
+
+func (p *connsPass) consume(r *measure.Record, hour int) {
+	conns := int32(r.Conns)
+	failConns := int32(r.FailedConns())
+	ch := &p.client[int(r.ClientIdx)*p.hours+hour]
+	sh := &p.server[int(r.SiteIdx)*p.hours+hour]
+	ch.Conns += conns
+	ch.FailConns += failConns
+	sh.Conns += conns
+	sh.FailConns += failConns
+	// Streaks are a per-client notion (consecutive accesses by the
+	// client failing, Figure 5).
+	if r.Failed() {
+		ch.streakCur++
+		if ch.streakCur > ch.StreakMax {
+			ch.StreakMax = ch.streakCur
+		}
+	} else {
+		ch.streakCur = 0
+	}
+}
+
+// Merge adds cells; streak maxima are exact only when the two passes
+// saw disjoint client sets, as RunParallel's client-sharded workers
+// guarantee (see Analysis.Merge).
+func (p *connsPass) Merge(other Pass) error {
+	q, ok := other.(*connsPass)
+	if !ok {
+		return mergeTypeError(p, other)
+	}
+	mergeConnCells(p.client, q.client)
+	mergeConnCells(p.server, q.server)
+	return nil
+}
+
+func mergeConnCells(dst, src []connCell) {
+	for i := range src {
+		d := &dst[i]
+		s := &src[i]
+		d.Conns += s.Conns
+		d.FailConns += s.FailConns
+		d.streakCur += s.streakCur
+		if s.StreakMax > d.StreakMax {
+			d.StreakMax = s.StreakMax
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import "webfail/internal/measure"
+
+// failuresPass retains the compact form of every failed transaction —
+// the input the attribution, permanence-share, and proxy analyses
+// replay. Records append in consume order, so shard accumulators must
+// merge in shard order to recover a serial run's exact list.
+type failuresPass struct {
+	recs []FailureRec
+}
+
+func newFailuresPass() *failuresPass { return &failuresPass{} }
+
+func (p *failuresPass) Name() PassName { return PassFailures }
+func (p *failuresPass) Artifacts() []string {
+	return append([]string(nil), passArtifacts[PassFailures]...)
+}
+
+func (p *failuresPass) Consume(r *measure.Record, hour int) { p.consume(r, hour) }
+
+func (p *failuresPass) consume(r *measure.Record, hour int) {
+	if !r.Failed() {
+		return
+	}
+	p.recs = append(p.recs, FailureRec{
+		Client:  r.ClientIdx,
+		Site:    r.SiteIdx,
+		Hour:    int32(hour),
+		Stage:   r.Stage,
+		DNS:     r.DNS,
+		Kind:    r.FailKind,
+		Replica: r.ReplicaIP,
+		Conns:   r.Conns,
+	})
+}
+
+func (p *failuresPass) Merge(other Pass) error {
+	q, ok := other.(*failuresPass)
+	if !ok {
+		return mergeTypeError(p, other)
+	}
+	p.recs = append(p.recs, q.recs...)
+	return nil
+}

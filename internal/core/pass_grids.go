@@ -1,0 +1,59 @@
+package core
+
+import "webfail/internal/measure"
+
+// gridCell is one entity's transaction traffic within one episode bin.
+type gridCell struct {
+	Txns     int32
+	FailTxns int32
+}
+
+// gridsPass accumulates the dense per-client and per-server transaction
+// grids that episode detection (Figure 4) and blame attribution
+// (Tables 5–9) read.
+type gridsPass struct {
+	hours  int
+	client []gridCell // [client*hours + h]
+	server []gridCell // [site*hours + h]
+}
+
+func newGridsPass(nClients, nSites, hours int) *gridsPass {
+	return &gridsPass{
+		hours:  hours,
+		client: make([]gridCell, nClients*hours),
+		server: make([]gridCell, nSites*hours),
+	}
+}
+
+func (p *gridsPass) Name() PassName      { return PassGrids }
+func (p *gridsPass) Artifacts() []string { return append([]string(nil), passArtifacts[PassGrids]...) }
+
+func (p *gridsPass) Consume(r *measure.Record, hour int) { p.consume(r, hour) }
+
+func (p *gridsPass) consume(r *measure.Record, hour int) {
+	ch := &p.client[int(r.ClientIdx)*p.hours+hour]
+	sh := &p.server[int(r.SiteIdx)*p.hours+hour]
+	ch.Txns++
+	sh.Txns++
+	if r.Failed() {
+		ch.FailTxns++
+		sh.FailTxns++
+	}
+}
+
+func (p *gridsPass) Merge(other Pass) error {
+	q, ok := other.(*gridsPass)
+	if !ok {
+		return mergeTypeError(p, other)
+	}
+	mergeGridCells(p.client, q.client)
+	mergeGridCells(p.server, q.server)
+	return nil
+}
+
+func mergeGridCells(dst, src []gridCell) {
+	for i := range src {
+		dst[i].Txns += src[i].Txns
+		dst[i].FailTxns += src[i].FailTxns
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import "webfail/internal/measure"
+
+// pairsPass accumulates month-long per-pair transaction and failure
+// counts for permanent pair detection (Section 4.4.2).
+type pairsPass struct {
+	nSites int
+	txns   []int32 // [client*nSites + site]
+	fails  []int32
+}
+
+func newPairsPass(nClients, nSites int) *pairsPass {
+	return &pairsPass{
+		nSites: nSites,
+		txns:   make([]int32, nClients*nSites),
+		fails:  make([]int32, nClients*nSites),
+	}
+}
+
+func (p *pairsPass) Name() PassName      { return PassPairs }
+func (p *pairsPass) Artifacts() []string { return append([]string(nil), passArtifacts[PassPairs]...) }
+
+func (p *pairsPass) Consume(r *measure.Record, _ int) { p.consume(r) }
+
+func (p *pairsPass) consume(r *measure.Record) {
+	i := int(r.ClientIdx)*p.nSites + int(r.SiteIdx)
+	p.txns[i]++
+	if r.Failed() {
+		p.fails[i]++
+	}
+}
+
+func (p *pairsPass) Merge(other Pass) error {
+	q, ok := other.(*pairsPass)
+	if !ok {
+		return mergeTypeError(p, other)
+	}
+	for i, v := range q.txns {
+		p.txns[i] += v
+	}
+	for i, v := range q.fails {
+		p.fails[i] += v
+	}
+	return nil
+}

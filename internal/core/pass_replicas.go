@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+
+	"webfail/internal/measure"
+	"webfail/internal/workload"
+)
+
+// replicasPass accumulates per-replica traffic for the Section 4.5
+// census (the 10%-of-connections qualification rule) and the
+// total/partial failure classification. Replica IPs are indexed densely
+// in topology order so two passes over the same topology always agree.
+type replicasPass struct {
+	hours int
+
+	replicaIdx   map[netip.Addr]int
+	replicaAddrs []netip.Addr
+	replicaSite  []int32    // replica -> site index
+	replicaHours []gridCell // [replica*hours + h]
+	replicaConns []int64    // total connections per replica (for the 10% rule)
+	siteConns    []int64    // total connections per site
+}
+
+func newReplicasPass(topo *workload.Topology, hours int) *replicasPass {
+	p := &replicasPass{
+		hours:      hours,
+		replicaIdx: make(map[netip.Addr]int),
+		siteConns:  make([]int64, len(topo.Websites)),
+	}
+	for j := range topo.Websites {
+		for _, ra := range topo.Websites[j].ReplicaAddrs {
+			p.replicaIdx[ra] = len(p.replicaAddrs)
+			p.replicaAddrs = append(p.replicaAddrs, ra)
+			p.replicaSite = append(p.replicaSite, int32(j))
+		}
+	}
+	p.replicaHours = make([]gridCell, len(p.replicaAddrs)*hours)
+	p.replicaConns = make([]int64, len(p.replicaAddrs))
+	return p
+}
+
+func (p *replicasPass) Name() PassName { return PassReplicas }
+func (p *replicasPass) Artifacts() []string {
+	return append([]string(nil), passArtifacts[PassReplicas]...)
+}
+
+func (p *replicasPass) Consume(r *measure.Record, hour int) { p.consume(r, hour) }
+
+func (p *replicasPass) consume(r *measure.Record, hour int) {
+	p.siteConns[r.SiteIdx] += int64(r.Conns)
+	ri, ok := p.replicaIdx[r.ReplicaIP]
+	if !ok {
+		return
+	}
+	cell := &p.replicaHours[ri*p.hours+hour]
+	cell.Txns++
+	if r.Failed() {
+		cell.FailTxns++
+	}
+	p.replicaConns[ri] += int64(r.Conns)
+}
+
+func (p *replicasPass) Merge(other Pass) error {
+	q, ok := other.(*replicasPass)
+	if !ok {
+		return mergeTypeError(p, other)
+	}
+	if len(p.replicaAddrs) != len(q.replicaAddrs) {
+		return fmt.Errorf("core: merge of mismatched replica indexes (%d vs %d)",
+			len(p.replicaAddrs), len(q.replicaAddrs))
+	}
+	mergeGridCells(p.replicaHours, q.replicaHours)
+	for i, v := range q.replicaConns {
+		p.replicaConns[i] += v
+	}
+	for i, v := range q.siteConns {
+		p.siteConns[i] += v
+	}
+	return nil
+}

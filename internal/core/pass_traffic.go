@@ -1,0 +1,162 @@
+package core
+
+import (
+	"webfail/internal/httpsim"
+	"webfail/internal/measure"
+	"webfail/internal/workload"
+)
+
+// trafficPass accumulates the per-category traffic breakdowns (Table 3,
+// Figure 1), the DNS and TCP failure sub-class maps (Table 4,
+// Figures 2–3), and per-client loss accounting (Section 4.1.3).
+type trafficPass struct {
+	// Category totals (Table 3).
+	catTxns, catFails   map[workload.Category]int64
+	catConns, catFailCo map[workload.Category]int64
+
+	// Failure-stage counts per category (Figure 1).
+	stageCounts map[workload.Category]map[httpsim.Stage]int64
+
+	// DNS failure sub-classes per category (Table 4) and per website
+	// (Figure 2).
+	dnsClassByCat  map[workload.Category]map[measure.DNSOutcome]int64
+	dnsClassBySite []map[measure.DNSOutcome]int64
+
+	// TCP failure kinds per category (Figure 3).
+	tcpKindByCat map[workload.Category]map[httpsim.ConnFailKind]int64
+
+	// Per-client loss accounting (Section 4.1.3).
+	clientPkts, clientRetrans []int64
+}
+
+func newTrafficPass(nClients, nSites int) *trafficPass {
+	return &trafficPass{
+		catTxns:        make(map[workload.Category]int64),
+		catFails:       make(map[workload.Category]int64),
+		catConns:       make(map[workload.Category]int64),
+		catFailCo:      make(map[workload.Category]int64),
+		stageCounts:    make(map[workload.Category]map[httpsim.Stage]int64),
+		dnsClassByCat:  make(map[workload.Category]map[measure.DNSOutcome]int64),
+		dnsClassBySite: make([]map[measure.DNSOutcome]int64, nSites),
+		tcpKindByCat:   make(map[workload.Category]map[httpsim.ConnFailKind]int64),
+		clientPkts:     make([]int64, nClients),
+		clientRetrans:  make([]int64, nClients),
+	}
+}
+
+func (p *trafficPass) Name() PassName { return PassTraffic }
+func (p *trafficPass) Artifacts() []string {
+	return append([]string(nil), passArtifacts[PassTraffic]...)
+}
+
+func (p *trafficPass) Consume(r *measure.Record, _ int) { p.consume(r) }
+
+func (p *trafficPass) consume(r *measure.Record) {
+	p.catTxns[r.Category]++
+	p.catConns[r.Category] += int64(r.Conns)
+	p.catFailCo[r.Category] += int64(r.FailedConns())
+	p.clientPkts[r.ClientIdx] += int64(r.DataPkts)
+	p.clientRetrans[r.ClientIdx] += int64(r.Retransmits)
+
+	if !r.Failed() {
+		return
+	}
+	p.catFails[r.Category]++
+
+	sc := p.stageCounts[r.Category]
+	if sc == nil {
+		sc = make(map[httpsim.Stage]int64)
+		p.stageCounts[r.Category] = sc
+	}
+	sc[r.Stage]++
+
+	switch r.Stage {
+	case httpsim.StageDNS:
+		dc := p.dnsClassByCat[r.Category]
+		if dc == nil {
+			dc = make(map[measure.DNSOutcome]int64)
+			p.dnsClassByCat[r.Category] = dc
+		}
+		dc[r.DNS]++
+		ds := p.dnsClassBySite[r.SiteIdx]
+		if ds == nil {
+			ds = make(map[measure.DNSOutcome]int64)
+			p.dnsClassBySite[r.SiteIdx] = ds
+		}
+		ds[r.DNS]++
+	case httpsim.StageTCP:
+		tk := p.tcpKindByCat[r.Category]
+		if tk == nil {
+			tk = make(map[httpsim.ConnFailKind]int64)
+			p.tcpKindByCat[r.Category] = tk
+		}
+		tk[r.FailKind]++
+	}
+}
+
+func (p *trafficPass) Merge(other Pass) error {
+	q, ok := other.(*trafficPass)
+	if !ok {
+		return mergeTypeError(p, other)
+	}
+	mergeCatCounts(p.catTxns, q.catTxns)
+	mergeCatCounts(p.catFails, q.catFails)
+	mergeCatCounts(p.catConns, q.catConns)
+	mergeCatCounts(p.catFailCo, q.catFailCo)
+	for cat, src := range q.stageCounts {
+		dst := p.stageCounts[cat]
+		if dst == nil {
+			dst = make(map[httpsim.Stage]int64, len(src))
+			p.stageCounts[cat] = dst
+		}
+		for k, v := range src {
+			dst[k] += v
+		}
+	}
+	for cat, src := range q.dnsClassByCat {
+		dst := p.dnsClassByCat[cat]
+		if dst == nil {
+			dst = make(map[measure.DNSOutcome]int64, len(src))
+			p.dnsClassByCat[cat] = dst
+		}
+		for k, v := range src {
+			dst[k] += v
+		}
+	}
+	for cat, src := range q.tcpKindByCat {
+		dst := p.tcpKindByCat[cat]
+		if dst == nil {
+			dst = make(map[httpsim.ConnFailKind]int64, len(src))
+			p.tcpKindByCat[cat] = dst
+		}
+		for k, v := range src {
+			dst[k] += v
+		}
+	}
+	for si, src := range q.dnsClassBySite {
+		if src == nil {
+			continue
+		}
+		dst := p.dnsClassBySite[si]
+		if dst == nil {
+			dst = make(map[measure.DNSOutcome]int64, len(src))
+			p.dnsClassBySite[si] = dst
+		}
+		for k, v := range src {
+			dst[k] += v
+		}
+	}
+	for i, v := range q.clientPkts {
+		p.clientPkts[i] += v
+	}
+	for i, v := range q.clientRetrans {
+		p.clientRetrans[i] += v
+	}
+	return nil
+}
+
+func mergeCatCounts(dst, src map[workload.Category]int64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}

@@ -22,16 +22,17 @@ const MinReplicaShare = 0.10
 // ReplicaCensusAt classifies websites by qualifying replicas under the
 // given share threshold (Section 4.5; the threshold is an ablation knob).
 func (a *Analysis) ReplicaCensusAt(minShare float64) ReplicaCensus {
+	rp := a.mustReplicas()
 	rc := ReplicaCensus{Qualifying: make(map[int][]netip.Addr)}
 	for s := 0; s < a.nSites; s++ {
-		total := a.siteConns[s]
+		total := rp.siteConns[s]
 		var qual []netip.Addr
-		for ri, site := range a.replicaSite {
+		for ri, site := range rp.replicaSite {
 			if int(site) != s {
 				continue
 			}
-			if total > 0 && float64(a.replicaConns[ri])/float64(total) >= minShare {
-				qual = append(qual, a.replicaAddrs[ri])
+			if total > 0 && float64(rp.replicaConns[ri])/float64(total) >= minShare {
+				qual = append(qual, rp.replicaAddrs[ri])
 			}
 		}
 		switch len(qual) {
@@ -70,6 +71,7 @@ type ReplicaFailureSplit struct {
 // ReplicaAnalysis sub-classifies the attribution's server-side failure
 // episodes at replica granularity.
 func (a *Analysis) ReplicaAnalysis(at *Attribution, census ReplicaCensus) ReplicaFailureSplit {
+	rp := a.mustReplicas()
 	var split ReplicaFailureSplit
 	totalEpisodes := 0
 	for s := 0; s < a.nSites; s++ {
@@ -86,14 +88,14 @@ func (a *Analysis) ReplicaAnalysis(at *Attribution, census ReplicaCensus) Replic
 			// failure rate that hour is >= the attribution
 			// threshold (with enough samples to judge).
 			failing, observed := 0, 0
-			for ri, site := range a.replicaSite {
+			for ri, site := range rp.replicaSite {
 				if int(site) != s {
 					continue
 				}
-				if !containsAddr(qual, a.replicaAddrs[ri]) {
+				if !containsAddr(qual, rp.replicaAddrs[ri]) {
 					continue
 				}
-				cell := a.replicaHours[ri*a.Hours+int(h)]
+				cell := rp.replicaHours[ri*a.Hours+int(h)]
 				if cell.Txns < 2 {
 					continue
 				}
@@ -162,6 +164,7 @@ type ProxyResidualRow struct {
 // a client-side failure episode, over the client's total accesses to the
 // site outside those episodes.
 func (a *Analysis) ProxyResidual(at *Attribution, hosts []string) []ProxyResidualRow {
+	g := a.mustGrids()
 	siteIdx := make(map[string]int)
 	for s := 0; s < a.nSites; s++ {
 		siteIdx[a.Topo.Websites[s].Host] = s
@@ -178,7 +181,7 @@ func (a *Analysis) ProxyResidual(at *Attribution, hosts []string) []ProxyResidua
 		// Residual failures per client come from the failure list;
 		// residual totals from the hour grids minus episode hours.
 		resFails := make([]int64, a.nClients)
-		for _, fr := range a.Failures {
+		for _, fr := range a.Failures() {
 			if int(fr.Site) != s {
 				continue
 			}
@@ -203,7 +206,7 @@ func (a *Analysis) ProxyResidual(at *Attribution, hosts []string) []ProxyResidua
 				// by the client's per-hour share of accesses to
 				// this site: accesses are uniform across sites,
 				// so txns(client,hour)/nSites.
-				total += int64(a.clientHours[c*a.Hours+h].Txns) / int64(a.nSites)
+				total += int64(g.client[c*a.Hours+h].Txns) / int64(a.nSites)
 			}
 			if total == 0 {
 				continue

@@ -57,7 +57,7 @@ func TestSerialParallelEquivalenceAcrossSaveLoad(t *testing.T) {
 	}); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	if live.TotalTxns == 0 || live.TotalFails == 0 {
+	if live.TotalTxns() == 0 || live.TotalFails() == 0 {
 		t.Fatalf("degenerate fixture: %s", live)
 	}
 	if err := sink.Close(); err != nil {
@@ -71,8 +71,8 @@ func TestSerialParallelEquivalenceAcrossSaveLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if src.Stored() != live.TotalTxns {
-		t.Fatalf("stored %d records, run performed %d", src.Stored(), live.TotalTxns)
+	if src.Stored() != live.TotalTxns() {
+		t.Fatalf("stored %d records, run performed %d", src.Stored(), live.TotalTxns())
 	}
 
 	serial := core.NewAnalysis(topo, 0, end)

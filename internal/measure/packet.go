@@ -3,6 +3,7 @@ package measure
 import (
 	"math/rand"
 	"net/netip"
+	"strconv"
 	"strings"
 	"time"
 
@@ -68,9 +69,6 @@ type clientHost struct {
 	dig    *dnssim.Dig
 }
 
-// probStatus converts an episode-driven probability into a status draw.
-func probHit(rng *rand.Rand, ep faults.Episode, ok bool) bool { return hit(rng, ep, ok) }
-
 func buildWorld(cfg Config) *world {
 	topo := cfg.Topo
 	w := &world{
@@ -127,7 +125,7 @@ func buildWorld(cfg Config) *world {
 		auth.Status = w.authStatus(site)
 
 		for k, a := range site.ReplicaAddrs {
-			host := w.net.AddHost(site.Host+"-r"+itoa(k), a)
+			host := w.net.AddHost(site.Host+"-r"+strconv.Itoa(k), a)
 			stack := tcpsim.NewStack(host)
 			stack.Status = w.serverStatus(site, a)
 			srv := httpsim.NewServer(stack)
@@ -149,7 +147,7 @@ func buildWorld(cfg Config) *world {
 	}
 	if cdnNeeded {
 		for k, a := range topo.CDNPool {
-			host := w.net.AddHost("cdn-"+itoa(k), a)
+			host := w.net.AddHost("cdn-"+strconv.Itoa(k), a)
 			stack := tcpsim.NewStack(host)
 			srv := httpsim.NewServer(stack)
 			srv.Pages["/"] = httpsim.Page{Path: "/", Size: 10240}
@@ -204,33 +202,19 @@ func buildWorld(cfg Config) *world {
 	return w
 }
 
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var b [8]byte
-	i := len(b)
-	for n > 0 {
-		i--
-		b[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(b[i:])
-}
-
 // Status functions: episode severity becomes a per-call failure draw, so
 // fractional-severity episodes behave like flaky components.
 
 func (w *world) authStatus(site *workload.WebsiteNode) dnssim.StatusFunc {
 	ent := faults.Entity("www:" + site.Host)
 	return func(now simnet.Time) dnssim.Status {
-		if ep, ok := w.tl.Active(ent, faults.AuthDNSMisconfig, now); probHit(w.rng, ep, ok) {
+		if ep, ok := w.tl.Active(ent, faults.AuthDNSMisconfig, now); hit(w.rng, ep, ok) {
 			if ep.Mode == workload.MisconfigNXDomain {
 				return dnssim.StatusNXDomain
 			}
 			return dnssim.StatusServFail
 		}
-		if ep, ok := w.tl.Active(ent, faults.AuthDNSOutage, now); probHit(w.rng, ep, ok) {
+		if ep, ok := w.tl.Active(ent, faults.AuthDNSOutage, now); hit(w.rng, ep, ok) {
 			return dnssim.StatusDown
 		}
 		return dnssim.StatusUp
@@ -240,7 +224,7 @@ func (w *world) authStatus(site *workload.WebsiteNode) dnssim.StatusFunc {
 func (w *world) ldnsStatus(siteName string) dnssim.StatusFunc {
 	ent := faults.Entity("site:" + siteName)
 	return func(now simnet.Time) dnssim.Status {
-		if ep, ok := w.tl.Active(ent, faults.LDNSOutage, now); probHit(w.rng, ep, ok) {
+		if ep, ok := w.tl.Active(ent, faults.LDNSOutage, now); hit(w.rng, ep, ok) {
 			return dnssim.StatusDown
 		}
 		return dnssim.StatusUp
@@ -251,10 +235,10 @@ func (w *world) serverStatus(site *workload.WebsiteNode, addr netip.Addr) tcpsim
 	wwwEnt := faults.Entity("www:" + site.Host)
 	repEnt := faults.Entity("replica:" + addr.String())
 	return func(now simnet.Time) tcpsim.HostStatus {
-		if ep, ok := w.tl.Active(wwwEnt, faults.ServerOutage, now); probHit(w.rng, ep, ok) {
+		if ep, ok := w.tl.Active(wwwEnt, faults.ServerOutage, now); hit(w.rng, ep, ok) {
 			return tcpsim.HostDown
 		}
-		if ep, ok := w.tl.Active(repEnt, faults.ServerOutage, now); probHit(w.rng, ep, ok) {
+		if ep, ok := w.tl.Active(repEnt, faults.ServerOutage, now); hit(w.rng, ep, ok) {
 			return tcpsim.HostDown
 		}
 		return tcpsim.HostUp
@@ -264,7 +248,7 @@ func (w *world) serverStatus(site *workload.WebsiteNode, addr netip.Addr) tcpsim
 func (w *world) appStatus(site *workload.WebsiteNode) httpsim.AppStatusFunc {
 	ent := faults.Entity("www:" + site.Host)
 	return func(now simnet.Time) httpsim.AppStatus {
-		if ep, ok := w.tl.Active(ent, faults.ServerOverload, now); probHit(w.rng, ep, ok) {
+		if ep, ok := w.tl.Active(ent, faults.ServerOverload, now); hit(w.rng, ep, ok) {
 			switch ep.Mode {
 			case workload.OverloadStall:
 				return httpsim.AppStatus{Mode: httpsim.AppStall}
@@ -274,7 +258,7 @@ func (w *world) appStatus(site *workload.WebsiteNode) httpsim.AppStatusFunc {
 				return httpsim.AppStatus{Mode: httpsim.AppHung}
 			}
 		}
-		if ep, ok := w.tl.Active(ent, faults.ServerHTTPError, now); probHit(w.rng, ep, ok) {
+		if ep, ok := w.tl.Active(ent, faults.ServerHTTPError, now); hit(w.rng, ep, ok) {
 			return httpsim.AppStatus{Mode: httpsim.AppError, Code: 503}
 		}
 		return httpsim.AppStatus{Mode: httpsim.AppOK}

@@ -56,7 +56,7 @@ func TestSerialParallelEquivalence(t *testing.T) {
 	if err := measure.Run(cfg, func(r *measure.Record) { serial.Add(r) }); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	if serial.TotalTxns == 0 || serial.TotalFails == 0 {
+	if serial.TotalTxns() == 0 || serial.TotalFails() == 0 {
 		t.Fatalf("degenerate fixture: %s", serial)
 	}
 	serialPairs := serial.PermanentPairs(0.9)

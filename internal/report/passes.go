@@ -1,0 +1,42 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"webfail/internal/core"
+)
+
+// PassesFor resolves a report selection to the analyzer passes its
+// artifacts require, in canonical order. An empty selection (or one
+// with no true entries) means every artifact, matching Run's
+// "empty = everything" semantics. Unknown artifact names error.
+func PassesFor(sel map[string]bool) ([]core.PassName, error) {
+	names := make([]string, 0, len(sel))
+	for name, on := range sel {
+		if on {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		names = knownArtifacts
+	}
+	need := map[core.PassName]bool{}
+	for _, name := range names {
+		passes := core.PassesForArtifact(name)
+		if len(passes) == 0 {
+			return nil, fmt.Errorf("report: unknown artifact %q (known: %v)", name, knownArtifacts)
+		}
+		for _, p := range passes {
+			need[p] = true
+		}
+	}
+	out := make([]core.PassName, 0, len(need))
+	for _, p := range core.AllPasses() {
+		if need[p] {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"webfail/internal/core"
+	"webfail/internal/measure"
+	"webfail/internal/simnet"
+	"webfail/internal/workload"
+)
+
+// TestArtifactPassRegistry checks the report/core contract: every
+// artifact the Reporter can render resolves to a non-empty analyzer
+// pass set, and the core registry knows exactly the Reporter's
+// artifact names — no orphans on either side.
+func TestArtifactPassRegistry(t *testing.T) {
+	known := KnownArtifacts()
+	for _, name := range known {
+		passes := core.PassesForArtifact(name)
+		if len(passes) == 0 {
+			t.Errorf("artifact %q resolves to no analyzer passes", name)
+		}
+		sel, err := PassesFor(map[string]bool{name: true})
+		if err != nil {
+			t.Errorf("PassesFor(%q): %v", name, err)
+		}
+		if len(sel) == 0 {
+			t.Errorf("PassesFor(%q) returned no passes", name)
+		}
+	}
+
+	reg := core.RegisteredArtifacts()
+	regSet := map[string]bool{}
+	for _, name := range reg {
+		regSet[name] = true
+	}
+	for _, name := range known {
+		if !regSet[name] {
+			t.Errorf("reporter artifact %q missing from core registry", name)
+		}
+	}
+	knownSet := map[string]bool{}
+	for _, name := range known {
+		knownSet[name] = true
+	}
+	for _, name := range reg {
+		if !knownSet[name] {
+			t.Errorf("core registry artifact %q unknown to the reporter", name)
+		}
+	}
+}
+
+func TestPassesForErrors(t *testing.T) {
+	if _, err := PassesFor(map[string]bool{"table99": true}); err == nil {
+		t.Error("PassesFor(table99) should error")
+	}
+	// Empty selection means everything: the full pass set.
+	all, err := PassesFor(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(core.AllPasses()) {
+		t.Errorf("PassesFor(nil) = %v, want all passes %v", all, core.AllPasses())
+	}
+}
+
+// TestSelectiveMatchesFull is the end-to-end guarantee behind
+// -artifacts: for every artifact, an accumulator built with only that
+// artifact's passes renders byte-identical output to one built with
+// every pass, over the same record stream.
+func TestSelectiveMatchesFull(t *testing.T) {
+	topo := workload.NewScaledTopology(24, 16)
+	end := simnet.FromHours(24)
+	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(2005, 0, end))
+	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
+
+	var recs []measure.Record
+	full := core.NewAnalysis(topo, 0, end)
+	err := measure.Run(cfg, func(r *measure.Record) {
+		recs = append(recs, *r)
+		full.Add(r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range KnownArtifacts() {
+		sel := map[string]bool{name: true}
+		passes, err := PassesFor(sel)
+		if err != nil {
+			t.Fatalf("PassesFor(%q): %v", name, err)
+		}
+		partial := core.NewAnalysisSelected(topo, 0, end, passes...)
+		for i := range recs {
+			partial.Add(&recs[i])
+		}
+
+		var wantBuf, gotBuf strings.Builder
+		(&Reporter{W: &wantBuf, A: full, Topo: topo, Sc: sc, Seed: 2005}).Run(sel)
+		(&Reporter{W: &gotBuf, A: partial, Topo: topo, Sc: sc, Seed: 2005}).Run(sel)
+		if gotBuf.String() != wantBuf.String() {
+			t.Errorf("artifact %q: selective run (passes %v) differs from full run", name, passes)
+		}
+	}
+}

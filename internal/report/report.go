@@ -222,7 +222,7 @@ func (r *Reporter) table6() {
 		coal += s.Coalesced
 	}
 	fmt.Fprintf(r.W, "totals: %d episode-hours (paper 2732), %d coalesced (473), mean duration %.2fh (5.78h)\n",
-		total, coal, float64(total)/float64(maxInt(coal, 1)))
+		total, coal, float64(total)/float64(max(coal, 1)))
 	fmt.Fprintf(r.W, "servers with >=1 episode: %d (paper 56 of 80); with multiple: %d (39)\n", one, multi)
 	fmt.Fprintln(r.W, "paper top: sina.com.cn 764 (78.4%), iitb.ac.in 759 (85.1%), sohu.com 243 (72.4%), craigslist.org 166 (70.9%)")
 }
@@ -295,7 +295,7 @@ func (r *Reporter) bgp(show5, show6, show7 bool) {
 		fmt.Fprintf(r.W, "collector resets cleaned: %d hour(s)\n", len(resets))
 		fmt.Fprintf(r.W, ">=70-neighbor instability: %d prefix-hours of %d (%.3f%%; paper 111, <0.08%%)\n",
 			len(corr.Severe70), corr.TotalPrefixHours,
-			100*float64(len(corr.Severe70))/float64(maxI64(corr.TotalPrefixHours, 1)))
+			100*float64(len(corr.Severe70))/float64(max(corr.TotalPrefixHours, 1)))
 		fmt.Fprintf(r.W, "  failure rate >5%% in %.0f%% of them (paper >80%%)\n", 100*core.FractionAbove(corr.Severe70, 0.05))
 		fmt.Fprintf(r.W, ">=50 neighbors & >=75 withdrawals: %d prefix-hours (paper 32)\n", len(corr.Severe50x75))
 		fmt.Fprintf(r.W, "  failure rate >10%% in %.0f%% (paper ~80%%), >20%% in %.0f%% (paper ~50%%)\n",
@@ -377,20 +377,6 @@ func (r *Reporter) headlines() {
 		100*gt.ServerPrecision, 100*gt.ServerRecall, 100*gt.ClientPrecision, 100*gt.ClientRecall, gt.Total)
 	tp, fn, fp := r.A.DetectedPermanentBlocks(pairs, r.Sc, r.Topo)
 	fmt.Fprintf(r.W, "permanent-pair detection vs injected blocks: %d correct, %d missed, %d spurious\n", tp, fn, fp)
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Selection names the artifacts Run can render.

@@ -2,8 +2,11 @@
 # Tier-1 verify: formatting, build, vet, full test suite, then the
 # serial/parallel equivalence tests under the race detector (scoped to
 # the packages exercising the sharded runner, the merge, and the
-# sharded dataset ingest, to keep CI time bounded), and the dataset
-# backward-compatibility gate against the checked-in v1 fixture.
+# sharded dataset ingest, to keep CI time bounded), the dataset
+# backward-compatibility gate against the checked-in v1 fixture, the
+# golden-stdout gate on webfail-analyze (byte-identity of the pass
+# refactor across -parallel values), and the selective-vs-full
+# analyzer-pass equivalence under the race detector.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -15,3 +18,5 @@ go test ./...
 go test -race -run 'TestSerialParallelEquivalence|TestRunParallelShardClamp|TestMerge|TestShardedSaveEquivalence|TestDatasetV2ParallelStreams' \
     ./internal/measure ./internal/core ./internal/dataset
 go test -run 'TestDatasetV1Compat' ./internal/dataset
+go test -run 'TestGolden' ./cmd/webfail-analyze
+go test -race -run 'TestSelectiveMatchesFull|TestArtifactPassRegistry' ./internal/report
