@@ -8,6 +8,7 @@
 // Usage:
 //
 //	webfail-analyze -in dataset.bin [-top N] [-parallel N] [-artifacts LIST]
+//	                [-cpuprofile PATH] [-memprofile PATH]
 //
 // The ingest into the core analysis accumulator is sharded across
 // -parallel workers: each worker opens only the dataset chunks
@@ -29,6 +30,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -57,11 +59,41 @@ func run(args []string, stdout, stderr io.Writer) error {
 	top := fs.Int("top", 10, "rows in top-N listings")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "ingest worker shards (1 = serial)")
 	artifacts := fs.String("artifacts", "", `comma-separated report artifacts to render ("all" = everything)`)
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this path")
+	memProf := fs.String("memprofile", "", "write a heap profile to this path at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("-in is required")
+	}
+	if *cpuProf != "" {
+		pf, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			pf.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			pf, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(stderr, "webfail-analyze: memprofile:", err)
+				return
+			}
+			defer pf.Close()
+			runtime.GC() // settle allocation statistics before the snapshot
+			if err := pprof.WriteHeapProfile(pf); err != nil {
+				fmt.Fprintln(stderr, "webfail-analyze: memprofile:", err)
+			}
+		}()
 	}
 	sel := parseArtifacts(*artifacts)
 	f, err := os.Open(*in)

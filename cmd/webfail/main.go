@@ -16,6 +16,8 @@
 //	-artifacts LIST  comma-separated selection, e.g. "table3,fig5,headlines"
 //	             (default: everything); -only is an alias
 //	-save PATH   stream the failure dataset to PATH (v2 chunked format)
+//	-cpuprofile PATH  write a runtime/pprof CPU profile of the run
+//	-memprofile PATH  write a heap profile at exit
 //
 // The output prints each reproduced artifact next to the paper's
 // published value.
@@ -26,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -49,8 +52,25 @@ func main() {
 		artifacts = flag.String("artifacts", "", "comma-separated artifacts (table1..table9, fig1..fig7, replicas, headlines)")
 		only      = flag.String("only", "", "alias for -artifacts")
 		savePath  = flag.String("save", "", "write failure dataset to this path")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this path at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer writeMemProfile(*memProf)
 
 	sel := map[string]bool{}
 	for _, s := range strings.Split(*artifacts+","+*only, ",") {
@@ -191,6 +211,23 @@ func runFastSharded(cfg measure.Config, shards int, topo *workload.Topology, a *
 		}
 	}
 	return nil
+}
+
+// writeMemProfile dumps the heap profile at exit when -memprofile is set
+// (profiles are skipped when the process exits through fatalf).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("memprofile: %v", err)
+	}
+	defer f.Close()
+	runtime.GC() // settle allocation statistics before the snapshot
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatalf("memprofile: %v", err)
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -87,11 +87,25 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
+// numKinds bounds the Kind space for the per-kind episode index built at
+// Freeze time.
+const numKinds = int(ClientMachineOff) + 1
+
 // Entity names the thing an episode applies to. Conventional prefixes:
 // "client:", "site:" (client site / LDNS scope), "www:" (website),
 // "replica:" (server IP), "prefix:", and "pair:client|www" for permanent
 // blocks.
 type Entity string
+
+// EntityID is a dense integer handle for an Entity, assigned by Freeze in
+// sorted entity order. Hot paths resolve entities to IDs once (Lookup) and
+// then query with ActiveID/ActiveAnyIntoID, which index arrays instead of
+// hashing strings.
+type EntityID int32
+
+// NoEntity is returned by Lookup for entities with no episodes. Queries
+// against it report no active episode.
+const NoEntity EntityID = -1
 
 // PairEntity builds the entity key for a client-site×website pair.
 func PairEntity(clientSite, website string) Entity {
@@ -124,11 +138,26 @@ func (e Episode) Contains(t simnet.Time) bool { return t >= e.Start && t < e.End
 
 // Timeline stores episodes indexed by entity, supporting fast
 // point-in-time queries. Build with Add calls, then call Freeze once
-// before querying (Add after Freeze panics).
+// before querying (Add after Freeze panics). Freeze also interns every
+// entity into a dense EntityID and builds a per-(entity, kind) episode
+// index, so steady-state queries through Lookup + ActiveID cost two array
+// indexings and a binary search — no string hashing, no kind-filter scan.
 type Timeline struct {
 	byEntity map[Entity][]Episode
 	maxDur   map[Entity]time.Duration
 	frozen   bool
+
+	// Interned index, built by Freeze. entities doubles as the cached
+	// result of Entities(). kindEps/kindMax are flattened
+	// [entity x kind] tables indexed by int(id)*numKinds + int(kind);
+	// eps/epsMax are the per-entity all-kind views used by the
+	// ActiveAny family.
+	ids      map[Entity]EntityID
+	entities []Entity
+	eps      [][]Episode
+	epsMax   []time.Duration
+	kindEps  [][]Episode
+	kindMax  []time.Duration
 }
 
 // NewTimeline creates an empty timeline.
@@ -147,68 +176,159 @@ func (t *Timeline) Add(ep Episode) {
 	if ep.Severity <= 0 || ep.Severity > 1 {
 		panic(fmt.Sprintf("faults: episode severity %v out of (0,1]", ep.Severity))
 	}
+	if int(ep.Kind) >= numKinds {
+		panic(fmt.Sprintf("faults: unknown kind %d", ep.Kind))
+	}
 	t.byEntity[ep.Entity] = append(t.byEntity[ep.Entity], ep)
 	if ep.Duration > t.maxDur[ep.Entity] {
 		t.maxDur[ep.Entity] = ep.Duration
 	}
 }
 
-// Freeze sorts the timeline for querying. The sort is stable so episodes
-// sharing a Start keep their (deterministic) insertion order; an unstable
-// sort would make scan's visit order — and thus any severity ties resolved
-// by it — vary run to run.
+// Freeze sorts the timeline for querying and builds the interned index.
+// The sort is stable so episodes sharing a Start keep their
+// (deterministic) insertion order; an unstable sort would make the visit
+// order — and thus any severity ties resolved by it — vary run to run.
+// EntityIDs are assigned in sorted entity order, so two timelines holding
+// the same entity set intern identically.
 func (t *Timeline) Freeze() {
 	for _, eps := range t.byEntity {
 		sort.SliceStable(eps, func(i, j int) bool { return eps[i].Start < eps[j].Start })
 	}
+	t.entities = make([]Entity, 0, len(t.byEntity))
+	for e := range t.byEntity {
+		t.entities = append(t.entities, e)
+	}
+	sort.Slice(t.entities, func(i, j int) bool { return t.entities[i] < t.entities[j] })
+	t.ids = make(map[Entity]EntityID, len(t.entities))
+	t.eps = make([][]Episode, len(t.entities))
+	t.epsMax = make([]time.Duration, len(t.entities))
+	t.kindEps = make([][]Episode, len(t.entities)*numKinds)
+	t.kindMax = make([]time.Duration, len(t.entities)*numKinds)
+	for id, e := range t.entities {
+		t.ids[e] = EntityID(id)
+		eps := t.byEntity[e]
+		t.eps[id] = eps
+		t.epsMax[id] = t.maxDur[e]
+		for _, ep := range eps {
+			idx := id*numKinds + int(ep.Kind)
+			t.kindEps[idx] = append(t.kindEps[idx], ep)
+			if ep.Duration > t.kindMax[idx] {
+				t.kindMax[idx] = ep.Duration
+			}
+		}
+	}
 	t.frozen = true
 }
 
+// Lookup resolves an entity to its interned ID, or NoEntity when the
+// entity has no episodes. Resolve once outside hot loops, then query with
+// ActiveID / ActiveAnyIntoID.
+func (t *Timeline) Lookup(e Entity) EntityID {
+	if !t.frozen {
+		panic("faults: query before Freeze")
+	}
+	if id, ok := t.ids[e]; ok {
+		return id
+	}
+	return NoEntity
+}
+
 // Active returns the most severe episode of the given kind covering
-// instant at for the entity, and whether one exists.
+// instant at for the entity, and whether one exists. It is a thin wrapper
+// over the interned path; hot loops should use Lookup + ActiveID.
 func (t *Timeline) Active(e Entity, kind Kind, at simnet.Time) (Episode, bool) {
+	return t.ActiveID(t.Lookup(e), kind, at)
+}
+
+// ActiveID is the interned-handle form of Active: two array indexings plus
+// a binary search, no string hashing, no allocation. Querying NoEntity
+// reports no episode.
+func (t *Timeline) ActiveID(id EntityID, kind Kind, at simnet.Time) (Episode, bool) {
+	if !t.frozen {
+		panic("faults: query before Freeze")
+	}
+	if id < 0 || int(kind) >= numKinds {
+		return Episode{}, false
+	}
+	idx := int(id)*numKinds + int(kind)
+	eps := t.kindEps[idx]
+	if len(eps) == 0 {
+		return Episode{}, false
+	}
+	// Episodes with Start in (at-maxDur, at] can contain at.
+	i := searchAfter(eps, at.Add(-t.kindMax[idx])-1)
 	var best Episode
 	found := false
-	t.scan(e, at, func(ep Episode) {
-		if ep.Kind == kind && (!found || ep.Severity > best.Severity) {
-			best = ep
+	for ; i < len(eps) && eps[i].Start <= at; i++ {
+		if eps[i].Contains(at) && (!found || eps[i].Severity > best.Severity) {
+			best = eps[i]
 			found = true
 		}
-	})
+	}
 	return best, found
 }
 
 // ActiveAny returns all episodes (any kind) covering instant at.
 func (t *Timeline) ActiveAny(e Entity, at simnet.Time) []Episode {
-	var out []Episode
-	t.scan(e, at, func(ep Episode) { out = append(out, ep) })
-	return out
+	return t.ActiveAnyInto(e, at, nil)
 }
 
-// scan visits every episode of e containing at.
-func (t *Timeline) scan(e Entity, at simnet.Time, visit func(Episode)) {
+// ActiveAnyInto appends every episode (any kind) covering instant at to
+// buf and returns the extended slice. Passing a reused buf[:0] makes the
+// query allocation-free in steady state.
+func (t *Timeline) ActiveAnyInto(e Entity, at simnet.Time, buf []Episode) []Episode {
+	return t.ActiveAnyIntoID(t.Lookup(e), at, buf)
+}
+
+// ActiveAnyIntoID is the interned-handle form of ActiveAnyInto. Episodes
+// are appended in start-sorted (insertion-stable) order, the same order
+// Active resolves severity ties in.
+func (t *Timeline) ActiveAnyIntoID(id EntityID, at simnet.Time, buf []Episode) []Episode {
 	if !t.frozen {
 		panic("faults: query before Freeze")
 	}
-	eps := t.byEntity[e]
-	if len(eps) == 0 {
-		return
+	if id < 0 {
+		return buf
 	}
-	// Episodes with Start in (at-maxDur, at] can contain at.
-	lo := at.Add(-t.maxDur[e]) - 1
-	i := sort.Search(len(eps), func(i int) bool { return eps[i].Start > lo })
+	eps := t.eps[id]
+	if len(eps) == 0 {
+		return buf
+	}
+	i := searchAfter(eps, at.Add(-t.epsMax[id])-1)
 	for ; i < len(eps) && eps[i].Start <= at; i++ {
 		if eps[i].Contains(at) {
-			visit(eps[i])
+			buf = append(buf, eps[i])
 		}
 	}
+	return buf
+}
+
+// searchAfter returns the first index in the start-sorted eps whose Start
+// exceeds lo (hand-rolled binary search: closure-free for the hot path).
+func searchAfter(eps []Episode, lo simnet.Time) int {
+	i, j := 0, len(eps)
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		if eps[h].Start <= lo {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
+	return i
 }
 
 // Episodes returns the entity's episodes (sorted once frozen).
 func (t *Timeline) Episodes(e Entity) []Episode { return t.byEntity[e] }
 
 // Entities returns all entity names with at least one episode, sorted.
+// Once frozen, the slice is computed exactly once (at Freeze) and shared —
+// callers must not mutate it.
 func (t *Timeline) Entities() []Entity {
+	if t.frozen {
+		return t.entities
+	}
 	out := make([]Entity, 0, len(t.byEntity))
 	for e := range t.byEntity {
 		out = append(out, e)

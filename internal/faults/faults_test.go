@@ -201,6 +201,127 @@ func TestKindStrings(t *testing.T) {
 	}
 }
 
+func TestLookupUnknownEntity(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add(Episode{Entity: "known", Kind: PathOutage, Start: hour(1), Duration: time.Hour, Severity: 1})
+	tl.Freeze()
+	if id := tl.Lookup("absent"); id != NoEntity {
+		t.Errorf("Lookup(absent) = %d, want NoEntity", id)
+	}
+	if _, ok := tl.ActiveID(NoEntity, PathOutage, hour(1)); ok {
+		t.Error("ActiveID(NoEntity) reported an episode")
+	}
+	if got := tl.ActiveAnyIntoID(NoEntity, hour(1), nil); got != nil {
+		t.Errorf("ActiveAnyIntoID(NoEntity) = %v, want nil", got)
+	}
+	// Out-of-range kinds are rejected, not indexed.
+	id := tl.Lookup("known")
+	if _, ok := tl.ActiveID(id, Kind(200), hour(1)); ok {
+		t.Error("ActiveID with out-of-range kind reported an episode")
+	}
+}
+
+func TestEntityIDStability(t *testing.T) {
+	// IDs are assigned in sorted-entity order at Freeze, so two timelines
+	// built from the same entity set — regardless of insertion order —
+	// intern every entity to the same handle.
+	build := func(order []Entity) *Timeline {
+		tl := NewTimeline()
+		for _, e := range order {
+			tl.Add(Episode{Entity: e, Kind: ServerOutage, Start: hour(1), Duration: time.Hour, Severity: 1})
+		}
+		tl.Freeze()
+		return tl
+	}
+	ents := []Entity{"www:x", "client:a", "pair:a|x", "ldns:a", "prefix:1.2.3.0/24"}
+	rev := make([]Entity, len(ents))
+	for i, e := range ents {
+		rev[len(ents)-1-i] = e
+	}
+	a, b := build(ents), build(rev)
+	for _, e := range ents {
+		if a.Lookup(e) != b.Lookup(e) {
+			t.Errorf("entity %q: id %d vs %d across insertion orders", e, a.Lookup(e), b.Lookup(e))
+		}
+	}
+	// And the handles are dense: exactly len(ents) distinct IDs in [0, n).
+	seen := map[EntityID]bool{}
+	for _, e := range ents {
+		id := a.Lookup(e)
+		if id < 0 || int(id) >= len(ents) || seen[id] {
+			t.Errorf("entity %q: id %d not dense/unique", e, id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestActiveIDMatchesActive(t *testing.T) {
+	// Property: over randomized timelines, the interned path returns
+	// exactly what the string-keyed wrapper returns, for every entity,
+	// kind, and query instant.
+	entities := []Entity{"a", "b", "c"}
+	kinds := []Kind{ClientConnectivity, PathOutage, ServerOutage, BGPInstability}
+	f := func(seed int64, queries []uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tl := NewTimeline()
+		n := 5 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			tl.Add(Episode{
+				Entity:   entities[rng.Intn(len(entities))],
+				Kind:     kinds[rng.Intn(len(kinds))],
+				Start:    simnet.Time(rng.Intn(5000)) * simnet.Time(time.Minute),
+				Duration: time.Duration(1+rng.Intn(600)) * time.Minute,
+				Severity: 0.1 + 0.9*rng.Float64(),
+			})
+		}
+		tl.Freeze()
+		for _, q := range queries {
+			at := simnet.Time(q) * simnet.Time(time.Minute)
+			for _, e := range entities {
+				id := tl.Lookup(e)
+				for _, k := range kinds {
+					wantEp, wantOK := tl.Active(e, k, at)
+					gotEp, gotOK := tl.ActiveID(id, k, at)
+					if wantOK != gotOK || wantEp != gotEp {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestActiveAnyIntoEquivalence(t *testing.T) {
+	tl := NewTimeline()
+	for i := int64(0); i < 20; i++ {
+		tl.Add(Episode{Entity: "e", Kind: Kind(i % 4), Start: hour(i % 7), Duration: 3 * time.Hour, Severity: 1})
+	}
+	tl.Freeze()
+	buf := make([]Episode, 0, 4)
+	for h := int64(0); h < 12; h++ {
+		want := tl.ActiveAny("e", hour(h))
+		buf = tl.ActiveAnyInto("e", hour(h), buf[:0])
+		if len(buf) != len(want) {
+			t.Fatalf("hour %d: ActiveAnyInto = %d episodes, ActiveAny = %d", h, len(buf), len(want))
+		}
+		for i := range buf {
+			if buf[i] != want[i] {
+				t.Fatalf("hour %d episode %d: %+v != %+v", h, i, buf[i], want[i])
+			}
+		}
+	}
+	// Append semantics: existing buf contents are preserved.
+	sentinel := Episode{Entity: "sentinel", Kind: PathOutage, Start: hour(999), Duration: time.Hour, Severity: 1}
+	got := tl.ActiveAnyInto("e", hour(1), []Episode{sentinel})
+	if len(got) == 0 || got[0] != sentinel {
+		t.Error("ActiveAnyInto clobbered the existing buffer prefix")
+	}
+}
+
 func TestActivePropertyConsistency(t *testing.T) {
 	// Active(e,k,t) agrees with a brute-force scan over all episodes.
 	f := func(starts []uint16, durs []uint8, query uint16) bool {

@@ -1,0 +1,42 @@
+package measure
+
+import (
+	"testing"
+
+	"webfail/internal/workload"
+)
+
+// TestEvaluateZeroAllocs is the allocation-regression gate for the
+// fast-mode hot path: after warm-up (scratch buffers grown to the
+// fixture's worst case), evaluate must perform zero heap allocations per
+// transaction. The fixture is a full default scenario — permanent pairs,
+// chronic servers, replica rotation, and BGP episodes all exercised — so
+// a reintroduced per-transaction map or slice shows up here before it
+// shows up in a month-scale wall clock.
+func TestEvaluateZeroAllocs(t *testing.T) {
+	cfg := smallConfig(t, 20, 0, 6, 7) // all 80 sites: multi-replica + CDN + proxied paths
+	ev := newEvaluator(cfg)
+
+	var txs []workload.Transaction
+	workload.ForEachTransaction(cfg.Topo, cfg.Seed, cfg.Start, cfg.End, func(tx *workload.Transaction) {
+		txs = append(txs, *tx)
+	})
+	if len(txs) == 0 {
+		t.Fatal("empty schedule")
+	}
+
+	var rec Record
+	// Warm-up: one pass over every transaction grows each scratch buffer
+	// to its steady-state capacity.
+	for i := range txs {
+		ev.evaluate(&txs[i], &rec)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(2000, func() {
+		ev.evaluate(&txs[i%len(txs)], &rec)
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("evaluate allocates %.3f times per transaction, want 0", avg)
+	}
+}

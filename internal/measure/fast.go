@@ -21,8 +21,11 @@ func Run(cfg Config, visit func(*Record)) error {
 		return err
 	}
 	ev := newEvaluator(cfg)
+	// One Record reused across transactions: visit must not retain the
+	// pointer, and evaluate fully overwrites it, so the hot loop stays
+	// allocation-free.
+	var rec Record
 	workload.ForEachTransaction(cfg.Topo, cfg.Seed, cfg.Start, cfg.End, func(tx *workload.Transaction) {
-		var rec Record
 		if ev.evaluate(tx, &rec) {
 			visit(&rec)
 		}
@@ -30,7 +33,10 @@ func Run(cfg Config, visit func(*Record)) error {
 	return nil
 }
 
-// evaluator holds the per-run state of fast-mode evaluation.
+// evaluator holds the per-run state of fast-mode evaluation. Entities are
+// resolved to interned faults.EntityID handles once at construction, and
+// the scratch buffers below are reused across transactions, so evaluate
+// performs zero heap allocations in steady state.
 type evaluator struct {
 	cfg  Config
 	topo *workload.Topology
@@ -39,53 +45,83 @@ type evaluator struct {
 	// clients' draws.
 	rngs []*rand.Rand
 
-	clientEnt []faults.Entity
-	siteEnt   []faults.Entity
-	wwwEnt    []faults.Entity
-	pairEnt   map[[2]int32]faults.Entity
-	prefixEnt map[netip.Prefix]faults.Entity
-	repEnt    map[netip.Addr]faults.Entity
+	clientID []faults.EntityID // client:<name>, by client index
+	siteID   []faults.EntityID // site:<site>, by client index
+	cliPfxID []faults.EntityID // prefix:<client prefix>, by client index
+	wwwID    []faults.EntityID // www:<host>, by website index
+	pairID   map[[2]int32]faults.EntityID
+	sites    []siteFaultIDs // by website index
 
 	// quality is the per-client site-flakiness multiplier; it scales
 	// background loss and transient failures so flaky sites show both
 	// (the weak loss/failure correlation of Section 4.1.3).
 	quality []float64
+
+	// Per-evaluator scratch, reused across transactions (the evaluator
+	// is single-goroutine; RunParallel builds one per shard).
+	addrBuf []netip.Addr      // rotated replica list
+	pfxBuf  []faults.EntityID // prefix entities touched by one transaction
+	epBuf   []faults.Episode  // ActiveAnyIntoID target
+	// repDownGen is the generation-counted "replica down" set replacing
+	// a per-transaction map: position k (in rotated address order) is
+	// down iff repDownGen[k] == gen for the current transaction.
+	repDownGen []uint64
+	gen        uint64
+}
+
+// siteFaultIDs carries one website's per-replica interned handles, indexed
+// like WebsiteNode.ReplicaAddrs.
+type siteFaultIDs struct {
+	repID  []faults.EntityID // replica:<addr>
+	repPfx []faults.EntityID // prefix containing the addr (NoEntity if none)
 }
 
 func newEvaluator(cfg Config) *evaluator {
 	topo := cfg.Topo
+	tl := cfg.Scenario.Timeline
 	ev := &evaluator{
-		cfg:       cfg,
-		topo:      topo,
-		tl:        cfg.Scenario.Timeline,
-		rngs:      make([]*rand.Rand, len(topo.Clients)),
-		clientEnt: make([]faults.Entity, len(topo.Clients)),
-		siteEnt:   make([]faults.Entity, len(topo.Clients)),
-		wwwEnt:    make([]faults.Entity, len(topo.Websites)),
-		pairEnt:   make(map[[2]int32]faults.Entity),
-		prefixEnt: make(map[netip.Prefix]faults.Entity),
-		repEnt:    make(map[netip.Addr]faults.Entity),
+		cfg:      cfg,
+		topo:     topo,
+		tl:       tl,
+		rngs:     make([]*rand.Rand, len(topo.Clients)),
+		clientID: make([]faults.EntityID, len(topo.Clients)),
+		siteID:   make([]faults.EntityID, len(topo.Clients)),
+		cliPfxID: make([]faults.EntityID, len(topo.Clients)),
+		wwwID:    make([]faults.EntityID, len(topo.Websites)),
+		pairID:   make(map[[2]int32]faults.EntityID),
+		sites:    make([]siteFaultIDs, len(topo.Websites)),
 	}
 	ev.quality = make([]float64, len(topo.Clients))
 	for i := range topo.Clients {
+		c := &topo.Clients[i]
 		ev.rngs[i] = rand.New(rand.NewSource(cfg.Seed ^ 0x5b5e1ca7 ^ int64(i)*0x100000001b3))
-		ev.clientEnt[i] = faults.Entity("client:" + topo.Clients[i].Name)
-		ev.siteEnt[i] = faults.Entity("site:" + topo.Clients[i].Site)
-		ev.prefixEnt[topo.Clients[i].Prefix] = faults.Entity("prefix:" + topo.Clients[i].Prefix.String())
+		ev.clientID[i] = tl.Lookup(faults.Entity("client:" + c.Name))
+		ev.siteID[i] = tl.Lookup(faults.Entity("site:" + c.Site))
+		ev.cliPfxID[i] = tl.Lookup(faults.Entity("prefix:" + c.Prefix.String()))
 		q := 1.0
-		if f, ok := cfg.Scenario.SiteQuality[topo.Clients[i].Site]; ok {
+		if f, ok := cfg.Scenario.SiteQuality[c.Site]; ok {
 			q = f
 		}
 		ev.quality[i] = q
 	}
+	maxRep := 1
 	for j := range topo.Websites {
 		w := &topo.Websites[j]
-		ev.wwwEnt[j] = faults.Entity("www:" + w.Host)
-		for _, p := range w.Prefixes {
-			ev.prefixEnt[p] = faults.Entity("prefix:" + p.String())
+		ev.wwwID[j] = tl.Lookup(faults.Entity("www:" + w.Host))
+		sf := siteFaultIDs{
+			repID:  make([]faults.EntityID, len(w.ReplicaAddrs)),
+			repPfx: make([]faults.EntityID, len(w.ReplicaAddrs)),
 		}
-		for _, ra := range w.ReplicaAddrs {
-			ev.repEnt[ra] = faults.Entity("replica:" + ra.String())
+		for k, ra := range w.ReplicaAddrs {
+			sf.repID[k] = tl.Lookup(faults.Entity("replica:" + ra.String()))
+			sf.repPfx[k] = faults.NoEntity
+			if pfx := prefixOf(w, ra); pfx.IsValid() {
+				sf.repPfx[k] = tl.Lookup(faults.Entity("prefix:" + pfx.String()))
+			}
+		}
+		ev.sites[j] = sf
+		if len(w.ReplicaAddrs) > maxRep {
+			maxRep = len(w.ReplicaAddrs)
 		}
 	}
 	for _, pair := range cfg.Scenario.PermanentPairs {
@@ -96,10 +132,14 @@ func newEvaluator(cfg Config) *evaluator {
 		}
 		for i := range topo.Clients {
 			if topo.Clients[i].Site == site {
-				ev.pairEnt[[2]int32{int32(i), int32(wIdx)}] = faults.PairEntity(site, host)
+				ev.pairID[[2]int32{int32(i), int32(wIdx)}] = tl.Lookup(faults.PairEntity(site, host))
 			}
 		}
 	}
+	ev.addrBuf = make([]netip.Addr, 0, maxRep)
+	ev.pfxBuf = make([]faults.EntityID, 0, maxRep+1)
+	ev.epBuf = make([]faults.Episode, 0, 8)
+	ev.repDownGen = make([]uint64, maxRep)
 	return ev
 }
 
@@ -139,7 +179,7 @@ func (ev *evaluator) evaluate(tx *workload.Transaction, rec *Record) bool {
 	tl := ev.tl
 	at := tx.At
 
-	if _, off := tl.Active(ev.clientEnt[ci], faults.ClientMachineOff, at); off {
+	if _, off := tl.ActiveID(ev.clientID[ci], faults.ClientMachineOff, at); off {
 		return false
 	}
 
@@ -152,8 +192,8 @@ func (ev *evaluator) evaluate(tx *workload.Transaction, rec *Record) bool {
 	}
 
 	// --- Client-side connectivity state (used by both DNS and TCP). ---
-	siteConn, siteConnOK := tl.Active(ev.siteEnt[ci], faults.ClientConnectivity, at)
-	cliConn, cliConnOK := tl.Active(ev.clientEnt[ci], faults.ClientConnectivity, at)
+	siteConn, siteConnOK := tl.ActiveID(ev.siteID[ci], faults.ClientConnectivity, at)
+	cliConn, cliConnOK := tl.ActiveID(ev.clientID[ci], faults.ClientConnectivity, at)
 	connectivityDown := hit(rng, siteConn, siteConnOK) || hit(rng, cliConn, cliConnOK)
 
 	// --- DNS phase (direct clients only; the proxy resolves for CN). ---
@@ -179,10 +219,10 @@ func (ev *evaluator) evaluate(tx *workload.Transaction, rec *Record) bool {
 	}
 
 	// --- Replica selection. ---
-	addrs := ev.replicaAddrs(rng, w)
+	addrs, off := ev.replicaAddrs(rng, w)
 
 	// --- TCP/HTTP phase. ---
-	ev.download(rng, rec, c, w, addrs, at, connectivityDown)
+	ev.download(rng, rec, c, w, addrs, off, at, connectivityDown)
 	return true
 }
 
@@ -199,16 +239,16 @@ func (ev *evaluator) resolveDNS(rng *rand.Rand, ci, si int, at simnet.Time, conn
 		return DNSLDNSTimeout, stubTimeoutTotal
 	}
 	// LDNS server trouble (site-scoped: co-located clients share it).
-	if ep, ok := tl.Active(ev.siteEnt[ci], faults.LDNSOutage, at); hit(rng, ep, ok) {
+	if ep, ok := tl.ActiveID(ev.siteID[ci], faults.LDNSOutage, at); hit(rng, ep, ok) {
 		return DNSLDNSTimeout, stubTimeoutTotal
 	}
 	// Authoritative DNS misconfiguration: definitive error response.
-	if ep, ok := tl.Active(ev.wwwEnt[si], faults.AuthDNSMisconfig, at); hit(rng, ep, ok) {
+	if ep, ok := tl.ActiveID(ev.wwwID[si], faults.AuthDNSMisconfig, at); hit(rng, ep, ok) {
 		return DNSErrorResponse, ev.sampleDNSTime(rng) + 50*time.Millisecond
 	}
 	// Authoritative DNS unreachable: the LDNS keeps retrying past the
 	// stub's patience — a non-LDNS timeout.
-	if ep, ok := tl.Active(ev.wwwEnt[si], faults.AuthDNSOutage, at); hit(rng, ep, ok) {
+	if ep, ok := tl.ActiveID(ev.wwwID[si], faults.AuthDNSOutage, at); hit(rng, ep, ok) {
 		return DNSNonLDNSTimeout, stubTimeoutTotal
 	}
 	// Transient lookup failures, split toward the LDNS class as in
@@ -231,33 +271,40 @@ func (ev *evaluator) proxyDNSFails(rng *rand.Rand, si int, at simnet.Time) bool 
 	tl := ev.tl
 	// Only a hard authoritative outage that outlives the proxy cache
 	// TTL is visible; model as a strongly discounted probability.
-	if ep, ok := tl.Active(ev.wwwEnt[si], faults.AuthDNSOutage, at); ok {
+	if ep, ok := tl.ActiveID(ev.wwwID[si], faults.AuthDNSOutage, at); ok {
 		return rng.Float64() < ep.Severity*0.15
 	}
-	if ep, ok := tl.Active(ev.wwwEnt[si], faults.AuthDNSMisconfig, at); ok {
+	if ep, ok := tl.ActiveID(ev.wwwID[si], faults.AuthDNSMisconfig, at); ok {
 		return rng.Float64() < ep.Severity*0.15
 	}
 	return false
 }
 
 // replicaAddrs resolves the address list a client's wget would try, in
-// order. Authoritative servers rotate multi-A answers round-robin (the
-// standard BIND behaviour), so the starting replica varies per lookup and
-// every replica carries a fair connection share — the premise of the
-// Section 4.5 replica census. CDN sites return one rotating pool address.
-func (ev *evaluator) replicaAddrs(rng *rand.Rand, w *workload.WebsiteNode) []netip.Addr {
+// order, reusing the evaluator's rotation scratch buffer. Authoritative
+// servers rotate multi-A answers round-robin (the standard BIND
+// behaviour), so the starting replica varies per lookup and every replica
+// carries a fair connection share — the premise of the Section 4.5 replica
+// census. CDN sites return one rotating pool address.
+//
+// The second result is the rotation offset: position k of the returned
+// list is w.ReplicaAddrs[(off+k) % len(w.ReplicaAddrs)], which is how the
+// download loop maps addresses back to the precomputed per-replica
+// handles. A CDN address has no replica identity and returns off = -1.
+func (ev *evaluator) replicaAddrs(rng *rand.Rand, w *workload.WebsiteNode) ([]netip.Addr, int) {
 	if len(w.ReplicaAddrs) == 0 {
-		return []netip.Addr{ev.topo.CDNPool[rng.Intn(len(ev.topo.CDNPool))]}
+		ev.addrBuf = append(ev.addrBuf[:0], ev.topo.CDNPool[rng.Intn(len(ev.topo.CDNPool))])
+		return ev.addrBuf, -1
 	}
 	n := len(w.ReplicaAddrs)
 	if n == 1 {
-		return w.ReplicaAddrs
+		return w.ReplicaAddrs, 0
 	}
 	off := rng.Intn(n)
-	out := make([]netip.Addr, 0, n)
-	out = append(out, w.ReplicaAddrs[off:]...)
+	out := append(ev.addrBuf[:0], w.ReplicaAddrs[off:]...)
 	out = append(out, w.ReplicaAddrs[:off]...)
-	return out
+	ev.addrBuf = out
+	return out, off
 }
 
 // download evaluates the TCP/HTTP phase, mirroring httpsim.Client's
@@ -269,7 +316,7 @@ func (ev *evaluator) replicaAddrs(rng *rand.Rand, w *workload.WebsiteNode) []net
 // span, so a flaky component that fails the first attempt fails the
 // retries too. (Per-attempt independence would make multi-replica sites
 // artificially immune to fractional-severity faults.)
-func (ev *evaluator) download(rng *rand.Rand, rec *Record, c *workload.ClientNode, w *workload.WebsiteNode, addrs []netip.Addr, at simnet.Time, connectivityDown bool) {
+func (ev *evaluator) download(rng *rand.Rand, rec *Record, c *workload.ClientNode, w *workload.WebsiteNode, addrs []netip.Addr, off int, at simnet.Time, connectivityDown bool) {
 	tl := ev.tl
 	p := &ev.cfg.Scenario.Params
 	const tries = 2
@@ -289,48 +336,55 @@ func (ev *evaluator) download(rng *rand.Rand, rec *Record, c *workload.ClientNod
 		overload     bool
 		overloadMode uint8
 		pathDown     = connectivityDown
-		replicaDown  map[netip.Addr]bool
 	)
+	// New generation: the replica-down set from the previous transaction
+	// expires without clearing anything.
+	ev.gen++
+	sf := &ev.sites[si]
 
-	if pairEnt, hasPair := ev.pairEnt[[2]int32{rec.ClientIdx, si}]; hasPair {
-		if ep, ok := tl.Active(pairEnt, faults.PermanentBlock, at); hit(rng, ep, ok) {
+	if pairID, hasPair := ev.pairID[[2]int32{rec.ClientIdx, si}]; hasPair {
+		if ep, ok := tl.ActiveID(pairID, faults.PermanentBlock, at); hit(rng, ep, ok) {
 			blocked = true
 			blockMode = ep.Mode
 		}
 	}
-	// BGP instability / path outages on either end's prefix.
-	prefixes := []netip.Prefix{c.Prefix}
-	for _, addr := range addrs {
-		if pfx := prefixOf(w, addr); pfx.IsValid() {
-			prefixes = append(prefixes, pfx)
-		}
-	}
-	for _, pfx := range prefixes {
-		ent, ok := ev.prefixEnt[pfx]
-		if !ok {
-			continue
-		}
-		if ep, active := tl.Active(ent, faults.BGPInstability, at); active && rng.Float64() < pathImpact(ep) {
-			pathDown = true
-		}
-		if ep, active := tl.Active(ent, faults.PathOutage, at); hit(rng, ep, active) {
-			pathDown = true
-		}
-	}
-	if ep, ok := tl.Active(ev.wwwEnt[si], faults.ServerOutage, at); hit(rng, ep, ok) {
-		wwwDown = true
-	}
-	for _, addr := range addrs {
-		if ent, ok := ev.repEnt[addr]; ok {
-			if ep, active := tl.Active(ent, faults.ServerOutage, at); hit(rng, ep, active) {
-				if replicaDown == nil {
-					replicaDown = make(map[netip.Addr]bool, len(addrs))
-				}
-				replicaDown[addr] = true
+	// BGP instability / path outages on either end's prefix. The prefix
+	// handle list (client prefix first, then each tried address's prefix
+	// in rotated order, duplicates preserved — every occurrence draws
+	// independently, as a multi-homed path would) builds in a reused
+	// scratch buffer.
+	pfxIDs := append(ev.pfxBuf[:0], ev.cliPfxID[rec.ClientIdx])
+	if off >= 0 {
+		n := len(sf.repPfx)
+		for k := range addrs {
+			if id := sf.repPfx[(off+k)%n]; id != faults.NoEntity {
+				pfxIDs = append(pfxIDs, id)
 			}
 		}
 	}
-	if ep, ok := tl.Active(ev.wwwEnt[si], faults.ServerOverload, at); hit(rng, ep, ok) {
+	ev.pfxBuf = pfxIDs
+	for _, id := range pfxIDs {
+		// One all-kind scan per prefix feeds both checks.
+		ev.epBuf = tl.ActiveAnyIntoID(id, at, ev.epBuf[:0])
+		if ep, active := mostSevere(ev.epBuf, faults.BGPInstability); active && rng.Float64() < pathImpact(ep) {
+			pathDown = true
+		}
+		if ep, active := mostSevere(ev.epBuf, faults.PathOutage); hit(rng, ep, active) {
+			pathDown = true
+		}
+	}
+	if ep, ok := tl.ActiveID(ev.wwwID[si], faults.ServerOutage, at); hit(rng, ep, ok) {
+		wwwDown = true
+	}
+	if off >= 0 {
+		n := len(sf.repID)
+		for k := range addrs {
+			if ep, active := tl.ActiveID(sf.repID[(off+k)%n], faults.ServerOutage, at); hit(rng, ep, active) {
+				ev.repDownGen[k] = ev.gen
+			}
+		}
+	}
+	if ep, ok := tl.ActiveID(ev.wwwID[si], faults.ServerOverload, at); hit(rng, ep, ok) {
 		overload = true
 		overloadMode = ep.Mode
 	}
@@ -352,7 +406,7 @@ func (ev *evaluator) download(rng *rand.Rand, rec *Record, c *workload.ClientNod
 
 	var elapsed time.Duration
 	for try := 0; try < tries; try++ {
-		for _, addr := range addrs {
+		for k, addr := range addrs {
 			rec.Conns++
 			rec.ReplicaIP = addr
 
@@ -364,7 +418,7 @@ func (ev *evaluator) download(rng *rand.Rand, rec *Record, c *workload.ClientNod
 				rec.FailKind = httpsim.PartialResponse
 				elapsed += 60 * time.Second
 				continue
-			case blocked, pathDown, wwwDown, replicaDown[addr]:
+			case blocked, pathDown, wwwDown, off >= 0 && ev.repDownGen[k] == ev.gen:
 				rec.FailKind = httpsim.NoConnection
 				elapsed += synFailTime
 				continue
@@ -434,7 +488,7 @@ func (ev *evaluator) download(rng *rand.Rand, rec *Record, c *workload.ClientNod
 // httpPhase decides the HTTP outcome of a completed transfer.
 func (ev *evaluator) httpPhase(rng *rand.Rand, rec *Record, w *workload.WebsiteNode, at simnet.Time) {
 	p := &ev.cfg.Scenario.Params
-	if ep, ok := ev.tl.Active(ev.wwwEnt[rec.SiteIdx], faults.ServerHTTPError, at); hit(rng, ep, ok) {
+	if ep, ok := ev.tl.ActiveID(ev.wwwID[rec.SiteIdx], faults.ServerHTTPError, at); hit(rng, ep, ok) {
 		rec.Stage = httpsim.StageHTTP
 		rec.StatusCode = 503
 		return
@@ -473,6 +527,22 @@ func transientKindFor(rng *rand.Rand, cat workload.Category) httpsim.ConnFailKin
 	default:
 		return httpsim.PartialResponse
 	}
+}
+
+// mostSevere picks the most severe episode of the given kind from an
+// ActiveAnyIntoID result, resolving severity ties in favour of the
+// earliest-listed episode — the same winner Timeline.Active picks, since
+// both visit episodes in start-sorted insertion-stable order.
+func mostSevere(eps []faults.Episode, kind faults.Kind) (faults.Episode, bool) {
+	var best faults.Episode
+	found := false
+	for i := range eps {
+		if eps[i].Kind == kind && (!found || eps[i].Severity > best.Severity) {
+			best = eps[i]
+			found = true
+		}
+	}
+	return best, found
 }
 
 // prefixOf locates the website prefix containing addr (CDN addresses have

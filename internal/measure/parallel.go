@@ -42,8 +42,10 @@ func RunParallel(cfg Config, shards int, visit func(shard int, r *Record)) error
 			// RNGs) is mutable, and building one is negligible next to
 			// the run itself.
 			ev := newEvaluator(cfg)
+			// One Record per worker, reused across its transactions
+			// (visit must not retain the pointer).
+			var rec Record
 			workload.ForEachTransactionRange(cfg.Topo, cfg.Seed, cfg.Start, cfg.End, lo, hi, func(tx *workload.Transaction) {
-				var rec Record
 				if ev.evaluate(tx, &rec) {
 					visit(shard, &rec)
 				}

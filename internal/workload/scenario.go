@@ -358,6 +358,11 @@ func BuildScenario(topo *Topology, p ScenarioParams) *Scenario {
 	// Permanent pairs (Section 4.4.2): 38 total.
 	sc.placePermanentPairs(topo, tl)
 
+	// Freeze sorts the episode index and interns every entity into a
+	// dense EntityID handle (assigned in sorted-entity order, so handles
+	// are as deterministic as the episode set itself); the fast-mode
+	// evaluator resolves its entities once via Lookup and queries by ID
+	// thereafter.
 	tl.Freeze()
 	return sc
 }

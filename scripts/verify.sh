@@ -5,8 +5,10 @@
 # sharded dataset ingest, to keep CI time bounded), the dataset
 # backward-compatibility gate against the checked-in v1 fixture, the
 # golden-stdout gate on webfail-analyze (byte-identity of the pass
-# refactor across -parallel values), and the selective-vs-full
-# analyzer-pass equivalence under the race detector.
+# refactor across -parallel values), the selective-vs-full
+# analyzer-pass equivalence under the race detector, and the
+# allocation-regression gate on the fast-mode hot path (evaluate must
+# stay at zero heap allocations per transaction).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -20,3 +22,4 @@ go test -race -run 'TestSerialParallelEquivalence|TestRunParallelShardClamp|Test
 go test -run 'TestDatasetV1Compat' ./internal/dataset
 go test -run 'TestGolden' ./cmd/webfail-analyze
 go test -race -run 'TestSelectiveMatchesFull|TestArtifactPassRegistry' ./internal/report
+go test -run 'TestEvaluateZeroAllocs' -count=1 ./internal/measure
