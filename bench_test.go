@@ -14,6 +14,7 @@ package webfail
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"webfail/internal/core"
 	"webfail/internal/dataset"
 	"webfail/internal/measure"
+	"webfail/internal/obs"
 	"webfail/internal/report"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
@@ -84,6 +86,35 @@ func BenchmarkRunFastMode(b *testing.B) {
 		n := 0
 		if err := measure.Run(cfg, func(*measure.Record) { n++ }); err != nil {
 			b.Fatal(err)
+		}
+		b.ReportMetric(float64(n), "txns/op")
+	}
+}
+
+// BenchmarkRunFastModeInstrumented is BenchmarkRunFastMode with the
+// full observability surface attached — metrics registry and a live
+// progress reporter (writing to io.Discard) — so the delta against the
+// uninstrumented bench is the whole-layer overhead. The hot path keeps
+// plain scratch counters and folds once per shard, so the target is
+// under 2% (recorded in EXPERIMENTS.md).
+func BenchmarkRunFastModeInstrumented(b *testing.B) {
+	topo := workload.NewTopology()
+	end := simnet.FromHours(4)
+	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(fixtureSeed, 0, end))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg := obs.NewRegistry()
+		prog := obs.NewProgress(io.Discard, "bench", "txns", 0, 1, 2*time.Second)
+		prog.Start()
+		cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end,
+			Metrics: reg, Progress: prog}
+		n := 0
+		if err := measure.Run(cfg, func(*measure.Record) { n++ }); err != nil {
+			b.Fatal(err)
+		}
+		prog.Stop()
+		if got := reg.Counter("measure_txns_total").Value(); got != int64(n) {
+			b.Fatalf("metrics counted %d txns, visit saw %d", got, n)
 		}
 		b.ReportMetric(float64(n), "txns/op")
 	}

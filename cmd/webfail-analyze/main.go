@@ -9,6 +9,7 @@
 //
 //	webfail-analyze -in dataset.bin [-top N] [-parallel N] [-artifacts LIST]
 //	                [-cpuprofile PATH] [-memprofile PATH]
+//	                [-metrics-out PATH] [-metrics-listen ADDR] [-progress]
 //
 // The ingest into the core analysis accumulator is sharded across
 // -parallel workers: each worker opens only the dataset chunks
@@ -22,6 +23,10 @@
 // paper artifacts (table1..table9, fig1..fig7, replicas, headlines, or
 // "all") to render from the stored records; the selection propagates
 // down to ingest, so unselected analyzer passes are never constructed.
+//
+// Observability output (progress, metrics, logs) goes to stderr or the
+// flagged files only; stdout stays byte-identical for any -parallel
+// value whether or not metrics are enabled.
 package main
 
 import (
@@ -30,23 +35,26 @@ import (
 	"io"
 	"os"
 	"runtime"
-	"runtime/pprof"
 	"sort"
 	"strings"
+	"time"
 
 	"webfail/internal/core"
 	"webfail/internal/dataset"
 	"webfail/internal/httpsim"
 	"webfail/internal/measure"
+	"webfail/internal/obs"
 	"webfail/internal/report"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
 
+const component = "webfail-analyze"
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		if err != flag.ErrHelp {
-			fmt.Fprintln(os.Stderr, "webfail-analyze:", err)
+			obs.Logf(component, "%v", err)
 		}
 		os.Exit(1)
 	}
@@ -59,42 +67,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	top := fs.Int("top", 10, "rows in top-N listings")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "ingest worker shards (1 = serial)")
 	artifacts := fs.String("artifacts", "", `comma-separated report artifacts to render ("all" = everything)`)
-	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this path")
-	memProf := fs.String("memprofile", "", "write a heap profile to this path at exit")
+	var obsFlags obs.CLIFlags
+	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}
-	if *cpuProf != "" {
-		pf, err := os.Create(*cpuProf)
-		if err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
-		}
-		if err := pprof.StartCPUProfile(pf); err != nil {
-			pf.Close()
-			return fmt.Errorf("cpuprofile: %w", err)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			pf.Close()
-		}()
+	reg := obs.NewRegistry()
+	sess, err := obsFlags.Start(component, reg)
+	if err != nil {
+		return err
 	}
-	if *memProf != "" {
-		defer func() {
-			pf, err := os.Create(*memProf)
-			if err != nil {
-				fmt.Fprintln(stderr, "webfail-analyze: memprofile:", err)
-				return
-			}
-			defer pf.Close()
-			runtime.GC() // settle allocation statistics before the snapshot
-			if err := pprof.WriteHeapProfile(pf); err != nil {
-				fmt.Fprintln(stderr, "webfail-analyze: memprofile:", err)
-			}
-		}()
-	}
+	defer sess.Close()
 	sel := parseArtifacts(*artifacts)
 	f, err := os.Open(*in)
 	if err != nil {
@@ -105,7 +91,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	src, err := dataset.Open(f, st.Size())
+	src, err := dataset.Open(f, st.Size(), dataset.WithMetrics(reg))
 	if err != nil {
 		return err
 	}
@@ -128,14 +114,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	start := simnet.FromUnix(meta.StartUnix)
 	end := simnet.FromUnix(meta.EndUnix)
-	a, err := core.ConsumeParallel(topo, start, end, src, *parallel, passes...)
+	shards := measure.EffectiveShards(len(topo.Clients), *parallel)
+	var prog *obs.Progress
+	if obsFlags.Progress {
+		prog = obs.NewProgress(stderr, component, "records", src.Stored(), shards, 2*time.Second)
+		prog.Start()
+	}
+	ingestSpan := reg.Span("ingest")
+	a, err := core.ConsumeParallelObs(topo, start, end, src, *parallel, reg, prog, passes...)
+	ingestSpan.End()
+	prog.Stop()
 	if err != nil {
 		return err
 	}
 	// The shard count is the one -parallel-dependent value; it goes to
 	// stderr so stdout is byte-identical for any ingest width.
-	fmt.Fprintf(stderr, "webfail-analyze: %d ingest shards\n",
-		measure.EffectiveShards(len(topo.Clients), *parallel))
+	fmt.Fprintf(stderr, "webfail-analyze: %d ingest shards\n", shards)
 	fmt.Fprintf(stdout, "stored-record accumulator: %s\n", a)
 	fmt.Fprintln(stdout, "failure-stage shares over stored records:")
 	for _, row := range a.Summary() {
@@ -153,6 +147,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	bySite := map[int32]int{}
 	byPair := map[[2]int32]int{}
 	byHour := map[int64]int{}
+	scanSpan := reg.Span("scan")
 	err = dataset.AllRecords(src, func(r *measure.Record) error {
 		if !r.Failed() {
 			return nil
@@ -165,6 +160,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		byHour[r.At.Hour()]++
 		return nil
 	})
+	scanSpan.End()
 	if err != nil {
 		return err
 	}
@@ -257,8 +253,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// scenario seed.
 		sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(meta.Seed, start, end))
 		fmt.Fprintln(stdout)
+		repSpan := reg.Span("report")
 		rep := &report.Reporter{W: stdout, A: a, Topo: topo, Sc: sc, Seed: meta.Seed}
 		rep.Run(sel)
+		repSpan.End()
 	}
 	return nil
 }

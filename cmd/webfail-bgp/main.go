@@ -7,6 +7,11 @@
 // Usage:
 //
 //	webfail-bgp [-hours N] [-seed N] [-mrt PATH] [-prefix P]
+//	            [-cpuprofile PATH] [-memprofile PATH]
+//	            [-metrics-out PATH] [-metrics-listen ADDR] [-progress]
+//
+// Observability output (progress, metrics, logs) goes to stderr or the
+// flagged files only; stdout is unchanged by any of those flags.
 package main
 
 import (
@@ -16,20 +21,33 @@ import (
 	"net/netip"
 	"os"
 	"sort"
+	"time"
 
 	"webfail/internal/bgpsim"
 	"webfail/internal/core"
 	"webfail/internal/faults"
+	"webfail/internal/obs"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
+
+const component = "webfail-bgp"
 
 func main() {
 	hours := flag.Int64("hours", 744, "experiment hours")
 	seed := flag.Int64("seed", 2005, "scenario seed")
 	mrtPath := flag.String("mrt", "", "write MRT archive to this path")
 	prefix := flag.String("prefix", "", "report hourly detail for one prefix")
+	var obsFlags obs.CLIFlags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	sess, err := obsFlags.Start(component, reg)
+	if err != nil {
+		obs.Fatalf(component, "%v", err)
+	}
+	defer sess.Close()
 
 	topo := workload.NewTopology()
 	end := simnet.FromHours(*hours)
@@ -45,8 +63,16 @@ func main() {
 		}
 	}
 	// Reuse core's generator so numbers match the main harness exactly.
+	genSpan := reg.Span("generate")
 	table, resets := core.GenerateBGP(topo, sc, *seed^0x6b67)
+	genSpan.End()
 
+	var prog *obs.Progress
+	if obsFlags.Progress {
+		prog = obs.NewProgress(os.Stderr, component, "prefixes", int64(len(prefixes)), 1, 2*time.Second)
+		prog.Start()
+	}
+	scanSpan := reg.Span("scan")
 	var updates int
 	var severe70, severeB []string
 	for _, pfx := range prefixes {
@@ -60,9 +86,19 @@ func main() {
 				severeB = append(severeB, fmt.Sprintf("%v @ hour %d (%d wdr, %d nbrs)", pfx, h, st.Withdrawals, st.CleanedWithdrawNeighbors()))
 			}
 		}
+		prog.Shard(0).Add(1)
 	}
 	sort.Strings(severe70)
 	sort.Strings(severeB)
+	scanSpan.End()
+	prog.Stop()
+
+	// All deterministic: the archive is a pure function of seed+hours.
+	reg.Counter("bgp_updates_aggregated_total").Add(int64(updates))
+	reg.Counter("bgp_events_injected_total").Add(int64(events))
+	reg.Counter("bgp_reset_hours_total").Add(int64(len(resets)))
+	reg.Counter("bgp_severe70_prefix_hours_total").Add(int64(len(severe70)))
+	reg.Counter("bgp_severe50x75_prefix_hours_total").Add(int64(len(severeB)))
 
 	fmt.Printf("monitored prefixes: %d (paper: 137 prefixes for 203 addresses)\n", len(prefixes))
 	fmt.Printf("aggregated updates (post-clean): %d; events injected: %d\n", updates, events)
@@ -80,7 +116,7 @@ func main() {
 	if *prefix != "" {
 		pfx, err := netip.ParsePrefix(*prefix)
 		if err != nil {
-			fatal(err)
+			obs.Fatalf(component, "%v", err)
 		}
 		fmt.Printf("\nhourly detail for %v:\n", pfx)
 		for _, h := range table.Hours(pfx) {
@@ -93,27 +129,25 @@ func main() {
 	if *mrtPath != "" {
 		// Regenerate the raw update stream for archival (the table
 		// holds only aggregates).
+		mrtSpan := reg.Span("mrt")
 		gen2 := bgpsim.NewGenerator(*seed^0x6b67, prefixes)
 		gen2.GenerateBaseline(0, end)
 		f, err := os.Create(*mrtPath)
 		if err != nil {
-			fatal(err)
+			obs.Fatalf(component, "%v", err)
 		}
 		w := bufio.NewWriter(f)
 		if err := bgpsim.WriteMRT(w, gen2.Updates()); err != nil {
-			fatal(err)
+			obs.Fatalf(component, "%v", err)
 		}
 		if err := w.Flush(); err != nil {
-			fatal(err)
+			obs.Fatalf(component, "%v", err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			obs.Fatalf(component, "%v", err)
 		}
+		reg.Counter("bgp_mrt_updates_written_total").Add(int64(len(gen2.Updates())))
+		mrtSpan.End()
 		fmt.Printf("\nMRT archive written to %s\n", *mrtPath)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "webfail-bgp:", err)
-	os.Exit(1)
 }

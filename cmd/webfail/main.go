@@ -18,9 +18,14 @@
 //	-save PATH   stream the failure dataset to PATH (v2 chunked format)
 //	-cpuprofile PATH  write a runtime/pprof CPU profile of the run
 //	-memprofile PATH  write a heap profile at exit
+//	-metrics-out PATH    write a Prometheus-style metrics dump at exit
+//	-metrics-listen ADDR serve live /metrics and /metrics.json snapshots
+//	-progress            report run progress to stderr every 2s
 //
 // The output prints each reproduced artifact next to the paper's
-// published value.
+// published value. Observability output (progress, metrics, logs) never
+// touches stdout, and the deterministic metrics (transaction, failure,
+// episode, and chunk counts) are identical for any -parallel value.
 package main
 
 import (
@@ -28,17 +33,19 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"runtime/pprof"
 	"strings"
 	"time"
 
 	"webfail/internal/core"
 	"webfail/internal/dataset"
 	"webfail/internal/measure"
+	"webfail/internal/obs"
 	"webfail/internal/report"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
+
+const component = "webfail"
 
 func main() {
 	var (
@@ -52,25 +59,17 @@ func main() {
 		artifacts = flag.String("artifacts", "", "comma-separated artifacts (table1..table9, fig1..fig7, replicas, headlines)")
 		only      = flag.String("only", "", "alias for -artifacts")
 		savePath  = flag.String("save", "", "write failure dataset to this path")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this path")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this path at exit")
+		obsFlags  obs.CLIFlags
 	)
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
-	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
-		if err != nil {
-			fatalf("cpuprofile: %v", err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatalf("cpuprofile: %v", err)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+	reg := obs.NewRegistry()
+	sess, err := obsFlags.Start(component, reg)
+	if err != nil {
+		obs.Fatalf(component, "%v", err)
 	}
-	defer writeMemProfile(*memProf)
+	defer sess.Close()
 
 	sel := map[string]bool{}
 	for _, s := range strings.Split(*artifacts+","+*only, ",") {
@@ -83,13 +82,13 @@ func main() {
 	// run, whether serial or sharded.
 	passes, err := report.PassesFor(sel)
 	if err != nil {
-		fatalf("%v", err)
+		obs.Fatalf(component, "%v", err)
 	}
 
 	topo := workload.NewScaledTopology(*nClients, *nSites)
 	end := simnet.FromHours(*hours)
 	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(*seed, 0, end))
-	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: *runSeed, Start: 0, End: end}
+	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: *runSeed, Start: 0, End: end, Metrics: reg}
 
 	shards := 1
 	if *mode == "fast" {
@@ -97,6 +96,14 @@ func main() {
 	}
 	fmt.Printf("webfail: %s; %d clients x %d websites over %d hours (%s mode, %d shards)\n",
 		topo, len(topo.Clients), len(topo.Websites), *hours, *mode, shards)
+
+	// The progress denominator is the scheduled transaction count —
+	// one extra schedule walk, paid only when -progress is on.
+	if obsFlags.Progress {
+		expected := int64(workload.ExpectedTransactions(topo, *runSeed, 0, end))
+		cfg.Progress = obs.NewProgress(os.Stderr, component, "txns", expected, shards, 2*time.Second)
+		cfg.Progress.Start()
+	}
 
 	a := core.NewAnalysisSelected(topo, 0, end, passes...)
 
@@ -112,14 +119,14 @@ func main() {
 		var err error
 		saveFile, err = os.Create(*savePath)
 		if err != nil {
-			fatalf("save: %v", err)
+			obs.Fatalf(component, "save: %v", err)
 		}
 		dw, err = dataset.NewWriter(saveFile, measure.DatasetMeta{
 			Seed: *seed, StartUnix: simnet.Time(0).Unix(), EndUnix: end.Unix(),
 			Clients: len(topo.Clients), Websites: len(topo.Websites),
-		}, dataset.Options{})
+		}, dataset.Options{Metrics: reg})
 		if err != nil {
-			fatalf("save: %v", err)
+			obs.Fatalf(component, "save: %v", err)
 		}
 	}
 	var sink *dataset.Sink // serial modes write one stream
@@ -134,6 +141,7 @@ func main() {
 	}
 
 	started := time.Now()
+	runSpan := reg.Span("run/" + *mode)
 	switch *mode {
 	case "fast":
 		if shards > 1 {
@@ -143,32 +151,42 @@ func main() {
 		}
 	case "packet":
 		if workload.ExpectedTransactions(topo, *runSeed, 0, end) > 2_000_000 {
-			fatalf("packet mode at this scale would take very long; reduce -hours/-clients/-sites")
+			obs.Fatalf(component, "packet mode at this scale would take very long; reduce -hours/-clients/-sites")
 		}
 		err = measure.RunPacket(cfg, visit)
 	default:
-		fatalf("unknown mode %q", *mode)
+		obs.Fatalf(component, "unknown mode %q", *mode)
 	}
+	runSpan.End()
 	if err != nil {
-		fatalf("run: %v", err)
+		obs.Fatalf(component, "run: %v", err)
 	}
 	if sink != nil {
 		if err := sink.Close(); err != nil {
-			fatalf("save: %v", err)
+			obs.Fatalf(component, "save: %v", err)
 		}
 	}
-	fmt.Printf("run completed in %v: %s\n\n", time.Since(started).Round(time.Millisecond), a)
+	cfg.Progress.Stop()
+	elapsed := time.Since(started)
+	if s := elapsed.Seconds(); s > 0 {
+		reg.WallGauge("run_txns_per_sec").Set(float64(a.TotalTxns()) / s)
+	}
+	fmt.Printf("run completed in %v: %s\n\n", elapsed.Round(time.Millisecond), a)
 
+	repSpan := reg.Span("report")
 	rep := &report.Reporter{W: os.Stdout, A: a, Topo: topo, Sc: sc, Seed: *seed}
 	rep.Run(sel)
+	repSpan.End()
 
 	if dw != nil {
+		closeSpan := reg.Span("dataset/close")
 		if err := dw.Close(); err != nil {
-			fatalf("save: %v", err)
+			obs.Fatalf(component, "save: %v", err)
 		}
 		if err := saveFile.Close(); err != nil {
-			fatalf("save: %v", err)
+			obs.Fatalf(component, "save: %v", err)
 		}
+		closeSpan.End()
 		fmt.Printf("\ndataset written to %s (%d records in %d chunks)\n", *savePath, dw.Stored(), dw.Chunks())
 	}
 }
@@ -211,26 +229,4 @@ func runFastSharded(cfg measure.Config, shards int, topo *workload.Topology, a *
 		}
 	}
 	return nil
-}
-
-// writeMemProfile dumps the heap profile at exit when -memprofile is set
-// (profiles are skipped when the process exits through fatalf).
-func writeMemProfile(path string) {
-	if path == "" {
-		return
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		fatalf("memprofile: %v", err)
-	}
-	defer f.Close()
-	runtime.GC() // settle allocation statistics before the snapshot
-	if err := pprof.WriteHeapProfile(f); err != nil {
-		fatalf("memprofile: %v", err)
-	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "webfail: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"strings"
 	"sync"
 
 	"webfail/internal/dataset"
 	"webfail/internal/measure"
+	"webfail/internal/obs"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
@@ -28,6 +30,16 @@ func (a *Analysis) Consume(src dataset.RecordSource) error {
 // accumulator is built with (none = all): unselected passes are never
 // constructed, in any shard or in the merged result.
 func ConsumeParallel(topo *workload.Topology, start, end simnet.Time, src dataset.RecordSource, shards int, passes ...PassName) (*Analysis, error) {
+	return ConsumeParallelObs(topo, start, end, src, shards, nil, nil, passes...)
+}
+
+// ConsumeParallelObs is ConsumeParallel with observability attached:
+// reg (may be nil) receives one deterministic records-ingested counter
+// labeled with the selected pass set, and prog (may be nil) receives
+// live per-shard ingest counts for the progress reporter. Each shard
+// counts into plain locals and folds in once at completion, so totals
+// are shard-count-independent and the ingest loop carries no atomics.
+func ConsumeParallelObs(topo *workload.Topology, start, end simnet.Time, src dataset.RecordSource, shards int, reg *obs.Registry, prog *obs.Progress, passes ...PassName) (*Analysis, error) {
 	n := len(topo.Clients)
 	shards = measure.EffectiveShards(n, shards)
 	accs := make([]*Analysis, shards)
@@ -39,10 +51,21 @@ func ConsumeParallel(topo *workload.Topology, start, end simnet.Time, src datase
 		go func(s int) {
 			defer wg.Done()
 			lo, hi := measure.ShardRange(n, shards, s)
+			sc := prog.Shard(s)
+			var ingested, sinceFlush int64
 			errs[s] = src.Records(lo, hi, func(r *measure.Record) error {
 				accs[s].Add(r)
+				ingested++
+				if sc != nil {
+					if sinceFlush++; sinceFlush >= 8192 {
+						sc.Add(sinceFlush)
+						sinceFlush = 0
+					}
+				}
 				return nil
 			})
+			sc.Add(sinceFlush)
+			reg.Counter(ingestCounterName(accs[s])).Add(ingested)
 		}(s)
 	}
 	wg.Wait()
@@ -58,4 +81,16 @@ func ConsumeParallel(topo *workload.Topology, start, end simnet.Time, src datase
 		}
 	}
 	return merged, nil
+}
+
+// ingestCounterName labels the records-ingested counter with the
+// canonical selected pass set, so runs with different artifact
+// selections expose distinguishable series.
+func ingestCounterName(a *Analysis) string {
+	names := a.Passes()
+	strs := make([]string, len(names))
+	for i, n := range names {
+		strs[i] = string(n)
+	}
+	return `core_records_ingested_total{passes="` + strings.Join(strs, ",") + `"}`
 }

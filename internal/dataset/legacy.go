@@ -17,14 +17,17 @@ import (
 type legacySource struct {
 	ds     *measure.Dataset
 	sorted bool
+	m      readerMetrics
 }
 
-func openLegacy(r io.ReaderAt, size int64) (*legacySource, error) {
+func openLegacy(r io.ReaderAt, size int64, cfg openCfg) (*legacySource, error) {
 	ds, err := measure.LoadDataset(io.NewSectionReader(r, 0, size))
 	if err != nil {
 		return nil, fmt.Errorf("dataset: v1: %w", err)
 	}
-	l := &legacySource{ds: ds, sorted: true}
+	l := &legacySource{ds: ds, sorted: true, m: newReaderMetrics(cfg.metrics)}
+	// The v1 blob is one monolithic read at open time.
+	l.m.bytes.Add(size)
 	for i := 1; i < len(ds.Records); i++ {
 		if ds.Records[i].ClientIdx < ds.Records[i-1].ClientIdx {
 			l.sorted = false
@@ -45,6 +48,8 @@ func (l *legacySource) Stored() int64 { return int64(len(l.ds.Records)) }
 // search, so a sharded ingest touches each record exactly once overall;
 // an unsorted (hand-built) v1 file falls back to a filtering scan.
 func (l *legacySource) Records(lo, hi int, visit func(r *measure.Record) error) error {
+	var visited int64
+	defer func() { l.m.records.Add(visited) }()
 	recs := l.ds.Records
 	if l.sorted {
 		i := sort.Search(len(recs), func(i int) bool { return int(recs[i].ClientIdx) >= lo })
@@ -54,6 +59,7 @@ func (l *legacySource) Records(lo, hi int, visit func(r *measure.Record) error) 
 			if err := visit(&recs[i]); err != nil {
 				return err
 			}
+			visited++
 		}
 		return nil
 	}
@@ -62,6 +68,7 @@ func (l *legacySource) Records(lo, hi int, visit func(r *measure.Record) error) 
 			if err := visit(&recs[i]); err != nil {
 				return err
 			}
+			visited++
 		}
 	}
 	return nil

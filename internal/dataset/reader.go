@@ -7,15 +7,37 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"webfail/internal/measure"
+	"webfail/internal/obs"
 )
+
+// OpenOption configures Open.
+type OpenOption func(*openCfg)
+
+type openCfg struct {
+	metrics *obs.Registry
+}
+
+// WithMetrics instruments the returned RecordSource: chunks, records,
+// and compressed bytes read are counted into reg, and gunzip+decode
+// time accumulates as a wall-clock histogram. Record counts are
+// deterministic; chunk and byte counts additionally depend on how many
+// reading shards overlap each chunk.
+func WithMetrics(reg *obs.Registry) OpenOption {
+	return func(c *openCfg) { c.metrics = reg }
+}
 
 // Open sniffs the dataset generation at r and returns a RecordSource
 // over it: a chunk-ranged streaming reader for v2 files, an in-memory
 // legacy adapter for v1 files. size is the total file size (e.g. from
 // os.File.Stat).
-func Open(r io.ReaderAt, size int64) (RecordSource, error) {
+func Open(r io.ReaderAt, size int64, opts ...OpenOption) (RecordSource, error) {
+	var cfg openCfg
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	magic := make([]byte, len(magicV2))
 	if size < int64(len(magic)) {
 		return nil, fmt.Errorf("dataset: truncated file (%d bytes)", size)
@@ -25,11 +47,29 @@ func Open(r io.ReaderAt, size int64) (RecordSource, error) {
 	}
 	switch string(magic) {
 	case magicV2:
-		return openV2(r, size)
+		return openV2(r, size, cfg)
 	case magicV1:
-		return openLegacy(r, size)
+		return openLegacy(r, size, cfg)
 	default:
 		return nil, fmt.Errorf("dataset: not a webfail dataset")
+	}
+}
+
+// readerMetrics holds a RecordSource's resolved metric handles; all
+// no-ops when the source was opened without WithMetrics.
+type readerMetrics struct {
+	chunks        *obs.Counter
+	records       *obs.Counter
+	bytes         *obs.Counter
+	gunzipSeconds *obs.Histogram
+}
+
+func newReaderMetrics(reg *obs.Registry) readerMetrics {
+	return readerMetrics{
+		chunks:        reg.Counter("dataset_chunks_read_total"),
+		records:       reg.Counter("dataset_records_read_total"),
+		bytes:         reg.Counter("dataset_bytes_read_total"),
+		gunzipSeconds: reg.WallHistogram("dataset_gunzip_seconds", []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5}),
 	}
 }
 
@@ -42,9 +82,10 @@ type reader struct {
 	meta   measure.DatasetMeta
 	chunks []chunkInfo
 	stored int64
+	m      readerMetrics
 }
 
-func openV2(r io.ReaderAt, size int64) (*reader, error) {
+func openV2(r io.ReaderAt, size int64, cfg openCfg) (*reader, error) {
 	if size < int64(len(magicV2))+footerLen {
 		return nil, fmt.Errorf("dataset: truncated v2 file (%d bytes)", size)
 	}
@@ -64,7 +105,7 @@ func openV2(r io.ReaderAt, size int64) (*reader, error) {
 	if err := gob.NewDecoder(io.NewSectionReader(r, idxOff, idxLen)).Decode(&idx); err != nil {
 		return nil, fmt.Errorf("dataset: decode index: %w", err)
 	}
-	d := &reader{r: r, meta: idx.Meta, chunks: idx.Chunks}
+	d := &reader{r: r, meta: idx.Meta, chunks: idx.Chunks, m: newReaderMetrics(cfg.metrics)}
 	for _, c := range d.chunks {
 		if c.Offset < int64(len(magicV2)) || c.Length <= 0 || c.Offset+c.Length > idxOff || c.Count < 0 {
 			return nil, fmt.Errorf("dataset: corrupt chunk entry (offset=%d length=%d count=%d)", c.Offset, c.Length, c.Count)
@@ -99,6 +140,10 @@ func (d *reader) Stored() int64 { return d.stored }
 // range are never read from the file — a parallel ingest over client
 // shards does proportional, not total, I/O per worker.
 func (d *reader) Records(lo, hi int, visit func(r *measure.Record) error) error {
+	// Visited records are tallied locally and folded in once per call,
+	// so a sharded ingest does not contend on one atomic per record.
+	var visited int64
+	defer func() { d.m.records.Add(visited) }()
 	for _, c := range d.chunks {
 		if int(c.Hi) < lo || int(c.Lo) >= hi {
 			continue
@@ -112,6 +157,7 @@ func (d *reader) Records(lo, hi int, visit func(r *measure.Record) error) error 
 				if err := visit(&recs[i]); err != nil {
 					return err
 				}
+				visited++
 			}
 		}
 	}
@@ -120,6 +166,10 @@ func (d *reader) Records(lo, hi int, visit func(r *measure.Record) error) error 
 
 // readChunk decodes one chunk.
 func (d *reader) readChunk(c chunkInfo) ([]measure.Record, error) {
+	var start time.Time
+	if d.m.gunzipSeconds != nil {
+		start = time.Now()
+	}
 	zr, err := gzip.NewReader(io.NewSectionReader(d.r, c.Offset, c.Length))
 	if err != nil {
 		return nil, fmt.Errorf("dataset: chunk at %d: gzip: %w", c.Offset, err)
@@ -131,6 +181,11 @@ func (d *reader) readChunk(c chunkInfo) ([]measure.Record, error) {
 	}
 	if len(recs) != int(c.Count) {
 		return nil, fmt.Errorf("dataset: chunk at %d: %d records, index says %d", c.Offset, len(recs), c.Count)
+	}
+	d.m.chunks.Inc()
+	d.m.bytes.Add(c.Length)
+	if d.m.gunzipSeconds != nil {
+		d.m.gunzipSeconds.Observe(time.Since(start).Seconds())
 	}
 	return recs, nil
 }

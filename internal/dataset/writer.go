@@ -9,8 +9,10 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"webfail/internal/measure"
+	"webfail/internal/obs"
 )
 
 // Options configure a Writer.
@@ -19,6 +21,12 @@ type Options struct {
 	// a chunk once it is full, which bounds both writer memory and the
 	// reader's per-chunk working set. <= 0 selects DefaultChunkRecords.
 	ChunkRecords int
+	// Metrics, when non-nil, receives write-side counters (chunks,
+	// records, and compressed bytes written; per-chunk record-count
+	// distribution) and the wall-clock gzip+encode time. Counts are
+	// deterministic for a fixed flag set; chunk topology depends on the
+	// number of writing streams.
+	Metrics *obs.Registry
 }
 
 // Writer writes a v2 dataset to an io.Writer. Chunks are produced by
@@ -40,6 +48,27 @@ type Writer struct {
 	stored   int64
 	err      error
 	closed   bool
+	m        writerMetrics
+}
+
+// writerMetrics holds the Writer's resolved metric handles. All fields
+// are nil (and every update a no-op) when Options.Metrics was nil.
+type writerMetrics struct {
+	chunks       *obs.Counter
+	records      *obs.Counter
+	bytes        *obs.Counter
+	chunkRecords *obs.Histogram
+	gzipSeconds  *obs.Histogram
+}
+
+func newWriterMetrics(reg *obs.Registry) writerMetrics {
+	return writerMetrics{
+		chunks:       reg.Counter("dataset_chunks_written_total"),
+		records:      reg.Counter("dataset_records_written_total"),
+		bytes:        reg.Counter("dataset_bytes_written_total"),
+		chunkRecords: reg.Histogram("dataset_chunk_records", []float64{64, 512, 2048, 8192, 32768}),
+		gzipSeconds:  reg.WallHistogram("dataset_gzip_seconds", []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5}),
+	}
 }
 
 // NewWriter starts a v2 dataset on w with the given run description.
@@ -54,7 +83,7 @@ func NewWriter(w io.Writer, meta measure.DatasetMeta, opts Options) (*Writer, er
 	if err != nil {
 		return nil, fmt.Errorf("dataset: write magic: %w", err)
 	}
-	return &Writer{w: w, off: int64(n), meta: meta, chunkCap: chunkCap}, nil
+	return &Writer{w: w, off: int64(n), meta: meta, chunkCap: chunkCap, m: newWriterMetrics(opts.Metrics)}, nil
 }
 
 // NewSink returns a sink for one writing stream. Streams must cover
@@ -103,6 +132,10 @@ func (w *Writer) appendChunk(data []byte, info chunkInfo) error {
 	w.off += int64(len(data))
 	w.chunks = append(w.chunks, info)
 	w.stored += int64(info.Count)
+	w.m.chunks.Inc()
+	w.m.records.Add(int64(info.Count))
+	w.m.bytes.Add(int64(len(data)))
+	w.m.chunkRecords.Observe(float64(info.Count))
 	return nil
 }
 
@@ -217,6 +250,10 @@ func (s *Sink) flush() error {
 		}
 	}
 	var zbuf bytes.Buffer
+	var gzStart time.Time
+	if s.w.m.gzipSeconds != nil {
+		gzStart = time.Now()
+	}
 	zw := gzip.NewWriter(&zbuf)
 	if err := gob.NewEncoder(zw).Encode(s.buf); err != nil {
 		s.err = fmt.Errorf("dataset: encode chunk: %w", err)
@@ -225,6 +262,9 @@ func (s *Sink) flush() error {
 	if err := zw.Close(); err != nil {
 		s.err = fmt.Errorf("dataset: compress chunk: %w", err)
 		return s.err
+	}
+	if s.w.m.gzipSeconds != nil {
+		s.w.m.gzipSeconds.Observe(time.Since(gzStart).Seconds())
 	}
 	info := chunkInfo{Count: int32(len(s.buf)), Lo: lo, Hi: hi, Stream: s.stream, Seq: s.seq}
 	s.seq++

@@ -1,8 +1,11 @@
 package measure
 
 import (
+	"io"
 	"testing"
+	"time"
 
+	"webfail/internal/obs"
 	"webfail/internal/workload"
 )
 
@@ -12,10 +15,14 @@ import (
 // transaction. The fixture is a full default scenario — permanent pairs,
 // chronic servers, replica rotation, and BGP episodes all exercised — so
 // a reintroduced per-transaction map or slice shows up here before it
-// shows up in a month-scale wall clock.
+// shows up in a month-scale wall clock. The evaluator runs with its
+// observability counters and progress flushing active, so the gate also
+// covers the instrumented hot path.
 func TestEvaluateZeroAllocs(t *testing.T) {
 	cfg := smallConfig(t, 20, 0, 6, 7) // all 80 sites: multi-replica + CDN + proxied paths
 	ev := newEvaluator(cfg)
+	prog := obs.NewProgress(io.Discard, "test", "txns", 0, 1, time.Hour)
+	ev.prog = prog.Shard(0)
 
 	var txs []workload.Transaction
 	workload.ForEachTransaction(cfg.Topo, cfg.Seed, cfg.Start, cfg.End, func(tx *workload.Transaction) {

@@ -7,6 +7,7 @@ import (
 
 	"webfail/internal/faults"
 	"webfail/internal/httpsim"
+	"webfail/internal/obs"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
@@ -21,6 +22,7 @@ func Run(cfg Config, visit func(*Record)) error {
 		return err
 	}
 	ev := newEvaluator(cfg)
+	ev.prog = cfg.Progress.Shard(0)
 	// One Record reused across transactions: visit must not retain the
 	// pointer, and evaluate fully overwrites it, so the hot loop stays
 	// allocation-free.
@@ -30,6 +32,7 @@ func Run(cfg Config, visit func(*Record)) error {
 			visit(&rec)
 		}
 	})
+	ev.fold(cfg.Metrics)
 	return nil
 }
 
@@ -67,7 +70,30 @@ type evaluator struct {
 	// down iff repDownGen[k] == gen for the current transaction.
 	repDownGen []uint64
 	gen        uint64
+
+	// stats are the shard's observability counters, kept as plain
+	// integers in this scratch (the evaluator is single-goroutine) and
+	// folded into the run registry once at shard completion, so
+	// counting costs the hot path neither allocations nor atomics.
+	stats evalStats
+	// prog, when non-nil, receives batched completed-transaction
+	// counts for the live progress reporter.
+	prog       *obs.ShardCounter
+	sinceFlush int64
 }
+
+// evalStats is one shard's deterministic work census.
+type evalStats struct {
+	txns     int64 // transactions performed (client machine on)
+	skipped  int64 // transactions skipped (client machine off)
+	fails    int64 // performed transactions that failed at any stage
+	episodes int64 // fault episodes scanned by prefix-entity queries
+}
+
+// progressFlushEvery batches progress-counter updates: one atomic add
+// per this many scheduled transactions keeps the reporter fresh at a
+// cost indistinguishable from zero.
+const progressFlushEvery = 8192
 
 // siteFaultIDs carries one website's per-replica interned handles, indexed
 // like WebsiteNode.ReplicaAddrs.
@@ -169,9 +195,52 @@ func pathImpact(ep faults.Episode) float64 {
 	return ep.Severity * 0.5
 }
 
-// evaluate runs one transaction, filling rec. It reports false when the
-// client machine is off (no access performed).
+// evaluate runs one transaction, filling rec and maintaining the
+// shard's observability counters. It reports false when the client
+// machine is off (no access performed).
 func (ev *evaluator) evaluate(tx *workload.Transaction, rec *Record) bool {
+	performed := ev.evaluateTx(tx, rec)
+	if performed {
+		ev.stats.txns++
+		if rec.Failed() {
+			ev.stats.fails++
+		}
+	} else {
+		ev.stats.skipped++
+	}
+	// Progress counts scheduled transactions (performed + skipped) to
+	// match workload.ExpectedTransactions, flushed in batches so the
+	// reporter costs one atomic add per progressFlushEvery.
+	if ev.prog != nil {
+		ev.sinceFlush++
+		if ev.sinceFlush >= progressFlushEvery {
+			ev.prog.Add(ev.sinceFlush)
+			ev.sinceFlush = 0
+		}
+	}
+	return performed
+}
+
+// fold flushes the remaining progress batch and adds the shard's
+// counters to the run registry. Called once per shard at completion;
+// the registry counters are atomic, so concurrent shard folds are safe
+// and the summed totals are shard-count-independent.
+func (ev *evaluator) fold(reg *obs.Registry) {
+	if ev.prog != nil && ev.sinceFlush > 0 {
+		ev.prog.Add(ev.sinceFlush)
+		ev.sinceFlush = 0
+	}
+	if reg == nil {
+		return
+	}
+	reg.Counter("measure_txns_total").Add(ev.stats.txns)
+	reg.Counter("measure_txns_skipped_total").Add(ev.stats.skipped)
+	reg.Counter("measure_failures_total").Add(ev.stats.fails)
+	reg.Counter("measure_episodes_scanned_total").Add(ev.stats.episodes)
+}
+
+// evaluateTx evaluates one transaction without touching the counters.
+func (ev *evaluator) evaluateTx(tx *workload.Transaction, rec *Record) bool {
 	ci, si := tx.ClientIdx, tx.SiteIdx
 	c := &ev.topo.Clients[ci]
 	w := &ev.topo.Websites[si]
@@ -366,6 +435,7 @@ func (ev *evaluator) download(rng *rand.Rand, rec *Record, c *workload.ClientNod
 	for _, id := range pfxIDs {
 		// One all-kind scan per prefix feeds both checks.
 		ev.epBuf = tl.ActiveAnyIntoID(id, at, ev.epBuf[:0])
+		ev.stats.episodes += int64(len(ev.epBuf))
 		if ep, active := mostSevere(ev.epBuf, faults.BGPInstability); active && rng.Float64() < pathImpact(ep) {
 			pathDown = true
 		}

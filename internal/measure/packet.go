@@ -28,12 +28,41 @@ func RunPacket(cfg Config, visit func(*Record)) error {
 		return err
 	}
 	w := buildWorld(cfg)
+	// Observability: packet mode has no per-shard evaluator scratch, so
+	// record/progress counting wraps the visit callback (the packet
+	// path is dominated by protocol simulation, not by counting).
+	var txns, fails int64
+	inner := visit
+	prog := cfg.Progress.Shard(0)
+	visit = func(r *Record) {
+		txns++
+		if r.Failed() {
+			fails++
+		}
+		inner(r)
+	}
 	// Schedule every transaction as a simulation event.
 	workload.ForEachTransaction(cfg.Topo, cfg.Seed, cfg.Start, cfg.End, func(tx *workload.Transaction) {
 		cp := *tx
-		w.net.Sched.At(cp.At, func() { w.runTransaction(&cp, visit) })
+		w.net.Sched.At(cp.At, func() {
+			w.runTransaction(&cp, visit)
+			prog.Add(1)
+		})
 	})
+	wallStart := time.Now()
 	w.net.Sched.Run()
+	if reg := cfg.Metrics; reg != nil {
+		reg.Counter("measure_txns_total").Add(txns)
+		reg.Counter("measure_failures_total").Add(fails)
+		reg.Counter("simnet_events_dispatched_total").Add(int64(w.net.Sched.Dispatched()))
+		// Virtual-vs-wall speed of the discrete-event simulation: how
+		// many simulated seconds each real second buys. Wall-clock by
+		// construction.
+		virtual := w.net.Sched.Now().Sub(cfg.Start)
+		if wall := time.Since(wallStart); wall > 0 {
+			reg.WallGauge("simnet_virtual_wall_ratio").Set(virtual.Seconds() / wall.Seconds())
+		}
+	}
 	return nil
 }
 

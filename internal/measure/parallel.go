@@ -42,6 +42,7 @@ func RunParallel(cfg Config, shards int, visit func(shard int, r *Record)) error
 			// RNGs) is mutable, and building one is negligible next to
 			// the run itself.
 			ev := newEvaluator(cfg)
+			ev.prog = cfg.Progress.Shard(shard)
 			// One Record per worker, reused across its transactions
 			// (visit must not retain the pointer).
 			var rec Record
@@ -50,6 +51,7 @@ func RunParallel(cfg Config, shards int, visit func(shard int, r *Record)) error
 					visit(shard, &rec)
 				}
 			})
+			ev.fold(cfg.Metrics)
 		}(s, lo, hi)
 	}
 	wg.Wait()

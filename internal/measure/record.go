@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"webfail/internal/httpsim"
+	"webfail/internal/obs"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
@@ -113,6 +114,20 @@ type Config struct {
 	Seed int64
 	// Start and End bound the experiment window.
 	Start, End simnet.Time
+
+	// Metrics, when non-nil, receives the run's counters (transactions
+	// evaluated, skips, failures, fault episodes scanned; packet mode
+	// adds scheduler totals). The hot path keeps plain per-shard
+	// counters in the evaluator's scratch and folds them in once at
+	// shard completion, so instrumentation costs no allocations and no
+	// atomics per transaction. Counting is seed-deterministic: the
+	// folded totals are identical for any shard count.
+	Metrics *obs.Registry
+	// Progress, when non-nil, receives live per-shard completion
+	// counts (flushed every few thousand transactions) for the
+	// periodic progress reporter. Purely observational: it never feeds
+	// back into evaluation.
+	Progress *obs.Progress
 }
 
 // Validate checks the configuration.

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// CLIFlags is the shared observability flag set of the webfail
+// commands: the PR 4 profiling flags plus the metrics/progress flags,
+// registered identically by all three CLIs so no command carries its
+// own copy of the setup.
+type CLIFlags struct {
+	CPUProfile    string
+	MemProfile    string
+	MetricsOut    string
+	MetricsListen string
+	Progress      bool
+}
+
+// Register installs the flags on fs (pass flag.CommandLine for the
+// global set).
+func (f *CLIFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this path")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this path at exit")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a Prometheus-style metrics dump to this path at exit")
+	fs.StringVar(&f.MetricsListen, "metrics-listen", "", "serve live /metrics and /metrics.json snapshots on this address")
+	fs.BoolVar(&f.Progress, "progress", false, "report periodic progress to stderr")
+}
+
+// Session is the running state behind a CLIFlags.Start: an in-progress
+// CPU profile and/or metrics HTTP listener, finalized by Close.
+type Session struct {
+	component string
+	flags     *CLIFlags
+	reg       *Registry
+	cpuFile   *os.File
+	srv       *http.Server
+	addr      string
+	closed    bool
+}
+
+// Start begins everything the parsed flags ask for: the CPU profile
+// and the metrics snapshot listener. The heavier artifacts (heap
+// profile, metrics dump file) are written by Close. reg may be nil if
+// no metrics flags are in use.
+func (f *CLIFlags) Start(component string, reg *Registry) (*Session, error) {
+	s := &Session{component: component, flags: f, reg: reg}
+	if f.CPUProfile != "" {
+		file, err := os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(file); err != nil {
+			file.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		s.cpuFile = file
+	}
+	if f.MetricsListen != "" {
+		ln, err := net.Listen("tcp", f.MetricsListen)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("metrics-listen: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			reg.WriteProm(w)
+		})
+		mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			reg.WriteJSON(w)
+		})
+		s.srv = &http.Server{Handler: mux}
+		s.addr = ln.Addr().String()
+		go s.srv.Serve(ln)
+	}
+	return s, nil
+}
+
+// ListenAddr returns the bound metrics listener address ("" when
+// -metrics-listen is off) — useful with ":0".
+func (s *Session) ListenAddr() string { return s.addr }
+
+// Close finalizes the session: stops the CPU profile, writes the heap
+// profile and the metrics dump file, and shuts the listener down. Every
+// failure is logged through Logf; the first is also returned.
+func (s *Session) Close() error {
+	if s == nil || s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	fail := func(err error) {
+		Logf(s.component, "%v", err)
+		if first == nil {
+			first = err
+		}
+	}
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpuFile.Close(); err != nil {
+			fail(fmt.Errorf("cpuprofile: %w", err))
+		}
+	}
+	if s.flags.MemProfile != "" {
+		if err := writeHeapProfile(s.flags.MemProfile); err != nil {
+			fail(fmt.Errorf("memprofile: %w", err))
+		}
+	}
+	if s.flags.MetricsOut != "" {
+		if err := writeMetricsFile(s.flags.MetricsOut, s.reg); err != nil {
+			fail(fmt.Errorf("metrics-out: %w", err))
+		}
+	}
+	if s.srv != nil {
+		if err := s.srv.Close(); err != nil {
+			fail(fmt.Errorf("metrics-listen: %w", err))
+		}
+	}
+	return first
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // settle allocation statistics before the snapshot
+	return pprof.WriteHeapProfile(f)
+}
+
+func writeMetricsFile(path string, reg *Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteProm(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

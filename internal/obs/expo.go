@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of a registry, split into the
+// deterministic (seed-stable) and wall-clock metric classes. It is the
+// JSON exposition schema and the programmatic read API; Snapshot values
+// round-trip through encoding/json unchanged.
+type Snapshot struct {
+	Deterministic Section `json:"deterministic"`
+	Wall          Section `json:"wall"`
+}
+
+// Section holds one metric class of a Snapshot.
+type Section struct {
+	Counters   map[string]int64            `json:"counters,omitempty"`
+	Gauges     map[string]float64          `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSummary `json:"histograms,omitempty"`
+}
+
+// HistogramSummary is the snapshot form of a Histogram. Counts is
+// per-bucket (not cumulative); its last element is the +Inf overflow
+// bucket, so len(Counts) == len(Bounds)+1.
+type HistogramSummary struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// Snapshot copies the registry's current values. A nil registry
+// snapshots empty sections.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Deterministic: Section{Counters: map[string]int64{}, Gauges: map[string]float64{}, Histograms: map[string]HistogramSummary{}},
+		Wall:          Section{Counters: map[string]int64{}, Gauges: map[string]float64{}, Histograms: map[string]HistogramSummary{}},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		sec := &snap.Deterministic
+		if c.wall {
+			sec = &snap.Wall
+		}
+		sec.Counters[name] = c.v.Load()
+	}
+	for name, g := range r.gauges {
+		sec := &snap.Deterministic
+		if g.wall {
+			sec = &snap.Wall
+		}
+		sec.Gauges[name] = g.v.Load()
+	}
+	for name, h := range r.hists {
+		sec := &snap.Deterministic
+		if h.wall {
+			sec = &snap.Wall
+		}
+		hs := HistogramSummary{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+			Sum:    h.sum.Load(),
+			Count:  h.count.Load(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		sec.Histograms[name] = hs
+	}
+	return snap
+}
+
+// WriteJSON writes an indented JSON snapshot of the registry. Map keys
+// are emitted sorted, so the output is byte-stable for a given state.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteProm writes a Prometheus-style text dump: the deterministic
+// section first, then the wall-clock section, each under a marker
+// comment, with metrics sorted by name. Histograms expose cumulative
+// le-labeled buckets plus _sum and _count series.
+func (r *Registry) WriteProm(w io.Writer) error {
+	snap := r.Snapshot()
+	if err := writePromSection(w, "deterministic metrics (stable for a given seed and flags)", snap.Deterministic); err != nil {
+		return err
+	}
+	return writePromSection(w, "wall-clock metrics (vary run to run)", snap.Wall)
+}
+
+func writePromSection(w io.Writer, header string, sec Section) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", header); err != nil {
+		return err
+	}
+	type line struct {
+		name, typ, body string
+	}
+	var lines []line
+	for name, v := range sec.Counters {
+		lines = append(lines, line{name, "counter", fmt.Sprintf("%s %d\n", name, v)})
+	}
+	for name, v := range sec.Gauges {
+		lines = append(lines, line{name, "gauge", fmt.Sprintf("%s %s\n", name, formatFloat(v))})
+	}
+	for name, hs := range sec.Histograms {
+		var b strings.Builder
+		base, labels := splitName(name)
+		cum := int64(0)
+		for i, n := range hs.Counts {
+			cum += n
+			le := "+Inf"
+			if i < len(hs.Bounds) {
+				le = formatFloat(hs.Bounds[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{%sle=%q} %d\n", base, labels, le, cum)
+		}
+		fmt.Fprintf(&b, "%s_sum%s %s\n", base, wrapLabels(labels), formatFloat(hs.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", base, wrapLabels(labels), hs.Count)
+		lines = append(lines, line{name, "histogram", b.String()})
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	lastType := ""
+	for _, l := range lines {
+		base, _ := splitName(l.name)
+		if key := base + "/" + l.typ; key != lastType {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, l.typ); err != nil {
+				return err
+			}
+			lastType = key
+		}
+		if _, err := io.WriteString(w, l.body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitName separates a metric name from its optional {label="v"}
+// suffix, returning the inner label list with a trailing comma when
+// present ("" otherwise) so a le label can be appended directly.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	inner := name[i+1 : len(name)-1]
+	if inner == "" {
+		return name[:i], ""
+	}
+	return name[:i], inner + ","
+}
+
+// wrapLabels re-wraps a splitName label list for a series without an
+// extra label.
+func wrapLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + strings.TrimSuffix(labels, ",") + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildExpoRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("txns_total").Add(100)
+	r.Counter(`records_total{pass="grids"}`).Add(7)
+	r.WallGauge("rate").Set(1.5)
+	h := r.Histogram("chunk_records", []float64{2, 8})
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(100)
+	r.WallHistogram(`gzip_seconds{stream="a"}`, []float64{0.5}).Observe(0.25)
+	return r
+}
+
+func TestWritePromFormat(t *testing.T) {
+	var b strings.Builder
+	if err := buildExpoRegistry().WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	detHdr := strings.Index(out, "# deterministic metrics")
+	wallHdr := strings.Index(out, "# wall-clock metrics")
+	if detHdr < 0 || wallHdr < 0 || detHdr > wallHdr {
+		t.Fatalf("section headers missing or out of order:\n%s", out)
+	}
+	det, wall := out[:wallHdr], out[wallHdr:]
+
+	for _, want := range []string{
+		"# TYPE txns_total counter\n",
+		"txns_total 100\n",
+		`records_total{pass="grids"} 7` + "\n",
+		"# TYPE chunk_records histogram\n",
+		`chunk_records_bucket{le="2"} 2` + "\n", // cumulative: 1 + 1
+		`chunk_records_bucket{le="8"} 2` + "\n",
+		`chunk_records_bucket{le="+Inf"} 3` + "\n",
+		"chunk_records_sum 103\n",
+		"chunk_records_count 3\n",
+	} {
+		if !strings.Contains(det, want) {
+			t.Errorf("deterministic section missing %q:\n%s", want, det)
+		}
+	}
+	for _, want := range []string{
+		"rate 1.5\n",
+		// The le label composes after the metric's own labels; _sum and
+		// _count keep the original label set.
+		`gzip_seconds_bucket{stream="a",le="0.5"} 1` + "\n",
+		`gzip_seconds_bucket{stream="a",le="+Inf"} 1` + "\n",
+		`gzip_seconds_sum{stream="a"} 0.25` + "\n",
+		`gzip_seconds_count{stream="a"} 1` + "\n",
+	} {
+		if !strings.Contains(wall, want) {
+			t.Errorf("wall section missing %q:\n%s", want, wall)
+		}
+	}
+	if strings.Contains(wall, "txns_total") || strings.Contains(det, "gzip_seconds") {
+		t.Fatalf("metric leaked into the wrong section:\n%s", out)
+	}
+}
+
+// TestWritePromByteStable: repeated dumps of the same state are
+// byte-identical (map iteration order must not leak into the output).
+func TestWritePromByteStable(t *testing.T) {
+	r := buildExpoRegistry()
+	var first string
+	for i := 0; i < 10; i++ {
+		var b strings.Builder
+		if err := r.WriteProm(&b); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = b.String()
+		} else if b.String() != first {
+			t.Fatalf("dump %d differs from first:\n%s\nvs\n%s", i, b.String(), first)
+		}
+	}
+}
+
+func TestWriteJSONByteStable(t *testing.T) {
+	r := buildExpoRegistry()
+	var a, b strings.Builder
+	if err := r.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("JSON dumps of identical state differ")
+	}
+	for _, want := range []string{`"deterministic"`, `"wall"`, `"txns_total": 100`} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("JSON dump missing %q:\n%s", want, a.String())
+		}
+	}
+}
+
+func TestSplitName(t *testing.T) {
+	cases := []struct {
+		in, base, labels string
+	}{
+		{"plain", "plain", ""},
+		{`m{a="1"}`, "m", `a="1",`},
+		{`m{a="1",b="2"}`, "m", `a="1",b="2",`},
+		{"m{}", "m", ""},
+		{"odd{unclosed", "odd{unclosed", ""},
+	}
+	for _, tc := range cases {
+		base, labels := splitName(tc.in)
+		if base != tc.base || labels != tc.labels {
+			t.Errorf("splitName(%q) = (%q, %q), want (%q, %q)", tc.in, base, labels, tc.base, tc.labels)
+		}
+	}
+	if got := wrapLabels(`a="1",`); got != `{a="1"}` {
+		t.Errorf("wrapLabels = %q", got)
+	}
+	if got := wrapLabels(""); got != "" {
+		t.Errorf("wrapLabels(empty) = %q", got)
+	}
+}

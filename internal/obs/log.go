@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// The shared CLI stderr logger: every command logs through Logf with a
+// component= prefix ("webfail", "webfail-analyze", "webfail-bgp"), so
+// diagnostics are uniformly attributable and never touch stdout.
+var (
+	logMu sync.Mutex
+	logW  io.Writer = os.Stderr
+
+	// osExit is swappable so Fatalf is testable.
+	osExit = os.Exit
+)
+
+// SetLogOutput redirects Logf (default os.Stderr) and returns a
+// function restoring the previous writer. Intended for tests.
+func SetLogOutput(w io.Writer) (restore func()) {
+	logMu.Lock()
+	defer logMu.Unlock()
+	prev := logW
+	logW = w
+	return func() {
+		logMu.Lock()
+		defer logMu.Unlock()
+		logW = prev
+	}
+}
+
+// Logf writes one "component: message" line to the log writer.
+func Logf(component, format string, args ...any) {
+	logMu.Lock()
+	defer logMu.Unlock()
+	fmt.Fprintf(logW, component+": "+format+"\n", args...)
+}
+
+// Fatalf logs like Logf and exits with status 1.
+func Fatalf(component, format string, args ...any) {
+	Logf(component, format, args...)
+	osExit(1)
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanRecordsIntoWallSection(t *testing.T) {
+	r := NewRegistry()
+	sp := r.Span("phase/a")
+	time.Sleep(2 * time.Millisecond)
+	d := sp.End()
+	if d < 2*time.Millisecond {
+		t.Fatalf("span duration %v implausibly short", d)
+	}
+	r.Span("phase/a").End()
+	snap := r.Snapshot().Wall
+	if got := snap.Counters[`span_count{span="phase/a"}`]; got != 2 {
+		t.Fatalf("span_count = %d, want 2", got)
+	}
+	if secs := snap.Gauges[`span_seconds{span="phase/a"}`]; secs < d.Seconds() {
+		t.Fatalf("span_seconds = %v, want >= %v (durations accumulate)", secs, d.Seconds())
+	}
+	if len(r.Snapshot().Deterministic.Counters) != 0 {
+		t.Fatal("span leaked into the deterministic section")
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	var mu sync.Mutex
+	var b strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	})
+	p := NewProgress(w, "testcmd", "txns", 1000, 4, 5*time.Millisecond)
+	if p.Shard(4) != nil || p.Shard(-1) != nil {
+		t.Fatal("out-of-range Shard did not return nil")
+	}
+	p.Shard(4).Add(1) // nil shard counter must accept updates
+	p.Start()
+	for s := 0; s < 4; s++ {
+		p.Shard(s).Add(int64(100 + 10*s))
+	}
+	time.Sleep(15 * time.Millisecond)
+	p.Stop()
+
+	if got := p.Total(); got != 460 {
+		t.Fatalf("Total = %d, want 460", got)
+	}
+	mu.Lock()
+	out := b.String()
+	mu.Unlock()
+	if !strings.Contains(out, "testcmd: progress") {
+		t.Fatalf("no progress lines:\n%s", out)
+	}
+	if !strings.Contains(out, "46.0% 460/1.0k txns") {
+		t.Fatalf("missing percentage report:\n%s", out)
+	}
+	if !strings.Contains(out, "shard-spread 30") {
+		t.Fatalf("missing shard-spread (130-100):\n%s", out)
+	}
+	if !strings.Contains(out, "done 460 txns in") {
+		t.Fatalf("missing final summary:\n%s", out)
+	}
+
+	// Nil and never-started reporters are inert.
+	var np *Progress
+	np.Start()
+	np.Shard(0).Add(1)
+	np.Stop()
+	NewProgress(io.Discard, "x", "y", 0, 1, 0).Stop()
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestFmtCount(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{0, "0"}, {987, "987"}, {23_400, "23.4k"}, {1_350_000, "1.35M"},
+		{2_100_000_000, "2.10G"}, {-1500, "-1.5k"},
+	}
+	for _, tc := range cases {
+		if got := fmtCount(tc.n); got != tc.want {
+			t.Errorf("fmtCount(%d) = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestLogfAndFatalf(t *testing.T) {
+	var b strings.Builder
+	restore := SetLogOutput(&b)
+	defer restore()
+	Logf("mycmd", "bad thing %d", 7)
+	if got := b.String(); got != "mycmd: bad thing 7\n" {
+		t.Fatalf("Logf output = %q", got)
+	}
+
+	b.Reset()
+	exited := -1
+	prevExit := osExit
+	osExit = func(code int) { exited = code }
+	defer func() { osExit = prevExit }()
+	Fatalf("mycmd", "fatal %s", "err")
+	if exited != 1 {
+		t.Fatalf("Fatalf exit code = %d, want 1", exited)
+	}
+	if got := b.String(); got != "mycmd: fatal err\n" {
+		t.Fatalf("Fatalf output = %q", got)
+	}
+}
+
+func TestCLIFlagsSession(t *testing.T) {
+	dir := t.TempDir()
+	f := CLIFlags{
+		MemProfile:    filepath.Join(dir, "heap.prof"),
+		MetricsOut:    filepath.Join(dir, "metrics.txt"),
+		MetricsListen: "127.0.0.1:0",
+	}
+	reg := NewRegistry()
+	reg.Counter("smoke_total").Add(3)
+	sess, err := f.Start("testcmd", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := sess.ListenAddr()
+	if addr == "" {
+		t.Fatal("no listener address for :0 listen")
+	}
+	for path, want := range map[string]string{
+		"/metrics":      "smoke_total 3",
+		"/metrics.json": `"smoke_total": 3`,
+	} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("GET %s: missing %q:\n%s", path, want, body)
+		}
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	dump, err := os.ReadFile(f.MetricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dump), "smoke_total 3") {
+		t.Fatalf("metrics dump missing counter:\n%s", dump)
+	}
+	if st, err := os.Stat(f.MemProfile); err != nil || st.Size() == 0 {
+		t.Fatalf("heap profile missing or empty: %v", err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/metrics", addr)); err == nil {
+		t.Fatal("listener still serving after Close")
+	}
+}
+
+func TestCLIFlagsRegisterDefaults(t *testing.T) {
+	var f CLIFlags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f.Register(fs)
+	if err := fs.Parse([]string{"-progress", "-metrics-out", "m.txt"}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Progress || f.MetricsOut != "m.txt" || f.CPUProfile != "" {
+		t.Fatalf("parsed flags = %+v", f)
+	}
+	// No flags set: Start is a cheap no-op session.
+	var off CLIFlags
+	sess, err := off.Start("x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.ListenAddr() != "" {
+		t.Fatal("idle session claims a listener")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,376 @@
+// Package obs is the run-wide observability layer: a zero-dependency
+// metrics registry (atomic counters, gauges, and fixed-bucket
+// histograms), lightweight phase/span timers, a periodic progress
+// reporter, and two exposition formats (a Prometheus-style text dump
+// and a JSON snapshot).
+//
+// Metrics come in two classes, kept separate in every exposition:
+//
+//   - deterministic metrics count work the pipeline performed — numbers
+//     that depend only on the seed and the flags, never on the wall
+//     clock or the shard count interleaving (transactions evaluated,
+//     failures, episodes scanned, records ingested);
+//   - wall-clock metrics measure elapsed real time and derived rates
+//     (span durations, gzip time, throughput), which vary run to run.
+//
+// The registry mirrors how core.Analysis shards: per-shard Registry
+// instances can be folded together with Merge, which sums every metric
+// and is therefore independent of merge order. The common single-process
+// pattern is simpler still — one shared Registry whose atomic metrics
+// are updated from any goroutine, with hot loops keeping plain local
+// counters and folding them in once at shard completion (the pattern
+// internal/measure uses so its per-transaction path stays
+// allocation-free).
+//
+// All instrumentation is stdout-silent: the registry writes only where
+// it is told to (a file, an HTTP response, a caller-supplied stderr
+// writer), so golden-stdout tests hold with metrics enabled.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics. The zero value is not usable; create
+// with NewRegistry. All methods are safe for concurrent use, and every
+// getter is nil-receiver-safe (a nil *Registry hands out nil metrics
+// whose update methods no-op), so instrumented code needs no "is
+// observability on?" branches.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing integer metric. The nil
+// counter (handed out by a nil Registry) accepts updates and reads as
+// zero.
+type Counter struct {
+	v    atomic.Int64
+	wall bool
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can move both ways. The nil gauge
+// accepts updates and reads as zero.
+type Gauge struct {
+	v    atomicFloat
+	wall bool
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds v to the gauge.
+func (g *Gauge) Add(v float64) {
+	if g != nil {
+		g.v.Add(v)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets. A histogram with
+// upper bounds [b0, b1, ..., bn-1] has n+1 buckets: observation v lands
+// in the first bucket whose bound satisfies v <= bound, or in the
+// implicit +Inf overflow bucket. The nil histogram accepts observations
+// and snapshots empty.
+type Histogram struct {
+	bounds []float64 // sorted ascending upper bounds
+	counts []atomic.Int64
+	sum    atomicFloat
+	count  atomic.Int64
+	wall   bool
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v; the overflow bucket is
+	// len(bounds).
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Counter returns the deterministic counter with the given name,
+// creating it on first use. Names may carry a Prometheus-style label
+// suffix, e.g. `records_total{pass="grids"}`.
+func (r *Registry) Counter(name string) *Counter { return r.counter(name, false) }
+
+// WallCounter returns the wall-clock counter with the given name.
+func (r *Registry) WallCounter(name string) *Counter { return r.counter(name, true) }
+
+// Gauge returns the deterministic gauge with the given name.
+func (r *Registry) Gauge(name string) *Gauge { return r.gauge(name, false) }
+
+// WallGauge returns the wall-clock gauge with the given name.
+func (r *Registry) WallGauge(name string) *Gauge { return r.gauge(name, true) }
+
+// Histogram returns the deterministic histogram with the given name and
+// bucket upper bounds (strictly ascending; the +Inf overflow bucket is
+// implicit). Re-registering a name with different bounds panics.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	return r.histogram(name, bounds, false)
+}
+
+// WallHistogram returns the wall-clock histogram with the given name
+// and bounds.
+func (r *Registry) WallHistogram(name string, bounds []float64) *Histogram {
+	return r.histogram(name, bounds, true)
+}
+
+func (r *Registry) counter(name string, wall bool) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		if c.wall != wall {
+			panic(fmt.Sprintf("obs: counter %q re-registered with a different class", name))
+		}
+		return c
+	}
+	r.checkFree(name, "counter")
+	c := &Counter{wall: wall}
+	r.counters[name] = c
+	return c
+}
+
+func (r *Registry) gauge(name string, wall bool) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		if g.wall != wall {
+			panic(fmt.Sprintf("obs: gauge %q re-registered with a different class", name))
+		}
+		return g
+	}
+	r.checkFree(name, "gauge")
+	g := &Gauge{wall: wall}
+	r.gauges[name] = g
+	return g
+}
+
+func (r *Registry) histogram(name string, bounds []float64, wall bool) *Histogram {
+	if r == nil {
+		return nil
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly ascending", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		if h.wall != wall || !equalBounds(h.bounds, bounds) {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with different class or bounds", name))
+		}
+		return h
+	}
+	r.checkFree(name, "histogram")
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+		wall:   wall,
+	}
+	r.hists[name] = h
+	return h
+}
+
+// checkFree panics if name is already registered as another metric
+// kind. Callers hold r.mu.
+func (r *Registry) checkFree(name, kind string) {
+	if _, ok := r.counters[name]; ok && kind != "counter" {
+		panic(fmt.Sprintf("obs: %s %q already registered as a counter", kind, name))
+	}
+	if _, ok := r.gauges[name]; ok && kind != "gauge" {
+		panic(fmt.Sprintf("obs: %s %q already registered as a gauge", kind, name))
+	}
+	if _, ok := r.hists[name]; ok && kind != "histogram" {
+		panic(fmt.Sprintf("obs: %s %q already registered as a histogram", kind, name))
+	}
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge folds every metric of src into r: counters, gauges, and
+// histograms all sum (gauges included, so per-shard residency gauges
+// aggregate naturally). Summation commutes, so merging shard registries
+// in any order yields the same result — the registry counterpart of
+// core.Analysis.Merge. Merge validates every metric before applying
+// anything: a kind, class, or bucket-bounds mismatch returns an error
+// and leaves r untouched.
+func (r *Registry) Merge(src *Registry) error {
+	if src == nil {
+		return nil
+	}
+	if r == nil {
+		return fmt.Errorf("obs: merge into nil registry")
+	}
+	if r == src {
+		return fmt.Errorf("obs: merge registry with itself")
+	}
+	snap := src.Snapshot()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Phase 1: validate against r's existing registrations.
+	for _, sec := range []Section{snap.Deterministic, snap.Wall} {
+		for name := range sec.Counters {
+			if err := r.mergeCheck(name, "counter"); err != nil {
+				return err
+			}
+		}
+		for name := range sec.Gauges {
+			if err := r.mergeCheck(name, "gauge"); err != nil {
+				return err
+			}
+		}
+		for name, hs := range sec.Histograms {
+			if err := r.mergeCheck(name, "histogram"); err != nil {
+				return err
+			}
+			if h, ok := r.hists[name]; ok && !equalBounds(h.bounds, hs.Bounds) {
+				return fmt.Errorf("obs: merge: histogram %q bucket bounds differ", name)
+			}
+		}
+	}
+	// Phase 2: apply. The maps are touched directly (r.mu is held) via
+	// the same get-or-create paths, minus locking.
+	apply := func(sec Section, wall bool) {
+		for name, v := range sec.Counters {
+			c, ok := r.counters[name]
+			if !ok {
+				c = &Counter{wall: wall}
+				r.counters[name] = c
+			}
+			c.v.Add(v)
+		}
+		for name, v := range sec.Gauges {
+			g, ok := r.gauges[name]
+			if !ok {
+				g = &Gauge{wall: wall}
+				r.gauges[name] = g
+			}
+			g.v.Add(v)
+		}
+		for name, hs := range sec.Histograms {
+			h, ok := r.hists[name]
+			if !ok {
+				h = &Histogram{
+					bounds: append([]float64(nil), hs.Bounds...),
+					counts: make([]atomic.Int64, len(hs.Bounds)+1),
+					wall:   wall,
+				}
+				r.hists[name] = h
+			}
+			for i, n := range hs.Counts {
+				h.counts[i].Add(n)
+			}
+			h.sum.Add(hs.Sum)
+			h.count.Add(hs.Count)
+		}
+	}
+	apply(snap.Deterministic, false)
+	apply(snap.Wall, true)
+	return nil
+}
+
+// mergeCheck reports whether name is registered in r as a different
+// metric kind. Callers hold r.mu.
+func (r *Registry) mergeCheck(name, kind string) error {
+	if _, ok := r.counters[name]; ok && kind != "counter" {
+		return fmt.Errorf("obs: merge: %q is a counter in the receiver, a %s in the source", name, kind)
+	}
+	if _, ok := r.gauges[name]; ok && kind != "gauge" {
+		return fmt.Errorf("obs: merge: %q is a gauge in the receiver, a %s in the source", name, kind)
+	}
+	if _, ok := r.hists[name]; ok && kind != "histogram" {
+		return fmt.Errorf("obs: merge: %q is a histogram in the receiver, a %s in the source", name, kind)
+	}
+	return nil
+}
+
+// atomicFloat is a float64 with atomic Store/Load/Add.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}

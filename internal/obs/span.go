@@ -1,0 +1,32 @@
+package obs
+
+import "time"
+
+// Span is a lightweight phase timer: Registry.Span starts it, End
+// records the elapsed wall time. Spans cover pipeline stages ("run/
+// fast-mode", "ingest", "report"), not per-transaction work — starting
+// one costs a clock read, ending one costs two registry updates.
+type Span struct {
+	r     *Registry
+	name  string
+	start time.Time
+}
+
+// Span starts a phase timer. Span is a value (no allocation), and a
+// span from a nil registry still measures time but records nothing.
+func (r *Registry) Span(name string) Span {
+	return Span{r: r, name: name, start: time.Now()}
+}
+
+// End records the span's wall-clock duration and completion count into
+// the registry's wall section (`span_seconds{span="name"}` accumulates
+// seconds, `span_count{span="name"}` counts completions) and returns
+// the elapsed time.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	if s.r != nil {
+		s.r.WallGauge(`span_seconds{span="` + s.name + `"}`).Add(d.Seconds())
+		s.r.WallCounter(`span_count{span="` + s.name + `"}`).Inc()
+	}
+	return d
+}

@@ -42,13 +42,20 @@ func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
 // Scheduler is a deterministic discrete-event scheduler.
 // The zero value is ready to use at Time 0.
 type Scheduler struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now        Time
+	seq        uint64
+	dispatched uint64
+	events     eventHeap
 }
 
 // Now returns the current simulated time.
 func (s *Scheduler) Now() Time { return s.now }
+
+// Dispatched returns the number of events executed so far. The count is
+// deterministic for a given seed and schedule; drivers fold it into an
+// observability registry after the run (the scheduler itself stays
+// zero-dependency).
+func (s *Scheduler) Dispatched() uint64 { return s.dispatched }
 
 // At schedules fn to run at the given absolute simulated time. Scheduling in
 // the past panics: it would silently reorder causality.
@@ -101,6 +108,7 @@ func (s *Scheduler) Step() bool {
 	}
 	e := s.events.popEvent()
 	s.now = e.at
+	s.dispatched++
 	e.fn()
 	return true
 }

@@ -4,11 +4,15 @@
 # the packages exercising the sharded runner, the merge, and the
 # sharded dataset ingest, to keep CI time bounded), the dataset
 # backward-compatibility gate against the checked-in v1 fixture, the
-# golden-stdout gate on webfail-analyze (byte-identity of the pass
-# refactor across -parallel values), the selective-vs-full
-# analyzer-pass equivalence under the race detector, and the
-# allocation-regression gate on the fast-mode hot path (evaluate must
-# stay at zero heap allocations per transaction).
+# golden-stdout gate on webfail-analyze (byte-identity across
+# -parallel values, with and without metrics enabled — the
+# TestGolden pattern includes TestGoldenStdoutWithMetrics), the
+# selective-vs-full analyzer-pass equivalence under the race detector,
+# the observability registry under the race detector (concurrent
+# updates, merge determinism), and the allocation-regression gate on
+# the fast-mode hot path (evaluate must stay at zero heap allocations
+# per transaction, with its metrics counters and progress flushing
+# active).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -22,4 +26,5 @@ go test -race -run 'TestSerialParallelEquivalence|TestRunParallelShardClamp|Test
 go test -run 'TestDatasetV1Compat' ./internal/dataset
 go test -run 'TestGolden' ./cmd/webfail-analyze
 go test -race -run 'TestSelectiveMatchesFull|TestArtifactPassRegistry' ./internal/report
+go test -race -count=1 ./internal/obs
 go test -run 'TestEvaluateZeroAllocs' -count=1 ./internal/measure
