@@ -199,6 +199,28 @@ func BenchmarkRunPacketMode(b *testing.B) {
 	}
 }
 
+// BenchmarkRunPacketModeParallel measures packet-mode throughput across
+// client-sharded worlds (4 shards): per-shard Network+Scheduler pairs run
+// concurrently and the merged record stream is byte-identical to the
+// serial engine's, so the speedup is pure wall-clock. The fixture is
+// larger than BenchmarkRunPacketMode's (24 clients — compare txns/sec,
+// not ns/op): with only a few hundred transactions per run, world setup
+// dominates and sharding cannot pay for itself.
+func BenchmarkRunPacketModeParallel(b *testing.B) {
+	topo := workload.NewScaledTopology(24, 8)
+	end := simnet.FromHours(2)
+	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(fixtureSeed, 0, end))
+	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := measure.RunPacketParallel(cfg, 4, func(_ int, r *measure.Record) { n++ }); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(n), "txns/op")
+	}
+}
+
 // BenchmarkTable3 regenerates the per-category transaction/connection
 // failure table. Paper: PL 2.8%, BB 1.3%, DU 0.7%, CN 0.8%.
 func BenchmarkTable3(b *testing.B) {

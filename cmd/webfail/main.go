@@ -9,8 +9,12 @@
 //	-seed N      scenario seed (default 2005)
 //	-runseed N   per-transaction sampling seed (default 1)
 //	-mode M      "fast" (default) or "packet" (small scales only)
-//	-parallel N  fast-mode worker shards (default GOMAXPROCS; 1 = serial;
-//	             output is identical for any value)
+//	-parallel N  worker shards, fast and packet mode (default GOMAXPROCS;
+//	             1 = serial; output is identical for any value)
+//	-calibrate   run BOTH engines on the same configuration and compare
+//	             their failure distributions; prints the calibration
+//	             report and exits nonzero when any gated family is
+//	             outside tolerance (packet-scale configs only)
 //	-clients N   limit the client roster (0 = all 134)
 //	-sites N     limit the website roster (0 = all 80)
 //	-artifacts LIST  comma-separated selection, e.g. "table3,fig5,headlines"
@@ -53,7 +57,8 @@ func main() {
 		seed      = flag.Int64("seed", 2005, "scenario seed")
 		runSeed   = flag.Int64("runseed", 1, "per-transaction sampling seed")
 		mode      = flag.String("mode", "fast", "fast or packet")
-		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "fast-mode worker shards (1 = serial)")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker shards, fast and packet mode (1 = serial)")
+		calibrate = flag.Bool("calibrate", false, "compare fast vs packet failure distributions and exit")
 		nClients  = flag.Int("clients", 0, "limit client roster (0 = all)")
 		nSites    = flag.Int("sites", 0, "limit website roster (0 = all)")
 		artifacts = flag.String("artifacts", "", "comma-separated artifacts (table1..table9, fig1..fig7, replicas, headlines)")
@@ -90,8 +95,26 @@ func main() {
 	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(*seed, 0, end))
 	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: *runSeed, Start: 0, End: end, Metrics: reg}
 
+	if *calibrate {
+		if workload.ExpectedTransactions(topo, *runSeed, 0, end) > 2_000_000 {
+			obs.Fatalf(component, "calibration runs packet mode; reduce -hours/-clients/-sites")
+		}
+		fmt.Printf("webfail: calibrating fast vs packet; %d clients x %d websites over %d hours\n\n",
+			len(topo.Clients), len(topo.Websites), *hours)
+		rep, err := measure.Calibrate(cfg, measure.CalibrateOptions{Shards: *parallel})
+		if err != nil {
+			obs.Fatalf(component, "calibrate: %v", err)
+		}
+		fmt.Println(rep)
+		if !rep.Pass {
+			sess.Close()
+			os.Exit(1)
+		}
+		return
+	}
+
 	shards := 1
-	if *mode == "fast" {
+	if *mode == "fast" || *mode == "packet" {
 		shards = measure.EffectiveShards(len(topo.Clients), *parallel)
 	}
 	fmt.Printf("webfail: %s; %d clients x %d websites over %d hours (%s mode, %d shards)\n",
@@ -153,7 +176,15 @@ func main() {
 		if workload.ExpectedTransactions(topo, *runSeed, 0, end) > 2_000_000 {
 			obs.Fatalf(component, "packet mode at this scale would take very long; reduce -hours/-clients/-sites")
 		}
-		err = measure.RunPacket(cfg, visit)
+		if shards > 1 {
+			// The parallel entry point replays each shard's buffered
+			// records sequentially in canonical order after the workers
+			// finish, so the single accumulator and dataset sink see the
+			// exact serial stream.
+			err = measure.RunPacketParallel(cfg, shards, func(_ int, r *measure.Record) { visit(r) })
+		} else {
+			err = measure.RunPacket(cfg, visit)
+		}
 	default:
 		obs.Fatalf(component, "unknown mode %q", *mode)
 	}

@@ -47,6 +47,7 @@ type LDNS struct {
 	RecursionBudget time.Duration
 
 	exch  *exchanger
+	enc   []byte // recycled response-encoding scratch
 	cache map[string]cacheEntry
 
 	// Stats observable by tests and the harness.
@@ -112,7 +113,7 @@ func (l *LDNS) handle(pkt *simnet.Packet) {
 		for _, a := range l.RootHints {
 			resp.Answers = append(resp.Answers, dnswire.RR{Name: name, Type: dnswire.TypeA, TTL: 3600, A: a})
 		}
-		replyUDP(l.Host, src, srcPort, resp)
+		replyUDP(l.Host, &l.enc, src, srcPort, resp)
 		return
 	}
 
@@ -122,7 +123,7 @@ func (l *LDNS) handle(pkt *simnet.Packet) {
 		for _, a := range e.addrs {
 			resp.Answers = append(resp.Answers, dnswire.RR{Name: name, Type: dnswire.TypeA, TTL: 30, A: a})
 		}
-		replyUDP(l.Host, src, srcPort, resp)
+		replyUDP(l.Host, &l.enc, src, srcPort, resp)
 		return
 	}
 	l.Misses++
@@ -139,11 +140,11 @@ func (l *LDNS) handle(pkt *simnet.Packet) {
 			// practice the stub's shorter timeout fires first,
 			// which is what makes an unreachable authoritative
 			// server look like a "non-LDNS timeout" at the client.
-			replyUDP(l.Host, src, srcPort, dnswire.NewResponse(q, dnswire.RCodeServFail, false))
+			replyUDP(l.Host, &l.enc, src, srcPort, dnswire.NewResponse(q, dnswire.RCodeServFail, false))
 			return
 		}
 		if rcode != dnswire.RCodeNoError {
-			replyUDP(l.Host, src, srcPort, dnswire.NewResponse(q, rcode, false))
+			replyUDP(l.Host, &l.enc, src, srcPort, dnswire.NewResponse(q, rcode, false))
 			return
 		}
 		l.cache[name] = cacheEntry{addrs: addrs, expires: l.Host.Now().Add(60 * time.Second)}
@@ -151,7 +152,7 @@ func (l *LDNS) handle(pkt *simnet.Packet) {
 		for _, a := range addrs {
 			resp.Answers = append(resp.Answers, dnswire.RR{Name: name, Type: dnswire.TypeA, TTL: 30, A: a})
 		}
-		replyUDP(l.Host, src, srcPort, resp)
+		replyUDP(l.Host, &l.enc, src, srcPort, resp)
 	})
 }
 

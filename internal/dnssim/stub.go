@@ -184,7 +184,18 @@ func (r *DigReport) Classify() FailureClass {
 	if r.Completed && len(r.Addrs) > 0 {
 		return ClassSuccess
 	}
-	return ClassNonLDNSTimeout
+	// A timed-out walk in which some server responded (a referral was
+	// followed) but a deeper one stayed silent pins the blame on that
+	// remote server: the genuine "non-LDNS timeout". When *no* remote
+	// server responded at all, the only common element is the client's
+	// own access path, which the paper files with the client-side/LDNS
+	// class (its dig post-processing ran from the same vantage as wget).
+	for _, st := range r.Steps {
+		if st.Responded {
+			return ClassNonLDNSTimeout
+		}
+	}
+	return ClassLDNSTimeout
 }
 
 // Dig performs iterative resolution for diagnosis: first a direct LDNS

@@ -31,11 +31,69 @@ const Port = 53
 type exchanger struct {
 	host   *simnet.Host
 	nextID uint16
+	enc    []byte // recycled query-encoding scratch
+	// free pools finished pendingQuery states (with their cached method
+	// closures) so the per-query hot path allocates nothing.
+	free []*pendingQuery
 }
 
 func newExchanger(host *simnet.Host) *exchanger {
 	return &exchanger{host: host}
 }
+
+// pendingQuery is the in-flight state of one query. onPacket/onTimeout are
+// method values created once per pooled instance; they capture only the
+// (stable) pointer, so reusing the instance reuses the closures.
+type pendingQuery struct {
+	e         *exchanger
+	server    netip.Addr
+	wantID    uint16
+	port      uint16
+	done      func(*dnswire.Message)
+	timer     simnet.TimerHandle
+	finished  bool
+	onPacket  func(*simnet.Packet)
+	onTimeout func()
+}
+
+func (pq *pendingQuery) finish(m *dnswire.Message) {
+	if pq.finished {
+		return
+	}
+	pq.finished = true
+	pq.timer.Stop()
+	pq.e.host.Unbind(simnet.UDP, pq.port)
+	done := pq.done
+	pq.done = nil
+	pq.e.free = append(pq.e.free, pq)
+	done(m)
+}
+
+func (pq *pendingQuery) handlePacket(pkt *simnet.Packet) {
+	if pq.finished {
+		return
+	}
+	var iph netwire.IPv4
+	var uh netwire.UDPHeader
+	transport, err := netwire.DecodeIPv4Into(pkt.Bytes, &iph)
+	if err != nil {
+		return
+	}
+	body, err := netwire.DecodeUDPInto(transport, &uh)
+	if err != nil {
+		return
+	}
+	m, err := dnswire.Decode(body)
+	if err != nil || !m.Header.Response || m.Header.ID != pq.wantID {
+		return
+	}
+	if pkt.Src != pq.server {
+		return
+	}
+	pq.finish(m)
+}
+
+func (pq *pendingQuery) handleTimeout() { pq.finish(nil) }
 
 // query sends msg to server and calls done exactly once: with the decoded
 // response, or with nil after the timeout. The ephemeral port is released
@@ -44,69 +102,55 @@ func newExchanger(host *simnet.Host) *exchanger {
 func (e *exchanger) query(server netip.Addr, q *dnswire.Message, timeout time.Duration, done func(*dnswire.Message)) {
 	e.nextID++
 	q.Header.ID = e.nextID
-	payload, err := dnswire.Encode(q)
+	payload, err := dnswire.EncodeAppend(e.enc[:0], q)
+	e.enc = payload
 	if err != nil {
 		// Queries are built by this package; an encode failure is a
 		// bug, not a network condition.
 		panic("dnssim: bad query: " + err.Error())
 	}
 
-	port := e.host.EphemeralPort(simnet.UDP)
-	finished := false
-	var timer *simnet.Timer
-
-	finish := func(m *dnswire.Message) {
-		if finished {
-			return
-		}
-		finished = true
-		timer.Stop()
-		e.host.Unbind(simnet.UDP, port)
-		done(m)
+	var pq *pendingQuery
+	if n := len(e.free); n > 0 {
+		pq = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		pq = &pendingQuery{e: e}
+		pq.onPacket = pq.handlePacket
+		pq.onTimeout = pq.handleTimeout
 	}
+	pq.server = server
+	pq.wantID = q.Header.ID
+	pq.port = e.host.EphemeralPort(simnet.UDP)
+	pq.done = done
+	pq.finished = false
 
-	wantID := q.Header.ID
-	if err := e.host.Bind(simnet.UDP, port, func(pkt *simnet.Packet) {
-		_, transport, err := netwire.DecodeIPv4(pkt.Bytes)
-		if err != nil {
-			return
-		}
-		_, body, err := netwire.DecodeUDP(transport, pkt.Src, pkt.Dst)
-		if err != nil {
-			return
-		}
-		m, err := dnswire.Decode(body)
-		if err != nil || !m.Header.Response || m.Header.ID != wantID {
-			return
-		}
-		if pkt.Src != server {
-			return
-		}
-		finish(m)
-	}); err != nil {
+	if err := e.host.Bind(simnet.UDP, pq.port, pq.onPacket); err != nil {
 		panic("dnssim: ephemeral bind: " + err.Error())
 	}
-
-	timer = e.host.Network().Sched.AfterTimer(timeout, func() { finish(nil) })
-	sendUDP(e.host, port, server, Port, payload)
+	pq.timer = e.host.Network().Sched.AfterHandle(timeout, pq.onTimeout)
+	sendUDP(e.host, pq.port, server, Port, payload)
 }
 
-// sendUDP wraps a DNS payload in UDP and IPv4 and transmits it.
+// sendUDP wraps a DNS payload in UDP and IPv4 and transmits it through a
+// pooled packet buffer (recycled by the network after delivery or drop).
 func sendUDP(host *simnet.Host, srcPort uint16, dst netip.Addr, dstPort uint16, payload []byte) {
-	dgram, err := netwire.EncodeUDP(nil, &netwire.UDPHeader{SrcPort: srcPort, DstPort: dstPort}, host.Addr, dst, payload)
+	pkt := host.Network().AllocPacket()
+	b, err := netwire.AppendUDPPacket(pkt.Bytes[:0], host.Addr, dst,
+		&netwire.UDPHeader{SrcPort: srcPort, DstPort: dstPort}, payload)
 	if err != nil {
 		panic("dnssim: udp encode: " + err.Error())
 	}
-	b, err := netwire.EncodeIPv4(nil, &netwire.IPv4{Protocol: uint8(simnet.UDP), Src: host.Addr, Dst: dst}, dgram)
-	if err != nil {
-		panic("dnssim: ip encode: " + err.Error())
-	}
-	host.Send(&simnet.Packet{Src: host.Addr, Dst: dst, Proto: simnet.UDP, Bytes: b})
+	pkt.Src, pkt.Dst, pkt.Proto, pkt.Bytes = host.Addr, dst, simnet.UDP, b
+	host.Send(pkt)
 }
 
 // replyUDP sends a DNS response back to the source of a received packet.
-func replyUDP(host *simnet.Host, to netip.Addr, toPort uint16, m *dnswire.Message) {
-	payload, err := dnswire.Encode(m)
+// scratch is the caller's recycled encoding buffer (the payload is copied
+// into a pooled packet before this returns).
+func replyUDP(host *simnet.Host, scratch *[]byte, to netip.Addr, toPort uint16, m *dnswire.Message) {
+	payload, err := dnswire.EncodeAppend((*scratch)[:0], m)
+	*scratch = payload
 	if err != nil {
 		panic("dnssim: response encode: " + err.Error())
 	}
@@ -116,11 +160,13 @@ func replyUDP(host *simnet.Host, to netip.Addr, toPort uint16, m *dnswire.Messag
 // decodeQuery extracts a DNS query and the client's source port from a
 // received packet, returning ok=false for anything malformed.
 func decodeQuery(pkt *simnet.Packet) (q *dnswire.Message, srcPort uint16, ok bool) {
-	_, transport, err := netwire.DecodeIPv4(pkt.Bytes)
+	var iph netwire.IPv4
+	var uh netwire.UDPHeader
+	transport, err := netwire.DecodeIPv4Into(pkt.Bytes, &iph)
 	if err != nil {
 		return nil, 0, false
 	}
-	uh, body, err := netwire.DecodeUDP(transport, pkt.Src, pkt.Dst)
+	body, err := netwire.DecodeUDPInto(transport, &uh)
 	if err != nil {
 		return nil, 0, false
 	}

@@ -137,8 +137,13 @@ type AuthServer struct {
 	// rot drives round-robin rotation of multi-A answers, the standard
 	// BIND behaviour that spreads load across replicas (and the reason
 	// every replica accounts for a fair share of connections in the
-	// Section 4.5 census).
-	rot uint32
+	// Section 4.5 census). It is keyed by query source so each
+	// resolver sees its own strict rotation: the rotation a client's
+	// lookup observes then depends only on that client's site's own
+	// query history, which keeps sharded packet runs byte-identical to
+	// serial ones (shard boundaries never split a site).
+	rot map[netip.Addr]uint32
+	enc []byte // recycled response-encoding scratch
 }
 
 // NewAuthServer binds an authoritative server to the host's port 53.
@@ -169,24 +174,25 @@ func (s *AuthServer) handle(pkt *simnet.Packet) {
 	case StatusDown:
 		return // silence: client times out
 	case StatusServFail:
-		replyUDP(s.Host, pkt.Src, srcPort, dnswire.NewResponse(q, dnswire.RCodeServFail, false))
+		replyUDP(s.Host, &s.enc, pkt.Src, srcPort, dnswire.NewResponse(q, dnswire.RCodeServFail, false))
 		return
 	case StatusNXDomain:
-		replyUDP(s.Host, pkt.Src, srcPort, dnswire.NewResponse(q, dnswire.RCodeNXDomain, true))
+		replyUDP(s.Host, &s.enc, pkt.Src, srcPort, dnswire.NewResponse(q, dnswire.RCodeNXDomain, true))
 		return
 	}
-	resp := s.answer(q)
+	resp := s.answer(q, pkt.Src)
 	src, port := pkt.Src, srcPort
 	s.Host.Network().Sched.After(s.ProcessingDelay, func() {
 		if s.status() == StatusDown {
 			return
 		}
-		replyUDP(s.Host, src, port, resp)
+		replyUDP(s.Host, &s.enc, src, port, resp)
 	})
 }
 
-// answer produces the authoritative response for a well-formed query.
-func (s *AuthServer) answer(q *dnswire.Message) *dnswire.Message {
+// answer produces the authoritative response for a well-formed query
+// from src.
+func (s *AuthServer) answer(q *dnswire.Message, src netip.Addr) *dnswire.Message {
 	question := q.Questions[0]
 	name := question.Name
 
@@ -222,8 +228,11 @@ func (s *AuthServer) answer(q *dnswire.Message) *dnswire.Message {
 				}
 			}
 			if n := len(answers); n > 1 {
-				s.rot++
-				off := int(s.rot) % n
+				if s.rot == nil {
+					s.rot = make(map[netip.Addr]uint32)
+				}
+				s.rot[src]++
+				off := int(s.rot[src]) % n
 				answers = append(answers[off:len(answers):len(answers)], answers[:off]...)
 			}
 			resp.Answers = append(resp.Answers, answers...)

@@ -134,10 +134,28 @@ func Canonical(name string) string {
 	return name
 }
 
-// builder serializes a message with name compression.
+// builder serializes a message with name compression. The suffix table is
+// a small slice rather than a map: messages carry a handful of names, and
+// a linear scan beats per-message map allocation and string hashing.
 type builder struct {
 	buf     []byte
-	offsets map[string]int // canonical suffix -> offset of its first encoding
+	base    int // offset of the message header within buf
+	offsets []nameOffset
+}
+
+// nameOffset records where a canonical name suffix was first encoded.
+type nameOffset struct {
+	name string
+	off  int
+}
+
+func (b *builder) lookup(name string) (int, bool) {
+	for i := range b.offsets {
+		if b.offsets[i].name == name {
+			return b.offsets[i].off, true
+		}
+	}
+	return 0, false
 }
 
 // writeName appends name in wire format, using a compression pointer for
@@ -148,7 +166,7 @@ func (b *builder) writeName(name string) error {
 		return ErrNameTooLong
 	}
 	for name != "" {
-		if off, ok := b.offsets[name]; ok && off < 0x4000 {
+		if off, ok := b.lookup(name); ok && off < 0x4000 {
 			b.buf = binary.BigEndian.AppendUint16(b.buf, 0xC000|uint16(off))
 			return nil
 		}
@@ -159,8 +177,8 @@ func (b *builder) writeName(name string) error {
 		if len(label) > 63 {
 			return ErrLabelTooLong
 		}
-		if len(b.buf) < 0x4000 {
-			b.offsets[name] = len(b.buf)
+		if off := len(b.buf) - b.base; off < 0x4000 {
+			b.offsets = append(b.offsets, nameOffset{name: name, off: off})
 		}
 		b.buf = append(b.buf, byte(len(label)))
 		b.buf = append(b.buf, label...)
@@ -199,12 +217,28 @@ func (b *builder) writeRR(rr *RR) error {
 
 // Encode serializes the message.
 func Encode(m *Message) ([]byte, error) {
+	return EncodeAppend(nil, m)
+}
+
+// EncodeAppend serializes the message onto dst (which may be nil or a
+// recycled scratch buffer) and returns the extended slice; the message
+// occupies dst[len(dst):] of the result. Compression pointer offsets are
+// relative to the message start, so the prefix content is irrelevant.
+func EncodeAppend(dst []byte, m *Message) ([]byte, error) {
 	if len(m.Questions) > 0xffff || len(m.Answers) > 0xffff ||
 		len(m.Authority) > 0xffff || len(m.Additional) > 0xffff {
 		return nil, ErrTooManyRRs
 	}
-	b := &builder{buf: make([]byte, 12), offsets: make(map[string]int)}
-	binary.BigEndian.PutUint16(b.buf[0:], m.Header.ID)
+	base := len(dst)
+	if cap(dst)-base < 128 {
+		grown := make([]byte, base, base+512)
+		copy(grown, dst)
+		dst = grown
+	}
+	var hdr [12]byte
+	var offsets [8]nameOffset
+	b := &builder{buf: append(dst, hdr[:]...), base: base, offsets: offsets[:0]}
+	binary.BigEndian.PutUint16(b.buf[base:], m.Header.ID)
 	var flags uint16
 	if m.Header.Response {
 		flags |= 1 << 15
@@ -223,11 +257,11 @@ func Encode(m *Message) ([]byte, error) {
 		flags |= 1 << 7
 	}
 	flags |= uint16(m.Header.RCode & 0xf)
-	binary.BigEndian.PutUint16(b.buf[2:], flags)
-	binary.BigEndian.PutUint16(b.buf[4:], uint16(len(m.Questions)))
-	binary.BigEndian.PutUint16(b.buf[6:], uint16(len(m.Answers)))
-	binary.BigEndian.PutUint16(b.buf[8:], uint16(len(m.Authority)))
-	binary.BigEndian.PutUint16(b.buf[10:], uint16(len(m.Additional)))
+	binary.BigEndian.PutUint16(b.buf[base+2:], flags)
+	binary.BigEndian.PutUint16(b.buf[base+4:], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(b.buf[base+6:], uint16(len(m.Answers)))
+	binary.BigEndian.PutUint16(b.buf[base+8:], uint16(len(m.Authority)))
+	binary.BigEndian.PutUint16(b.buf[base+10:], uint16(len(m.Additional)))
 
 	for i := range m.Questions {
 		q := &m.Questions[i]
@@ -283,17 +317,27 @@ func (p *parser) name() (string, error) {
 }
 
 // readName decodes the name at off. It returns the name and the offset just
-// past the name's in-place bytes. depth guards against pointer loops.
+// past the name's in-place bytes. depth guards against pointer loops. The
+// labels accumulate in a stack scratch buffer so decoding a name costs one
+// string allocation.
 func readName(buf []byte, off, depth int) (string, int, error) {
-	if depth > 32 {
-		return "", 0, ErrPointerLoop
+	var scratch [320]byte
+	out, next, err := appendName(scratch[:0], buf, off, depth)
+	if err != nil {
+		return "", 0, err
 	}
-	var sb strings.Builder
+	return string(out), next, nil
+}
+
+func appendName(out, buf []byte, off, depth int) ([]byte, int, error) {
+	if depth > 32 {
+		return nil, 0, ErrPointerLoop
+	}
 	jumped := false
 	next := off
 	for {
 		if off >= len(buf) {
-			return "", 0, ErrTruncatedMsg
+			return nil, 0, ErrTruncatedMsg
 		}
 		c := buf[off]
 		switch {
@@ -301,46 +345,44 @@ func readName(buf []byte, off, depth int) (string, int, error) {
 			if !jumped {
 				next = off + 1
 			}
-			return sb.String(), next, nil
+			return out, next, nil
 		case c&0xC0 == 0xC0:
 			if off+1 >= len(buf) {
-				return "", 0, ErrTruncatedMsg
+				return nil, 0, ErrTruncatedMsg
 			}
 			ptr := int(binary.BigEndian.Uint16(buf[off:]) & 0x3FFF)
 			if ptr >= off {
 				// Forward pointers enable loops; RFC 1035
 				// compression only points backward.
-				return "", 0, ErrPointerLoop
+				return nil, 0, ErrPointerLoop
 			}
 			if !jumped {
 				next = off + 2
 				jumped = true
 			}
-			rest, _, err := readName(buf, ptr, depth+1)
+			// The recursive call prepends its own separator when
+			// out already holds labels.
+			rest, _, err := appendName(out, buf, ptr, depth+1)
 			if err != nil {
-				return "", 0, err
+				return nil, 0, err
 			}
-			if sb.Len() > 0 && rest != "" {
-				sb.WriteByte('.')
+			if len(rest) > 253 {
+				return nil, 0, ErrNameTooLong
 			}
-			sb.WriteString(rest)
-			if sb.Len() > 253 {
-				return "", 0, ErrNameTooLong
-			}
-			return sb.String(), next, nil
+			return rest, next, nil
 		case c&0xC0 != 0:
-			return "", 0, ErrBadName
+			return nil, 0, ErrBadName
 		default:
 			n := int(c)
 			if off+1+n > len(buf) {
-				return "", 0, ErrTruncatedMsg
+				return nil, 0, ErrTruncatedMsg
 			}
-			if sb.Len() > 0 {
-				sb.WriteByte('.')
+			if len(out) > 0 {
+				out = append(out, '.')
 			}
-			sb.Write(buf[off+1 : off+1+n])
-			if sb.Len() > 253 {
-				return "", 0, ErrNameTooLong
+			out = append(out, buf[off+1:off+1+n]...)
+			if len(out) > 253 {
+				return nil, 0, ErrNameTooLong
 			}
 			off += 1 + n
 			if !jumped {
@@ -422,6 +464,18 @@ func Decode(buf []byte) (*Message, error) {
 	}
 
 	p := &parser{buf: buf, pos: 12}
+	if qd > 0 {
+		m.Questions = make([]Question, 0, qd)
+	}
+	if an > 0 {
+		m.Answers = make([]RR, 0, an)
+	}
+	if ns > 0 {
+		m.Authority = make([]RR, 0, ns)
+	}
+	if ar > 0 {
+		m.Additional = make([]RR, 0, ar)
+	}
 	for i := 0; i < qd; i++ {
 		name, err := p.name()
 		if err != nil {

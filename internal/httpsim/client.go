@@ -136,6 +136,25 @@ type Client struct {
 	// NoCache sets Cache-Control: no-cache on requests, as the
 	// corporate-network clients did (Section 3.4).
 	NoCache bool
+
+	// respBufs pools response-parser buffers across this client's
+	// sequential requests; nothing retains a response body past the
+	// request's completion callback, so a finished parser's buffer can
+	// be recycled at full capacity.
+	respBufs [][]byte
+}
+
+func (c *Client) grabRespBuf() []byte {
+	if n := len(c.respBufs); n > 0 {
+		b := c.respBufs[n-1]
+		c.respBufs = c.respBufs[:n-1]
+		return b
+	}
+	return make([]byte, 0, 512)
+}
+
+func (c *Client) releaseRespBuf(b []byte) {
+	c.respBufs = append(c.respBufs, b[:0])
 }
 
 // NewClient builds a direct (non-proxied) client.
@@ -282,10 +301,10 @@ type requestOutcome struct {
 
 // request performs one TCP connection + GET against a specific address.
 func (c *Client) request(req *Request, to netip.AddrPort, done func(*requestOutcome)) {
-	parser := &ResponseParser{}
+	parser := &ResponseParser{buf: c.grabRespBuf()}
 	out := &requestOutcome{}
 	finished := false
-	var idleTimer *simnet.Timer
+	var idleTimer simnet.TimerHandle
 	var lastProgress simnet.Time
 	var conn *tcpsim.Conn
 
@@ -294,14 +313,15 @@ func (c *Client) request(req *Request, to netip.AddrPort, done func(*requestOutc
 			return
 		}
 		finished = true
-		if idleTimer != nil {
-			idleTimer.Stop()
-		}
+		idleTimer.Stop()
 		out.bodyBytes = parser.Partial()
 		if out.kind == ConnOK && out.resp != nil {
 			out.bodyBytes = len(out.resp.Body)
 		}
 		done(out)
+		// done has consumed the response (out.resp.Body aliases the
+		// parser buffer); recycle the buffer for the next request.
+		c.releaseRespBuf(parser.buf)
 	}
 
 	fail := func(kind ConnFailKind) {
@@ -312,7 +332,7 @@ func (c *Client) request(req *Request, to netip.AddrPort, done func(*requestOutc
 	sched := c.Stack.Host().Network().Sched
 	var armIdle func(d time.Duration)
 	armIdle = func(d time.Duration) {
-		idleTimer = sched.AfterTimer(d, func() {
+		idleTimer = sched.AfterHandle(d, func() {
 			if finished {
 				return
 			}

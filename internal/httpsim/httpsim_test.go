@@ -316,10 +316,13 @@ func TestProxyFetchSuccess(t *testing.T) {
 }
 
 func TestProxyNoFailover(t *testing.T) {
-	// First replica down: a direct client fails over and succeeds; the
-	// proxied client gets a 504 — the Section 4.7 signature.
+	// The replica every resolver's first lookup leads with (srv2 — the
+	// auth server rotates multi-A answers per query source, and a fresh
+	// source's first answer starts at offset 1) is down: a direct client
+	// fails over and succeeds; the proxied client gets a 504 — the
+	// Section 4.7 signature.
 	w := newWorld(t, 14)
-	w.stk1.Status = func(simnet.Time) tcpsim.HostStatus { return tcpsim.HostDown }
+	w.stk2.Status = func(simnet.Time) tcpsim.HostStatus { return tcpsim.HostDown }
 
 	direct := w.fetch(t, w.client, "http://www.example.com/")
 	if !direct.OK {
@@ -336,8 +339,10 @@ func TestProxyNoFailover(t *testing.T) {
 }
 
 func TestProxyFailoverAblation(t *testing.T) {
+	// Same dead-first-replica world as TestProxyNoFailover, but with
+	// failover enabled the proxy recovers.
 	w := newWorld(t, 15)
-	w.stk1.Status = func(simnet.Time) tcpsim.HostStatus { return tcpsim.HostDown }
+	w.stk2.Status = func(simnet.Time) tcpsim.HostStatus { return tcpsim.HostDown }
 	w.proxy.Failover = true
 	r := w.fetch(t, w.prxClient, "http://www.example.com/")
 	if !r.OK {

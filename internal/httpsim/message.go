@@ -8,11 +8,15 @@
 package httpsim
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 )
+
+// crlfcrlf terminates a message head.
+var crlfcrlf = []byte("\r\n\r\n")
 
 // Errors surfaced by message parsing.
 var (
@@ -33,43 +37,72 @@ type Request struct {
 
 // EncodeRequest renders the request on the wire.
 func EncodeRequest(r *Request) []byte {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", r.Method, r.Target)
-	fmt.Fprintf(&b, "Host: %s\r\n", r.Host)
-	b.WriteString("User-Agent: simwget/1.9\r\n")
+	b := make([]byte, 0, 128+len(r.Method)+len(r.Target)+len(r.Host))
+	b = append(b, r.Method...)
+	b = append(b, ' ')
+	b = append(b, r.Target...)
+	b = append(b, " HTTP/1.1\r\nHost: "...)
+	b = append(b, r.Host...)
+	b = append(b, "\r\nUser-Agent: simwget/1.9\r\n"...)
 	if r.NoCache {
-		b.WriteString("Cache-Control: no-cache\r\n")
-		b.WriteString("Pragma: no-cache\r\n")
+		b = append(b, "Cache-Control: no-cache\r\nPragma: no-cache\r\n"...)
 	}
-	b.WriteString("Connection: close\r\n\r\n")
-	return []byte(b.String())
+	b = append(b, "Connection: close\r\n\r\n"...)
+	return b
 }
 
 // ParseRequest parses a complete request head (through the blank line).
 func ParseRequest(head string) (*Request, error) {
-	lines := strings.Split(head, "\r\n")
-	if len(lines) == 0 {
-		return nil, ErrMalformedRequest
+	return parseRequestBytes([]byte(head))
+}
+
+// crlf separates head lines.
+var crlf = []byte("\r\n")
+
+// nextLine splits off the first CRLF-terminated line of head.
+func nextLine(head []byte) (line, rest []byte) {
+	if i := bytes.Index(head, crlf); i >= 0 {
+		return head[:i], head[i+2:]
 	}
-	parts := strings.Split(lines[0], " ")
-	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/1.") {
-		return nil, fmt.Errorf("%w: %q", ErrMalformedRequest, lines[0])
+	return head, nil
+}
+
+// internMethod avoids allocating for the methods the simulator uses.
+func internMethod(m []byte) string {
+	switch {
+	case bytes.Equal(m, []byte("GET")):
+		return "GET"
+	case bytes.Equal(m, []byte("HEAD")):
+		return "HEAD"
+	default:
+		return string(m)
 	}
-	if parts[0] == "" || parts[1] == "" {
+}
+
+func parseRequestBytes(head []byte) (*Request, error) {
+	line, rest := nextLine(head)
+	method, afterMethod, ok1 := bytes.Cut(line, []byte(" "))
+	target, version, ok2 := bytes.Cut(afterMethod, []byte(" "))
+	if !ok1 || !ok2 || !bytes.HasPrefix(version, []byte("HTTP/1.")) {
+		return nil, fmt.Errorf("%w: %q", ErrMalformedRequest, line)
+	}
+	if len(method) == 0 || len(target) == 0 {
 		return nil, fmt.Errorf("%w: empty method or target", ErrMalformedRequest)
 	}
-	r := &Request{Method: parts[0], Target: parts[1]}
-	for _, ln := range lines[1:] {
-		name, val, found := strings.Cut(ln, ":")
+	r := &Request{Method: internMethod(method), Target: string(target)}
+	for len(rest) > 0 {
+		var ln []byte
+		ln, rest = nextLine(rest)
+		name, val, found := bytes.Cut(ln, []byte(":"))
 		if !found {
 			continue
 		}
-		val = strings.TrimSpace(val)
-		switch strings.ToLower(name) {
-		case "host":
-			r.Host = strings.ToLower(val)
-		case "cache-control", "pragma":
-			if strings.Contains(strings.ToLower(val), "no-cache") {
+		val = bytes.TrimSpace(val)
+		switch {
+		case asciiEqualFold(name, "host"):
+			r.Host = strings.ToLower(string(val))
+		case asciiEqualFold(name, "cache-control"), asciiEqualFold(name, "pragma"):
+			if containsFold(val, "no-cache") {
 				r.NoCache = true
 			}
 		}
@@ -78,6 +111,35 @@ func ParseRequest(head string) (*Request, error) {
 		return nil, fmt.Errorf("%w: missing Host", ErrMalformedRequest)
 	}
 	return r, nil
+}
+
+// asciiEqualFold reports whether b equals lower under ASCII case folding;
+// lower must already be lowercase. Unlike strings.ToLower it never
+// allocates.
+func asciiEqualFold(b []byte, lower string) bool {
+	if len(b) != len(lower) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != lower[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// containsFold reports whether b contains lower under ASCII case folding.
+func containsFold(b []byte, lower string) bool {
+	for i := 0; i+len(lower) <= len(b); i++ {
+		if asciiEqualFold(b[i:i+len(lower)], lower) {
+			return true
+		}
+	}
+	return false
 }
 
 // Response is an HTTP response head plus body.
@@ -122,21 +184,31 @@ func StatusText(code int) string {
 // EncodeResponseHead renders the response head; the body follows
 // separately so servers can stall mid-body.
 func EncodeResponseHead(r *Response) []byte {
-	var b strings.Builder
-	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", r.StatusCode, StatusText(r.StatusCode))
-	fmt.Fprintf(&b, "Server: simhttpd/0.9\r\n")
+	b := make([]byte, 0, 128+len(r.Location))
+	b = append(b, "HTTP/1.1 "...)
+	b = strconv.AppendInt(b, int64(r.StatusCode), 10)
+	b = append(b, ' ')
+	b = append(b, StatusText(r.StatusCode)...)
+	b = append(b, "\r\nServer: simhttpd/0.9\r\n"...)
 	if r.Location != "" {
-		fmt.Fprintf(&b, "Location: %s\r\n", r.Location)
+		b = append(b, "Location: "...)
+		b = append(b, r.Location...)
+		b = append(b, "\r\n"...)
 	}
-	fmt.Fprintf(&b, "Content-Length: %d\r\n", r.ContentLength)
-	b.WriteString("Connection: close\r\n\r\n")
-	return []byte(b.String())
+	b = append(b, "Content-Length: "...)
+	b = strconv.AppendInt(b, int64(r.ContentLength), 10)
+	b = append(b, "\r\nConnection: close\r\n\r\n"...)
+	return b
 }
 
 // ResponseParser incrementally consumes response bytes as TCP delivers
 // them, tolerating arbitrary segmentation.
 type ResponseParser struct {
+	// buf accumulates the whole message; the head is kept in place and
+	// the body starts at bodyStart, so a caller-supplied buffer can be
+	// recycled at full capacity once the response is consumed.
 	buf        []byte
+	bodyStart  int
 	headDone   bool
 	resp       Response
 	bodyWanted int
@@ -151,23 +223,29 @@ type ResponseParser struct {
 func (p *ResponseParser) Feed(data []byte) (done bool, err error) {
 	p.buf = append(p.buf, data...)
 	if !p.headDone {
-		idx := strings.Index(string(p.buf), "\r\n\r\n")
+		idx := bytes.Index(p.buf, crlfcrlf)
 		if idx < 0 {
 			if len(p.buf) > 64*1024 {
 				return false, fmt.Errorf("%w: head too large", ErrMalformedResponse)
 			}
 			return false, nil
 		}
-		head := string(p.buf[:idx])
-		if err := p.parseHead(head); err != nil {
+		if err := p.parseHead(p.buf[:idx]); err != nil {
 			return false, err
 		}
 		p.HeaderBytes = idx + 4
-		p.buf = p.buf[idx+4:]
+		p.bodyStart = idx + 4
 		p.headDone = true
+		// Size the buffer for the whole message up front so the
+		// per-segment appends below never regrow it.
+		if need := p.bodyStart + p.bodyWanted; need > cap(p.buf) {
+			nb := make([]byte, len(p.buf), need)
+			copy(nb, p.buf)
+			p.buf = nb
+		}
 	}
-	if len(p.buf) >= p.bodyWanted {
-		p.resp.Body = p.buf[:p.bodyWanted]
+	if len(p.buf)-p.bodyStart >= p.bodyWanted {
+		p.resp.Body = p.buf[p.bodyStart : p.bodyStart+p.bodyWanted]
 		return true, nil
 	}
 	return false, nil
@@ -179,7 +257,7 @@ func (p *ResponseParser) Partial() int {
 	if !p.headDone {
 		return 0
 	}
-	return len(p.buf)
+	return len(p.buf) - p.bodyStart
 }
 
 // HeadDone reports whether the full head has been parsed. The paper's "no
@@ -190,36 +268,51 @@ func (p *ResponseParser) HeadDone() bool { return p.headDone }
 // Response returns the parsed response; valid once Feed reported done.
 func (p *ResponseParser) Response() *Response { return &p.resp }
 
-func (p *ResponseParser) parseHead(head string) error {
-	lines := strings.Split(head, "\r\n")
-	if len(lines) == 0 {
-		return ErrMalformedResponse
-	}
-	var version string
-	var code int
-	if _, err := fmt.Sscanf(lines[0], "%s %d", &version, &code); err != nil || !strings.HasPrefix(version, "HTTP/1.") {
-		return fmt.Errorf("%w: status line %q", ErrMalformedResponse, lines[0])
+func (p *ResponseParser) parseHead(head []byte) error {
+	line, rest := nextLine(head)
+	version, afterVersion, _ := bytes.Cut(line, []byte(" "))
+	codeStr, _, _ := bytes.Cut(afterVersion, []byte(" "))
+	code, ok := atoiBytes(codeStr)
+	if !ok || !bytes.HasPrefix(version, []byte("HTTP/1.")) {
+		return fmt.Errorf("%w: status line %q", ErrMalformedResponse, line)
 	}
 	p.resp.StatusCode = code
-	for _, ln := range lines[1:] {
-		name, val, found := strings.Cut(ln, ":")
+	for len(rest) > 0 {
+		var ln []byte
+		ln, rest = nextLine(rest)
+		name, val, found := bytes.Cut(ln, []byte(":"))
 		if !found {
 			continue
 		}
-		val = strings.TrimSpace(val)
-		switch strings.ToLower(name) {
-		case "content-length":
-			n, err := strconv.Atoi(val)
-			if err != nil || n < 0 {
+		val = bytes.TrimSpace(val)
+		switch {
+		case asciiEqualFold(name, "content-length"):
+			n, ok := atoiBytes(val)
+			if !ok {
 				return fmt.Errorf("%w: content-length %q", ErrMalformedResponse, val)
 			}
 			p.resp.ContentLength = n
 			p.bodyWanted = n
-		case "location":
-			p.resp.Location = val
+		case asciiEqualFold(name, "location"):
+			p.resp.Location = string(val)
 		}
 	}
 	return nil
+}
+
+// atoiBytes parses a non-negative decimal without converting to string.
+func atoiBytes(b []byte) (int, bool) {
+	if len(b) == 0 || len(b) > 18 {
+		return 0, false
+	}
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
 }
 
 // RequestParser incrementally consumes request bytes on the server side.
@@ -231,14 +324,14 @@ type RequestParser struct {
 // request (requests in this study have no bodies).
 func (p *RequestParser) Feed(data []byte) (*Request, error) {
 	p.buf = append(p.buf, data...)
-	idx := strings.Index(string(p.buf), "\r\n\r\n")
+	idx := bytes.Index(p.buf, crlfcrlf)
 	if idx < 0 {
 		if len(p.buf) > 64*1024 {
 			return nil, fmt.Errorf("%w: head too large", ErrMalformedRequest)
 		}
 		return nil, nil
 	}
-	return ParseRequest(string(p.buf[:idx]))
+	return parseRequestBytes(p.buf[:idx])
 }
 
 // SplitURL splits "http://host/path" into host and path ("/" default).

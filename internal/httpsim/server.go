@@ -81,6 +81,11 @@ type Server struct {
 
 	// Served counts completed responses.
 	Served uint64
+
+	// bodies caches generated page bodies by size. Conn.Send copies into
+	// the connection's send buffer, so one body is safely shared across
+	// every request for the same page size.
+	bodies map[int][]byte
 }
 
 // NewServer attaches an HTTP server to the TCP stack on port 80.
@@ -169,7 +174,7 @@ func (s *Server) serve(c *tcpsim.Conn, req *Request) {
 		return
 	}
 
-	body := makeBody(page.Size)
+	body := s.body(page.Size)
 	head := EncodeResponseHead(&Response{StatusCode: 200, ContentLength: len(body)})
 	switch st.Mode {
 	case AppStall:
@@ -209,6 +214,20 @@ func (s *Server) hostMatches(host string) bool {
 		}
 	}
 	return false
+}
+
+// body returns the cached deterministic page body for size, generating it
+// on first use.
+func (s *Server) body(size int) []byte {
+	if b, ok := s.bodies[size]; ok {
+		return b
+	}
+	if s.bodies == nil {
+		s.bodies = make(map[int][]byte)
+	}
+	b := makeBody(size)
+	s.bodies[size] = b
+	return b
 }
 
 // makeBody produces a deterministic page body of the given size.

@@ -1,0 +1,44 @@
+package measure
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCalibrationFastVsPacket is the calibration gate: at the documented
+// minimum calibration scale (12 clients x 12 sites over 48 hours — below
+// that, sampling noise on a few thousand transactions swamps the
+// tolerances), the fast-mode failure distribution must match the packet
+// engine's within the default tolerances: overall rate within 1.5
+// percentage points, every gated share family within 1.25.
+func TestCalibrationFastVsPacket(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-mode calibration run in -short mode")
+	}
+	cfg := smallConfig(t, 12, 12, 48, 2005)
+	rep, err := Calibrate(cfg, CalibrateOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	if rep.Fast.Txns != rep.Packet.Txns {
+		t.Errorf("transaction counts diverge: fast %d, packet %d (modes must walk the same schedule)",
+			rep.Fast.Txns, rep.Packet.Txns)
+	}
+	if !rep.Pass {
+		t.Errorf("calibration failed: rate delta %.4f (tol %.4f), share delta %.4f on %s (tol %.4f)",
+			rep.RateDelta, rep.RateTol, rep.MaxShareDelta, rep.WorstShare, rep.ShareTol)
+	}
+	if !strings.Contains(rep.String(), "PASS") && rep.Pass {
+		t.Error("report String() disagrees with Pass")
+	}
+}
+
+// TestCalibrateRejectsEmptyConfig: configuration errors surface as
+// errors, not as vacuous passes.
+func TestCalibrateRejectsEmptyConfig(t *testing.T) {
+	_, err := Calibrate(Config{}, CalibrateOptions{})
+	if err == nil {
+		t.Fatal("expected error for empty config")
+	}
+}

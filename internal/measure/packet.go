@@ -1,10 +1,13 @@
 package measure
 
 import (
+	"fmt"
 	"math/rand"
 	"net/netip"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"webfail/internal/dnssim"
@@ -23,71 +26,258 @@ import (
 // procedure — flush the LDNS cache, wget the URL, run an iterative dig on
 // DNS failure. Intended for validation at reduced scale; fast mode covers
 // the month-scale run.
+//
+// Records are delivered in canonical order: by client index, and within a
+// client in completion order. This is the same total order RunPacketParallel
+// produces when its shard streams are concatenated in shard order, so the
+// two entry points are byte-identical for any shard count.
 func RunPacket(cfg Config, visit func(*Record)) error {
+	return runPacketSharded(cfg, 1, nil, func(_ int, r *Record) { visit(r) }, nil)
+}
+
+// RunPacketParallel executes packet mode across shards worker goroutines,
+// partitioning the client roster into contiguous index ranges like
+// RunParallel. Each worker owns a private Network+Scheduler world holding
+// the full server side plus its own client sites, which is sound because
+// the world is partitionable by construction: client hosts, LDNS, and
+// proxies are per-site, server state is status-function-pure, and every
+// random draw (component status, packet loss) comes from a per-client
+// stream selected by the scheduler's causal context. Shard boundaries snap
+// to client-site boundaries so co-located clients (who share an LDNS cache
+// and proxy) never split across workers; the effective worker count may
+// therefore be lower than requested.
+//
+// visit is called after all workers finish, sequentially, in shard order
+// with each shard's records in canonical (client-major) order — the
+// concatenated stream is byte-identical to a serial RunPacket. visit must
+// not retain the Record pointer. shards <= 0 selects GOMAXPROCS.
+func RunPacketParallel(cfg Config, shards int, visit func(shard int, r *Record)) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	w := buildWorld(cfg)
-	// Observability: packet mode has no per-shard evaluator scratch, so
-	// record/progress counting wraps the visit callback (the packet
-	// path is dominated by protocol simulation, not by counting).
-	var txns, fails int64
-	inner := visit
-	prog := cfg.Progress.Shard(0)
-	visit = func(r *Record) {
-		txns++
-		if r.Failed() {
-			fails++
+	shards = EffectiveShards(len(cfg.Topo.Clients), shards)
+	return runPacketSharded(cfg, shards, nil, visit, nil)
+}
+
+// CaptureResult hands back one monitored client's full packet trace
+// analysis after a packet-mode run.
+type CaptureResult struct {
+	Client string
+	Flows  map[trace.Flow]*trace.FlowStats
+	// Packets is the raw capture size.
+	Packets int
+}
+
+// RunPacketWithCapture is RunPacket plus tcpdump-style captures on the
+// named clients (Section 3.4 step 4). After the run, each monitored
+// client's capture is post-processed into per-flow TCP statistics
+// (Section 3.5) and delivered through onCapture in the order the names
+// were given — letting callers check that the trace-derived failure
+// classification agrees with what the client itself observed, exactly the
+// redundancy the paper's methodology builds in. A name that matches no
+// roster client is an error, not a silent no-op.
+func RunPacketWithCapture(cfg Config, clients []string, visit func(*Record), onCapture func(CaptureResult)) error {
+	return runPacketSharded(cfg, 1, clients, func(_ int, r *Record) { visit(r) }, onCapture)
+}
+
+// packetShardBounds partitions the roster into at most shards contiguous
+// ranges whose boundaries coincide with site boundaries (the topology
+// builds each site's clients contiguously). Returns the boundary list
+// [0, b1, ..., n]; every range is non-empty.
+func packetShardBounds(topo *workload.Topology, shards int) []int {
+	n := len(topo.Clients)
+	var starts []int // index where each site's client run begins, excluding 0
+	for i := 1; i < n; i++ {
+		if topo.Clients[i].Site != topo.Clients[i-1].Site {
+			starts = append(starts, i)
 		}
-		inner(r)
 	}
-	// Schedule every transaction as a simulation event.
-	workload.ForEachTransaction(cfg.Topo, cfg.Seed, cfg.Start, cfg.End, func(tx *workload.Transaction) {
-		cp := *tx
-		w.net.Sched.At(cp.At, func() {
-			w.runTransaction(&cp, visit)
-			prog.Add(1)
-		})
-	})
+	bounds := []int{0}
+	for s := 1; s < shards; s++ {
+		target := s * n / shards
+		j := sort.SearchInts(starts, target)
+		b := n
+		if j < len(starts) {
+			b = starts[j]
+		}
+		if b > bounds[len(bounds)-1] && b < n {
+			bounds = append(bounds, b)
+		}
+	}
+	return append(bounds, n)
+}
+
+// packetShardResult is one worker's buffered output.
+type packetShardResult struct {
+	recs    [][]Record // by shard-local client index, completion order
+	caps    map[string]CaptureResult
+	virtual time.Duration
+}
+
+// runPacketSharded is the single instrumented core behind every packet-mode
+// entry point: it validates capture names, partitions the roster, runs one
+// world per shard, folds the PR 5 observability counters, and emits the
+// buffered records in canonical client-major order.
+func runPacketSharded(cfg Config, shards int, captureClients []string, visit func(shard int, r *Record), onCapture func(CaptureResult)) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	for _, name := range captureClients {
+		if cfg.Topo.ClientByName(name) == nil {
+			return fmt.Errorf("measure: capture client %q not in roster", name)
+		}
+	}
+	bounds := packetShardBounds(cfg.Topo, shards)
+	outs := make([]packetShardResult, len(bounds)-1)
+
 	wallStart := time.Now()
-	w.net.Sched.Run()
+	var wg sync.WaitGroup
+	for s := range outs {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			outs[shard] = runPacketShard(cfg, shard, bounds[shard], bounds[shard+1], captureClients)
+		}(s)
+	}
+	wg.Wait()
+
 	if reg := cfg.Metrics; reg != nil {
-		reg.Counter("measure_txns_total").Add(txns)
-		reg.Counter("measure_failures_total").Add(fails)
-		reg.Counter("simnet_events_dispatched_total").Add(int64(w.net.Sched.Dispatched()))
 		// Virtual-vs-wall speed of the discrete-event simulation: how
 		// many simulated seconds each real second buys. Wall-clock by
 		// construction.
-		virtual := w.net.Sched.Now().Sub(cfg.Start)
+		var virtual time.Duration
+		for i := range outs {
+			if outs[i].virtual > virtual {
+				virtual = outs[i].virtual
+			}
+		}
 		if wall := time.Since(wallStart); wall > 0 {
 			reg.WallGauge("simnet_virtual_wall_ratio").Set(virtual.Seconds() / wall.Seconds())
+		}
+	}
+
+	for s := range outs {
+		for _, recs := range outs[s].recs {
+			for i := range recs {
+				visit(s, &recs[i])
+			}
+		}
+	}
+	if onCapture != nil {
+		for _, name := range captureClients {
+			for s := range outs {
+				if cr, ok := outs[s].caps[name]; ok {
+					onCapture(cr)
+					break
+				}
+			}
 		}
 	}
 	return nil
 }
 
-// world is the constructed packet-mode internet.
+// runPacketShard builds and runs one shard's world over clients [lo, hi).
+func runPacketShard(cfg Config, shard, lo, hi int, captureClients []string) packetShardResult {
+	w := buildWorld(cfg, lo, hi)
+
+	caps := make(map[string]*trace.Capture)
+	for _, name := range captureClients {
+		for _, ch := range w.clients {
+			if ch.node.Name == name {
+				c := &trace.Capture{}
+				c.Attach(ch.host)
+				caps[name] = c
+			}
+		}
+	}
+
+	out := packetShardResult{recs: make([][]Record, hi-lo)}
+	var txns, skipped, fails int64
+	prog := cfg.Progress.Shard(shard)
+	record := func(r *Record) {
+		txns++
+		if r.Failed() {
+			fails++
+		}
+		ci := int(r.ClientIdx) - lo
+		out.recs[ci] = append(out.recs[ci], *r)
+	}
+
+	// Schedule every transaction as a simulation event. The root event
+	// stamps the scheduler's causal context with the client index, and
+	// every event it transitively schedules inherits the stamp — routing
+	// all random draws of the transaction to the client's own stream.
+	workload.ForEachTransactionRange(cfg.Topo, cfg.Seed, cfg.Start, cfg.End, lo, hi, func(tx *workload.Transaction) {
+		cp := *tx
+		w.net.Sched.At(cp.At, func() {
+			w.net.Sched.SetContext(int32(cp.ClientIdx))
+			if !w.runTransaction(&cp, record) {
+				skipped++
+			}
+			prog.Add(1)
+		})
+	})
+	w.net.Sched.Run()
+	out.virtual = w.net.Sched.Now().Sub(cfg.Start)
+
+	if reg := cfg.Metrics; reg != nil {
+		reg.Counter("measure_txns_total").Add(txns)
+		reg.Counter("measure_txns_skipped_total").Add(skipped)
+		reg.Counter("measure_failures_total").Add(fails)
+		reg.Counter("simnet_events_dispatched_total").Add(int64(w.net.Sched.Dispatched()))
+	}
+
+	if len(caps) > 0 {
+		out.caps = make(map[string]CaptureResult, len(caps))
+		for name, c := range caps {
+			pkts := c.Packets()
+			out.caps[name] = CaptureResult{
+				Client:  name,
+				Flows:   trace.AnalyzeTCP(pkts),
+				Packets: len(pkts),
+			}
+		}
+	}
+	return out
+}
+
+// addrInfo is the pre-resolved fault-entity view of one simulated address,
+// interned at world-build time so the per-packet path function performs
+// two map probes and a handful of array-indexed ActiveID queries — no
+// string building, no string hashing.
+type addrInfo struct {
+	siteEnt faults.EntityID // site:<site> for client-side addrs
+	pfxEnt  faults.EntityID // prefix:<p> covering the addr
+	siteIdx int32           // shard-local client-site index, -1 if none
+	wwwIdx  int32           // website index, -1 if not server-side
+	isDNS   bool            // DNS infrastructure (LDNS, auth, root/TLD)
+}
+
+// world is the constructed packet-mode internet for one shard's client
+// range (the full server side is always present).
 type world struct {
-	cfg  Config
-	topo *workload.Topology
-	tl   *faults.Timeline
-	net  *simnet.Network
-	rng  *rand.Rand
+	cfg      Config
+	topo     *workload.Topology
+	tl       *faults.Timeline
+	net      *simnet.Network
+	rng      *rand.Rand
+	clientLo int
 
 	clients []*clientHost
+	// rngs holds one stream per client (shard-local index), seeded from
+	// the client's global index so draws are shard-layout-invariant.
+	rngs    []*rand.Rand
 	ldns    map[string]*dnssim.LDNS // by site
 	servers []*httpsim.Server
 
-	// addr classification for the path function.
-	addrSite map[netip.Addr]string // client-side addrs -> client site
-	addrWWW  map[netip.Addr]string // server-side addrs -> website host
-	prefixOf map[netip.Addr]netip.Prefix
-	// dnsAddr marks DNS infrastructure (LDNS, authoritative, root/TLD):
-	// prefix-scoped data-path faults (BGPInstability, PathOutage on a
-	// prefix entity) exempt DNS traffic, mirroring the fast-mode
-	// semantics that routing events hit the data path while resolution
-	// uses distinct infrastructure (Section 4.1.3).
-	dnsAddr map[netip.Addr]bool
+	// info classifies addresses for the path function; pairEnt is the
+	// flattened [clientSite][website] PermanentBlock entity table. The
+	// key is the packed IPv4 address (ipKey): the path function probes
+	// this map twice per packet, and a 4-byte key takes the runtime's
+	// fast 32-bit map path instead of hashing a 24-byte netip.Addr.
+	info     map[uint32]addrInfo
+	pairEnt  []faults.EntityID
+	numSites int
 }
 
 type clientHost struct {
@@ -96,9 +286,10 @@ type clientHost struct {
 	stack  *tcpsim.Stack
 	client *httpsim.Client
 	dig    *dnssim.Dig
+	offID  faults.EntityID // client:<name>, for the machine-off check
 }
 
-func buildWorld(cfg Config) *world {
+func buildWorld(cfg Config, clientLo, clientHi int) *world {
 	topo := cfg.Topo
 	w := &world{
 		cfg:      cfg,
@@ -106,14 +297,23 @@ func buildWorld(cfg Config) *world {
 		tl:       cfg.Scenario.Timeline,
 		net:      simnet.NewNetwork(cfg.Seed ^ 0x7a65b1),
 		rng:      rand.New(rand.NewSource(cfg.Seed ^ 0x11ddcc)),
+		clientLo: clientLo,
 		ldns:     make(map[string]*dnssim.LDNS),
-		addrSite: make(map[netip.Addr]string),
-		addrWWW:  make(map[netip.Addr]string),
-		prefixOf: make(map[netip.Addr]netip.Prefix),
-		dnsAddr:  make(map[netip.Addr]bool),
+		info:     make(map[uint32]addrInfo),
 	}
-	w.dnsAddr[topo.RootDNS] = true
-	w.dnsAddr[topo.TLDDNS] = true
+
+	// Build-time address classification, compiled into w.info at the end.
+	addrSite := make(map[netip.Addr]string) // client-side addrs -> client site
+	addrWWW := make(map[netip.Addr]string)  // server-side addrs -> website host
+	prefixOf := make(map[netip.Addr]netip.Prefix)
+	// dnsAddr marks DNS infrastructure (LDNS, authoritative, root/TLD):
+	// prefix-scoped data-path faults (BGPInstability, PathOutage on a
+	// prefix entity) exempt DNS traffic, mirroring the fast-mode
+	// semantics that routing events hit the data path while resolution
+	// uses distinct infrastructure (Section 4.1.3).
+	dnsAddr := make(map[netip.Addr]bool)
+	dnsAddr[topo.RootDNS] = true
+	dnsAddr[topo.TLDDNS] = true
 
 	// --- DNS hierarchy: root + one TLD server per TLD + per-site auth.
 	rootHost := w.net.AddHost("root-dns", topo.RootDNS)
@@ -138,7 +338,7 @@ func buildWorld(cfg Config) *world {
 	cdnNeeded := false
 	for i := range topo.Websites {
 		site := &topo.Websites[i]
-		w.dnsAddr[site.AuthDNS] = true
+		dnsAddr[site.AuthDNS] = true
 		authHost := w.net.AddHost("dns."+site.Host, site.AuthDNS)
 		zone := dnssim.NewZone(site.Host)
 		if len(site.ReplicaAddrs) == 0 {
@@ -162,16 +362,16 @@ func buildWorld(cfg Config) *world {
 			srv.Pages["/"] = httpsim.Page{Path: "/", Size: site.IndexSize}
 			srv.Status = w.appStatus(site)
 			w.servers = append(w.servers, srv)
-			w.addrWWW[a] = site.Host
+			addrWWW[a] = site.Host
 			for _, p := range site.Prefixes {
 				if p.Contains(a) {
-					w.prefixOf[a] = p
+					prefixOf[a] = p
 				}
 			}
 		}
-		w.addrWWW[site.AuthDNS] = site.Host
+		addrWWW[site.AuthDNS] = site.Host
 		if len(site.Prefixes) > 0 {
-			w.prefixOf[site.AuthDNS] = site.Prefixes[0]
+			prefixOf[site.AuthDNS] = site.Prefixes[0]
 		}
 	}
 	if cdnNeeded {
@@ -185,16 +385,24 @@ func buildWorld(cfg Config) *world {
 	}
 
 	// --- Client sites: LDNS (one per site), proxies, clients.
+	siteIdxOf := map[string]int32{}
+	var siteNames []string
 	proxies := map[string]netip.AddrPort{}
-	for i := range topo.Clients {
-		node := &topo.Clients[i]
+	w.rngs = make([]*rand.Rand, clientHi-clientLo)
+	for gi := clientLo; gi < clientHi; gi++ {
+		node := &topo.Clients[gi]
+		w.rngs[gi-clientLo] = rand.New(rand.NewSource(cfg.Seed ^ 0x11ddcc ^ (int64(gi)+1)*0x100000001b3))
+		if _, ok := siteIdxOf[node.Site]; !ok {
+			siteIdxOf[node.Site] = int32(len(siteNames))
+			siteNames = append(siteNames, node.Site)
+		}
 		if _, ok := w.ldns[node.Site]; !ok {
 			ldnsHost := w.net.AddHost("ldns."+node.Site, node.LDNS)
 			l := dnssim.NewLDNS(ldnsHost, []netip.Addr{topo.RootDNS})
 			l.Status = w.ldnsStatus(node.Site)
 			w.ldns[node.Site] = l
-			w.addrSite[node.LDNS] = node.Site
-			w.dnsAddr[node.LDNS] = true
+			addrSite[node.LDNS] = node.Site
+			dnsAddr[node.LDNS] = true
 		}
 		if node.Proxied {
 			if _, ok := proxies[node.Site]; !ok {
@@ -203,8 +411,8 @@ func buildWorld(cfg Config) *world {
 				resolver := dnssim.NewStubResolver(prxHost, node.LDNS)
 				httpsim.NewProxy(prxStack, resolver)
 				proxies[node.Site] = netip.AddrPortFrom(node.Proxy, httpsim.ProxyPort)
-				w.addrSite[node.Proxy] = node.Site
-				w.prefixOf[node.Proxy] = node.Prefix
+				addrSite[node.Proxy] = node.Site
+				prefixOf[node.Proxy] = node.Prefix
 			}
 		}
 
@@ -222,28 +430,84 @@ func buildWorld(cfg Config) *world {
 			stack:  stack,
 			client: cli,
 			dig:    dnssim.NewDig(host, node.LDNS, []netip.Addr{topo.RootDNS}),
+			offID:  w.tl.Lookup(faults.Entity("client:" + node.Name)),
 		})
-		w.addrSite[node.Addr] = node.Site
-		w.prefixOf[node.Addr] = node.Prefix
+		addrSite[node.Addr] = node.Site
+		prefixOf[node.Addr] = node.Prefix
 	}
 
+	// --- Compile the per-address fault-entity table (satellite of PR 4's
+	// interning work): every string Entity the path function used to build
+	// per packet is resolved to an EntityID exactly once, here.
+	touch := func(a netip.Addr, f func(*addrInfo)) {
+		inf, ok := w.info[ipKey(a)]
+		if !ok {
+			inf = missingInfo
+		}
+		f(&inf)
+		w.info[ipKey(a)] = inf
+	}
+	for a, site := range addrSite {
+		site := site
+		touch(a, func(inf *addrInfo) {
+			inf.siteEnt = w.tl.Lookup(faults.Entity("site:" + site))
+			inf.siteIdx = siteIdxOf[site]
+		})
+	}
+	for a, host := range addrWWW {
+		wi := int32(topo.WebsiteIndex(host))
+		touch(a, func(inf *addrInfo) { inf.wwwIdx = wi })
+	}
+	for a, p := range prefixOf {
+		id := w.tl.Lookup(faults.Entity("prefix:" + p.String()))
+		touch(a, func(inf *addrInfo) { inf.pfxEnt = id })
+	}
+	for a := range dnsAddr {
+		touch(a, func(inf *addrInfo) { inf.isDNS = true })
+	}
+	w.numSites = len(siteNames)
+	w.pairEnt = make([]faults.EntityID, len(siteNames)*len(topo.Websites))
+	for si, siteName := range siteNames {
+		for wi := range topo.Websites {
+			w.pairEnt[si*len(topo.Websites)+wi] = w.tl.Lookup(faults.PairEntity(siteName, topo.Websites[wi].Host))
+		}
+	}
+
+	w.net.RNGFor = func(ctx int32) *rand.Rand {
+		if c := int(ctx); c >= clientLo && c < clientLo+len(w.rngs) {
+			return w.rngs[c-clientLo]
+		}
+		return w.rng
+	}
 	w.net.SetPathFunc(w.pathState)
 	return w
+}
+
+// ctxRNG returns the RNG stream of the client whose transaction is being
+// simulated (identified by the scheduler's causal context), so that status
+// draws depend only on that client's own history regardless of how clients
+// are partitioned across shards.
+func (w *world) ctxRNG() *rand.Rand {
+	if c := int(w.net.Sched.Context()); c >= w.clientLo && c < w.clientLo+len(w.rngs) {
+		return w.rngs[c-w.clientLo]
+	}
+	return w.rng
 }
 
 // Status functions: episode severity becomes a per-call failure draw, so
 // fractional-severity episodes behave like flaky components.
 
 func (w *world) authStatus(site *workload.WebsiteNode) dnssim.StatusFunc {
-	ent := faults.Entity("www:" + site.Host)
+	id := w.tl.Lookup(faults.Entity("www:" + site.Host))
 	return func(now simnet.Time) dnssim.Status {
-		if ep, ok := w.tl.Active(ent, faults.AuthDNSMisconfig, now); hit(w.rng, ep, ok) {
+		rng := w.ctxRNG()
+		if ep, ok := w.tl.ActiveID(id, faults.AuthDNSMisconfig, now); hit(rng, ep, ok) {
 			if ep.Mode == workload.MisconfigNXDomain {
 				return dnssim.StatusNXDomain
 			}
 			return dnssim.StatusServFail
 		}
-		if ep, ok := w.tl.Active(ent, faults.AuthDNSOutage, now); hit(w.rng, ep, ok) {
+		if ep, ok := w.tl.ActiveID(id, faults.AuthDNSOutage, now); hit(rng, ep, ok) {
 			return dnssim.StatusDown
 		}
 		return dnssim.StatusUp
@@ -251,9 +515,9 @@ func (w *world) authStatus(site *workload.WebsiteNode) dnssim.StatusFunc {
 }
 
 func (w *world) ldnsStatus(siteName string) dnssim.StatusFunc {
-	ent := faults.Entity("site:" + siteName)
+	id := w.tl.Lookup(faults.Entity("site:" + siteName))
 	return func(now simnet.Time) dnssim.Status {
-		if ep, ok := w.tl.Active(ent, faults.LDNSOutage, now); hit(w.rng, ep, ok) {
+		if ep, ok := w.tl.ActiveID(id, faults.LDNSOutage, now); hit(w.ctxRNG(), ep, ok) {
 			return dnssim.StatusDown
 		}
 		return dnssim.StatusUp
@@ -261,13 +525,14 @@ func (w *world) ldnsStatus(siteName string) dnssim.StatusFunc {
 }
 
 func (w *world) serverStatus(site *workload.WebsiteNode, addr netip.Addr) tcpsim.StatusFunc {
-	wwwEnt := faults.Entity("www:" + site.Host)
-	repEnt := faults.Entity("replica:" + addr.String())
+	wwwID := w.tl.Lookup(faults.Entity("www:" + site.Host))
+	repID := w.tl.Lookup(faults.Entity("replica:" + addr.String()))
 	return func(now simnet.Time) tcpsim.HostStatus {
-		if ep, ok := w.tl.Active(wwwEnt, faults.ServerOutage, now); hit(w.rng, ep, ok) {
+		rng := w.ctxRNG()
+		if ep, ok := w.tl.ActiveID(wwwID, faults.ServerOutage, now); hit(rng, ep, ok) {
 			return tcpsim.HostDown
 		}
-		if ep, ok := w.tl.Active(repEnt, faults.ServerOutage, now); hit(w.rng, ep, ok) {
+		if ep, ok := w.tl.ActiveID(repID, faults.ServerOutage, now); hit(rng, ep, ok) {
 			return tcpsim.HostDown
 		}
 		return tcpsim.HostUp
@@ -275,9 +540,10 @@ func (w *world) serverStatus(site *workload.WebsiteNode, addr netip.Addr) tcpsim
 }
 
 func (w *world) appStatus(site *workload.WebsiteNode) httpsim.AppStatusFunc {
-	ent := faults.Entity("www:" + site.Host)
+	id := w.tl.Lookup(faults.Entity("www:" + site.Host))
 	return func(now simnet.Time) httpsim.AppStatus {
-		if ep, ok := w.tl.Active(ent, faults.ServerOverload, now); hit(w.rng, ep, ok) {
+		rng := w.ctxRNG()
+		if ep, ok := w.tl.ActiveID(id, faults.ServerOverload, now); hit(rng, ep, ok) {
 			switch ep.Mode {
 			case workload.OverloadStall:
 				return httpsim.AppStatus{Mode: httpsim.AppStall}
@@ -287,18 +553,44 @@ func (w *world) appStatus(site *workload.WebsiteNode) httpsim.AppStatusFunc {
 				return httpsim.AppStatus{Mode: httpsim.AppHung}
 			}
 		}
-		if ep, ok := w.tl.Active(ent, faults.ServerHTTPError, now); hit(w.rng, ep, ok) {
+		if ep, ok := w.tl.ActiveID(id, faults.ServerHTTPError, now); hit(rng, ep, ok) {
 			return httpsim.AppStatus{Mode: httpsim.AppError, Code: 503}
 		}
 		return httpsim.AppStatus{Mode: httpsim.AppOK}
 	}
 }
 
+// missingInfo is the lookup result for an unclassified address.
+var missingInfo = addrInfo{siteEnt: faults.NoEntity, pfxEnt: faults.NoEntity, siteIdx: -1, wwwIdx: -1}
+
+// ipKey packs an address into the 4-byte info-table key. The simulated
+// topology is IPv4-only; As16 keeps the helper total for 4-in-6 forms.
+func ipKey(a netip.Addr) uint32 {
+	b := a.As16()
+	return uint32(b[12])<<24 | uint32(b[13])<<16 | uint32(b[14])<<8 | uint32(b[15])
+}
+
 // pathState resolves path conditions from the fault timeline: client-site
 // connectivity episodes cut the site off, BGP instability degrades a
 // prefix, and permanent pair blocks filter a (client site, website) pair.
+// This is the hottest packet-mode function — it runs once per packet — so
+// it works entirely off the interned addrInfo table: no Entity strings are
+// built and every timeline query is an array-indexed ActiveID.
 func (w *world) pathState(src, dst netip.Addr, now simnet.Time) simnet.PathState {
 	st := simnet.PathState{Latency: w.latency(src, dst), Loss: 0.002}
+
+	si, ok := w.info[ipKey(src)]
+	if !ok {
+		si = missingInfo
+	}
+	di, ok := w.info[ipKey(dst)]
+	if !ok {
+		di = missingInfo
+	}
+	// Prefix-scoped data-path faults exempt DNS traffic (both modes treat
+	// routing events as data-path phenomena); hoisted out of the
+	// per-address loop since it depends only on the pair.
+	dnsExempt := si.isDNS || di.isDNS
 
 	apply := func(p float64) {
 		if p >= 1 {
@@ -308,46 +600,43 @@ func (w *world) pathState(src, dst netip.Addr, now simnet.Time) simnet.PathState
 		}
 	}
 
-	for _, a := range [2]netip.Addr{src, dst} {
-		if site, ok := w.addrSite[a]; ok {
+	for _, inf := range [2]addrInfo{si, di} {
+		if inf.siteEnt != faults.NoEntity {
 			// Intra-site traffic (client to its own LDNS/proxy)
 			// is not affected by *WAN* connectivity faults unless
 			// the fault is the site's own last mile — the paper's
 			// LDNS timeouts come precisely from the client-LDNS
 			// path, so the site fault applies to everything.
-			ent := faults.Entity("site:" + site)
-			if ep, ok := w.tl.Active(ent, faults.ClientConnectivity, now); ok {
+			if ep, ok := w.tl.ActiveID(inf.siteEnt, faults.ClientConnectivity, now); ok {
 				apply(ep.Severity)
 			}
-			if ep, ok := w.tl.Active(ent, faults.PathOutage, now); ok {
+			if ep, ok := w.tl.ActiveID(inf.siteEnt, faults.PathOutage, now); ok {
 				apply(ep.Severity)
 			}
 		}
-		// Prefix-scoped data-path faults: exempt DNS traffic (both
-		// modes treat routing events as data-path phenomena).
-		if w.dnsAddr[src] || w.dnsAddr[dst] {
+		if dnsExempt {
 			continue
 		}
-		if pfx, ok := w.prefixOf[a]; ok {
-			ent := faults.Entity("prefix:" + pfx.String())
-			if ep, ok := w.tl.Active(ent, faults.BGPInstability, now); ok {
+		if inf.pfxEnt != faults.NoEntity {
+			if ep, ok := w.tl.ActiveID(inf.pfxEnt, faults.BGPInstability, now); ok {
 				apply(pathImpact(ep))
 			}
-			if ep, ok := w.tl.Active(ent, faults.PathOutage, now); ok {
+			if ep, ok := w.tl.ActiveID(inf.pfxEnt, faults.PathOutage, now); ok {
 				apply(ep.Severity)
 			}
 		}
 	}
 
 	// Permanent pair blocks, in either direction.
-	checkPair := func(clientAddr, serverAddr netip.Addr) {
-		site, ok1 := w.addrSite[clientAddr]
-		www, ok2 := w.addrWWW[serverAddr]
-		if !ok1 || !ok2 {
+	checkPair := func(siteIdx, wwwIdx int32) {
+		if siteIdx < 0 || wwwIdx < 0 {
 			return
 		}
-		ent := faults.PairEntity(site, www)
-		if ep, ok := w.tl.Active(ent, faults.PermanentBlock, now); ok {
+		id := w.pairEnt[int(siteIdx)*len(w.topo.Websites)+int(wwwIdx)]
+		if id == faults.NoEntity {
+			return
+		}
+		if ep, ok := w.tl.ActiveID(id, faults.PermanentBlock, now); ok {
 			if ep.Mode == workload.BlockPartial {
 				// The mp3.com checksum case: the handshake
 				// works but the transfer dies — heavy loss.
@@ -357,8 +646,8 @@ func (w *world) pathState(src, dst netip.Addr, now simnet.Time) simnet.PathState
 			}
 		}
 	}
-	checkPair(src, dst)
-	checkPair(dst, src)
+	checkPair(si.siteIdx, di.wwwIdx)
+	checkPair(di.siteIdx, si.wwwIdx)
 	return st
 }
 
@@ -370,14 +659,15 @@ func (w *world) latency(netip.Addr, netip.Addr) time.Duration {
 }
 
 // runTransaction performs one download following the Section 3.4 steps.
-func (w *world) runTransaction(tx *workload.Transaction, visit func(*Record)) {
-	ch := w.clients[tx.ClientIdx]
+// It reports false when the client machine is off (no access performed).
+func (w *world) runTransaction(tx *workload.Transaction, visit func(*Record)) bool {
+	ch := w.clients[tx.ClientIdx-w.clientLo]
 	node := ch.node
 	site := &w.topo.Websites[tx.SiteIdx]
 
 	// Machine off: no access at all.
-	if _, off := w.tl.Active(faults.Entity("client:"+node.Name), faults.ClientMachineOff, tx.At); off {
-		return
+	if _, off := w.tl.ActiveID(ch.offID, faults.ClientMachineOff, tx.At); off {
+		return false
 	}
 
 	// Step 1: flush the local DNS cache.
@@ -438,54 +728,5 @@ func (w *world) runTransaction(tx *workload.Transaction, visit func(*Record)) {
 			visit(rec)
 		}
 	})
-}
-
-// CaptureResult hands back one monitored client's full packet trace
-// analysis after a packet-mode run.
-type CaptureResult struct {
-	Client string
-	Flows  map[trace.Flow]*trace.FlowStats
-	// Packets is the raw capture size.
-	Packets int
-}
-
-// RunPacketWithCapture is RunPacket plus tcpdump-style captures on the
-// named clients (Section 3.4 step 4). After the run, each monitored
-// client's capture is post-processed into per-flow TCP statistics
-// (Section 3.5) and delivered through onCapture — letting callers check
-// that the trace-derived failure classification agrees with what the
-// client itself observed, exactly the redundancy the paper's methodology
-// builds in.
-func RunPacketWithCapture(cfg Config, clients []string, visit func(*Record), onCapture func(CaptureResult)) error {
-	if err := cfg.Validate(); err != nil {
-		return err
-	}
-	w := buildWorld(cfg)
-
-	caps := make(map[string]*trace.Capture)
-	for _, name := range clients {
-		for _, ch := range w.clients {
-			if ch.node.Name == name {
-				c := &trace.Capture{}
-				c.Attach(ch.host)
-				caps[name] = c
-			}
-		}
-	}
-
-	workload.ForEachTransaction(cfg.Topo, cfg.Seed, cfg.Start, cfg.End, func(tx *workload.Transaction) {
-		cp := *tx
-		w.net.Sched.At(cp.At, func() { w.runTransaction(&cp, visit) })
-	})
-	w.net.Sched.Run()
-
-	for name, c := range caps {
-		pkts := c.Packets()
-		onCapture(CaptureResult{
-			Client:  name,
-			Flows:   trace.AnalyzeTCP(pkts),
-			Packets: len(pkts),
-		})
-	}
-	return nil
+	return true
 }

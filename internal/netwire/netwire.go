@@ -86,13 +86,32 @@ type UDPHeader struct {
 
 // checksum computes the Internet checksum (RFC 1071) over b.
 func checksum(b []byte) uint16 {
-	var sum uint32
-	for i := 0; i+1 < len(b); i += 2 {
-		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	return foldSum(onesSum(b))
+}
+
+// onesSum accumulates the unfolded one's-complement sum of b interpreted
+// as big-endian 16-bit words, eight bytes per step (RFC 1071's parallel
+// summation: folding distributes over addition, so 32-bit partial sums
+// give the same checksum as 16-bit accumulation).
+func onesSum(b []byte) uint64 {
+	var sum uint64
+	for len(b) >= 8 {
+		sum += uint64(binary.BigEndian.Uint32(b)) + uint64(binary.BigEndian.Uint32(b[4:]))
+		b = b[8:]
 	}
-	if len(b)%2 == 1 {
-		sum += uint32(b[len(b)-1]) << 8
+	for len(b) >= 2 {
+		sum += uint64(binary.BigEndian.Uint16(b))
+		b = b[2:]
 	}
+	if len(b) == 1 {
+		sum += uint64(b[0]) << 8
+	}
+	return sum
+}
+
+// foldSum reduces an unfolded one's-complement sum to the complemented
+// 16-bit checksum.
+func foldSum(sum uint64) uint16 {
 	for sum>>16 != 0 {
 		sum = (sum & 0xffff) + sum>>16
 	}
@@ -253,30 +272,148 @@ func DecodeUDP(b []byte, src, dst netip.Addr) (*UDPHeader, []byte, error) {
 	return h, b[UDPHeaderLen:length], nil
 }
 
+// AppendTCPPacket appends a complete IPv4+TCP packet (both headers plus
+// payload, checksums filled in) to dst in one pass — the hot-path encoder
+// behind the simulator's pooled packet buffers, equivalent to
+// EncodeTCP followed by EncodeIPv4 but without the intermediate segment
+// allocation.
+func AppendTCPPacket(dst []byte, src, dstAddr netip.Addr, h *TCPHeader, payload []byte) ([]byte, error) {
+	if !src.Is4() || !dstAddr.Is4() {
+		return dst, ErrBadVersion
+	}
+	total := IPv4HeaderLen + TCPHeaderLen + len(payload)
+	if total > 0xffff {
+		return dst, fmt.Errorf("netwire: packet too large (%d bytes)", total)
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, IPv4HeaderLen+TCPHeaderLen)...)
+	dst = append(dst, payload...)
+	b := dst[off:]
+	encodeIPv4Header(b, src, dstAddr, 6, total)
+	t := b[IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(t[0:], h.SrcPort)
+	binary.BigEndian.PutUint16(t[2:], h.DstPort)
+	binary.BigEndian.PutUint32(t[4:], h.Seq)
+	binary.BigEndian.PutUint32(t[8:], h.Ack)
+	t[12] = 5 << 4
+	t[13] = h.Flags
+	binary.BigEndian.PutUint16(t[14:], h.Window)
+	binary.BigEndian.PutUint16(t[16:], pseudoChecksum(src, dstAddr, 6, t))
+	return dst, nil
+}
+
+// AppendUDPPacket appends a complete IPv4+UDP packet to dst in one pass;
+// the UDP counterpart of AppendTCPPacket.
+func AppendUDPPacket(dst []byte, src, dstAddr netip.Addr, h *UDPHeader, payload []byte) ([]byte, error) {
+	if !src.Is4() || !dstAddr.Is4() {
+		return dst, ErrBadVersion
+	}
+	total := IPv4HeaderLen + UDPHeaderLen + len(payload)
+	if total > 0xffff {
+		return dst, fmt.Errorf("netwire: packet too large (%d bytes)", total)
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, IPv4HeaderLen+UDPHeaderLen)...)
+	dst = append(dst, payload...)
+	b := dst[off:]
+	encodeIPv4Header(b, src, dstAddr, 17, total)
+	t := b[IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(t[0:], h.SrcPort)
+	binary.BigEndian.PutUint16(t[2:], h.DstPort)
+	binary.BigEndian.PutUint16(t[4:], uint16(UDPHeaderLen+len(payload)))
+	binary.BigEndian.PutUint16(t[6:], pseudoChecksum(src, dstAddr, 17, t))
+	return dst, nil
+}
+
+// encodeIPv4Header fills the 20-byte header at the front of b with the
+// default TOS/ID/TTL the simulator emits everywhere.
+func encodeIPv4Header(b []byte, src, dst netip.Addr, proto uint8, total int) {
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = 0
+	binary.BigEndian.PutUint16(b[2:], uint16(total))
+	binary.BigEndian.PutUint16(b[4:], 0)
+	b[6], b[7] = 0, 0
+	b[8] = 64
+	b[9] = proto
+	src4 := src.As4()
+	dst4 := dst.As4()
+	copy(b[12:16], src4[:])
+	copy(b[16:20], dst4[:])
+	b[10], b[11] = 0, 0
+	binary.BigEndian.PutUint16(b[10:], checksum(b[:IPv4HeaderLen]))
+}
+
+// DecodeIPv4Into parses the IPv4 header at the front of b into h without
+// allocating and without verifying the header checksum — the simulator's
+// protocol stacks trust their own encoders (which always emit valid
+// checksums; the trace package's layered decoder still verifies). Returns
+// the payload bytes (sliced, not copied).
+func DecodeIPv4Into(b []byte, h *IPv4) ([]byte, error) {
+	if len(b) < IPv4HeaderLen {
+		return nil, ErrTruncated
+	}
+	if b[0]>>4 != 4 {
+		return nil, ErrBadVersion
+	}
+	if b[0]&0x0f != 5 {
+		return nil, ErrBadIHL
+	}
+	total := int(binary.BigEndian.Uint16(b[2:]))
+	if total < IPv4HeaderLen || total > len(b) {
+		return nil, ErrTruncated
+	}
+	h.TOS = b[1]
+	h.TotalLen = uint16(total)
+	h.ID = binary.BigEndian.Uint16(b[4:])
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	h.Src = netip.AddrFrom4([4]byte(b[12:16]))
+	h.Dst = netip.AddrFrom4([4]byte(b[16:20]))
+	return b[IPv4HeaderLen:total], nil
+}
+
+// DecodeTCPInto parses a TCP header into h without allocating or
+// verifying the checksum; see DecodeIPv4Into. Returns the TCP payload.
+func DecodeTCPInto(b []byte, h *TCPHeader) ([]byte, error) {
+	if len(b) < TCPHeaderLen {
+		return nil, ErrTruncated
+	}
+	dataOff := int(b[12]>>4) * 4
+	if dataOff < TCPHeaderLen || dataOff > len(b) {
+		return nil, ErrTruncated
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:])
+	h.DstPort = binary.BigEndian.Uint16(b[2:])
+	h.Seq = binary.BigEndian.Uint32(b[4:])
+	h.Ack = binary.BigEndian.Uint32(b[8:])
+	h.Flags = b[13]
+	h.Window = binary.BigEndian.Uint16(b[14:])
+	return b[dataOff:], nil
+}
+
+// DecodeUDPInto parses a UDP header into h without allocating or
+// verifying the checksum; see DecodeIPv4Into. Returns the UDP payload.
+func DecodeUDPInto(b []byte, h *UDPHeader) ([]byte, error) {
+	if len(b) < UDPHeaderLen {
+		return nil, ErrTruncated
+	}
+	length := int(binary.BigEndian.Uint16(b[4:]))
+	if length < UDPHeaderLen || length > len(b) {
+		return nil, ErrTruncated
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:])
+	h.DstPort = binary.BigEndian.Uint16(b[2:])
+	h.Length = uint16(length)
+	return b[UDPHeaderLen:length], nil
+}
+
 // pseudoChecksum computes the transport checksum over the IPv4
 // pseudo-header plus the segment bytes. When the segment's checksum field
 // is already populated, the result is 0 for a valid segment.
 func pseudoChecksum(src, dst netip.Addr, proto uint8, seg []byte) uint16 {
-	var pseudo [12]byte
 	s4, d4 := src.As4(), dst.As4()
-	copy(pseudo[0:4], s4[:])
-	copy(pseudo[4:8], d4[:])
-	pseudo[9] = proto
-	binary.BigEndian.PutUint16(pseudo[10:], uint16(len(seg)))
-
-	var sum uint32
-	add := func(b []byte) {
-		for i := 0; i+1 < len(b); i += 2 {
-			sum += uint32(b[i])<<8 | uint32(b[i+1])
-		}
-		if len(b)%2 == 1 {
-			sum += uint32(b[len(b)-1]) << 8
-		}
-	}
-	add(pseudo[:])
-	add(seg)
-	for sum>>16 != 0 {
-		sum = (sum & 0xffff) + sum>>16
-	}
-	return ^uint16(sum)
+	sum := uint64(binary.BigEndian.Uint32(s4[:])) +
+		uint64(binary.BigEndian.Uint32(d4[:])) +
+		uint64(proto) + uint64(uint16(len(seg)))
+	return foldSum(sum + onesSum(seg))
 }

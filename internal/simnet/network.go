@@ -34,10 +34,17 @@ func (p Proto) String() string {
 // Packet is a simulated IP datagram. Bytes holds the full on-the-wire
 // encoding starting at the IPv4 header; Src/Dst/Proto duplicate header
 // fields for routing without re-parsing. The trace package decodes Bytes.
+//
+// Packets obtained from Network.AllocPacket are owned by the network once
+// passed to Host.Send: their buffers are recycled as soon as delivery (or
+// drop) completes, which is why handlers and captures must copy anything
+// they retain. Caller-constructed packets are never recycled.
 type Packet struct {
 	Src, Dst netip.Addr
 	Proto    Proto
 	Bytes    []byte
+
+	pooled bool
 }
 
 // PathState describes the condition of the network path between two hosts
@@ -89,6 +96,14 @@ type Network struct {
 	rng   *rand.Rand
 	path  PathFunc
 	hosts map[netip.Addr]*Host
+	pool  []*Packet
+
+	// RNGFor, when set, selects the loss-draw RNG by the scheduler's
+	// current causal context instead of the network-wide seeded RNG. The
+	// sharded packet runner installs per-client streams here so that a
+	// packet's drop fate depends only on its own transaction's history,
+	// not on how clients are partitioned across shards.
+	RNGFor func(ctx int32) *rand.Rand
 
 	// Delivered and Dropped count packets for observability and tests.
 	Delivered, Dropped uint64
@@ -137,27 +152,61 @@ func (n *Network) pathState(src, dst netip.Addr) PathState {
 	return n.path(src, dst, n.Sched.Now())
 }
 
+// AllocPacket returns a packet from the network's buffer pool with empty
+// Bytes (capacity retained across uses). The packet must be filled and
+// passed to Host.Send, which returns it to the pool after delivery.
+func (n *Network) AllocPacket() *Packet {
+	if len(n.pool) > 0 {
+		p := n.pool[len(n.pool)-1]
+		n.pool = n.pool[:len(n.pool)-1]
+		p.Bytes = p.Bytes[:0]
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// freePacket returns a pooled packet's buffer for reuse. Packets built by
+// callers (tests, external tools) pass through untouched.
+func (n *Network) freePacket(p *Packet) {
+	if p.pooled {
+		n.pool = append(n.pool, p)
+	}
+}
+
 // send injects a packet from a host into the network. Delivery (or drop) is
 // decided immediately; delivery is scheduled after the path latency.
 func (n *Network) send(from *Host, pkt *Packet) {
 	ps := n.pathState(pkt.Src, pkt.Dst)
-	if ps.Down || (ps.Loss > 0 && n.rng.Float64() < ps.Loss) {
+	if ps.Down || (ps.Loss > 0 && n.lossRNG().Float64() < ps.Loss) {
 		n.Dropped++
+		n.freePacket(pkt)
+		return
+	}
+	dst := n.hosts[pkt.Dst]
+	if dst == nil {
+		n.Dropped++
+		n.freePacket(pkt)
 		return
 	}
 	lat := ps.Latency
 	if lat <= 0 {
 		lat = time.Microsecond
 	}
-	n.Sched.After(lat, func() {
-		dst := n.hosts[pkt.Dst]
-		if dst == nil {
-			n.Dropped++
-			return
-		}
-		n.Delivered++
-		dst.deliver(pkt)
-	})
+	n.Sched.schedulePacket(lat, dst, pkt)
+}
+
+func (n *Network) lossRNG() *rand.Rand {
+	if n.RNGFor != nil {
+		return n.RNGFor(n.Sched.Context())
+	}
+	return n.rng
+}
+
+// receive completes a scheduled delivery: count, dispatch, recycle.
+func (h *Host) receive(pkt *Packet) {
+	h.net.Delivered++
+	h.deliver(pkt)
+	h.net.freePacket(pkt)
 }
 
 // bindKey identifies a transport endpoint on a host.

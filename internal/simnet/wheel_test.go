@@ -1,0 +1,232 @@
+package simnet
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestTimerStopReleasesPending is the regression gate for the Stop
+// cancellation bug: a stopped timer must leave the pending count, not
+// linger in its wheel slot as a live event. Timers are armed across every
+// wheel level (same-tick, low slots, deep overflow) and cancelled in
+// arbitrary order; Pending must reach zero without running the scheduler,
+// and a subsequent Run must dispatch nothing.
+func TestTimerStopReleasesPending(t *testing.T) {
+	var s Scheduler
+	delays := []time.Duration{
+		0, time.Microsecond, time.Millisecond, 10 * time.Millisecond,
+		time.Second, 90 * time.Second, time.Hour, 200 * time.Hour,
+	}
+	var handles []TimerHandle
+	fired := 0
+	for rep := 0; rep < 4; rep++ {
+		for _, d := range delays {
+			handles = append(handles, s.AfterHandle(d, func() { fired++ }))
+		}
+	}
+	if got := s.Pending(); got != len(handles) {
+		t.Fatalf("Pending = %d, want %d", got, len(handles))
+	}
+	// Stop in an order that interleaves wheel levels.
+	for i := len(handles) - 1; i >= 0; i -= 2 {
+		if !handles[i].Stop() {
+			t.Fatalf("Stop(%d) reported false for a pending timer", i)
+		}
+		if handles[i].Scheduled() {
+			t.Fatalf("handle %d still Scheduled after Stop", i)
+		}
+	}
+	for i := 0; i < len(handles); i += 2 {
+		if !handles[i].Stop() {
+			t.Fatalf("Stop(%d) reported false for a pending timer", i)
+		}
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after stopping all = %d, want 0", got)
+	}
+	s.Run()
+	if fired != 0 {
+		t.Fatalf("%d stopped timers fired", fired)
+	}
+	if s.Dispatched() != 0 {
+		t.Fatalf("Dispatched = %d after all-cancelled run", s.Dispatched())
+	}
+}
+
+// TestTimerStopAcrossRearm checks generation safety: a handle from a
+// fired timer must not cancel an unrelated timer that recycled the same
+// arena slot.
+func TestTimerStopAcrossRearm(t *testing.T) {
+	var s Scheduler
+	h1 := s.AfterHandle(time.Millisecond, func() {})
+	s.Run()
+	if h1.Stop() {
+		t.Error("Stop after fire reported true")
+	}
+	// The freed slot is recycled by the next timer.
+	fired := false
+	h2 := s.AfterHandle(time.Millisecond, func() { fired = true })
+	if h1.Stop() {
+		t.Error("stale handle cancelled a recycled slot")
+	}
+	s.Run()
+	if !fired {
+		t.Error("recycled timer did not fire")
+	}
+	_ = h2
+}
+
+// TestWheelMatchesReferenceOrder is the property test for the
+// hierarchical timer wheel: for random schedules spanning every level —
+// with a random subset cancelled — dispatch order must equal the
+// reference semantics (ascending time, FIFO among events at the same
+// instant), exactly what a sorted list would produce.
+func TestWheelMatchesReferenceOrder(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		var s Scheduler
+
+		type ev struct {
+			at  Time
+			seq int
+		}
+		var expected []ev
+		var got []ev
+
+		n := 50 + rng.Intn(200)
+		var handles []TimerHandle
+		var meta []ev
+		for i := 0; i < n; i++ {
+			// Mix of horizons: sub-tick, one slot, level jumps, far
+			// overflow.
+			var d time.Duration
+			switch rng.Intn(4) {
+			case 0:
+				d = time.Duration(rng.Int63n(int64(time.Millisecond)))
+			case 1:
+				d = time.Duration(rng.Int63n(int64(time.Second)))
+			case 2:
+				d = time.Duration(rng.Int63n(int64(time.Hour)))
+			default:
+				d = time.Duration(rng.Int63n(int64(400 * time.Hour)))
+			}
+			at := Time(0).Add(d)
+			e := ev{at: at, seq: i}
+			meta = append(meta, e)
+			e2 := e
+			handles = append(handles, s.AfterHandle(d, func() {
+				if s.Now() != e2.at {
+					t.Fatalf("event %d dispatched at %v, scheduled %v", e2.seq, s.Now(), e2.at)
+				}
+				got = append(got, e2)
+			}))
+		}
+		cancelled := make(map[int]bool)
+		for i := range handles {
+			if rng.Intn(4) == 0 {
+				handles[i].Stop()
+				cancelled[i] = true
+			}
+		}
+		for _, e := range meta {
+			if !cancelled[e.seq] {
+				expected = append(expected, e)
+			}
+		}
+		// Reference semantics: ascending time, then scheduling order.
+		sort.SliceStable(expected, func(i, j int) bool { return expected[i].at < expected[j].at })
+
+		s.Run()
+		if len(got) != len(expected) {
+			t.Fatalf("trial %d: dispatched %d events, want %d", trial, len(got), len(expected))
+		}
+		for i := range got {
+			if got[i] != expected[i] {
+				t.Fatalf("trial %d: event %d = %+v, want %+v", trial, i, got[i], expected[i])
+			}
+		}
+		if s.Pending() != 0 {
+			t.Fatalf("trial %d: Pending = %d after drain", trial, s.Pending())
+		}
+	}
+}
+
+// TestSchedulerTimerChurnZeroAlloc gates the pooled event arena: arming
+// and cancelling timers, and the schedule/dispatch cycle itself, must not
+// allocate once the arena has grown to steady state.
+func TestSchedulerTimerChurnZeroAlloc(t *testing.T) {
+	var s Scheduler
+	fn := func() {}
+	// Warm up the arena and wheel slots.
+	for i := 0; i < 64; i++ {
+		s.AfterHandle(time.Duration(i)*time.Millisecond, fn).Stop()
+	}
+	s.Run()
+
+	if n := testing.AllocsPerRun(1000, func() {
+		h := s.AfterHandle(time.Millisecond, fn)
+		h.Stop()
+	}); n != 0 {
+		t.Errorf("arm+Stop allocates %.1f per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		s.AfterHandle(time.Millisecond, fn)
+		s.Run()
+	}); n != 0 {
+		t.Errorf("arm+dispatch allocates %.1f per op, want 0", n)
+	}
+}
+
+// TestPacketSendDeliverZeroAlloc gates the pooled packet path: a
+// steady-state send/deliver cycle through the network — pooled buffer
+// out, scheduler hop, handler dispatch, buffer recycled — must not
+// allocate.
+func TestPacketSendDeliverZeroAlloc(t *testing.T) {
+	net := NewNetwork(1)
+	a := net.AddHost("a", addrA)
+	b := net.AddHost("b", addrB)
+	if err := b.Bind(UDP, 53, func(*Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	payload := udpPacket(t, addrA, addrB, 1000, 53, []byte("x")).Bytes
+
+	send := func() {
+		pkt := net.AllocPacket()
+		pkt.Bytes = append(pkt.Bytes[:0], payload...)
+		pkt.Src, pkt.Dst, pkt.Proto = addrA, addrB, UDP
+		a.Send(pkt)
+		net.Sched.Run()
+	}
+	// Warm-up grows the packet pool and arena.
+	for i := 0; i < 16; i++ {
+		send()
+	}
+	if n := testing.AllocsPerRun(1000, send); n != 0 {
+		t.Errorf("send/deliver allocates %.1f per op, want 0", n)
+	}
+}
+
+// TestPacketPoolRecycles: a delivered pooled packet's object is returned
+// to the pool and handed out by the next AllocPacket, so the steady-state
+// working set is one buffer per in-flight packet.
+func TestPacketPoolRecycles(t *testing.T) {
+	net := NewNetwork(1)
+	a := net.AddHost("a", addrA)
+	b := net.AddHost("b", addrB)
+	if err := b.Bind(UDP, 53, func(*Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	base := udpPacket(t, addrA, addrB, 1000, 53, []byte("y"))
+
+	pkt := net.AllocPacket()
+	pkt.Bytes = append(pkt.Bytes[:0], base.Bytes...)
+	pkt.Src, pkt.Dst, pkt.Proto = addrA, addrB, UDP
+	a.Send(pkt)
+	net.Sched.Run()
+
+	if again := net.AllocPacket(); again != pkt {
+		t.Error("delivered packet was not recycled by the pool")
+	}
+}

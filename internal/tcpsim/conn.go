@@ -27,18 +27,24 @@ func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
 
 // Conn is one TCP connection endpoint.
 type Conn struct {
-	stack    *Stack
-	key      connKey
-	cb       Callbacks
-	listener *Listener
-	state    connState
+	stack     *Stack
+	key       connKey
+	localPort uint16
+	remote    netip.AddrPort
+	cb        Callbacks
+	listener  *Listener
+	state     connState
 
 	// Send side. Sequence space: iss is the initial sequence number;
 	// sndBuf holds unsent-or-unacked application bytes where offset 0
 	// corresponds to sequence iss+1; FIN, when queued, occupies the
 	// sequence slot just past the buffered data.
-	iss            uint32
-	sndBuf         []byte
+	iss    uint32
+	sndBuf []byte
+	// sndStore is the pooled array backing sndBuf (sndBuf may alias its
+	// middle after acked bytes are dropped); returned to the stack's
+	// pool at teardown.
+	sndStore       []byte
 	sndUna         uint32 // oldest unacknowledged sequence
 	sndNxt         uint32 // next sequence to transmit
 	sndMax         uint32 // highest sequence ever transmitted + 1
@@ -62,7 +68,10 @@ type Conn struct {
 	// from acks of segments that were not retransmitted (Karn's
 	// algorithm), giving long-RTT paths a proportionate RTO instead of
 	// spurious retransmissions.
-	rtoTimer   *simnet.Timer
+	rtoTimer simnet.TimerHandle
+	// rtoFn caches the onRTO method value so re-arming the
+	// retransmission timer does not allocate a fresh closure each time.
+	rtoFn      func()
 	rtoBackoff int
 	synTries   int
 	srtt       time.Duration
@@ -83,22 +92,22 @@ type Conn struct {
 }
 
 // RemoteAddr returns the peer address.
-func (c *Conn) RemoteAddr() netip.AddrPort { return c.key.remote }
+func (c *Conn) RemoteAddr() netip.AddrPort { return c.remote }
 
 // LocalPort returns the local port of this connection.
-func (c *Conn) LocalPort() uint16 { return c.key.localPort }
+func (c *Conn) LocalPort() uint16 { return c.localPort }
 
 // transmit emits one segment on this connection.
 func (c *Conn) transmit(flags uint8, seq, ack uint32, payload []byte) {
-	h := &netwire.TCPHeader{
-		SrcPort: c.key.localPort,
-		DstPort: c.key.remote.Port(),
+	h := netwire.TCPHeader{
+		SrcPort: c.localPort,
+		DstPort: c.remote.Port(),
 		Seq:     seq,
 		Ack:     ack,
 		Flags:   flags,
 		Window:  recvWindow,
 	}
-	c.stack.emit(c.key.remote.Addr(), h, payload)
+	c.stack.emit(c.remote.Addr(), &h, payload)
 }
 
 // sendSYN transmits the initial SYN (attempt try) and arms the retry timer
@@ -120,7 +129,7 @@ func (c *Conn) sendSYN(try int) {
 	c.sndNxt = c.iss
 	c.bumpSndNxt(1)
 	timeout := initialRTO << uint(try)
-	c.rtoTimer = c.sched().AfterTimer(timeout, func() {
+	c.rtoTimer = c.sched().AfterHandle(timeout, func() {
 		if c.state != stateSYNSent {
 			return
 		}
@@ -140,9 +149,27 @@ func (c *Conn) Send(data []byte) {
 	if c.state == stateClosed || c.finQueued || c.closeRequested {
 		return
 	}
+	if len(c.sndBuf)+len(data) > cap(c.sndBuf) {
+		c.growSndBuf(len(c.sndBuf) + len(data))
+	}
 	c.sndBuf = append(c.sndBuf, data...)
 	if c.state == stateEstablished || c.state == stateFINSent {
 		c.pump()
+	}
+}
+
+// growSndBuf moves the buffered bytes into a pooled array with capacity
+// for at least need bytes. Connections are short-lived and sequential on
+// a simulated host, so pooling the arrays turns the one-buffer-per-
+// connection allocation into reuse.
+func (c *Conn) growSndBuf(need int) {
+	store := c.stack.grabSendBuf(need)
+	n := copy(store[:len(c.sndBuf)], c.sndBuf)
+	old := c.sndStore
+	c.sndStore = store
+	c.sndBuf = store[:n]
+	if old != nil {
+		c.stack.releaseSendBuf(old)
 	}
 }
 
@@ -184,10 +211,15 @@ func (c *Conn) teardown(err error) {
 	}
 	c.state = stateClosed
 	c.closedErr = err
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-	}
+	c.rtoTimer.Stop()
 	delete(c.stack.conns, c.key)
+	if c.sndStore != nil {
+		// Every transmitted segment copied its payload into the packet
+		// buffer, so nothing aliases the store once the state machine
+		// stops.
+		c.stack.releaseSendBuf(c.sndStore)
+		c.sndStore, c.sndBuf = nil, nil
+	}
 	// Clean closes linger in TIME_WAIT (2 minutes ~ 2*MSL) to absorb
 	// stragglers; aborted connections do not (an RST already told the
 	// peer everything).
@@ -254,7 +286,7 @@ func (c *Conn) pump() {
 		c.bumpSndNxt(1)
 		sentAny = true
 	}
-	if sentAny && c.rtoTimer == nil {
+	if sentAny && !c.rtoTimer.Scheduled() {
 		c.armRTO(c.currentRTO())
 	}
 }
@@ -294,16 +326,14 @@ func (c *Conn) observeRTT(sample time.Duration) {
 
 // armRTO (re)arms the retransmission timer.
 func (c *Conn) armRTO(d time.Duration) {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-	}
-	c.rtoTimer = c.sched().AfterTimer(d, c.onRTO)
+	c.rtoTimer.Stop()
+	c.rtoTimer = c.sched().AfterHandle(d, c.rtoFn)
 }
 
 // onRTO fires when the oldest unacked segment times out: classic go-back
 // retransmission with multiplicative backoff and cwnd collapse.
 func (c *Conn) onRTO() {
-	c.rtoTimer = nil
+	c.rtoTimer = simnet.TimerHandle{}
 	if c.state == stateClosed || c.state == stateSYNSent {
 		return
 	}
@@ -337,7 +367,7 @@ func (c *Conn) onRTO() {
 	c.Retransmits++
 	c.sndNxt = c.sndUna
 	c.pump()
-	if c.rtoTimer == nil {
+	if !c.rtoTimer.Scheduled() {
 		c.armRTO(c.currentRTO())
 	}
 }
@@ -383,16 +413,12 @@ func (c *Conn) segSYNSent(th *netwire.TCPHeader) {
 	if th.Ack != c.iss+1 {
 		return
 	}
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-		c.rtoTimer = nil
-	}
+	c.rtoTimer.Stop()
 	if c.sampleValid {
 		c.observeRTT(c.sched().Now().Sub(c.sampleAt))
 		c.sampleValid = false
 	}
 	c.rcvNxt = th.Seq + 1
-	c.ooo = make(map[uint32][]byte)
 	c.sndUna = c.iss + 1
 	c.sndNxt = c.iss + 1
 	if seqLT(c.sndMax, c.sndNxt) {
@@ -421,10 +447,7 @@ func (c *Conn) segSYNReceived(th *netwire.TCPHeader, payload []byte) {
 	if th.Flags&netwire.FlagACK == 0 || th.Ack != c.iss+1 {
 		return
 	}
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-		c.rtoTimer = nil
-	}
+	c.rtoTimer.Stop()
 	if c.sampleValid {
 		c.observeRTT(c.sched().Now().Sub(c.sampleAt))
 		c.sampleValid = false
@@ -511,10 +534,7 @@ func (c *Conn) processAck(th *netwire.TCPHeader) {
 			c.cwnd = recvWindow
 		}
 		if c.allAcked() {
-			if c.rtoTimer != nil {
-				c.rtoTimer.Stop()
-				c.rtoTimer = nil
-			}
+			c.rtoTimer.Stop()
 			if c.finQueued && c.peerFINDone() {
 				c.teardown(nil)
 				return
@@ -577,7 +597,11 @@ func (c *Conn) processData(th *netwire.TCPHeader, payload []byte) {
 			skip := int(c.rcvNxt - seq)
 			c.deliver(payload[skip:])
 		} else if seqLT(c.rcvNxt, seq) {
-			// Future segment: buffer a copy.
+			// Future segment: buffer a copy. The map is built lazily —
+			// most connections never see reordering.
+			if c.ooo == nil {
+				c.ooo = make(map[uint32][]byte)
+			}
 			cp := make([]byte, len(payload))
 			copy(cp, payload)
 			c.ooo[seq] = cp

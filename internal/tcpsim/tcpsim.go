@@ -93,10 +93,16 @@ type Callbacks struct {
 	OnClose func(err error)
 }
 
-// connKey identifies a connection within a stack.
-type connKey struct {
-	localPort uint16
-	remote    netip.AddrPort
+// connKey identifies a connection within a stack. The tuple is packed into
+// one word — local port in the top 16 bits, remote IPv4 in the middle 32,
+// remote port in the low 16 — so the per-segment demultiplex is a single
+// integer map probe instead of hashing a multi-word struct.
+type connKey uint64
+
+func packKey(localPort uint16, remote netip.Addr, remotePort uint16) connKey {
+	a := remote.As4()
+	ip := uint64(a[0])<<24 | uint64(a[1])<<16 | uint64(a[2])<<8 | uint64(a[3])
+	return connKey(uint64(localPort)<<48 | ip<<16 | uint64(remotePort))
 }
 
 // Listener accepts inbound connections on a port.
@@ -122,6 +128,8 @@ type Stack struct {
 	// RST — the role of TIME_WAIT in real TCP.
 	timeWait map[connKey]simnet.Time
 	isnSeed  uint32
+	// sendBufs pools connection send-buffer arrays (see Conn.growSndBuf).
+	sendBufs [][]byte
 
 	// SYNRetries overrides DefaultSYNRetries when > 0.
 	SYNRetries int
@@ -147,6 +155,26 @@ func NewStack(host *simnet.Host) *Stack {
 
 // Host returns the underlying simulated host.
 func (s *Stack) Host() *simnet.Host { return s.host }
+
+// grabSendBuf returns a zero-length buffer with capacity at least need,
+// reusing a released one when it is big enough.
+func (s *Stack) grabSendBuf(need int) []byte {
+	if n := len(s.sendBufs); n > 0 {
+		b := s.sendBufs[n-1]
+		s.sendBufs = s.sendBufs[:n-1]
+		if cap(b) >= need {
+			return b
+		}
+	}
+	if need < 4096 {
+		need = 4096
+	}
+	return make([]byte, 0, need)
+}
+
+func (s *Stack) releaseSendBuf(b []byte) {
+	s.sendBufs = append(s.sendBufs, b[:0])
+}
 
 func (s *Stack) status() HostStatus {
 	if s.Status == nil {
@@ -187,15 +215,18 @@ func (s *Stack) Dial(remote netip.AddrPort, cb Callbacks) *Conn {
 	// handler is the only TCP binding; reservation happens via the
 	// conns map, not a host bind.
 	c := &Conn{
-		stack:    s,
-		key:      connKey{localPort: port, remote: remote},
-		cb:       cb,
-		state:    stateSYNSent,
-		iss:      s.nextISN(),
-		cwnd:     2 * MSS,
-		ssthresh: recvWindow,
-		peerWnd:  recvWindow,
+		stack:     s,
+		key:       packKey(port, remote.Addr(), remote.Port()),
+		localPort: port,
+		remote:    remote,
+		cb:        cb,
+		state:     stateSYNSent,
+		iss:       s.nextISN(),
+		cwnd:      2 * MSS,
+		ssthresh:  recvWindow,
+		peerWnd:   recvWindow,
 	}
+	c.rtoFn = c.onRTO
 	c.sndUna = c.iss
 	c.sndNxt = c.iss
 	c.sndMax = c.iss
@@ -205,20 +236,27 @@ func (s *Stack) Dial(remote netip.AddrPort, cb Callbacks) *Conn {
 	return c
 }
 
-// handle demultiplexes an inbound TCP segment.
+// handle demultiplexes an inbound TCP segment. Headers are decoded into
+// stack-allocated structs and payload aliases pkt.Bytes, which the network
+// recycles after this call returns — every consumer below copies what it
+// keeps (ooo reassembly, application OnData handlers).
 func (s *Stack) handle(pkt *simnet.Packet) {
 	if s.status() == HostDown {
 		return
 	}
-	iph, transport, err := netwire.DecodeIPv4(pkt.Bytes)
+	var iph netwire.IPv4
+	var hdr netwire.TCPHeader
+	transport, err := netwire.DecodeIPv4Into(pkt.Bytes, &iph)
 	if err != nil {
 		return
 	}
-	th, payload, err := netwire.DecodeTCP(transport, iph.Src, iph.Dst)
+	payload, err := netwire.DecodeTCPInto(transport, &hdr)
 	if err != nil {
 		return
 	}
-	key := connKey{localPort: th.DstPort, remote: netip.AddrPortFrom(iph.Src, th.SrcPort)}
+	th := &hdr
+	remote := netip.AddrPortFrom(iph.Src, th.SrcPort)
+	key := packKey(th.DstPort, iph.Src, th.SrcPort)
 	if c, ok := s.conns[key]; ok {
 		c.segment(th, payload)
 		return
@@ -235,39 +273,41 @@ func (s *Stack) handle(pkt *simnet.Packet) {
 	if th.Flags&netwire.FlagSYN != 0 && th.Flags&netwire.FlagACK == 0 {
 		if l, ok := s.listeners[th.DstPort]; ok {
 			if l.Refuse != nil && l.Refuse(s.host.Now()) {
-				s.sendRST(key, th.Seq+1)
+				s.sendRST(th.DstPort, remote, th.Seq+1)
 				return
 			}
-			s.acceptSYN(key, th, l)
+			s.acceptSYN(key, remote, th, l)
 			return
 		}
 		// Closed port on a live host: refuse.
-		s.sendRST(key, th.Seq+1)
+		s.sendRST(th.DstPort, remote, th.Seq+1)
 		return
 	}
 	// Non-SYN to an unknown connection: RST unless it is itself a RST.
 	if th.Flags&netwire.FlagRST == 0 {
-		s.sendRST(key, th.Seq+uint32(len(payload)))
+		s.sendRST(th.DstPort, remote, th.Seq+uint32(len(payload)))
 	}
 }
 
 // acceptSYN creates the server-side connection and replies SYN-ACK.
-func (s *Stack) acceptSYN(key connKey, th *netwire.TCPHeader, l *Listener) {
+func (s *Stack) acceptSYN(key connKey, remote netip.AddrPort, th *netwire.TCPHeader, l *Listener) {
 	c := &Conn{
-		stack:    s,
-		key:      key,
-		state:    stateSYNReceived,
-		iss:      s.nextISN(),
-		cwnd:     2 * MSS,
-		ssthresh: recvWindow,
-		peerWnd:  th.Window,
-		listener: l,
+		stack:     s,
+		key:       key,
+		localPort: th.DstPort,
+		remote:    remote,
+		state:     stateSYNReceived,
+		iss:       s.nextISN(),
+		cwnd:      2 * MSS,
+		ssthresh:  recvWindow,
+		peerWnd:   th.Window,
+		listener:  l,
 	}
+	c.rtoFn = c.onRTO
 	c.sndUna = c.iss
 	c.sndNxt = c.iss
 	c.sndMax = c.iss
 	c.rcvNxt = th.Seq + 1
-	c.ooo = make(map[uint32][]byte)
 	s.conns[key] = c
 	c.transmit(netwire.FlagSYN|netwire.FlagACK, c.iss, c.rcvNxt, nil)
 	// The SYN-ACK -> handshake-ACK exchange is the server's first RTT
@@ -280,27 +320,26 @@ func (s *Stack) acceptSYN(key connKey, th *netwire.TCPHeader, l *Listener) {
 }
 
 // sendRST emits a bare reset for a segment that has no connection.
-func (s *Stack) sendRST(key connKey, ack uint32) {
+func (s *Stack) sendRST(localPort uint16, remote netip.AddrPort, ack uint32) {
 	s.Resets++
-	h := &netwire.TCPHeader{
-		SrcPort: key.localPort,
-		DstPort: key.remote.Port(),
+	h := netwire.TCPHeader{
+		SrcPort: localPort,
+		DstPort: remote.Port(),
 		Seq:     0,
 		Ack:     ack,
 		Flags:   netwire.FlagRST | netwire.FlagACK,
 	}
-	s.emit(key.remote.Addr(), h, nil)
+	s.emit(remote.Addr(), &h, nil)
 }
 
-// emit encodes and sends one TCP segment.
+// emit encodes and sends one TCP segment into a pooled packet buffer; the
+// network recycles it once delivery or drop completes.
 func (s *Stack) emit(dst netip.Addr, h *netwire.TCPHeader, payload []byte) {
-	seg, err := netwire.EncodeTCP(nil, h, s.host.Addr, dst, payload)
+	pkt := s.host.Network().AllocPacket()
+	b, err := netwire.AppendTCPPacket(pkt.Bytes[:0], s.host.Addr, dst, h, payload)
 	if err != nil {
 		panic("tcpsim: encode tcp: " + err.Error())
 	}
-	b, err := netwire.EncodeIPv4(nil, &netwire.IPv4{Protocol: uint8(simnet.TCP), Src: s.host.Addr, Dst: dst}, seg)
-	if err != nil {
-		panic("tcpsim: encode ip: " + err.Error())
-	}
-	s.host.Send(&simnet.Packet{Src: s.host.Addr, Dst: dst, Proto: simnet.TCP, Bytes: b})
+	pkt.Src, pkt.Dst, pkt.Proto, pkt.Bytes = s.host.Addr, dst, simnet.TCP, b
+	s.host.Send(pkt)
 }

@@ -13,6 +13,15 @@
 # the fast-mode hot path (evaluate must stay at zero heap allocations
 # per transaction, with its metrics counters and progress flushing
 # active).
+#
+# Packet-engine gates: the sharded packet runner must produce a record
+# stream byte-identical to the serial engine for every shard count
+# (under the race detector — the workers share nothing but the output
+# buffers), the timer wheel must pass its Stop-cancellation regression
+# and reference-order property tests, the pooled event/packet paths
+# must stay at zero steady-state allocations, and fast-vs-packet
+# calibration must hold within the documented tolerances at the
+# minimum calibration scale.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -28,3 +37,8 @@ go test -run 'TestGolden' ./cmd/webfail-analyze
 go test -race -run 'TestSelectiveMatchesFull|TestArtifactPassRegistry' ./internal/report
 go test -race -count=1 ./internal/obs
 go test -run 'TestEvaluateZeroAllocs' -count=1 ./internal/measure
+go test -race -run 'TestPacketSerialParallelEquivalence|TestPacketParallelShardOrder|TestPacketCaptureUnknownClient' \
+    ./internal/measure
+go test -run 'TestTimerStop|TestWheelMatchesReferenceOrder|TestSchedulerTimerChurnZeroAlloc|TestPacketSendDeliverZeroAlloc|TestPacketPoolRecycles' \
+    -count=1 ./internal/simnet
+go test -run 'TestCalibration' -count=1 -timeout 10m ./internal/measure
