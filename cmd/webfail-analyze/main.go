@@ -8,6 +8,7 @@
 // Usage:
 //
 //	webfail-analyze -in dataset.bin [-top N] [-parallel N] [-artifacts LIST]
+//	                [-state auto|dense|sparse]
 //	                [-cpuprofile PATH] [-memprofile PATH]
 //	                [-metrics-out PATH] [-metrics-listen ADDR] [-progress]
 //
@@ -67,6 +68,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	top := fs.Int("top", 10, "rows in top-N listings")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "ingest worker shards (1 = serial)")
 	artifacts := fs.String("artifacts", "", `comma-separated report artifacts to render ("all" = everything)`)
+	state := fs.String("state", "auto", "analyzer state representation: auto, dense, or sparse")
 	var obsFlags obs.CLIFlags
 	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -74,6 +76,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *in == "" {
 		return fmt.Errorf("-in is required")
+	}
+	stateMode, err := core.ParseStateMode(*state)
+	if err != nil {
+		return err
 	}
 	reg := obs.NewRegistry()
 	sess, err := obsFlags.Start(component, reg)
@@ -121,15 +127,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		prog.Start()
 	}
 	ingestSpan := reg.Span("ingest")
-	a, err := core.ConsumeParallelObs(topo, start, end, src, *parallel, reg, prog, passes...)
+	a, err := core.ConsumeParallelOpts(topo, start, end, src, core.IngestOptions{
+		Shards: *parallel, State: stateMode, Passes: passes, Metrics: reg, Progress: prog,
+	})
 	ingestSpan.End()
 	prog.Stop()
 	if err != nil {
 		return err
 	}
-	// The shard count is the one -parallel-dependent value; it goes to
-	// stderr so stdout is byte-identical for any ingest width.
-	fmt.Fprintf(stderr, "webfail-analyze: %d ingest shards\n", shards)
+	// The shard count and the resolved state backend are the
+	// flag-dependent values; they go to stderr (and the metrics
+	// registry) so stdout is byte-identical for any ingest width or
+	// state representation.
+	fmt.Fprintf(stderr, "webfail-analyze: %d ingest shards, %v state (%d cells)\n", shards, a.State(), a.StateCells())
+	reg.Gauge("core_state_cells{state=\"" + a.State().String() + "\"}").Set(float64(a.StateCells()))
 	fmt.Fprintf(stdout, "stored-record accumulator: %s\n", a)
 	fmt.Fprintln(stdout, "failure-stage shares over stored records:")
 	for _, row := range a.Summary() {

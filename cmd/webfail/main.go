@@ -19,6 +19,9 @@
 //	-sites N     limit the website roster (0 = all 80)
 //	-artifacts LIST  comma-separated selection, e.g. "table3,fig5,headlines"
 //	             (default: everything); -only is an alias
+//	-state M     analyzer state representation: "auto" (default; dense at
+//	             paper scale, sparse past the cell budget), "dense", or
+//	             "sparse" — output is identical for any value
 //	-save PATH   stream the failure dataset to PATH (v2 chunked format)
 //	-cpuprofile PATH  write a runtime/pprof CPU profile of the run
 //	-memprofile PATH  write a heap profile at exit
@@ -64,6 +67,7 @@ func main() {
 		artifacts = flag.String("artifacts", "", "comma-separated artifacts (table1..table9, fig1..fig7, replicas, headlines)")
 		only      = flag.String("only", "", "alias for -artifacts")
 		savePath  = flag.String("save", "", "write failure dataset to this path")
+		state     = flag.String("state", "auto", "analyzer state representation: auto, dense, or sparse")
 		obsFlags  obs.CLIFlags
 	)
 	obsFlags.Register(flag.CommandLine)
@@ -86,6 +90,10 @@ func main() {
 	// (empty selection = everything); only those accumulate during the
 	// run, whether serial or sharded.
 	passes, err := report.PassesFor(sel)
+	if err != nil {
+		obs.Fatalf(component, "%v", err)
+	}
+	stateMode, err := core.ParseStateMode(*state)
 	if err != nil {
 		obs.Fatalf(component, "%v", err)
 	}
@@ -128,7 +136,8 @@ func main() {
 		cfg.Progress.Start()
 	}
 
-	a := core.NewAnalysisSelected(topo, 0, end, passes...)
+	aopts := core.Options{State: stateMode, Passes: passes}
+	a := core.NewAnalysisOpts(topo, 0, end, aopts)
 
 	// The dataset streams to disk during the run: shard workers feed
 	// per-shard sinks that flush independently compressed chunks, so
@@ -168,7 +177,7 @@ func main() {
 	switch *mode {
 	case "fast":
 		if shards > 1 {
-			err = runFastSharded(cfg, shards, topo, a, dw, passes)
+			err = runFastSharded(cfg, shards, topo, a, dw, aopts)
 		} else {
 			err = measure.Run(cfg, visit)
 		}
@@ -202,6 +211,7 @@ func main() {
 	if s := elapsed.Seconds(); s > 0 {
 		reg.WallGauge("run_txns_per_sec").Set(float64(a.TotalTxns()) / s)
 	}
+	reg.Gauge("core_state_cells{state=\"" + a.State().String() + "\"}").Set(float64(a.StateCells()))
 	fmt.Printf("run completed in %v: %s\n\n", elapsed.Round(time.Millisecond), a)
 
 	repSpan := reg.Span("report")
@@ -228,10 +238,10 @@ func main() {
 // serial record stream is client-major, so the merged analysis and the
 // saved dataset's canonical record order are identical to a serial
 // run's.
-func runFastSharded(cfg measure.Config, shards int, topo *workload.Topology, a *core.Analysis, dw *dataset.Writer, passes []core.PassName) error {
+func runFastSharded(cfg measure.Config, shards int, topo *workload.Topology, a *core.Analysis, dw *dataset.Writer, aopts core.Options) error {
 	accs := make([]*core.Analysis, shards)
 	for i := range accs {
-		accs[i] = core.NewAnalysisSelected(topo, cfg.Start, cfg.End, passes...)
+		accs[i] = core.NewAnalysisOpts(topo, cfg.Start, cfg.End, aopts)
 	}
 	var sinks []*dataset.Sink
 	if dw != nil {

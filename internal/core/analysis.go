@@ -80,6 +80,10 @@ type Analysis struct {
 
 	nClients, nSites int
 
+	// Resolved representation mode (never StateAuto): the backend every
+	// state-bearing pass was constructed with. See StateMode.
+	state StateMode
+
 	// Active passes in canonical order, plus typed handles: the typed
 	// fields are nil for unselected passes, and the ingest hot path
 	// dispatches through them directly rather than via the interface.
@@ -116,6 +120,25 @@ func NewAnalysisBinned(topo *workload.Topology, start, end simnet.Time, bin time
 // duration and only the given analyzer passes (none = all; totals is
 // always included).
 func NewAnalysisBinnedSelected(topo *workload.Topology, start, end simnet.Time, bin time.Duration, passes ...PassName) *Analysis {
+	return NewAnalysisOpts(topo, start, end, Options{Bin: bin, Passes: passes})
+}
+
+// Options configures an Analysis beyond its window.
+type Options struct {
+	// Bin is the episode bin duration (<= 0 means the paper's 1 hour).
+	Bin time.Duration
+	// State selects the pass representation; StateAuto (the zero value)
+	// resolves from roster geometry against DenseCellBudget.
+	State StateMode
+	// Passes selects the analyzer passes (none = all; totals is always
+	// included).
+	Passes []PassName
+}
+
+// NewAnalysisOpts is the fully general constructor: every other
+// NewAnalysis* variant delegates here.
+func NewAnalysisOpts(topo *workload.Topology, start, end simnet.Time, opts Options) *Analysis {
+	bin := opts.Bin
 	if bin <= 0 {
 		bin = time.Hour
 	}
@@ -124,6 +147,10 @@ func NewAnalysisBinnedSelected(topo *workload.Topology, start, end simnet.Time, 
 	if hours <= 0 {
 		hours = 1
 	}
+	nReplicas := 0
+	for j := range topo.Websites {
+		nReplicas += len(topo.Websites[j].ReplicaAddrs)
+	}
 	a := &Analysis{
 		Topo:      topo,
 		StartHour: int64(start) / binNS,
@@ -131,30 +158,31 @@ func NewAnalysisBinnedSelected(topo *workload.Topology, start, end simnet.Time, 
 		binNS:     binNS,
 		nClients:  len(topo.Clients),
 		nSites:    len(topo.Websites),
+		state:     resolveState(opts.State, len(topo.Clients), len(topo.Websites), nReplicas, hours),
 	}
-	for _, name := range normalizePasses(passes) {
+	for _, name := range normalizePasses(opts.Passes) {
 		var p Pass
 		switch name {
 		case PassTotals:
 			a.totals = newTotalsPass()
 			p = a.totals
 		case PassTraffic:
-			a.traffic = newTrafficPass(a.nClients, a.nSites)
+			a.traffic = newTrafficPass(a.nClients, a.nSites, a.state)
 			p = a.traffic
 		case PassGrids:
-			a.grids = newGridsPass(a.nClients, a.nSites, hours)
+			a.grids = newGridsPass(a.nClients, a.nSites, hours, a.state)
 			p = a.grids
 		case PassFailures:
 			a.fails = newFailuresPass()
 			p = a.fails
 		case PassPairs:
-			a.pairs = newPairsPass(a.nClients, a.nSites)
+			a.pairs = newPairsPass(a.nClients, a.nSites, a.state)
 			p = a.pairs
 		case PassReplicas:
-			a.replicas = newReplicasPass(topo, hours)
+			a.replicas = newReplicasPass(topo, hours, a.state)
 			p = a.replicas
 		case PassConns:
-			a.conns = newConnsPass(a.nClients, a.nSites, hours)
+			a.conns = newConnsPass(a.nClients, a.nSites, hours, a.state)
 			p = a.conns
 		}
 		a.active = append(a.active, p)
@@ -274,11 +302,11 @@ func (a *Analysis) Failures() []FailureRec { return a.mustFailures().recs }
 func (a *Analysis) ClientHour(client, hour int) entityHour {
 	var eh entityHour
 	if a.grids != nil {
-		c := a.grids.client[client*a.Hours+hour]
+		c := a.grids.client.val(client*a.Hours + hour)
 		eh.Txns, eh.FailTxns = c.Txns, c.FailTxns
 	}
 	if a.conns != nil {
-		c := a.conns.client[client*a.Hours+hour]
+		c := a.conns.client.val(client*a.Hours + hour)
 		eh.Conns, eh.FailConns = c.Conns, c.FailConns
 		eh.streakCur, eh.StreakMax = c.streakCur, c.StreakMax
 	}
@@ -289,20 +317,21 @@ func (a *Analysis) ClientHour(client, hour int) entityHour {
 func (a *Analysis) ServerHour(site, hour int) entityHour {
 	var eh entityHour
 	if a.grids != nil {
-		c := a.grids.server[site*a.Hours+hour]
+		c := a.grids.server.val(site*a.Hours + hour)
 		eh.Txns, eh.FailTxns = c.Txns, c.FailTxns
 	}
 	if a.conns != nil {
-		c := a.conns.server[site*a.Hours+hour]
+		c := a.conns.server.val(site*a.Hours + hour)
 		eh.Conns, eh.FailConns = c.Conns, c.FailConns
 	}
 	return eh
 }
 
 // PairStats returns the month-long totals for a client-server pair.
-func (a *Analysis) PairStats(client, site int) (txns, fails int32) {
+func (a *Analysis) PairStats(client, site int) (txns, fails int64) {
 	p := a.mustPairs()
-	return p.txns[client*a.nSites+site], p.fails[client*a.nSites+site]
+	c := p.cells.val(client*a.nSites + site)
+	return c.Txns, c.Fails
 }
 
 // String summarizes the accumulated run.

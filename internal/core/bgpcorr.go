@@ -102,12 +102,12 @@ func (a *Analysis) prefixHourFailRate(pe prefixEntities, pfx netip.Prefix, h int
 	cp := a.mustConns()
 	var conns, fails int64
 	for _, c := range pe.clients[pfx] {
-		cell := cp.client[c*a.Hours+h]
+		cell := cp.client.val(c*a.Hours + h)
 		conns += int64(cell.Conns)
 		fails += int64(cell.FailConns)
 	}
 	for _, s := range pe.sites[pfx] {
-		cell := cp.server[s*a.Hours+h]
+		cell := cp.server.val(s*a.Hours + h)
 		conns += int64(cell.Conns)
 		fails += int64(cell.FailConns)
 	}
@@ -223,7 +223,7 @@ func (a *Analysis) ClientTimeline(clientName string, table bgpsim.PrefixHourTabl
 	cp := a.mustConns()
 	out := make([]TimelinePoint, 0, a.Hours)
 	for h := 0; h < a.Hours; h++ {
-		cell := cp.client[ci*a.Hours+h]
+		cell := cp.client.val(ci*a.Hours + h)
 		abs := a.StartHour + int64(h)
 		st := table.Get(node.Prefix, abs)
 		out = append(out, TimelinePoint{

@@ -45,7 +45,7 @@ func TestBinnedAnalysis(t *testing.T) {
 		a := NewAnalysisBinned(topo, 0, end, bin)
 		feed(a)
 		at := a.Attribute(0.05, nil)
-		return len(at.ServerEpisodeHours[0])
+		return at.ServerEpisodeHours[0].Len()
 	}
 
 	fine := episodesAt(15 * time.Minute)

@@ -65,28 +65,18 @@ func (a *Analysis) Summary() []CategorySummary {
 // 1.63% in the paper).
 func (a *Analysis) MedianFailureRates() (client, server float64) {
 	g := a.mustGrids()
+	cTotals := rowTotals(&g.client, a.Hours, a.nClients)
 	cRates := make([]float64, 0, a.nClients)
-	for c := 0; c < a.nClients; c++ {
-		var txns, fails int64
-		for h := 0; h < a.Hours; h++ {
-			cell := g.client[c*a.Hours+h]
-			txns += int64(cell.Txns)
-			fails += int64(cell.FailTxns)
-		}
-		if txns > 0 {
-			cRates = append(cRates, float64(fails)/float64(txns))
+	for _, t := range cTotals {
+		if t.Txns > 0 {
+			cRates = append(cRates, float64(t.FailTxns)/float64(t.Txns))
 		}
 	}
+	sTotals := rowTotals(&g.server, a.Hours, a.nSites)
 	sRates := make([]float64, 0, a.nSites)
-	for s := 0; s < a.nSites; s++ {
-		var txns, fails int64
-		for h := 0; h < a.Hours; h++ {
-			cell := g.server[s*a.Hours+h]
-			txns += int64(cell.Txns)
-			fails += int64(cell.FailTxns)
-		}
-		if txns > 0 {
-			sRates = append(sRates, float64(fails)/float64(txns))
+	for _, t := range sTotals {
+		if t.Txns > 0 {
+			sRates = append(sRates, float64(t.FailTxns)/float64(t.Txns))
 		}
 	}
 	return stats.Median(cRates), stats.Median(sRates)
@@ -97,15 +87,9 @@ func (a *Analysis) MedianFailureRates() (client, server float64) {
 func (a *Analysis) ClientFailureRateQuantile(q float64) float64 {
 	g := a.mustGrids()
 	rates := make([]float64, 0, a.nClients)
-	for c := 0; c < a.nClients; c++ {
-		var txns, fails int64
-		for h := 0; h < a.Hours; h++ {
-			cell := g.client[c*a.Hours+h]
-			txns += int64(cell.Txns)
-			fails += int64(cell.FailTxns)
-		}
-		if txns > 0 {
-			rates = append(rates, float64(fails)/float64(txns))
+	for _, t := range rowTotals(&g.client, a.Hours, a.nClients) {
+		if t.Txns > 0 {
+			rates = append(rates, float64(t.FailTxns)/float64(t.Txns))
 		}
 	}
 	return stats.NewCDF(rates).Quantile(q)
@@ -235,22 +219,19 @@ func (a *Analysis) TCPBreakdown() []TCPBreakdownRow {
 func (a *Analysis) LossCorrelation() (float64, error) {
 	t := a.mustTraffic()
 	g := a.mustGrids()
+	totals := rowTotals(&g.client, a.Hours, a.nClients)
 	var loss, fail []float64
 	for c := 0; c < a.nClients; c++ {
-		if t.clientPkts[c] == 0 {
+		pkts := t.clientPkts.val(int32(c))
+		if pkts == 0 {
 			continue
 		}
-		var txns, fails int64
-		for h := 0; h < a.Hours; h++ {
-			cell := g.client[c*a.Hours+h]
-			txns += int64(cell.Txns)
-			fails += int64(cell.FailTxns)
-		}
-		if txns == 0 {
+		tot := totals[c]
+		if tot.Txns == 0 {
 			continue
 		}
-		loss = append(loss, float64(t.clientRetrans[c])/float64(t.clientPkts[c]))
-		fail = append(fail, float64(fails)/float64(txns))
+		loss = append(loss, float64(t.clientRetrans.val(int32(c)))/float64(pkts))
+		fail = append(fail, float64(tot.FailTxns)/float64(tot.Txns))
 	}
 	return stats.Pearson(loss, fail)
 }

@@ -173,8 +173,8 @@ func TestAttributionServerSide(t *testing.T) {
 	if at.Counts[BlameServer] != at.Total {
 		t.Errorf("server-side = %d of %d; counts=%v", at.Counts[BlameServer], at.Total, at.Counts)
 	}
-	if len(at.ServerEpisodeHours[0]) != 1 || !at.ServerEpisodeHours[0][1] {
-		t.Errorf("server episode hours = %v", at.ServerEpisodeHours[0])
+	if at.ServerEpisodeHours[0].Len() != 1 || !at.ServerEpisodeHours[0].Has(1) {
+		t.Errorf("server episode hours = %v", at.ServerEpisodeHours[0].Hours())
 	}
 	// Spread: all clients affected.
 	stats := a.ServerEpisodeStats(at)
@@ -273,8 +273,8 @@ func TestPermanentPairDetectionAndExclusion(t *testing.T) {
 		t.Errorf("classified %d failures despite exclusion", at.Total)
 	}
 	for c, eps := range at.ClientEpisodeHours {
-		if len(eps) != 0 {
-			t.Errorf("client %d has episodes %v despite exclusion", c, eps)
+		if eps.Len() != 0 {
+			t.Errorf("client %d has episodes %v despite exclusion", c, eps.Hours())
 		}
 	}
 }

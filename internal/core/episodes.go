@@ -17,25 +17,23 @@ const MinEpisodeSamples = 8
 // EpisodeRateCDFs returns the distribution of per-entity per-hour failure
 // rates, separately for clients and servers — Figure 4, whose knee picks
 // the threshold f.
+//
+// The scans run over materialized cells only (forEach): untouched cells
+// have zero transactions and cannot pass the MinEpisodeSamples filter,
+// so the dense and sparse backends produce identical CDFs.
 func (a *Analysis) EpisodeRateCDFs() (clients, servers *stats.CDF) {
 	g := a.mustGrids()
 	var cs, ss []float64
-	for c := 0; c < a.nClients; c++ {
-		for h := 0; h < a.Hours; h++ {
-			cell := g.client[c*a.Hours+h]
-			if cell.Txns >= MinEpisodeSamples {
-				cs = append(cs, float64(cell.FailTxns)/float64(cell.Txns))
-			}
+	g.client.forEach(func(_ int, cell *gridCell) {
+		if cell.Txns >= MinEpisodeSamples {
+			cs = append(cs, float64(cell.FailTxns)/float64(cell.Txns))
 		}
-	}
-	for s := 0; s < a.nSites; s++ {
-		for h := 0; h < a.Hours; h++ {
-			cell := g.server[s*a.Hours+h]
-			if cell.Txns >= MinEpisodeSamples {
-				ss = append(ss, float64(cell.FailTxns)/float64(cell.Txns))
-			}
+	})
+	g.server.forEach(func(_ int, cell *gridCell) {
+		if cell.Txns >= MinEpisodeSamples {
+			ss = append(ss, float64(cell.FailTxns)/float64(cell.Txns))
 		}
-	}
+	})
 	return stats.NewCDF(cs), stats.NewCDF(ss)
 }
 
@@ -67,40 +65,72 @@ func kneeOf(c *stats.CDF) (float64, error) {
 // (Section 4.4.2: failure rate over 90% through the month).
 type PermanentPair struct {
 	Client, Site int
-	Txns, Fails  int32
+	Txns, Fails  int64
 	Rate         float64
+}
+
+// pairBetter is the strict total order permanent-pair listings sort by:
+// rate descending, ties broken on the pair indexes (rate ties are
+// common — many pairs fail 100% of the time).
+func pairBetter(a, b PermanentPair) bool {
+	if a.Rate != b.Rate {
+		return a.Rate > b.Rate
+	}
+	if a.Client != b.Client {
+		return a.Client < b.Client
+	}
+	return a.Site < b.Site
 }
 
 // PermanentPairs detects pairs whose month-long transaction failure rate
 // exceeds threshold (the paper uses 0.9) with a minimum sample size.
+// The result is complete (attribution needs the full exclusion set);
+// use TopFailingPairs when only the worst offenders matter and the
+// roster is too large to retain every candidate.
+//
+// Untouched sparse cells have zero transactions and fail the
+// minimum-sample filter, so both backends detect the same pairs.
 func (a *Analysis) PermanentPairs(threshold float64) []PermanentPair {
 	pp := a.mustPairs()
 	var out []PermanentPair
-	for c := 0; c < a.nClients; c++ {
-		for s := 0; s < a.nSites; s++ {
-			txns := pp.txns[c*a.nSites+s]
-			fails := pp.fails[c*a.nSites+s]
-			if txns < 20 {
-				continue
-			}
-			rate := float64(fails) / float64(txns)
-			if rate > threshold {
-				out = append(out, PermanentPair{Client: c, Site: s, Txns: txns, Fails: fails, Rate: rate})
-			}
+	pp.cells.forEach(func(i int, cell *pairCell) {
+		if cell.Txns < 20 {
+			return
 		}
-	}
-	// Rate ties are common (many pairs fail 100% of the time), so break
-	// them on the pair indexes to keep the output deterministic.
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Rate != out[j].Rate {
-			return out[i].Rate > out[j].Rate
+		rate := float64(cell.Fails) / float64(cell.Txns)
+		if rate > threshold {
+			out = append(out, PermanentPair{
+				Client: i / a.nSites, Site: i % a.nSites,
+				Txns: cell.Txns, Fails: cell.Fails, Rate: rate,
+			})
 		}
-		if out[i].Client != out[j].Client {
-			return out[i].Client < out[j].Client
-		}
-		return out[i].Site < out[j].Site
 	})
+	sort.Slice(out, func(i, j int) bool { return pairBetter(out[i], out[j]) })
 	return out
+}
+
+// TopFailingPairs streams every qualifying pair (same filter and order
+// as PermanentPairs at threshold) through a bounded top-k heap,
+// retaining at most k candidates at any moment — O(k) memory for
+// mega-rosters where the full listing would not fit. The order is the
+// strict total order PermanentPairs sorts by, so the result equals
+// PermanentPairs(threshold) truncated to k.
+func (a *Analysis) TopFailingPairs(threshold float64, k int) []PermanentPair {
+	pp := a.mustPairs()
+	top := newTopK[PermanentPair](k, func(x, y PermanentPair) bool { return pairBetter(y, x) })
+	pp.cells.forEach(func(i int, cell *pairCell) {
+		if cell.Txns < 20 {
+			return
+		}
+		rate := float64(cell.Fails) / float64(cell.Txns)
+		if rate > threshold {
+			top.push(PermanentPair{
+				Client: i / a.nSites, Site: i % a.nSites,
+				Txns: cell.Txns, Fails: cell.Fails, Rate: rate,
+			})
+		}
+	})
+	return top.sorted()
 }
 
 // PermanentPairShare reports the fraction of all failed *connections* and
@@ -170,10 +200,13 @@ type Attribution struct {
 	// the spread and proxy analyses.
 	Tags []TaggedFailure
 
-	// Episode grids for reuse: clientEpisodes[c] and
-	// serverEpisodes[s] hold the hour indices flagged abnormal.
-	ClientEpisodeHours []map[int64]bool
-	ServerEpisodeHours []map[int64]bool
+	// Episode sets for reuse: ClientEpisodeHours[c] and
+	// ServerEpisodeHours[s] hold the hour indices flagged abnormal, as
+	// bitsets (~Hours/8 bytes per entity with episodes, vs ~48 bytes
+	// per member for the map[int64]bool they replaced). Entities with
+	// no episodes hold the zero HourSet, on which Has is always false.
+	ClientEpisodeHours []HourSet
+	ServerEpisodeHours []HourSet
 }
 
 // TaggedFailure pairs a failure with its attribution.
@@ -205,47 +238,37 @@ func (a *Analysis) Attribute(f float64, exclude []PermanentPair) *Attribution {
 	at := &Attribution{
 		F:                  f,
 		Counts:             make(map[Blame]int64),
-		ClientEpisodeHours: make([]map[int64]bool, a.nClients),
-		ServerEpisodeHours: make([]map[int64]bool, a.nSites),
+		ClientEpisodeHours: make([]HourSet, a.nClients),
+		ServerEpisodeHours: make([]HourSet, a.nSites),
 	}
 
-	// Identify failure episodes per entity-hour. Excluded pairs'
-	// traffic is removed from the rates so a permanently-blocked pair
-	// does not manufacture fake episodes for its endpoints.
+	// Identify failure episodes per entity-hour, scanning materialized
+	// cells only: the exclusion adjustment only lowers counts, so a cell
+	// that is zero (or absent in sparse mode) can never reach the
+	// minimum-sample bar, and both backends flag the same hours.
+	// Excluded pairs' traffic is removed from the rates so a
+	// permanently-blocked pair does not manufacture fake episodes for
+	// its endpoints. The hour bitsets double as the classification
+	// lookup below, replacing the dense clients x hours flag arrays the
+	// dense-only implementation used.
 	g := a.mustGrids()
 	exclCell := a.excludedCells(excl)
-	clientFlag := make([]bool, a.nClients*a.Hours)
-	serverFlag := make([]bool, a.nSites*a.Hours)
-	for c := 0; c < a.nClients; c++ {
-		for h := 0; h < a.Hours; h++ {
-			cell := g.client[c*a.Hours+h]
-			adj := exclCell.client[c*a.Hours+h]
+	flagEpisodes := func(sets []HourSet, gr *grid[gridCell], adjs map[int]gridCell) {
+		gr.forEach(func(i int, cell *gridCell) {
+			adj := adjs[i]
 			txns := cell.Txns - adj.Txns
 			fails := cell.FailTxns - adj.FailTxns
 			if txns >= MinEpisodeSamples && float64(fails)/float64(txns) >= f {
-				clientFlag[c*a.Hours+h] = true
-				if at.ClientEpisodeHours[c] == nil {
-					at.ClientEpisodeHours[c] = make(map[int64]bool)
+				set := &sets[i/a.Hours]
+				if set.bits == nil {
+					*set = NewHourSet(a.Hours)
 				}
-				at.ClientEpisodeHours[c][int64(h)] = true
+				set.Add(i % a.Hours)
 			}
-		}
+		})
 	}
-	for s := 0; s < a.nSites; s++ {
-		for h := 0; h < a.Hours; h++ {
-			cell := g.server[s*a.Hours+h]
-			adj := exclCell.server[s*a.Hours+h]
-			txns := cell.Txns - adj.Txns
-			fails := cell.FailTxns - adj.FailTxns
-			if txns >= MinEpisodeSamples && float64(fails)/float64(txns) >= f {
-				serverFlag[s*a.Hours+h] = true
-				if at.ServerEpisodeHours[s] == nil {
-					at.ServerEpisodeHours[s] = make(map[int64]bool)
-				}
-				at.ServerEpisodeHours[s][int64(h)] = true
-			}
-		}
-	}
+	flagEpisodes(at.ClientEpisodeHours, &g.client, exclCell.client)
+	flagEpisodes(at.ServerEpisodeHours, &g.server, exclCell.server)
 
 	// Classify each TCP connection failure.
 	for _, fr := range a.Failures() {
@@ -255,8 +278,8 @@ func (a *Analysis) Attribute(f float64, exclude []PermanentPair) *Attribution {
 		if excl[[2]int32{fr.Client, fr.Site}] {
 			continue
 		}
-		cFlag := clientFlag[int(fr.Client)*a.Hours+int(fr.Hour)]
-		sFlag := serverFlag[int(fr.Site)*a.Hours+int(fr.Hour)]
+		cFlag := at.ClientEpisodeHours[fr.Client].Has(int(fr.Hour))
+		sFlag := at.ServerEpisodeHours[fr.Site].Has(int(fr.Hour))
 		var b Blame
 		switch {
 		case cFlag && sFlag:
@@ -279,30 +302,35 @@ func (a *Analysis) Attribute(f float64, exclude []PermanentPair) *Attribution {
 // excluded pairs, for subtraction. The failure list holds only failures;
 // totals come from pair counts spread across hours — we approximate by
 // removing the pair's failures (which is what distorts rates) and the
-// same number of transactions.
+// same number of transactions. The adjustments are keyed by grid index
+// and derived from the failure list, so they are proportional to the
+// excluded traffic, never to roster geometry (the dense temporaries
+// they replace would be GBs at mega-roster scale).
 type exclGrid struct {
-	client []gridCell
-	server []gridCell
+	client map[int]gridCell
+	server map[int]gridCell
 }
 
 func (a *Analysis) excludedCells(excl map[[2]int32]bool) exclGrid {
 	g := exclGrid{
-		client: make([]gridCell, a.nClients*a.Hours),
-		server: make([]gridCell, a.nSites*a.Hours),
+		client: make(map[int]gridCell),
+		server: make(map[int]gridCell),
 	}
 	if len(excl) == 0 {
 		return g
+	}
+	bump := func(m map[int]gridCell, i int) {
+		c := m[i]
+		c.Txns++
+		c.FailTxns++
+		m[i] = c
 	}
 	for _, fr := range a.Failures() {
 		if !excl[[2]int32{fr.Client, fr.Site}] {
 			continue
 		}
-		ch := &g.client[int(fr.Client)*a.Hours+int(fr.Hour)]
-		sh := &g.server[int(fr.Site)*a.Hours+int(fr.Hour)]
-		ch.Txns++
-		ch.FailTxns++
-		sh.Txns++
-		sh.FailTxns++
+		bump(g.client, int(fr.Client)*a.Hours+int(fr.Hour))
+		bump(g.server, int(fr.Site)*a.Hours+int(fr.Hour))
 	}
 	return g
 }
@@ -341,15 +369,10 @@ func (a *Analysis) ServerEpisodeStats(at *Attribution) []ServerEpisodeStat {
 
 	var out []ServerEpisodeStat
 	for s := 0; s < a.nSites; s++ {
-		hours := at.ServerEpisodeHours[s]
-		if len(hours) == 0 {
+		sorted := at.ServerEpisodeHours[s].Hours()
+		if len(sorted) == 0 {
 			continue
 		}
-		sorted := make([]int, 0, len(hours))
-		for h := range hours {
-			sorted = append(sorted, int(h))
-		}
-		sort.Ints(sorted)
 		coalesced, longest := coalesceRuns(sorted)
 		st := ServerEpisodeStat{
 			Site:         a.Topo.Websites[s].Host,
@@ -399,7 +422,7 @@ func coalesceRuns(sorted []int) (runs, longest int) {
 // multiple).
 func (a *Analysis) ServersWithEpisodes(at *Attribution) (atLeastOne, multiple int) {
 	for s := 0; s < a.nSites; s++ {
-		n := len(at.ServerEpisodeHours[s])
+		n := at.ServerEpisodeHours[s].Len()
 		if n >= 1 {
 			atLeastOne++
 		}

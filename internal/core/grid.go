@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// grid is the capacity-aware backing for a pass's fixed-geometry cell
+// array: a flat slice in dense mode, a hash map of materialized cells
+// in sparse mode. The logical length n is the full roster geometry in
+// both modes; sparse cells that were never touched read as zero.
+//
+// The two backends must agree observably: forEach visits cells in
+// ascending index order in both modes, but skips unmaterialized cells
+// in sparse mode, so consumers must be written so zero-valued cells
+// contribute nothing (every analysis here filters on a minimum sample
+// count or sums, which zero cells cannot affect).
+type grid[C any] struct {
+	n      int
+	dense  []C
+	sparse map[int]*C
+}
+
+func newGrid[C any](n int, st StateMode) grid[C] {
+	if st == StateSparse {
+		return grid[C]{n: n, sparse: make(map[int]*C)}
+	}
+	return grid[C]{n: n, dense: make([]C, n)}
+}
+
+// mut returns a mutable cell, materializing it in sparse mode. The
+// ingest hot path.
+func (g *grid[C]) mut(i int) *C {
+	if g.dense != nil {
+		return &g.dense[i]
+	}
+	c := g.sparse[i]
+	if c == nil {
+		c = new(C)
+		g.sparse[i] = c
+	}
+	return c
+}
+
+// val reads a cell; unmaterialized sparse cells read as zero.
+func (g *grid[C]) val(i int) C {
+	if g.dense != nil {
+		return g.dense[i]
+	}
+	if c := g.sparse[i]; c != nil {
+		return *c
+	}
+	var zero C
+	return zero
+}
+
+// touched reports how many cells are materialized (the full length in
+// dense mode) — the capacity metric the CLIs expose.
+func (g *grid[C]) touched() int {
+	if g.dense != nil {
+		return len(g.dense)
+	}
+	return len(g.sparse)
+}
+
+// forEach visits cells in ascending index order: every cell in dense
+// mode, only materialized cells in sparse mode.
+func (g *grid[C]) forEach(fn func(i int, c *C)) {
+	if g.dense != nil {
+		for i := range g.dense {
+			fn(i, &g.dense[i])
+		}
+		return
+	}
+	keys := make([]int, 0, len(g.sparse))
+	for k := range g.sparse {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fn(k, g.sparse[k])
+	}
+}
+
+// mergeGrid folds src into dst cell-wise with add. Cell-wise addition
+// commutes, so sparse map iteration order cannot affect the result and
+// shard merges stay order-independent. Backends of the two grids must
+// match (Analysis.Merge checks the resolved state mode up front).
+func mergeGrid[C any](dst, src *grid[C], add func(d, s *C)) error {
+	if dst.n != src.n || (dst.dense != nil) != (src.dense != nil) {
+		return fmt.Errorf("core: merge of mismatched grids (%d cells dense=%v vs %d cells dense=%v)",
+			dst.n, dst.dense != nil, src.n, src.dense != nil)
+	}
+	if dst.dense != nil {
+		for i := range src.dense {
+			add(&dst.dense[i], &src.dense[i])
+		}
+		return nil
+	}
+	for k, s := range src.sparse {
+		add(dst.mut(k), s)
+	}
+	return nil
+}
+
+// rowTotals reduces a grid of rows x rowLen cells to one summed cell
+// per row in a single scan — the per-entity month totals the headline
+// analyses read. Zero cells add nothing, so both backends agree.
+func rowTotals(g *grid[gridCell], rowLen, rows int) []gridCell {
+	out := make([]gridCell, rows)
+	g.forEach(func(i int, c *gridCell) {
+		t := &out[i/rowLen]
+		t.Txns += c.Txns
+		t.FailTxns += c.FailTxns
+	})
+	return out
+}
+
+// counterVec is a capacity-aware int64 counter array (per-client
+// accounting in the traffic pass): flat in dense mode, hash-backed in
+// sparse mode.
+type counterVec struct {
+	n      int
+	dense  []int64
+	sparse map[int32]int64
+}
+
+func newCounterVec(n int, st StateMode) counterVec {
+	if st == StateSparse {
+		return counterVec{n: n, sparse: make(map[int32]int64)}
+	}
+	return counterVec{n: n, dense: make([]int64, n)}
+}
+
+func (v *counterVec) add(i int32, n int64) {
+	if v.dense != nil {
+		v.dense[i] += n
+		return
+	}
+	v.sparse[i] += n
+}
+
+func (v *counterVec) val(i int32) int64 {
+	if v.dense != nil {
+		return v.dense[i]
+	}
+	return v.sparse[i]
+}
+
+func (v *counterVec) touched() int {
+	if v.dense != nil {
+		return len(v.dense)
+	}
+	return len(v.sparse)
+}
+
+func mergeCounterVec(dst, src *counterVec) error {
+	if dst.n != src.n || (dst.dense != nil) != (src.dense != nil) {
+		return fmt.Errorf("core: merge of mismatched counter vectors (%d dense=%v vs %d dense=%v)",
+			dst.n, dst.dense != nil, src.n, src.dense != nil)
+	}
+	if dst.dense != nil {
+		for i, n := range src.dense {
+			dst.dense[i] += n
+		}
+		return nil
+	}
+	for i, n := range src.sparse {
+		dst.sparse[i] += n
+	}
+	return nil
+}

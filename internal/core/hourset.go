@@ -1,0 +1,77 @@
+package core
+
+import "math/bits"
+
+// HourSet is a bitset over hour indexes [0, Hours) — the episode-hour
+// sets Attribute produces per client and per server. At paper scale a
+// month is 744 hours = 93 bytes per entity; the map[int64]bool it
+// replaces cost ~48 bytes per *member*, which at mega-roster episode
+// volumes dominated attribution memory.
+type HourSet struct {
+	bits []uint64
+}
+
+// NewHourSet returns an empty set able to hold hours [0, n).
+func NewHourSet(n int) HourSet {
+	return HourSet{bits: make([]uint64, (n+63)/64)}
+}
+
+// Add inserts hour h.
+func (s *HourSet) Add(h int) { s.bits[h>>6] |= 1 << (uint(h) & 63) }
+
+// Has reports whether hour h is in the set.
+func (s HourSet) Has(h int) bool {
+	w := h >> 6
+	return w < len(s.bits) && s.bits[w]&(1<<(uint(h)&63)) != 0
+}
+
+// Len counts the members.
+func (s HourSet) Len() int {
+	n := 0
+	for _, w := range s.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Hours returns the members in ascending order.
+func (s HourSet) Hours() []int {
+	out := make([]int, 0, s.Len())
+	for wi, w := range s.bits {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi<<6+b)
+			w &^= 1 << uint(b)
+		}
+	}
+	return out
+}
+
+// ForEach visits members in ascending order.
+func (s HourSet) ForEach(fn func(h int)) {
+	for wi, w := range s.bits {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi<<6 + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// unionInter computes |a ∪ b| and |a ∩ b| in one word-wise popcount
+// pass — the single-scan replacement for the duplicated map walks the
+// similarity tables used to do.
+func unionInter(a, b HourSet) (union, inter int) {
+	long, short := a.bits, b.bits
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i, w := range short {
+		union += bits.OnesCount64(w | long[i])
+		inter += bits.OnesCount64(w & long[i])
+	}
+	for _, w := range long[len(short):] {
+		union += bits.OnesCount64(w)
+	}
+	return union, inter
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestHourSetBasics(t *testing.T) {
+	var zero HourSet
+	if zero.Has(0) || zero.Has(1000) || zero.Len() != 0 {
+		t.Error("zero HourSet is not empty")
+	}
+	s := NewHourSet(100)
+	for _, h := range []int{0, 1, 63, 64, 65, 99} {
+		s.Add(h)
+	}
+	s.Add(64) // idempotent
+	if s.Len() != 6 {
+		t.Errorf("Len = %d, want 6", s.Len())
+	}
+	want := []int{0, 1, 63, 64, 65, 99}
+	if got := s.Hours(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Hours = %v, want %v", got, want)
+	}
+	var visited []int
+	s.ForEach(func(h int) { visited = append(visited, h) })
+	if !reflect.DeepEqual(visited, want) {
+		t.Errorf("ForEach = %v, want %v", visited, want)
+	}
+	if s.Has(2) || !s.Has(63) || s.Has(100) || s.Has(1<<20) {
+		t.Error("Has wrong on membership or out-of-range probe")
+	}
+}
+
+// TestHourSetUnionInter cross-checks the word-wise popcount path
+// against brute-force set arithmetic, including sets of different
+// lengths and zero-value operands.
+func TestHourSetUnionInter(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		na, nb := 1+rng.Intn(200), 1+rng.Intn(200)
+		a, b := NewHourSet(na), NewHourSet(nb)
+		am, bm := map[int]bool{}, map[int]bool{}
+		for i := 0; i < rng.Intn(60); i++ {
+			h := rng.Intn(na)
+			a.Add(h)
+			am[h] = true
+		}
+		for i := 0; i < rng.Intn(60); i++ {
+			h := rng.Intn(nb)
+			b.Add(h)
+			bm[h] = true
+		}
+		wantU, wantI := 0, 0
+		for h := range am {
+			wantU++
+			if bm[h] {
+				wantI++
+			}
+		}
+		for h := range bm {
+			if !am[h] {
+				wantU++
+			}
+		}
+		if u, i := unionInter(a, b); u != wantU || i != wantI {
+			t.Fatalf("trial %d: unionInter = %d/%d, want %d/%d", trial, u, i, wantU, wantI)
+		}
+		if u, i := unionInter(b, a); u != wantU || i != wantI {
+			t.Fatalf("trial %d: unionInter not symmetric", trial)
+		}
+	}
+	var zero HourSet
+	if u, i := unionInter(zero, zero); u != 0 || i != 0 {
+		t.Errorf("unionInter(zero, zero) = %d/%d", u, i)
+	}
+	s := NewHourSet(10)
+	s.Add(3)
+	if u, i := unionInter(zero, s); u != 1 || i != 0 {
+		t.Errorf("unionInter(zero, s) = %d/%d, want 1/0", u, i)
+	}
+}

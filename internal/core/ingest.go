@@ -30,23 +30,53 @@ func (a *Analysis) Consume(src dataset.RecordSource) error {
 // accumulator is built with (none = all): unselected passes are never
 // constructed, in any shard or in the merged result.
 func ConsumeParallel(topo *workload.Topology, start, end simnet.Time, src dataset.RecordSource, shards int, passes ...PassName) (*Analysis, error) {
-	return ConsumeParallelObs(topo, start, end, src, shards, nil, nil, passes...)
+	return ConsumeParallelOpts(topo, start, end, src, IngestOptions{Shards: shards, Passes: passes})
 }
 
 // ConsumeParallelObs is ConsumeParallel with observability attached:
 // reg (may be nil) receives one deterministic records-ingested counter
 // labeled with the selected pass set, and prog (may be nil) receives
-// live per-shard ingest counts for the progress reporter. Each shard
-// counts into plain locals and folds in once at completion, so totals
-// are shard-count-independent and the ingest loop carries no atomics.
+// live per-shard ingest counts for the progress reporter.
 func ConsumeParallelObs(topo *workload.Topology, start, end simnet.Time, src dataset.RecordSource, shards int, reg *obs.Registry, prog *obs.Progress, passes ...PassName) (*Analysis, error) {
+	return ConsumeParallelOpts(topo, start, end, src, IngestOptions{
+		Shards: shards, Metrics: reg, Progress: prog, Passes: passes,
+	})
+}
+
+// IngestOptions configures ConsumeParallelOpts.
+type IngestOptions struct {
+	// Shards is the worker count (<= 0 selects GOMAXPROCS; clamped to
+	// the client count).
+	Shards int
+	// State selects the representation every shard accumulator — and
+	// the merged result — is built with (StateAuto resolves from roster
+	// geometry, identically in every shard).
+	State StateMode
+	// Passes selects the analyzer passes (none = all).
+	Passes []PassName
+	// Metrics (may be nil) receives one deterministic records-ingested
+	// counter labeled with the selected pass set.
+	Metrics *obs.Registry
+	// Progress (may be nil) receives live per-shard ingest counts.
+	Progress *obs.Progress
+}
+
+// ConsumeParallelOpts is the fully general parallel ingest entry point.
+// Each shard counts into plain locals and folds in once at completion,
+// so totals are shard-count-independent and the ingest loop carries no
+// atomics; shard accumulators merge in shard order, so the result is
+// identical to a serial Consume for any shard count and either state
+// representation.
+func ConsumeParallelOpts(topo *workload.Topology, start, end simnet.Time, src dataset.RecordSource, opts IngestOptions) (*Analysis, error) {
 	n := len(topo.Clients)
-	shards = measure.EffectiveShards(n, shards)
+	shards := measure.EffectiveShards(n, opts.Shards)
+	reg, prog := opts.Metrics, opts.Progress
+	aopts := Options{State: opts.State, Passes: opts.Passes}
 	accs := make([]*Analysis, shards)
 	errs := make([]error, shards)
 	var wg sync.WaitGroup
 	for s := 0; s < shards; s++ {
-		accs[s] = NewAnalysisSelected(topo, start, end, passes...)
+		accs[s] = NewAnalysisOpts(topo, start, end, aopts)
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
@@ -74,7 +104,7 @@ func ConsumeParallelObs(topo *workload.Topology, start, end simnet.Time, src dat
 			return nil, err
 		}
 	}
-	merged := NewAnalysisSelected(topo, start, end, passes...)
+	merged := NewAnalysisOpts(topo, start, end, aopts)
 	for _, acc := range accs {
 		if err := merged.Merge(acc); err != nil {
 			return nil, err

@@ -36,6 +36,10 @@ func (a *Analysis) Merge(other *Analysis) error {
 	case !slices.Equal(a.Passes(), other.Passes()):
 		return fmt.Errorf("core: merge of mismatched pass sets (%v vs %v)",
 			a.Passes(), other.Passes())
+	case a.state != other.state:
+		// Both sides resolved StateAuto from the same roster geometry, so
+		// this only fires when callers force different explicit modes.
+		return fmt.Errorf("core: merge of mismatched state modes (%v vs %v)", a.state, other.state)
 	case a.replicas != nil && len(a.replicas.replicaAddrs) != len(other.replicas.replicaAddrs):
 		// Checked up front (not just in replicasPass.Merge) so a failed
 		// merge leaves a unchanged.

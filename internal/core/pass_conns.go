@@ -12,20 +12,29 @@ type connCell struct {
 	StreakMax int16
 }
 
+func addConnCell(d, s *connCell) {
+	d.Conns += s.Conns
+	d.FailConns += s.FailConns
+	d.streakCur += s.streakCur
+	if s.StreakMax > d.StreakMax {
+		d.StreakMax = s.StreakMax
+	}
+}
+
 // connsPass accumulates the per-entity-hour connection grids — attempt
 // and failure counts plus per-client failure streaks — that the BGP
 // correlation and client timelines read (Section 4.6, Figures 5–7).
 type connsPass struct {
 	hours  int
-	client []connCell // [client*hours + h]
-	server []connCell // [site*hours + h]
+	client grid[connCell] // [client*hours + h]
+	server grid[connCell] // [site*hours + h]
 }
 
-func newConnsPass(nClients, nSites, hours int) *connsPass {
+func newConnsPass(nClients, nSites, hours int, st StateMode) *connsPass {
 	return &connsPass{
 		hours:  hours,
-		client: make([]connCell, nClients*hours),
-		server: make([]connCell, nSites*hours),
+		client: newGrid[connCell](nClients*hours, st),
+		server: newGrid[connCell](nSites*hours, st),
 	}
 }
 
@@ -37,8 +46,8 @@ func (p *connsPass) Consume(r *measure.Record, hour int) { p.consume(r, hour) }
 func (p *connsPass) consume(r *measure.Record, hour int) {
 	conns := int32(r.Conns)
 	failConns := int32(r.FailedConns())
-	ch := &p.client[int(r.ClientIdx)*p.hours+hour]
-	sh := &p.server[int(r.SiteIdx)*p.hours+hour]
+	ch := p.client.mut(int(r.ClientIdx)*p.hours + hour)
+	sh := p.server.mut(int(r.SiteIdx)*p.hours + hour)
 	ch.Conns += conns
 	ch.FailConns += failConns
 	sh.Conns += conns
@@ -63,20 +72,8 @@ func (p *connsPass) Merge(other Pass) error {
 	if !ok {
 		return mergeTypeError(p, other)
 	}
-	mergeConnCells(p.client, q.client)
-	mergeConnCells(p.server, q.server)
-	return nil
-}
-
-func mergeConnCells(dst, src []connCell) {
-	for i := range src {
-		d := &dst[i]
-		s := &src[i]
-		d.Conns += s.Conns
-		d.FailConns += s.FailConns
-		d.streakCur += s.streakCur
-		if s.StreakMax > d.StreakMax {
-			d.StreakMax = s.StreakMax
-		}
+	if err := mergeGrid(&p.client, &q.client, addConnCell); err != nil {
+		return err
 	}
+	return mergeGrid(&p.server, &q.server, addConnCell)
 }

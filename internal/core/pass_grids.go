@@ -8,20 +8,27 @@ type gridCell struct {
 	FailTxns int32
 }
 
-// gridsPass accumulates the dense per-client and per-server transaction
-// grids that episode detection (Figure 4) and blame attribution
-// (Tables 5–9) read.
-type gridsPass struct {
-	hours  int
-	client []gridCell // [client*hours + h]
-	server []gridCell // [site*hours + h]
+func addGridCell(d, s *gridCell) {
+	d.Txns += s.Txns
+	d.FailTxns += s.FailTxns
 }
 
-func newGridsPass(nClients, nSites, hours int) *gridsPass {
+// gridsPass accumulates the per-client and per-server transaction
+// grids that episode detection (Figure 4) and blame attribution
+// (Tables 5–9) read. The backing representation is capacity-aware:
+// dense flat arrays at paper scale, hash-backed sparse grids for
+// mega-rosters (see StateMode).
+type gridsPass struct {
+	hours  int
+	client grid[gridCell] // [client*hours + h]
+	server grid[gridCell] // [site*hours + h]
+}
+
+func newGridsPass(nClients, nSites, hours int, st StateMode) *gridsPass {
 	return &gridsPass{
 		hours:  hours,
-		client: make([]gridCell, nClients*hours),
-		server: make([]gridCell, nSites*hours),
+		client: newGrid[gridCell](nClients*hours, st),
+		server: newGrid[gridCell](nSites*hours, st),
 	}
 }
 
@@ -31,8 +38,8 @@ func (p *gridsPass) Artifacts() []string { return append([]string(nil), passArti
 func (p *gridsPass) Consume(r *measure.Record, hour int) { p.consume(r, hour) }
 
 func (p *gridsPass) consume(r *measure.Record, hour int) {
-	ch := &p.client[int(r.ClientIdx)*p.hours+hour]
-	sh := &p.server[int(r.SiteIdx)*p.hours+hour]
+	ch := p.client.mut(int(r.ClientIdx)*p.hours + hour)
+	sh := p.server.mut(int(r.SiteIdx)*p.hours + hour)
 	ch.Txns++
 	sh.Txns++
 	if r.Failed() {
@@ -46,14 +53,8 @@ func (p *gridsPass) Merge(other Pass) error {
 	if !ok {
 		return mergeTypeError(p, other)
 	}
-	mergeGridCells(p.client, q.client)
-	mergeGridCells(p.server, q.server)
-	return nil
-}
-
-func mergeGridCells(dst, src []gridCell) {
-	for i := range src {
-		dst[i].Txns += src[i].Txns
-		dst[i].FailTxns += src[i].FailTxns
+	if err := mergeGrid(&p.client, &q.client, addGridCell); err != nil {
+		return err
 	}
+	return mergeGrid(&p.server, &q.server, addGridCell)
 }

@@ -2,19 +2,33 @@ package core
 
 import "webfail/internal/measure"
 
-// pairsPass accumulates month-long per-pair transaction and failure
-// counts for permanent pair detection (Section 4.4.2).
-type pairsPass struct {
-	nSites int
-	txns   []int32 // [client*nSites + site]
-	fails  []int32
+// pairCell holds one client-server pair's month-long totals. Counters
+// are int64: a month-long mega-roster run can push a hot pair cell
+// past 2^31 transactions, which the old int32 counters silently
+// wrapped.
+type pairCell struct {
+	Txns  int64
+	Fails int64
 }
 
-func newPairsPass(nClients, nSites int) *pairsPass {
+func addPairCell(d, s *pairCell) {
+	d.Txns += s.Txns
+	d.Fails += s.Fails
+}
+
+// pairsPass accumulates month-long per-pair transaction and failure
+// counts for permanent pair detection (Section 4.4.2). The clients x
+// sites geometry is the analyzer's largest, so the capacity-aware grid
+// matters most here.
+type pairsPass struct {
+	nSites int
+	cells  grid[pairCell] // [client*nSites + site]
+}
+
+func newPairsPass(nClients, nSites int, st StateMode) *pairsPass {
 	return &pairsPass{
 		nSites: nSites,
-		txns:   make([]int32, nClients*nSites),
-		fails:  make([]int32, nClients*nSites),
+		cells:  newGrid[pairCell](nClients*nSites, st),
 	}
 }
 
@@ -24,10 +38,10 @@ func (p *pairsPass) Artifacts() []string { return append([]string(nil), passArti
 func (p *pairsPass) Consume(r *measure.Record, _ int) { p.consume(r) }
 
 func (p *pairsPass) consume(r *measure.Record) {
-	i := int(r.ClientIdx)*p.nSites + int(r.SiteIdx)
-	p.txns[i]++
+	c := p.cells.mut(int(r.ClientIdx)*p.nSites + int(r.SiteIdx))
+	c.Txns++
 	if r.Failed() {
-		p.fails[i]++
+		c.Fails++
 	}
 }
 
@@ -36,11 +50,5 @@ func (p *pairsPass) Merge(other Pass) error {
 	if !ok {
 		return mergeTypeError(p, other)
 	}
-	for i, v := range q.txns {
-		p.txns[i] += v
-	}
-	for i, v := range q.fails {
-		p.fails[i] += v
-	}
-	return nil
+	return mergeGrid(&p.cells, &q.cells, addPairCell)
 }

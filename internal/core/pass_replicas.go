@@ -12,31 +12,37 @@ import (
 // census (the 10%-of-connections qualification rule) and the
 // total/partial failure classification. Replica IPs are indexed densely
 // in topology order so two passes over the same topology always agree.
+// Only the replica-hour grid is capacity-aware; the per-replica and
+// per-site connection totals are O(roster) int64s in either mode.
 type replicasPass struct {
 	hours int
 
-	replicaIdx   map[netip.Addr]int
-	replicaAddrs []netip.Addr
-	replicaSite  []int32    // replica -> site index
-	replicaHours []gridCell // [replica*hours + h]
-	replicaConns []int64    // total connections per replica (for the 10% rule)
-	siteConns    []int64    // total connections per site
+	replicaIdx    map[netip.Addr]int
+	replicaAddrs  []netip.Addr
+	replicaSite   []int32        // replica -> site index
+	replicaBySite [][]int32      // site -> replica indexes, topology order
+	replicaHours  grid[gridCell] // [replica*hours + h]
+	replicaConns  []int64        // total connections per replica (for the 10% rule)
+	siteConns     []int64        // total connections per site
 }
 
-func newReplicasPass(topo *workload.Topology, hours int) *replicasPass {
+func newReplicasPass(topo *workload.Topology, hours int, st StateMode) *replicasPass {
 	p := &replicasPass{
-		hours:      hours,
-		replicaIdx: make(map[netip.Addr]int),
-		siteConns:  make([]int64, len(topo.Websites)),
+		hours:         hours,
+		replicaIdx:    make(map[netip.Addr]int),
+		replicaBySite: make([][]int32, len(topo.Websites)),
+		siteConns:     make([]int64, len(topo.Websites)),
 	}
 	for j := range topo.Websites {
 		for _, ra := range topo.Websites[j].ReplicaAddrs {
-			p.replicaIdx[ra] = len(p.replicaAddrs)
+			ri := len(p.replicaAddrs)
+			p.replicaIdx[ra] = ri
 			p.replicaAddrs = append(p.replicaAddrs, ra)
 			p.replicaSite = append(p.replicaSite, int32(j))
+			p.replicaBySite[j] = append(p.replicaBySite[j], int32(ri))
 		}
 	}
-	p.replicaHours = make([]gridCell, len(p.replicaAddrs)*hours)
+	p.replicaHours = newGrid[gridCell](len(p.replicaAddrs)*hours, st)
 	p.replicaConns = make([]int64, len(p.replicaAddrs))
 	return p
 }
@@ -54,7 +60,7 @@ func (p *replicasPass) consume(r *measure.Record, hour int) {
 	if !ok {
 		return
 	}
-	cell := &p.replicaHours[ri*p.hours+hour]
+	cell := p.replicaHours.mut(ri*p.hours + hour)
 	cell.Txns++
 	if r.Failed() {
 		cell.FailTxns++
@@ -71,7 +77,9 @@ func (p *replicasPass) Merge(other Pass) error {
 		return fmt.Errorf("core: merge of mismatched replica indexes (%d vs %d)",
 			len(p.replicaAddrs), len(q.replicaAddrs))
 	}
-	mergeGridCells(p.replicaHours, q.replicaHours)
+	if err := mergeGrid(&p.replicaHours, &q.replicaHours, addGridCell); err != nil {
+		return err
+	}
 	for i, v := range q.replicaConns {
 		p.replicaConns[i] += v
 	}

@@ -25,11 +25,12 @@ type trafficPass struct {
 	// TCP failure kinds per category (Figure 3).
 	tcpKindByCat map[workload.Category]map[httpsim.ConnFailKind]int64
 
-	// Per-client loss accounting (Section 4.1.3).
-	clientPkts, clientRetrans []int64
+	// Per-client loss accounting (Section 4.1.3). Capacity-aware: flat
+	// arrays at paper scale, hash-backed for mega-rosters.
+	clientPkts, clientRetrans counterVec
 }
 
-func newTrafficPass(nClients, nSites int) *trafficPass {
+func newTrafficPass(nClients, nSites int, st StateMode) *trafficPass {
 	return &trafficPass{
 		catTxns:        make(map[workload.Category]int64),
 		catFails:       make(map[workload.Category]int64),
@@ -39,8 +40,8 @@ func newTrafficPass(nClients, nSites int) *trafficPass {
 		dnsClassByCat:  make(map[workload.Category]map[measure.DNSOutcome]int64),
 		dnsClassBySite: make([]map[measure.DNSOutcome]int64, nSites),
 		tcpKindByCat:   make(map[workload.Category]map[httpsim.ConnFailKind]int64),
-		clientPkts:     make([]int64, nClients),
-		clientRetrans:  make([]int64, nClients),
+		clientPkts:     newCounterVec(nClients, st),
+		clientRetrans:  newCounterVec(nClients, st),
 	}
 }
 
@@ -55,8 +56,8 @@ func (p *trafficPass) consume(r *measure.Record) {
 	p.catTxns[r.Category]++
 	p.catConns[r.Category] += int64(r.Conns)
 	p.catFailCo[r.Category] += int64(r.FailedConns())
-	p.clientPkts[r.ClientIdx] += int64(r.DataPkts)
-	p.clientRetrans[r.ClientIdx] += int64(r.Retransmits)
+	p.clientPkts.add(r.ClientIdx, int64(r.DataPkts))
+	p.clientRetrans.add(r.ClientIdx, int64(r.Retransmits))
 
 	if !r.Failed() {
 		return
@@ -146,13 +147,10 @@ func (p *trafficPass) Merge(other Pass) error {
 			dst[k] += v
 		}
 	}
-	for i, v := range q.clientPkts {
-		p.clientPkts[i] += v
+	if err := mergeCounterVec(&p.clientPkts, &q.clientPkts); err != nil {
+		return err
 	}
-	for i, v := range q.clientRetrans {
-		p.clientRetrans[i] += v
-	}
-	return nil
+	return mergeCounterVec(&p.clientRetrans, &q.clientRetrans)
 }
 
 func mergeCatCounts(dst, src map[workload.Category]int64) {

@@ -27,10 +27,7 @@ func (a *Analysis) ReplicaCensusAt(minShare float64) ReplicaCensus {
 	for s := 0; s < a.nSites; s++ {
 		total := rp.siteConns[s]
 		var qual []netip.Addr
-		for ri, site := range rp.replicaSite {
-			if int(site) != s {
-				continue
-			}
+		for _, ri := range rp.replicaBySite[s] {
 			if total > 0 && float64(rp.replicaConns[ri])/float64(total) >= minShare {
 				qual = append(qual, rp.replicaAddrs[ri])
 			}
@@ -76,26 +73,23 @@ func (a *Analysis) ReplicaAnalysis(at *Attribution, census ReplicaCensus) Replic
 	totalEpisodes := 0
 	for s := 0; s < a.nSites; s++ {
 		hours := at.ServerEpisodeHours[s]
-		totalEpisodes += len(hours)
+		totalEpisodes += hours.Len()
 		qual := census.Qualifying[s]
 		if len(qual) < 2 {
 			continue
 		}
 		sameSubnet := replicasShareSubnet(qual)
-		for h := range hours {
+		hours.ForEach(func(h int) {
 			split.MultiReplicaEpisodes++
 			// A replica is "failing" in the episode when its own
 			// failure rate that hour is >= the attribution
 			// threshold (with enough samples to judge).
 			failing, observed := 0, 0
-			for ri, site := range rp.replicaSite {
-				if int(site) != s {
-					continue
-				}
+			for _, ri := range rp.replicaBySite[s] {
 				if !containsAddr(qual, rp.replicaAddrs[ri]) {
 					continue
 				}
-				cell := rp.replicaHours[ri*a.Hours+int(h)]
+				cell := rp.replicaHours.val(int(ri)*a.Hours + h)
 				if cell.Txns < 2 {
 					continue
 				}
@@ -112,7 +106,7 @@ func (a *Analysis) ReplicaAnalysis(at *Attribution, census ReplicaCensus) Replic
 			} else {
 				split.Partial++
 			}
-		}
+		})
 	}
 	if totalEpisodes > 0 {
 		split.ShareOfAllServerEpisodes = float64(split.MultiReplicaEpisodes) / float64(totalEpisodes)
@@ -185,10 +179,10 @@ func (a *Analysis) ProxyResidual(at *Attribution, hosts []string) []ProxyResidua
 			if int(fr.Site) != s {
 				continue
 			}
-			if at.ServerEpisodeHours[s][int64(fr.Hour)] {
+			if at.ServerEpisodeHours[s].Has(int(fr.Hour)) {
 				continue
 			}
-			if at.ClientEpisodeHours[fr.Client][int64(fr.Hour)] {
+			if at.ClientEpisodeHours[fr.Client].Has(int(fr.Hour)) {
 				continue
 			}
 			resFails[fr.Client]++
@@ -196,17 +190,17 @@ func (a *Analysis) ProxyResidual(at *Attribution, hosts []string) []ProxyResidua
 		for c := 0; c < a.nClients; c++ {
 			var total int64
 			for h := 0; h < a.Hours; h++ {
-				if at.ServerEpisodeHours[s][int64(h)] {
+				if at.ServerEpisodeHours[s].Has(h) {
 					continue
 				}
-				if at.ClientEpisodeHours[c][int64(h)] {
+				if at.ClientEpisodeHours[c].Has(h) {
 					continue
 				}
 				// Per-pair-hour totals are not kept; approximate
 				// by the client's per-hour share of accesses to
 				// this site: accesses are uniform across sites,
 				// so txns(client,hour)/nSites.
-				total += int64(g.client[c*a.Hours+h].Txns) / int64(a.nSites)
+				total += int64(g.client.val(c*a.Hours+h).Txns) / int64(a.nSites)
 			}
 			if total == 0 {
 				continue

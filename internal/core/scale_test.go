@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"webfail/internal/httpsim"
+	"webfail/internal/measure"
+	"webfail/internal/obs"
+	"webfail/internal/simnet"
+	"webfail/internal/workload"
+)
+
+// megaVisit streams a realistically sparse internet-scale workload:
+// each client is active on a handful of sites during a handful of
+// hours (most clients idle most hours — the regime the sparse backend
+// is built for), with per-client fault windows and a few blocked pairs
+// so the downstream artifacts have structure to find.
+func megaVisit(topo *workload.Topology, hours int64, perClient int, seed int64, visit func(*measure.Record)) {
+	rng := rand.New(rand.NewSource(seed))
+	nSites := len(topo.Websites)
+	var r measure.Record
+	for c := range topo.Clients {
+		// Per-client activity footprint: 8 sites, 6 hours.
+		sites := make([]int, 8)
+		for i := range sites {
+			sites[i] = rng.Intn(nSites)
+		}
+		activeHours := make([]int64, 6)
+		for i := range activeHours {
+			activeHours[i] = int64(rng.Intn(int(hours)))
+		}
+		badHour := activeHours[0] // this client's fault window
+		for i := 0; i < perClient; i++ {
+			s := sites[rng.Intn(len(sites))]
+			hour := activeHours[rng.Intn(len(activeHours))]
+			p := 0.03
+			if c%11 == 0 && hour == badHour {
+				p = 0.9
+			}
+			if c%97 == 0 && s == sites[0] {
+				p = 1 // blocked pair
+			}
+			fail := rng.Float64() < p
+			r = measure.Record{
+				ClientIdx: int32(c),
+				SiteIdx:   int32(s),
+				At:        simnet.FromHours(hour).Add(time.Duration(rng.Intn(3600)) * time.Second),
+				Category:  topo.Clients[c].Category,
+				Conns:     1,
+			}
+			if fail {
+				r.Stage = httpsim.StageTCP
+				r.FailKind = httpsim.NoConnection
+				r.Conns = 3
+			} else {
+				r.StatusCode = 200
+				r.Bytes = 10240
+				r.DataPkts = int16(8 + rng.Intn(12))
+				r.Retransmits = int16(rng.Intn(2))
+			}
+			visit(&r)
+		}
+	}
+}
+
+// retainedMB reports the GC-settled heap growth attributable to build's
+// return value — the retained-state measure EXPERIMENTS.md records for
+// the dense/sparse comparison (a lower bound on peak RSS that isolates
+// the analyzer state from test-harness allocations).
+func retainedMB(build func() *Analysis) (*Analysis, float64) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	a := build()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	return a, float64(after.HeapAlloc-before.HeapAlloc) / (1 << 20)
+}
+
+// denseStateMB estimates the dense backend's grid bytes for a
+// geometry, from the per-cell sizes of each pass's cell type — the
+// extrapolation used where allocating the dense arrays outright would
+// swamp the test host.
+func denseStateMB(topo *workload.Topology, hours int) float64 {
+	nC, nS := len(topo.Clients), len(topo.Websites)
+	nR := 0
+	for j := range topo.Websites {
+		nR += len(topo.Websites[j].ReplicaAddrs)
+	}
+	var bytes int64
+	bytes += int64(nC) * int64(nS) * 16       // pairs: pairCell
+	bytes += int64(nC+nS) * int64(hours) * 8  // grids: gridCell
+	bytes += int64(nC+nS) * int64(hours) * 12 // conns: connCell
+	bytes += int64(nR) * int64(hours) * 8     // replicas: gridCell
+	bytes += 2 * int64(nC) * 8                // traffic counter vecs
+	return float64(bytes) / (1 << 20)
+}
+
+// runArtifacts drives the full analyze path over an accumulator — the
+// same artifact set `-artifacts all` renders — so the memory and
+// throughput numbers cover analysis, not just ingest.
+func runArtifacts(tb testing.TB, a *Analysis) {
+	tb.Helper()
+	pairs := a.PermanentPairs(0.9)
+	a.TopFailingPairs(0.9, 8)
+	a.PermanentPairShare(pairs)
+	a.EpisodeRateCDFs()
+	a.MedianFailureRates()
+	at := a.Attribute(0.5, pairs)
+	a.ServerEpisodeStats(at)
+	a.ServersWithEpisodes(at)
+	a.CoLocatedSimilarityTop(at, 8)
+	a.ReplicaAnalysis(at, a.ReplicaCensusDefault())
+	a.ClientServerSpecific(at)
+	if _, err := a.LossCorrelation(); err != nil {
+		tb.Fatalf("loss correlation: %v", err)
+	}
+}
+
+// TestMegaRosterMemory is the capacity acceptance check: a 100k-client
+// x 1k-site synthetic roster must complete the full analyze artifact
+// path in well under 2 GB of retained state with the sparse backend,
+// while the dense layout for the same geometry extrapolates to >= 5x
+// the sparse footprint. The 10k roster is measured in BOTH backends so
+// the extrapolation is anchored to a directly measured dense number.
+func TestMegaRosterMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mega-roster memory check skipped in -short mode")
+	}
+	const (
+		hours     = 168 // one week of hourly bins
+		perClient = 40
+	)
+	end := simnet.FromHours(hours)
+	build := func(topo *workload.Topology, st StateMode) func() *Analysis {
+		return func() *Analysis {
+			a := NewAnalysisOpts(topo, 0, end, Options{State: st})
+			megaVisit(topo, hours, perClient, 1, a.Add)
+			return a
+		}
+	}
+
+	// 10k roster: measure both backends directly.
+	topo10k := workload.SyntheticTopology(10_000, 1_000)
+	sparse10k, sparse10kMB := retainedMB(build(topo10k, StateSparse))
+	runArtifacts(t, sparse10k)
+	dense10k, dense10kMB := retainedMB(build(topo10k, StateDense))
+	runArtifacts(t, dense10k)
+	t.Logf("10k x 1k x %dh: sparse %.0f MB (%d cells), dense %.0f MB (est %.0f MB)",
+		hours, sparse10kMB, sparse10k.StateCells(), dense10kMB, denseStateMB(topo10k, hours))
+	if dense10kMB < 4*sparse10kMB {
+		t.Errorf("10k roster: dense %.0f MB is under 4x sparse %.0f MB — the sparse backend is not earning its keep", dense10kMB, sparse10kMB)
+	}
+
+	// 100k roster: sparse measured, dense extrapolated (the dense pair
+	// grid alone is 100k x 1k x 16 B = 1.6 GB).
+	topo100k := workload.SyntheticTopology(100_000, 1_000)
+	a, sparseMB := retainedMB(build(topo100k, StateSparse))
+	runArtifacts(t, a)
+	denseMB := denseStateMB(topo100k, hours)
+	reg := obs.NewRegistry()
+	reg.Gauge("core_state_cells{state=\"" + a.State().String() + "\"}").Set(float64(a.StateCells()))
+	reg.Gauge("core_state_retained_mb").Set(sparseMB)
+	t.Logf("100k x 1k x %dh: sparse %.0f MB retained (%d cells, %d txns), dense extrapolates to %.0f MB (%.1fx)",
+		hours, sparseMB, a.StateCells(), a.TotalTxns(), denseMB, denseMB/sparseMB)
+	if sparseMB > 2048 {
+		t.Errorf("100k-client sparse analyze retained %.0f MB, want < 2048", sparseMB)
+	}
+	if denseMB < 5*sparseMB {
+		t.Errorf("dense extrapolation %.0f MB is under 5x sparse %.0f MB", denseMB, sparseMB)
+	}
+	// Auto must resolve sparse at this geometry without being asked.
+	auto := NewAnalysisOpts(topo100k, 0, end, Options{})
+	if auto.State() != StateSparse {
+		t.Errorf("auto state at 100k x 1k = %v, want sparse", auto.State())
+	}
+}
+
+// benchAnalyze is the ingest+analyze benchmark body shared by the
+// dense and sparse variants.
+func benchAnalyze(b *testing.B, nClients, nSites int, st StateMode) {
+	const (
+		hours     = 168
+		perClient = 40
+	)
+	topo := workload.SyntheticTopology(nClients, nSites)
+	end := simnet.FromHours(hours)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := NewAnalysisOpts(topo, 0, end, Options{State: st})
+		megaVisit(topo, hours, perClient, 1, a.Add)
+		runArtifacts(b, a)
+		b.ReportMetric(float64(a.TotalTxns()), "txns/op")
+	}
+}
+
+func BenchmarkAnalyzeSparse(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("clients=%d", n), func(b *testing.B) {
+			benchAnalyze(b, n, 1_000, StateSparse)
+		})
+	}
+}
+
+func BenchmarkAnalyzeDense(b *testing.B) {
+	b.Run("clients=10000", func(b *testing.B) {
+		benchAnalyze(b, 10_000, 1_000, StateDense)
+	})
+}

@@ -4,7 +4,6 @@ import (
 	"math/rand"
 	"sort"
 
-	"webfail/internal/stats"
 	"webfail/internal/workload"
 )
 
@@ -40,52 +39,96 @@ func bandCount(t *SimilarityTable, sim float64) {
 	}
 }
 
+// episodeSimilarity computes a pair's union size and Jaccard similarity
+// in one word-wise pass over the episode bitsets (by the paper's
+// convention an empty union yields similarity 0).
+func episodeSimilarity(ea, eb HourSet) (union int, sim float64) {
+	union, inter := unionInter(ea, eb)
+	if union == 0 {
+		return 0, 0
+	}
+	return union, float64(inter) / float64(union)
+}
+
+// simBetter is the strict total order similarity listings sort by:
+// union size descending (small episode sets tie often), names ascending.
+func simBetter(a, b PairSimilarity) bool {
+	if a.UnionSize != b.UnionSize {
+		return a.UnionSize > b.UnionSize
+	}
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	return a.B < b.B
+}
+
 // CoLocatedSimilarity computes per-pair similarity of client-side failure
 // episodes for the topology's co-located pairs (Table 8's detail rows)
 // using an attribution's episode sets.
 func (a *Analysis) CoLocatedSimilarity(at *Attribution) []PairSimilarity {
+	out := a.coLocated(at, nil)
+	sort.Slice(out, func(i, j int) bool { return simBetter(out[i], out[j]) })
+	return out
+}
+
+// CoLocatedSimilarityTop streams the co-located pairs once, producing
+// the full Table 7 histogram plus the k highest-ranked pairs (by the
+// same total order CoLocatedSimilarity sorts by) with O(k) retention —
+// the bounded-memory rendering of Table 8 for rosters whose co-located
+// pair list would not fit. The selection order is total, so the top
+// list equals CoLocatedSimilarity truncated to k, row for row.
+func (a *Analysis) CoLocatedSimilarityTop(at *Attribution, k int) (SimilarityTable, []PairSimilarity) {
+	var t SimilarityTable
+	top := newTopK[PairSimilarity](k, func(x, y PairSimilarity) bool { return simBetter(y, x) })
+	a.coLocated(at, func(ps PairSimilarity) {
+		t.Pairs++
+		bandCount(&t, ps.Similarity)
+		top.push(ps)
+	})
+	return t, top.sorted()
+}
+
+// coLocated visits each co-located pair's similarity once, in topology
+// pair order. When visit retains nothing, the returned slice holds
+// every pair (the CoLocatedSimilarity path); CoLocatedSimilarityTop
+// passes a visit that folds into bounded state instead.
+func (a *Analysis) coLocated(at *Attribution, visit func(PairSimilarity)) []PairSimilarity {
 	nameIdx := make(map[string]int, a.nClients)
 	for i := range a.Topo.Clients {
 		nameIdx[a.Topo.Clients[i].Name] = i
 	}
 	pairs := a.Topo.CoLocatedPairs()
-	out := make([]PairSimilarity, 0, len(pairs))
+	var out []PairSimilarity
+	retainAll := visit == nil
 	for _, p := range pairs {
 		ia, ok1 := nameIdx[p[0]]
 		ib, ok2 := nameIdx[p[1]]
 		if !ok1 || !ok2 {
 			continue
 		}
-		ea, eb := at.ClientEpisodeHours[ia], at.ClientEpisodeHours[ib]
-		union := len(ea) + len(eb)
-		inter := 0
-		for h := range ea {
-			if eb[h] {
-				inter++
-				union--
-			}
+		union, sim := episodeSimilarity(at.ClientEpisodeHours[ia], at.ClientEpisodeHours[ib])
+		ps := PairSimilarity{A: p[0], B: p[1], UnionSize: union, Similarity: sim}
+		if retainAll {
+			out = append(out, ps)
+		} else {
+			visit(ps)
 		}
-		ps := PairSimilarity{A: p[0], B: p[1], UnionSize: union}
-		ps.Similarity = stats.Jaccard(ea, eb)
-		out = append(out, ps)
 	}
-	// UnionSize ties happen (small episode sets); break them on the pair
-	// names so the table order is deterministic.
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].UnionSize != out[j].UnionSize {
-			return out[i].UnionSize > out[j].UnionSize
-		}
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
-		}
-		return out[i].B < out[j].B
-	})
 	return out
 }
 
+// randomPairMaxDraws bounds RandomPairSimilarity's rejection sampling:
+// with fewer than maxDraws = 128*n + 256 attempts the draw loop gives
+// up deterministically rather than spinning forever on a roster where
+// every eligible pair collides (all eligible clients at one site). At
+// paper scale collisions are rare (~1-2% of draws), so the bound is
+// orders of magnitude of headroom and never triggers.
+func randomPairMaxDraws(n int) int { return 128*n + 256 }
+
 // RandomPairSimilarity computes the control: the same measure over
 // randomly paired clients (same count as the co-located set, CN excluded
-// to match), seeded for reproducibility.
+// to match), seeded for reproducibility. The result may hold fewer than
+// n pairs if the draw bound is hit first (see randomPairMaxDraws).
 func (a *Analysis) RandomPairSimilarity(at *Attribution, seed int64, n int) []PairSimilarity {
 	rng := rand.New(rand.NewSource(seed))
 	var eligible []int
@@ -95,30 +138,19 @@ func (a *Analysis) RandomPairSimilarity(at *Attribution, seed int64, n int) []Pa
 		}
 	}
 	out := make([]PairSimilarity, 0, n)
-	for len(out) < n && len(eligible) >= 2 {
+	for draws := 0; len(out) < n && len(eligible) >= 2 && draws < randomPairMaxDraws(n); draws++ {
 		i := eligible[rng.Intn(len(eligible))]
 		j := eligible[rng.Intn(len(eligible))]
 		if i == j || a.Topo.Clients[i].Site == a.Topo.Clients[j].Site {
 			continue
 		}
-		ea, eb := at.ClientEpisodeHours[i], at.ClientEpisodeHours[j]
+		union, sim := episodeSimilarity(at.ClientEpisodeHours[i], at.ClientEpisodeHours[j])
 		out = append(out, PairSimilarity{
 			A: a.Topo.Clients[i].Name, B: a.Topo.Clients[j].Name,
-			UnionSize:  unionSize(ea, eb),
-			Similarity: stats.Jaccard(ea, eb),
+			UnionSize: union, Similarity: sim,
 		})
 	}
 	return out
-}
-
-func unionSize(a, b map[int64]bool) int {
-	n := len(a)
-	for h := range b {
-		if !a[h] {
-			n++
-		}
-	}
-	return n
 }
 
 // Tabulate reduces pair similarities to the Table 7 histogram.

@@ -1,0 +1,110 @@
+package core
+
+import "fmt"
+
+// StateMode selects the memory representation backing the state-bearing
+// analyzer passes. The paper's fixed 134x80 roster fits comfortably in
+// dense flat arrays, and that layout is kept byte-identical for
+// reproduction runs; internet-scale rosters (ROADMAP item 1's generated
+// mega-fleets) would need clients x sites and clients x hours arrays
+// that run to gigabytes, so above a documented cell budget the passes
+// switch to sparse hash-backed grids sized by the traffic actually
+// observed rather than by roster geometry.
+type StateMode uint8
+
+// State modes.
+const (
+	// StateAuto picks StateDense below DenseCellBudget cells per grid
+	// and StateSparse above it. The default everywhere.
+	StateAuto StateMode = iota
+	// StateDense backs every grid with a flat array indexed by roster
+	// geometry — O(1) cell access, zero per-cell overhead, memory
+	// proportional to clients x sites x hours whether or not traffic
+	// touches a cell. The paper-scale representation.
+	StateDense
+	// StateSparse backs every grid with a hash map holding only
+	// touched cells — memory proportional to observed traffic, with
+	// ~6x per-cell overhead. Chosen when roster geometry outgrows the
+	// dense budget and most cells would stay empty (the realistic
+	// mega-roster regime: most clients idle most hours).
+	StateSparse
+)
+
+// DenseCellBudget is the auto-selection threshold: the largest
+// per-grid cell count (the max of clients x bins, sites x bins,
+// clients x sites, and replicas x bins) the dense backend is allowed
+// before StateAuto switches to sparse. 16M cells caps the largest
+// single dense grid near 256 MB (conn cells are 12 bytes, pair cells
+// 16); the paper's 134 x 80 x 744 geometry peaks at ~100k cells, four
+// orders of magnitude under the line, so reproduction runs always
+// resolve dense.
+const DenseCellBudget = 16 << 20
+
+func (m StateMode) String() string {
+	switch m {
+	case StateAuto:
+		return "auto"
+	case StateDense:
+		return "dense"
+	case StateSparse:
+		return "sparse"
+	default:
+		return fmt.Sprintf("StateMode(%d)", uint8(m))
+	}
+}
+
+// ParseStateMode resolves a -state flag value.
+func ParseStateMode(s string) (StateMode, error) {
+	switch s {
+	case "", "auto":
+		return StateAuto, nil
+	case "dense":
+		return StateDense, nil
+	case "sparse":
+		return StateSparse, nil
+	default:
+		return StateAuto, fmt.Errorf("core: unknown state mode %q (want auto, dense, or sparse)", s)
+	}
+}
+
+// resolveState turns StateAuto into a concrete backend choice from the
+// roster geometry; explicit modes pass through.
+func resolveState(mode StateMode, nClients, nSites, nReplicas, bins int) StateMode {
+	if mode != StateAuto {
+		return mode
+	}
+	maxCells := max(nClients*bins, nSites*bins, nClients*nSites, nReplicas*bins)
+	if maxCells > DenseCellBudget {
+		return StateSparse
+	}
+	return StateDense
+}
+
+// State reports the resolved representation backing this accumulator
+// (never StateAuto).
+func (a *Analysis) State() StateMode { return a.state }
+
+// StateCells reports the number of materialized grid/counter cells
+// across the selected passes: the full roster geometry in dense mode,
+// the traffic-touched cell count in sparse mode. Deterministic for a
+// merged accumulator (shard merges materialize the union of the
+// shards' touched cells), so it is safe to expose as an obs gauge.
+func (a *Analysis) StateCells() int64 {
+	var n int64
+	if a.grids != nil {
+		n += int64(a.grids.client.touched() + a.grids.server.touched())
+	}
+	if a.conns != nil {
+		n += int64(a.conns.client.touched() + a.conns.server.touched())
+	}
+	if a.pairs != nil {
+		n += int64(a.pairs.cells.touched())
+	}
+	if a.replicas != nil {
+		n += int64(a.replicas.replicaHours.touched())
+	}
+	if a.traffic != nil {
+		n += int64(a.traffic.clientPkts.touched() + a.traffic.clientRetrans.touched())
+	}
+	return n
+}

@@ -1,0 +1,452 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"webfail/internal/httpsim"
+	"webfail/internal/measure"
+	"webfail/internal/simnet"
+	"webfail/internal/workload"
+)
+
+// synthStream generates a deterministic client-major record stream over
+// a synthetic topology, engineered to exercise every state-bearing
+// pass: DNS/TCP/HTTP failure mixes, hour-localized client and server
+// fault windows (episodes), always-failing pairs (permanent-pair
+// detection and exclusion), replica hits, and loss-signal packet
+// counts.
+func synthStream(topo *workload.Topology, hours int64, perClient int, seed int64) []*measure.Record {
+	var out []*measure.Record
+	synthVisit(topo, hours, perClient, seed, func(r *measure.Record) {
+		c := *r
+		out = append(out, &c)
+	})
+	return out
+}
+
+// synthVisit is the streaming form of synthStream: records are
+// generated client-major and handed to visit one at a time through a
+// reused struct, so internet-scale rosters never materialize the
+// stream (the scale tests feed millions of records this way).
+func synthVisit(topo *workload.Topology, hours int64, perClient int, seed int64, visit func(*measure.Record)) {
+	rng := rand.New(rand.NewSource(seed))
+	nSites := len(topo.Websites)
+	emit := func(c, s int, hour int64, fail bool) {
+		r := measure.Record{
+			ClientIdx: int32(c),
+			SiteIdx:   int32(s),
+			At:        simnet.FromHours(hour).Add(time.Duration(rng.Intn(3600)) * time.Second),
+			Category:  topo.Clients[c].Category,
+			Conns:     1,
+		}
+		if fail {
+			switch rng.Intn(4) {
+			case 0:
+				r.Stage = httpsim.StageDNS
+				r.DNS = measure.DNSLDNSTimeout
+				r.Conns = 0
+			case 3:
+				r.Stage = httpsim.StageHTTP
+				r.StatusCode = 503
+				r.Conns = 2
+			default:
+				r.Stage = httpsim.StageTCP
+				r.FailKind = httpsim.NoConnection
+				r.Conns = 3
+			}
+		} else {
+			r.StatusCode = 200
+			r.Bytes = 10240
+			r.DataPkts = int16(8 + rng.Intn(12))
+			r.Retransmits = int16(rng.Intn(3))
+			if ras := topo.Websites[s].ReplicaAddrs; len(ras) > 0 {
+				r.ReplicaIP = ras[rng.Intn(len(ras))]
+			}
+		}
+		visit(&r)
+	}
+	// Permanent pairs: every 6th client is fully blocked from one site.
+	blocked := func(c, s int) bool { return c%6 == 0 && s == (c/6)%nSites }
+	for c := range topo.Clients {
+		for i := 0; i < perClient; i++ {
+			s := rng.Intn(nSites)
+			hour := int64(rng.Intn(int(hours)))
+			// Fault windows: some clients fail hard in the first two
+			// hours, some servers fail hard in hours 3-4, producing
+			// attributable episodes in both grids.
+			p := 0.04
+			if c%7 == 0 && hour < 2 {
+				p = 0.95
+			}
+			if s%5 == 0 && hour >= 3 && hour < 5 {
+				p = 0.95
+			}
+			if blocked(c, s) {
+				p = 1
+			}
+			emit(c, s, hour, rng.Float64() < p)
+		}
+		// Extra accesses to the blocked site so the pair clears the
+		// >=20-txn permanent-pair floor.
+		if c%6 == 0 {
+			s := (c / 6) % nSites
+			for i := 0; i < 25; i++ {
+				emit(c, s, int64(rng.Intn(int(hours))), true)
+			}
+		}
+	}
+}
+
+// snapshotGrid captures a grid's non-zero cells, the representation-
+// independent view of its contents (dense grids hold explicit zeros
+// where sparse grids hold nothing).
+func snapshotGrid[C comparable](g *grid[C]) map[int]C {
+	m := make(map[int]C)
+	var zero C
+	g.forEach(func(i int, c *C) {
+		if *c != zero {
+			m[i] = *c
+		}
+	})
+	return m
+}
+
+func snapshotCounterVec(v *counterVec) map[int32]int64 {
+	m := make(map[int32]int64)
+	for i := 0; i < v.n; i++ {
+		if n := v.val(int32(i)); n != 0 {
+			m[int32(i)] = n
+		}
+	}
+	return m
+}
+
+// stateFingerprint is the artifact bundle the equivalence tests compare
+// across representations and merge orders: every analysis output the
+// report layer reads, plus representation-independent snapshots of the
+// raw pass state.
+type stateFingerprint struct {
+	Txns, Fails          int64
+	Summary              []CategorySummary
+	ClientXs, ServerXs   []float64
+	MedianC, MedianS     float64
+	Q90                  float64
+	Pairs                []PermanentPair
+	ConnShare, TxnShare  float64
+	Counts               map[Blame]int64
+	Total                int64
+	ClientEp, ServerEp   [][]int
+	SES                  []ServerEpisodeStat
+	AtLeastOne, Multiple int
+	CoLoc                []PairSimilarity
+	Table                SimilarityTable
+	Top                  []PairSimilarity
+	Rand                 []PairSimilarity
+	Census               ReplicaCensus
+	Split                ReplicaFailureSplit
+	Loss                 float64
+	LossErr              string
+	PairSpec             PairSpecificResult
+
+	GridClient, GridServer map[int]gridCell
+	ConnClient, ConnServer map[int]connCell
+	PairCells              map[int]pairCell
+	ReplicaHours           map[int]gridCell
+	Pkts, Retr             map[int32]int64
+}
+
+func fingerprint(a *Analysis) stateFingerprint {
+	fp := stateFingerprint{
+		Txns:    a.TotalTxns(),
+		Fails:   a.TotalFails(),
+		Summary: a.Summary(),
+	}
+	cc, sc := a.EpisodeRateCDFs()
+	fp.ClientXs, _ = cc.Points(cc.Len())
+	fp.ServerXs, _ = sc.Points(sc.Len())
+	fp.MedianC, fp.MedianS = a.MedianFailureRates()
+	fp.Q90 = a.ClientFailureRateQuantile(0.9)
+	fp.Pairs = a.PermanentPairs(0.9)
+	fp.ConnShare, fp.TxnShare = a.PermanentPairShare(fp.Pairs)
+	at := a.Attribute(0.5, fp.Pairs)
+	fp.Counts, fp.Total = at.Counts, at.Total
+	for _, hs := range at.ClientEpisodeHours {
+		fp.ClientEp = append(fp.ClientEp, hs.Hours())
+	}
+	for _, hs := range at.ServerEpisodeHours {
+		fp.ServerEp = append(fp.ServerEp, hs.Hours())
+	}
+	fp.SES = a.ServerEpisodeStats(at)
+	fp.AtLeastOne, fp.Multiple = a.ServersWithEpisodes(at)
+	fp.CoLoc = a.CoLocatedSimilarity(at)
+	fp.Table, fp.Top = a.CoLocatedSimilarityTop(at, 8)
+	fp.Rand = a.RandomPairSimilarity(at, 42, len(fp.CoLoc))
+	fp.Census = a.ReplicaCensusDefault()
+	fp.Split = a.ReplicaAnalysis(at, fp.Census)
+	loss, err := a.LossCorrelation()
+	fp.Loss = loss
+	if err != nil {
+		fp.LossErr = err.Error()
+	}
+	fp.PairSpec = a.ClientServerSpecific(at)
+
+	fp.GridClient = snapshotGrid(&a.grids.client)
+	fp.GridServer = snapshotGrid(&a.grids.server)
+	fp.ConnClient = snapshotGrid(&a.conns.client)
+	fp.ConnServer = snapshotGrid(&a.conns.server)
+	fp.PairCells = snapshotGrid(&a.pairs.cells)
+	fp.ReplicaHours = snapshotGrid(&a.replicas.replicaHours)
+	fp.Pkts = snapshotCounterVec(&a.traffic.clientPkts)
+	fp.Retr = snapshotCounterVec(&a.traffic.clientRetrans)
+	return fp
+}
+
+// buildState feeds recs serially into a fresh accumulator with the
+// given representation.
+func buildState(topo *workload.Topology, hours int64, st StateMode, recs []*measure.Record) *Analysis {
+	a := NewAnalysisOpts(topo, 0, simnet.FromHours(hours), Options{State: st})
+	for _, r := range recs {
+		a.Add(r)
+	}
+	return a
+}
+
+// buildSharded partitions recs by contiguous client range into shards
+// accumulators (the measure.RunParallel partition) and merges them in
+// the given order.
+func buildSharded(t *testing.T, topo *workload.Topology, hours int64, st StateMode, recs []*measure.Record, shards int, order []int) *Analysis {
+	t.Helper()
+	n := len(topo.Clients)
+	accs := make([]*Analysis, shards)
+	for i := range accs {
+		accs[i] = NewAnalysisOpts(topo, 0, simnet.FromHours(hours), Options{State: st})
+	}
+	for _, r := range recs {
+		s := int(r.ClientIdx) * shards / n
+		if s >= shards {
+			s = shards - 1
+		}
+		accs[s].Add(r)
+	}
+	merged := NewAnalysisOpts(topo, 0, simnet.FromHours(hours), Options{State: st})
+	for _, s := range order {
+		if err := merged.Merge(accs[s]); err != nil {
+			t.Fatalf("merge shard %d: %v", s, err)
+		}
+	}
+	return merged
+}
+
+// TestSparseDenseEquivalence is the property-style equivalence harness:
+// random synthetic rosters, the same record stream through the dense
+// and the sparse backends, and exact equality of every analysis
+// artifact the report layer reads.
+func TestSparseDenseEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1000 + seed))
+			nClients := 16 + rng.Intn(40)
+			nSites := 8 + rng.Intn(16)
+			hours := int64(6 + rng.Intn(6))
+			topo := workload.SyntheticTopology(nClients, nSites)
+			recs := synthStream(topo, hours, 24*int(hours), seed)
+
+			dense := buildState(topo, hours, StateDense, recs)
+			sparse := buildState(topo, hours, StateSparse, recs)
+			if dense.State() != StateDense || sparse.State() != StateSparse {
+				t.Fatalf("resolved states = %v/%v", dense.State(), sparse.State())
+			}
+			dfp, sfp := fingerprint(dense), fingerprint(sparse)
+			if !reflect.DeepEqual(dfp, sfp) {
+				diffFingerprint(t, dfp, sfp)
+			}
+		})
+	}
+}
+
+// TestSparseMergeOrderIndependence asserts the sharded-ingest result is
+// identical for any shard count and any merge order, in both
+// representations, including the materialized-cell count the CLIs
+// expose as a metric.
+func TestSparseMergeOrderIndependence(t *testing.T) {
+	topo := workload.SyntheticTopology(36, 12)
+	const hours = 8
+	recs := synthStream(topo, hours, 200, 7)
+	for _, st := range []StateMode{StateDense, StateSparse} {
+		serial := buildState(topo, hours, st, recs)
+		want := fingerprint(serial)
+		wantCells := serial.StateCells()
+		for _, shards := range []int{2, 3, 5} {
+			order := make([]int, shards)
+			for i := range order {
+				order[i] = i
+			}
+			for trial := 0; trial < 3; trial++ {
+				rand.New(rand.NewSource(int64(trial))).Shuffle(shards, func(i, j int) {
+					order[i], order[j] = order[j], order[i]
+				})
+				m := buildSharded(t, topo, hours, st, recs, shards, order)
+				if got := fingerprint(m); !reflect.DeepEqual(got, want) {
+					t.Errorf("%v state, %d shards, order %v: merged artifacts differ from serial", st, shards, order)
+					diffFingerprint(t, want, got)
+				}
+				if got := m.StateCells(); got != wantCells {
+					t.Errorf("%v state, %d shards, order %v: StateCells = %d, want %d", st, shards, order, got, wantCells)
+				}
+			}
+		}
+	}
+}
+
+// diffFingerprint reports which artifact diverged, field by field, so a
+// regression names the broken analysis rather than "DeepEqual failed".
+func diffFingerprint(t *testing.T, want, got stateFingerprint) {
+	t.Helper()
+	wv, gv := reflect.ValueOf(want), reflect.ValueOf(got)
+	for i := 0; i < wv.NumField(); i++ {
+		if !reflect.DeepEqual(wv.Field(i).Interface(), gv.Field(i).Interface()) {
+			t.Errorf("artifact %s differs:\n want %v\n  got %v",
+				wv.Type().Field(i).Name, wv.Field(i).Interface(), gv.Field(i).Interface())
+		}
+	}
+}
+
+// TestMergeStateModeMismatch: a dense accumulator must refuse a sparse
+// shard (and vice versa) rather than corrupt its grids.
+func TestMergeStateModeMismatch(t *testing.T) {
+	topo := workload.NewScaledTopology(4, 4)
+	end := simnet.FromHours(2)
+	d := NewAnalysisOpts(topo, 0, end, Options{State: StateDense})
+	s := NewAnalysisOpts(topo, 0, end, Options{State: StateSparse})
+	if err := d.Merge(s); err == nil {
+		t.Error("dense.Merge(sparse) succeeded, want error")
+	}
+	if err := s.Merge(d); err == nil {
+		t.Error("sparse.Merge(dense) succeeded, want error")
+	}
+}
+
+// TestResolveState pins the auto-selection boundary: paper-scale
+// geometry stays dense, mega-roster geometry flips sparse, and explicit
+// modes pass through untouched.
+func TestResolveState(t *testing.T) {
+	if st := resolveState(StateAuto, 134, 80, 150, 744); st != StateDense {
+		t.Errorf("paper geometry resolved %v, want dense", st)
+	}
+	if st := resolveState(StateAuto, 200_000, 1_000, 2_000, 744); st != StateSparse {
+		t.Errorf("mega geometry resolved %v, want sparse", st)
+	}
+	// clients x sites alone can cross the budget even with few bins.
+	if st := resolveState(StateAuto, 100_000, 1_000, 0, 1); st != StateSparse {
+		t.Errorf("wide pair geometry resolved %v, want sparse", st)
+	}
+	if st := resolveState(StateDense, 200_000, 1_000, 2_000, 744); st != StateDense {
+		t.Errorf("explicit dense resolved %v", st)
+	}
+	if st := resolveState(StateSparse, 4, 4, 4, 2); st != StateSparse {
+		t.Errorf("explicit sparse resolved %v", st)
+	}
+	for _, tc := range []struct {
+		in   string
+		want StateMode
+		ok   bool
+	}{
+		{"", StateAuto, true}, {"auto", StateAuto, true},
+		{"dense", StateDense, true}, {"sparse", StateSparse, true},
+		{"bogus", StateAuto, false},
+	} {
+		got, err := ParseStateMode(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseStateMode(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+}
+
+// TestTopFailingPairsMatchesFull: the bounded-top-k listing must equal
+// the complete listing truncated, for any k.
+func TestTopFailingPairsMatchesFull(t *testing.T) {
+	topo := workload.SyntheticTopology(30, 10)
+	const hours = 6
+	a := buildState(topo, hours, StateSparse, synthStream(topo, hours, 150, 3))
+	full := a.PermanentPairs(0.9)
+	if len(full) < 3 {
+		t.Fatalf("synthetic stream produced only %d permanent pairs; want more for a meaningful test", len(full))
+	}
+	for _, k := range []int{0, 1, 3, len(full), len(full) + 5} {
+		got := a.TopFailingPairs(0.9, k)
+		want := full
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("TopFailingPairs(k=%d) = %+v, want %+v", k, got, want)
+		}
+	}
+}
+
+// TestRandomPairSimilarityBounded: on a roster where every eligible
+// pair is co-located (one site), the rejection-sampling loop can never
+// find a pair — it must bail out deterministically instead of spinning
+// forever (the pre-fix behavior).
+func TestRandomPairSimilarityBounded(t *testing.T) {
+	topo := workload.SyntheticTopology(4, 2) // 4 clients, all on one site
+	a := buildState(topo, 2, StateDense, nil)
+	at := &Attribution{
+		ClientEpisodeHours: make([]HourSet, len(topo.Clients)),
+		ServerEpisodeHours: make([]HourSet, len(topo.Websites)),
+	}
+	done := make(chan []PairSimilarity, 1)
+	go func() { done <- a.RandomPairSimilarity(at, 1, 10) }()
+	select {
+	case out := <-done:
+		if len(out) != 0 {
+			t.Errorf("got %d pairs from an all-co-located roster, want 0", len(out))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RandomPairSimilarity did not terminate on an all-co-located roster")
+	}
+	// Sanity: a mixed roster still fills the requested count.
+	topo2 := workload.SyntheticTopology(12, 2)
+	a2 := buildState(topo2, 2, StateDense, nil)
+	at2 := &Attribution{
+		ClientEpisodeHours: make([]HourSet, len(topo2.Clients)),
+		ServerEpisodeHours: make([]HourSet, len(topo2.Websites)),
+	}
+	if out := a2.RandomPairSimilarity(at2, 1, 5); len(out) != 5 {
+		t.Errorf("mixed roster: got %d pairs, want 5", len(out))
+	}
+}
+
+// TestPairCellInt64: the per-pair counters must carry counts past the
+// int32 range a month-long mega-roster run can exceed (satellite fix:
+// they were int32).
+func TestPairCellInt64(t *testing.T) {
+	p := newPairsPass(1, 1, StateDense)
+	cell := p.cells.mut(0)
+	cell.Txns = math.MaxInt32
+	cell.Fails = math.MaxInt32
+	r := &measure.Record{Stage: httpsim.StageTCP, Conns: 1}
+	p.consume(r)
+	if cell.Txns != math.MaxInt32+1 || cell.Fails != math.MaxInt32+1 {
+		t.Errorf("pair cell after overflow-boundary consume = %d/%d, want %d", cell.Txns, cell.Fails, int64(math.MaxInt32)+1)
+	}
+	// Merge must also carry int64 sums.
+	q := newPairsPass(1, 1, StateDense)
+	qc := q.cells.mut(0)
+	qc.Txns = math.MaxInt32
+	if err := p.Merge(q); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(math.MaxInt32)*2 + 1; cell.Txns != want {
+		t.Errorf("merged pair txns = %d, want %d", cell.Txns, want)
+	}
+}

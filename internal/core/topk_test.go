@@ -1,0 +1,49 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestTopKMatchesSort: for a strict total order, the bounded heap must
+// return exactly what sort-then-truncate returns — the property the
+// byte-identical top-k artifacts rely on.
+func TestTopKMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	less := func(a, b int) bool { return a < b } // heap keeps the k largest
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(200)
+		k := rng.Intn(20)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(50) // duplicates on purpose
+		}
+		top := newTopK[int](k, less)
+		for _, v := range vals {
+			top.push(v)
+		}
+		got := top.sorted()
+		want := append([]int(nil), vals...)
+		sort.Sort(sort.Reverse(sort.IntSlice(want)))
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (n=%d k=%d): topK = %v, want %v", trial, n, k, got, want)
+		}
+	}
+}
+
+func TestTopKZero(t *testing.T) {
+	top := newTopK[int](0, func(a, b int) bool { return a < b })
+	top.push(1)
+	top.push(2)
+	if got := top.sorted(); len(got) != 0 {
+		t.Errorf("k=0 retained %v", got)
+	}
+}

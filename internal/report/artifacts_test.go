@@ -1,0 +1,28 @@
+package report
+
+import "testing"
+
+// TestArtifactModesComplete asserts the exact-vs-bounded-top-k contract
+// covers every known artifact and nothing else: an artifact added
+// without declaring its tolerance under the capacity-aware analyzer
+// state should fail here, not silently default.
+func TestArtifactModesComplete(t *testing.T) {
+	for _, name := range knownArtifacts {
+		if _, ok := ModeFor(name); !ok {
+			t.Errorf("artifact %q has no declared ArtifactMode", name)
+		}
+	}
+	if len(artifactModes) != len(knownArtifacts) {
+		t.Errorf("artifactModes has %d entries, knownArtifacts %d — stale contract entry?",
+			len(artifactModes), len(knownArtifacts))
+	}
+	if _, ok := ModeFor("nonsense"); ok {
+		t.Error("ModeFor accepted an unknown artifact")
+	}
+	if m, _ := ModeFor("table8"); m != BoundedTopK {
+		t.Errorf("table8 mode = %v, want bounded-top-k", m)
+	}
+	if m, _ := ModeFor("table7"); m != Exact {
+		t.Errorf("table7 mode = %v, want exact", m)
+	}
+}

@@ -1,0 +1,60 @@
+package workload
+
+import "fmt"
+
+// Synthetic roster limits imposed by the fixed address plan in
+// buildTopology: client site numbers fill the second and third octets of
+// 10.0.0.0/8 (65536 /24s), and website numbers fill 172.16.0.0/12
+// upward from 172.16.0.0 (240 x 256 /24s before the first octet
+// overflows). Synthetic websites never set SpreadReplicas, so the
+// hi+8 second-/24 rule never fires and the full range is usable.
+const (
+	maxSyntheticClientSites = 65536
+	maxSyntheticWebsites    = 240 * 256
+	syntheticClientsPerSite = 4
+)
+
+// MaxSyntheticClients is the largest roster SyntheticTopology accepts.
+const MaxSyntheticClients = maxSyntheticClientSites * syntheticClientsPerSite
+
+// SyntheticTopology builds an internet-scale roster for capacity and
+// equivalence testing: nClients synthetic broadband clients grouped
+// four per site (so co-located-pair analyses have material to work on)
+// and nSites single-replica websites, fed through the same address
+// assignment as the paper roster. It exists for the sparse-state
+// regime — rosters far beyond the paper's 134 x 80 — and is
+// deterministic for a given (nClients, nSites).
+//
+// RoundsPerHour is kept low (1) so scenario construction and expected
+// transaction counts stay tractable at 100k clients.
+func SyntheticTopology(nClients, nSites int) *Topology {
+	if nClients < 1 || nClients > MaxSyntheticClients {
+		panic(fmt.Sprintf("workload: synthetic client count %d out of range [1, %d]", nClients, MaxSyntheticClients))
+	}
+	if nSites < 1 || nSites > maxSyntheticWebsites {
+		panic(fmt.Sprintf("workload: synthetic website count %d out of range [1, %d]", nSites, maxSyntheticWebsites))
+	}
+	regions := []string{"us-west", "us-east", "us-central", "europe", "asia"}
+	cs := make([]Client, nClients)
+	for i := range cs {
+		site := i / syntheticClientsPerSite
+		cs[i] = Client{
+			Name:          fmt.Sprintf("syn-client-%06d", i),
+			Category:      BB,
+			Site:          fmt.Sprintf("syn-site-%05d", site),
+			Region:        regions[site%len(regions)],
+			RoundsPerHour: 1,
+		}
+	}
+	ws := make([]Website, nSites)
+	for j := range ws {
+		ws[j] = Website{
+			Host:      fmt.Sprintf("www.syn-%05d.example", j),
+			Group:     USMisc,
+			Region:    regions[j%len(regions)],
+			Replicas:  1 + j%3,
+			IndexSize: 10240,
+		}
+	}
+	return buildTopology(cs, ws)
+}

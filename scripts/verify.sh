@@ -32,6 +32,14 @@ go vet ./...
 go test ./...
 go test -race -run 'TestSerialParallelEquivalence|TestRunParallelShardClamp|TestMerge|TestShardedSaveEquivalence|TestDatasetV2ParallelStreams' \
     ./internal/measure ./internal/core ./internal/dataset
+# Capacity-aware state gate: the sparse and dense analyzer backends
+# must produce identical artifacts for random rosters and any shard
+# merge order, the bounded top-k listings must equal their complete
+# counterparts, and the episode bitsets and heap must pass their
+# property tests — all under the race detector (the sharded ingest
+# exercises the sparse maps concurrently across shard accumulators).
+go test -race -run 'TestSparseDenseEquivalence|TestSparseMergeOrderIndependence|TestMergeStateModeMismatch|TestResolveState|TestTopFailingPairsMatchesFull|TestRandomPairSimilarityBounded|TestPairCellInt64|TestHourSet|TestTopK' \
+    -count=1 ./internal/core
 go test -run 'TestDatasetV1Compat' ./internal/dataset
 go test -run 'TestGolden' ./cmd/webfail-analyze
 go test -race -run 'TestSelectiveMatchesFull|TestArtifactPassRegistry' ./internal/report
