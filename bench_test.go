@@ -27,6 +27,7 @@ import (
 	"webfail/internal/measure"
 	"webfail/internal/obs"
 	"webfail/internal/report"
+	"webfail/internal/scenario"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
@@ -54,9 +55,9 @@ var (
 func getFixture(b *testing.B) *fixture {
 	b.Helper()
 	fixOnce.Do(func() {
-		topo := workload.NewTopology()
+		topo := scenario.PaperTopology()
 		end := simnet.FromHours(fixtureHours)
-		sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(fixtureSeed, 0, end))
+		sc := workload.BuildScenario(topo, scenario.PaperParams(fixtureSeed, 0, end))
 		a := core.NewAnalysis(topo, 0, end)
 		cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
 		if err := measure.Run(cfg, func(r *measure.Record) { a.Add(r) }); err != nil {
@@ -77,9 +78,9 @@ func getFixture(b *testing.B) *fixture {
 // BenchmarkRunFastMode measures raw fast-mode evaluation throughput
 // (reported as transactions/op over a 4-hour full-roster slice).
 func BenchmarkRunFastMode(b *testing.B) {
-	topo := workload.NewTopology()
+	topo := scenario.PaperTopology()
 	end := simnet.FromHours(4)
-	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(fixtureSeed, 0, end))
+	sc := workload.BuildScenario(topo, scenario.PaperParams(fixtureSeed, 0, end))
 	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -98,9 +99,9 @@ func BenchmarkRunFastMode(b *testing.B) {
 // plain scratch counters and folds once per shard, so the target is
 // under 2% (recorded in EXPERIMENTS.md).
 func BenchmarkRunFastModeInstrumented(b *testing.B) {
-	topo := workload.NewTopology()
+	topo := scenario.PaperTopology()
 	end := simnet.FromHours(4)
-	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(fixtureSeed, 0, end))
+	sc := workload.BuildScenario(topo, scenario.PaperParams(fixtureSeed, 0, end))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		reg := obs.NewRegistry()
@@ -125,9 +126,9 @@ func BenchmarkRunFastModeInstrumented(b *testing.B) {
 // GOMAXPROCS workers. The per-shard counters are cache-line padded so the
 // bench measures evaluation, not false sharing.
 func BenchmarkRunFastModeParallel(b *testing.B) {
-	topo := workload.NewTopology()
+	topo := scenario.PaperTopology()
 	end := simnet.FromHours(4)
-	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(fixtureSeed, 0, end))
+	sc := workload.BuildScenario(topo, scenario.PaperParams(fixtureSeed, 0, end))
 	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
 	shards := measure.EffectiveShards(len(topo.Clients), 0)
 	type paddedCount struct {
@@ -154,9 +155,9 @@ func BenchmarkRunFastModeParallel(b *testing.B) {
 // isolation: GOMAXPROCS shard accumulators from a 24-hour full-roster run
 // are folded into a fresh accumulator each iteration.
 func BenchmarkAnalysisMerge(b *testing.B) {
-	topo := workload.NewTopology()
+	topo := scenario.PaperTopology()
 	end := simnet.FromHours(24)
-	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(fixtureSeed, 0, end))
+	sc := workload.BuildScenario(topo, scenario.PaperParams(fixtureSeed, 0, end))
 	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
 	shards := measure.EffectiveShards(len(topo.Clients), 0)
 	accs := make([]*core.Analysis, shards)
@@ -185,9 +186,9 @@ func BenchmarkAnalysisMerge(b *testing.B) {
 // BenchmarkRunPacketMode measures full protocol-simulation throughput at a
 // reduced scale (6 clients x 6 sites x 2 h).
 func BenchmarkRunPacketMode(b *testing.B) {
-	topo := workload.NewScaledTopology(6, 6)
+	topo := scenario.PaperScaledTopology(6, 6)
 	end := simnet.FromHours(2)
-	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(fixtureSeed, 0, end))
+	sc := workload.BuildScenario(topo, scenario.PaperParams(fixtureSeed, 0, end))
 	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -207,9 +208,9 @@ func BenchmarkRunPacketMode(b *testing.B) {
 // not ns/op): with only a few hundred transactions per run, world setup
 // dominates and sharding cannot pay for itself.
 func BenchmarkRunPacketModeParallel(b *testing.B) {
-	topo := workload.NewScaledTopology(24, 8)
+	topo := scenario.PaperScaledTopology(24, 8)
 	end := simnet.FromHours(2)
-	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(fixtureSeed, 0, end))
+	sc := workload.BuildScenario(topo, scenario.PaperParams(fixtureSeed, 0, end))
 	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -512,9 +513,9 @@ func BenchmarkHeadlines(b *testing.B) {
 // 1-hour, and 6-hour episode bins — the Section 4.4.3 trade-off: short
 // bins catch brief outages but starve on samples; long bins bury them.
 func BenchmarkAblationEpisodeDuration(b *testing.B) {
-	topo := workload.NewTopology()
+	topo := scenario.PaperTopology()
 	end := simnet.FromHours(48)
-	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(fixtureSeed, 0, end))
+	sc := workload.BuildScenario(topo, scenario.PaperParams(fixtureSeed, 0, end))
 	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
 	for _, bin := range []time.Duration{15 * time.Minute, time.Hour, 6 * time.Hour} {
 		bin := bin
@@ -610,9 +611,9 @@ func getDatasetFixture(b *testing.B) ([]measure.Record, measure.DatasetMeta, *wo
 	b.Helper()
 	f := &datasetFixtureOnce
 	f.Do(func() {
-		f.topo = workload.NewTopology()
+		f.topo = scenario.PaperTopology()
 		f.end = simnet.FromHours(24)
-		sc := workload.BuildScenario(f.topo, workload.DefaultScenarioParams(fixtureSeed, 0, f.end))
+		sc := workload.BuildScenario(f.topo, scenario.PaperParams(fixtureSeed, 0, f.end))
 		cfg := measure.Config{Topo: f.topo, Scenario: sc, Seed: 1, Start: 0, End: f.end}
 		f.meta = measure.DatasetMeta{
 			Seed: fixtureSeed, StartUnix: simnet.Time(0).Unix(), EndUnix: f.end.Unix(),
@@ -749,7 +750,7 @@ func BenchmarkAnalyzeSelective(b *testing.B) {
 
 // BenchmarkMRTRoundTrip measures the BGP archive codec.
 func BenchmarkMRTRoundTrip(b *testing.B) {
-	topo := workload.NewTopology()
+	topo := scenario.PaperTopology()
 	gen := bgpsim.NewGenerator(1, topo.AllPrefixes())
 	gen.GenerateBaseline(0, simnet.FromHours(744))
 	updates := gen.Updates()
@@ -772,7 +773,7 @@ func (d *discardCounter) Write(p []byte) (int, error) {
 
 // BenchmarkBGPAggregate measures hourly aggregation over a month of churn.
 func BenchmarkBGPAggregate(b *testing.B) {
-	topo := workload.NewTopology()
+	topo := scenario.PaperTopology()
 	gen := bgpsim.NewGenerator(1, topo.AllPrefixes())
 	gen.GenerateBaseline(0, simnet.FromHours(744))
 	for i, pfx := range topo.AllPrefixes() {
@@ -797,7 +798,7 @@ func BenchmarkBGPAggregate(b *testing.B) {
 // experience". The ablation zeroes every client-side DNS fault process
 // (perfect first mile + LDNS) and compares overall failure rates.
 func BenchmarkAblationLDNSReliability(b *testing.B) {
-	topo := workload.NewTopology()
+	topo := scenario.PaperTopology()
 	end := simnet.FromHours(48)
 	for _, reliable := range []bool{false, true} {
 		reliable := reliable
@@ -806,7 +807,7 @@ func BenchmarkAblationLDNSReliability(b *testing.B) {
 			name = "perfect-ldns"
 		}
 		b.Run(name, func(b *testing.B) {
-			p := workload.DefaultScenarioParams(fixtureSeed, 0, end)
+			p := scenario.PaperParams(fixtureSeed, 0, end)
 			if reliable {
 				zero := func(m map[workload.Category]faults.Process) {
 					for k, v := range m {

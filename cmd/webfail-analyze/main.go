@@ -46,6 +46,7 @@ import (
 	"webfail/internal/measure"
 	"webfail/internal/obs"
 	"webfail/internal/report"
+	"webfail/internal/scenario"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
@@ -102,7 +103,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	meta := src.Meta()
-	topo := workload.NewScaledTopology(meta.Clients, meta.Websites)
+	spec, err := scenarioFor(meta)
+	if err != nil {
+		return err
+	}
+	reg.Gauge(fmt.Sprintf("scenario_info{name=%q,hash=%q}", spec.Name, spec.ShortHash())).Set(1)
+	topo, err := spec.Topology(meta.Clients, meta.Websites)
+	if err != nil {
+		return fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
 
 	report.DatasetInfo(stdout, meta, src.Stored())
 
@@ -261,8 +270,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// Render the selected paper artifacts from the stored records.
 		// The scenario (fault ground truth, co-located pairs, BGP
 		// inputs) is rebuilt deterministically from the dataset's
-		// scenario seed.
-		sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(meta.Seed, start, end))
+		// recorded world and scenario seed.
+		params, err := spec.Params(meta.Seed, start, end)
+		if err != nil {
+			return fmt.Errorf("scenario %q: %w", spec.Name, err)
+		}
+		sc := workload.BuildScenario(topo, params)
 		fmt.Fprintln(stdout)
 		repSpan := reg.Span("report")
 		rep := &report.Reporter{W: stdout, A: a, Topo: topo, Sc: sc, Seed: meta.Seed}
@@ -270,6 +283,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		repSpan.End()
 	}
 	return nil
+}
+
+// scenarioFor reconstructs the world a dataset came from: the embedded
+// spec document when the header carries one, the checked-in scenario of
+// that name otherwise, and paper-default for v1 and older v2 datasets
+// written before scenario metadata existed.
+func scenarioFor(meta measure.DatasetMeta) (*scenario.Spec, error) {
+	if len(meta.SpecJSON) > 0 {
+		spec, err := scenario.Parse(meta.SpecJSON)
+		if err != nil {
+			return nil, fmt.Errorf("dataset spec: %w", err)
+		}
+		return spec, nil
+	}
+	name := meta.Scenario
+	if name == "" {
+		name = scenario.PaperDefault
+	}
+	return scenario.ByName(name)
 }
 
 // parseArtifacts splits an -artifacts list into a report selection.

@@ -10,6 +10,7 @@ import (
 
 	"webfail/internal/dataset"
 	"webfail/internal/measure"
+	"webfail/internal/scenario"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
@@ -24,9 +25,9 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // run and the golden files can be checked in without the dataset.
 func fixtureDataset(t *testing.T) string {
 	t.Helper()
-	topo := workload.NewScaledTopology(12, 8)
+	topo := scenario.PaperScaledTopology(12, 8)
 	end := simnet.FromHours(24)
-	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(2005, 0, end))
+	sc := workload.BuildScenario(topo, scenario.PaperParams(2005, 0, end))
 	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
 
 	path := filepath.Join(t.TempDir(), "fixture.ds2")

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	webfail-bgp [-hours N] [-seed N] [-mrt PATH] [-prefix P]
+//	webfail-bgp [-hours N] [-seed N] [-scenario S] [-mrt PATH] [-prefix P]
 //	            [-cpuprofile PATH] [-memprofile PATH]
 //	            [-metrics-out PATH] [-metrics-listen ADDR] [-progress]
 //
@@ -27,6 +27,7 @@ import (
 	"webfail/internal/core"
 	"webfail/internal/faults"
 	"webfail/internal/obs"
+	"webfail/internal/scenario"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
@@ -36,6 +37,7 @@ const component = "webfail-bgp"
 func main() {
 	hours := flag.Int64("hours", 744, "experiment hours")
 	seed := flag.Int64("seed", 2005, "scenario seed")
+	scenarioFlag := flag.String("scenario", "", "scenario name or spec file path (default paper-default)")
 	mrtPath := flag.String("mrt", "", "write MRT archive to this path")
 	prefix := flag.String("prefix", "", "report hourly detail for one prefix")
 	var obsFlags obs.CLIFlags
@@ -49,9 +51,21 @@ func main() {
 	}
 	defer sess.Close()
 
-	topo := workload.NewTopology()
+	spec, err := scenario.Resolve(*scenarioFlag)
+	if err != nil {
+		obs.Fatalf(component, "%v", err)
+	}
+	reg.Gauge(fmt.Sprintf("scenario_info{name=%q,hash=%q}", spec.Name, spec.ShortHash())).Set(1)
+	topo, err := spec.Topology(0, 0)
+	if err != nil {
+		obs.Fatalf(component, "scenario %q: %v", spec.Name, err)
+	}
 	end := simnet.FromHours(*hours)
-	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(*seed, 0, end))
+	params, err := spec.Params(*seed, 0, end)
+	if err != nil {
+		obs.Fatalf(component, "scenario %q: %v", spec.Name, err)
+	}
+	sc := workload.BuildScenario(topo, params)
 
 	prefixes := topo.AllPrefixes()
 	events := 0

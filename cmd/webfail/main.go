@@ -8,6 +8,9 @@
 //	-hours N     experiment length in hours (default 744, the paper's month)
 //	-seed N      scenario seed (default 2005)
 //	-runseed N   per-transaction sampling seed (default 1)
+//	-scenario S  world to run: a checked-in scenario name (paper-default,
+//	             10k-chaos, cascading-outage, cdn-flap) or a spec file
+//	             path; default paper-default, the paper's Table 1/2 world
 //	-mode M      "fast" (default) or "packet" (small scales only)
 //	-parallel N  worker shards, fast and packet mode (default GOMAXPROCS;
 //	             1 = serial; output is identical for any value)
@@ -15,8 +18,8 @@
 //	             their failure distributions; prints the calibration
 //	             report and exits nonzero when any gated family is
 //	             outside tolerance (packet-scale configs only)
-//	-clients N   limit the client roster (0 = all 134)
-//	-sites N     limit the website roster (0 = all 80)
+//	-clients N   limit the client roster (0 = all)
+//	-sites N     limit the website roster (0 = all)
 //	-artifacts LIST  comma-separated selection, e.g. "table3,fig5,headlines"
 //	             (default: everything); -only is an alias
 //	-state M     analyzer state representation: "auto" (default; dense at
@@ -38,6 +41,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -48,6 +52,7 @@ import (
 	"webfail/internal/measure"
 	"webfail/internal/obs"
 	"webfail/internal/report"
+	"webfail/internal/scenario"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
@@ -55,28 +60,40 @@ import (
 const component = "webfail"
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		obs.Fatalf(component, "%v", err)
+	}
+}
+
+// run executes one webfail invocation, printing artifacts to stdout.
+// Factored from main so the golden tests can drive the CLI in-process.
+func run(argv []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet(component, flag.ContinueOnError)
 	var (
-		hours     = flag.Int64("hours", 744, "experiment length in hours")
-		seed      = flag.Int64("seed", 2005, "scenario seed")
-		runSeed   = flag.Int64("runseed", 1, "per-transaction sampling seed")
-		mode      = flag.String("mode", "fast", "fast or packet")
-		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker shards, fast and packet mode (1 = serial)")
-		calibrate = flag.Bool("calibrate", false, "compare fast vs packet failure distributions and exit")
-		nClients  = flag.Int("clients", 0, "limit client roster (0 = all)")
-		nSites    = flag.Int("sites", 0, "limit website roster (0 = all)")
-		artifacts = flag.String("artifacts", "", "comma-separated artifacts (table1..table9, fig1..fig7, replicas, headlines)")
-		only      = flag.String("only", "", "alias for -artifacts")
-		savePath  = flag.String("save", "", "write failure dataset to this path")
-		state     = flag.String("state", "auto", "analyzer state representation: auto, dense, or sparse")
-		obsFlags  obs.CLIFlags
+		hours        = fs.Int64("hours", 744, "experiment length in hours")
+		seed         = fs.Int64("seed", 2005, "scenario seed")
+		runSeed      = fs.Int64("runseed", 1, "per-transaction sampling seed")
+		scenarioFlag = fs.String("scenario", "", "scenario name or spec file path (default paper-default)")
+		mode         = fs.String("mode", "fast", "fast or packet")
+		parallel     = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker shards, fast and packet mode (1 = serial)")
+		calibrate    = fs.Bool("calibrate", false, "compare fast vs packet failure distributions and exit")
+		nClients     = fs.Int("clients", 0, "limit client roster (0 = all)")
+		nSites       = fs.Int("sites", 0, "limit website roster (0 = all)")
+		artifacts    = fs.String("artifacts", "", "comma-separated artifacts (table1..table9, fig1..fig7, replicas, headlines)")
+		only         = fs.String("only", "", "alias for -artifacts")
+		savePath     = fs.String("save", "", "write failure dataset to this path")
+		state        = fs.String("state", "auto", "analyzer state representation: auto, dense, or sparse")
+		obsFlags     obs.CLIFlags
 	)
-	obsFlags.Register(flag.CommandLine)
-	flag.Parse()
+	obsFlags.Register(fs)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
 
 	reg := obs.NewRegistry()
 	sess, err := obsFlags.Start(component, reg)
 	if err != nil {
-		obs.Fatalf(component, "%v", err)
+		return err
 	}
 	defer sess.Close()
 
@@ -91,41 +108,54 @@ func main() {
 	// run, whether serial or sharded.
 	passes, err := report.PassesFor(sel)
 	if err != nil {
-		obs.Fatalf(component, "%v", err)
+		return err
 	}
 	stateMode, err := core.ParseStateMode(*state)
 	if err != nil {
-		obs.Fatalf(component, "%v", err)
+		return err
 	}
 
-	topo := workload.NewScaledTopology(*nClients, *nSites)
+	spec, err := scenario.Resolve(*scenarioFlag)
+	if err != nil {
+		return err
+	}
+	reg.Gauge(fmt.Sprintf("scenario_info{name=%q,hash=%q}", spec.Name, spec.ShortHash())).Set(1)
+
+	topo, err := spec.Topology(*nClients, *nSites)
+	if err != nil {
+		return fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
 	end := simnet.FromHours(*hours)
-	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(*seed, 0, end))
+	params, err := spec.Params(*seed, 0, end)
+	if err != nil {
+		return fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
+	sc := workload.BuildScenario(topo, params)
 	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: *runSeed, Start: 0, End: end, Metrics: reg}
 
 	if *calibrate {
 		if workload.ExpectedTransactions(topo, *runSeed, 0, end) > 2_000_000 {
-			obs.Fatalf(component, "calibration runs packet mode; reduce -hours/-clients/-sites")
+			return fmt.Errorf("calibration runs packet mode; reduce -hours/-clients/-sites")
 		}
-		fmt.Printf("webfail: calibrating fast vs packet; %d clients x %d websites over %d hours\n\n",
+		fmt.Fprintf(stdout, "webfail: calibrating fast vs packet; %d clients x %d websites over %d hours\n\n",
 			len(topo.Clients), len(topo.Websites), *hours)
 		rep, err := measure.Calibrate(cfg, measure.CalibrateOptions{Shards: *parallel})
 		if err != nil {
-			obs.Fatalf(component, "calibrate: %v", err)
+			return fmt.Errorf("calibrate: %w", err)
 		}
-		fmt.Println(rep)
+		fmt.Fprintln(stdout, rep)
 		if !rep.Pass {
 			sess.Close()
 			os.Exit(1)
 		}
-		return
+		return nil
 	}
 
 	shards := 1
 	if *mode == "fast" || *mode == "packet" {
 		shards = measure.EffectiveShards(len(topo.Clients), *parallel)
 	}
-	fmt.Printf("webfail: %s; %d clients x %d websites over %d hours (%s mode, %d shards)\n",
+	fmt.Fprintf(stdout, "webfail: %s; %d clients x %d websites over %d hours (%s mode, %d shards)\n",
 		topo, len(topo.Clients), len(topo.Websites), *hours, *mode, shards)
 
 	// The progress denominator is the scheduled transaction count —
@@ -151,14 +181,15 @@ func main() {
 		var err error
 		saveFile, err = os.Create(*savePath)
 		if err != nil {
-			obs.Fatalf(component, "save: %v", err)
+			return fmt.Errorf("save: %w", err)
 		}
 		dw, err = dataset.NewWriter(saveFile, measure.DatasetMeta{
 			Seed: *seed, StartUnix: simnet.Time(0).Unix(), EndUnix: end.Unix(),
 			Clients: len(topo.Clients), Websites: len(topo.Websites),
+			Scenario: spec.Name, SpecHash: spec.Hash(), SpecJSON: spec.CanonicalJSON(),
 		}, dataset.Options{Metrics: reg})
 		if err != nil {
-			obs.Fatalf(component, "save: %v", err)
+			return fmt.Errorf("save: %w", err)
 		}
 	}
 	var sink *dataset.Sink // serial modes write one stream
@@ -183,7 +214,7 @@ func main() {
 		}
 	case "packet":
 		if workload.ExpectedTransactions(topo, *runSeed, 0, end) > 2_000_000 {
-			obs.Fatalf(component, "packet mode at this scale would take very long; reduce -hours/-clients/-sites")
+			return fmt.Errorf("packet mode at this scale would take very long; reduce -hours/-clients/-sites")
 		}
 		if shards > 1 {
 			// The parallel entry point replays each shard's buffered
@@ -195,15 +226,15 @@ func main() {
 			err = measure.RunPacket(cfg, visit)
 		}
 	default:
-		obs.Fatalf(component, "unknown mode %q", *mode)
+		return fmt.Errorf("unknown mode %q", *mode)
 	}
 	runSpan.End()
 	if err != nil {
-		obs.Fatalf(component, "run: %v", err)
+		return fmt.Errorf("run: %w", err)
 	}
 	if sink != nil {
 		if err := sink.Close(); err != nil {
-			obs.Fatalf(component, "save: %v", err)
+			return fmt.Errorf("save: %w", err)
 		}
 	}
 	cfg.Progress.Stop()
@@ -212,24 +243,25 @@ func main() {
 		reg.WallGauge("run_txns_per_sec").Set(float64(a.TotalTxns()) / s)
 	}
 	reg.Gauge("core_state_cells{state=\"" + a.State().String() + "\"}").Set(float64(a.StateCells()))
-	fmt.Printf("run completed in %v: %s\n\n", elapsed.Round(time.Millisecond), a)
+	fmt.Fprintf(stdout, "run completed in %v: %s\n\n", elapsed.Round(time.Millisecond), a)
 
 	repSpan := reg.Span("report")
-	rep := &report.Reporter{W: os.Stdout, A: a, Topo: topo, Sc: sc, Seed: *seed}
+	rep := &report.Reporter{W: stdout, A: a, Topo: topo, Sc: sc, Seed: *seed}
 	rep.Run(sel)
 	repSpan.End()
 
 	if dw != nil {
 		closeSpan := reg.Span("dataset/close")
 		if err := dw.Close(); err != nil {
-			obs.Fatalf(component, "save: %v", err)
+			return fmt.Errorf("save: %w", err)
 		}
 		if err := saveFile.Close(); err != nil {
-			obs.Fatalf(component, "save: %v", err)
+			return fmt.Errorf("save: %w", err)
 		}
 		closeSpan.End()
-		fmt.Printf("\ndataset written to %s (%d records in %d chunks)\n", *savePath, dw.Stored(), dw.Chunks())
+		fmt.Fprintf(stdout, "\ndataset written to %s (%d records in %d chunks)\n", *savePath, dw.Stored(), dw.Chunks())
 	}
+	return nil
 }
 
 // runFastSharded runs fast mode across shards workers, each feeding a

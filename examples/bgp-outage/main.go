@@ -14,16 +14,17 @@ import (
 	"webfail/internal/core"
 	"webfail/internal/faults"
 	"webfail/internal/measure"
+	"webfail/internal/scenario"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
 
 func main() {
-	topo := workload.NewScaledTopology(20, 20)
+	topo := scenario.PaperScaledTopology(20, 20)
 	end := simnet.FromHours(48)
 
 	// A scenario with only the faults we inject by hand.
-	params := workload.DefaultScenarioParams(7, 0, end)
+	params := scenario.PaperParams(7, 0, end)
 	sc := workload.BuildScenario(topo, params)
 	victim := &topo.Clients[0]
 

@@ -12,14 +12,15 @@ import (
 
 	"webfail/internal/core"
 	"webfail/internal/measure"
+	"webfail/internal/scenario"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
 
 func main() {
-	topo := workload.NewTopology()
+	topo := scenario.PaperTopology()
 	end := simnet.FromHours(168) // one week
-	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(2005, 0, end))
+	sc := workload.BuildScenario(topo, scenario.PaperParams(2005, 0, end))
 	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
 
 	a := core.NewAnalysis(topo, 0, end)

@@ -10,6 +10,7 @@ import (
 
 	"webfail/internal/core"
 	"webfail/internal/measure"
+	"webfail/internal/scenario"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
@@ -19,9 +20,9 @@ import (
 // bench and test timing, so this one is separate and smaller).
 func buildRun(t *testing.T) (*workload.Topology, *workload.Scenario, *core.Analysis) {
 	t.Helper()
-	topo := workload.NewTopology()
+	topo := scenario.PaperTopology()
 	end := simnet.FromHours(72)
-	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(fixtureSeed, 0, end))
+	sc := workload.BuildScenario(topo, scenario.PaperParams(fixtureSeed, 0, end))
 	a := core.NewAnalysis(topo, 0, end)
 	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
 	if err := measure.Run(cfg, func(r *measure.Record) { a.Add(r) }); err != nil {
@@ -201,9 +202,9 @@ func TestReproProxyResidualGap(t *testing.T) {
 	// iitb's chronic server-side episodes exclude ~95% of hours from the
 	// residual computation, so this signature needs a longer window than
 	// the shared 72-hour run.
-	topo := workload.NewTopology()
+	topo := scenario.PaperTopology()
 	end := simnet.FromHours(400)
-	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(fixtureSeed, 0, end))
+	sc := workload.BuildScenario(topo, scenario.PaperParams(fixtureSeed, 0, end))
 	a := core.NewAnalysis(topo, 0, end)
 	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
 	if err := measure.Run(cfg, func(r *measure.Record) { a.Add(r) }); err != nil {
@@ -238,9 +239,9 @@ func TestReproProxyResidualGap(t *testing.T) {
 func TestReproDeterministicAcrossRuns(t *testing.T) {
 	// Two fresh runs over the same seeds agree exactly.
 	run := func() (int64, int64) {
-		topo := workload.NewTopology()
+		topo := scenario.PaperTopology()
 		end := simnet.FromHours(6)
-		sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(77, 0, end))
+		sc := workload.BuildScenario(topo, scenario.PaperParams(77, 0, end))
 		cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 3, Start: 0, End: end}
 		var txns, fails int64
 		if err := measure.Run(cfg, func(r *measure.Record) {

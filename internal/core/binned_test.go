@@ -6,6 +6,7 @@ import (
 
 	"webfail/internal/httpsim"
 	"webfail/internal/measure"
+	"webfail/internal/scenario"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
@@ -15,7 +16,7 @@ import (
 // clearly flagged at 15-minute bins, and borderline at 1-hour bins —
 // exactly the Section 4.4.3 trade-off.
 func TestBinnedAnalysis(t *testing.T) {
-	topo := workload.NewScaledTopology(25, 25)
+	topo := scenario.PaperScaledTopology(25, 25)
 	end := simnet.FromHours(6)
 
 	// Synthetic traffic: every client hits every site every 5 minutes;

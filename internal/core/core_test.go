@@ -7,13 +7,14 @@ import (
 
 	"webfail/internal/httpsim"
 	"webfail/internal/measure"
+	"webfail/internal/scenario"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
 
 // mkAnalysis builds an analyzer over a scaled topology and window.
 func mkAnalysis(nClients, nSites int, hours int64) *Analysis {
-	topo := workload.NewScaledTopology(nClients, nSites)
+	topo := scenario.PaperScaledTopology(nClients, nSites)
 	return NewAnalysis(topo, 0, simnet.FromHours(hours))
 }
 
@@ -331,7 +332,7 @@ func TestCoalesceRuns(t *testing.T) {
 }
 
 func TestSimilarity(t *testing.T) {
-	topo := workload.NewTopology()
+	topo := scenario.PaperTopology()
 	a := NewAnalysis(topo, 0, simnet.FromHours(4))
 	// Find the two Intel nodes (co-located).
 	var i1, i2 int = -1, -1
@@ -447,9 +448,9 @@ func TestReplicaCensusAndAnalysis(t *testing.T) {
 }
 
 func TestBGPCorrelationEndToEnd(t *testing.T) {
-	topo := workload.NewTopology()
+	topo := scenario.PaperTopology()
 	end := simnet.FromHours(48)
-	params := workload.DefaultScenarioParams(5, 0, end)
+	params := scenario.PaperParams(5, 0, end)
 	params.BGPRate = 3.0 // plenty of events in a short window
 	sc := workload.BuildScenario(topo, params)
 
@@ -483,7 +484,7 @@ func TestBGPCorrelationEndToEnd(t *testing.T) {
 }
 
 func TestProxyResidual(t *testing.T) {
-	topo := workload.NewTopology()
+	topo := scenario.PaperTopology()
 	a := NewAnalysis(topo, 0, simnet.FromHours(2))
 	// Identify iitb and a CN client.
 	var iitb int = -1

@@ -10,6 +10,7 @@ import (
 
 	"webfail/internal/httpsim"
 	"webfail/internal/measure"
+	"webfail/internal/scenario"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
@@ -44,7 +45,7 @@ func mergeRecord(client, site int32, at simnet.Time, stage httpsim.Stage, cat wo
 // accumulator serially and into two client-disjoint accumulators that are
 // merged, and requires identical state.
 func TestMergeMatchesSequential(t *testing.T) {
-	topo := workload.NewScaledTopology(4, 3)
+	topo := scenario.PaperScaledTopology(4, 3)
 	end := simnet.FromHours(3)
 
 	recs := []*measure.Record{
@@ -99,7 +100,7 @@ func TestMergeMatchesSequential(t *testing.T) {
 // TestMergeStreaks checks that per-client failure streaks survive a merge
 // of disjoint client sets (the case RunParallel produces).
 func TestMergeStreaks(t *testing.T) {
-	topo := workload.NewScaledTopology(2, 2)
+	topo := scenario.PaperScaledTopology(2, 2)
 	end := simnet.FromHours(1)
 
 	acc := NewAnalysis(topo, 0, end)
@@ -121,7 +122,7 @@ func TestMergeStreaks(t *testing.T) {
 }
 
 func TestMergeReplicaGrid(t *testing.T) {
-	topo := workload.NewScaledTopology(2, 4)
+	topo := scenario.PaperScaledTopology(2, 4)
 	end := simnet.FromHours(2)
 	var replica netip.Addr
 	var site int32 = -1
@@ -156,11 +157,11 @@ func TestMergeReplicaGrid(t *testing.T) {
 
 // TestMergeRejectsMismatch verifies the compatibility guard.
 func TestMergeRejectsMismatch(t *testing.T) {
-	topo := workload.NewScaledTopology(3, 3)
+	topo := scenario.PaperScaledTopology(3, 3)
 	end := simnet.FromHours(2)
 	base := NewAnalysis(topo, 0, end)
 
-	otherRoster := NewAnalysis(workload.NewScaledTopology(4, 3), 0, end)
+	otherRoster := NewAnalysis(scenario.PaperScaledTopology(4, 3), 0, end)
 	if err := base.Merge(otherRoster); err == nil {
 		t.Error("merge of mismatched rosters succeeded, want error")
 	}
@@ -188,7 +189,7 @@ func TestMergeRejectsMismatch(t *testing.T) {
 }
 
 func TestMergeRejectsPassSetMismatch(t *testing.T) {
-	topo := workload.NewScaledTopology(3, 3)
+	topo := scenario.PaperScaledTopology(3, 3)
 	end := simnet.FromHours(2)
 	base := NewAnalysisSelected(topo, 0, end, PassTotals, PassTraffic)
 
@@ -215,7 +216,7 @@ func TestMergeRejectsPassSetMismatch(t *testing.T) {
 // requested passes (plus the always-on totals) are materialized, and
 // touching an unselected family panics rather than returning zeros.
 func TestSelectedPassSet(t *testing.T) {
-	topo := workload.NewScaledTopology(3, 3)
+	topo := scenario.PaperScaledTopology(3, 3)
 	end := simnet.FromHours(2)
 
 	a := NewAnalysisSelected(topo, 0, end, PassGrids)
@@ -242,7 +243,7 @@ func TestSelectedPassSet(t *testing.T) {
 // TestSelectedPassSetDefaults checks the empty selection still means
 // "everything", so existing NewAnalysis callers see no behaviour change.
 func TestSelectedPassSetDefaults(t *testing.T) {
-	topo := workload.NewScaledTopology(3, 3)
+	topo := scenario.PaperScaledTopology(3, 3)
 	a := NewAnalysis(topo, 0, simnet.FromHours(2))
 	if !slices.Equal(a.Passes(), AllPasses()) {
 		t.Errorf("Passes() = %v, want all %v", a.Passes(), AllPasses())
@@ -255,5 +256,5 @@ func TestUnknownPassPanics(t *testing.T) {
 			t.Error("unknown pass name should panic")
 		}
 	}()
-	NewAnalysisSelected(workload.NewScaledTopology(3, 3), 0, simnet.FromHours(2), PassName("bogus"))
+	NewAnalysisSelected(scenario.PaperScaledTopology(3, 3), 0, simnet.FromHours(2), PassName("bogus"))
 }

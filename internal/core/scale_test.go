@@ -10,6 +10,7 @@ import (
 	"webfail/internal/httpsim"
 	"webfail/internal/measure"
 	"webfail/internal/obs"
+	"webfail/internal/scenario"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
@@ -145,7 +146,7 @@ func TestMegaRosterMemory(t *testing.T) {
 	}
 
 	// 10k roster: measure both backends directly.
-	topo10k := workload.SyntheticTopology(10_000, 1_000)
+	topo10k := scenario.SyntheticTopology(10_000, 1_000)
 	sparse10k, sparse10kMB := retainedMB(build(topo10k, StateSparse))
 	runArtifacts(t, sparse10k)
 	dense10k, dense10kMB := retainedMB(build(topo10k, StateDense))
@@ -158,7 +159,7 @@ func TestMegaRosterMemory(t *testing.T) {
 
 	// 100k roster: sparse measured, dense extrapolated (the dense pair
 	// grid alone is 100k x 1k x 16 B = 1.6 GB).
-	topo100k := workload.SyntheticTopology(100_000, 1_000)
+	topo100k := scenario.SyntheticTopology(100_000, 1_000)
 	a, sparseMB := retainedMB(build(topo100k, StateSparse))
 	runArtifacts(t, a)
 	denseMB := denseStateMB(topo100k, hours)
@@ -187,7 +188,7 @@ func benchAnalyze(b *testing.B, nClients, nSites int, st StateMode) {
 		hours     = 168
 		perClient = 40
 	)
-	topo := workload.SyntheticTopology(nClients, nSites)
+	topo := scenario.SyntheticTopology(nClients, nSites)
 	end := simnet.FromHours(hours)
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -10,6 +10,7 @@ import (
 
 	"webfail/internal/httpsim"
 	"webfail/internal/measure"
+	"webfail/internal/scenario"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
@@ -254,7 +255,7 @@ func TestSparseDenseEquivalence(t *testing.T) {
 			nClients := 16 + rng.Intn(40)
 			nSites := 8 + rng.Intn(16)
 			hours := int64(6 + rng.Intn(6))
-			topo := workload.SyntheticTopology(nClients, nSites)
+			topo := scenario.SyntheticTopology(nClients, nSites)
 			recs := synthStream(topo, hours, 24*int(hours), seed)
 
 			dense := buildState(topo, hours, StateDense, recs)
@@ -275,7 +276,7 @@ func TestSparseDenseEquivalence(t *testing.T) {
 // representations, including the materialized-cell count the CLIs
 // expose as a metric.
 func TestSparseMergeOrderIndependence(t *testing.T) {
-	topo := workload.SyntheticTopology(36, 12)
+	topo := scenario.SyntheticTopology(36, 12)
 	const hours = 8
 	recs := synthStream(topo, hours, 200, 7)
 	for _, st := range []StateMode{StateDense, StateSparse} {
@@ -320,7 +321,7 @@ func diffFingerprint(t *testing.T, want, got stateFingerprint) {
 // TestMergeStateModeMismatch: a dense accumulator must refuse a sparse
 // shard (and vice versa) rather than corrupt its grids.
 func TestMergeStateModeMismatch(t *testing.T) {
-	topo := workload.NewScaledTopology(4, 4)
+	topo := scenario.PaperScaledTopology(4, 4)
 	end := simnet.FromHours(2)
 	d := NewAnalysisOpts(topo, 0, end, Options{State: StateDense})
 	s := NewAnalysisOpts(topo, 0, end, Options{State: StateSparse})
@@ -371,7 +372,7 @@ func TestResolveState(t *testing.T) {
 // TestTopFailingPairsMatchesFull: the bounded-top-k listing must equal
 // the complete listing truncated, for any k.
 func TestTopFailingPairsMatchesFull(t *testing.T) {
-	topo := workload.SyntheticTopology(30, 10)
+	topo := scenario.SyntheticTopology(30, 10)
 	const hours = 6
 	a := buildState(topo, hours, StateSparse, synthStream(topo, hours, 150, 3))
 	full := a.PermanentPairs(0.9)
@@ -398,7 +399,7 @@ func TestTopFailingPairsMatchesFull(t *testing.T) {
 // find a pair — it must bail out deterministically instead of spinning
 // forever (the pre-fix behavior).
 func TestRandomPairSimilarityBounded(t *testing.T) {
-	topo := workload.SyntheticTopology(4, 2) // 4 clients, all on one site
+	topo := scenario.SyntheticTopology(4, 2) // 4 clients, all on one site
 	a := buildState(topo, 2, StateDense, nil)
 	at := &Attribution{
 		ClientEpisodeHours: make([]HourSet, len(topo.Clients)),
@@ -415,7 +416,7 @@ func TestRandomPairSimilarityBounded(t *testing.T) {
 		t.Fatal("RandomPairSimilarity did not terminate on an all-co-located roster")
 	}
 	// Sanity: a mixed roster still fills the requested count.
-	topo2 := workload.SyntheticTopology(12, 2)
+	topo2 := scenario.SyntheticTopology(12, 2)
 	a2 := buildState(topo2, 2, StateDense, nil)
 	at2 := &Attribution{
 		ClientEpisodeHours: make([]HourSet, len(topo2.Clients)),

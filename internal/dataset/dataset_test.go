@@ -9,6 +9,7 @@ import (
 	"net/netip"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"sync"
 	"testing"
@@ -115,7 +116,7 @@ func TestDatasetV2RoundTrip(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: Open: %v", label, err)
 			}
-			if src.Meta() != meta {
+			if !reflect.DeepEqual(src.Meta(), meta) {
 				t.Fatalf("%s: meta = %+v, want %+v", label, src.Meta(), meta)
 			}
 			if src.Stored() != int64(n) {
@@ -359,7 +360,7 @@ func TestDatasetV1Compat(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Open v1: %v", err)
 	}
-	if got, want := src.Meta(), v1FixtureMeta(); got != want {
+	if got, want := src.Meta(), v1FixtureMeta(); !reflect.DeepEqual(got, want) {
 		t.Errorf("meta = %+v, want %+v", got, want)
 	}
 	want := randRecords(v1FixtureSeed, v1FixtureRecords, v1FixtureClients)

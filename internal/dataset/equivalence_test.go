@@ -14,6 +14,7 @@ import (
 	"webfail/internal/core"
 	"webfail/internal/dataset"
 	"webfail/internal/measure"
+	"webfail/internal/scenario"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
@@ -22,9 +23,9 @@ import (
 // shape of measure's equivalence fixture.
 func buildRunConfig(t testing.TB) (measure.Config, *workload.Topology, simnet.Time) {
 	t.Helper()
-	topo := workload.NewScaledTopology(13, 12)
+	topo := scenario.PaperScaledTopology(13, 12)
 	end := simnet.FromHours(12)
-	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(2005, 0, end))
+	sc := workload.BuildScenario(topo, scenario.PaperParams(2005, 0, end))
 	return measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}, topo, end
 }
 
@@ -151,7 +152,7 @@ func TestShardedSaveEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if ssrc.Meta() != psrc.Meta() {
+		if !reflect.DeepEqual(ssrc.Meta(), psrc.Meta()) {
 			t.Errorf("shards=%d: meta differs: serial %+v parallel %+v", eff, ssrc.Meta(), psrc.Meta())
 		}
 		sameRecords(t, collect(t, psrc, 0, 1<<30), collect(t, ssrc, 0, 1<<30),
@@ -218,7 +219,7 @@ func TestV1SourceAnalyzesIdentically(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Open v2: %v", err)
 	}
-	if v1src.Meta() != v2src.Meta() {
+	if !reflect.DeepEqual(v1src.Meta(), v2src.Meta()) {
 		t.Errorf("meta differs across formats: v1 %+v v2 %+v", v1src.Meta(), v2src.Meta())
 	}
 

@@ -87,6 +87,18 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
+// ParseKind resolves a kind's string name (as printed by Kind.String) back
+// to the Kind, for declarative scenario specs that reference fault kinds
+// by name.
+func ParseKind(name string) (Kind, bool) {
+	for k, s := range kindNames {
+		if s == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
 // numKinds bounds the Kind space for the per-kind episode index built at
 // Freeze time.
 const numKinds = int(ClientMachineOff) + 1

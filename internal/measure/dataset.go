@@ -31,6 +31,17 @@ type DatasetMeta struct {
 	Websites     int
 	Transactions int64 // total transactions performed (not all stored)
 	Failures     int64
+
+	// Scenario names the world that produced the dataset; empty means
+	// the paper-default roster (all datasets written before scenario
+	// metadata existed). SpecHash is the scenario spec's deterministic
+	// hash, and SpecJSON embeds the full spec document so analysis can
+	// reconstruct the exact world even for file-based scenarios that
+	// are not checked in. Gob decodes files written without these
+	// fields to their zero values.
+	Scenario string
+	SpecHash string
+	SpecJSON []byte
 }
 
 const datasetMagic = "WEBFAILDS1\n"

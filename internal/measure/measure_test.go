@@ -2,11 +2,13 @@ package measure
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 	"time"
 
 	"webfail/internal/faults"
 	"webfail/internal/httpsim"
+	"webfail/internal/scenario"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
@@ -15,18 +17,18 @@ import (
 // clients and sites over a short window.
 func smallConfig(t *testing.T, nClients, nSites int, hours int64, scenarioSeed int64) Config {
 	t.Helper()
-	topo := workload.NewScaledTopology(nClients, nSites)
+	topo := scenario.PaperScaledTopology(nClients, nSites)
 	end := simnet.FromHours(hours)
-	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(scenarioSeed, 0, end))
+	sc := workload.BuildScenario(topo, scenario.PaperParams(scenarioSeed, 0, end))
 	return Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
 }
 
 // quietConfig builds a scenario with all fault processes zeroed.
 func quietConfig(t *testing.T, nClients, nSites int, hours int64) Config {
 	t.Helper()
-	topo := workload.NewScaledTopology(nClients, nSites)
+	topo := scenario.PaperScaledTopology(nClients, nSites)
 	end := simnet.FromHours(hours)
-	p := workload.DefaultScenarioParams(1, 0, end)
+	p := scenario.PaperParams(1, 0, end)
 	zero := func(m map[workload.Category]faults.Process) {
 		for k, v := range m {
 			v.RatePerMonth = 0
@@ -138,9 +140,9 @@ func TestRunDeterminism(t *testing.T) {
 }
 
 func TestMachineOffSkipsTransactions(t *testing.T) {
-	topo := workload.NewScaledTopology(1, 4)
+	topo := scenario.PaperScaledTopology(1, 4)
 	end := simnet.FromHours(10)
-	p := workload.DefaultScenarioParams(1, 0, end)
+	p := scenario.PaperParams(1, 0, end)
 	sc := workload.BuildScenario(topo, p)
 	// Hand-build a timeline where the client is off for hours 2-6.
 	tl := faults.NewTimeline()
@@ -166,9 +168,9 @@ func TestMachineOffSkipsTransactions(t *testing.T) {
 }
 
 func TestClientConnectivityBecomesLDNSTimeout(t *testing.T) {
-	topo := workload.NewScaledTopology(1, 4)
+	topo := scenario.PaperScaledTopology(1, 4)
 	end := simnet.FromHours(4)
-	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(1, 0, end))
+	sc := workload.BuildScenario(topo, scenario.PaperParams(1, 0, end))
 	tl := faults.NewTimeline()
 	tl.Add(faults.Episode{
 		Entity: faults.Entity("site:" + topo.Clients[0].Site),
@@ -197,9 +199,9 @@ func TestClientConnectivityBecomesLDNSTimeout(t *testing.T) {
 }
 
 func TestServerOutageBecomesNoConnection(t *testing.T) {
-	topo := workload.NewScaledTopology(2, 2)
+	topo := scenario.PaperScaledTopology(2, 2)
 	end := simnet.FromHours(3)
-	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(1, 0, end))
+	sc := workload.BuildScenario(topo, scenario.PaperParams(1, 0, end))
 	tl := faults.NewTimeline()
 	tl.Add(faults.Episode{
 		Entity: faults.Entity("www:" + topo.Websites[0].Host),
@@ -226,9 +228,9 @@ func TestServerOutageBecomesNoConnection(t *testing.T) {
 
 func TestPermanentPairBlocks(t *testing.T) {
 	// Full topology so the permanent pairs exist; short window.
-	topo := workload.NewTopology()
+	topo := scenario.PaperTopology()
 	end := simnet.FromHours(2)
-	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(1, 0, end))
+	sc := workload.BuildScenario(topo, scenario.PaperParams(1, 0, end))
 	cfg := Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
 
 	// Find a blocked pair: hp.com x www.sina.com.cn.
@@ -266,9 +268,9 @@ func TestPermanentPairBlocks(t *testing.T) {
 func TestProxiedRecordsMaskDNS(t *testing.T) {
 	// CN clients are indexes 121..126 in the full roster; scale to
 	// include them.
-	topo := workload.NewTopology()
+	topo := scenario.PaperTopology()
 	end := simnet.FromHours(1)
-	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(2, 0, end))
+	sc := workload.BuildScenario(topo, scenario.PaperParams(2, 0, end))
 	cfg := Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
 	sawProxied := false
 	_ = Run(cfg, func(r *Record) {
@@ -304,7 +306,7 @@ func TestDatasetRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Meta != ds.Meta {
+	if !reflect.DeepEqual(got.Meta, ds.Meta) {
 		t.Errorf("meta = %+v, want %+v", got.Meta, ds.Meta)
 	}
 	if len(got.Records) != len(ds.Records) {
@@ -325,8 +327,8 @@ func TestConfigValidate(t *testing.T) {
 	if err := (&Config{}).Validate(); err == nil {
 		t.Error("empty config accepted")
 	}
-	topo := workload.NewScaledTopology(1, 1)
-	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(1, 0, 1))
+	topo := scenario.PaperScaledTopology(1, 1)
+	sc := workload.BuildScenario(topo, scenario.PaperParams(1, 0, 1))
 	bad := Config{Topo: topo, Scenario: sc, Start: 5, End: 5}
 	if err := bad.Validate(); err == nil {
 		t.Error("empty window accepted")
@@ -336,9 +338,9 @@ func TestConfigValidate(t *testing.T) {
 func TestRunWithNonzeroStartWindow(t *testing.T) {
 	// A run over [100h, 110h) must index bins correctly and produce the
 	// same per-bin behaviour as the equivalent zero-based window.
-	topo := workload.NewScaledTopology(3, 4)
+	topo := scenario.PaperScaledTopology(3, 4)
 	start, end := simnet.FromHours(100), simnet.FromHours(110)
-	p := workload.DefaultScenarioParams(5, start, end)
+	p := scenario.PaperParams(5, start, end)
 	p.TransientConnFail = 0
 	p.TransientDNSFail = 0
 	p.TransientHTTPErr = 0

@@ -6,6 +6,7 @@ import (
 
 	"webfail/internal/faults"
 	"webfail/internal/httpsim"
+	"webfail/internal/scenario"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
@@ -51,7 +52,7 @@ func packetScenario(t *testing.T, nClients, nSites int, hours int64, eps ...faul
 }
 
 func TestPacketModeLDNSOutage(t *testing.T) {
-	topo := workload.NewScaledTopology(1, 2)
+	topo := scenario.PaperScaledTopology(1, 2)
 	// LDNS of client 0's site down in hour 1.
 	cfg := packetScenario(t, 1, 2, 2, faults.Episode{
 		Entity: faults.Entity("site:" + topo.Clients[0].Site),

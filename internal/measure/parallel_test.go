@@ -11,6 +11,7 @@ import (
 
 	"webfail/internal/core"
 	"webfail/internal/measure"
+	"webfail/internal/scenario"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
@@ -20,9 +21,9 @@ import (
 // permanent pairs and episodes to appear.
 func buildParallelConfig(t testing.TB) (measure.Config, *workload.Topology, simnet.Time) {
 	t.Helper()
-	topo := workload.NewScaledTopology(13, 12)
+	topo := scenario.PaperScaledTopology(13, 12)
 	end := simnet.FromHours(12)
-	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(2005, 0, end))
+	sc := workload.BuildScenario(topo, scenario.PaperParams(2005, 0, end))
 	return measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}, topo, end
 }
 

@@ -13,6 +13,17 @@ import (
 func DatasetInfo(w io.Writer, meta measure.DatasetMeta, stored int64) {
 	fmt.Fprintf(w, "dataset: seed=%d window=[%d,%d) %d clients x %d websites\n",
 		meta.Seed, meta.StartUnix, meta.EndUnix, meta.Clients, meta.Websites)
+	// Datasets written before scenario metadata existed carry no name;
+	// they are by construction the paper-default world.
+	name := meta.Scenario
+	if name == "" {
+		name = "paper-default"
+	}
+	if len(meta.SpecHash) >= 12 {
+		fmt.Fprintf(w, "scenario: %s (spec %s)\n", name, meta.SpecHash[:12])
+	} else {
+		fmt.Fprintf(w, "scenario: %s\n", name)
+	}
 	fmt.Fprintf(w, "transactions=%d failures=%d (%.2f%%), %d records stored\n\n",
 		meta.Transactions, meta.Failures,
 		100*float64(meta.Failures)/float64(max(meta.Transactions, 1)), stored)

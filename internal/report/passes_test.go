@@ -6,6 +6,7 @@ import (
 
 	"webfail/internal/core"
 	"webfail/internal/measure"
+	"webfail/internal/scenario"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
@@ -70,9 +71,9 @@ func TestPassesForErrors(t *testing.T) {
 // artifact's passes renders byte-identical output to one built with
 // every pass, over the same record stream.
 func TestSelectiveMatchesFull(t *testing.T) {
-	topo := workload.NewScaledTopology(24, 16)
+	topo := scenario.PaperScaledTopology(24, 16)
 	end := simnet.FromHours(24)
-	sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(2005, 0, end))
+	sc := workload.BuildScenario(topo, scenario.PaperParams(2005, 0, end))
 	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
 
 	var recs []measure.Record

@@ -6,6 +6,7 @@ import (
 
 	"webfail/internal/core"
 	"webfail/internal/measure"
+	"webfail/internal/scenario"
 	"webfail/internal/simnet"
 	"webfail/internal/workload"
 )
@@ -19,9 +20,9 @@ var fixture struct {
 func getReporter(t *testing.T) (*Reporter, *strings.Builder) {
 	t.Helper()
 	if fixture.rep == nil {
-		topo := workload.NewTopology()
+		topo := scenario.PaperTopology()
 		end := simnet.FromHours(24)
-		sc := workload.BuildScenario(topo, workload.DefaultScenarioParams(2005, 0, end))
+		sc := workload.BuildScenario(topo, scenario.PaperParams(2005, 0, end))
 		a := core.NewAnalysis(topo, 0, end)
 		cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end}
 		if err := measure.Run(cfg, func(r *measure.Record) { a.Add(r) }); err != nil {

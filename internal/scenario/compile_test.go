@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"webfail/internal/workload"
+)
+
+// TestWRRExact checks the largest-remainder round-robin reproduces
+// weights exactly over any multiple of the weight denominator and cycles
+// plainly on equal weights.
+func TestWRRExact(t *testing.T) {
+	w := newWRR([]float64{0.25, 0.75})
+	counts := [2]int{}
+	for i := 0; i < 100; i++ {
+		counts[w.next()]++
+	}
+	if counts[0] != 25 || counts[1] != 75 {
+		t.Errorf("counts = %v, want 25/75", counts)
+	}
+
+	eq := newWRR([]float64{1, 1, 1})
+	var seq []int
+	for i := 0; i < 6; i++ {
+		seq = append(seq, eq.next())
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("equal-weight sequence = %v, want %v", seq, want)
+		}
+	}
+}
+
+// TestStartupOffsets checks each pattern's shape: zero for instant,
+// monotone and window-bounded for the ramps, chunked for waves.
+func TestStartupOffsets(t *testing.T) {
+	win := Duration(time.Hour)
+	n := 100
+	for _, pattern := range []string{StartupLinear, StartupExponential} {
+		st := &StartupSpec{Pattern: pattern, Window: win}
+		prev := time.Duration(-1)
+		for i := 0; i < n; i++ {
+			off := startupOffset(st, i, n)
+			if off < prev {
+				t.Errorf("%s: offset decreased at i=%d", pattern, i)
+			}
+			if off < 0 || off >= win.D() {
+				t.Errorf("%s: offset %v outside [0, window)", pattern, off)
+			}
+			prev = off
+		}
+		if startupOffset(st, 0, n) != 0 {
+			t.Errorf("%s: first client should start at 0", pattern)
+		}
+	}
+	if startupOffset(&StartupSpec{Pattern: StartupInstant}, 50, n) != 0 {
+		t.Error("instant: offset should be 0")
+	}
+	wave := &StartupSpec{Pattern: StartupWave, Window: win, Waves: 4}
+	distinct := map[time.Duration]bool{}
+	for i := 0; i < n; i++ {
+		distinct[startupOffset(wave, i, n)] = true
+	}
+	if len(distinct) != 4 {
+		t.Errorf("wave: %d distinct offsets, want 4", len(distinct))
+	}
+	// Exponential arrives late: the median client starts past mid-window.
+	expSt := &StartupSpec{Pattern: StartupExponential, Window: win}
+	if off := startupOffset(expSt, n/2, n); off <= win.D()/2 {
+		t.Errorf("exponential: median offset %v, want > %v", off, win.D()/2)
+	}
+}
+
+// TestSyntheticSpecShape pins the synthetic preset to the roster shape
+// the former bespoke generator produced: four BB clients per site,
+// replicas cycling 1/2/3, five regions cycling in order.
+func TestSyntheticSpecShape(t *testing.T) {
+	topo := SyntheticTopology(40, 9)
+	if len(topo.Clients) != 40 || len(topo.Websites) != 9 {
+		t.Fatalf("topology = %d/%d", len(topo.Clients), len(topo.Websites))
+	}
+	regions := []string{"us-west", "us-east", "us-central", "europe", "asia"}
+	for i, c := range topo.Clients {
+		if c.Category != workload.BB {
+			t.Fatalf("client %d category = %v, want BB", i, c.Category)
+		}
+		wantSite := i / 4
+		if c.Site != topo.Clients[wantSite*4].Site {
+			t.Errorf("client %d not grouped 4-per-site", i)
+		}
+		if c.Region != regions[wantSite%5] {
+			t.Errorf("client %d region = %q, want %q", i, c.Region, regions[wantSite%5])
+		}
+		if c.StartOffset != 0 {
+			t.Errorf("client %d has nonzero start offset", i)
+		}
+	}
+	for j, w := range topo.Websites {
+		if want := 1 + j%3; w.Replicas != want {
+			t.Errorf("website %d replicas = %d, want %d", j, w.Replicas, want)
+		}
+		if w.Region != regions[j%5] {
+			t.Errorf("website %d region = %q, want %q", j, w.Region, regions[j%5])
+		}
+	}
+	// The scenario also carries a fault profile usable at any scale.
+	if err := SyntheticSpec(100, 10).Validate(); err != nil {
+		t.Errorf("synthetic spec invalid: %v", err)
+	}
+}
+
+// TestFleetTruncation mirrors the CLI -clients/-sites flags: truncation
+// keeps a prefix, and out-of-range values mean "all".
+func TestFleetTruncation(t *testing.T) {
+	spec := SyntheticSpec(20, 6)
+	topo, err := spec.Topology(7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Clients) != 7 || len(topo.Websites) != 4 {
+		t.Fatalf("truncated = %d/%d", len(topo.Clients), len(topo.Websites))
+	}
+	full, err := spec.Topology(10000, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Clients) != 20 || len(full.Websites) != 6 {
+		t.Fatalf("over-truncated = %d/%d", len(full.Clients), len(full.Websites))
+	}
+}

@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"webfail/internal/simnet"
+	"webfail/internal/workload"
+)
+
+// TestEmbeddedScenariosCompile guarantees every checked-in scenario
+// parses, validates, compiles to a topology, and yields fault params —
+// a broken spec file fails the build, not the first user who runs it.
+func TestEmbeddedScenariosCompile(t *testing.T) {
+	names := Names()
+	if len(names) < 4 {
+		t.Fatalf("embedded scenarios = %v, want at least the four shipped ones", names)
+	}
+	for _, name := range names {
+		spec, err := ByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if spec.Name != name {
+			t.Errorf("%s: spec.Name = %q, want file name", name, spec.Name)
+		}
+		topo, err := spec.Topology(0, 0)
+		if err != nil {
+			t.Errorf("%s: topology: %v", name, err)
+			continue
+		}
+		if len(topo.Clients) == 0 || len(topo.Websites) == 0 {
+			t.Errorf("%s: empty topology %d/%d", name, len(topo.Clients), len(topo.Websites))
+		}
+		params, err := spec.Params(1, 0, simnet.FromHours(2))
+		if err != nil {
+			t.Errorf("%s: params: %v", name, err)
+			continue
+		}
+		sc := workload.BuildScenario(topo, params)
+		if sc.Timeline == nil {
+			t.Errorf("%s: nil timeline", name)
+		}
+	}
+}
+
+// TestChaosScenarioScale pins the 10k-chaos contract: at least 10k
+// generated clients, all four categories, ramped startup.
+func TestChaosScenarioScale(t *testing.T) {
+	spec, err := ByName("10k-chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, ws, err := spec.Roster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) < 10000 {
+		t.Errorf("10k-chaos clients = %d, want >= 10000", len(cs))
+	}
+	if len(ws) == 0 {
+		t.Error("10k-chaos has no websites")
+	}
+	byCat := map[workload.Category]int{}
+	offsets := map[int64]bool{}
+	for _, c := range cs {
+		byCat[c.Category]++
+		offsets[int64(c.StartOffset)] = true
+	}
+	for _, cat := range []workload.Category{workload.PL, workload.DU, workload.CN, workload.BB} {
+		if byCat[cat] == 0 {
+			t.Errorf("10k-chaos has no %s clients", cat)
+		}
+	}
+	// Wave startup with 3 waves => exactly 3 distinct offsets.
+	if len(offsets) != 3 {
+		t.Errorf("10k-chaos startup offsets = %d distinct, want 3 waves", len(offsets))
+	}
+}
+
+// TestResolve covers the -scenario flag resolution order: empty means
+// paper-default, names resolve from the embedded set, and paths fall
+// back to the filesystem.
+func TestResolve(t *testing.T) {
+	spec, err := Resolve("")
+	if err != nil || spec.Name != PaperDefault {
+		t.Fatalf("Resolve(\"\") = %v, %v", spec, err)
+	}
+	spec, err = Resolve("cdn-flap")
+	if err != nil || spec.Name != "cdn-flap" {
+		t.Fatalf("Resolve(cdn-flap) = %v, %v", spec, err)
+	}
+	spec, err = Resolve("../../scenarios/cdn-flap.json")
+	if err != nil || spec.Name != "cdn-flap" {
+		t.Fatalf("Resolve(path) = %v, %v", spec, err)
+	}
+	if _, err = Resolve("no-such-scenario"); err == nil {
+		t.Fatal("Resolve(no-such-scenario) succeeded")
+	} else if !strings.Contains(err.Error(), "paper-default") {
+		t.Errorf("error should list available scenarios, got: %v", err)
+	}
+}
+
+// TestHashStability asserts the spec hash ignores JSON formatting but
+// tracks semantic changes.
+func TestHashStability(t *testing.T) {
+	a, err := ByName(PaperDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := buildPaperSpec()
+	if a.Hash() != b.Hash() {
+		t.Error("hash differs between embedded file and generator (formatting should not matter)")
+	}
+	if len(a.ShortHash()) != 12 {
+		t.Errorf("short hash = %q", a.ShortHash())
+	}
+	mutated := buildPaperSpec()
+	mutated.Faults.BGPRate++
+	if mutated.Hash() == b.Hash() {
+		t.Error("hash did not change after a semantic edit")
+	}
+}

@@ -1,0 +1,34 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// Hash returns the deterministic spec hash: the SHA-256 of the spec's
+// canonical (compact, field-ordered) JSON encoding. Two specs hash
+// equal iff they compile identically — whitespace and key order in the
+// source file do not matter. Recorded in dataset headers and the obs
+// registry so any dataset can be traced to the world that produced it.
+func (s *Spec) Hash() string {
+	sum := sha256.Sum256(s.CanonicalJSON())
+	return hex.EncodeToString(sum[:])
+}
+
+// CanonicalJSON returns the spec's canonical encoding — the compact
+// form Hash is computed over. Embedded in dataset headers so analysis
+// can rebuild the exact world.
+func (s *Spec) CanonicalJSON() []byte {
+	// encoding/json emits struct fields in declaration order and
+	// escapes deterministically, so Marshal is canonical for Spec.
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Spec contains only marshalable types; this cannot happen.
+		panic("scenario: hash: " + err.Error())
+	}
+	return b
+}
+
+// ShortHash returns the first 12 hex digits of Hash, for labels.
+func (s *Spec) ShortHash() string { return s.Hash()[:12] }

@@ -1,0 +1,570 @@
+package scenario
+
+// This file holds the reference copy of the paper's Table 1/2 roster and
+// calibrated fault parameters — the hard-coded data that used to live in
+// workload's tables.go / DefaultScenarioParams before the spec-driven
+// refactor. The equivalence tests in paper_test.go pin the compiled
+// scenarios/paper-default.json to these literals, so any drift in the
+// spec file or the compiler shows up as a struct-level diff.
+
+import (
+	"fmt"
+	"time"
+
+	"webfail/internal/faults"
+	"webfail/internal/simnet"
+	"webfail/internal/workload"
+)
+
+type refPLSite struct {
+	name   string
+	nodes  int
+	region string
+}
+
+var refPlanetLabSites = []refPLSite{
+	{"kaist.ac.kr", 3, "asia"},
+	{"columbia.edu", 3, "us-east"},
+	{"pittsburgh.intel-research.net", 2, "us-east"},
+	{"northwestern.edu", 2, "us-central"},
+	{"cs.berkeley.edu", 2, "us-west"},
+	{"cs.washington.edu", 2, "us-west"},
+	{"cs.cmu.edu", 2, "us-east"},
+	{"mit.edu", 2, "us-east"},
+	{"cs.ucla.edu", 2, "us-west"},
+	{"cs.utexas.edu", 2, "us-central"},
+	{"cs.wisc.edu", 2, "us-central"},
+	{"cs.duke.edu", 2, "us-east"},
+	{"cs.princeton.edu", 2, "us-east"},
+	{"gatech.edu", 2, "us-east"},
+	{"cs.umd.edu", 2, "us-east"},
+	{"cs.cornell.edu", 2, "us-east"},
+	{"cs.arizona.edu", 2, "us-west"},
+	{"cs.purdue.edu", 2, "us-central"},
+	{"umich.edu", 2, "us-central"},
+	{"cs.rice.edu", 2, "us-central"},
+	{"ucsd.edu", 2, "us-west"},
+	{"cs.virginia.edu", 2, "us-east"},
+	{"cs.uchicago.edu", 2, "us-central"},
+	{"inria.fr", 2, "europe"},
+	{"epfl.ch", 2, "europe"},
+	{"cam.ac.uk", 2, "europe"},
+	{"ethz.ch", 2, "europe"},
+	{"tu-berlin.de", 2, "europe"},
+	{"postel.org", 2, "us-west"},
+	{"howard.edu", 1, "us-east"},
+	{"kscy.internet2.planet-lab.org", 1, "us-central"},
+	{"hp.com", 1, "us-west"},
+	{"nyu.edu", 1, "us-east"},
+	{"unito.it", 1, "europe"},
+	{"caltech.edu", 1, "us-west"},
+	{"stanford.edu", 1, "us-west"},
+	{"colorado.edu", 1, "us-central"},
+	{"unc.edu", 1, "us-east"},
+	{"osu.edu", 1, "us-central"},
+	{"psu.edu", 1, "us-east"},
+	{"rutgers.edu", 1, "us-east"},
+	{"uiuc.edu", 1, "us-central"},
+	{"umass.edu", 1, "us-east"},
+	{"ufl.edu", 1, "us-east"},
+	{"uky.edu", 1, "us-central"},
+	{"byu.edu", 1, "us-west"},
+	{"uoregon.edu", 1, "us-west"},
+	{"utah.edu", 1, "us-west"},
+	{"vanderbilt.edu", 1, "us-central"},
+	{"wustl.edu", 1, "us-central"},
+	{"dartmouth.edu", 1, "us-east"},
+	{"brown.edu", 1, "us-east"},
+	{"yale.edu", 1, "us-east"},
+	{"upenn.edu", 1, "us-east"},
+	{"isi.edu", 1, "us-west"},
+	{"icir.org", 1, "us-west"},
+	{"nec-labs.com", 1, "us-east"},
+	{"att.com", 1, "us-east"},
+	{"lancs.ac.uk", 1, "europe"},
+	{"ucl.ac.uk", 1, "europe"},
+	{"uni-passau.de", 1, "europe"},
+	{"vu.nl", 1, "europe"},
+	{"ntu.edu.tw", 1, "asia"},
+	{"titech.ac.jp", 1, "asia"},
+}
+
+type refDialupPoP struct {
+	city      string
+	providers string // I=ICG L=Level3 Q=Qwest U=UUNet
+	region    string
+}
+
+var refDialupPoPs = []refDialupPoP{
+	{"boston", "ILQ", "us-east"},
+	{"chicago", "ILQ", "us-central"},
+	{"houston", "ILQ", "us-central"},
+	{"newyork", "IQU", "us-east"},
+	{"pittsburgh", "ILQ", "us-east"},
+	{"sandiego", "ILQ", "us-west"},
+	{"sanfrancisco", "ILQ", "us-west"},
+	{"seattle", "ILQ", "us-west"},
+	{"washdc", "IL", "us-east"},
+}
+
+var refProviderNames = map[byte]string{'I': "icg", 'L': "level3", 'Q': "qwest", 'U': "uunet"}
+
+type refNamedClient struct {
+	name, site, region string
+	proxied            bool
+}
+
+var refCNClients = []refNamedClient{
+	{"SEA1", "corp.seattle", "us-west", true},
+	{"SEA2", "corp.seattle", "us-west", true},
+	{"SEAEXT", "corp.seattle", "us-west", false},
+	{"SF", "corp.sf", "us-west", true},
+	{"UK", "corp.uk", "europe", true},
+	{"CHN", "corp.chn", "asia", true},
+}
+
+var refBBClients = []refNamedClient{
+	{"bb-rr-sandiego-1", "roadrunner.sandiego", "us-west", false},
+	{"bb-rr-sandiego-2", "roadrunner.sandiego", "us-west", false},
+	{"bb-vz-seattle-1", "verizon.seattle", "us-west", false},
+	{"bb-vz-seattle-2", "verizon.seattle", "us-west", false},
+	{"bb-se-seattle-1", "speakeasy.seattle", "us-west", false},
+	{"bb-sbc-sf-1", "sbc.sanfrancisco", "us-west", false},
+	{"bb-se-pittsburgh-1", "speakeasy.pittsburgh", "us-east", false},
+}
+
+// refClients reproduces the original hard-coded Clients() roster:
+// 95 PL + 26 DU + 6 CN + 7 BB = 134.
+func refClients() []workload.Client {
+	var out []workload.Client
+	for _, s := range refPlanetLabSites {
+		for i := 1; i <= s.nodes; i++ {
+			out = append(out, workload.Client{
+				Name:          fmt.Sprintf("planetlab%d.%s", i, s.name),
+				Category:      workload.PL,
+				Site:          s.name,
+				Region:        s.region,
+				RoundsPerHour: 4,
+			})
+		}
+	}
+	for _, p := range refDialupPoPs {
+		for i := 0; i < len(p.providers); i++ {
+			prov := refProviderNames[p.providers[i]]
+			out = append(out, workload.Client{
+				Name:          fmt.Sprintf("dialup.%s.%s.msn.net", p.city, prov),
+				Category:      workload.DU,
+				Site:          "pop." + p.city + "." + prov,
+				Region:        p.region,
+				RoundsPerHour: 0.25,
+			})
+		}
+	}
+	for _, c := range refCNClients {
+		out = append(out, workload.Client{
+			Name: c.name, Category: workload.CN, Site: c.site,
+			Region: c.region, Proxied: c.proxied, RoundsPerHour: 4,
+		})
+	}
+	for _, c := range refBBClients {
+		out = append(out, workload.Client{
+			Name: c.name, Category: workload.BB, Site: c.site,
+			Region: c.region, RoundsPerHour: 4,
+		})
+	}
+	return out
+}
+
+type refSite struct {
+	host     string
+	group    workload.SiteGroup
+	region   string
+	replicas int
+}
+
+var refWebsiteTable = []refSite{
+	// US-EDU (8)
+	{"www.berkeley.edu", workload.USEdu, "us-west", 2},
+	{"www.washington.edu", workload.USEdu, "us-west", 1},
+	{"www.cmu.edu", workload.USEdu, "us-east", 1},
+	{"www.umn.edu", workload.USEdu, "us-central", 1},
+	{"www.caltech.edu", workload.USEdu, "us-west", 1},
+	{"www.nmt.edu", workload.USEdu, "us-west", 1},
+	{"www.ufl.edu", workload.USEdu, "us-east", 1},
+	{"www.mit.edu", workload.USEdu, "us-east", 2},
+	// US-POPULAR (22)
+	{"www.amazon.com", workload.USPopular, "us-west", 3},
+	{"www.microsoft.com", workload.USPopular, "us-west", 4},
+	{"www.ebay.com", workload.USPopular, "us-west", 3},
+	{"www.mapquest.com", workload.USPopular, "us-east", 1},
+	{"www.cnn.com", workload.USPopular, "us-east", 4},
+	{"www.cnnsi.com", workload.USPopular, "us-east", 1},
+	{"www.webmd.com", workload.USPopular, "us-east", 1},
+	{"www.espn.go.com", workload.USPopular, "us-east", 0},
+	{"www.sportsline.com", workload.USPopular, "us-east", 1},
+	{"www.expedia.com", workload.USPopular, "us-west", 2},
+	{"www.orbitz.com", workload.USPopular, "us-central", 1},
+	{"www.imdb.com", workload.USPopular, "us-west", 1},
+	{"www.google.com", workload.USPopular, "us-west", 0},
+	{"www.yahoo.com", workload.USPopular, "us-west", 0},
+	{"games.yahoo.com", workload.USPopular, "us-west", 2},
+	{"weather.yahoo.com", workload.USPopular, "us-west", 2},
+	{"www.msn.com", workload.USPopular, "us-west", 4},
+	{"www.passport.net", workload.USPopular, "us-west", 2},
+	{"www.aol.com", workload.USPopular, "us-east", 0},
+	{"www.nytimes.com", workload.USPopular, "us-east", 2},
+	{"www.lycos.com", workload.USPopular, "us-east", 1},
+	{"www.cnet.com", workload.USPopular, "us-west", 2},
+	// US-MISC (15)
+	{"www.latimes.com", workload.USMisc, "us-west", 1},
+	{"www.nfl.com", workload.USMisc, "us-east", 2},
+	{"www.pbs.org", workload.USMisc, "us-east", 1},
+	{"www.cisco.com", workload.USMisc, "us-west", 2},
+	{"www.juniper.net", workload.USMisc, "us-west", 1},
+	{"www.ibm.com", workload.USMisc, "us-east", 3},
+	{"www.fastclick.com", workload.USMisc, "us-west", 1},
+	{"www.advertising.com", workload.USMisc, "us-east", 1},
+	{"www.slashdot.org", workload.USMisc, "us-east", 1},
+	{"www.un.org", workload.USMisc, "us-east", 1},
+	{"www.craigslist.org", workload.USMisc, "us-west", 2},
+	{"www.state.gov", workload.USMisc, "us-east", 2},
+	{"www.nih.gov", workload.USMisc, "us-east", 2},
+	{"www.nasa.gov", workload.USMisc, "us-east", 0},
+	{"www.mp3.com", workload.USMisc, "us-west", 1},
+	// INTL-EDU (10)
+	{"www.iitb.ac.in", workload.IntlEdu, "asia", 3},
+	{"www.iitm.ac.in", workload.IntlEdu, "asia", 1},
+	{"www.technion.ac.il", workload.IntlEdu, "asia", 1},
+	{"www.cs.technion.ac.il", workload.IntlEdu, "asia", 1},
+	{"www.ucl.ac.uk", workload.IntlEdu, "europe", 1},
+	{"www.cs.ucl.ac.uk", workload.IntlEdu, "europe", 1},
+	{"www.cam.ac.uk", workload.IntlEdu, "europe", 2},
+	{"www.inria.fr", workload.IntlEdu, "europe", 1},
+	{"www.hku.hk", workload.IntlEdu, "asia", 1},
+	{"www.nus.edu.sg", workload.IntlEdu, "asia", 2},
+	// INTL-POPULAR (15)
+	{"www.amazon.co.uk", workload.IntlPopular, "europe", 2},
+	{"www.amazon.co.jp", workload.IntlPopular, "asia", 2},
+	{"www.bbc.co.uk", workload.IntlPopular, "europe", 0},
+	{"www.muenchen.de", workload.IntlPopular, "europe", 1},
+	{"www.terra.com", workload.IntlPopular, "us-east", 1},
+	{"www.alibaba.com", workload.IntlPopular, "asia", 2},
+	{"www.wanadoo.fr", workload.IntlPopular, "europe", 2},
+	{"www.sohu.com", workload.IntlPopular, "asia", 2},
+	{"www.sina.com.hk", workload.IntlPopular, "asia", 1},
+	{"www.cosmos.com.mx", workload.IntlPopular, "us-central", 1},
+	{"www.msn.com.tw", workload.IntlPopular, "asia", 1},
+	{"www.msn.co.in", workload.IntlPopular, "asia", 1},
+	{"www.google.co.uk", workload.IntlPopular, "europe", 2},
+	{"www.google.co.jp", workload.IntlPopular, "asia", 2},
+	{"www.sina.com.cn", workload.IntlPopular, "asia", 2},
+	// INTL-MISC (10)
+	{"www.lufthansa.com", workload.IntlMisc, "europe", 1},
+	{"english.pravda.ru", workload.IntlMisc, "europe", 1},
+	{"www.rediff.com", workload.IntlMisc, "asia", 2},
+	{"www.samachar.com", workload.IntlMisc, "asia", 1},
+	{"www.chinabroadcast.cn", workload.IntlMisc, "asia", 1},
+	{"www.nttdocomo.co.jp", workload.IntlMisc, "asia", 1},
+	{"www.sony.co.jp", workload.IntlMisc, "asia", 1},
+	{"www.brazzil.com", workload.IntlMisc, "us-east", 1},
+	{"www.royal.gov.uk", workload.IntlMisc, "europe", 2},
+	{"www.direct.gov.uk", workload.IntlMisc, "europe", 1},
+}
+
+// refWebsites reproduces the original hard-coded Websites() roster.
+func refWebsites() []workload.Website {
+	out := make([]workload.Website, len(refWebsiteTable))
+	for i, s := range refWebsiteTable {
+		out[i] = workload.Website{
+			Host: s.host, Group: s.group, Region: s.region,
+			Replicas: s.replicas, IndexSize: 10240,
+		}
+	}
+	return out
+}
+
+var refSpecials = []workload.SpecialServer{
+	{Host: "www.sina.com.cn", ChronicCover: 0.97, ChronicSeverity: [2]float64{0.085, 0.24}, ChronicKind: faults.ServerOutage},
+	{Host: "www.iitb.ac.in", ChronicCover: 0.95, ChronicSeverity: [2]float64{0.085, 0.20}, ChronicKind: faults.ServerOutage, ReplicaFlakyFraction: 0.055},
+	{Host: "www.sohu.com", ChronicCover: 0.29, ChronicSeverity: [2]float64{0.085, 0.24}, ChronicKind: faults.ServerOutage},
+	{Host: "www.craigslist.org", ChronicCover: 0.19, ChronicSeverity: [2]float64{0.085, 0.25}, ChronicKind: faults.ServerOverload, ChronicMode: workload.OverloadHung},
+	{Host: "www.brazzil.com", ChronicCover: 0.12, ChronicSeverity: [2]float64{0.25, 0.6}, ChronicKind: faults.AuthDNSMisconfig, ChronicMode: workload.MisconfigServFail},
+	{Host: "www.cs.technion.ac.il", ChronicCover: 0.12, ChronicSeverity: [2]float64{0.085, 0.25}, ChronicKind: faults.ServerOutage},
+	{Host: "www.technion.ac.il", ChronicCover: 0.11, ChronicSeverity: [2]float64{0.085, 0.25}, ChronicKind: faults.ServerOutage},
+	{Host: "www.chinabroadcast.cn", ChronicCover: 0.11, ChronicSeverity: [2]float64{0.085, 0.25}, ChronicKind: faults.ServerOutage},
+	{Host: "www.espn.go.com", ChronicCover: 0.06, ChronicSeverity: [2]float64{0.25, 0.6}, ChronicKind: faults.AuthDNSMisconfig, ChronicMode: workload.MisconfigNXDomain},
+	{Host: "www.ucl.ac.uk", ChronicCover: 0.07, ChronicSeverity: [2]float64{0.085, 0.22}, ChronicKind: faults.ServerOutage},
+	{Host: "www.nih.gov", ChronicCover: 0.045, ChronicSeverity: [2]float64{0.085, 0.22}, ChronicKind: faults.ServerOutage},
+	{Host: "www.mit.edu", ChronicCover: 0.03, ChronicSeverity: [2]float64{0.085, 0.2}, ChronicKind: faults.ServerOutage},
+	{Host: "www.royal.gov.uk", ReplicaFlakyFraction: 0.045},
+}
+
+var refChronicSites = []workload.ChronicEntity{
+	{Name: "pittsburgh.intel-research.net", Cover: 0.55, Severity: [2]float64{0.12, 0.3}},
+	{Name: "unito.it", Cover: 0.30, Severity: [2]float64{0.08, 0.22}},
+	{Name: "titech.ac.jp", Cover: 0.25, Severity: [2]float64{0.08, 0.22}},
+	{Name: "postel.org", Cover: 0.20, Severity: [2]float64{0.08, 0.22}},
+	{Name: "hp.com", Cover: 0.18, Severity: [2]float64{0.08, 0.22}},
+}
+
+var refChronicClients = []workload.ChronicEntity{
+	{Name: "planetlab2.columbia.edu", Cover: 0.33, Severity: [2]float64{0.08, 0.3}},
+	{Name: "planetlab3.columbia.edu", Cover: 0.38, Severity: [2]float64{0.08, 0.3}},
+}
+
+var refPinnedBGP = []workload.PinnedBGPEvent{
+	{ClientSubstr: "howard.edu", AtUnix: 1105632000, Duration: 45 * time.Minute, Severity: 1.0},
+	{ClientSubstr: "kscy.internet2", AtUnix: 1106856000, Duration: 40 * time.Minute, Severity: 2.0 / 73.0, Mode: workload.BGPHighImpact},
+}
+
+// refPermanent lists the site-level permanent blocks in the original
+// placePermanentPairs order; expanded to client granularity they yield
+// the paper's 38 pairs.
+func refPermanent() []workload.PermanentPairSpec {
+	var out []workload.PermanentPairSpec
+	add := func(site, host string, mode uint8) {
+		out = append(out, workload.PermanentPairSpec{Site: site, Host: host, Mode: mode})
+	}
+	for _, site := range []string{
+		"cs.cmu.edu", "gatech.edu", "cs.wisc.edu",
+		"stanford.edu", "uiuc.edu", "osu.edu", "howard.edu",
+	} {
+		add(site, "www.msn.com.tw", workload.BlockNoConn)
+	}
+	for _, site := range []string{
+		"hp.com", "nyu.edu", "unito.it",
+		"postel.org", "epfl.ch", "cs.princeton.edu",
+	} {
+		add(site, "www.sina.com.cn", workload.BlockNoConn)
+	}
+	for _, site := range []string{
+		"hp.com", "nyu.edu", "unito.it", "utah.edu",
+		"epfl.ch", "cs.arizona.edu",
+	} {
+		add(site, "www.sohu.com", workload.BlockNoConn)
+	}
+	add("northwestern.edu", "www.mp3.com", workload.BlockPartial)
+	add("titech.ac.jp", "www.chinabroadcast.cn", workload.BlockNoConn)
+	add("ntu.edu.tw", "www.sina.com.hk", workload.BlockNoConn)
+	add("lancs.ac.uk", "www.alibaba.com", workload.BlockNoConn)
+	add("vu.nl", "www.msn.co.in", workload.BlockNoConn)
+	add("icir.org", "www.rediff.com", workload.BlockNoConn)
+	add("att.com", "www.samachar.com", workload.BlockNoConn)
+	add("kaist.ac.kr", "www.brazzil.com", workload.BlockNoConn)
+	return out
+}
+
+// refParams reproduces the original DefaultScenarioParams plus the data
+// that used to live in the hard-coded special/chronic/figure/permanent
+// tables.
+func refParams(seed int64, start, end simnet.Time) workload.ScenarioParams {
+	return workload.ScenarioParams{
+		Seed:  seed,
+		Start: start,
+		End:   end,
+
+		MachineOff: map[workload.Category]faults.Process{
+			workload.PL: {Kind: faults.ClientMachineOff, RatePerMonth: 5, MeanDuration: 30 * time.Hour, MinDuration: time.Hour, MaxDuration: 200 * time.Hour, SeverityLow: 1, SeverityHigh: 1},
+			workload.DU: {Kind: faults.ClientMachineOff, RatePerMonth: 1, MeanDuration: 8 * time.Hour, MinDuration: time.Hour, MaxDuration: 48 * time.Hour, SeverityLow: 1, SeverityHigh: 1},
+			workload.CN: {Kind: faults.ClientMachineOff, RatePerMonth: 1, MeanDuration: 10 * time.Hour, MinDuration: time.Hour, MaxDuration: 48 * time.Hour, SeverityLow: 1, SeverityHigh: 1},
+			workload.BB: {Kind: faults.ClientMachineOff, RatePerMonth: 2, MeanDuration: 12 * time.Hour, MinDuration: time.Hour, MaxDuration: 72 * time.Hour, SeverityLow: 1, SeverityHigh: 1},
+		},
+		SiteConn: map[workload.Category]faults.Process{
+			workload.PL: {Kind: faults.ClientConnectivity, RatePerMonth: 3.0, MeanDuration: 16 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: 3 * time.Hour, SeverityLow: 0.85, SeverityHigh: 1},
+			workload.DU: {Kind: faults.ClientConnectivity, RatePerMonth: 2.4, MeanDuration: 10 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: time.Hour, SeverityLow: 0.85, SeverityHigh: 1},
+			workload.CN: {Kind: faults.ClientConnectivity, RatePerMonth: 1.2, MeanDuration: 12 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: time.Hour, SeverityLow: 0.85, SeverityHigh: 1},
+			workload.BB: {Kind: faults.ClientConnectivity, RatePerMonth: 3.2, MeanDuration: 14 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: 2 * time.Hour, SeverityLow: 0.85, SeverityHigh: 1},
+		},
+		ClientConn: map[workload.Category]faults.Process{
+			workload.PL: {Kind: faults.ClientConnectivity, RatePerMonth: 4.5, MeanDuration: 11 * time.Minute, MinDuration: time.Minute, MaxDuration: 2 * time.Hour, SeverityLow: 0.85, SeverityHigh: 1},
+			workload.DU: {Kind: faults.ClientConnectivity, RatePerMonth: 1.0, MeanDuration: 8 * time.Minute, MinDuration: time.Minute, MaxDuration: time.Hour, SeverityLow: 0.85, SeverityHigh: 1},
+			workload.CN: {Kind: faults.ClientConnectivity, RatePerMonth: 0.8, MeanDuration: 8 * time.Minute, MinDuration: time.Minute, MaxDuration: time.Hour, SeverityLow: 0.85, SeverityHigh: 1},
+			workload.BB: {Kind: faults.ClientConnectivity, RatePerMonth: 2.0, MeanDuration: 10 * time.Minute, MinDuration: time.Minute, MaxDuration: time.Hour, SeverityLow: 0.85, SeverityHigh: 1},
+		},
+		LDNSOutage: map[workload.Category]faults.Process{
+			workload.PL: {Kind: faults.LDNSOutage, RatePerMonth: 2.5, MeanDuration: 14 * time.Minute, MinDuration: time.Minute, MaxDuration: 2 * time.Hour, SeverityLow: 1, SeverityHigh: 1},
+			workload.DU: {Kind: faults.LDNSOutage, RatePerMonth: 2.0, MeanDuration: 10 * time.Minute, MinDuration: time.Minute, MaxDuration: time.Hour, SeverityLow: 1, SeverityHigh: 1},
+			workload.CN: {Kind: faults.LDNSOutage, RatePerMonth: 0.5, MeanDuration: 10 * time.Minute, MinDuration: time.Minute, MaxDuration: time.Hour, SeverityLow: 1, SeverityHigh: 1},
+			workload.BB: {Kind: faults.LDNSOutage, RatePerMonth: 1.6, MeanDuration: 12 * time.Minute, MinDuration: time.Minute, MaxDuration: time.Hour, SeverityLow: 1, SeverityHigh: 1},
+		},
+		LDNSFlaky: map[workload.Category]faults.Process{
+			workload.PL: {Kind: faults.LDNSOutage, RatePerMonth: 3, MeanDuration: 35 * time.Minute, MinDuration: 5 * time.Minute, MaxDuration: 4 * time.Hour, SeverityLow: 0.15, SeverityHigh: 0.5},
+			workload.DU: {Kind: faults.LDNSOutage, RatePerMonth: 1.2, MeanDuration: 30 * time.Minute, MinDuration: 5 * time.Minute, MaxDuration: 2 * time.Hour, SeverityLow: 0.15, SeverityHigh: 0.4},
+			workload.CN: {Kind: faults.LDNSOutage, RatePerMonth: 0.8, MeanDuration: 30 * time.Minute, MinDuration: 5 * time.Minute, MaxDuration: 2 * time.Hour, SeverityLow: 0.15, SeverityHigh: 0.4},
+			workload.BB: {Kind: faults.LDNSOutage, RatePerMonth: 2.2, MeanDuration: 30 * time.Minute, MinDuration: 5 * time.Minute, MaxDuration: 2 * time.Hour, SeverityLow: 0.15, SeverityHigh: 0.4},
+		},
+		WANOutage: map[workload.Category]faults.Process{
+			workload.PL: {Kind: faults.PathOutage, RatePerMonth: 2.6, MeanDuration: 14 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: 2 * time.Hour, SeverityLow: 0.8, SeverityHigh: 1},
+			workload.DU: {Kind: faults.PathOutage, RatePerMonth: 0.7, MeanDuration: 10 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: time.Hour, SeverityLow: 0.8, SeverityHigh: 1},
+			workload.CN: {Kind: faults.PathOutage, RatePerMonth: 0.8, MeanDuration: 12 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: time.Hour, SeverityLow: 0.8, SeverityHigh: 1},
+			workload.BB: {Kind: faults.PathOutage, RatePerMonth: 1.5, MeanDuration: 12 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: time.Hour, SeverityLow: 0.8, SeverityHigh: 1},
+		},
+		SiteFactorMean: 1.6,
+
+		SiteOutage:    faults.Process{Kind: faults.ServerOutage, RatePerMonth: 1.15, MeanDuration: 22 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: 5 * time.Hour, SeverityLow: 0.8, SeverityHigh: 1},
+		ReplicaOutage: faults.Process{Kind: faults.ServerOutage, RatePerMonth: 0.8, MeanDuration: 30 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: 4 * time.Hour, SeverityLow: 1, SeverityHigh: 1},
+		SiteOverload:  faults.Process{Kind: faults.ServerOverload, RatePerMonth: 1.8, MeanDuration: 18 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: 2 * time.Hour, SeverityLow: 0.25, SeverityHigh: 0.85},
+		AuthDNSOutage: faults.Process{Kind: faults.AuthDNSOutage, RatePerMonth: 0.9, MeanDuration: 20 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: 2 * time.Hour, SeverityLow: 1, SeverityHigh: 1},
+		HTTPError:     faults.Process{Kind: faults.ServerHTTPError, RatePerMonth: 0.2, MeanDuration: 15 * time.Minute, MinDuration: time.Minute, MaxDuration: time.Hour, SeverityLow: 0.5, SeverityHigh: 1},
+
+		BGPRate:           1.05,
+		BGPGlobalFraction: 0.7,
+
+		TransientConnFail: 0.0048,
+		TransientDNSFail:  0.0006,
+		TransientHTTPErr:  0.0003,
+
+		Specials:       refSpecials,
+		ChronicSites:   refChronicSites,
+		ChronicClients: refChronicClients,
+		PinnedBGP:      refPinnedBGP,
+		Permanent:      refPermanent(),
+	}
+}
+
+// buildPaperSpec builds the paper-default scenario spec from the
+// reference tables — the generator behind scenarios/paper-default.json
+// (see TestPaperDefaultJSONUpToDate).
+func buildPaperSpec() *Spec {
+	var clientBlocks []ClientBlock
+	for _, s := range refPlanetLabSites {
+		clientBlocks = append(clientBlocks, ClientBlock{Group: &ClientGroup{
+			Site: s.name, Region: s.region, Category: "PL", Count: s.nodes,
+			NameFormat: "planetlab%d." + s.name, RoundsPerHour: 4,
+		}})
+	}
+	var duMembers []ClientMember
+	for _, p := range refDialupPoPs {
+		for i := 0; i < len(p.providers); i++ {
+			prov := refProviderNames[p.providers[i]]
+			duMembers = append(duMembers, ClientMember{
+				Name: fmt.Sprintf("dialup.%s.%s.msn.net", p.city, prov),
+				Site: "pop." + p.city + "." + prov, Region: p.region,
+				Category: "DU", RoundsPerHour: 0.25,
+			})
+		}
+	}
+	clientBlocks = append(clientBlocks, ClientBlock{Members: duMembers})
+	var cnMembers []ClientMember
+	for _, c := range refCNClients {
+		cnMembers = append(cnMembers, ClientMember{
+			Name: c.name, Site: c.site, Region: c.region,
+			Category: "CN", RoundsPerHour: 4, Proxied: c.proxied,
+		})
+	}
+	clientBlocks = append(clientBlocks, ClientBlock{Members: cnMembers})
+	var bbMembers []ClientMember
+	for _, c := range refBBClients {
+		bbMembers = append(bbMembers, ClientMember{
+			Name: c.name, Site: c.site, Region: c.region,
+			Category: "BB", RoundsPerHour: 4,
+		})
+	}
+	clientBlocks = append(clientBlocks, ClientBlock{Members: bbMembers})
+
+	var siteList []WebsiteEntry
+	for _, s := range refWebsiteTable {
+		siteList = append(siteList, WebsiteEntry{
+			Host: s.host, Group: string(s.group), Region: s.region,
+			Replicas: s.replicas, IndexSize: 10240,
+		})
+	}
+
+	ref := refParams(0, 0, 0)
+	procSpec := func(p faults.Process) ProcessSpec {
+		return ProcessSpec{
+			Kind: p.Kind.String(), RatePerMonth: p.RatePerMonth,
+			MeanDuration: Duration(p.MeanDuration), MinDuration: Duration(p.MinDuration),
+			MaxDuration: Duration(p.MaxDuration),
+			SeverityLow: p.SeverityLow, SeverityHigh: p.SeverityHigh,
+		}
+	}
+	perCat := func(m map[workload.Category]faults.Process) map[string]ProcessSpec {
+		out := make(map[string]ProcessSpec, len(m))
+		for cat, p := range m {
+			out[cat.String()] = procSpec(p)
+		}
+		return out
+	}
+	chronicModeName := func(kind faults.Kind, mode uint8) string {
+		switch kind {
+		case faults.ServerOverload:
+			return [4]string{"", "hung", "stall", "abort"}[mode]
+		case faults.AuthDNSMisconfig:
+			return [3]string{"", "servfail", "nxdomain"}[mode]
+		}
+		return ""
+	}
+	var specials []SpecialSpec
+	for _, s := range refSpecials {
+		sp := SpecialSpec{
+			Host: s.Host, ChronicCover: s.ChronicCover,
+			ChronicSeverity: s.ChronicSeverity,
+			ExtraOutageRate: s.ExtraOutageRate, ReplicaFlakyFraction: s.ReplicaFlakyFraction,
+		}
+		if s.ChronicCover > 0 {
+			sp.ChronicKind = s.ChronicKind.String()
+			sp.ChronicMode = chronicModeName(s.ChronicKind, s.ChronicMode)
+		}
+		specials = append(specials, sp)
+	}
+	chronic := func(list []workload.ChronicEntity) []ChronicSpec {
+		var out []ChronicSpec
+		for _, ce := range list {
+			out = append(out, ChronicSpec{Name: ce.Name, Cover: ce.Cover, Severity: ce.Severity})
+		}
+		return out
+	}
+	var pinned []PinnedBGPSpec
+	for _, ev := range refPinnedBGP {
+		mode := ""
+		if ev.Mode == workload.BGPHighImpact {
+			mode = "high-impact"
+		}
+		pinned = append(pinned, PinnedBGPSpec{
+			ClientSubstr: ev.ClientSubstr, AtUnix: ev.AtUnix,
+			Duration: Duration(ev.Duration), Severity: ev.Severity, Mode: mode,
+		})
+	}
+	var permanent []PermanentSpec
+	for _, pp := range refPermanent() {
+		mode := "no-conn"
+		if pp.Mode == workload.BlockPartial {
+			mode = "partial"
+		}
+		permanent = append(permanent, PermanentSpec{Site: pp.Site, Host: pp.Host, Mode: mode})
+	}
+
+	return &Spec{
+		Name: PaperDefault,
+		Description: "The paper's world: the Table 1 client roster (95 PlanetLab + 26 dialup + " +
+			"6 corporate + 7 broadband), the Table 2 website roster (80 sites), and the " +
+			"calibrated fault schedule reproducing the study's headline statistics.",
+		Clients:  clientBlocks,
+		Websites: []WebsiteBlock{{List: siteList}},
+		Faults: FaultSpec{
+			MachineOff:        perCat(ref.MachineOff),
+			SiteConn:          perCat(ref.SiteConn),
+			ClientConn:        perCat(ref.ClientConn),
+			LDNSOutage:        perCat(ref.LDNSOutage),
+			LDNSFlaky:         perCat(ref.LDNSFlaky),
+			WANOutage:         perCat(ref.WANOutage),
+			SiteFactorMean:    ref.SiteFactorMean,
+			SiteOutage:        procSpec(ref.SiteOutage),
+			ReplicaOutage:     procSpec(ref.ReplicaOutage),
+			SiteOverload:      procSpec(ref.SiteOverload),
+			AuthDNSOutage:     procSpec(ref.AuthDNSOutage),
+			HTTPError:         procSpec(ref.HTTPError),
+			BGPRate:           ref.BGPRate,
+			BGPGlobalFraction: ref.BGPGlobalFraction,
+			TransientConnFail: ref.TransientConnFail,
+			TransientDNSFail:  ref.TransientDNSFail,
+			TransientHTTPErr:  ref.TransientHTTPErr,
+			Specials:          specials,
+			ChronicSites:      chronic(refChronicSites),
+			ChronicClients:    chronic(refChronicClients),
+			PinnedBGP:         pinned,
+			Permanent:         permanent,
+		},
+	}
+}

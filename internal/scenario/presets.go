@@ -1,0 +1,189 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"webfail/internal/simnet"
+	"webfail/internal/workload"
+	"webfail/scenarios"
+)
+
+// PaperDefault is the name of the scenario that reproduces the paper's
+// Table 1/2 roster and calibrated fault schedule. It is the default
+// world everywhere a scenario is not named explicitly, and the implied
+// scenario of datasets written before scenario metadata existed.
+const PaperDefault = "paper-default"
+
+// ByName loads and validates a checked-in scenario by name.
+func ByName(name string) (*Spec, error) {
+	b, ok := scenarios.Read(name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: no checked-in scenario %q (have %v)", name, scenarios.Names())
+	}
+	return Parse(b)
+}
+
+// LoadFile loads and validates a scenario spec from a JSON file.
+func LoadFile(path string) (*Spec, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return Parse(b)
+}
+
+// Resolve turns a -scenario flag value into a spec: "" means
+// paper-default, a checked-in scenario name resolves from the embedded
+// set, and anything else is read as a file path.
+func Resolve(arg string) (*Spec, error) {
+	if arg == "" {
+		arg = PaperDefault
+	}
+	if b, ok := scenarios.Read(arg); ok {
+		return Parse(b)
+	}
+	if _, err := os.Stat(arg); err == nil {
+		return LoadFile(arg)
+	}
+	return nil, fmt.Errorf("scenario: %q is neither a checked-in scenario (%v) nor a spec file", arg, scenarios.Names())
+}
+
+// Names lists the checked-in scenario names.
+func Names() []string { return scenarios.Names() }
+
+var (
+	paperOnce sync.Once
+	paperSpec *Spec
+	paperErr  error
+)
+
+// Paper returns the parsed paper-default spec (cached; treat as
+// read-only).
+func Paper() *Spec {
+	paperOnce.Do(func() { paperSpec, paperErr = ByName(PaperDefault) })
+	if paperErr != nil {
+		panic("scenario: embedded paper-default is invalid: " + paperErr.Error())
+	}
+	return paperSpec
+}
+
+// PaperTopology compiles the full 134-client × 80-website topology of
+// the paper roster.
+func PaperTopology() *workload.Topology {
+	return PaperScaledTopology(0, 0)
+}
+
+// PaperScaledTopology compiles the paper roster truncated to the first
+// nClients clients and nSites websites (0 means all).
+func PaperScaledTopology(nClients, nSites int) *workload.Topology {
+	t, err := Paper().Topology(nClients, nSites)
+	if err != nil {
+		panic("scenario: paper-default topology: " + err.Error())
+	}
+	return t
+}
+
+// PaperParams compiles the paper-calibrated fault parameters for the
+// given seed and window.
+func PaperParams(seed int64, start, end simnet.Time) workload.ScenarioParams {
+	p, err := Paper().Params(seed, start, end)
+	if err != nil {
+		panic("scenario: paper-default params: " + err.Error())
+	}
+	return p
+}
+
+// Synthetic roster limits: client site numbers fill the second and third
+// octets of 10.0.0.0/8, and synthetic websites never set SpreadReplicas,
+// so the full 172.16.0.0/12 range is usable.
+const syntheticClientsPerSite = 4
+
+// MaxSyntheticClients is the largest roster SyntheticSpec accepts.
+const MaxSyntheticClients = workload.MaxClientSites * syntheticClientsPerSite
+
+// SyntheticSpec builds the synthetic capacity-testing fleet as a
+// scenario spec: nClients broadband clients grouped four per site, and
+// nSites websites cycling 1/2/3 replicas, over five regions — the same
+// deterministic roster the former bespoke generator produced, now
+// expressed as fleet templates. RoundsPerHour is kept low (1) so
+// scenario construction and expected transaction counts stay tractable
+// at 100k clients.
+func SyntheticSpec(nClients, nSites int) *Spec {
+	if nClients < 1 || nClients > MaxSyntheticClients {
+		panic(fmt.Sprintf("scenario: synthetic client count %d out of range [1, %d]", nClients, MaxSyntheticClients))
+	}
+	if nSites < 1 || nSites > workload.MaxWebsites {
+		panic(fmt.Sprintf("scenario: synthetic website count %d out of range [1, %d]", nSites, workload.MaxWebsites))
+	}
+	regions := []string{"us-west", "us-east", "us-central", "europe", "asia"}
+	regionWeights := func() []WeightedValue {
+		out := make([]WeightedValue, len(regions))
+		for i, r := range regions {
+			out[i] = WeightedValue{Value: r, Weight: 1.0 / float64(len(regions))}
+		}
+		return out
+	}
+	siteProc := func(kind string, rate float64) ProcessSpec {
+		return ProcessSpec{Kind: kind, RatePerMonth: rate,
+			MeanDuration: Duration(15 * time.Minute), MinDuration: Duration(time.Minute),
+			MaxDuration: Duration(2 * time.Hour), SeverityLow: 0.85, SeverityHigh: 1}
+	}
+	bbOnly := func(ps ProcessSpec) map[string]ProcessSpec {
+		return map[string]ProcessSpec{"BB": ps}
+	}
+	return &Spec{
+		Name:        "synthetic",
+		Description: "generated capacity-testing fleet (BB clients, four per site)",
+		Clients: []ClientBlock{{Fleet: &ClientFleet{
+			Count:      nClients,
+			NameFormat: "syn-client-%06d",
+			SiteFormat: "syn-site-%05d",
+			Templates: []ClientTemplate{
+				{Weight: 1, Category: "BB", RoundsPerHour: 1},
+			},
+			GroupSizes: []WeightedInt{{Value: syntheticClientsPerSite, Weight: 1}},
+			Regions:    regionWeights(),
+		}}},
+		Websites: []WebsiteBlock{{Fleet: &WebsiteFleet{
+			Count:      nSites,
+			HostFormat: "www.syn-%05d.example",
+			Templates: []WebsiteTemplate{
+				{Weight: 1.0 / 3, Group: "US-MISC", Replicas: 1},
+				{Weight: 1.0 / 3, Group: "US-MISC", Replicas: 2},
+				{Weight: 1.0 / 3, Group: "US-MISC", Replicas: 3},
+			},
+			Regions: regionWeights(),
+		}}},
+		Faults: FaultSpec{
+			MachineOff:     bbOnly(siteProc("client-machine-off", 2)),
+			SiteConn:       bbOnly(siteProc("client-connectivity", 2)),
+			ClientConn:     bbOnly(siteProc("client-connectivity", 2)),
+			LDNSOutage:     bbOnly(siteProc("ldns-outage", 1)),
+			LDNSFlaky:      bbOnly(siteProc("ldns-outage", 1)),
+			WANOutage:      bbOnly(siteProc("path-outage", 1)),
+			SiteFactorMean: 1.5,
+			SiteOutage:     siteProc("server-outage", 1),
+			ReplicaOutage:  siteProc("server-outage", 0.5),
+			SiteOverload:   siteProc("server-overload", 1),
+			AuthDNSOutage:  siteProc("authdns-outage", 0.5),
+			HTTPError:      siteProc("server-http-error", 0.2),
+			BGPRate:        1, BGPGlobalFraction: 0.7,
+			TransientConnFail: 0.0048,
+			TransientDNSFail:  0.0006,
+			TransientHTTPErr:  0.0003,
+		},
+	}
+}
+
+// SyntheticTopology compiles the synthetic fleet's topology — the
+// drop-in replacement for the former workload.SyntheticTopology.
+func SyntheticTopology(nClients, nSites int) *workload.Topology {
+	t, err := SyntheticSpec(nClients, nSites).Topology(0, 0)
+	if err != nil {
+		panic("scenario: synthetic topology: " + err.Error())
+	}
+	return t
+}

@@ -9,10 +9,16 @@ import (
 	"webfail/internal/simnet"
 )
 
-// ScenarioParams are the calibration knobs for the fault schedule. The
-// zero value is not useful; start from DefaultScenarioParams, which is
-// tuned so the month-long run reproduces the paper's headline statistics
-// (Tables 3–5, Figures 1–4) in shape.
+// ScenarioParams are the calibration knobs for the fault schedule: the
+// stochastic per-category and server-side processes plus the hand-placed
+// signature faults (chronic servers and sites, pinned BGP events,
+// permanent pair blocks). The struct is pure data — internal/scenario
+// compiles a declarative spec into it, and BuildScenario below turns it
+// into an episode timeline. The zero value is not useful; the
+// paper-calibrated configuration is the compiled `paper-default`
+// scenario (scenario.PaperParams), tuned so the month-long run
+// reproduces the paper's headline statistics (Tables 3–5, Figures 1–4)
+// in shape.
 type ScenarioParams struct {
 	Seed       int64
 	Start, End simnet.Time
@@ -56,72 +62,74 @@ type ScenarioParams struct {
 	TransientConnFail float64 // lone SYN-handshake failure
 	TransientDNSFail  float64 // lone lookup timeout
 	TransientHTTPErr  float64 // lone HTTP error
+
+	// Specials carries per-website overrides for failure-prone servers
+	// (the paper's Table 6 census and Figure 2 DNS misconfigurations).
+	Specials []SpecialServer
+	// ChronicSites are client sites with persistent low-grade
+	// connectivity trouble (the extreme client-side episode counts of
+	// Table 8); ChronicClients the per-machine equivalent.
+	ChronicSites   []ChronicEntity
+	ChronicClients []ChronicEntity
+	// PinnedBGP places BGP events at fixed instants on the prefix of a
+	// named client — the paper's Figure 5/7 case studies.
+	PinnedBGP []PinnedBGPEvent
+	// Permanent lists the near-permanent client-site×website blocks
+	// (Section 4.4.2), installed in order at client-site granularity.
+	Permanent []PermanentPairSpec
+}
+
+// SpecialServer carries the per-site overrides for failure-prone servers
+// (Table 6) and misconfigured DNS zones (Figure 2).
+type SpecialServer struct {
+	Host string
+	// ChronicCover is the fraction of the window under a chronic
+	// moderate-severity failure episode (long episodes; sina's longest
+	// stretch in the paper is 448 h).
+	ChronicCover    float64
+	ChronicSeverity [2]float64
+	ChronicKind     faults.Kind
+	ChronicMode     uint8
+	// ExtraOutageRate adds short whole-site outages per month.
+	ExtraOutageRate float64
+	// ReplicaFlakyFraction makes EACH replica independently
+	// unreachable for this fraction of time, in short episodes — the
+	// iitb/royal proxy signature (Section 4.7): with round-robin DNS,
+	// the no-failover proxy fails whenever its pinned address is down
+	// (~the per-replica fraction), while wget fails over and only
+	// loses when all replicas are down at once (rare).
+	ReplicaFlakyFraction float64
+}
+
+// ChronicEntity marks one client site or client machine as chronically
+// flaky: covered for the given fraction of the window by long
+// client-connectivity episodes in the given severity band.
+type ChronicEntity struct {
+	Name     string // site name (ChronicSites) or client name (ChronicClients)
+	Cover    float64
+	Severity [2]float64
+}
+
+// PinnedBGPEvent is a hand-placed BGP episode on the prefix of the first
+// client whose name contains ClientSubstr, skipped when the experiment
+// window does not cover it.
+type PinnedBGPEvent struct {
+	ClientSubstr string
+	AtUnix       int64
+	Duration     time.Duration
+	Severity     float64
+	Mode         uint8
+}
+
+// PermanentPairSpec is one near-permanent (client site, website) block.
+type PermanentPairSpec struct {
+	Site string
+	Host string
+	Mode uint8
 }
 
 // month is the nominal experiment length used for rates.
 const month = 744 * time.Hour
-
-// DefaultScenarioParams returns the paper-calibrated configuration for
-// the given seed and experiment window.
-func DefaultScenarioParams(seed int64, start, end simnet.Time) ScenarioParams {
-	p := ScenarioParams{
-		Seed:  seed,
-		Start: start,
-		End:   end,
-
-		MachineOff: map[Category]faults.Process{
-			PL: {Kind: faults.ClientMachineOff, RatePerMonth: 5, MeanDuration: 30 * time.Hour, MinDuration: time.Hour, MaxDuration: 200 * time.Hour, SeverityLow: 1, SeverityHigh: 1},
-			DU: {Kind: faults.ClientMachineOff, RatePerMonth: 1, MeanDuration: 8 * time.Hour, MinDuration: time.Hour, MaxDuration: 48 * time.Hour, SeverityLow: 1, SeverityHigh: 1},
-			CN: {Kind: faults.ClientMachineOff, RatePerMonth: 1, MeanDuration: 10 * time.Hour, MinDuration: time.Hour, MaxDuration: 48 * time.Hour, SeverityLow: 1, SeverityHigh: 1},
-			BB: {Kind: faults.ClientMachineOff, RatePerMonth: 2, MeanDuration: 12 * time.Hour, MinDuration: time.Hour, MaxDuration: 72 * time.Hour, SeverityLow: 1, SeverityHigh: 1},
-		},
-		SiteConn: map[Category]faults.Process{
-			PL: {Kind: faults.ClientConnectivity, RatePerMonth: 3.0, MeanDuration: 16 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: 3 * time.Hour, SeverityLow: 0.85, SeverityHigh: 1},
-			DU: {Kind: faults.ClientConnectivity, RatePerMonth: 2.4, MeanDuration: 10 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: time.Hour, SeverityLow: 0.85, SeverityHigh: 1},
-			CN: {Kind: faults.ClientConnectivity, RatePerMonth: 1.2, MeanDuration: 12 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: time.Hour, SeverityLow: 0.85, SeverityHigh: 1},
-			BB: {Kind: faults.ClientConnectivity, RatePerMonth: 3.2, MeanDuration: 14 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: 2 * time.Hour, SeverityLow: 0.85, SeverityHigh: 1},
-		},
-		ClientConn: map[Category]faults.Process{
-			PL: {Kind: faults.ClientConnectivity, RatePerMonth: 4.5, MeanDuration: 11 * time.Minute, MinDuration: time.Minute, MaxDuration: 2 * time.Hour, SeverityLow: 0.85, SeverityHigh: 1},
-			DU: {Kind: faults.ClientConnectivity, RatePerMonth: 1.0, MeanDuration: 8 * time.Minute, MinDuration: time.Minute, MaxDuration: time.Hour, SeverityLow: 0.85, SeverityHigh: 1},
-			CN: {Kind: faults.ClientConnectivity, RatePerMonth: 0.8, MeanDuration: 8 * time.Minute, MinDuration: time.Minute, MaxDuration: time.Hour, SeverityLow: 0.85, SeverityHigh: 1},
-			BB: {Kind: faults.ClientConnectivity, RatePerMonth: 2.0, MeanDuration: 10 * time.Minute, MinDuration: time.Minute, MaxDuration: time.Hour, SeverityLow: 0.85, SeverityHigh: 1},
-		},
-		LDNSOutage: map[Category]faults.Process{
-			PL: {Kind: faults.LDNSOutage, RatePerMonth: 2.5, MeanDuration: 14 * time.Minute, MinDuration: time.Minute, MaxDuration: 2 * time.Hour, SeverityLow: 1, SeverityHigh: 1},
-			DU: {Kind: faults.LDNSOutage, RatePerMonth: 2.0, MeanDuration: 10 * time.Minute, MinDuration: time.Minute, MaxDuration: time.Hour, SeverityLow: 1, SeverityHigh: 1},
-			CN: {Kind: faults.LDNSOutage, RatePerMonth: 0.5, MeanDuration: 10 * time.Minute, MinDuration: time.Minute, MaxDuration: time.Hour, SeverityLow: 1, SeverityHigh: 1},
-			BB: {Kind: faults.LDNSOutage, RatePerMonth: 1.6, MeanDuration: 12 * time.Minute, MinDuration: time.Minute, MaxDuration: time.Hour, SeverityLow: 1, SeverityHigh: 1},
-		},
-		LDNSFlaky: map[Category]faults.Process{
-			PL: {Kind: faults.LDNSOutage, RatePerMonth: 3, MeanDuration: 35 * time.Minute, MinDuration: 5 * time.Minute, MaxDuration: 4 * time.Hour, SeverityLow: 0.15, SeverityHigh: 0.5},
-			DU: {Kind: faults.LDNSOutage, RatePerMonth: 1.2, MeanDuration: 30 * time.Minute, MinDuration: 5 * time.Minute, MaxDuration: 2 * time.Hour, SeverityLow: 0.15, SeverityHigh: 0.4},
-			CN: {Kind: faults.LDNSOutage, RatePerMonth: 0.8, MeanDuration: 30 * time.Minute, MinDuration: 5 * time.Minute, MaxDuration: 2 * time.Hour, SeverityLow: 0.15, SeverityHigh: 0.4},
-			BB: {Kind: faults.LDNSOutage, RatePerMonth: 2.2, MeanDuration: 30 * time.Minute, MinDuration: 5 * time.Minute, MaxDuration: 2 * time.Hour, SeverityLow: 0.15, SeverityHigh: 0.4},
-		},
-		WANOutage: map[Category]faults.Process{
-			PL: {Kind: faults.PathOutage, RatePerMonth: 2.6, MeanDuration: 14 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: 2 * time.Hour, SeverityLow: 0.8, SeverityHigh: 1},
-			DU: {Kind: faults.PathOutage, RatePerMonth: 0.7, MeanDuration: 10 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: time.Hour, SeverityLow: 0.8, SeverityHigh: 1},
-			CN: {Kind: faults.PathOutage, RatePerMonth: 0.8, MeanDuration: 12 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: time.Hour, SeverityLow: 0.8, SeverityHigh: 1},
-			BB: {Kind: faults.PathOutage, RatePerMonth: 1.5, MeanDuration: 12 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: time.Hour, SeverityLow: 0.8, SeverityHigh: 1},
-		},
-		SiteFactorMean: 1.6,
-
-		SiteOutage:    faults.Process{Kind: faults.ServerOutage, RatePerMonth: 1.15, MeanDuration: 22 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: 5 * time.Hour, SeverityLow: 0.8, SeverityHigh: 1},
-		ReplicaOutage: faults.Process{Kind: faults.ServerOutage, RatePerMonth: 0.8, MeanDuration: 30 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: 4 * time.Hour, SeverityLow: 1, SeverityHigh: 1},
-		SiteOverload:  faults.Process{Kind: faults.ServerOverload, RatePerMonth: 1.8, MeanDuration: 18 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: 2 * time.Hour, SeverityLow: 0.25, SeverityHigh: 0.85},
-		AuthDNSOutage: faults.Process{Kind: faults.AuthDNSOutage, RatePerMonth: 0.9, MeanDuration: 20 * time.Minute, MinDuration: 2 * time.Minute, MaxDuration: 2 * time.Hour, SeverityLow: 1, SeverityHigh: 1},
-		HTTPError:     faults.Process{Kind: faults.ServerHTTPError, RatePerMonth: 0.2, MeanDuration: 15 * time.Minute, MinDuration: time.Minute, MaxDuration: time.Hour, SeverityLow: 0.5, SeverityHigh: 1},
-
-		BGPRate:           1.05,
-		BGPGlobalFraction: 0.7,
-
-		TransientConnFail: 0.0048,
-		TransientDNSFail:  0.0006,
-		TransientHTTPErr:  0.0003,
-	}
-	return p
-}
 
 // Overload sub-modes carried in Episode.Mode for ServerOverload episodes;
 // the evaluator maps them to httpsim behaviours.
@@ -156,67 +164,6 @@ type Scenario struct {
 	// and worse background packet loss, which is what produces the
 	// (weak) loss/failure correlation of Section 4.1.3.
 	SiteQuality map[string]float64
-}
-
-// specialServer carries the per-site overrides for the paper's named
-// failure-prone servers (Table 6) and misconfigured DNS zones (Figure 2).
-type specialServer struct {
-	host string
-	// chronicCover is the fraction of the month under a chronic
-	// moderate-severity failure episode (long episodes; sina's longest
-	// stretch in the paper is 448 h).
-	chronicCover    float64
-	chronicSeverity [2]float64
-	chronicKind     faults.Kind
-	chronicMode     uint8
-	// extraOutageRate adds short whole-site outages per month.
-	extraOutageRate float64
-	// replicaFlakyFraction makes EACH replica independently
-	// unreachable for this fraction of time, in short episodes — the
-	// iitb/royal proxy signature (Section 4.7): with round-robin DNS,
-	// the no-failover proxy fails whenever its pinned address is down
-	// (~the per-replica fraction), while wget fails over and only
-	// loses when all replicas are down at once (rare).
-	replicaFlakyFraction float64
-}
-
-var specialServers = []specialServer{
-	{host: "www.sina.com.cn", chronicCover: 0.97, chronicSeverity: [2]float64{0.085, 0.24}, chronicKind: faults.ServerOutage},
-	{host: "www.iitb.ac.in", chronicCover: 0.95, chronicSeverity: [2]float64{0.085, 0.20}, chronicKind: faults.ServerOutage, replicaFlakyFraction: 0.055},
-	{host: "www.sohu.com", chronicCover: 0.29, chronicSeverity: [2]float64{0.085, 0.24}, chronicKind: faults.ServerOutage},
-	{host: "www.craigslist.org", chronicCover: 0.19, chronicSeverity: [2]float64{0.085, 0.25}, chronicKind: faults.ServerOverload, chronicMode: OverloadHung},
-	{host: "www.brazzil.com", chronicCover: 0.12, chronicSeverity: [2]float64{0.25, 0.6}, chronicKind: faults.AuthDNSMisconfig, chronicMode: MisconfigServFail},
-	{host: "www.cs.technion.ac.il", chronicCover: 0.12, chronicSeverity: [2]float64{0.085, 0.25}, chronicKind: faults.ServerOutage},
-	{host: "www.technion.ac.il", chronicCover: 0.11, chronicSeverity: [2]float64{0.085, 0.25}, chronicKind: faults.ServerOutage},
-	{host: "www.chinabroadcast.cn", chronicCover: 0.11, chronicSeverity: [2]float64{0.085, 0.25}, chronicKind: faults.ServerOutage},
-	{host: "www.espn.go.com", chronicCover: 0.06, chronicSeverity: [2]float64{0.25, 0.6}, chronicKind: faults.AuthDNSMisconfig, chronicMode: MisconfigNXDomain},
-	{host: "www.ucl.ac.uk", chronicCover: 0.07, chronicSeverity: [2]float64{0.085, 0.22}, chronicKind: faults.ServerOutage},
-	{host: "www.nih.gov", chronicCover: 0.045, chronicSeverity: [2]float64{0.085, 0.22}, chronicKind: faults.ServerOutage},
-	{host: "www.mit.edu", chronicCover: 0.03, chronicSeverity: [2]float64{0.085, 0.2}, chronicKind: faults.ServerOutage},
-	{host: "www.royal.gov.uk", replicaFlakyFraction: 0.045},
-}
-
-// chronicallyFlakySites are client sites with persistent low-grade
-// connectivity trouble, reproducing the extreme client-side episode
-// counts of Table 8 (Intel Pittsburgh ~387 episodes month-long; two of
-// the three Columbia nodes ~200–280).
-var chronicallyFlakySites = map[string]float64{
-	// site -> fraction of month under flaky connectivity
-	"pittsburgh.intel-research.net": 0.55,
-	// The long tail behind the paper's 95th-percentile client failure
-	// rate of 10%: a handful of sites are chronically bad. Severities
-	// stay moderate — these must raise the *client's* monthly rate
-	// without adding enough global failure mass to manufacture fake
-	// server-side episodes at every website.
-	"unito.it":     0.30,
-	"titech.ac.jp": 0.25,
-	"postel.org":   0.20,
-	"hp.com":       0.18,
-}
-
-var chronicallyFlakyClients = map[string]float64{
-	"planetlab2.columbia.edu": 0.33,
-	"planetlab3.columbia.edu": 0.38,
 }
 
 // BuildScenario generates the complete fault schedule for a topology.
@@ -258,6 +205,15 @@ func BuildScenario(topo *Topology, p ScenarioParams) *Scenario {
 		return proc
 	}
 
+	chronicSites := make(map[string]ChronicEntity, len(p.ChronicSites))
+	for _, ce := range p.ChronicSites {
+		chronicSites[ce.Name] = ce
+	}
+	chronicClients := make(map[string]ChronicEntity, len(p.ChronicClients))
+	for _, ce := range p.ChronicClients {
+		chronicClients[ce.Name] = ce
+	}
+
 	// Client-side schedules. Site-scoped processes are generated once
 	// per site; client-scoped per client.
 	seenSite := make(map[string]bool)
@@ -273,28 +229,22 @@ func BuildScenario(topo *Topology, p ScenarioParams) *Scenario {
 			tl.Generate(rng, faults.Entity("site:"+c.Site), scaleProc(p.LDNSOutage[cat], f), start, end)
 			tl.Generate(rng, faults.Entity("site:"+c.Site), scaleProc(p.LDNSFlaky[cat], f), start, end)
 			tl.Generate(rng, faults.Entity("prefix:"+c.Prefix.String()), scaleProc(p.WANOutage[cat], f), start, end)
-			if cover, ok := chronicallyFlakySites[c.Site]; ok {
-				sev := [2]float64{0.08, 0.22}
-				if c.Site == "pittsburgh.intel-research.net" {
-					// The Intel pair's episodes must register
-					// reliably for the Table 8 similarity.
-					sev = [2]float64{0.12, 0.3}
-				}
+			if ce, ok := chronicSites[c.Site]; ok {
 				addChronic(rng, tl, faults.Entity("site:"+c.Site), faults.ClientConnectivity, 0,
-					sev, cover, start, end)
+					ce.Severity, ce.Cover, start, end)
 			}
 		}
-		if cover, ok := chronicallyFlakyClients[c.Name]; ok {
+		if ce, ok := chronicClients[c.Name]; ok {
 			addChronic(rng, tl, faults.Entity("client:"+c.Name), faults.ClientConnectivity, 0,
-				[2]float64{0.08, 0.3}, cover, start, end)
+				ce.Severity, ce.Cover, start, end)
 		}
 	}
 	sc.SiteQuality = siteFactor
 
 	// Server-side schedules.
-	specials := make(map[string]specialServer, len(specialServers))
-	for _, s := range specialServers {
-		specials[s.host] = s
+	specials := make(map[string]SpecialServer, len(p.Specials))
+	for _, s := range p.Specials {
+		specials[s.Host] = s
 	}
 	for i := range topo.Websites {
 		w := &topo.Websites[i]
@@ -316,17 +266,17 @@ func BuildScenario(topo *Topology, p ScenarioParams) *Scenario {
 			tl.Generate(rng, faults.Entity("replica:"+ra.String()), p.ReplicaOutage, start, end)
 		}
 		if s, ok := specials[w.Host]; ok {
-			if s.chronicCover > 0 {
-				addChronic(rng, tl, ent, s.chronicKind, s.chronicMode, s.chronicSeverity, s.chronicCover, start, end)
+			if s.ChronicCover > 0 {
+				addChronic(rng, tl, ent, s.ChronicKind, s.ChronicMode, s.ChronicSeverity, s.ChronicCover, start, end)
 			}
-			if s.extraOutageRate > 0 {
+			if s.ExtraOutageRate > 0 {
 				proc := p.SiteOutage
-				proc.RatePerMonth = s.extraOutageRate
+				proc.RatePerMonth = s.ExtraOutageRate
 				tl.Generate(rng, ent, proc, start, end)
 			}
-			if s.replicaFlakyFraction > 0 {
+			if s.ReplicaFlakyFraction > 0 {
 				for _, ra := range w.ReplicaAddrs {
-					addFlakyReplica(rng, tl, faults.Entity("replica:"+ra.String()), s.replicaFlakyFraction, start, end)
+					addFlakyReplica(rng, tl, faults.Entity("replica:"+ra.String()), s.ReplicaFlakyFraction, start, end)
 				}
 			}
 		}
@@ -351,11 +301,11 @@ func BuildScenario(topo *Topology, p ScenarioParams) *Scenario {
 		tl.Generate(rng, faults.Entity("prefix:"+pfx.String()), local, start, end)
 	}
 
-	// Hand-placed signature events for Figures 5 and 7, when the window
-	// covers them.
-	sc.placeFigureEvents(topo, tl)
+	// Hand-placed signature events (the paper's Figures 5 and 7), when
+	// the window covers them.
+	sc.placePinnedBGP(topo, tl)
 
-	// Permanent pairs (Section 4.4.2): 38 total.
+	// Permanent pairs (Section 4.4.2): 38 total in the paper roster.
 	sc.placePermanentPairs(topo, tl)
 
 	// Freeze sorts the episode index and interns every entity into a
@@ -440,12 +390,11 @@ func randOverloadMode(rng *rand.Rand) uint8 {
 	}
 }
 
-// placeFigureEvents pins the two BGP case studies of the paper at their
-// published timestamps: a near-global withdrawal for the howard.edu
-// client (Figure 5, around Unix 1105632000) and a 2-neighbor withdrawal
-// with drastic reachability impact for the kscy Internet2 client
-// (Figure 7, around Unix 1106856000).
-func (sc *Scenario) placeFigureEvents(topo *Topology, tl *faults.Timeline) {
+// placePinnedBGP pins hand-placed BGP episodes (e.g. the paper's Figure 5
+// near-global withdrawal and Figure 7 high-impact 2-neighbor withdrawal)
+// at their published timestamps, on the prefix of the first client whose
+// name contains the event's substring.
+func (sc *Scenario) placePinnedBGP(topo *Topology, tl *faults.Timeline) {
 	find := func(sub string) *ClientNode {
 		for i := range topo.Clients {
 			if strings.Contains(topo.Clients[i].Name, sub) {
@@ -454,29 +403,21 @@ func (sc *Scenario) placeFigureEvents(topo *Topology, tl *faults.Timeline) {
 		}
 		return nil
 	}
-	if c := find("howard.edu"); c != nil {
-		at := simnet.FromUnix(1105632000)
-		if at >= sc.Params.Start && at < sc.Params.End {
-			tl.Add(faults.Episode{
-				Entity: faults.Entity("prefix:" + c.Prefix.String()),
-				Kind:   faults.BGPInstability,
-				Start:  at, Duration: 45 * time.Minute, Severity: 1.0,
-			})
+	for _, ev := range sc.Params.PinnedBGP {
+		c := find(ev.ClientSubstr)
+		if c == nil {
+			continue
 		}
-	}
-	if c := find("kscy.internet2"); c != nil {
-		at := simnet.FromUnix(1106856000)
-		if at >= sc.Params.Start && at < sc.Params.End {
-			// Only 2 of 73 neighbors withdraw, but those neighbors
-			// carry most paths to this client: Mode flags the high
-			// path impact despite the tiny neighbor fraction.
-			tl.Add(faults.Episode{
-				Entity: faults.Entity("prefix:" + c.Prefix.String()),
-				Kind:   faults.BGPInstability,
-				Start:  at, Duration: 40 * time.Minute, Severity: 2.0 / 73.0,
-				Mode: BGPHighImpact,
-			})
+		at := simnet.FromUnix(ev.AtUnix)
+		if at < sc.Params.Start || at >= sc.Params.End {
+			continue
 		}
+		tl.Add(faults.Episode{
+			Entity: faults.Entity("prefix:" + c.Prefix.String()),
+			Kind:   faults.BGPInstability,
+			Start:  at, Duration: ev.Duration, Severity: ev.Severity,
+			Mode: ev.Mode,
+		})
 	}
 }
 
@@ -485,79 +426,35 @@ func (sc *Scenario) placeFigureEvents(topo *Topology, tl *faults.Timeline) {
 // neighbors carried most paths to the client).
 const BGPHighImpact = 1
 
-// placePermanentPairs installs the 38 near-permanent client-site×website
-// blocks of Section 4.4.2.
+// placePermanentPairs installs the near-permanent client-site×website
+// blocks, in spec order. Pairs whose site or website is absent from the
+// (possibly truncated) roster are skipped.
 func (sc *Scenario) placePermanentPairs(topo *Topology, tl *faults.Timeline) {
 	span := sc.Params.End.Sub(sc.Params.Start)
-	add := func(site, host string, mode uint8) {
-		if topo.Website(host) == nil {
-			return
+	for _, pp := range sc.Params.Permanent {
+		if topo.Website(pp.Host) == nil {
+			continue
 		}
 		found := false
 		for i := range topo.Clients {
-			if topo.Clients[i].Site == site {
+			if topo.Clients[i].Site == pp.Site {
 				found = true
 				break
 			}
 		}
 		if !found {
-			return
+			continue
 		}
-		sc.PermanentPairs = append(sc.PermanentPairs, [2]string{site, host})
+		sc.PermanentPairs = append(sc.PermanentPairs, [2]string{pp.Site, pp.Host})
 		tl.Add(faults.Episode{
-			Entity:   faults.PairEntity(site, host),
+			Entity:   faults.PairEntity(pp.Site, pp.Host),
 			Kind:     faults.PermanentBlock,
-			Mode:     mode,
+			Mode:     pp.Mode,
 			Start:    sc.Params.Start,
 			Duration: span,
 			Severity: 0.998,
 		})
 	}
-
-	// Client-server pairs counted at client granularity (a two-node
-	// blocked site contributes two pairs), matching the paper's
-	// "38 out of the 134*80 pairs". The roster below yields exactly
-	// 38: 10 × msn.com.tw, 9 × sina.com.cn, 8 × sohu.com, 2 ×
-	// mp3.com (the northwestern checksum case), and 9 miscellaneous.
-
-	// www.msn.com.tw: 10 client pairs.
-	for _, site := range []string{
-		"cs.cmu.edu", "gatech.edu", "cs.wisc.edu", // 2 nodes each
-		"stanford.edu", "uiuc.edu", "osu.edu", "howard.edu", // 1 each
-	} {
-		add(site, "www.msn.com.tw", BlockNoConn)
-	}
-
-	// www.sina.com.cn: 9 client pairs, including the paper's named
-	// examples hp.com, epfl.ch, nyu.edu, unito.it, postel.org.
-	for _, site := range []string{
-		"hp.com", "nyu.edu", "unito.it", // 1 each
-		"postel.org", "epfl.ch", "cs.princeton.edu", // 2 each
-	} {
-		add(site, "www.sina.com.cn", BlockNoConn)
-	}
-
-	// www.sohu.com: 8 client pairs.
-	for _, site := range []string{
-		"hp.com", "nyu.edu", "unito.it", "utah.edu", // 1 each
-		"epfl.ch", "cs.arizona.edu", // 2 each
-	} {
-		add(site, "www.sohu.com", BlockNoConn)
-	}
-
-	// The northwestern.edu ↔ www.mp3.com TCP-checksum case (2 pairs):
-	// transfers begin and then die, i.e. partial responses.
-	add("northwestern.edu", "www.mp3.com", BlockPartial)
-
-	// Miscellaneous singletons (9 pairs) spread over international
-	// sites, as in the long tail of Section 4.4.2.
-	add("titech.ac.jp", "www.chinabroadcast.cn", BlockNoConn)
-	add("ntu.edu.tw", "www.sina.com.hk", BlockNoConn)
-	add("lancs.ac.uk", "www.alibaba.com", BlockNoConn)
-	add("vu.nl", "www.msn.co.in", BlockNoConn)
-	add("icir.org", "www.rediff.com", BlockNoConn)
-	add("att.com", "www.samachar.com", BlockNoConn)
-	add("kaist.ac.kr", "www.brazzil.com", BlockNoConn) // 3 nodes: 3 pairs
 }
 
 // PermanentClientPairs expands the blocked (site, website) pairs to

@@ -63,7 +63,10 @@ func ForEachTransactionRange(topo *Topology, seed int64, start, end simnet.Time,
 			// back-to-back.
 			spacing = 3 * time.Second
 		}
-		for roundStart := start; roundStart < end; roundStart = roundStart.Add(interval) {
+		// Generated fleets may ramp up (StartOffset > 0); the paper
+		// roster has zero offsets, so its schedule is unchanged.
+		cstart := start.Add(c.StartOffset)
+		for roundStart := cstart; roundStart < end; roundStart = roundStart.Add(interval) {
 			jitter := time.Duration(rng.Int63n(int64(2 * time.Minute)))
 			at := roundStart.Add(jitter)
 			for i := range order {

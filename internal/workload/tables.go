@@ -1,12 +1,20 @@
-// Package workload defines the experiment's population — the client
-// roster of Table 1, the 80-website roster of Table 2, their simulated
-// network topology (addresses, prefixes, replicas, proxies), the
-// randomized download schedule of Section 3.4, and the paper-calibrated
-// fault scenario that reproduces the study's observed failure statistics
-// with known ground truth.
+// Package workload defines the experiment's population machinery: client
+// and website types, the simulated network topology (addresses, prefixes,
+// replicas, proxies) built from any roster, the randomized download
+// schedule of Section 3.4, and the data-driven fault scenario builder
+// that turns a ScenarioParams description into a fault timeline with
+// known ground truth.
+//
+// The rosters themselves — the paper's Table 1 clients and Table 2
+// websites as well as generated fleets — are compiled from declarative
+// scenario specs by internal/scenario; this package holds no roster
+// data of its own.
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Category is the client category of Table 1.
 type Category uint8
@@ -50,192 +58,15 @@ type Client struct {
 	// Proxied marks CN clients whose requests traverse a caching
 	// proxy; SEAEXT shares SEA's WAN but bypasses the proxy.
 	Proxied bool
-	// RoundsPerHour is how many full 80-URL rounds the client runs per
-	// hour (PL/BB/CN ≈ 4 per Section 3.1; DU virtual clients are
-	// visited only when their PoP is dialed, ≈ 0.25).
+	// RoundsPerHour is how many full rounds over the website roster the
+	// client runs per hour (PL/BB/CN ≈ 4 per Section 3.1; DU virtual
+	// clients are visited only when their PoP is dialed, ≈ 0.25).
 	RoundsPerHour float64
-}
-
-// planetLabSites encodes the PL site layout: 95 nodes over 64 sites,
-// arranged so that the co-located-pair count matches the paper's analysis
-// (33 PL pairs: 27 two-node sites + 2 three-node sites, Section 4.4.6).
-// Sites named in the paper appear verbatim; the rest are representative.
-type plSite struct {
-	name   string
-	nodes  int
-	region string
-}
-
-var planetLabSites = []plSite{
-	// Three-node sites (3 co-located pairs each) — the paper's KAIST
-	// and Columbia examples.
-	{"kaist.ac.kr", 3, "asia"},
-	{"columbia.edu", 3, "us-east"},
-	// Two-node sites (1 pair each): 27 sites.
-	{"pittsburgh.intel-research.net", 2, "us-east"},
-	{"northwestern.edu", 2, "us-central"},
-	{"cs.berkeley.edu", 2, "us-west"},
-	{"cs.washington.edu", 2, "us-west"},
-	{"cs.cmu.edu", 2, "us-east"},
-	{"mit.edu", 2, "us-east"},
-	{"cs.ucla.edu", 2, "us-west"},
-	{"cs.utexas.edu", 2, "us-central"},
-	{"cs.wisc.edu", 2, "us-central"},
-	{"cs.duke.edu", 2, "us-east"},
-	{"cs.princeton.edu", 2, "us-east"},
-	{"gatech.edu", 2, "us-east"},
-	{"cs.umd.edu", 2, "us-east"},
-	{"cs.cornell.edu", 2, "us-east"},
-	{"cs.arizona.edu", 2, "us-west"},
-	{"cs.purdue.edu", 2, "us-central"},
-	{"umich.edu", 2, "us-central"},
-	{"cs.rice.edu", 2, "us-central"},
-	{"ucsd.edu", 2, "us-west"},
-	{"cs.virginia.edu", 2, "us-east"},
-	{"cs.uchicago.edu", 2, "us-central"},
-	{"inria.fr", 2, "europe"},
-	{"epfl.ch", 2, "europe"},
-	{"cam.ac.uk", 2, "europe"},
-	{"ethz.ch", 2, "europe"},
-	{"tu-berlin.de", 2, "europe"},
-	{"postel.org", 2, "us-west"},
-	// Single-node sites: 35 sites.
-	{"howard.edu", 1, "us-east"},
-	{"kscy.internet2.planet-lab.org", 1, "us-central"},
-	{"hp.com", 1, "us-west"},
-	{"nyu.edu", 1, "us-east"},
-	{"unito.it", 1, "europe"},
-	{"caltech.edu", 1, "us-west"},
-	{"stanford.edu", 1, "us-west"},
-	{"colorado.edu", 1, "us-central"},
-	{"unc.edu", 1, "us-east"},
-	{"osu.edu", 1, "us-central"},
-	{"psu.edu", 1, "us-east"},
-	{"rutgers.edu", 1, "us-east"},
-	{"uiuc.edu", 1, "us-central"},
-	{"umass.edu", 1, "us-east"},
-	{"ufl.edu", 1, "us-east"},
-	{"uky.edu", 1, "us-central"},
-	{"byu.edu", 1, "us-west"},
-	{"uoregon.edu", 1, "us-west"},
-	{"utah.edu", 1, "us-west"},
-	{"vanderbilt.edu", 1, "us-central"},
-	{"wustl.edu", 1, "us-central"},
-	{"dartmouth.edu", 1, "us-east"},
-	{"brown.edu", 1, "us-east"},
-	{"yale.edu", 1, "us-east"},
-	{"upenn.edu", 1, "us-east"},
-	{"isi.edu", 1, "us-west"},
-	{"icir.org", 1, "us-west"},
-	{"nec-labs.com", 1, "us-east"},
-	{"att.com", 1, "us-east"},
-	{"lancs.ac.uk", 1, "europe"},
-	{"ucl.ac.uk", 1, "europe"},
-	{"uni-passau.de", 1, "europe"},
-	{"vu.nl", 1, "europe"},
-	{"ntu.edu.tw", 1, "asia"},
-	{"titech.ac.jp", 1, "asia"},
-}
-
-// dialupPoP describes one MSN dialup point of presence; each PoP is an
-// independent "virtual client" (Section 3.2).
-type dialupPoP struct {
-	city      string
-	providers string // one letter per provider: I=ICG L=Level3 Q=Qwest U=UUNet
-	region    string
-}
-
-var dialupPoPs = []dialupPoP{
-	{"boston", "ILQ", "us-east"},
-	{"chicago", "ILQ", "us-central"},
-	{"houston", "ILQ", "us-central"},
-	{"newyork", "IQU", "us-east"},
-	{"pittsburgh", "ILQ", "us-east"},
-	{"sandiego", "ILQ", "us-west"},
-	{"sanfrancisco", "ILQ", "us-west"},
-	{"seattle", "ILQ", "us-west"},
-	{"washdc", "IL", "us-east"},
-}
-
-// Clients builds the full 134-client roster of Table 1:
-// 95 PL + 26 DU virtual clients + 6 CN + 7 BB.
-func Clients() []Client {
-	var out []Client
-	// PlanetLab.
-	for _, s := range planetLabSites {
-		for i := 1; i <= s.nodes; i++ {
-			out = append(out, Client{
-				Name:          fmt.Sprintf("planetlab%d.%s", i, s.name),
-				Category:      PL,
-				Site:          s.name,
-				Region:        s.region,
-				RoundsPerHour: 4,
-			})
-		}
-	}
-	// Dialup: one virtual client per (city, provider) PoP. All PoPs in
-	// a city share the site (the physical clients are all in Seattle,
-	// but the network vantage is the PoP).
-	providerName := map[byte]string{'I': "icg", 'L': "level3", 'Q': "qwest", 'U': "uunet"}
-	for _, p := range dialupPoPs {
-		for i := 0; i < len(p.providers); i++ {
-			prov := providerName[p.providers[i]]
-			out = append(out, Client{
-				Name:          fmt.Sprintf("dialup.%s.%s.msn.net", p.city, prov),
-				Category:      DU,
-				Site:          "pop." + p.city + "." + prov,
-				Region:        p.region,
-				RoundsPerHour: 0.25,
-			})
-		}
-	}
-	// Corporate network: 5 proxied + 1 external. SEA1/SEA2/SEAEXT share
-	// WAN connectivity (same site) per Section 3.2.
-	cn := []struct {
-		name, site, region string
-		proxied            bool
-	}{
-		{"SEA1", "corp.seattle", "us-west", true},
-		{"SEA2", "corp.seattle", "us-west", true},
-		{"SEAEXT", "corp.seattle", "us-west", false},
-		{"SF", "corp.sf", "us-west", true},
-		{"UK", "corp.uk", "europe", true},
-		{"CHN", "corp.chn", "asia", true},
-	}
-	for _, c := range cn {
-		out = append(out, Client{
-			Name:          c.name,
-			Category:      CN,
-			Site:          c.site,
-			Region:        c.region,
-			Proxied:       c.proxied,
-			RoundsPerHour: 4,
-		})
-	}
-	// Broadband: 7 clients over 4 ISPs and 4 cities; the Roadrunner San
-	// Diego pair and the Verizon Seattle pair are co-located
-	// (Section 4.4.6: "two pairs of co-located BB nodes").
-	bb := []struct {
-		name, site, region string
-	}{
-		{"bb-rr-sandiego-1", "roadrunner.sandiego", "us-west"},
-		{"bb-rr-sandiego-2", "roadrunner.sandiego", "us-west"},
-		{"bb-vz-seattle-1", "verizon.seattle", "us-west"},
-		{"bb-vz-seattle-2", "verizon.seattle", "us-west"},
-		{"bb-se-seattle-1", "speakeasy.seattle", "us-west"},
-		{"bb-sbc-sf-1", "sbc.sanfrancisco", "us-west"},
-		{"bb-se-pittsburgh-1", "speakeasy.pittsburgh", "us-east"},
-	}
-	for _, c := range bb {
-		out = append(out, Client{
-			Name:          c.name,
-			Category:      BB,
-			Site:          c.site,
-			Region:        c.region,
-			RoundsPerHour: 4,
-		})
-	}
-	return out
+	// StartOffset delays the client's first round past the experiment
+	// start — the startup pattern (linear/exponential/wave ramp-up) of
+	// generated fleets. Zero means the client is active from the start,
+	// which is how every paper-roster client behaves.
+	StartOffset time.Duration
 }
 
 // SiteGroup is a website's roster group from Table 2.
@@ -272,102 +103,4 @@ type Website struct {
 	// RedirectTo, when set, makes the index respond 302 to this host
 	// (www redirects inflate the connection count, Section 3.3).
 	RedirectTo string
-}
-
-// Websites builds the 80-site roster of Table 2. Replica counts honor the
-// Section 4.5 census: 6 CDN-served sites with zero qualifying replicas,
-// 42 single-replica sites, 32 multi-replica sites.
-func Websites() []Website {
-	w := func(host string, group SiteGroup, region string, replicas int) Website {
-		return Website{Host: host, Group: group, Region: region, Replicas: replicas, IndexSize: 10240}
-	}
-	sites := []Website{
-		// US-EDU (8)
-		w("www.berkeley.edu", USEdu, "us-west", 2),
-		w("www.washington.edu", USEdu, "us-west", 1),
-		w("www.cmu.edu", USEdu, "us-east", 1),
-		w("www.umn.edu", USEdu, "us-central", 1),
-		w("www.caltech.edu", USEdu, "us-west", 1),
-		w("www.nmt.edu", USEdu, "us-west", 1),
-		w("www.ufl.edu", USEdu, "us-east", 1),
-		w("www.mit.edu", USEdu, "us-east", 2),
-		// US-POPULAR (22)
-		w("www.amazon.com", USPopular, "us-west", 3),
-		w("www.microsoft.com", USPopular, "us-west", 4),
-		w("www.ebay.com", USPopular, "us-west", 3),
-		w("www.mapquest.com", USPopular, "us-east", 1),
-		w("www.cnn.com", USPopular, "us-east", 4),
-		w("www.cnnsi.com", USPopular, "us-east", 1),
-		w("www.webmd.com", USPopular, "us-east", 1),
-		w("www.espn.go.com", USPopular, "us-east", 0), // CDN
-		w("www.sportsline.com", USPopular, "us-east", 1),
-		w("www.expedia.com", USPopular, "us-west", 2),
-		w("www.orbitz.com", USPopular, "us-central", 1),
-		w("www.imdb.com", USPopular, "us-west", 1),
-		w("www.google.com", USPopular, "us-west", 0), // CDN-like rotation
-		w("www.yahoo.com", USPopular, "us-west", 0),  // CDN-like rotation
-		w("games.yahoo.com", USPopular, "us-west", 2),
-		w("weather.yahoo.com", USPopular, "us-west", 2),
-		w("www.msn.com", USPopular, "us-west", 4),
-		w("www.passport.net", USPopular, "us-west", 2),
-		w("www.aol.com", USPopular, "us-east", 0), // CDN
-		w("www.nytimes.com", USPopular, "us-east", 2),
-		w("www.lycos.com", USPopular, "us-east", 1),
-		w("www.cnet.com", USPopular, "us-west", 2),
-		// US-MISC (15)
-		w("www.latimes.com", USMisc, "us-west", 1),
-		w("www.nfl.com", USMisc, "us-east", 2),
-		w("www.pbs.org", USMisc, "us-east", 1),
-		w("www.cisco.com", USMisc, "us-west", 2),
-		w("www.juniper.net", USMisc, "us-west", 1),
-		w("www.ibm.com", USMisc, "us-east", 3),
-		w("www.fastclick.com", USMisc, "us-west", 1),
-		w("www.advertising.com", USMisc, "us-east", 1),
-		w("www.slashdot.org", USMisc, "us-east", 1),
-		w("www.un.org", USMisc, "us-east", 1),
-		w("www.craigslist.org", USMisc, "us-west", 2),
-		w("www.state.gov", USMisc, "us-east", 2),
-		w("www.nih.gov", USMisc, "us-east", 2),
-		w("www.nasa.gov", USMisc, "us-east", 0), // CDN
-		w("www.mp3.com", USMisc, "us-west", 1),
-		// INTL-EDU (10)
-		w("www.iitb.ac.in", IntlEdu, "asia", 3), // the Section 4.7 case
-		w("www.iitm.ac.in", IntlEdu, "asia", 1),
-		w("www.technion.ac.il", IntlEdu, "asia", 1),
-		w("www.cs.technion.ac.il", IntlEdu, "asia", 1),
-		w("www.ucl.ac.uk", IntlEdu, "europe", 1),
-		w("www.cs.ucl.ac.uk", IntlEdu, "europe", 1),
-		w("www.cam.ac.uk", IntlEdu, "europe", 2),
-		w("www.inria.fr", IntlEdu, "europe", 1),
-		w("www.hku.hk", IntlEdu, "asia", 1),
-		w("www.nus.edu.sg", IntlEdu, "asia", 2),
-		// INTL-POPULAR (15)
-		w("www.amazon.co.uk", IntlPopular, "europe", 2),
-		w("www.amazon.co.jp", IntlPopular, "asia", 2),
-		w("www.bbc.co.uk", IntlPopular, "europe", 0), // CDN
-		w("www.muenchen.de", IntlPopular, "europe", 1),
-		w("www.terra.com", IntlPopular, "us-east", 1),
-		w("www.alibaba.com", IntlPopular, "asia", 2),
-		w("www.wanadoo.fr", IntlPopular, "europe", 2),
-		w("www.sohu.com", IntlPopular, "asia", 2),
-		w("www.sina.com.hk", IntlPopular, "asia", 1),
-		w("www.cosmos.com.mx", IntlPopular, "us-central", 1),
-		w("www.msn.com.tw", IntlPopular, "asia", 1),
-		w("www.msn.co.in", IntlPopular, "asia", 1),
-		w("www.google.co.uk", IntlPopular, "europe", 2),
-		w("www.google.co.jp", IntlPopular, "asia", 2),
-		w("www.sina.com.cn", IntlPopular, "asia", 2),
-		// INTL-MISC (10)
-		w("www.lufthansa.com", IntlMisc, "europe", 1),
-		w("english.pravda.ru", IntlMisc, "europe", 1),
-		w("www.rediff.com", IntlMisc, "asia", 2),
-		w("www.samachar.com", IntlMisc, "asia", 1),
-		w("www.chinabroadcast.cn", IntlMisc, "asia", 1),
-		w("www.nttdocomo.co.jp", IntlMisc, "asia", 1),
-		w("www.sony.co.jp", IntlMisc, "asia", 1),
-		w("www.brazzil.com", IntlMisc, "us-east", 1),
-		w("www.royal.gov.uk", IntlMisc, "europe", 2),
-		w("www.direct.gov.uk", IntlMisc, "europe", 1),
-	}
-	return sites
 }

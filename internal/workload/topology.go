@@ -59,23 +59,27 @@ type Topology struct {
 	clientIndex map[string]int // client name -> index
 }
 
-// NewTopology assigns addresses to the full Table 1 + Table 2 population.
-func NewTopology() *Topology {
-	return buildTopology(Clients(), Websites())
-}
+// Address-plan capacity limits. Client site numbers fill the second and
+// third octets of 10.0.0.0/8; client hosts occupy .10 upward within the
+// site /24. Website numbers fill 172.16.0.0/12 upward from 172.16.0.0
+// (240 x 256 /24s before the first octet overflows); replicas occupy
+// .80 upward, and SpreadReplicas sites claim a second /24 at hi+8 —
+// which only exists for the first 232 x 256 website numbers. Scenario
+// validation enforces these before compiling a roster.
+const (
+	MaxClientSites    = 65536
+	MaxClientsPerSite = 246 // hosts .10 through .255
+	MaxWebsites       = 240 * 256
+	MaxSpreadWebsites = 232 * 256 // second /24 at hi+8 must fit under 255
+	MaxReplicas       = 176       // replicas .80 through .255
+)
 
-// NewScaledTopology builds a reduced population (the first nClients
-// clients and nSites websites) for fast tests and benches. Zero or
-// negative values mean "all".
-func NewScaledTopology(nClients, nSites int) *Topology {
-	cs := Clients()
-	ws := Websites()
-	if nClients > 0 && nClients < len(cs) {
-		cs = cs[:nClients]
-	}
-	if nSites > 0 && nSites < len(ws) {
-		ws = ws[:nSites]
-	}
+// NewRosterTopology assigns addresses to an arbitrary roster, in roster
+// order. It is the only topology constructor: every population — the
+// paper's Table 1 + Table 2 roster and generated fleets alike — is
+// compiled to a (clients, websites) roster by internal/scenario and
+// addressed here.
+func NewRosterTopology(cs []Client, ws []Website) *Topology {
 	return buildTopology(cs, ws)
 }
 

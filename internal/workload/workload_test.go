@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -8,81 +9,86 @@ import (
 	"webfail/internal/simnet"
 )
 
-func TestClientRoster(t *testing.T) {
-	cs := Clients()
-	if len(cs) != 134 {
-		t.Fatalf("clients = %d, want 134", len(cs))
+// testRoster builds a small literal roster exercising the addressing
+// machinery: co-located PL pairs, a dialup client, proxied and unproxied
+// CN clients, and websites covering the CDN / single / multi / spread
+// replica policies. Paper-roster assertions live in internal/scenario.
+func testRoster() ([]Client, []Website) {
+	cs := []Client{
+		{Name: "pl1.alpha.edu", Category: PL, Site: "alpha.edu", Region: "us-east", RoundsPerHour: 4},
+		{Name: "pl2.alpha.edu", Category: PL, Site: "alpha.edu", Region: "us-east", RoundsPerHour: 4},
+		{Name: "pl1.beta.edu", Category: PL, Site: "beta.edu", Region: "us-west", RoundsPerHour: 4},
+		{Name: "dialup.sea.i.example.net", Category: DU, Site: "pop.sea.i", Region: "us-west", RoundsPerHour: 0.25},
+		{Name: "CN1", Category: CN, Site: "corp.hq", Region: "us-west", Proxied: true, RoundsPerHour: 4},
+		{Name: "CN1EXT", Category: CN, Site: "corp.hq", Region: "us-west", Proxied: false, RoundsPerHour: 4},
+		{Name: "bb1.example.net", Category: BB, Site: "home.one", Region: "us-east", RoundsPerHour: 4},
+		{Name: "bb2.example.net", Category: BB, Site: "home.one", Region: "us-east", RoundsPerHour: 4},
 	}
-	byCat := map[Category]int{}
-	sites := map[string]bool{}
-	plSiteSet := map[string]bool{}
-	names := map[string]bool{}
-	for _, c := range cs {
-		byCat[c.Category]++
-		sites[c.Site] = true
-		if c.Category == PL {
-			plSiteSet[c.Site] = true
-		}
-		if names[c.Name] {
-			t.Errorf("duplicate client name %q", c.Name)
-		}
-		names[c.Name] = true
+	ws := []Website{
+		{Host: "www.cdn.example", Group: USPopular, Region: "us-east", Replicas: 0, IndexSize: 10240},
+		{Host: "www.single.example", Group: USMisc, Region: "us-west", Replicas: 1, IndexSize: 10240},
+		{Host: "www.multi.example", Group: USPopular, Region: "us-east", Replicas: 4, IndexSize: 10240},
+		{Host: "www.spread.example", Group: IntlPopular, Region: "europe", Replicas: 3, SpreadReplicas: true, IndexSize: 10240},
 	}
-	if byCat[PL] != 95 || byCat[DU] != 26 || byCat[CN] != 6 || byCat[BB] != 7 {
-		t.Errorf("category counts = %v", byCat)
-	}
-	if len(plSiteSet) != 64 {
-		t.Errorf("PL sites = %d, want 64", len(plSiteSet))
-	}
+	return cs, ws
 }
 
-func TestWebsiteRoster(t *testing.T) {
-	ws := Websites()
-	if len(ws) != 80 {
-		t.Fatalf("websites = %d, want 80", len(ws))
+// scaledTestTopology generates n clients (PL, 2 per site) and m websites
+// for schedule-machinery tests.
+func scaledTestTopology(n, m int) *Topology {
+	var cs []Client
+	for i := 0; i < n; i++ {
+		cs = append(cs, Client{
+			Name:     fmt.Sprintf("c%03d.site%02d.edu", i, i/2),
+			Category: PL, Site: fmt.Sprintf("site%02d.edu", i/2),
+			Region: "us-east", RoundsPerHour: 4,
+		})
 	}
-	byGroup := map[SiteGroup]int{}
-	replicaCensus := map[string]int{} // "0", "1", "multi"
-	hosts := map[string]bool{}
-	for _, w := range ws {
-		byGroup[w.Group]++
-		switch {
-		case w.Replicas == 0:
-			replicaCensus["0"]++
-		case w.Replicas == 1:
-			replicaCensus["1"]++
-		default:
-			replicaCensus["multi"]++
+	var ws []Website
+	for j := 0; j < m; j++ {
+		ws = append(ws, Website{
+			Host: fmt.Sprintf("www.w%02d.example", j), Group: USMisc,
+			Region: "us-east", Replicas: 1 + j%3, IndexSize: 10240,
+		})
+	}
+	return NewRosterTopology(cs, ws)
+}
+
+// testParams builds a minimal literal ScenarioParams for plumbing tests.
+func testParams(seed int64, start, end simnet.Time) ScenarioParams {
+	proc := func(kind faults.Kind, rate float64) faults.Process {
+		return faults.Process{Kind: kind, RatePerMonth: rate,
+			MeanDuration: 15 * time.Minute, MinDuration: time.Minute,
+			MaxDuration: 2 * time.Hour, SeverityLow: 0.85, SeverityHigh: 1}
+	}
+	perCat := func(kind faults.Kind, rate float64) map[Category]faults.Process {
+		m := make(map[Category]faults.Process)
+		for _, cat := range []Category{PL, DU, CN, BB} {
+			m[cat] = proc(kind, rate)
 		}
-		if hosts[w.Host] {
-			t.Errorf("duplicate host %q", w.Host)
-		}
-		hosts[w.Host] = true
+		return m
 	}
-	wantGroups := map[SiteGroup]int{
-		USEdu: 8, USPopular: 22, USMisc: 15, IntlEdu: 10, IntlPopular: 15, IntlMisc: 10,
-	}
-	for g, n := range wantGroups {
-		if byGroup[g] != n {
-			t.Errorf("group %s = %d, want %d", g, byGroup[g], n)
-		}
-	}
-	// Section 4.5 census: 6 CDN (zero replicas), 42 single, 32 multi.
-	if replicaCensus["0"] != 6 || replicaCensus["1"] != 42 || replicaCensus["multi"] != 32 {
-		t.Errorf("replica census = %v, want 6/42/32", replicaCensus)
-	}
-	// The named sites from the analyses must exist.
-	for _, h := range []string{"www.sina.com.cn", "www.iitb.ac.in", "www.sohu.com",
-		"www.brazzil.com", "www.espn.go.com", "www.royal.gov.uk", "www.mp3.com",
-		"www.msn.com.tw", "www.craigslist.org"} {
-		if !hosts[h] {
-			t.Errorf("missing host %q", h)
-		}
+	return ScenarioParams{
+		Seed: seed, Start: start, End: end,
+		MachineOff:     perCat(faults.ClientMachineOff, 2),
+		SiteConn:       perCat(faults.ClientConnectivity, 2),
+		ClientConn:     perCat(faults.ClientConnectivity, 3),
+		LDNSOutage:     perCat(faults.LDNSOutage, 1),
+		LDNSFlaky:      perCat(faults.LDNSOutage, 1),
+		WANOutage:      perCat(faults.PathOutage, 1),
+		SiteFactorMean: 1.5,
+		SiteOutage:     proc(faults.ServerOutage, 1),
+		ReplicaOutage:  proc(faults.ServerOutage, 0.5),
+		SiteOverload:   proc(faults.ServerOverload, 1),
+		AuthDNSOutage:  proc(faults.AuthDNSOutage, 0.5),
+		HTTPError:      proc(faults.ServerHTTPError, 0.2),
+		BGPRate:        1, BGPGlobalFraction: 0.7,
 	}
 }
 
 func TestTopologyAddressing(t *testing.T) {
-	topo := NewTopology()
+	cs, ws := testRoster()
+	topo := NewRosterTopology(cs, ws)
 	seen := map[string]bool{}
 	for i := range topo.Clients {
 		c := &topo.Clients[i]
@@ -126,14 +132,20 @@ func TestTopologyAddressing(t *testing.T) {
 			}
 		}
 	}
-	// Co-located clients share prefixes.
-	a := topo.ClientByName("planetlab1.kaist.ac.kr")
-	b := topo.ClientByName("planetlab2.kaist.ac.kr")
+	// Co-located clients share a prefix.
+	a := topo.ClientByName("pl1.alpha.edu")
+	b := topo.ClientByName("pl2.alpha.edu")
 	if a == nil || b == nil || a.Prefix != b.Prefix {
 		t.Error("co-located clients should share a prefix")
 	}
-	if topo.Website("www.mit.edu") == nil {
-		t.Error("Website lookup failed")
+	// SpreadReplicas sites get two prefixes; later replicas live on the
+	// second.
+	sp := topo.Website("www.spread.example")
+	if sp == nil || len(sp.Prefixes) != 2 {
+		t.Fatalf("spread site prefixes = %v, want 2", sp.Prefixes)
+	}
+	if !sp.Prefixes[0].Contains(sp.ReplicaAddrs[0]) || !sp.Prefixes[1].Contains(sp.ReplicaAddrs[1]) {
+		t.Error("spread replicas not split across prefixes")
 	}
 	if topo.Website("nonexistent") != nil || topo.ClientByName("nope") != nil {
 		t.Error("lookups for unknown names should be nil")
@@ -141,11 +153,13 @@ func TestTopologyAddressing(t *testing.T) {
 }
 
 func TestCoLocatedPairs(t *testing.T) {
-	topo := NewTopology()
+	cs, ws := testRoster()
+	topo := NewRosterTopology(cs, ws)
 	pairs := topo.CoLocatedPairs()
-	// Section 4.4.6: 35 pairs (33 PL + 2 BB); CN clients excluded.
-	if len(pairs) != 35 {
-		t.Fatalf("co-located pairs = %d, want 35", len(pairs))
+	// alpha.edu contributes 1 PL pair, home.one 1 BB pair; the CN site is
+	// excluded (proxies confound client-side attribution).
+	if len(pairs) != 2 {
+		t.Fatalf("co-located pairs = %v, want 2", pairs)
 	}
 	for _, p := range pairs {
 		a, b := topo.ClientByName(p[0]), topo.ClientByName(p[1])
@@ -158,19 +172,9 @@ func TestCoLocatedPairs(t *testing.T) {
 	}
 }
 
-func TestScaledTopology(t *testing.T) {
-	topo := NewScaledTopology(10, 5)
-	if len(topo.Clients) != 10 || len(topo.Websites) != 5 {
-		t.Fatalf("scaled = %d/%d", len(topo.Clients), len(topo.Websites))
-	}
-	full := NewScaledTopology(0, 0)
-	if len(full.Clients) != 134 || len(full.Websites) != 80 {
-		t.Fatalf("unscaled = %d/%d", len(full.Clients), len(full.Websites))
-	}
-}
-
 func TestAllPrefixesUnique(t *testing.T) {
-	topo := NewTopology()
+	cs, ws := testRoster()
+	topo := NewRosterTopology(cs, ws)
 	pfxs := topo.AllPrefixes()
 	seen := map[string]bool{}
 	for _, p := range pfxs {
@@ -179,15 +183,14 @@ func TestAllPrefixesUnique(t *testing.T) {
 		}
 		seen[p.String()] = true
 	}
-	// At least one prefix per client site (64+26ish+4+4) plus one per
-	// website.
-	if len(pfxs) < 150 {
-		t.Errorf("prefixes = %d, seems too few", len(pfxs))
+	// 5 client sites + 4 website prefixes + 1 extra spread prefix.
+	if len(pfxs) != 10 {
+		t.Errorf("prefixes = %d, want 10", len(pfxs))
 	}
 }
 
 func TestScheduleDeterminismAndShape(t *testing.T) {
-	topo := NewScaledTopology(4, 10)
+	topo := scaledTestTopology(4, 10)
 	end := simnet.FromHours(2)
 	collect := func() []Transaction {
 		var out []Transaction
@@ -226,7 +229,7 @@ func TestScheduleDeterminismAndShape(t *testing.T) {
 }
 
 func TestScheduleRandomizesOrder(t *testing.T) {
-	topo := NewScaledTopology(1, 20)
+	topo := scaledTestTopology(1, 20)
 	// Each round visits all 20 sites exactly once, so rounds are
 	// consecutive 20-transaction windows.
 	var seq []int
@@ -260,7 +263,7 @@ func TestScheduleRandomizesOrder(t *testing.T) {
 }
 
 func TestExpectedTransactions(t *testing.T) {
-	topo := NewScaledTopology(2, 10) // two PL clients, 4 rounds/hour
+	topo := scaledTestTopology(2, 10) // two PL clients, 4 rounds/hour
 	const seed = 11
 	got := ExpectedTransactions(topo, seed, 0, simnet.FromHours(10))
 	// The estimate must match what ForEachTransaction actually emits,
@@ -280,7 +283,7 @@ func TestExpectedTransactions(t *testing.T) {
 }
 
 func TestForEachTransactionRange(t *testing.T) {
-	topo := NewScaledTopology(7, 10)
+	topo := scaledTestTopology(7, 10)
 	end := simnet.FromHours(3)
 	const seed = 5
 	var serial []Transaction
@@ -305,53 +308,108 @@ func TestForEachTransactionRange(t *testing.T) {
 	}
 }
 
-func TestScenarioBuild(t *testing.T) {
-	topo := NewTopology()
-	p := DefaultScenarioParams(1, 0, simnet.FromHours(744))
+func TestStartOffsetDelaysFirstRound(t *testing.T) {
+	mk := func(offset time.Duration) *Topology {
+		return NewRosterTopology([]Client{
+			{Name: "c0", Category: PL, Site: "s0", Region: "us-east",
+				RoundsPerHour: 4, StartOffset: offset},
+		}, []Website{
+			{Host: "www.w0.example", Group: USMisc, Region: "us-east", Replicas: 1, IndexSize: 10240},
+		})
+	}
+	end := simnet.FromHours(2)
+	collect := func(topo *Topology) []simnet.Time {
+		var out []simnet.Time
+		ForEachTransaction(topo, 3, 0, end, func(tx *Transaction) { out = append(out, tx.At) })
+		return out
+	}
+	base := collect(mk(0))
+	delayed := collect(mk(time.Hour))
+	if len(base) == 0 || len(delayed) == 0 {
+		t.Fatalf("no transactions: base=%d delayed=%d", len(base), len(delayed))
+	}
+	if delayed[0] < simnet.FromHours(1) {
+		t.Errorf("first delayed txn at %v, want >= 1h", delayed[0])
+	}
+	// The delayed client runs the same per-round schedule, shifted: its
+	// transaction count matches the tail of the undelayed window.
+	if len(delayed) >= len(base) {
+		t.Errorf("delayed client emitted %d txns, undelayed %d; offset not applied", len(delayed), len(base))
+	}
+	// Zero offset is the byte-identical legacy schedule (the base
+	// collection already proves it runs from t=0).
+	if base[0] >= simnet.FromHours(1) {
+		t.Errorf("zero-offset first txn at %v, want < 1h", base[0])
+	}
+}
+
+func TestScenarioBuildPlumbing(t *testing.T) {
+	cs, ws := testRoster()
+	topo := NewRosterTopology(cs, ws)
+	p := testParams(1, 0, simnet.FromHours(744))
+	p.Specials = []SpecialServer{
+		{Host: "www.single.example", ChronicCover: 0.9, ChronicSeverity: [2]float64{0.1, 0.2}, ChronicKind: faults.ServerOutage},
+		{Host: "www.multi.example", ReplicaFlakyFraction: 0.05},
+	}
+	p.ChronicSites = []ChronicEntity{{Name: "alpha.edu", Cover: 0.4, Severity: [2]float64{0.1, 0.3}}}
+	p.ChronicClients = []ChronicEntity{{Name: "bb1.example.net", Cover: 0.3, Severity: [2]float64{0.1, 0.3}}}
+	p.PinnedBGP = []PinnedBGPEvent{{ClientSubstr: "beta.edu", AtUnix: simnet.Epoch + 3600, Duration: 45 * time.Minute, Severity: 1.0}}
+	p.Permanent = []PermanentPairSpec{
+		{Site: "alpha.edu", Host: "www.cdn.example", Mode: BlockNoConn},
+		{Site: "no-such-site", Host: "www.cdn.example", Mode: BlockNoConn},
+		{Site: "alpha.edu", Host: "www.no-such.example", Mode: BlockNoConn},
+	}
 	sc := BuildScenario(topo, p)
 	if sc.Timeline.Len() == 0 {
 		t.Fatal("empty timeline")
 	}
-	// The 38 permanent client-server pairs of Section 4.4.2.
-	pairs := sc.PermanentClientPairs(topo)
-	if len(pairs) != 38 {
-		t.Fatalf("permanent client pairs = %d, want 38", len(pairs))
+	// Permanent pairs: only the resolvable pair lands, expanded to the
+	// site's two clients.
+	if got := sc.PermanentClientPairs(topo); len(got) != 2 {
+		t.Fatalf("permanent client pairs = %v, want 2", got)
 	}
-	counts := map[string]int{}
-	for _, p := range pairs {
-		counts[p[1]]++
-	}
-	if counts["www.msn.com.tw"] != 10 || counts["www.sina.com.cn"] != 9 || counts["www.sohu.com"] != 8 {
-		t.Errorf("per-site pair counts = %v", counts)
-	}
-	// Figure events are placed.
-	howard := topo.ClientByName("planetlab1.howard.edu")
-	if howard == nil {
-		t.Fatal("howard client missing")
-	}
-	eps := sc.Timeline.Episodes(faults.Entity("prefix:" + howard.Prefix.String()))
-	foundFig5 := false
-	for _, ep := range eps {
-		if ep.Kind == faults.BGPInstability && ep.Start == simnet.FromUnix(1105632000) {
-			foundFig5 = true
+	// Pinned BGP event placed on the named client's prefix at its instant.
+	beta := topo.ClientByName("pl1.beta.edu")
+	foundPinned := false
+	for _, ep := range sc.Timeline.Episodes(faults.Entity("prefix:" + beta.Prefix.String())) {
+		if ep.Kind == faults.BGPInstability && ep.Start == simnet.FromUnix(simnet.Epoch+3600) {
+			foundPinned = true
 		}
 	}
-	if !foundFig5 {
-		t.Error("Figure 5 BGP event not placed")
+	if !foundPinned {
+		t.Error("pinned BGP event not placed")
 	}
-	// Special-server chronic faults exist.
-	if len(sc.Timeline.Episodes("www:www.sina.com.cn")) == 0 {
-		t.Error("sina chronic episodes missing")
+	// Specials and chronic entities produce episodes.
+	if len(sc.Timeline.Episodes("www:www.single.example")) == 0 {
+		t.Error("special-server chronic episodes missing")
 	}
-	if len(sc.Timeline.Episodes("site:pittsburgh.intel-research.net")) == 0 {
-		t.Error("intel chronic flakiness missing")
+	if len(sc.Timeline.Episodes("site:alpha.edu")) == 0 {
+		t.Error("chronic site episodes missing")
+	}
+	if len(sc.Timeline.Episodes("client:bb1.example.net")) == 0 {
+		t.Error("chronic client episodes missing")
+	}
+	// Chronic coverage: www.single.example under its episode most hours.
+	covered := 0
+	for h := int64(0); h < 744; h++ {
+		at := simnet.FromHours(h).Add(30 * time.Minute)
+		for _, ep := range sc.Timeline.ActiveAny("www:www.single.example", at) {
+			if ep.Kind == faults.ServerOutage {
+				covered++
+				break
+			}
+		}
+	}
+	if covered < 550 {
+		t.Errorf("chronic coverage = %d/744 hours, want > 550 (~90%%)", covered)
 	}
 }
 
 func TestScenarioDeterminism(t *testing.T) {
-	topo := NewTopology()
+	cs, ws := testRoster()
+	topo := NewRosterTopology(cs, ws)
 	build := func() int {
-		sc := BuildScenario(topo, DefaultScenarioParams(9, 0, simnet.FromHours(200)))
+		sc := BuildScenario(topo, testParams(9, 0, simnet.FromHours(200)))
 		return sc.Timeline.Len()
 	}
 	if build() != build() {
@@ -359,39 +417,20 @@ func TestScenarioDeterminism(t *testing.T) {
 	}
 }
 
-func TestScenarioChronicCoverage(t *testing.T) {
-	topo := NewTopology()
-	sc := BuildScenario(topo, DefaultScenarioParams(3, 0, simnet.FromHours(744)))
-	// sina.com.cn should be under a chronic episode ~97% of the month.
-	ent := faults.Entity("www:www.sina.com.cn")
-	covered := 0
-	for h := int64(0); h < 744; h++ {
-		at := simnet.FromHours(h).Add(30 * time.Minute)
-		for _, ep := range sc.Timeline.ActiveAny(ent, at) {
-			if ep.Kind == faults.ServerOutage {
-				covered++
-				break
-			}
-		}
-	}
-	if covered < 650 {
-		t.Errorf("sina chronic coverage = %d/744 hours, want > 650", covered)
-	}
-}
-
 func TestDialupScheduleBursts(t *testing.T) {
-	// DU virtual clients download all URLs "at a stretch" (3 s spacing)
-	// once per 4-hour round; PL clients pace evenly through the round.
-	topo := NewTopology()
-	var duIdx, plIdx int = -1, -1
-	for i := range topo.Clients {
-		if topo.Clients[i].Category == DU && duIdx < 0 {
-			duIdx = i
-		}
-		if topo.Clients[i].Category == PL && plIdx < 0 {
-			plIdx = i
-		}
+	// DU virtual clients download all URLs "at a stretch" (3 s spacing);
+	// PL clients pace evenly through the round.
+	var ws []Website
+	for j := 0; j < 80; j++ {
+		ws = append(ws, Website{Host: fmt.Sprintf("www.w%02d.example", j),
+			Group: USMisc, Region: "us-east", Replicas: 1, IndexSize: 10240})
 	}
+	cs := []Client{
+		{Name: "pl1.alpha.edu", Category: PL, Site: "alpha.edu", Region: "us-east", RoundsPerHour: 4},
+		{Name: "dialup.sea.i.example.net", Category: DU, Site: "pop.sea.i", Region: "us-west", RoundsPerHour: 0.25},
+	}
+	topo := NewRosterTopology(cs, ws)
+	duIdx, plIdx := 1, 0
 	var duTimes, plTimes []simnet.Time
 	ForEachTransaction(topo, 3, 0, simnet.FromHours(8), func(tx *Transaction) {
 		switch tx.ClientIdx {

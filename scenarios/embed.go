@@ -1,0 +1,41 @@
+// Package scenarios embeds the checked-in scenario spec files so the
+// CLIs can resolve `-scenario NAME` without touching the filesystem.
+// Each *.json file in this directory is a declarative scenario spec in
+// the internal/scenario format; the file name (minus .json) is the
+// scenario name used on the command line.
+package scenarios
+
+import (
+	"embed"
+	"sort"
+	"strings"
+)
+
+//go:embed *.json
+var fs embed.FS
+
+// Names lists the embedded scenario names, sorted.
+func Names() []string {
+	entries, err := fs.ReadDir(".")
+	if err != nil {
+		panic("scenarios: " + err.Error())
+	}
+	var out []string
+	for _, e := range entries {
+		if n, ok := strings.CutSuffix(e.Name(), ".json"); ok {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Read returns the spec bytes for an embedded scenario name, or false
+// when no such scenario is checked in.
+func Read(name string) ([]byte, bool) {
+	b, err := fs.ReadFile(name + ".json")
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}

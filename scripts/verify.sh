@@ -50,3 +50,31 @@ go test -race -run 'TestPacketSerialParallelEquivalence|TestPacketParallelShardO
 go test -run 'TestTimerStop|TestWheelMatchesReferenceOrder|TestSchedulerTimerChurnZeroAlloc|TestPacketSendDeliverZeroAlloc|TestPacketPoolRecycles' \
     -count=1 ./internal/simnet
 go test -run 'TestCalibration' -count=1 -timeout 10m ./internal/measure
+# Scenario gates: every checked-in scenario must validate, compile, and
+# complete a short-horizon fast run under the auto analyzer state; the
+# paper-default spec must compile to the exact hard-coded roster and
+# fault timeline (golden equivalence below re-proves the stdout side);
+# a generated non-paper fleet must be serial/parallel equivalent under
+# the race detector; and the 10k-chaos world must run end to end —
+# generate, run, -save, webfail-analyze — with byte-identical analysis
+# output for any -parallel value under the sparse analyzer. (The raw
+# dataset files are not compared: sharded sinks flush independently
+# compressed chunks, so the byte layout legitimately varies by shard
+# count while the canonical record stream — what analyze reads — is
+# identical, per TestShardedSaveEquivalence.)
+go test -run 'TestPaper|TestEmbeddedScenariosCompile|TestValidate|TestChaosScenarioScale' ./internal/scenario
+go test -run 'TestGoldenOutput|TestScenarioFlagDefaultEquivalence|TestScenarioGoldens' ./cmd/webfail
+go test -race -run 'TestScenarioSerialParallelEquivalence' -count=1 ./cmd/webfail
+go build -o /tmp/webfail-verify ./cmd/webfail
+go build -o /tmp/webfail-analyze-verify ./cmd/webfail-analyze
+for sc in paper-default 10k-chaos cascading-outage cdn-flap; do
+    /tmp/webfail-verify -scenario "$sc" -hours 1 -state auto -artifacts headlines > /dev/null
+done
+/tmp/webfail-verify -scenario 10k-chaos -hours 1 -parallel 1 -state sparse \
+    -artifacts headlines -save /tmp/chaos_p1.ds > /dev/null
+/tmp/webfail-verify -scenario 10k-chaos -hours 1 -parallel 4 -state sparse \
+    -artifacts headlines -save /tmp/chaos_p4.ds > /dev/null
+/tmp/webfail-analyze-verify -in /tmp/chaos_p1.ds -artifacts all > /tmp/chaos_p1.out
+/tmp/webfail-analyze-verify -in /tmp/chaos_p4.ds -artifacts all > /tmp/chaos_p4.out
+cmp /tmp/chaos_p1.out /tmp/chaos_p4.out
+rm -f /tmp/webfail-verify /tmp/webfail-analyze-verify /tmp/chaos_p1.ds /tmp/chaos_p4.ds /tmp/chaos_p1.out /tmp/chaos_p4.out
