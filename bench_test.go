@@ -632,18 +632,18 @@ func getDatasetFixture(b *testing.B) ([]measure.Record, measure.DatasetMeta, *wo
 	return f.recs, f.meta, f.topo, f.end
 }
 
-// BenchmarkDatasetSave streams the fixture's failure records through a
-// v2 writer sink. The sink holds at most one chunk (DefaultChunkRecords
-// records) at a time — peak memory is bounded by chunk size, not the
-// stored record count, which is the property that lets `webfail -save`
-// stream month-scale datasets.
-func BenchmarkDatasetSave(b *testing.B) {
+// benchDatasetSave streams the fixture's failure records through a
+// writer sink at the given format generation. The sink holds at most
+// one chunk (DefaultChunkRecords records) at a time — peak memory is
+// bounded by chunk size, not the stored record count, which is the
+// property that lets `webfail -save` stream month-scale datasets.
+func benchDatasetSave(b *testing.B, opts dataset.Options) {
 	recs, meta, _, _ := getDatasetFixture(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var out discardCounter
-		w, err := dataset.NewWriter(&out, meta, dataset.Options{})
+		w, err := dataset.NewWriter(&out, meta, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -664,13 +664,23 @@ func BenchmarkDatasetSave(b *testing.B) {
 	}
 }
 
-// BenchmarkDatasetLoadParallel measures the sharded ingest path end to
-// end: open a v2 dataset and ConsumeParallel it across GOMAXPROCS
-// client-range shards (each worker reads only its overlapping chunks).
-func BenchmarkDatasetLoadParallel(b *testing.B) {
+// BenchmarkDatasetSave measures the current default save path (v3
+// columnar chunks through the compression pipeline); the V2 variant is
+// the gob-chunk baseline it replaced, on the same fixture geometry.
+func BenchmarkDatasetSave(b *testing.B)   { benchDatasetSave(b, dataset.Options{}) }
+func BenchmarkDatasetSaveV2(b *testing.B) { benchDatasetSave(b, dataset.Options{Version: 2}) }
+
+// benchDatasetLoadParallel measures the sharded ingest path end to end:
+// open a dataset at the given format generation and ConsumeParallel it
+// across GOMAXPROCS client-range shards (each worker reads only its
+// overlapping chunks, decoding through reused buffers). Ingest runs the
+// passes webfail-analyze's default summary resolves to (totals +
+// traffic), so the bench tracks record I/O rather than the cost of
+// constructing every analyzer grid.
+func benchDatasetLoadParallel(b *testing.B, opts dataset.Options) {
 	recs, meta, topo, end := getDatasetFixture(b)
 	var buf bytes.Buffer
-	w, err := dataset.NewWriter(&buf, meta, dataset.Options{})
+	w, err := dataset.NewWriter(&buf, meta, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -688,20 +698,32 @@ func BenchmarkDatasetLoadParallel(b *testing.B) {
 	}
 	data := buf.Bytes()
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		src, err := dataset.Open(bytes.NewReader(data), int64(len(data)))
 		if err != nil {
 			b.Fatal(err)
 		}
-		a, err := core.ConsumeParallel(topo, 0, end, src, 0)
+		a, err := core.ConsumeParallelOpts(topo, 0, end, src, core.IngestOptions{
+			Passes: []core.PassName{core.PassTotals, core.PassTraffic},
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
 		if a.TotalTxns() != int64(len(recs)) {
 			b.Fatalf("ingested %d records, want %d", a.TotalTxns(), len(recs))
 		}
+		b.ReportMetric(float64(len(recs)), "records/op")
 	}
+}
+
+// BenchmarkDatasetLoadParallel measures the current default load path
+// (v3 columnar decode with read-ahead); the V2 variant is the gob-chunk
+// baseline on the same fixture geometry.
+func BenchmarkDatasetLoadParallel(b *testing.B) { benchDatasetLoadParallel(b, dataset.Options{}) }
+func BenchmarkDatasetLoadParallelV2(b *testing.B) {
+	benchDatasetLoadParallel(b, dataset.Options{Version: 2})
 }
 
 // BenchmarkAnalyzeSelective measures the ingest cost of the analyzer

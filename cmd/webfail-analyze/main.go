@@ -9,8 +9,15 @@
 //
 //	webfail-analyze -in dataset.bin [-top N] [-parallel N] [-artifacts LIST]
 //	                [-state auto|dense|sparse]
+//	                [-rewrite PATH] [-dataset-version N]
 //	                [-cpuprofile PATH] [-memprofile PATH]
 //	                [-metrics-out PATH] [-metrics-listen ADDR] [-progress]
+//
+// -rewrite PATH converts the input dataset to the current format (or
+// the generation picked by -dataset-version) and exits without
+// analyzing: the upgrade path for v1/v2 archives. The record stream and
+// meta are preserved exactly, so analysis over the rewritten file is
+// byte-identical to analysis over the original.
 //
 // The ingest into the core analysis accumulator is sharded across
 // -parallel workers: each worker opens only the dataset chunks
@@ -70,6 +77,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "ingest worker shards (1 = serial)")
 	artifacts := fs.String("artifacts", "", `comma-separated report artifacts to render ("all" = everything)`)
 	state := fs.String("state", "auto", "analyzer state representation: auto, dense, or sparse")
+	rewrite := fs.String("rewrite", "", "convert the dataset to this path and exit (no analysis)")
+	dsVersion := fs.Int("dataset-version", dataset.DefaultVersion, "dataset format for -rewrite (2 or 3)")
 	var obsFlags obs.CLIFlags
 	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -102,6 +111,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *rewrite != "" {
+		out, err := os.Create(*rewrite)
+		if err != nil {
+			return fmt.Errorf("rewrite: %w", err)
+		}
+		span := reg.Span("rewrite")
+		if err := dataset.Rewrite(src, out, dataset.Options{Version: *dsVersion, Metrics: reg}); err != nil {
+			out.Close()
+			return fmt.Errorf("rewrite: %w", err)
+		}
+		span.End()
+		if err := out.Close(); err != nil {
+			return fmt.Errorf("rewrite: %w", err)
+		}
+		fmt.Fprintf(stderr, "webfail-analyze: rewrote %d records to %s (v%d)\n", src.Stored(), *rewrite, *dsVersion)
+		return nil
+	}
+
 	meta := src.Meta()
 	spec, err := scenarioFor(meta)
 	if err != nil {

@@ -25,7 +25,10 @@
 //	-state M     analyzer state representation: "auto" (default; dense at
 //	             paper scale, sparse past the cell budget), "dense", or
 //	             "sparse" — output is identical for any value
-//	-save PATH   stream the failure dataset to PATH (v2 chunked format)
+//	-save PATH   stream the failure dataset to PATH (v3 columnar format)
+//	-dataset-version N  dataset format generation for -save: 3 (default,
+//	             columnar + pipelined compression) or 2 (gob chunks);
+//	             any version analyzes identically
 //	-cpuprofile PATH  write a runtime/pprof CPU profile of the run
 //	-memprofile PATH  write a heap profile at exit
 //	-metrics-out PATH    write a Prometheus-style metrics dump at exit
@@ -82,6 +85,7 @@ func run(argv []string, stdout io.Writer) error {
 		artifacts    = fs.String("artifacts", "", "comma-separated artifacts (table1..table9, fig1..fig7, replicas, headlines)")
 		only         = fs.String("only", "", "alias for -artifacts")
 		savePath     = fs.String("save", "", "write failure dataset to this path")
+		dsVersion    = fs.Int("dataset-version", dataset.DefaultVersion, "dataset format for -save (2 or 3)")
 		state        = fs.String("state", "auto", "analyzer state representation: auto, dense, or sparse")
 		obsFlags     obs.CLIFlags
 	)
@@ -187,7 +191,7 @@ func run(argv []string, stdout io.Writer) error {
 			Seed: *seed, StartUnix: simnet.Time(0).Unix(), EndUnix: end.Unix(),
 			Clients: len(topo.Clients), Websites: len(topo.Websites),
 			Scenario: spec.Name, SpecHash: spec.Hash(), SpecJSON: spec.CanonicalJSON(),
-		}, dataset.Options{Metrics: reg})
+		}, dataset.Options{Version: *dsVersion, Metrics: reg})
 		if err != nil {
 			return fmt.Errorf("save: %w", err)
 		}

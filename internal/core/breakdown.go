@@ -50,10 +50,11 @@ func (a *Analysis) Summary() []CategorySummary {
 			s.FailConns = t.catFailCo[cat]
 		}
 		if f := t.catFails[cat]; f > 0 {
-			sc := t.stageCounts[cat]
-			s.DNSShare = float64(sc[httpsim.StageDNS]) / float64(f)
-			s.TCPShare = float64(sc[httpsim.StageTCP]) / float64(f)
-			s.HTTPShare = float64(sc[httpsim.StageHTTP]) / float64(f)
+			if sc := t.stageCounts[cat]; sc != nil {
+				s.DNSShare = float64(sc[httpsim.StageDNS]) / float64(f)
+				s.TCPShare = float64(sc[httpsim.StageTCP]) / float64(f)
+				s.HTTPShare = float64(sc[httpsim.StageHTTP]) / float64(f)
+			}
 		}
 		out = append(out, s)
 	}
@@ -112,7 +113,10 @@ func (a *Analysis) DNSBreakdown() []DNSBreakdownRow {
 	out := make([]DNSBreakdownRow, 0, len(order))
 	for _, cat := range order {
 		dc := t.dnsClassByCat[cat]
-		total := dc[measure.DNSLDNSTimeout] + dc[measure.DNSNonLDNSTimeout] + dc[measure.DNSErrorResponse]
+		var total int64
+		if dc != nil {
+			total = dc[measure.DNSLDNSTimeout] + dc[measure.DNSNonLDNSTimeout] + dc[measure.DNSErrorResponse]
+		}
 		row := DNSBreakdownRow{Category: cat, FailureCount: total}
 		if total > 0 {
 			row.LDNSTimeout = float64(dc[measure.DNSLDNSTimeout]) / float64(total)
@@ -200,7 +204,10 @@ func (a *Analysis) TCPBreakdown() []TCPBreakdownRow {
 	out := make([]TCPBreakdownRow, 0, len(order))
 	for _, cat := range order {
 		tk := t.tcpKindByCat[cat]
-		total := tk[httpsim.NoConnection] + tk[httpsim.NoResponse] + tk[httpsim.PartialResponse]
+		var total int64
+		if tk != nil {
+			total = tk[httpsim.NoConnection] + tk[httpsim.NoResponse] + tk[httpsim.PartialResponse]
+		}
 		row := TCPBreakdownRow{Category: cat, FailureCount: total}
 		if total > 0 {
 			row.NoConnection = float64(tk[httpsim.NoConnection]) / float64(total)

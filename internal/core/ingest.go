@@ -29,6 +29,13 @@ func (a *Analysis) Consume(src dataset.RecordSource) error {
 // selects GOMAXPROCS. passes selects the analyzer passes every shard
 // accumulator is built with (none = all): unselected passes are never
 // constructed, in any shard or in the merged result.
+//
+// Ingest is fully streaming: no shard ever materializes a []Record —
+// the source hands each worker records one at a time through reused
+// decode buffers (the RecordSource non-retention contract), so ingest
+// memory is bounded by the source's per-chunk working set regardless of
+// dataset size. Add copies everything it keeps, satisfying the
+// contract.
 func ConsumeParallel(topo *workload.Topology, start, end simnet.Time, src dataset.RecordSource, shards int, passes ...PassName) (*Analysis, error) {
 	return ConsumeParallelOpts(topo, start, end, src, IngestOptions{Shards: shards, Passes: passes})
 }

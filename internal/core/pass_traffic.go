@@ -3,27 +3,45 @@ package core
 import (
 	"webfail/internal/httpsim"
 	"webfail/internal/measure"
-	"webfail/internal/workload"
 )
 
+// enumCounts is a flat counter bank indexed by a uint8 enum value
+// (Category, Stage, DNSOutcome, ConnFailKind). The full 256-slot span
+// means any byte a decoded record carries is a valid index — the hot
+// ingest path is pure array arithmetic with no hashing, no bounds
+// checks, and no way to panic on unexpected enum values.
+type enumCounts [256]int64
+
+func (c *enumCounts) addAll(src *enumCounts) {
+	for i, v := range src {
+		if v != 0 {
+			c[i] += v
+		}
+	}
+}
+
 // trafficPass accumulates the per-category traffic breakdowns (Table 3,
-// Figure 1), the DNS and TCP failure sub-class maps (Table 4,
-// Figures 2–3), and per-client loss accounting (Section 4.1.3).
+// Figure 1), the DNS and TCP failure sub-classes (Table 4, Figures 2–3),
+// and per-client loss accounting (Section 4.1.3). Counters are flat
+// enum-indexed arrays rather than maps: ingest touches several of them
+// per record, and at dataset-replay rates the map hashing dominated the
+// whole pass.
 type trafficPass struct {
 	// Category totals (Table 3).
-	catTxns, catFails   map[workload.Category]int64
-	catConns, catFailCo map[workload.Category]int64
+	catTxns, catFails   enumCounts
+	catConns, catFailCo enumCounts
 
-	// Failure-stage counts per category (Figure 1).
-	stageCounts map[workload.Category]map[httpsim.Stage]int64
+	// Failure-stage counts per category (Figure 1); banks allocate
+	// lazily on a category's first failure.
+	stageCounts [256]*enumCounts
 
 	// DNS failure sub-classes per category (Table 4) and per website
 	// (Figure 2).
-	dnsClassByCat  map[workload.Category]map[measure.DNSOutcome]int64
-	dnsClassBySite []map[measure.DNSOutcome]int64
+	dnsClassByCat  [256]*enumCounts
+	dnsClassBySite []*enumCounts
 
 	// TCP failure kinds per category (Figure 3).
-	tcpKindByCat map[workload.Category]map[httpsim.ConnFailKind]int64
+	tcpKindByCat [256]*enumCounts
 
 	// Per-client loss accounting (Section 4.1.3). Capacity-aware: flat
 	// arrays at paper scale, hash-backed for mega-rosters.
@@ -32,14 +50,7 @@ type trafficPass struct {
 
 func newTrafficPass(nClients, nSites int, st StateMode) *trafficPass {
 	return &trafficPass{
-		catTxns:        make(map[workload.Category]int64),
-		catFails:       make(map[workload.Category]int64),
-		catConns:       make(map[workload.Category]int64),
-		catFailCo:      make(map[workload.Category]int64),
-		stageCounts:    make(map[workload.Category]map[httpsim.Stage]int64),
-		dnsClassByCat:  make(map[workload.Category]map[measure.DNSOutcome]int64),
-		dnsClassBySite: make([]map[measure.DNSOutcome]int64, nSites),
-		tcpKindByCat:   make(map[workload.Category]map[httpsim.ConnFailKind]int64),
+		dnsClassBySite: make([]*enumCounts, nSites),
 		clientPkts:     newCounterVec(nClients, st),
 		clientRetrans:  newCounterVec(nClients, st),
 	}
@@ -53,45 +64,61 @@ func (p *trafficPass) Artifacts() []string {
 func (p *trafficPass) Consume(r *measure.Record, _ int) { p.consume(r) }
 
 func (p *trafficPass) consume(r *measure.Record) {
-	p.catTxns[r.Category]++
-	p.catConns[r.Category] += int64(r.Conns)
-	p.catFailCo[r.Category] += int64(r.FailedConns())
+	cat := r.Category
+	p.catTxns[cat]++
+	p.catConns[cat] += int64(r.Conns)
+	p.catFailCo[cat] += int64(r.FailedConns())
 	p.clientPkts.add(r.ClientIdx, int64(r.DataPkts))
 	p.clientRetrans.add(r.ClientIdx, int64(r.Retransmits))
 
 	if !r.Failed() {
 		return
 	}
-	p.catFails[r.Category]++
+	p.catFails[cat]++
 
-	sc := p.stageCounts[r.Category]
+	sc := p.stageCounts[cat]
 	if sc == nil {
-		sc = make(map[httpsim.Stage]int64)
-		p.stageCounts[r.Category] = sc
+		sc = new(enumCounts)
+		p.stageCounts[cat] = sc
 	}
 	sc[r.Stage]++
 
 	switch r.Stage {
 	case httpsim.StageDNS:
-		dc := p.dnsClassByCat[r.Category]
+		dc := p.dnsClassByCat[cat]
 		if dc == nil {
-			dc = make(map[measure.DNSOutcome]int64)
-			p.dnsClassByCat[r.Category] = dc
+			dc = new(enumCounts)
+			p.dnsClassByCat[cat] = dc
 		}
 		dc[r.DNS]++
 		ds := p.dnsClassBySite[r.SiteIdx]
 		if ds == nil {
-			ds = make(map[measure.DNSOutcome]int64)
+			ds = new(enumCounts)
 			p.dnsClassBySite[r.SiteIdx] = ds
 		}
 		ds[r.DNS]++
 	case httpsim.StageTCP:
-		tk := p.tcpKindByCat[r.Category]
+		tk := p.tcpKindByCat[cat]
 		if tk == nil {
-			tk = make(map[httpsim.ConnFailKind]int64)
-			p.tcpKindByCat[r.Category] = tk
+			tk = new(enumCounts)
+			p.tcpKindByCat[cat] = tk
 		}
 		tk[r.FailKind]++
+	}
+}
+
+// mergeBanks folds src's lazily allocated counter banks into dst.
+func mergeBanks(dst, src *[256]*enumCounts) {
+	for i, s := range src {
+		if s == nil {
+			continue
+		}
+		d := dst[i]
+		if d == nil {
+			d = new(enumCounts)
+			dst[i] = d
+		}
+		d.addAll(s)
 	}
 }
 
@@ -100,61 +127,26 @@ func (p *trafficPass) Merge(other Pass) error {
 	if !ok {
 		return mergeTypeError(p, other)
 	}
-	mergeCatCounts(p.catTxns, q.catTxns)
-	mergeCatCounts(p.catFails, q.catFails)
-	mergeCatCounts(p.catConns, q.catConns)
-	mergeCatCounts(p.catFailCo, q.catFailCo)
-	for cat, src := range q.stageCounts {
-		dst := p.stageCounts[cat]
-		if dst == nil {
-			dst = make(map[httpsim.Stage]int64, len(src))
-			p.stageCounts[cat] = dst
-		}
-		for k, v := range src {
-			dst[k] += v
-		}
-	}
-	for cat, src := range q.dnsClassByCat {
-		dst := p.dnsClassByCat[cat]
-		if dst == nil {
-			dst = make(map[measure.DNSOutcome]int64, len(src))
-			p.dnsClassByCat[cat] = dst
-		}
-		for k, v := range src {
-			dst[k] += v
-		}
-	}
-	for cat, src := range q.tcpKindByCat {
-		dst := p.tcpKindByCat[cat]
-		if dst == nil {
-			dst = make(map[httpsim.ConnFailKind]int64, len(src))
-			p.tcpKindByCat[cat] = dst
-		}
-		for k, v := range src {
-			dst[k] += v
-		}
-	}
+	p.catTxns.addAll(&q.catTxns)
+	p.catFails.addAll(&q.catFails)
+	p.catConns.addAll(&q.catConns)
+	p.catFailCo.addAll(&q.catFailCo)
+	mergeBanks(&p.stageCounts, &q.stageCounts)
+	mergeBanks(&p.dnsClassByCat, &q.dnsClassByCat)
+	mergeBanks(&p.tcpKindByCat, &q.tcpKindByCat)
 	for si, src := range q.dnsClassBySite {
 		if src == nil {
 			continue
 		}
 		dst := p.dnsClassBySite[si]
 		if dst == nil {
-			dst = make(map[measure.DNSOutcome]int64, len(src))
+			dst = new(enumCounts)
 			p.dnsClassBySite[si] = dst
 		}
-		for k, v := range src {
-			dst[k] += v
-		}
+		dst.addAll(src)
 	}
 	if err := mergeCounterVec(&p.clientPkts, &q.clientPkts); err != nil {
 		return err
 	}
 	return mergeCounterVec(&p.clientRetrans, &q.clientRetrans)
-}
-
-func mergeCatCounts(dst, src map[workload.Category]int64) {
-	for k, v := range src {
-		dst[k] += v
-	}
 }

@@ -1,22 +1,25 @@
-// Package dataset is the stored-data layer: the v2 on-disk format for
-// performance-record datasets (magic "WEBFAILDS2") and the streaming
-// RecordSink/RecordSource abstraction the rest of the system programs
-// against.
+// Package dataset is the stored-data layer: the on-disk formats for
+// performance-record datasets (v3 "WEBFAILDS3", v2 "WEBFAILDS2") and
+// the streaming RecordSink/RecordSource abstraction the rest of the
+// system programs against.
 //
 // The v1 format (internal/measure's gob+gzip blob, magic "WEBFAILDS1")
 // had to be fully decoded into one []Record before any analysis could
 // start, so `webfail-analyze` paid the whole dataset in memory and could
-// not shard its ingest without rescanning every record per shard. The v2
-// format is chunked:
+// not shard its ingest without rescanning every record per shard. The
+// v2 and v3 formats are chunked:
 //
-//	magic "WEBFAILDS2\n"
-//	chunk 0 … chunk n-1     each an independently gzip-compressed gob
-//	                        []measure.Record, at most ChunkRecords long
+//	magic "WEBFAILDS2\n" / "WEBFAILDS3\n"
+//	chunk 0 … chunk n-1     each an independently gzip-compressed unit
+//	                        of at most ChunkRecords records — a gob
+//	                        []measure.Record in v2, a hand-rolled
+//	                        columnar block in v3 (see codec.go)
 //	index                   gob(index{Meta, Chunks}) — per chunk: offset,
-//	                        length, record count, client range [Lo, Hi],
-//	                        stream id and per-stream sequence number
+//	                        length, raw (pre-compression) length, record
+//	                        count, client range [Lo, Hi], stream id and
+//	                        per-stream sequence number
 //	footer                  index offset (8B BE) | index length (8B BE) |
-//	                        "WFDS2IDX"
+//	                        "WFDS2IDX" / "WFDS3IDX"
 //
 // Because every chunk carries its client range in the index, a reader
 // can open only the chunks overlapping a client range — the exact
@@ -25,31 +28,47 @@
 // file concurrently: chunk order in the file does not matter, the index
 // is sorted into canonical client-major order at Close.
 //
-// Compatibility policy: v1 datasets remain loadable forever through
-// Open, routed into the same RecordSource interface (see legacy.go);
-// new datasets are always written as v2.
+// v3 additionally moves the codec work off both hot paths: writers hand
+// sealed chunks to a bounded compression pipeline, and readers
+// decompress upcoming chunks ahead of the consumer, decoding into
+// reused record buffers so steady-state record I/O allocates nothing
+// per record. Chunk boundaries are fixed by record count, never by
+// worker timing, so the stored record stream is bit-deterministic for
+// a given run (see DESIGN.md §5j).
+//
+// Compatibility policy: v1 and v2 datasets remain loadable forever
+// through Open, routed into the same RecordSource interface (see
+// legacy.go for v1); new datasets are written as v3 unless
+// Options.Version pins v2. Rewrite converts any readable dataset to
+// the current format.
 package dataset
 
 import (
 	"webfail/internal/measure"
 )
 
-// Magic strings of the two dataset generations. Both are 11 bytes, so
-// Open can sniff either with one read.
+// Magic strings of the three dataset generations. All are 11 bytes, so
+// Open can sniff any of them with one read.
 const (
 	magicV1 = "WEBFAILDS1\n"
 	magicV2 = "WEBFAILDS2\n"
+	magicV3 = "WEBFAILDS3\n"
 
-	// footerMagic ends every v2 file; Open locates the index from it.
-	footerMagic = "WFDS2IDX"
-	// footerLen is offset (8) + length (8) + footerMagic (8).
+	// footerMagic / footerMagicV3 end every chunked file; Open locates
+	// the index from them.
+	footerMagic   = "WFDS2IDX"
+	footerMagicV3 = "WFDS3IDX"
+	// footerLen is offset (8) + length (8) + footer magic (8).
 	footerLen = 24
 )
 
+// DefaultVersion is the format generation written when Options leaves
+// Version unset.
+const DefaultVersion = 3
+
 // DefaultChunkRecords is the chunk capacity used when Options leaves
-// ChunkRecords unset: large enough that gzip amortizes well (~100 bytes
-// of gob per record), small enough that a reader's working set stays in
-// the low megabytes.
+// ChunkRecords unset: large enough that compression amortizes well,
+// small enough that a reader's working set stays in the low megabytes.
 const DefaultChunkRecords = 8192
 
 // RecordSink receives performance records one at a time, the streaming
@@ -72,6 +91,11 @@ type RecordSource interface {
 	// in [lo, hi), in canonical order: client-major, per-client
 	// time-ordered — the order a serial run emits. A non-nil error from
 	// visit aborts the scan and is returned.
+	//
+	// The pointed-to Record is only valid for the duration of the visit
+	// call: sources decode into reused buffers (the streaming ingest
+	// contract that keeps per-record allocations at zero), so a visitor
+	// that retains records must copy them.
 	Records(lo, hi int, visit func(r *measure.Record) error) error
 }
 
@@ -85,14 +109,16 @@ func AllRecords(src RecordSource, visit func(r *measure.Record) error) error {
 type chunkInfo struct {
 	Offset int64 // byte offset of the gzip stream
 	Length int64 // compressed length in bytes
+	Raw    int64 // pre-compression payload length (v3; 0 in v2 files)
 	Count  int32 // records in the chunk
 	Lo, Hi int32 // min/max ClientIdx in the chunk (inclusive)
 	Stream int32 // writing sink's stream id
 	Seq    int32 // per-stream chunk ordinal
 }
 
-// index is the trailing v2 index, gob-encoded between the last chunk
-// and the footer.
+// index is the trailing index, gob-encoded between the last chunk and
+// the footer. Gob tolerates the v3-only Raw field when reading v2
+// files (it decodes to zero), so one index schema serves both.
 type index struct {
 	Meta   measure.DatasetMeta
 	Chunks []chunkInfo

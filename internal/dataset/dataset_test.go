@@ -85,18 +85,43 @@ func sameRecords(t *testing.T, got, want []measure.Record, label string) {
 	}
 }
 
-// TestDatasetV2RoundTrip is the save→load property: for random record
-// sets and a sweep of chunk sizes (forcing 1..n chunks, partial last
-// chunks, and the empty dataset), the reader reproduces the written
-// records exactly, in canonical order, with the meta intact.
-func TestDatasetV2RoundTrip(t *testing.T) {
+// mixedIPRecords augments the deterministic generator with the address
+// shapes the v1 fixture era never stored: IPv6 and 4-in-6 replica
+// addresses. Kept separate from randRecords so the checked-in v1
+// fixture's bytes stay reproducible.
+func mixedIPRecords(seed int64, n, clients int) []measure.Record {
+	recs := randRecords(seed, n, clients)
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	for i := range recs {
+		switch rng.Intn(5) {
+		case 0:
+			var a [16]byte
+			rng.Read(a[:])
+			a[0] = 0x20 // global unicast, never the 4-in-6 prefix
+			recs[i].ReplicaIP = netip.AddrFrom16(a)
+		case 1:
+			recs[i].ReplicaIP = netip.AddrFrom16(netip.AddrFrom4([4]byte{10, byte(rng.Intn(256)), byte(rng.Intn(256)), 9}).As16())
+		}
+	}
+	return recs
+}
+
+// TestDatasetV2RoundTrip / TestDatasetV3RoundTrip are the save→load
+// property: for random record sets and a sweep of chunk sizes (forcing
+// 1..n chunks, partial last chunks, and the empty dataset), the reader
+// reproduces the written records exactly, in canonical order, with the
+// meta intact.
+func TestDatasetV2RoundTrip(t *testing.T) { testRoundTrip(t, 2) }
+func TestDatasetV3RoundTrip(t *testing.T) { testRoundTrip(t, 3) }
+
+func testRoundTrip(t *testing.T, version int) {
 	meta := measure.DatasetMeta{Seed: 7, StartUnix: 100, EndUnix: 200, Clients: 16, Websites: 40, Transactions: 5000, Failures: 321}
 	for _, n := range []int{0, 1, 5, 257, 1000} {
 		for _, chunk := range []int{1, 3, 7, 64, 0} {
-			label := fmt.Sprintf("n=%d chunk=%d", n, chunk)
-			recs := randRecords(int64(n)*31+int64(chunk), n, 16)
+			label := fmt.Sprintf("v%d n=%d chunk=%d", version, n, chunk)
+			recs := mixedIPRecords(int64(n)*31+int64(chunk), n, 16)
 			var buf bytes.Buffer
-			w, err := dataset.NewWriter(&buf, meta, dataset.Options{ChunkRecords: chunk})
+			w, err := dataset.NewWriter(&buf, meta, dataset.Options{ChunkRecords: chunk, Version: version})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -134,22 +159,37 @@ func TestDatasetV2RoundTrip(t *testing.T) {
 				}
 				sameRecords(t, collect(t, src, rg[0], rg[1]), want, fmt.Sprintf("%s range %v", label, rg))
 			}
+
+			// Read-ahead sweep: the decode pipeline (disabled, default,
+			// wider than the chunk count) never changes the visit order.
+			for _, ahead := range []int{1, 2, 8} {
+				src, err := dataset.Open(bytes.NewReader(buf.Bytes()), int64(buf.Len()), dataset.WithReadAhead(ahead))
+				if err != nil {
+					t.Fatalf("%s: Open(ahead=%d): %v", label, ahead, err)
+				}
+				sameRecords(t, collect(t, src, 0, 1<<30), recs, fmt.Sprintf("%s ahead=%d", label, ahead))
+			}
 		}
 	}
 }
 
-// TestDatasetV2ParallelStreams writes through concurrent per-shard
-// sinks — the RunParallel topology — and checks the stored canonical
-// order equals the serial (single-stream) order, and that concurrent
-// range reads see consistent data.
-func TestDatasetV2ParallelStreams(t *testing.T) {
+// TestDatasetV2ParallelStreams / TestDatasetV3ParallelStreams write
+// through concurrent per-shard sinks — the RunParallel topology — and
+// check the stored canonical order equals the serial (single-stream)
+// order, and that concurrent range reads see consistent data. For v3
+// the concurrent sinks also exercise the compression pipeline from
+// several producers at once.
+func TestDatasetV2ParallelStreams(t *testing.T) { testParallelStreams(t, 2) }
+func TestDatasetV3ParallelStreams(t *testing.T) { testParallelStreams(t, 3) }
+
+func testParallelStreams(t *testing.T, version int) {
 	const clients = 20
-	recs := randRecords(99, 700, clients)
+	recs := mixedIPRecords(99, 700, clients)
 	meta := measure.DatasetMeta{Seed: 1, Clients: clients, Websites: 40}
 
 	write := func(streams int, chunk int) []byte {
 		var buf bytes.Buffer
-		w, err := dataset.NewWriter(&buf, meta, dataset.Options{ChunkRecords: chunk})
+		w, err := dataset.NewWriter(&buf, meta, dataset.Options{ChunkRecords: chunk, Version: version})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -222,7 +262,7 @@ func TestDatasetV2ParallelStreams(t *testing.T) {
 func TestDatasetV2Corruption(t *testing.T) {
 	recs := randRecords(5, 300, 8)
 	var buf bytes.Buffer
-	w, err := dataset.NewWriter(&buf, measure.DatasetMeta{Clients: 8, Websites: 40}, dataset.Options{ChunkRecords: 32})
+	w, err := dataset.NewWriter(&buf, measure.DatasetMeta{Clients: 8, Websites: 40}, dataset.Options{ChunkRecords: 32, Version: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,6 +342,107 @@ func TestDatasetV2Corruption(t *testing.T) {
 	}
 
 	// Visit error aborts and propagates.
+	src, err = open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErr := fmt.Errorf("stop")
+	if err := dataset.AllRecords(src, func(*measure.Record) error { return wantErr }); err != wantErr {
+		t.Errorf("visit error = %v, want %v", err, wantErr)
+	}
+}
+
+// TestDatasetV3Corruption exercises the v3 failure paths at the file
+// level: truncation at every layer, a flipped bit anywhere in a chunk
+// body (the gzip CRC or the column validation must catch it), a corrupt
+// footer, and a wrong-generation footer magic. Every case must error
+// cleanly, never panic, at Open or at Records.
+func TestDatasetV3Corruption(t *testing.T) {
+	recs := mixedIPRecords(5, 300, 8)
+	var buf bytes.Buffer
+	w, err := dataset.NewWriter(&buf, measure.DatasetMeta{Clients: 8, Websites: 40}, dataset.Options{ChunkRecords: 32, Version: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := w.NewSink()
+	for i := range recs {
+		sink.Append(&recs[i])
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	open := func(b []byte) (dataset.RecordSource, error) {
+		return dataset.Open(bytes.NewReader(b), int64(len(b)))
+	}
+	scan := func(src dataset.RecordSource) error {
+		return dataset.AllRecords(src, func(*measure.Record) error { return nil })
+	}
+
+	// Sanity: the pristine file opens and scans.
+	src, err := open(data)
+	if err != nil {
+		t.Fatalf("pristine Open: %v", err)
+	}
+	if err := scan(src); err != nil {
+		t.Fatalf("pristine scan: %v", err)
+	}
+
+	// Truncations: mid-magic, mid-chunk (footer gone), mid-footer.
+	for _, size := range []int{0, 5, 11, 40, len(data) / 2, len(data) - 1} {
+		if size >= len(data) {
+			continue
+		}
+		if _, err := open(data[:size]); err == nil {
+			t.Errorf("truncated to %d bytes: accepted", size)
+		}
+	}
+
+	// A v2 footer magic on a v3 file (and vice versa) must be rejected:
+	// the footer generation is part of the format contract.
+	bad := bytes.Clone(data)
+	copy(bad[len(bad)-8:], "WFDS2IDX")
+	if _, err := open(bad); err == nil {
+		t.Error("v2 footer magic on v3 file accepted")
+	}
+
+	// Index offset pointing past the file.
+	bad = bytes.Clone(data)
+	for i := len(bad) - 24; i < len(bad)-16; i++ {
+		bad[i] = 0xff
+	}
+	if _, err := open(bad); err == nil {
+		t.Error("corrupt index offset accepted")
+	}
+
+	// Bit flips across the chunk region: every one must either surface
+	// as an error from Open or Records, or leave the decoded records
+	// byte-identical (flips in non-semantic gzip header bytes — MTIME,
+	// XFL, OS — are outside the CRC and genuinely harmless). Silently
+	// different data is the only unacceptable outcome; panics never.
+	idxOff := int(binary.BigEndian.Uint64(data[len(data)-24 : len(data)-16]))
+	for pos := 11; pos < idxOff; pos += 7 {
+		bad := bytes.Clone(data)
+		bad[pos] ^= 0x10
+		src, err := open(bad)
+		if err != nil {
+			continue
+		}
+		var got []measure.Record
+		if err := dataset.AllRecords(src, func(r *measure.Record) error {
+			got = append(got, *r)
+			return nil
+		}); err != nil {
+			continue
+		}
+		sameRecords(t, got, recs, fmt.Sprintf("bit flip at %d decoded without error yet", pos))
+	}
+
+	// Visit error aborts and propagates (through the decode pipeline).
 	src, err = open(data)
 	if err != nil {
 		t.Fatal(err)

@@ -172,6 +172,90 @@ func TestShardedSaveEquivalence(t *testing.T) {
 	}
 }
 
+// TestDatasetV3SerialParallelEquivalence is the v3 determinism
+// contract end to end: a serial single-sink save, a sharded save
+// through concurrent sinks (both riding the compression pipeline), and
+// a v2 save of the same run must all store the identical canonical
+// record stream, and every (format, ingest width, read-ahead) pairing
+// must produce the identical analysis.
+func TestDatasetV3SerialParallelEquivalence(t *testing.T) {
+	cfg, topo, end := buildRunConfig(t)
+
+	save := func(version, shards, workers int) []byte {
+		var buf bytes.Buffer
+		w, err := dataset.NewWriter(&buf, runMeta(topo, end), dataset.Options{
+			ChunkRecords: 256, Version: version, CompressWorkers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shards <= 1 {
+			sink := w.NewSink()
+			if err := measure.Run(cfg, func(r *measure.Record) { sink.Observe(r) }); err != nil {
+				t.Fatal(err)
+			}
+			if err := sink.Close(); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			eff := measure.EffectiveShards(len(topo.Clients), shards)
+			sinks := make([]*dataset.Sink, eff)
+			for i := range sinks {
+				sinks[i] = w.NewSink()
+			}
+			if err := measure.RunParallel(cfg, eff, func(s int, r *measure.Record) {
+				sinks[s].Observe(r)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range sinks {
+				if err := s.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	serial3 := save(3, 1, 1)
+	sharded3 := save(3, 4, 3)
+	serial2 := save(2, 1, 0)
+
+	openSrc := func(data []byte, opts ...dataset.OpenOption) dataset.RecordSource {
+		src, err := dataset.Open(bytes.NewReader(data), int64(len(data)), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+
+	base := openSrc(serial3)
+	want := collect(t, base, 0, 1<<30)
+	sameRecords(t, collect(t, openSrc(sharded3), 0, 1<<30), want, "sharded v3 canonical stream")
+	sameRecords(t, collect(t, openSrc(serial2), 0, 1<<30), want, "v2 canonical stream")
+
+	ref, err := core.ConsumeParallel(topo, 0, end, base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3, runtime.GOMAXPROCS(0)} {
+		for _, ahead := range []int{1, 2, 6} {
+			for name, data := range map[string][]byte{"serial-v3": serial3, "sharded-v3": sharded3, "v2": serial2} {
+				a, err := core.ConsumeParallel(topo, 0, end, openSrc(data, dataset.WithReadAhead(ahead)), shards)
+				if err != nil {
+					t.Fatalf("%s shards=%d ahead=%d: %v", name, shards, ahead, err)
+				}
+				if !reflect.DeepEqual(ref, a) {
+					t.Errorf("%s shards=%d ahead=%d: analysis differs from serial v3 ingest", name, shards, ahead)
+				}
+			}
+		}
+	}
+}
+
 // TestV1SourceAnalyzesIdentically routes a v1 (legacy) dataset through
 // the RecordSource interface and checks serial and sharded ingest agree
 // with each other and with the v2 form of the same records.

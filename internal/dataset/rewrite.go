@@ -1,0 +1,31 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+)
+
+// Rewrite streams every stored record of src into a fresh dataset on w,
+// preserving the run description verbatim — the upgrade path from v1/v2
+// files to the current format (`webfail-analyze -rewrite`). The record
+// stream, its canonical order, and the meta block are copied exactly,
+// so analysis output over the rewritten dataset is byte-identical to
+// analysis over the original; only the container encoding changes.
+//
+// Records are copied through a single sink with Append (not Observe):
+// the source's Transactions/Failures counts describe the original run,
+// not the stored subset, and must survive untouched.
+func Rewrite(src RecordSource, w io.Writer, opts Options) error {
+	wr, err := NewWriter(w, src.Meta(), opts)
+	if err != nil {
+		return err
+	}
+	sink := wr.NewSink()
+	if err := AllRecords(src, sink.Append); err != nil {
+		return fmt.Errorf("dataset: rewrite: %w", err)
+	}
+	if err := sink.Close(); err != nil {
+		return err
+	}
+	return wr.Close()
+}

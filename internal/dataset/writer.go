@@ -7,6 +7,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -20,23 +21,55 @@ type Options struct {
 	// ChunkRecords caps the records buffered per chunk; a Sink flushes
 	// a chunk once it is full, which bounds both writer memory and the
 	// reader's per-chunk working set. <= 0 selects DefaultChunkRecords.
+	// Chunk boundaries are a pure function of the record stream (every
+	// ChunkRecords records seals a chunk), never of compression timing,
+	// so the stored chunk topology is deterministic for a given stream.
 	ChunkRecords int
+	// Version selects the on-disk format generation: 3 (columnar
+	// chunks, pipelined compression) or 2 (gob chunks). 0 selects
+	// DefaultVersion.
+	Version int
+	// CompressWorkers bounds the v3 compression pipeline: sealed chunks
+	// are encoded and compressed by this many workers off the sinks'
+	// hot path. <= 0 selects GOMAXPROCS (capped at 8). Ignored for v2,
+	// which compresses synchronously in the flushing sink.
+	CompressWorkers int
+	// CompressLevel is the gzip level v3 chunks are framed with, passed
+	// to gzip.NewWriterLevel. The zero value is gzip.NoCompression:
+	// chunks travel as stored deflate blocks — still CRC-verified gzip
+	// streams, but written and inflated at memcpy speed, which is what
+	// lets record I/O keep pace with the simulator (the columnar
+	// encoding already strips most of the redundancy gzip would find).
+	// Archival datasets can trade decode throughput for size with
+	// gzip.BestSpeed or gzip.BestCompression. Ignored for v2, which
+	// always compresses (gob chunks are highly redundant).
+	CompressLevel int
 	// Metrics, when non-nil, receives write-side counters (chunks,
-	// records, and compressed bytes written; per-chunk record-count
-	// distribution) and the wall-clock gzip+encode time. Counts are
-	// deterministic for a fixed flag set; chunk topology depends on the
-	// number of writing streams.
+	// records, raw and compressed bytes written; per-chunk record-count
+	// distribution; chunk-buffer pool reuse) and the wall-clock
+	// encode/gzip time. Counts are deterministic for a fixed flag set;
+	// chunk topology depends on the number of writing streams.
 	Metrics *obs.Registry
 }
 
-// Writer writes a v2 dataset to an io.Writer. Chunks are produced by
-// Sinks (one per writing stream — e.g. one per measure.RunParallel
+// Writer writes a v2 or v3 dataset to an io.Writer. Chunks are produced
+// by Sinks (one per writing stream — e.g. one per measure.RunParallel
 // shard) and appended to the underlying writer under a mutex, so sinks
 // may flush concurrently; the index written at Close is sorted into
 // canonical client-major order regardless of the interleaving.
 //
+// For v3, sealed chunks are handed to a bounded worker pool that
+// columnar-encodes and compresses them off the sink's hot path: a
+// sink's Append never blocks on gzip unless every worker is busy and
+// the job queue is full. Chunk contents and boundaries stay a pure
+// function of each stream's record sequence — only the byte order of
+// chunks within the file depends on worker timing, and the sorted
+// index makes that order irrelevant to readers.
+//
 // Usage: NewWriter, NewSink per stream, feed records, Close every sink,
-// then Close the writer (which writes the index and footer).
+// then Close the writer (which drains the pipeline and writes the
+// index and footer). Errors hit by pipeline workers surface on the
+// next flush and, definitively, at Close.
 type Writer struct {
 	mu       sync.Mutex
 	w        io.Writer
@@ -45,33 +78,55 @@ type Writer struct {
 	chunks   []chunkInfo
 	nstreams int32
 	chunkCap int
+	version  int
+	level    int
 	stored   int64
 	err      error
-	closed   bool
+	closed   bool // no new chunks may be submitted
+	sealed   bool // index written; appendChunk refused
 	m        writerMetrics
+
+	// v3 compression pipeline.
+	jobs    chan encodeJob
+	workers sync.WaitGroup
+	recPool sync.Pool // *[]measure.Record, capacity chunkCap
+}
+
+// encodeJob is one sealed chunk travelling from a sink to a pipeline
+// worker: the records to encode (ownership transfers to the worker,
+// which recycles the buffer) and the index entry to complete.
+type encodeJob struct {
+	recs []measure.Record
+	info chunkInfo
 }
 
 // writerMetrics holds the Writer's resolved metric handles. All fields
 // are nil (and every update a no-op) when Options.Metrics was nil.
 type writerMetrics struct {
-	chunks       *obs.Counter
-	records      *obs.Counter
-	bytes        *obs.Counter
-	chunkRecords *obs.Histogram
-	gzipSeconds  *obs.Histogram
+	chunks        *obs.Counter
+	records       *obs.Counter
+	bytes         *obs.Counter
+	rawBytes      *obs.Counter
+	bufReuse      *obs.Counter
+	chunkRecords  *obs.Histogram
+	gzipSeconds   *obs.Histogram
+	encodeSeconds *obs.Histogram
 }
 
 func newWriterMetrics(reg *obs.Registry) writerMetrics {
 	return writerMetrics{
-		chunks:       reg.Counter("dataset_chunks_written_total"),
-		records:      reg.Counter("dataset_records_written_total"),
-		bytes:        reg.Counter("dataset_bytes_written_total"),
-		chunkRecords: reg.Histogram("dataset_chunk_records", []float64{64, 512, 2048, 8192, 32768}),
-		gzipSeconds:  reg.WallHistogram("dataset_gzip_seconds", []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5}),
+		chunks:        reg.Counter("dataset_chunks_written_total"),
+		records:       reg.Counter("dataset_records_written_total"),
+		bytes:         reg.Counter("dataset_bytes_written_total"),
+		rawBytes:      reg.Counter("dataset_raw_bytes_total"),
+		bufReuse:      reg.Counter("dataset_chunk_buffers_reused_total"),
+		chunkRecords:  reg.Histogram("dataset_chunk_records", []float64{64, 512, 2048, 8192, 32768}),
+		gzipSeconds:   reg.WallHistogram("dataset_gzip_seconds", []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5}),
+		encodeSeconds: reg.WallHistogram("dataset_encode_seconds", []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5}),
 	}
 }
 
-// NewWriter starts a v2 dataset on w with the given run description.
+// NewWriter starts a dataset on w with the given run description.
 // meta's Transactions and Failures fields may be zero: each Sink that
 // counted traffic via Observe folds its counts in when closed.
 func NewWriter(w io.Writer, meta measure.DatasetMeta, opts Options) (*Writer, error) {
@@ -79,12 +134,43 @@ func NewWriter(w io.Writer, meta measure.DatasetMeta, opts Options) (*Writer, er
 	if chunkCap <= 0 {
 		chunkCap = DefaultChunkRecords
 	}
-	n, err := io.WriteString(w, magicV2)
+	version := opts.Version
+	if version == 0 {
+		version = DefaultVersion
+	}
+	var magic string
+	switch version {
+	case 2:
+		magic = magicV2
+	case 3:
+		magic = magicV3
+	default:
+		return nil, fmt.Errorf("dataset: unsupported version %d (want 2 or 3)", opts.Version)
+	}
+	n, err := io.WriteString(w, magic)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: write magic: %w", err)
 	}
-	return &Writer{w: w, off: int64(n), meta: meta, chunkCap: chunkCap, m: newWriterMetrics(opts.Metrics)}, nil
+	if opts.CompressLevel < gzip.HuffmanOnly || opts.CompressLevel > gzip.BestCompression {
+		return nil, fmt.Errorf("dataset: invalid compress level %d", opts.CompressLevel)
+	}
+	wr := &Writer{w: w, off: int64(n), meta: meta, chunkCap: chunkCap, version: version, level: opts.CompressLevel, m: newWriterMetrics(opts.Metrics)}
+	if version >= 3 {
+		workers := opts.CompressWorkers
+		if workers <= 0 {
+			workers = min(runtime.GOMAXPROCS(0), 8)
+		}
+		wr.jobs = make(chan encodeJob, 2*workers)
+		wr.workers.Add(workers)
+		for i := 0; i < workers; i++ {
+			go wr.encodeWorker()
+		}
+	}
+	return wr, nil
 }
+
+// Version reports the format generation being written.
+func (w *Writer) Version() int { return w.version }
 
 // NewSink returns a sink for one writing stream. Streams must cover
 // disjoint client sets (as measure.RunParallel shards do) for the
@@ -112,6 +198,97 @@ func (w *Writer) Chunks() int {
 	return len(w.chunks)
 }
 
+// getRecBuf hands a sink an empty chunk record buffer, reusing one a
+// pipeline worker recycled when possible.
+func (w *Writer) getRecBuf() []measure.Record {
+	if p, ok := w.recPool.Get().(*[]measure.Record); ok && p != nil {
+		w.m.bufReuse.Inc()
+		return (*p)[:0]
+	}
+	return make([]measure.Record, 0, w.chunkCap)
+}
+
+// submit hands a sealed chunk to the compression pipeline (v3). It
+// reports any error the writer has already hit, so sinks stop early.
+func (w *Writer) submit(job encodeJob) error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	if w.closed {
+		w.err = fmt.Errorf("dataset: chunk sealed after writer close")
+		w.mu.Unlock()
+		return w.err
+	}
+	w.mu.Unlock()
+	w.jobs <- job
+	return nil
+}
+
+// setErr records the first error the writer hits.
+func (w *Writer) setErr(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+}
+
+// encodeWorker drains sealed chunks: columnar-encode, compress, append.
+// Worker-local scratch (encode buffers, one gzip writer) is reused for
+// the writer's whole life, so the steady-state pipeline allocates
+// nothing per chunk beyond pool misses.
+func (w *Writer) encodeWorker() {
+	defer w.workers.Done()
+	var (
+		sc      encodeScratch
+		payload []byte
+		zbuf    bytes.Buffer
+		zw      *gzip.Writer
+	)
+	for job := range w.jobs {
+		var encStart time.Time
+		if w.m.encodeSeconds != nil {
+			encStart = time.Now()
+		}
+		payload = appendChunkV3(payload[:0], job.recs, &sc)
+		if w.m.encodeSeconds != nil {
+			w.m.encodeSeconds.Observe(time.Since(encStart).Seconds())
+		}
+		job.info.Raw = int64(len(payload))
+		recs := job.recs
+		w.recPool.Put(&recs)
+
+		var gzStart time.Time
+		if w.m.gzipSeconds != nil {
+			gzStart = time.Now()
+		}
+		zbuf.Reset()
+		if zw == nil {
+			zw, _ = gzip.NewWriterLevel(&zbuf, w.level)
+		} else {
+			zw.Reset(&zbuf)
+		}
+		if _, err := zw.Write(payload); err != nil {
+			w.setErr(fmt.Errorf("dataset: compress chunk: %w", err))
+			continue
+		}
+		if err := zw.Close(); err != nil {
+			w.setErr(fmt.Errorf("dataset: compress chunk: %w", err))
+			continue
+		}
+		if w.m.gzipSeconds != nil {
+			w.m.gzipSeconds.Observe(time.Since(gzStart).Seconds())
+		}
+		if err := w.appendChunk(zbuf.Bytes(), job.info); err != nil {
+			// appendChunk stored the error; later flushes and Close see it.
+			continue
+		}
+	}
+}
+
 // appendChunk writes one compressed chunk and records its index entry.
 func (w *Writer) appendChunk(data []byte, info chunkInfo) error {
 	w.mu.Lock()
@@ -119,7 +296,7 @@ func (w *Writer) appendChunk(data []byte, info chunkInfo) error {
 	if w.err != nil {
 		return w.err
 	}
-	if w.closed {
+	if w.sealed {
 		w.err = fmt.Errorf("dataset: chunk appended after writer close")
 		return w.err
 	}
@@ -135,20 +312,32 @@ func (w *Writer) appendChunk(data []byte, info chunkInfo) error {
 	w.m.chunks.Inc()
 	w.m.records.Add(int64(info.Count))
 	w.m.bytes.Add(int64(len(data)))
+	w.m.rawBytes.Add(info.Raw)
 	w.m.chunkRecords.Observe(float64(info.Count))
 	return nil
 }
 
-// Close writes the index and footer. Every Sink must have been closed
-// first. Close reports any error a concurrent sink flush hit earlier,
-// so a caller that checks only Close still sees write failures.
+// Close drains the compression pipeline, then writes the index and
+// footer. Every Sink must have been closed first. Close reports any
+// error a concurrent sink flush or pipeline worker hit earlier, so a
+// caller that checks only Close still sees write failures.
 func (w *Writer) Close() error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.closed {
-		return w.err
+		err := w.err
+		w.mu.Unlock()
+		return err
 	}
 	w.closed = true
+	w.mu.Unlock()
+	if w.jobs != nil {
+		close(w.jobs)
+		w.workers.Wait()
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.sealed = true
 	if w.err != nil {
 		return w.err
 	}
@@ -173,7 +362,11 @@ func (w *Writer) Close() error {
 	footer := make([]byte, footerLen)
 	binary.BigEndian.PutUint64(footer[0:8], uint64(w.off))
 	binary.BigEndian.PutUint64(footer[8:16], uint64(ibuf.Len()))
-	copy(footer[16:], footerMagic)
+	if w.version >= 3 {
+		copy(footer[16:], footerMagicV3)
+	} else {
+		copy(footer[16:], footerMagic)
+	}
 	if _, err := w.w.Write(ibuf.Bytes()); err != nil {
 		w.err = fmt.Errorf("dataset: write index: %w", err)
 		return w.err
@@ -186,14 +379,15 @@ func (w *Writer) Close() error {
 }
 
 // Sink is one writing stream of a Writer: it buffers up to the writer's
-// chunk capacity of records and flushes each full chunk as one
+// chunk capacity of records and seals each full chunk as one
 // independently compressed unit. A Sink is not safe for concurrent use;
-// use one Sink per goroutine (the Writer serializes the flushes).
+// use one Sink per goroutine (the Writer serializes the appends).
 //
 // Sink implements RecordSink and is designed as the visit target of
 // measure.RunParallel: shard s feeds sinks[s], so each worker writes
 // its own chunks and peak memory stays bounded by chunk size × shards
-// instead of the whole record set.
+// (plus the bounded compression pipeline) instead of the whole record
+// set.
 type Sink struct {
 	w           *Writer
 	stream      int32
@@ -214,7 +408,7 @@ func (s *Sink) Append(r *measure.Record) error {
 		return s.err
 	}
 	if s.buf == nil {
-		s.buf = make([]measure.Record, 0, s.w.chunkCap)
+		s.buf = s.w.getRecBuf()
 	}
 	s.buf = append(s.buf, *r)
 	if len(s.buf) >= s.w.chunkCap {
@@ -236,7 +430,8 @@ func (s *Sink) Observe(r *measure.Record) error {
 	return s.err
 }
 
-// flush compresses and appends the buffered chunk.
+// flush seals the buffered chunk: v3 hands it to the compression
+// pipeline, v2 compresses it in place with pooled state.
 func (s *Sink) flush() error {
 	if len(s.buf) == 0 {
 		return nil
@@ -249,12 +444,47 @@ func (s *Sink) flush() error {
 			hi = c
 		}
 	}
-	var zbuf bytes.Buffer
+	info := chunkInfo{Count: int32(len(s.buf)), Lo: lo, Hi: hi, Stream: s.stream, Seq: s.seq}
+	s.seq++
+	if s.w.version >= 3 {
+		job := encodeJob{recs: s.buf, info: info}
+		s.buf = s.w.getRecBuf()
+		if err := s.w.submit(job); err != nil {
+			s.err = err
+			return err
+		}
+		return nil
+	}
+	if err := s.flushV2(info); err != nil {
+		return err
+	}
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// gzipWriterPool and chunkBufPool recycle the v2 flush path's gzip
+// state and staging buffer across chunks and sinks: a month-scale save
+// seals tens of thousands of chunks, and building a fresh gzip.Writer
+// (~1.4 MB of window state) and staging buffer for each was pure
+// allocator churn.
+var (
+	gzipWriterPool = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
+	chunkBufPool   = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+)
+
+// flushV2 compresses and appends the buffered chunk in the caller's
+// goroutine (the v2 format's synchronous path).
+func (s *Sink) flushV2(info chunkInfo) error {
+	zbuf := chunkBufPool.Get().(*bytes.Buffer)
+	zbuf.Reset()
+	defer chunkBufPool.Put(zbuf)
 	var gzStart time.Time
 	if s.w.m.gzipSeconds != nil {
 		gzStart = time.Now()
 	}
-	zw := gzip.NewWriter(&zbuf)
+	zw := gzipWriterPool.Get().(*gzip.Writer)
+	zw.Reset(zbuf)
+	defer gzipWriterPool.Put(zw)
 	if err := gob.NewEncoder(zw).Encode(s.buf); err != nil {
 		s.err = fmt.Errorf("dataset: encode chunk: %w", err)
 		return s.err
@@ -266,9 +496,6 @@ func (s *Sink) flush() error {
 	if s.w.m.gzipSeconds != nil {
 		s.w.m.gzipSeconds.Observe(time.Since(gzStart).Seconds())
 	}
-	info := chunkInfo{Count: int32(len(s.buf)), Lo: lo, Hi: hi, Stream: s.stream, Seq: s.seq}
-	s.seq++
-	s.buf = s.buf[:0]
 	if err := s.w.appendChunk(zbuf.Bytes(), info); err != nil {
 		s.err = err
 		return err

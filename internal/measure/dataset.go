@@ -10,9 +10,10 @@ import (
 // Dataset is the legacy v1 stored collection of performance records
 // (magic "WEBFAILDS1"): one monolithic gob+gzip blob that must be fully
 // decoded before any record is available. New datasets are written in
-// the chunked v2 format by internal/dataset, which also loads v1 files
-// through the same RecordSource interface; this codec remains so old
-// archives stay readable (and writable, for compatibility fixtures).
+// the chunked formats by internal/dataset — columnar v3 by default,
+// gob-chunked v2 on request — which also loads v1 files through the
+// same RecordSource interface; this codec remains so old archives stay
+// readable (and writable, for compatibility fixtures).
 type Dataset struct {
 	// Meta describes the run.
 	Meta DatasetMeta

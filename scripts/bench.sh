@@ -1,0 +1,14 @@
+#!/bin/sh
+# Dataset I/O benchmark snapshot: runs the save/load benchmarks (v3 and
+# v2, on the shared 24-hour full-roster failure fixture) through the obs
+# metrics registry and writes the combined JSON — per-benchmark
+# throughput plus the registry's chunk/byte counters and wall-clock
+# encode/compress histograms — to BENCH_<date>.json at the repo root
+# (or to the path given as $1).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_$(date +%Y-%m-%d).json}"
+WEBFAIL_BENCH_OUT="$out" go test -run '^TestBenchSnapshot$' -count=1 -v . | grep -v '^=== RUN'
+echo "wrote $out"

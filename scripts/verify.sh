@@ -40,8 +40,19 @@ go test -race -run 'TestSerialParallelEquivalence|TestRunParallelShardClamp|Test
 # exercises the sparse maps concurrently across shard accumulators).
 go test -race -run 'TestSparseDenseEquivalence|TestSparseMergeOrderIndependence|TestMergeStateModeMismatch|TestResolveState|TestTopFailingPairsMatchesFull|TestRandomPairSimilarityBounded|TestPairCellInt64|TestHourSet|TestTopK' \
     -count=1 ./internal/core
-go test -run 'TestDatasetV1Compat' ./internal/dataset
-go test -run 'TestGolden' ./cmd/webfail-analyze
+# Dataset format gates: the v1 fixture must keep opening (backward
+# compatibility), the v3 columnar codec must round-trip and reject
+# corruption (truncations, bit flips, index/chunk mismatches) without
+# panicking, sharded v3 writes must produce the same canonical stream
+# as a serial save, the steady-state encode/decode path must stay at
+# zero heap allocations per chunk, and -rewrite must upgrade the
+# checked-in v2 fixture to v3 with byte-identical analysis. The golden
+# gate (TestGoldenStdoutVersions) proves v1, v2, and v3 files analyze
+# byte-identically at several -parallel widths.
+go test -run 'TestDatasetV1Compat|TestDatasetV3RoundTrip|TestDatasetV3Corruption|TestDatasetV3SerialParallelEquivalence|TestChunkCodecRoundTrip|TestChunkDecodeTruncation|TestIndexChunkMismatch' \
+    ./internal/dataset
+go test -run 'TestEncodeDecodeZeroAllocs' -count=1 ./internal/dataset
+go test -run 'TestGolden|TestRewriteV2FixturePreservesAnalysis' ./cmd/webfail-analyze
 go test -race -run 'TestSelectiveMatchesFull|TestArtifactPassRegistry' ./internal/report
 go test -race -count=1 ./internal/obs
 go test -run 'TestEvaluateZeroAllocs' -count=1 ./internal/measure
@@ -70,9 +81,12 @@ go build -o /tmp/webfail-analyze-verify ./cmd/webfail-analyze
 for sc in paper-default 10k-chaos cascading-outage cdn-flap; do
     /tmp/webfail-verify -scenario "$sc" -hours 1 -state auto -artifacts headlines > /dev/null
 done
+# The serial save uses the default format (v3 columnar); the sharded
+# save is pinned to v2, so the comparison proves analysis byte-identity
+# across shard counts AND format generations at 10k-chaos scale.
 /tmp/webfail-verify -scenario 10k-chaos -hours 1 -parallel 1 -state sparse \
     -artifacts headlines -save /tmp/chaos_p1.ds > /dev/null
-/tmp/webfail-verify -scenario 10k-chaos -hours 1 -parallel 4 -state sparse \
+/tmp/webfail-verify -scenario 10k-chaos -hours 1 -parallel 4 -state sparse -dataset-version 2 \
     -artifacts headlines -save /tmp/chaos_p4.ds > /dev/null
 /tmp/webfail-analyze-verify -in /tmp/chaos_p1.ds -artifacts all > /tmp/chaos_p1.out
 /tmp/webfail-analyze-verify -in /tmp/chaos_p4.ds -artifacts all > /tmp/chaos_p4.out
