@@ -328,10 +328,15 @@ func decodeChunkV3(payload []byte, dst []measure.Record, sc *decodeScratch) ([]m
 	if err := decodeUvarints(vals, col); err != nil {
 		return nil, fmt.Errorf("ClientIdx: %w", err)
 	}
+	// Client and site indexes are array indexes downstream (client
+	// grids, per-site tallies); the writer never emits negative values,
+	// so the decoder rejects them — a crafted or corrupt file must
+	// surface as an error here, never as an index panic in an analysis
+	// pass.
 	prev := int64(0)
 	for i := range dst {
 		prev += unzigzag(vals[i])
-		if prev < math.MinInt32 || prev > math.MaxInt32 {
+		if prev < 0 || prev > math.MaxInt32 {
 			return nil, fmt.Errorf("ClientIdx out of range")
 		}
 		dst[i].ClientIdx = int32(prev)
@@ -345,7 +350,7 @@ func decodeChunkV3(payload []byte, dst []measure.Record, sc *decodeScratch) ([]m
 	}
 	for i := range dst {
 		v := unzigzag(vals[i])
-		if v < math.MinInt32 || v > math.MaxInt32 {
+		if v < 0 || v > math.MaxInt32 {
 			return nil, fmt.Errorf("SiteIdx: corrupt value")
 		}
 		dst[i].SiteIdx = int32(v)

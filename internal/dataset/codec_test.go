@@ -85,9 +85,10 @@ func TestChunkCodecRoundTrip(t *testing.T) {
 	}
 
 	// Extreme values: every integer column at its min/max, zero and max
-	// durations, max redirects.
+	// durations, max redirects. ClientIdx/SiteIdx stay in [0, MaxInt32]
+	// — they are array indexes, and the decoder rejects negatives.
 	extreme := []measure.Record{{
-		ClientIdx: 0, SiteIdx: -1 << 31, At: simnet.Time(1<<63 - 1),
+		ClientIdx: 0, SiteIdx: 0, At: simnet.Time(1<<63 - 1),
 		DNSTime: 1<<63 - 1, Conns: -1 << 15, StatusCode: 1<<15 - 1,
 		Bytes: -1 << 31, Redirects: -128, Elapsed: 0,
 		DataPkts: 1<<15 - 1, Retransmits: -1 << 15,
@@ -104,6 +105,29 @@ func TestChunkCodecRoundTrip(t *testing.T) {
 	for i := range extreme {
 		if got[i] != extreme[i] {
 			t.Fatalf("extreme record %d differs:\n got %+v\nwant %+v", i, got[i], extreme[i])
+		}
+	}
+}
+
+// TestChunkDecodeRejectsNegativeIndexes: ClientIdx and SiteIdx index
+// arrays downstream (client grids, per-site tallies), and the writer
+// never stores negative values — so a payload carrying one is corrupt
+// and must be rejected at decode, not passed on to panic an analysis
+// pass. The encoder will happily fold negatives into zigzag deltas,
+// which is exactly how a crafted file would smuggle them in.
+func TestChunkDecodeRejectsNegativeIndexes(t *testing.T) {
+	var enc encodeScratch
+	var dec decodeScratch
+	for _, tc := range []struct {
+		name string
+		rec  measure.Record
+	}{
+		{"negative ClientIdx", measure.Record{ClientIdx: -1}},
+		{"negative SiteIdx", measure.Record{SiteIdx: -5}},
+	} {
+		payload := appendChunkV3(nil, []measure.Record{tc.rec}, &enc)
+		if _, err := decodeChunkV3(payload, nil, &dec); err == nil {
+			t.Errorf("%s decoded without error", tc.name)
 		}
 	}
 }

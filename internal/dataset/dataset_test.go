@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -253,6 +254,114 @@ func testParallelStreams(t *testing.T, version int) {
 			joined = append(joined, p...)
 		}
 		sameRecords(t, joined, recs, fmt.Sprintf("streams=%d concurrent shards", streams))
+	}
+}
+
+// TestNewWriterRejectsBadOptionsCleanly: an invalid Options must be
+// rejected before anything is written, so the caller's destination is
+// not left holding a partial magic string.
+func TestNewWriterRejectsBadOptionsCleanly(t *testing.T) {
+	for _, opts := range []dataset.Options{
+		{Version: 3, CompressLevel: 42},
+		{Version: 7},
+	} {
+		var buf bytes.Buffer
+		if _, err := dataset.NewWriter(&buf, measure.DatasetMeta{}, opts); err == nil {
+			t.Fatalf("options %+v accepted", opts)
+		}
+		if buf.Len() != 0 {
+			t.Errorf("options %+v: %d bytes written before rejection", opts, buf.Len())
+		}
+	}
+}
+
+// TestSinkFlushAfterWriterClose: sealing a chunk after the writer
+// closed is contract misuse, but it must surface as the documented
+// error — never as a send on the closed pipeline channel.
+func TestSinkFlushAfterWriterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := dataset.NewWriter(&buf, measure.DatasetMeta{Clients: 4, Websites: 40}, dataset.Options{ChunkRecords: 64, Version: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := w.NewSink()
+	r := measure.Record{ClientIdx: 1}
+	if err := sink.Append(&r); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Closing the sink flushes its partial chunk into the closed writer.
+	if err := sink.Close(); err == nil {
+		t.Error("sink close after writer close succeeded")
+	}
+}
+
+// TestDatasetV3ReadAheadStress hammers the decode-ahead pipeline:
+// many small chunks through a tiny read-ahead window, scanned by
+// concurrent Records calls, repeatedly. A deadline guard turns a
+// pipeline liveness regression (a chunk claimed without a token to
+// park it) into a fast failure instead of a hung test suite.
+func TestDatasetV3ReadAheadStress(t *testing.T) {
+	// Records falls back to serial decoding at GOMAXPROCS=1; force the
+	// pipeline on so a 1-CPU CI box still runs the path under test —
+	// heavy preemption on one core is where a claim/token ordering bug
+	// bites hardest.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+
+	const clients = 16
+	recs := mixedIPRecords(123, 2000, clients)
+	var buf bytes.Buffer
+	w, err := dataset.NewWriter(&buf, measure.DatasetMeta{Clients: clients, Websites: 40}, dataset.Options{ChunkRecords: 8, Version: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := w.NewSink()
+	for i := range recs {
+		if err := sink.Append(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for iter := 0; iter < 20; iter++ {
+			src, err := dataset.Open(bytes.NewReader(data), int64(len(data)), dataset.WithReadAhead(2))
+			if err != nil {
+				t.Errorf("Open: %v", err)
+				return
+			}
+			var wg sync.WaitGroup
+			for s := 0; s < 4; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					lo, hi := measure.ShardRange(clients, 4, s)
+					var n int64
+					if err := src.Records(lo, hi, func(*measure.Record) error {
+						n++
+						return nil
+					}); err != nil {
+						t.Errorf("iter %d shard %d: %v", iter, s, err)
+					}
+				}(s)
+			}
+			wg.Wait()
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("decode-ahead pipeline deadlocked")
 	}
 }
 

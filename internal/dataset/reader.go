@@ -261,7 +261,11 @@ func (d *reader) Records(lo, hi int, visit func(r *measure.Record) error) error 
 	// the consumer walks the slots in canonical order. The semaphore
 	// caps decoded-but-unconsumed chunks at the read-ahead window, so
 	// memory stays bounded no matter how far the workers could run
-	// ahead of a slow visitor.
+	// ahead of a slow visitor. Workers acquire a token BEFORE claiming
+	// an index: every claimed-but-unconsumed chunk therefore holds a
+	// token, so the window can never fill with later chunks while the
+	// lowest outstanding one — the only slot the consumer will take
+	// next — sits unclaimed.
 	type decoded struct {
 		recs []measure.Record
 		scr  *readScratch
@@ -279,13 +283,14 @@ func (d *reader) Records(lo, hi int, visit func(r *measure.Record) error) error 
 	for w := 0; w < workers; w++ {
 		go func() {
 			for {
-				i := int(next.Add(1))
-				if i >= len(sel) {
-					return
-				}
 				select {
 				case sem <- struct{}{}:
 				case <-abort:
+					return
+				}
+				i := int(next.Add(1))
+				if i >= len(sel) {
+					<-sem
 					return
 				}
 				scr := getScratch()

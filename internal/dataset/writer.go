@@ -87,9 +87,10 @@ type Writer struct {
 	m        writerMetrics
 
 	// v3 compression pipeline.
-	jobs    chan encodeJob
-	workers sync.WaitGroup
-	recPool sync.Pool // *[]measure.Record, capacity chunkCap
+	jobs     chan encodeJob
+	workers  sync.WaitGroup
+	inflight sync.WaitGroup // submits between their closed-check and channel send
+	recPool  sync.Pool      // *[]measure.Record, capacity chunkCap
 }
 
 // encodeJob is one sealed chunk travelling from a sink to a pipeline
@@ -147,12 +148,14 @@ func NewWriter(w io.Writer, meta measure.DatasetMeta, opts Options) (*Writer, er
 	default:
 		return nil, fmt.Errorf("dataset: unsupported version %d (want 2 or 3)", opts.Version)
 	}
+	if opts.CompressLevel < gzip.HuffmanOnly || opts.CompressLevel > gzip.BestCompression {
+		return nil, fmt.Errorf("dataset: invalid compress level %d", opts.CompressLevel)
+	}
+	// All options are validated; only now touch w, so a rejected Options
+	// never leaves a partial magic string in the destination.
 	n, err := io.WriteString(w, magic)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: write magic: %w", err)
-	}
-	if opts.CompressLevel < gzip.HuffmanOnly || opts.CompressLevel > gzip.BestCompression {
-		return nil, fmt.Errorf("dataset: invalid compress level %d", opts.CompressLevel)
 	}
 	wr := &Writer{w: w, off: int64(n), meta: meta, chunkCap: chunkCap, version: version, level: opts.CompressLevel, m: newWriterMetrics(opts.Metrics)}
 	if version >= 3 {
@@ -222,8 +225,15 @@ func (w *Writer) submit(job encodeJob) error {
 		w.mu.Unlock()
 		return w.err
 	}
+	// Raised under the same lock that checked closed, so Close — which
+	// sets closed under the lock and then waits on inflight — observes
+	// every such submit before it closes the jobs channel. A sink racing
+	// Close therefore gets the sealed-after-close error above, never a
+	// send on a closed channel.
+	w.inflight.Add(1)
 	w.mu.Unlock()
 	w.jobs <- job
+	w.inflight.Done()
 	return nil
 }
 
@@ -331,6 +341,7 @@ func (w *Writer) Close() error {
 	w.closed = true
 	w.mu.Unlock()
 	if w.jobs != nil {
+		w.inflight.Wait()
 		close(w.jobs)
 		w.workers.Wait()
 	}
