@@ -121,6 +121,31 @@ func BenchmarkRunFastModeInstrumented(b *testing.B) {
 	}
 }
 
+// BenchmarkRunFastModeTraced is BenchmarkRunFastMode with transaction
+// tracing enabled (a live Tracer collecting first-K exemplars per
+// failure class). Exemplar materialization only happens for the first
+// few transactions of each class; every later transaction pays just
+// the scratch-record fill and an Admit rejection, so the target delta
+// against the untraced bench is under 5% (recorded in EXPERIMENTS.md).
+func BenchmarkRunFastModeTraced(b *testing.B) {
+	topo := scenario.PaperTopology()
+	end := simnet.FromHours(4)
+	sc := workload.BuildScenario(topo, scenario.PaperParams(fixtureSeed, 0, end))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := obs.NewTracer(3)
+		cfg := measure.Config{Topo: topo, Scenario: sc, Seed: 1, Start: 0, End: end, Trace: tr}
+		n := 0
+		if err := measure.Run(cfg, func(*measure.Record) { n++ }); err != nil {
+			b.Fatal(err)
+		}
+		if tr.Len() == 0 {
+			b.Fatal("tracer collected no exemplars")
+		}
+		b.ReportMetric(float64(n), "txns/op")
+	}
+}
+
 // BenchmarkRunFastModeParallel measures sharded fast-mode throughput over
 // the same 4-hour full-roster slice as BenchmarkRunFastMode, with
 // GOMAXPROCS workers. The per-shard counters are cache-line padded so the

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestForensicsWaterfall drives -forensics end to end: the fixture
+// dataset predates run-seed metadata (RunSeed 0), so the replay falls
+// back to the default seed with a stderr note, finds exemplars of a
+// failure class the 24-hour paper-scaled world reliably produces, and
+// renders their waterfalls.
+func TestForensicsWaterfall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays the fixture run")
+	}
+	path := fixtureDataset(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-in", path, "-forensics", "tcp:no-connection"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "forensics:") || !strings.Contains(out, "tcp:no-connection") {
+		t.Fatalf("missing forensics header:\n%.600s", out)
+	}
+	for _, want := range []string{"txn", "dns", "tcp ", "blame="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("forensics output missing %q:\n%.800s", want, out)
+		}
+	}
+	if !strings.Contains(stderr.String(), "predates run-seed metadata") {
+		t.Errorf("expected the run-seed fallback note on stderr, got:\n%s", stderr.String())
+	}
+}
+
+// TestForensicsUnknownClass: a bad class name must fail with the list
+// of valid ones rather than replaying anything.
+func TestForensicsUnknownClass(t *testing.T) {
+	path := fixtureDataset(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-in", path, "-forensics", "bogus"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "unknown failure class") {
+		t.Fatalf("want unknown-class error, got %v", err)
+	}
+}
+
+// TestTraceOutRequiresForensics: -trace-out on a plain analysis has
+// nothing to export and must say so.
+func TestTraceOutRequiresForensics(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-in", "x", "-trace-out", "t.json"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "-forensics") {
+		t.Fatalf("want -forensics requirement error, got %v", err)
+	}
+}

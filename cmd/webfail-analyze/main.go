@@ -10,8 +10,16 @@
 //	webfail-analyze -in dataset.bin [-top N] [-parallel N] [-artifacts LIST]
 //	                [-state auto|dense|sparse]
 //	                [-rewrite PATH] [-dataset-version N]
+//	                [-forensics CLASS] [-trace-out PATH] [-trace-exemplars N]
 //	                [-cpuprofile PATH] [-memprofile PATH]
 //	                [-metrics-out PATH] [-metrics-listen ADDR] [-progress]
+//
+// -forensics CLASS replays the dataset's run in fast mode (the world is
+// reconstructed from the stored scenario and run seed) with exemplar
+// tracing on, and renders the sampled transactions of the given failure
+// class (e.g. tcp:no-connection) as waterfall span trees, naming the
+// blamed fault entity on each failing span. -trace-out additionally
+// exports the replayed exemplars as Chrome trace-event JSON.
 //
 // -rewrite PATH converts the input dataset to the current format (or
 // the generation picked by -dataset-version) and exits without
@@ -55,6 +63,7 @@ import (
 	"webfail/internal/report"
 	"webfail/internal/scenario"
 	"webfail/internal/simnet"
+	"webfail/internal/textplot"
 	"webfail/internal/workload"
 )
 
@@ -79,6 +88,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	state := fs.String("state", "auto", "analyzer state representation: auto, dense, or sparse")
 	rewrite := fs.String("rewrite", "", "convert the dataset to this path and exit (no analysis)")
 	dsVersion := fs.Int("dataset-version", dataset.DefaultVersion, "dataset format for -rewrite (2 or 3)")
+	forensics := fs.String("forensics", "", "replay the run and render waterfall forensics for this failure class (e.g. tcp:no-connection)")
 	var obsFlags obs.CLIFlags
 	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -86,6 +96,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *in == "" {
 		return fmt.Errorf("-in is required")
+	}
+	if obsFlags.TraceOut != "" && *forensics == "" {
+		return fmt.Errorf("-trace-out requires -forensics here (or use webfail -trace-out during the run)")
 	}
 	stateMode, err := core.ParseStateMode(*state)
 	if err != nil {
@@ -141,6 +154,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	report.DatasetInfo(stdout, meta, src.Stored())
+
+	if *forensics != "" {
+		return runForensics(stdout, stderr, meta, spec, topo, *forensics, &obsFlags)
+	}
 
 	// The default summary reads only grand totals and the per-category
 	// traffic breakdown; a report selection widens the pass set to
@@ -308,6 +325,64 @@ func run(args []string, stdout, stderr io.Writer) error {
 		rep := &report.Reporter{W: stdout, A: a, Topo: topo, Sc: sc, Seed: meta.Seed}
 		rep.Run(sel)
 		repSpan.End()
+	}
+	return nil
+}
+
+// runForensics is the -forensics path: it rebuilds the dataset's world
+// from the stored scenario metadata, replays the run in fast mode with
+// exemplar tracing on, and renders the sampled transactions of the
+// requested failure class as waterfall span trees — each span naming
+// the blamed entity from the fault ground truth. The replay is exact:
+// fast mode is deterministic in (topology, scenario, run seed), all of
+// which the dataset records.
+func runForensics(stdout, stderr io.Writer, meta measure.DatasetMeta, spec *scenario.Spec, topo *workload.Topology, class string, obsFlags *obs.CLIFlags) error {
+	if _, err := measure.ParseTraceClass(class); err != nil {
+		return err
+	}
+	runSeed := meta.RunSeed
+	if runSeed == 0 {
+		// Datasets written before RunSeed metadata existed decode to 0;
+		// the CLI default has always been 1.
+		runSeed = 1
+		fmt.Fprintln(stderr, "webfail-analyze: dataset predates run-seed metadata; replaying with the default seed 1")
+	}
+	start := simnet.FromUnix(meta.StartUnix)
+	end := simnet.FromUnix(meta.EndUnix)
+	params, err := spec.Params(meta.Seed, start, end)
+	if err != nil {
+		return fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
+	sc := workload.BuildScenario(topo, params)
+	tracer := obs.NewTracer(obsFlags.TraceExemplars)
+	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: runSeed, Start: start, End: end, Trace: tracer}
+	if err := measure.Run(cfg, func(*measure.Record) {}); err != nil {
+		return fmt.Errorf("forensics replay: %w", err)
+	}
+
+	exs := tracer.Exemplars(class)
+	fmt.Fprintf(stdout, "forensics: %d exemplar(s) of class %s (fast-mode replay, run seed %d)\n\n", len(exs), class, runSeed)
+	for _, ex := range exs {
+		origin := ex.Spans[0].Start
+		spans := make([]textplot.WaterfallSpan, len(ex.Spans))
+		for i, sp := range ex.Spans {
+			spans[i] = textplot.WaterfallSpan{
+				Name:    sp.Name,
+				Depth:   sp.Depth,
+				Start:   float64(sp.Start-origin) / 1e9,
+				Dur:     float64(sp.Dur) / 1e9,
+				Outcome: sp.Outcome,
+				Detail:  sp.Detail,
+			}
+		}
+		title := fmt.Sprintf("%s @ %.2fh", ex.Label, float64(origin)/float64(time.Hour))
+		fmt.Fprintln(stdout, textplot.Waterfall(title, 48, spans))
+	}
+	if obsFlags.TraceOut != "" {
+		if err := obsFlags.WriteTrace(tracer); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trace written to %s (%d exemplars)\n", obsFlags.TraceOut, tracer.Len())
 	}
 	return nil
 }

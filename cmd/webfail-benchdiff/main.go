@@ -1,0 +1,69 @@
+// Command webfail-benchdiff compares two benchmark snapshot files (the
+// BENCH_<date>.json documents produced by scripts/bench.sh) and exits
+// nonzero when the new snapshot regresses beyond tolerance. It is the
+// CLI face of internal/benchgate and is what `scripts/bench.sh
+// -compare` runs after taking a fresh snapshot.
+//
+// Usage:
+//
+//	webfail-benchdiff -base BENCH_2026-08-09.json -new /tmp/fresh.json
+//	webfail-benchdiff -base old.json -new new.json -time-tol 0.5
+//
+// Tolerances are fractional: -time-tol 0.6 allows ns/op to grow up to
+// 60% before failing. Allocation metrics are deterministic, so their
+// defaults are tight.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"webfail/internal/benchgate"
+	"webfail/internal/obs"
+)
+
+const component = "webfail-benchdiff"
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		obs.Fatalf(component, "%v", err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet(component, flag.ContinueOnError)
+	basePath := fs.String("base", "", "baseline snapshot JSON (required)")
+	newPath := fs.String("new", "", "fresh snapshot JSON to check (required)")
+	def := benchgate.DefaultTolerance()
+	timeTol := fs.Float64("time-tol", def.NsPerOp, "allowed fractional ns/op growth")
+	bytesTol := fs.Float64("bytes-tol", def.Bytes, "allowed fractional allocated-bytes/op growth")
+	allocsTol := fs.Float64("allocs-tol", def.Allocs, "allowed fractional allocs/op growth")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *basePath == "" || *newPath == "" {
+		return fmt.Errorf("both -base and -new are required")
+	}
+	base, err := benchgate.Load(*basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := benchgate.Load(*newPath)
+	if err != nil {
+		return err
+	}
+	if base.GoVersion != cur.GoVersion || base.GOMAXPROCS != cur.GOMAXPROCS {
+		fmt.Fprintf(stdout, "note: environments differ (base %s/%d CPU, new %s/%d CPU); time deltas may be noise\n",
+			base.GoVersion, base.GOMAXPROCS, cur.GoVersion, cur.GOMAXPROCS)
+	}
+	tol := benchgate.Tolerance{NsPerOp: *timeTol, Bytes: *bytesTol, Allocs: *allocsTol}
+	deltas := benchgate.Compare(base, cur, tol)
+	fmt.Fprintf(stdout, "comparing %s -> %s\n", *basePath, *newPath)
+	fmt.Fprint(stdout, benchgate.Report(deltas))
+	if reg := benchgate.Regressions(deltas); len(reg) > 0 {
+		return fmt.Errorf("%d metric(s) regressed beyond tolerance", len(reg))
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixtureBase = `{
+  "go_version": "go1.24.0",
+  "gomaxprocs": 1,
+  "benchmarks": {
+    "run_fast_mode": {
+      "ns_per_op": 1000000,
+      "records_per_op": 5000,
+      "records_per_sec": 5000000,
+      "allocated_bytes_per_op": 2048,
+      "allocs_per_op": 10
+    }
+  }
+}`
+
+const fixtureRegressed = `{
+  "go_version": "go1.24.0",
+  "gomaxprocs": 1,
+  "benchmarks": {
+    "run_fast_mode": {
+      "ns_per_op": 2500000,
+      "records_per_op": 5000,
+      "records_per_sec": 2000000,
+      "allocated_bytes_per_op": 2048,
+      "allocs_per_op": 10
+    }
+  }
+}`
+
+func writeSnap(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchdiffPassAndFail(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSnap(t, dir, "base.json", fixtureBase)
+	same := writeSnap(t, dir, "same.json", fixtureBase)
+	bad := writeSnap(t, dir, "bad.json", fixtureRegressed)
+
+	var out bytes.Buffer
+	if err := run([]string{"-base", base, "-new", same}, &out); err != nil {
+		t.Fatalf("identical snapshots failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "all benchmarks within tolerance") {
+		t.Fatalf("missing pass line:\n%s", out.String())
+	}
+
+	out.Reset()
+	err := run([]string{"-base", base, "-new", bad}, &out)
+	if err == nil || !strings.Contains(err.Error(), "regressed beyond tolerance") {
+		t.Fatalf("injected regression not caught: err=%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL run_fast_mode") {
+		t.Fatalf("report does not name the regressed benchmark:\n%s", out.String())
+	}
+
+	// A huge -time-tol waives the wall-time regression.
+	out.Reset()
+	if err := run([]string{"-base", base, "-new", bad, "-time-tol", "2.0"}, &out); err != nil {
+		t.Fatalf("tolerance override not honored: %v", err)
+	}
+}
+
+func TestBenchdiffUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-base", "x.json"}, &out); err == nil {
+		t.Fatal("missing -new accepted")
+	}
+	if err := run([]string{"-base", "absent.json", "-new", "also-absent.json"}, &out); err == nil {
+		t.Fatal("missing files accepted")
+	}
+}

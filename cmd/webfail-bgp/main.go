@@ -44,6 +44,10 @@ func main() {
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
+	if obsFlags.TraceOut != "" {
+		obs.Fatalf(component, "-trace-out applies to transaction runs; use webfail or webfail-analyze -forensics")
+	}
+
 	reg := obs.NewRegistry()
 	sess, err := obsFlags.Start(component, reg)
 	if err != nil {

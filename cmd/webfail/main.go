@@ -34,6 +34,10 @@
 //	-metrics-out PATH    write a Prometheus-style metrics dump at exit
 //	-metrics-listen ADDR serve live /metrics and /metrics.json snapshots
 //	-progress            report run progress to stderr every 2s
+//	-trace-out PATH      sample exemplar transactions per failure class
+//	             and write their span trees (DNS, TCP attempts, HTTP) as
+//	             Chrome trace-event JSON; byte-identical for any -parallel
+//	-trace-exemplars N   exemplars kept per failure class (default 3)
 //
 // The output prints each reproduced artifact next to the paper's
 // published value. Observability output (progress, metrics, logs) never
@@ -137,6 +141,10 @@ func run(argv []string, stdout io.Writer) error {
 	sc := workload.BuildScenario(topo, params)
 	cfg := measure.Config{Topo: topo, Scenario: sc, Seed: *runSeed, Start: 0, End: end, Metrics: reg}
 
+	if *calibrate && obsFlags.TraceOut != "" {
+		return fmt.Errorf("-trace-out does not apply to -calibrate (it runs both engines)")
+	}
+
 	if *calibrate {
 		if workload.ExpectedTransactions(topo, *runSeed, 0, end) > 2_000_000 {
 			return fmt.Errorf("calibration runs packet mode; reduce -hours/-clients/-sites")
@@ -159,6 +167,7 @@ func run(argv []string, stdout io.Writer) error {
 	if *mode == "fast" || *mode == "packet" {
 		shards = measure.EffectiveShards(len(topo.Clients), *parallel)
 	}
+	cfg.Trace = obsFlags.Tracer()
 	fmt.Fprintf(stdout, "webfail: %s; %d clients x %d websites over %d hours (%s mode, %d shards)\n",
 		topo, len(topo.Clients), len(topo.Websites), *hours, *mode, shards)
 
@@ -168,6 +177,9 @@ func run(argv []string, stdout io.Writer) error {
 		expected := int64(workload.ExpectedTransactions(topo, *runSeed, 0, end))
 		cfg.Progress = obs.NewProgress(os.Stderr, component, "txns", expected, shards, 2*time.Second)
 		cfg.Progress.Start()
+		// Stop is idempotent; the deferred call guarantees the final
+		// 100%-with-totals flush even when the run errors mid-batch.
+		defer cfg.Progress.Stop()
 	}
 
 	aopts := core.Options{State: stateMode, Passes: passes}
@@ -188,7 +200,7 @@ func run(argv []string, stdout io.Writer) error {
 			return fmt.Errorf("save: %w", err)
 		}
 		dw, err = dataset.NewWriter(saveFile, measure.DatasetMeta{
-			Seed: *seed, StartUnix: simnet.Time(0).Unix(), EndUnix: end.Unix(),
+			Seed: *seed, RunSeed: *runSeed, StartUnix: simnet.Time(0).Unix(), EndUnix: end.Unix(),
 			Clients: len(topo.Clients), Websites: len(topo.Websites),
 			Scenario: spec.Name, SpecHash: spec.Hash(), SpecJSON: spec.CanonicalJSON(),
 		}, dataset.Options{Version: *dsVersion, Metrics: reg})
@@ -264,6 +276,12 @@ func run(argv []string, stdout io.Writer) error {
 		}
 		closeSpan.End()
 		fmt.Fprintf(stdout, "\ndataset written to %s (%d records in %d chunks)\n", *savePath, dw.Stored(), dw.Chunks())
+	}
+	if cfg.Trace != nil {
+		if err := obsFlags.WriteTrace(cfg.Trace); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\ntrace written to %s (%d exemplars)\n", obsFlags.TraceOut, cfg.Trace.Len())
 	}
 	return nil
 }

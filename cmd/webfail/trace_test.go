@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTraceOutParallelInvariance is the CLI-level acceptance gate for
+// tracing: -trace-out must produce valid Chrome trace-event JSON and be
+// byte-identical across -parallel values, in both engine modes.
+func TestTraceOutParallelInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs each engine twice")
+	}
+	cases := []struct {
+		name string
+		base []string
+	}{
+		{"fast", []string{"-hours", "4", "-clients", "30", "-sites", "12", "-artifacts", "headlines"}},
+		{"packet", []string{"-hours", "3", "-clients", "20", "-sites", "10", "-mode", "packet", "-artifacts", "headlines"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			render := func(parallel string) []byte {
+				path := filepath.Join(t.TempDir(), "trace.json")
+				runCLI(t, append([]string{"-trace-out", path, "-parallel", parallel}, tc.base...)...)
+				b, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return b
+			}
+			serial := render("1")
+			var doc struct {
+				DisplayTimeUnit string           `json:"displayTimeUnit"`
+				TraceEvents     []map[string]any `json:"traceEvents"`
+			}
+			if err := json.Unmarshal(serial, &doc); err != nil {
+				t.Fatalf("trace is not valid JSON: %v", err)
+			}
+			if len(doc.TraceEvents) == 0 {
+				t.Fatal("trace has no events")
+			}
+			sawComplete := false
+			for _, ev := range doc.TraceEvents {
+				if ev["ph"] == "X" {
+					sawComplete = true
+				}
+			}
+			if !sawComplete {
+				t.Error("trace has no complete (ph=X) span events")
+			}
+			if sharded := render("4"); !bytes.Equal(serial, sharded) {
+				t.Errorf("%s-mode trace differs between -parallel 1 and 4 (%d vs %d bytes)",
+					tc.name, len(serial), len(sharded))
+			}
+		})
+	}
+}

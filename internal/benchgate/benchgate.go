@@ -1,0 +1,164 @@
+// Package benchgate compares benchmark snapshot files (the
+// BENCH_<date>.json documents scripts/bench.sh writes) and reports
+// per-metric regressions against tolerances. It is the engine behind
+// `scripts/bench.sh -compare` and the webfail-benchdiff command: a
+// fresh snapshot is diffed against the latest committed baseline, and
+// any benchmark that got slower (or hungrier) than the allowed margin
+// fails the gate with a report naming the metric, both values, and the
+// margin it broke.
+package benchgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Result is one benchmark's row in a snapshot document, matching the
+// JSON written by TestBenchSnapshot.
+type Result struct {
+	NsPerOp       int64   `json:"ns_per_op"`
+	RecordsPerOp  int64   `json:"records_per_op"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	BytesPerOp    int64   `json:"allocated_bytes_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+}
+
+// Doc is a parsed snapshot file. The metrics section is carried opaquely
+// (it holds the obs registry dump, not benchmark numbers).
+type Doc struct {
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+	Metrics    json.RawMessage   `json:"metrics,omitempty"`
+}
+
+// Load reads and parses a snapshot file.
+func Load(path string) (Doc, error) {
+	var d Doc
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(b, &d); err != nil {
+		return d, fmt.Errorf("benchgate: parse %s: %w", path, err)
+	}
+	if len(d.Benchmarks) == 0 {
+		return d, fmt.Errorf("benchgate: %s has no benchmarks section", path)
+	}
+	return d, nil
+}
+
+// Tolerance is the allowed fractional regression per metric: 0.25
+// means the current value may exceed the baseline by up to 25%.
+// Improvements always pass.
+type Tolerance struct {
+	NsPerOp float64 // wall time per op
+	Bytes   float64 // allocated bytes per op
+	Allocs  float64 // allocations per op
+}
+
+// DefaultTolerance is tuned for the study's CI box (a single-CPU
+// container with noisy neighbors, where back-to-back identical runs
+// swing wall time by ±40%): very generous on wall time — the gate is
+// for 2× cliffs, not percent drifts — and tight on the allocation
+// metrics, which are deterministic.
+func DefaultTolerance() Tolerance {
+	return Tolerance{NsPerOp: 0.60, Bytes: 0.10, Allocs: 0.10}
+}
+
+// Delta is one compared metric. Regressed is set when the current
+// value exceeds the baseline by more than the allowed fraction (or the
+// benchmark disappeared from the current snapshot).
+type Delta struct {
+	Bench     string
+	Metric    string
+	Base      float64
+	Current   float64
+	Allowed   float64 // allowed fractional growth
+	Regressed bool
+	Missing   bool // benchmark absent from the current snapshot
+}
+
+// Frac returns the fractional change from the baseline (+0.12 = 12%
+// slower/larger).
+func (d Delta) Frac() float64 {
+	if d.Base == 0 {
+		if d.Current == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (d.Current - d.Base) / d.Base
+}
+
+// Compare diffs every baseline benchmark against the current snapshot,
+// in sorted benchmark order. A benchmark missing from the current
+// snapshot is a regression (a silently dropped benchmark would
+// otherwise un-gate itself); extra benchmarks in the current snapshot
+// are ignored (they gate once they land in a committed baseline).
+func Compare(base, cur Doc, tol Tolerance) []Delta {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []Delta
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			out = append(out, Delta{Bench: name, Metric: "present", Base: 1, Current: 0, Regressed: true, Missing: true})
+			continue
+		}
+		out = append(out,
+			metricDelta(name, "ns_per_op", float64(b.NsPerOp), float64(c.NsPerOp), tol.NsPerOp),
+			metricDelta(name, "allocated_bytes_per_op", float64(b.BytesPerOp), float64(c.BytesPerOp), tol.Bytes),
+			metricDelta(name, "allocs_per_op", float64(b.AllocsPerOp), float64(c.AllocsPerOp), tol.Allocs),
+		)
+	}
+	return out
+}
+
+func metricDelta(bench, metric string, base, cur, allowed float64) Delta {
+	d := Delta{Bench: bench, Metric: metric, Base: base, Current: cur, Allowed: allowed}
+	d.Regressed = cur > base*(1+allowed)
+	return d
+}
+
+// Regressions filters a comparison down to the failing deltas.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Report renders a comparison as a human-readable table: every metric
+// with its change, regressions flagged with the margin they broke.
+func Report(deltas []Delta) string {
+	var b strings.Builder
+	for _, d := range deltas {
+		if d.Missing {
+			fmt.Fprintf(&b, "FAIL %-28s missing from the current snapshot\n", d.Bench)
+			continue
+		}
+		status := "ok  "
+		if d.Regressed {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "%s %-28s %-24s %14.0f -> %14.0f  %+6.1f%% (allowed +%.0f%%)\n",
+			status, d.Bench, d.Metric, d.Base, d.Current, 100*d.Frac(), 100*d.Allowed)
+	}
+	if n := len(Regressions(deltas)); n > 0 {
+		fmt.Fprintf(&b, "%d metric(s) regressed beyond tolerance\n", n)
+	} else {
+		b.WriteString("all benchmarks within tolerance\n")
+	}
+	return b.String()
+}

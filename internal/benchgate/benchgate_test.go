@@ -1,0 +1,126 @@
+package benchgate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baseSnapshot = `{
+  "go_version": "go1.24.0",
+  "gomaxprocs": 1,
+  "benchmarks": {
+    "run_fast_mode": {
+      "ns_per_op": 1000000,
+      "records_per_op": 5000,
+      "records_per_sec": 5000000,
+      "allocated_bytes_per_op": 2048,
+      "allocs_per_op": 10
+    },
+    "dataset_save_v3": {
+      "ns_per_op": 2000000,
+      "records_per_op": 20000,
+      "records_per_sec": 10000000,
+      "allocated_bytes_per_op": 4096,
+      "allocs_per_op": 40
+    }
+  }
+}`
+
+func writeSnap(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base, err := Load(writeSnap(t, "base.json", baseSnapshot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20% slower wall time (allowed 60%), identical allocations.
+	cur := base
+	cur.Benchmarks = map[string]Result{}
+	for name, r := range base.Benchmarks {
+		r.NsPerOp = r.NsPerOp * 12 / 10
+		cur.Benchmarks[name] = r
+	}
+	deltas := Compare(base, cur, DefaultTolerance())
+	if len(deltas) != 6 {
+		t.Fatalf("got %d deltas, want 6 (2 benchmarks x 3 metrics)", len(deltas))
+	}
+	if reg := Regressions(deltas); len(reg) != 0 {
+		t.Fatalf("within-tolerance snapshot flagged: %+v", reg)
+	}
+	if rep := Report(deltas); !strings.Contains(rep, "all benchmarks within tolerance") {
+		t.Fatalf("report missing pass line:\n%s", rep)
+	}
+}
+
+func TestCompareInjectedRegression(t *testing.T) {
+	base, err := Load(writeSnap(t, "base.json", baseSnapshot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := base
+	cur.Benchmarks = map[string]Result{}
+	for name, r := range base.Benchmarks {
+		cur.Benchmarks[name] = r
+	}
+	// Inject: run_fast_mode is 2x slower and allocates 3 extra objects.
+	r := cur.Benchmarks["run_fast_mode"]
+	r.NsPerOp *= 2
+	r.AllocsPerOp += 3
+	cur.Benchmarks["run_fast_mode"] = r
+
+	deltas := Compare(base, cur, DefaultTolerance())
+	reg := Regressions(deltas)
+	if len(reg) != 2 {
+		t.Fatalf("got %d regressions, want 2 (ns_per_op + allocs_per_op): %+v", len(reg), reg)
+	}
+	rep := Report(deltas)
+	for _, want := range []string{
+		"FAIL run_fast_mode", "ns_per_op", "allocs_per_op",
+		"+100.0%", "(allowed +60%)", "2 metric(s) regressed",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if strings.Contains(rep, "FAIL dataset_save_v3") {
+		t.Errorf("untouched benchmark flagged:\n%s", rep)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	base, err := Load(writeSnap(t, "base.json", baseSnapshot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := base
+	cur.Benchmarks = map[string]Result{"run_fast_mode": base.Benchmarks["run_fast_mode"]}
+	deltas := Compare(base, cur, DefaultTolerance())
+	reg := Regressions(deltas)
+	if len(reg) != 1 || !reg[0].Missing || reg[0].Bench != "dataset_save_v3" {
+		t.Fatalf("missing benchmark not flagged: %+v", reg)
+	}
+	if rep := Report(deltas); !strings.Contains(rep, "missing from the current snapshot") {
+		t.Fatalf("report missing the missing-benchmark line:\n%s", rep)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("Load of a missing file succeeded")
+	}
+	if _, err := Load(writeSnap(t, "bad.json", "{not json")); err == nil || !strings.Contains(err.Error(), "parse") {
+		t.Fatalf("want parse error, got %v", err)
+	}
+	if _, err := Load(writeSnap(t, "empty.json", `{"go_version":"go1.24.0"}`)); err == nil || !strings.Contains(err.Error(), "no benchmarks") {
+		t.Fatalf("want no-benchmarks error, got %v", err)
+	}
+}

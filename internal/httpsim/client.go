@@ -71,10 +71,17 @@ func (k ConnFailKind) String() string {
 	}
 }
 
-// ConnAttempt records one TCP connection attempt.
+// ConnAttempt records one TCP connection attempt. Start/End bound the
+// attempt on the virtual clock and LocalPort identifies the client side
+// of the flow, so a trace capture's per-flow statistics (trace.Flow is
+// keyed by address:port pairs) can be joined back to the attempt — the
+// cross-layer link the paper's Section 3.5 post-processing performs.
 type ConnAttempt struct {
-	Addr netip.Addr
-	Kind ConnFailKind
+	Addr      netip.Addr
+	Kind      ConnFailKind
+	Start     simnet.Time
+	End       simnet.Time
+	LocalPort uint16
 }
 
 // FetchResult is the complete outcome of one wget invocation (one
@@ -256,8 +263,12 @@ func (c *Client) tryAddrs(res *FetchResult, req *Request, addrs []netip.Addr, po
 	}
 	addr := addrs[i]
 	res.ReplicaIP = addr
+	start := c.now()
 	c.request(req, netip.AddrPortFrom(addr, port), func(out *requestOutcome) {
-		res.Attempts = append(res.Attempts, ConnAttempt{Addr: addr, Kind: out.kind})
+		res.Attempts = append(res.Attempts, ConnAttempt{
+			Addr: addr, Kind: out.kind,
+			Start: start, End: c.now(), LocalPort: out.localPort,
+		})
 		res.Bytes += out.bodyBytes
 		switch {
 		case out.kind == ConnOK:
@@ -297,6 +308,7 @@ type requestOutcome struct {
 	kind      ConnFailKind
 	resp      *Response
 	bodyBytes int
+	localPort uint16
 }
 
 // request performs one TCP connection + GET against a specific address.
@@ -314,6 +326,9 @@ func (c *Client) request(req *Request, to netip.AddrPort, done func(*requestOutc
 		}
 		finished = true
 		idleTimer.Stop()
+		if conn != nil {
+			out.localPort = conn.LocalPort()
+		}
 		out.bodyBytes = parser.Partial()
 		if out.kind == ConnOK && out.resp != nil {
 			out.bodyBytes = len(out.resp.Body)

@@ -16,8 +16,10 @@ import (
 // chronic servers, replica rotation, and BGP episodes all exercised — so
 // a reintroduced per-transaction map or slice shows up here before it
 // shows up in a month-scale wall clock. The evaluator runs with its
-// observability counters and progress flushing active, so the gate also
-// covers the instrumented hot path.
+// observability counters, per-class latency census, and progress
+// flushing active — and with the tracing hooks compiled in but disabled
+// (ev.tr == nil) — so the gate covers the instrumented hot path and
+// pins the contract that tracing off costs no allocations.
 func TestEvaluateZeroAllocs(t *testing.T) {
 	cfg := smallConfig(t, 20, 0, 6, 7) // all 80 sites: multi-replica + CDN + proxied paths
 	ev := newEvaluator(cfg)

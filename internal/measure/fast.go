@@ -23,6 +23,9 @@ func Run(cfg Config, visit func(*Record)) error {
 	}
 	ev := newEvaluator(cfg)
 	ev.prog = cfg.Progress.Shard(0)
+	if cfg.Trace != nil {
+		ev.tr = newTraceShard(cfg.Trace.K(), len(cfg.Topo.Clients))
+	}
 	// One Record reused across transactions: visit must not retain the
 	// pointer, and evaluate fully overwrites it, so the hot loop stays
 	// allocation-free.
@@ -33,6 +36,9 @@ func Run(cfg Config, visit func(*Record)) error {
 		}
 	})
 	ev.fold(cfg.Metrics)
+	if ev.tr != nil {
+		return cfg.Trace.Merge(ev.tr.sink)
+	}
 	return nil
 }
 
@@ -80,6 +86,23 @@ type evaluator struct {
 	// counts for the live progress reporter.
 	prog       *obs.ShardCounter
 	sinceFlush int64
+
+	// lat is the shard's per-failure-class latency census, folded into
+	// the registry with the counters (array updates only — no
+	// allocations, no atomics per transaction).
+	lat latencyScratch
+
+	// tr, when non-nil, collects span-tree exemplars. tracing caches
+	// "tr is non-nil and still has unfilled classes" per transaction so
+	// the recording hooks cost one branch each once the sample is full
+	// — and nothing at all when tracing is off.
+	tr      *traceShard
+	tracing bool
+	// Per-transaction blame scratch for the tracer: which ground-truth
+	// episode each phase's outcome traces back to.
+	trConnCause traceCause
+	trDNSCause  traceCause
+	trHTTPCause traceCause
 }
 
 // evalStats is one shard's deterministic work census.
@@ -199,11 +222,17 @@ func pathImpact(ep faults.Episode) float64 {
 // shard's observability counters. It reports false when the client
 // machine is off (no access performed).
 func (ev *evaluator) evaluate(tx *workload.Transaction, rec *Record) bool {
+	ev.tracing = ev.tr != nil && ev.tr.active
 	performed := ev.evaluateTx(tx, rec)
 	if performed {
 		ev.stats.txns++
 		if rec.Failed() {
 			ev.stats.fails++
+		}
+		class := ClassOf(rec)
+		ev.lat.observe(class, fastTxnLatency(rec))
+		if ev.tracing {
+			ev.traceFinish(rec, class)
 		}
 	} else {
 		ev.stats.skipped++
@@ -237,6 +266,7 @@ func (ev *evaluator) fold(reg *obs.Registry) {
 	reg.Counter("measure_txns_skipped_total").Add(ev.stats.skipped)
 	reg.Counter("measure_failures_total").Add(ev.stats.fails)
 	reg.Counter("measure_episodes_scanned_total").Add(ev.stats.episodes)
+	ev.lat.fold(reg)
 }
 
 // evaluateTx evaluates one transaction without touching the counters.
@@ -259,11 +289,27 @@ func (ev *evaluator) evaluateTx(tx *workload.Transaction, rec *Record) bool {
 		Category:  c.Category,
 		Proxied:   c.Proxied,
 	}
+	if ev.tracing {
+		// Reset the attempt scratch and per-phase causes; every other
+		// span rebuilds from the Record if the transaction is kept.
+		ev.tr.attempts = ev.tr.attempts[:0]
+		ev.trConnCause, ev.trDNSCause, ev.trHTTPCause = noCause, noCause, noCause
+	}
 
 	// --- Client-side connectivity state (used by both DNS and TCP). ---
 	siteConn, siteConnOK := tl.ActiveID(ev.siteID[ci], faults.ClientConnectivity, at)
 	cliConn, cliConnOK := tl.ActiveID(ev.clientID[ci], faults.ClientConnectivity, at)
-	connectivityDown := hit(rng, siteConn, siteConnOK) || hit(rng, cliConn, cliConnOK)
+	// Drawing siteHit first preserves the original short-circuit RNG
+	// sequence while exposing which end caused the loss.
+	siteHit := hit(rng, siteConn, siteConnOK)
+	connectivityDown := siteHit || hit(rng, cliConn, cliConnOK)
+	if ev.tracing && connectivityDown {
+		if siteHit {
+			ev.trConnCause = traceCause{ent: ev.siteID[ci], kind: faults.ClientConnectivity}
+		} else {
+			ev.trConnCause = traceCause{ent: ev.clientID[ci], kind: faults.ClientConnectivity}
+		}
+	}
 
 	// --- DNS phase (direct clients only; the proxy resolves for CN). ---
 	if !c.Proxied {
@@ -305,24 +351,37 @@ func (ev *evaluator) resolveDNS(rng *rand.Rand, ci, si int, at simnet.Time, conn
 	// this is the mechanism behind Section 4.4.4's observation that
 	// client problems preclude TCP attempts).
 	if connectivityDown {
+		ev.trDNSCause = ev.trConnCause
 		return DNSLDNSTimeout, stubTimeoutTotal
 	}
 	// LDNS server trouble (site-scoped: co-located clients share it).
 	if ep, ok := tl.ActiveID(ev.siteID[ci], faults.LDNSOutage, at); hit(rng, ep, ok) {
+		if ev.tracing {
+			ev.trDNSCause = traceCause{ent: ev.siteID[ci], kind: faults.LDNSOutage}
+		}
 		return DNSLDNSTimeout, stubTimeoutTotal
 	}
 	// Authoritative DNS misconfiguration: definitive error response.
 	if ep, ok := tl.ActiveID(ev.wwwID[si], faults.AuthDNSMisconfig, at); hit(rng, ep, ok) {
+		if ev.tracing {
+			ev.trDNSCause = traceCause{ent: ev.wwwID[si], kind: faults.AuthDNSMisconfig}
+		}
 		return DNSErrorResponse, ev.sampleDNSTime(rng) + 50*time.Millisecond
 	}
 	// Authoritative DNS unreachable: the LDNS keeps retrying past the
 	// stub's patience — a non-LDNS timeout.
 	if ep, ok := tl.ActiveID(ev.wwwID[si], faults.AuthDNSOutage, at); hit(rng, ep, ok) {
+		if ev.tracing {
+			ev.trDNSCause = traceCause{ent: ev.wwwID[si], kind: faults.AuthDNSOutage}
+		}
 		return DNSNonLDNSTimeout, stubTimeoutTotal
 	}
 	// Transient lookup failures, split toward the LDNS class as in
 	// Table 4's residuals.
 	if rng.Float64() < p.TransientDNSFail {
+		if ev.tracing {
+			ev.trDNSCause = traceCause{ent: faults.NoEntity, transient: true}
+		}
 		if rng.Float64() < 0.55 {
 			return DNSLDNSTimeout, stubTimeoutTotal
 		}
@@ -341,9 +400,15 @@ func (ev *evaluator) proxyDNSFails(rng *rand.Rand, si int, at simnet.Time) bool 
 	// Only a hard authoritative outage that outlives the proxy cache
 	// TTL is visible; model as a strongly discounted probability.
 	if ep, ok := tl.ActiveID(ev.wwwID[si], faults.AuthDNSOutage, at); ok {
+		if ev.tracing {
+			ev.trDNSCause = traceCause{ent: ev.wwwID[si], kind: faults.AuthDNSOutage}
+		}
 		return rng.Float64() < ep.Severity*0.15
 	}
 	if ep, ok := tl.ActiveID(ev.wwwID[si], faults.AuthDNSMisconfig, at); ok {
+		if ev.tracing {
+			ev.trDNSCause = traceCause{ent: ev.wwwID[si], kind: faults.AuthDNSMisconfig}
+		}
 		return rng.Float64() < ep.Severity*0.15
 	}
 	return false
@@ -411,10 +476,18 @@ func (ev *evaluator) download(rng *rand.Rand, rec *Record, c *workload.ClientNod
 	ev.gen++
 	sf := &ev.sites[si]
 
+	// Blame scratch for the tracer: which ground-truth episode each
+	// fault flag traces back to. Locals cost nothing when tracing is
+	// off; the precedence below mirrors the attempt switch's case order.
+	var causeBlocked, causePath, causeWWW, causeOverload traceCause
+	causePath = ev.trConnCause
+	causeTransient := traceCause{ent: faults.NoEntity, transient: true}
+
 	if pairID, hasPair := ev.pairID[[2]int32{rec.ClientIdx, si}]; hasPair {
 		if ep, ok := tl.ActiveID(pairID, faults.PermanentBlock, at); hit(rng, ep, ok) {
 			blocked = true
 			blockMode = ep.Mode
+			causeBlocked = traceCause{ent: pairID, kind: faults.PermanentBlock}
 		}
 	}
 	// BGP instability / path outages on either end's prefix. The prefix
@@ -437,14 +510,21 @@ func (ev *evaluator) download(rng *rand.Rand, rec *Record, c *workload.ClientNod
 		ev.epBuf = tl.ActiveAnyIntoID(id, at, ev.epBuf[:0])
 		ev.stats.episodes += int64(len(ev.epBuf))
 		if ep, active := mostSevere(ev.epBuf, faults.BGPInstability); active && rng.Float64() < pathImpact(ep) {
+			if !pathDown {
+				causePath = traceCause{ent: id, kind: faults.BGPInstability}
+			}
 			pathDown = true
 		}
 		if ep, active := mostSevere(ev.epBuf, faults.PathOutage); hit(rng, ep, active) {
+			if !pathDown {
+				causePath = traceCause{ent: id, kind: faults.PathOutage}
+			}
 			pathDown = true
 		}
 	}
 	if ep, ok := tl.ActiveID(ev.wwwID[si], faults.ServerOutage, at); hit(rng, ep, ok) {
 		wwwDown = true
+		causeWWW = traceCause{ent: ev.wwwID[si], kind: faults.ServerOutage}
 	}
 	if off >= 0 {
 		n := len(sf.repID)
@@ -457,6 +537,7 @@ func (ev *evaluator) download(rng *rand.Rand, rec *Record, c *workload.ClientNod
 	if ep, ok := tl.ActiveID(ev.wwwID[si], faults.ServerOverload, at); hit(rng, ep, ok) {
 		overload = true
 		overloadMode = ep.Mode
+		causeOverload = traceCause{ent: ev.wwwID[si], kind: faults.ServerOverload}
 	}
 	// Transient connection-level failure: a short glitch that a
 	// 20-second retry sequence does not outlive. Flakier client sites
@@ -474,11 +555,14 @@ func (ev *evaluator) download(rng *rand.Rand, rec *Record, c *workload.ClientNod
 		transientKind = transientKindFor(rng, c.Category)
 	}
 
+	tracing := ev.tracing
+
 	var elapsed time.Duration
 	for try := 0; try < tries; try++ {
 		for k, addr := range addrs {
 			rec.Conns++
 			rec.ReplicaIP = addr
+			before := elapsed
 
 			switch {
 			case blocked && blockMode == workload.BlockPartial:
@@ -487,14 +571,34 @@ func (ev *evaluator) download(rng *rand.Rand, rec *Record, c *workload.ClientNod
 				rec.Retransmits += int16(1 + rng.Intn(8))
 				rec.FailKind = httpsim.PartialResponse
 				elapsed += 60 * time.Second
+				if tracing {
+					ev.tr.attempt(addr, before, elapsed, "partial-response", causeBlocked)
+				}
 				continue
 			case blocked, pathDown, wwwDown, off >= 0 && ev.repDownGen[k] == ev.gen:
 				rec.FailKind = httpsim.NoConnection
 				elapsed += synFailTime
+				if tracing {
+					// Blame precedence mirrors the case condition order.
+					cause := causeBlocked
+					switch {
+					case blocked:
+					case pathDown:
+						cause = causePath
+					case wwwDown:
+						cause = causeWWW
+					default:
+						cause = traceCause{ent: sf.repID[(off+k)%len(sf.repID)], kind: faults.ServerOutage}
+					}
+					ev.tr.attempt(addr, before, elapsed, "no-connection", cause)
+				}
 				continue
 			case transientConn && transientKind == httpsim.NoConnection:
 				rec.FailKind = httpsim.NoConnection
 				elapsed += synFailTime
+				if tracing {
+					ev.tr.attempt(addr, before, elapsed, "no-connection", causeTransient)
+				}
 				continue
 			case transientConn:
 				rec.FailKind = transientKind
@@ -504,6 +608,9 @@ func (ev *evaluator) download(rng *rand.Rand, rec *Record, c *workload.ClientNod
 					rec.Retransmits += int16(1 + rng.Intn(4))
 				}
 				elapsed += 60 * time.Second
+				if tracing {
+					ev.tr.attempt(addr, before, elapsed, transientKind.String(), causeTransient)
+				}
 				continue
 			}
 
@@ -523,6 +630,9 @@ func (ev *evaluator) download(rng *rand.Rand, rec *Record, c *workload.ClientNod
 				default: // OverloadHung
 					rec.FailKind = httpsim.NoResponse
 					elapsed += 60 * time.Second
+				}
+				if tracing {
+					ev.tr.attempt(addr, before, elapsed, rec.FailKind.String(), causeOverload)
 				}
 				continue
 			}
@@ -545,6 +655,9 @@ func (ev *evaluator) download(rng *rand.Rand, rec *Record, c *workload.ClientNod
 				time.Duration(rng.Int63n(int64(200*time.Millisecond)))
 			ev.httpPhase(rng, rec, w, at)
 			rec.Elapsed = elapsed
+			if tracing {
+				ev.tr.attempt(addr, before, elapsed, "connected", noCause)
+			}
 			return
 		}
 	}
@@ -561,11 +674,17 @@ func (ev *evaluator) httpPhase(rng *rand.Rand, rec *Record, w *workload.WebsiteN
 	if ep, ok := ev.tl.ActiveID(ev.wwwID[rec.SiteIdx], faults.ServerHTTPError, at); hit(rng, ep, ok) {
 		rec.Stage = httpsim.StageHTTP
 		rec.StatusCode = 503
+		if ev.tracing {
+			ev.trHTTPCause = traceCause{ent: ev.wwwID[rec.SiteIdx], kind: faults.ServerHTTPError}
+		}
 		return
 	}
 	if rng.Float64() < p.TransientHTTPErr {
 		rec.Stage = httpsim.StageHTTP
 		rec.StatusCode = 404
+		if ev.tracing {
+			ev.trHTTPCause = traceCause{ent: faults.NoEntity, transient: true}
+		}
 		return
 	}
 	rec.Stage = httpsim.StageNone

@@ -13,6 +13,7 @@ import (
 	"webfail/internal/dnssim"
 	"webfail/internal/faults"
 	"webfail/internal/httpsim"
+	"webfail/internal/obs"
 	"webfail/internal/simnet"
 	"webfail/internal/tcpsim"
 	"webfail/internal/trace"
@@ -111,6 +112,7 @@ func packetShardBounds(topo *workload.Topology, shards int) []int {
 type packetShardResult struct {
 	recs    [][]Record // by shard-local client index, completion order
 	caps    map[string]CaptureResult
+	tracer  *obs.Tracer
 	virtual time.Duration
 }
 
@@ -156,6 +158,20 @@ func runPacketSharded(cfg Config, shards int, captureClients []string, visit fun
 		}
 	}
 
+	// Shard-order tracer merge: the merge keeps the K smallest canonical
+	// (client, ordinal) keys per class, so the folded exemplar set is the
+	// same for any shard count.
+	if cfg.Trace != nil {
+		for i := range outs {
+			if outs[i].tracer == nil {
+				continue
+			}
+			if err := cfg.Trace.Merge(outs[i].tracer); err != nil {
+				return err
+			}
+		}
+	}
+
 	for s := range outs {
 		for _, recs := range outs[s].recs {
 			for i := range recs {
@@ -191,14 +207,18 @@ func runPacketShard(cfg Config, shard, lo, hi int, captureClients []string) pack
 		}
 	}
 
-	out := packetShardResult{recs: make([][]Record, hi-lo)}
+	out := packetShardResult{recs: make([][]Record, hi-lo), tracer: w.tracer}
 	var txns, skipped, fails int64
+	var lat latencyScratch
 	prog := cfg.Progress.Shard(shard)
 	record := func(r *Record) {
 		txns++
 		if r.Failed() {
 			fails++
 		}
+		// Packet-mode Elapsed is already end-to-end (wget wall time,
+		// DNS included).
+		lat.observe(ClassOf(r), r.Elapsed)
 		ci := int(r.ClientIdx) - lo
 		out.recs[ci] = append(out.recs[ci], *r)
 	}
@@ -225,6 +245,7 @@ func runPacketShard(cfg Config, shard, lo, hi int, captureClients []string) pack
 		reg.Counter("measure_txns_skipped_total").Add(skipped)
 		reg.Counter("measure_failures_total").Add(fails)
 		reg.Counter("simnet_events_dispatched_total").Add(int64(w.net.Sched.Dispatched()))
+		lat.fold(reg)
 	}
 
 	if len(caps) > 0 {
@@ -237,6 +258,7 @@ func runPacketShard(cfg Config, shard, lo, hi int, captureClients []string) pack
 				Packets: len(pkts),
 			}
 		}
+		w.annotateFlowSpans(out.caps)
 	}
 	return out
 }
@@ -278,6 +300,12 @@ type world struct {
 	info     map[uint32]addrInfo
 	pairEnt  []faults.EntityID
 	numSites int
+
+	// tracer is the shard-local exemplar sink (nil when tracing is off);
+	// trSeq assigns each client's performed transactions their canonical
+	// per-client ordinal, indexed shard-locally.
+	tracer *obs.Tracer
+	trSeq  []int64
 }
 
 type clientHost struct {
@@ -300,6 +328,10 @@ func buildWorld(cfg Config, clientLo, clientHi int) *world {
 		clientLo: clientLo,
 		ldns:     make(map[string]*dnssim.LDNS),
 		info:     make(map[uint32]addrInfo),
+	}
+	if cfg.Trace != nil {
+		w.tracer = obs.NewTracer(cfg.Trace.K())
+		w.trSeq = make([]int64, clientHi-clientLo)
 	}
 
 	// Build-time address classification, compiled into w.info at the end.
@@ -698,11 +730,15 @@ func (w *world) runTransaction(tx *workload.Transaction, visit func(*Record)) bo
 		switch {
 		case node.Proxied:
 			rec.DNS = DNSMasked
+			if w.tracer != nil {
+				w.traceTxn(ch, site, rec, res, 0)
+			}
 			visit(rec)
 		case res.Stage == httpsim.StageDNS:
 			// Step 3: iterative dig to sub-classify the DNS
 			// failure, exactly as the paper's post-processing
 			// does.
+			digStart := w.net.Sched.Now()
 			ch.dig.Trace(site.Host, func(rep *dnssim.DigReport) {
 				switch rep.Classify() {
 				case dnssim.ClassLDNSTimeout:
@@ -721,10 +757,16 @@ func (w *world) runTransaction(tx *workload.Transaction, visit func(*Record)) bo
 						rec.DNS = DNSLDNSTimeout
 					}
 				}
+				if w.tracer != nil {
+					w.traceTxn(ch, site, rec, res, w.net.Sched.Now().Sub(digStart))
+				}
 				visit(rec)
 			})
 		default:
 			rec.DNS = DNSOK
+			if w.tracer != nil {
+				w.traceTxn(ch, site, rec, res, 0)
+			}
 			visit(rec)
 		}
 	})

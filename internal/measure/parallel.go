@@ -32,6 +32,14 @@ func RunParallel(cfg Config, shards int, visit func(shard int, r *Record)) error
 	n := len(cfg.Topo.Clients)
 	shards = EffectiveShards(n, shards)
 
+	// Per-shard tracers, merged in shard order after the run. The merge
+	// is an ordered one keyed on the canonical (client, ordinal) key, so
+	// the folded exemplar set matches a serial run for any shard count.
+	var tracers []*traceShard
+	if cfg.Trace != nil {
+		tracers = make([]*traceShard, shards)
+	}
+
 	var wg sync.WaitGroup
 	for s := 0; s < shards; s++ {
 		lo, hi := s*n/shards, (s+1)*n/shards
@@ -43,6 +51,10 @@ func RunParallel(cfg Config, shards int, visit func(shard int, r *Record)) error
 			// the run itself.
 			ev := newEvaluator(cfg)
 			ev.prog = cfg.Progress.Shard(shard)
+			if tracers != nil {
+				ev.tr = newTraceShard(cfg.Trace.K(), n)
+				tracers[shard] = ev.tr
+			}
 			// One Record per worker, reused across its transactions
 			// (visit must not retain the pointer).
 			var rec Record
@@ -55,6 +67,13 @@ func RunParallel(cfg Config, shards int, visit func(shard int, r *Record)) error
 		}(s, lo, hi)
 	}
 	wg.Wait()
+	for _, tr := range tracers {
+		if tr != nil {
+			if err := cfg.Trace.Merge(tr.sink); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 

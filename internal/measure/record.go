@@ -128,6 +128,16 @@ type Config struct {
 	// periodic progress reporter. Purely observational: it never feeds
 	// back into evaluation.
 	Progress *obs.Progress
+	// Trace, when non-nil, samples per-transaction causal span trees
+	// into the tracer: the first K exemplars per failure class in
+	// canonical (client index, per-client transaction ordinal) order,
+	// annotated with the ground-truth episodes behind each outcome.
+	// Sampling is shard-invariant — per-shard tracers merge like
+	// Analysis.Merge — so the exported trace is byte-identical for any
+	// -parallel value. Tracing draws no randomness and never feeds
+	// back into evaluation; nil disables it at the cost of one pointer
+	// check per transaction.
+	Trace *obs.Tracer
 }
 
 // Validate checks the configuration.

@@ -1,0 +1,200 @@
+package measure
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"webfail/internal/obs"
+)
+
+// TestTraceShardInvariant is the tracing determinism gate: the exported
+// Chrome trace must be byte-identical whether the run was serial or
+// sharded, for any shard count.
+func TestTraceShardInvariant(t *testing.T) {
+	cfg := smallConfig(t, 24, 0, 10, 7)
+	render := func(shards int) string {
+		c := cfg
+		c.Trace = obs.NewTracer(3)
+		var err error
+		if shards == 0 {
+			err = Run(c, func(*Record) {})
+		} else {
+			err = RunParallel(c, shards, func(int, *Record) {})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := c.Trace.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := render(0)
+	if !strings.Contains(serial, `"name":"txn"`) {
+		t.Fatalf("serial trace has no txn spans:\n%.400s", serial)
+	}
+	for _, shards := range []int{1, 3, 5} {
+		if got := render(shards); got != serial {
+			t.Errorf("trace with %d shards differs from serial run", shards)
+		}
+	}
+}
+
+// TestTraceExemplarContent spot-checks one run's exemplars: classes
+// carry correctly nested spans, failure spans name a blamed cause, and
+// the per-class cap holds.
+func TestTraceExemplarContent(t *testing.T) {
+	cfg := smallConfig(t, 24, 0, 24, 7)
+	cfg.Trace = obs.NewTracer(2)
+	if err := Run(cfg, func(*Record) {}); err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Trace.Classes()) < 3 {
+		t.Fatalf("expected several failure classes in a faulty day, got %v", cfg.Trace.Classes())
+	}
+	sawBlame := false
+	for _, class := range cfg.Trace.Classes() {
+		exs := cfg.Trace.Exemplars(class)
+		if len(exs) > 2 {
+			t.Errorf("class %s kept %d exemplars, cap is 2", class, len(exs))
+		}
+		for _, ex := range exs {
+			if len(ex.Spans) == 0 || ex.Spans[0].Name != "txn" {
+				t.Fatalf("class %s exemplar %s lacks a root txn span", class, ex.Label)
+			}
+			root := ex.Spans[0]
+			if root.Outcome != class {
+				t.Errorf("root outcome %q != class %q", root.Outcome, class)
+			}
+			for _, sp := range ex.Spans[1:] {
+				if sp.Depth == 0 {
+					t.Errorf("exemplar %s has a second depth-0 span %q", ex.Label, sp.Name)
+				}
+				if sp.Start < root.Start || sp.Start > root.Start+root.Dur {
+					t.Errorf("span %q of %s starts outside its root", sp.Name, ex.Label)
+				}
+				if strings.Contains(sp.Detail, "blame=") {
+					sawBlame = true
+				}
+			}
+		}
+	}
+	if !sawBlame {
+		t.Error("no span carries a blame annotation")
+	}
+}
+
+// TestPacketTraceShardInvariant mirrors TestTraceShardInvariant for the
+// packet engine: the per-client completion order is shard-invariant and
+// the tracer merge is keyed on canonical (client, ordinal) keys, so the
+// exported Chrome trace must be byte-identical for any shard count.
+func TestPacketTraceShardInvariant(t *testing.T) {
+	cfg := smallConfig(t, 6, 5, 3, 2005)
+	render := func(shards int) string {
+		c := cfg
+		c.Trace = obs.NewTracer(2)
+		var err error
+		if shards == 0 {
+			err = RunPacket(c, func(*Record) {})
+		} else {
+			err = RunPacketParallel(c, shards, func(int, *Record) {})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := c.Trace.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := render(0)
+	if !strings.Contains(serial, `"name":"txn"`) {
+		t.Fatalf("serial packet trace has no txn spans:\n%.400s", serial)
+	}
+	if !strings.Contains(serial, "flow=") {
+		t.Error("packet trace attempts carry no flow keys")
+	}
+	for _, shards := range []int{2, 3} {
+		if got := render(shards); got != serial {
+			t.Errorf("packet trace with %d shards differs from serial run", shards)
+		}
+	}
+}
+
+// TestPacketTraceCaptureCrossLink: when a capture runs on a traced
+// client, the attempt spans whose flows appear in the capture gain the
+// trace-derived per-flow statistics — the Section 3.5 join.
+func TestPacketTraceCaptureCrossLink(t *testing.T) {
+	cfg := quietConfig(t, 1, 2, 2)
+	cfg.Trace = obs.NewTracer(4)
+	clientName := cfg.Topo.Clients[0].Name
+	err := RunPacketWithCapture(cfg, []string{clientName}, func(*Record) {}, func(CaptureResult) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linked := 0
+	for _, class := range cfg.Trace.Classes() {
+		for _, ex := range cfg.Trace.Exemplars(class) {
+			for _, sp := range ex.Spans {
+				if strings.Contains(sp.Detail, "capture: pkts=") {
+					linked++
+				}
+			}
+		}
+	}
+	if linked == 0 {
+		t.Fatal("no attempt span joined its capture flow statistics")
+	}
+}
+
+// TestLatencyHistogramsDeterministic checks the per-class latency
+// histograms: they land in the deterministic section, their total count
+// equals the performed-transaction counter, and the folded values are
+// identical for any shard count.
+func TestLatencyHistogramsDeterministic(t *testing.T) {
+	cfg := smallConfig(t, 24, 0, 10, 7)
+	snap := func(shards int) (obs.Snapshot, string) {
+		c := cfg
+		c.Metrics = obs.NewRegistry()
+		var err error
+		if shards == 0 {
+			err = Run(c, func(*Record) {})
+		} else {
+			err = RunParallel(c, shards, func(int, *Record) {})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := c.Metrics.Snapshot()
+		det, merr := json.Marshal(s.Deterministic)
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		return s, string(det)
+	}
+	serial, serialDet := snap(0)
+	var histTotal int64
+	found := 0
+	for name, h := range serial.Deterministic.Histograms {
+		if !strings.HasPrefix(name, "measure_txn_latency_ms{") {
+			continue
+		}
+		found++
+		histTotal += h.Count
+	}
+	if found == 0 {
+		t.Fatal("no per-class latency histograms in the deterministic section")
+	}
+	if txns := serial.Deterministic.Counters["measure_txns_total"]; histTotal != txns {
+		t.Errorf("latency observations %d != performed transactions %d", histTotal, txns)
+	}
+	for _, shards := range []int{1, 4} {
+		if _, det := snap(shards); det != serialDet {
+			t.Errorf("deterministic metrics with %d shards differ from serial", shards)
+		}
+	}
+}

@@ -20,6 +20,11 @@ type CLIFlags struct {
 	MetricsOut    string
 	MetricsListen string
 	Progress      bool
+	// TraceOut / TraceExemplars drive transaction tracing: commands
+	// that run transactions sample TraceExemplars exemplars per failure
+	// class and export them as Chrome trace-event JSON to TraceOut.
+	TraceOut       string
+	TraceExemplars int
 }
 
 // Register installs the flags on fs (pass flag.CommandLine for the
@@ -30,6 +35,38 @@ func (f *CLIFlags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a Prometheus-style metrics dump to this path at exit")
 	fs.StringVar(&f.MetricsListen, "metrics-listen", "", "serve live /metrics and /metrics.json snapshots on this address")
 	fs.BoolVar(&f.Progress, "progress", false, "report periodic progress to stderr")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write sampled transaction spans as Chrome trace-event JSON to this path")
+	fs.IntVar(&f.TraceExemplars, "trace-exemplars", 3, "exemplar transactions kept per failure class for -trace-out")
+}
+
+// Tracer returns a fresh exemplar tracer sized by the flags, or nil
+// when -trace-out is off — callers pass the result straight to the run
+// configuration.
+func (f *CLIFlags) Tracer() *Tracer {
+	if f.TraceOut == "" {
+		return nil
+	}
+	return NewTracer(f.TraceExemplars)
+}
+
+// WriteTrace exports the tracer to the -trace-out path. A nil tracer or
+// an unset flag is a no-op.
+func (f *CLIFlags) WriteTrace(t *Tracer) error {
+	if f.TraceOut == "" || t == nil {
+		return nil
+	}
+	file, err := os.Create(f.TraceOut)
+	if err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	if err := t.WriteChromeTrace(file); err != nil {
+		file.Close()
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	if err := file.Close(); err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	return nil
 }
 
 // Session is the running state behind a CLIFlags.Start: an in-progress

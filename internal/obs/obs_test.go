@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -69,7 +70,7 @@ func TestProgressReporting(t *testing.T) {
 	if !strings.Contains(out, "shard-spread 30") {
 		t.Fatalf("missing shard-spread (130-100):\n%s", out)
 	}
-	if !strings.Contains(out, "done 460 txns in") {
+	if !strings.Contains(out, "done 46.0% 460/1.0k txns in") {
 		t.Fatalf("missing final summary:\n%s", out)
 	}
 
@@ -79,6 +80,47 @@ func TestProgressReporting(t *testing.T) {
 	np.Shard(0).Add(1)
 	np.Stop()
 	NewProgress(io.Discard, "x", "y", 0, 1, 0).Stop()
+}
+
+// TestProgressFinalFlush pins the final-flush guarantee: a run that
+// ends between ticks (the interval here never fires) still emits a
+// summary, and its last stderr line carries the 100% completion with
+// totals.
+func TestProgressFinalFlush(t *testing.T) {
+	var mu sync.Mutex
+	var b strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	})
+	p := NewProgress(w, "testcmd", "txns", 500, 2, time.Hour)
+	p.Start()
+	p.Shard(0).Add(260)
+	p.Shard(1).Add(240)
+	p.Stop()
+
+	mu.Lock()
+	out := strings.TrimRight(b.String(), "\n")
+	mu.Unlock()
+	lines := strings.Split(out, "\n")
+	last := lines[len(lines)-1]
+	const wantPrefix = "testcmd: progress done 100.0% 500/500 txns in "
+	if !strings.HasPrefix(last, wantPrefix) {
+		t.Fatalf("last progress line = %q, want prefix %q", last, wantPrefix)
+	}
+	// Unknown expected totals omit the percentage but keep the count.
+	b.Reset()
+	q := NewProgress(w, "testcmd", "recs", 0, 1, time.Hour)
+	q.Start()
+	q.Shard(0).Add(42)
+	q.Stop()
+	mu.Lock()
+	out = strings.TrimRight(b.String(), "\n")
+	mu.Unlock()
+	if !strings.HasPrefix(out, "testcmd: progress done 42 recs in ") {
+		t.Fatalf("final line without expected total = %q", out)
+	}
 }
 
 type writerFunc func(p []byte) (int, error)
@@ -176,6 +218,93 @@ func TestCLIFlagsSession(t *testing.T) {
 	}
 	if _, err := http.Get(fmt.Sprintf("http://%s/metrics", addr)); err == nil {
 		t.Fatal("listener still serving after Close")
+	}
+}
+
+// TestMetricsListenerConcurrentScrape covers the live /metrics
+// listener the way a monitored run exercises it: writer goroutines
+// update counters and histograms while scrapers hit /metrics and
+// /metrics.json concurrently, and the session closes while the
+// scrapers are still looping — the "run finished before the scraper"
+// shutdown must be graceful: completed scrapes return full bodies,
+// post-close scrapes fail with a connection error, nothing panics.
+// Run under -race, this also gates snapshot-vs-update safety.
+func TestMetricsListenerConcurrentScrape(t *testing.T) {
+	f := CLIFlags{MetricsListen: "127.0.0.1:0"}
+	reg := NewRegistry()
+	sess, err := f.Start("testcmd", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := sess.ListenAddr()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := reg.Histogram("scrape_lat_ms", []float64{1, 10, 100})
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			reg.Counter("txns_total").Add(1)
+			h.Observe(float64(i % 120))
+		}
+	}()
+
+	var scraped atomic.Int64
+	for _, path := range []string{"/metrics", "/metrics.json"} {
+		path := path
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get("http://" + addr + path)
+				if err != nil {
+					return // listener closed under us: the graceful end
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil {
+					return // close raced the body read; also graceful
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("GET %s: status %d", path, resp.StatusCode)
+					return
+				}
+				if len(body) == 0 {
+					t.Errorf("GET %s: empty body", path)
+					return
+				}
+				scraped.Add(1)
+			}
+		}()
+	}
+
+	// Let scrapes overlap updates, then end the "run" while scrapers
+	// are still going.
+	deadline := time.Now().Add(time.Second)
+	for scraped.Load() < 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := sess.Close(); err != nil {
+		t.Errorf("Close during live scrapes: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if scraped.Load() == 0 {
+		t.Error("no scrape completed while the run was live")
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("listener still serving after Close")
 	}
 }
 

@@ -146,7 +146,18 @@ func (p *Progress) report(final bool) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: progress ", p.component)
 	if final {
-		fmt.Fprintf(&b, "done %s %s in %v (%s/s)", fmtCount(total), p.unit,
+		// The final flush always carries the totals (and the completion
+		// percentage when the expected count is known), even when the
+		// run ended between ticks — the last stderr line is the run's
+		// one-line summary.
+		b.WriteString("done ")
+		if p.expected > 0 {
+			fmt.Fprintf(&b, "%.1f%% %s/%s", 100*float64(total)/float64(p.expected),
+				fmtCount(total), fmtCount(p.expected))
+		} else {
+			b.WriteString(fmtCount(total))
+		}
+		fmt.Fprintf(&b, " %s in %v (%s/s)", p.unit,
 			elapsed.Round(10*time.Millisecond), fmtCount(int64(rate)))
 	} else {
 		if p.expected > 0 {

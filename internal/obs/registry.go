@@ -137,6 +137,34 @@ func (h *Histogram) Observe(v float64) {
 	h.count.Add(1)
 }
 
+// AddCounts folds pre-aggregated observations into the histogram:
+// counts[i] observations landing in bucket i (len(bounds)+1 entries,
+// the last being the +Inf overflow bucket) whose values total sum.
+// Shard-local bucket arrays folded in once at shard completion are the
+// no-atomics-per-event pattern internal/measure uses for its
+// per-failure-class latency histograms. Nil-safe; panics on a bucket
+// count mismatch.
+func (h *Histogram) AddCounts(counts []int64, sum float64) {
+	if h == nil {
+		return
+	}
+	if len(counts) != len(h.counts) {
+		panic(fmt.Sprintf("obs: AddCounts with %d buckets into histogram with %d", len(counts), len(h.counts)))
+	}
+	var total int64
+	for i, n := range counts {
+		if n != 0 {
+			h.counts[i].Add(n)
+			total += n
+		}
+	}
+	if total == 0 {
+		return
+	}
+	h.sum.Add(sum)
+	h.count.Add(total)
+}
+
 // Count returns the total number of observations.
 func (h *Histogram) Count() int64 {
 	if h == nil {

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func exemplar(class string, major, minor int64) TraceExemplar {
+	return TraceExemplar{
+		Class: class,
+		Label: fmt.Sprintf("c%d x s%d", major, minor),
+		Major: major,
+		Minor: minor,
+		Spans: []TraceSpan{{Name: "txn", Start: major * 1e9, Dur: 5e8, Outcome: class}},
+	}
+}
+
+func TestTracerKeepsKSmallestKeys(t *testing.T) {
+	tr := NewTracer(2)
+	// Arrive out of canonical order, as packet mode's event loop does.
+	if !tr.Add(exemplar("tcp:no-connection", 5, 0)) {
+		t.Fatal("first add rejected")
+	}
+	if !tr.Add(exemplar("tcp:no-connection", 1, 3)) {
+		t.Fatal("smaller key rejected")
+	}
+	if !tr.Add(exemplar("tcp:no-connection", 1, 1)) {
+		t.Fatal("smaller key rejected with full list")
+	}
+	if tr.Add(exemplar("tcp:no-connection", 9, 0)) {
+		t.Fatal("key beyond the cap was kept")
+	}
+	got := tr.Exemplars("tcp:no-connection")
+	if len(got) != 2 || got[0].Major != 1 || got[0].Minor != 1 || got[1].Minor != 3 {
+		t.Fatalf("kept set = %+v, want keys (1,1),(1,3)", got)
+	}
+	if tr.Admit("tcp:no-connection", 2, 0) {
+		t.Error("Admit accepted a key larger than the kept maximum")
+	}
+	if !tr.Admit("tcp:no-connection", 1, 0) {
+		t.Error("Admit rejected a key smaller than the kept maximum")
+	}
+	if !tr.Admit("dns:error-response", 99, 0) {
+		t.Error("Admit rejected a new class")
+	}
+}
+
+func TestTracerMergeShardInvariant(t *testing.T) {
+	// Build the same exemplar population three ways: serially, split in
+	// two shards, split in four; all merges must agree byte-for-byte.
+	keys := [][2]int64{{0, 0}, {0, 1}, {1, 0}, {2, 0}, {2, 1}, {3, 0}, {3, 1}, {3, 2}}
+	build := func(shards int) *Tracer {
+		parts := make([]*Tracer, shards)
+		for i := range parts {
+			parts[i] = NewTracer(3)
+		}
+		for i, k := range keys {
+			class := "dns:ldns-timeout"
+			if i%2 == 1 {
+				class = "http:503"
+			}
+			// Shard by major key, mimicking client-sharded runs.
+			parts[int(k[0])%shards].Add(exemplar(class, k[0], k[1]))
+		}
+		merged := NewTracer(3)
+		for _, p := range parts {
+			if err := merged.Merge(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return merged
+	}
+	render := func(tr *Tracer) string {
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := render(build(1))
+	if two := render(build(2)); two != serial {
+		t.Errorf("2-shard merge differs from serial:\n%s\nvs\n%s", two, serial)
+	}
+	if four := render(build(4)); four != serial {
+		t.Errorf("4-shard merge differs from serial")
+	}
+}
+
+func TestTracerMergeCapMismatch(t *testing.T) {
+	a, b := NewTracer(2), NewTracer(3)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge with mismatched K succeeded")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("merge with nil source: %v", err)
+	}
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	tr := NewTracer(2)
+	ex := exemplar("http:404", 3, 7)
+	ex.Spans = append(ex.Spans, TraceSpan{
+		Name: "dns", Depth: 1, Start: 3e9, Dur: 52e6,
+		Outcome: "ok", Detail: "blame=none",
+	})
+	tr.Add(ex)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   int64             `json:"ts"`
+			Dur  int64             `json:"dur"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// process_name + thread_name metadata, then two X events.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].Ph != "M" || doc.TraceEvents[0].Args["name"] != "http:404" {
+		t.Errorf("first event is not the process_name metadata: %+v", doc.TraceEvents[0])
+	}
+	if ev := doc.TraceEvents[3]; ev.Ph != "X" || ev.Name != "dns" || ev.Ts != 3e6 || ev.Dur != 52e3 {
+		t.Errorf("dns span event wrong: %+v", ev)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+}

@@ -162,6 +162,73 @@ func TimeSeries(title string, width int, xs []float64, panels []TimePanel) strin
 	return b.String()
 }
 
+// WaterfallSpan is one bar of a span waterfall: a named interval at a
+// nesting depth, with an outcome tag and optional free-form detail.
+type WaterfallSpan struct {
+	Name    string
+	Depth   int
+	Start   float64 // seconds from the trace origin
+	Dur     float64 // seconds
+	Outcome string
+	Detail  string
+}
+
+// Waterfall renders a transaction's span tree as indented horizontal
+// bars on a shared time axis — the forensics view of one traced
+// exemplar. Spans are drawn in the given (pre-order) sequence; detail
+// text follows its span on an indented line.
+func Waterfall(title string, width int, spans []WaterfallSpan) string {
+	if width < 20 {
+		width = 20
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(spans) == 0 {
+		return b.String()
+	}
+	tmin, tmax := spans[0].Start, spans[0].Start
+	for _, s := range spans {
+		if s.Start < tmin {
+			tmin = s.Start
+		}
+		if end := s.Start + s.Dur; end > tmax {
+			tmax = end
+		}
+	}
+	total := tmax - tmin
+	if total <= 0 {
+		total = 1e-9
+	}
+	const labelW = 26
+	for _, s := range spans {
+		label := strings.Repeat("  ", s.Depth) + s.Name
+		if len(label) > labelW {
+			label = label[:labelW]
+		}
+		row := bytesRepeat(' ', width)
+		lo := int((s.Start - tmin) / total * float64(width))
+		hi := int((s.Start + s.Dur - tmin) / total * float64(width))
+		if lo >= width {
+			lo = width - 1
+		}
+		if hi <= lo {
+			hi = lo + 1 // zero-length spans still mark their instant
+		}
+		if hi > width {
+			hi = width
+		}
+		for i := lo; i < hi; i++ {
+			row[i] = '='
+		}
+		fmt.Fprintf(&b, "%-*s |%s| %9.3fs %s\n", labelW, label, row, s.Dur, s.Outcome)
+		if s.Detail != "" {
+			fmt.Fprintf(&b, "%-*s    %s\n", labelW, "", s.Detail)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  0s%*s\n", labelW, "", width, fmt.Sprintf("+%.3fs", total))
+	return b.String()
+}
+
 // CumulativeCurve renders a rank-vs-cumulative-share curve (Figure 2).
 func CumulativeCurve(title string, width, height int, curves map[string][]float64) string {
 	var series []Series

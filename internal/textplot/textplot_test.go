@@ -125,3 +125,28 @@ func TestCumulativeCurve(t *testing.T) {
 		t.Error("series not sorted")
 	}
 }
+
+func TestWaterfall(t *testing.T) {
+	spans := []WaterfallSpan{
+		{Name: "txn", Depth: 0, Start: 0, Dur: 21.0, Outcome: "tcp:no-connection", Detail: "active: www:example.com server-outage sev=1.00"},
+		{Name: "dns", Depth: 1, Start: 0, Dur: 0.09, Outcome: "ok"},
+		{Name: "tcp 198.51.100.7", Depth: 1, Start: 0.09, Dur: 20.91, Outcome: "no-connection", Detail: "blame=www:example.com server-outage"},
+	}
+	out := Waterfall("client-3 x example.com", 40, spans)
+	for _, want := range []string{"client-3 x example.com", "txn", "  dns", "  tcp 198.51.100.7", "blame=", "+21.000s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("waterfall missing %q:\n%s", want, out)
+		}
+	}
+	// The root bar spans the full axis; the dns bar does not.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "|========") {
+		t.Errorf("root bar not drawn from origin:\n%s", out)
+	}
+}
+
+func TestWaterfallEmpty(t *testing.T) {
+	if out := Waterfall("empty", 40, nil); !strings.Contains(out, "empty") {
+		t.Error("empty waterfall should still emit its title")
+	}
+}

@@ -22,6 +22,12 @@
 # must stay at zero steady-state allocations, and fast-vs-packet
 # calibration must hold within the documented tolerances at the
 # minimum calibration scale.
+#
+# Observability gates: tracing exemplars and latency histograms must be
+# shard-layout-invariant in both engines, forensics replay must work
+# from a dataset, staticcheck runs when installed (go vet is the
+# offline fallback), and WEBFAIL_BENCH_GATE=1 opts into the
+# bench-regression comparison against the committed baseline.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -29,6 +35,14 @@ cd "$(dirname "$0")/.."
 test -z "$(gofmt -l .)"
 go build ./...
 go vet ./...
+# Deeper static analysis when the toolchain is available: staticcheck
+# runs offline against the build cache; on boxes without it, the full
+# go vet pass above is the fallback (no network installs in CI).
+if command -v staticcheck > /dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "staticcheck not installed; go vet served as the static-analysis pass"
+fi
 go test ./...
 go test -race -run 'TestSerialParallelEquivalence|TestRunParallelShardClamp|TestMerge|TestShardedSaveEquivalence|TestDatasetV2ParallelStreams' \
     ./internal/measure ./internal/core ./internal/dataset
@@ -56,6 +70,14 @@ go test -run 'TestGolden|TestRewriteV2FixturePreservesAnalysis' ./cmd/webfail-an
 go test -race -run 'TestSelectiveMatchesFull|TestArtifactPassRegistry' ./internal/report
 go test -race -count=1 ./internal/obs
 go test -run 'TestEvaluateZeroAllocs' -count=1 ./internal/measure
+# Tracing gates: exemplar selection and latency histograms must be
+# byte-identical across shard layouts in both engines (the -trace-out
+# invariance test drives the full CLI), and forensics replay must
+# reconstruct blamed waterfalls from a dataset.
+go test -run 'TestTraceShardInvariant|TestPacketTraceShardInvariant|TestTraceExemplarContent|TestPacketTraceCaptureCrossLink|TestLatencyHistogramsDeterministic' \
+    -count=1 ./internal/measure
+go test -run 'TestTraceOutParallelInvariance' -count=1 ./cmd/webfail
+go test -run 'TestForensics|TestTraceOutRequiresForensics' -count=1 ./cmd/webfail-analyze
 go test -race -run 'TestPacketSerialParallelEquivalence|TestPacketParallelShardOrder|TestPacketCaptureUnknownClient' \
     ./internal/measure
 go test -run 'TestTimerStop|TestWheelMatchesReferenceOrder|TestSchedulerTimerChurnZeroAlloc|TestPacketSendDeliverZeroAlloc|TestPacketPoolRecycles' \
@@ -92,3 +114,12 @@ done
 /tmp/webfail-analyze-verify -in /tmp/chaos_p4.ds -artifacts all > /tmp/chaos_p4.out
 cmp /tmp/chaos_p1.out /tmp/chaos_p4.out
 rm -f /tmp/webfail-verify /tmp/webfail-analyze-verify /tmp/chaos_p1.ds /tmp/chaos_p4.ds /tmp/chaos_p1.out /tmp/chaos_p4.out
+# Opt-in bench-regression gate: WEBFAIL_BENCH_GATE=1 takes a fresh
+# benchmark snapshot and fails if it regresses beyond tolerance against
+# the latest committed BENCH_*.json (see scripts/bench.sh -compare).
+# Off by default: benchmark runs add minutes and wall-time deltas on
+# shared boxes are noisy, so this gates release branches, not every
+# edit loop.
+if [ "${WEBFAIL_BENCH_GATE:-0}" = "1" ]; then
+    ./scripts/bench.sh -compare
+fi
